@@ -1,0 +1,24 @@
+"""Bench S2 — Section 1.2.2 baselines: CoG vs GCM under unlimited visibility."""
+
+from __future__ import annotations
+
+from repro.experiments import baselines_unlimited
+
+
+def test_bench_baselines_unlimited(benchmark):
+    """Rounds to halve the hull diameter: GCM at least as fast as CoG at every n."""
+    result = benchmark.pedantic(
+        lambda: baselines_unlimited.run(n_values=(4, 8, 16, 32), seed=0, max_rounds=300),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.to_table().render())
+
+    # Both baselines converge at every size.
+    assert all(row.converged for row in result.rows)
+
+    # The qualitative shape the cited analyses predict: the minbox algorithm
+    # halves the hull diameter at least as fast as the centre-of-gravity
+    # algorithm at every population size.
+    assert result.gcm_never_slower_than_cog

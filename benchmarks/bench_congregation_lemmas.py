@@ -1,0 +1,27 @@
+"""Bench L68 — Lemmas 6-8 (Figures 16-17): congregation bounds."""
+
+from __future__ import annotations
+
+from repro.experiments import congregation_lemmas
+
+
+def test_bench_congregation_lemmas(benchmark):
+    """Monte-Carlo verification of the Lemma-6/Lemma-8 bounds and hull nesting."""
+    result = benchmark.pedantic(
+        lambda: congregation_lemmas.run(
+            configurations=15, n_robots=10, xi=0.5, k=2, seed=0,
+            nesting_runs=3, nesting_activations=250,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.to_table().render())
+
+    # The experiment actually exercised every check.
+    assert result.lemma6_checks > 0
+    assert result.lemma8_checks > 0
+    assert result.hull_nesting_checks > 0
+
+    # Lemma 6, Lemma 8 and the hull-nesting invariant hold without exception.
+    assert result.all_hold

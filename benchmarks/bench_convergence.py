@@ -1,0 +1,40 @@
+"""Bench C1 — Section 5: congregation under k-Async (scaling in n and k, ablations)."""
+
+from __future__ import annotations
+
+from repro.experiments import convergence
+
+
+def test_bench_convergence(benchmark):
+    """Convergence sweep over n and k, plus the DESIGN.md ablations."""
+    result = benchmark.pedantic(
+        lambda: convergence.run(
+            n_values=(5, 10, 15),
+            k_values=(1, 2, 4),
+            epsilon=0.05,
+            max_activations=25000,
+            seed=0,
+            include_ablations=True,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.to_table().render())
+
+    # Every paper-parameter run converges and preserves every initial edge.
+    paper_rows = [row for row in result.rows if row.label == "kknps (paper)"]
+    assert paper_rows
+    for row in paper_rows:
+        assert row.converged
+        assert row.cohesion
+        # Cohesion with margin: no initial edge ever reached the range V.
+        assert row.max_initial_edge_stretch <= 1.0 + 1e-9
+
+    # The 1/k scaling slows progress: larger k needs at least as many
+    # activations to converge on the same workload.
+    k_rows = sorted(
+        (row for row in paper_rows if row.n_robots == 10), key=lambda row: row.k
+    )
+    if len(k_rows) >= 2:
+        assert k_rows[0].activations <= k_rows[-1].activations

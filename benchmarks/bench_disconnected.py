@@ -1,0 +1,29 @@
+"""Bench D1 — Section 6.3.1: disconnected initial configurations."""
+
+from __future__ import annotations
+
+from repro.experiments import disconnected
+
+
+def test_bench_disconnected(benchmark):
+    """Each connected component converges to its own point; components never merge."""
+    result = benchmark.pedantic(
+        lambda: disconnected.run(
+            n_components=3, robots_per_component=6, epsilon=0.05, max_activations=4000, seed=0
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.to_table().render())
+
+    # Section 6.3.1: every connected subset converges to a single point.
+    assert result.every_component_converged
+
+    # Connectivity within each component is never lost.
+    assert result.cohesion_maintained
+
+    # Distinct components converge to distinct points: the minimum distance
+    # between robots of different components stays far above epsilon.
+    assert result.components_remain_separated
+    assert result.min_inter_component_distance > 1.0

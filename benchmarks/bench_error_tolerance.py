@@ -1,0 +1,37 @@
+"""Bench E1 — Section 6.1 / Figure 18: error tolerance of the paper's algorithm."""
+
+from __future__ import annotations
+
+import math
+
+from repro.experiments import error_tolerance
+
+
+def test_bench_error_tolerance(benchmark):
+    """Error-model grid plus the Figure-18 linear-motion-error threshold sweep."""
+    result = benchmark.pedantic(
+        lambda: error_tolerance.run(
+            n_robots=8, seed=0, max_activations=10000, epsilon=0.05, k=4
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.to_table().render())
+    print()
+    print(result.figure18_table().render())
+
+    # Tolerated error models (relative distance error, bounded skew,
+    # quadratic motion error) never break cohesion and still converge.
+    assert result.tolerated_models_all_cohesive
+    tolerated = [r for r in result.runs if not r.label.startswith("linear")]
+    assert all(r.converged for r in tolerated)
+
+    # Figure 18: with adversarial *linear* relative motion error, a pair at
+    # exactly visibility range can be pushed apart once the coefficient
+    # exceeds roughly tan(commanded angle); small coefficients cannot.
+    threshold = math.tan(result.figure18[0].commanded_angle)
+    assert any(row.separated for row in result.figure18 if row.error_coefficient > threshold)
+    assert all(
+        not row.separated for row in result.figure18 if row.error_coefficient <= 0.5
+    )

@@ -1,0 +1,32 @@
+"""Bench F3 — Figure 3: safe-region comparison (Ando vs Katreniak vs KKNPS)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig3_safe_regions
+
+
+def test_bench_fig3_safe_regions(benchmark):
+    """Regenerate the Figure-3 comparison and check its qualitative claims."""
+    result = benchmark.pedantic(
+        lambda: fig3_safe_regions.run(area_samples=10_000),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.to_table().render())
+    print()
+    print(result.k_table().render())
+
+    # The paper's safe region is far smaller than its predecessors and is
+    # always contained in Ando's (for distant neighbours, with V known).
+    for row in result.rows:
+        assert row.kknps_area < row.ando_area
+        assert row.kknps_inside_ando
+        # A robot never plans a move longer than V_Y / 4 toward one neighbour.
+        assert row.kknps_max_step <= row.separation / 2.0 + 1e-9
+
+    # The 1/k scaling shrinks the planned moves proportionally.
+    radii = [radius for _, radius, _ in result.k_sweep]
+    ks = [k for k, _, _ in result.k_sweep]
+    for (k1, r1), (k2, r2) in zip(zip(ks, radii), list(zip(ks, radii))[1:]):
+        assert abs(r1 * k1 - r2 * k2) < 1e-12

@@ -1,0 +1,47 @@
+"""Bench I1 — Section 7 (Figures 19-22): impossibility under unbounded Async."""
+
+from __future__ import annotations
+
+from repro.experiments import impossibility
+
+
+def test_bench_impossibility(benchmark):
+    """Run the spiral + sliver-flattening adversary and verify every claim."""
+    result = benchmark.pedantic(
+        lambda: impossibility.run(psi=0.3, delta=0.05, skew=0.1),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.headline_table())
+    print()
+    print(result.hub_move_table().render())
+    print()
+    print(result.witness_table().render())
+
+    report = result.report
+
+    # The construction is legal: every adversarial activation stays inside
+    # the lens of the moved robot's two chain neighbours.
+    assert report.construction_is_legal
+
+    # The accumulated hub-distance drift respects the paper's 4*psi^2 bound,
+    # and every manipulated chain edge stayed inside the distance-error band
+    # (so it could always be perceived as exactly the visibility threshold).
+    assert report.drift_within_paper_bound
+    assert report.edges_indistinguishable_from_threshold
+
+    # The forced-motion witnesses exist for the turn angles the adversary uses.
+    assert all(w.is_valid() for w in report.witnesses)
+
+    # The hub's forced move (for both representative natural algorithms)
+    # lands in the C-side half sector and breaks the (X_A, X_B) edge.
+    assert all(m.in_c_side_half_sector for m in report.hub_moves)
+    assert report.any_representative_breaks_visibility
+    assert all(report.visibility_broken.values())
+
+    # The final visibility graph is disconnected into linearly separable parts,
+    # so Cohesive Convergence has been violated.
+    assert report.final_components >= 2
+    assert report.components_linearly_separable
+    assert result.impossibility_demonstrated

@@ -1,0 +1,25 @@
+"""Bench L12 — Lemmas 1-2 (Figures 5-9): reachable-region containment."""
+
+from __future__ import annotations
+
+from repro.experiments import lemma_regions
+
+
+def test_bench_lemma_regions(benchmark):
+    """Monte-Carlo containment of scaled-safe-region move sequences."""
+    result = benchmark.pedantic(
+        lambda: lemma_regions.run(trials=300, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.to_table().render())
+
+    # Lemmas 1 and 2: no adversarial move sequence escapes the region.
+    assert result.lemmas_hold
+    assert result.lemma1.violations == 0
+    assert result.lemma2.violations == 0
+
+    # Negative control: inflating the per-move radius breaks containment,
+    # so the zero-violation result above is not vacuous.
+    assert result.inflated_control.violations > 0

@@ -1,0 +1,35 @@
+"""Bench T1 — the headline separation matrix (Theorems 3-4 vs Figure 4 / Section 7)."""
+
+from __future__ import annotations
+
+from repro.experiments import separation_matrix
+
+
+def test_bench_separation_matrix(benchmark):
+    """Algorithm x scheduler success matrix: who preserves cohesion, who converges."""
+    result = benchmark.pedantic(
+        lambda: separation_matrix.run(
+            n_robots=8, runs_per_cell=2, max_activations=4000, epsilon=0.05, k=4, seed=0
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.to_table().render())
+
+    # Positive side of the separation: the paper's algorithm (at a matching
+    # k) converges cohesively under every stochastic scheduler class.
+    for scheduler in ("ssync", "1-async", "4-async", "4-nesta"):
+        cell = result.cell("kknps(k matched)", scheduler)
+        assert cell is not None
+        assert cell.always_cohesive
+        assert cell.always_converged
+
+    # Constructive failures: Ando breaks cohesion under both Figure-4
+    # adversaries, while the paper's algorithm survives the same timelines.
+    for adversary in ("fig4 1-async adversary", "fig4 2-nesta adversary"):
+        ando_cell = result.cell("ando", adversary)
+        kknps_cell = result.cell("kknps(k matched)", adversary)
+        assert ando_cell is not None and kknps_cell is not None
+        assert ando_cell.cohesion_preserved == 0
+        assert kknps_cell.cohesion_preserved == 1

@@ -1,0 +1,17 @@
+"""Shared configuration for the benchmark harness.
+
+Each bench regenerates one of the paper's figures/claims (see DESIGN.md's
+per-experiment index) with parameters small enough to run on a laptop.
+Benches assert the *qualitative* claim of the corresponding artifact —
+who wins, what breaks, which bound holds — not absolute timings.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+# Allow running the benches without installing the package first.
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

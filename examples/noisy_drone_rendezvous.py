@@ -1,0 +1,99 @@
+"""A realistic scenario: rendezvous of a noisy drone swarm split across clusters.
+
+A surveying swarm has ended a mission scattered into a few tight clusters
+joined by thin corridors of stragglers (the clustered workload).  The
+drones must gather: each has a limited sensing radius, a compass with a
+small systematic distortion, range measurements with a few percent of
+relative error, and actuators that sometimes stop a move early.  The
+operators can only promise that no drone's activity overlaps more than
+``k`` activations of another (bounded asynchrony from duty-cycling).
+
+The script runs the paper's algorithm in exactly this setting and, for
+contrast, the same swarm under an unlimited-visibility centre-of-gravity
+controller (which needs global sensing the drones do not have) and the
+classical Ando controller (which needs the exact sensing radius and exact
+measurements).
+
+Run with:  python examples/noisy_drone_rendezvous.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    AndoAlgorithm,
+    CenterOfGravityAlgorithm,
+    KAsyncScheduler,
+    KKNPSAlgorithm,
+    MotionModel,
+    PerceptionModel,
+    SimulationConfig,
+    clustered_configuration,
+    run_simulation,
+)
+from repro.analysis import TextTable
+from repro.geometry import SymmetricDistortion
+
+
+def main() -> None:
+    k = 4
+    swarm = clustered_configuration(n_clusters=3, robots_per_cluster=5, seed=11)
+    print(
+        f"swarm: {len(swarm)} drones in 3 clusters plus bridges, "
+        f"hull diameter {swarm.hull_diameter():.2f}, sensing radius {swarm.visibility_range}"
+    )
+
+    noisy_perception = PerceptionModel(
+        distance_error=0.03,
+        distortion=SymmetricDistortion(amplitude=0.08, frequency=2),
+        bias="random",
+    )
+    unreliable_motion = MotionModel(xi=0.4, deviation="quadratic", coefficient=0.1)
+
+    table = TextTable(
+        "Noisy drone rendezvous under 4-Async duty cycling",
+        ["controller", "needs global info", "converged", "cohesive", "final spread"],
+    )
+
+    runs = [
+        (
+            "KKNPS (paper, k=4, error-tolerant)",
+            KKNPSAlgorithm(k=k, distance_error_tolerance=0.03, skew_tolerance=0.08),
+            "no",
+        ),
+        ("Ando (needs exact V)", AndoAlgorithm(), "sensing radius"),
+        ("Centre of gravity (needs all positions)", CenterOfGravityAlgorithm(), "all positions"),
+    ]
+    for label, algorithm, needs in runs:
+        result = run_simulation(
+            swarm.positions,
+            algorithm,
+            KAsyncScheduler(k=k, progress_fraction=(0.4, 1.0)),
+            SimulationConfig(
+                visibility_range=swarm.visibility_range,
+                perception=noisy_perception,
+                motion=unreliable_motion,
+                max_activations=40000,
+                convergence_epsilon=0.05,
+                k_bound=k,
+                seed=11,
+            ),
+        )
+        table.add_row(
+            label,
+            needs,
+            result.converged,
+            result.cohesion_maintained,
+            result.final_hull_diameter,
+        )
+    print()
+    print(table.render())
+    print()
+    print(
+        "The paper's controller gathers the swarm using only locally sensed directions,\n"
+        "with no knowledge of the sensing radius, while tolerating the measurement and\n"
+        "actuation noise; the baselines rely on information the drones do not have."
+    )
+
+
+if __name__ == "__main__":
+    main()

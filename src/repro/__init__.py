@@ -1,0 +1,103 @@
+"""repro: a reproduction of "Separating Bounded and Unbounded Asynchrony for
+Autonomous Robots: Point Convergence with Limited Visibility" (PODC 2021).
+
+The package provides:
+
+* a computational-geometry substrate (``repro.geometry``);
+* the OBLOT robot/configuration/error model (``repro.model``);
+* all scheduler classes the paper discusses (``repro.schedulers``);
+* the paper's convergence algorithm and every baseline (``repro.algorithms``);
+* an event-driven continuous-time simulator (``repro.engine``);
+* the paper's adversarial constructions (``repro.adversary``);
+* workload generators, analysis helpers and one experiment module per
+  reproduced figure/claim (``repro.workloads``, ``repro.analysis``,
+  ``repro.experiments``).
+
+Quickstart::
+
+    from repro import (
+        KKNPSAlgorithm, KAsyncScheduler, SimulationConfig, run_simulation,
+        random_connected_configuration,
+    )
+
+    config = random_connected_configuration(20, seed=7)
+    result = run_simulation(
+        config.positions,
+        KKNPSAlgorithm(k=2),
+        KAsyncScheduler(k=2),
+        SimulationConfig(max_activations=20000, k_bound=2),
+    )
+    print(result.converged, result.cohesion_maintained)
+"""
+
+from .algorithms import (
+    AndoAlgorithm,
+    CenterOfGravityAlgorithm,
+    ConvergenceAlgorithm,
+    KKNPSAlgorithm,
+    KatreniakAlgorithm,
+    MinboxAlgorithm,
+    StationaryAlgorithm,
+)
+from .engine import (
+    SimulationConfig,
+    SimulationResult,
+    Simulator,
+    run_simulation,
+)
+from .geometry import Point
+from .model import Configuration, MotionModel, PerceptionModel, Snapshot
+from .schedulers import (
+    AsyncScheduler,
+    FSyncScheduler,
+    KAsyncScheduler,
+    KNestAScheduler,
+    SSyncScheduler,
+    ScriptedScheduler,
+)
+from .workloads import (
+    clustered_configuration,
+    grid_configuration,
+    line_configuration,
+    polygon_configuration,
+    random_connected_configuration,
+    random_disk_configuration,
+    ring_configuration,
+    two_robot_configuration,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AndoAlgorithm",
+    "AsyncScheduler",
+    "CenterOfGravityAlgorithm",
+    "Configuration",
+    "ConvergenceAlgorithm",
+    "FSyncScheduler",
+    "KAsyncScheduler",
+    "KKNPSAlgorithm",
+    "KNestAScheduler",
+    "KatreniakAlgorithm",
+    "MinboxAlgorithm",
+    "MotionModel",
+    "PerceptionModel",
+    "Point",
+    "SSyncScheduler",
+    "ScriptedScheduler",
+    "SimulationConfig",
+    "SimulationResult",
+    "Simulator",
+    "Snapshot",
+    "StationaryAlgorithm",
+    "clustered_configuration",
+    "grid_configuration",
+    "line_configuration",
+    "polygon_configuration",
+    "random_connected_configuration",
+    "random_disk_configuration",
+    "ring_configuration",
+    "run_simulation",
+    "two_robot_configuration",
+    "__version__",
+]

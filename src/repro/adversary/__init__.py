@@ -1,0 +1,55 @@
+"""Adversarial constructions: the paper's counterexamples and impossibility proof."""
+
+from .ando_counterexample import (
+    AndoFailureInstance,
+    AndoFailureOutcome,
+    canonical_instance,
+    one_async_schedule,
+    replay,
+    run_figure4,
+    search_failure_instances,
+    two_nesta_schedule,
+)
+from .forced_motion import (
+    ForcedMotionWitness,
+    distance_indistinguishable,
+    forced_motion_witness,
+    paper_modulus,
+    smallest_witness_modulus,
+)
+from .impossibility import (
+    HubMove,
+    ImpossibilityReport,
+    representative_hub_moves,
+    required_zeta,
+    run_impossibility,
+)
+from .sliver import CollapseMove, FlatteningResult, collapse_point, flatten_spiral
+from .spiral import SpiralConfiguration, build_spiral
+
+__all__ = [
+    "AndoFailureInstance",
+    "AndoFailureOutcome",
+    "CollapseMove",
+    "FlatteningResult",
+    "ForcedMotionWitness",
+    "HubMove",
+    "ImpossibilityReport",
+    "SpiralConfiguration",
+    "build_spiral",
+    "canonical_instance",
+    "collapse_point",
+    "distance_indistinguishable",
+    "flatten_spiral",
+    "forced_motion_witness",
+    "one_async_schedule",
+    "paper_modulus",
+    "replay",
+    "representative_hub_moves",
+    "required_zeta",
+    "run_figure4",
+    "run_impossibility",
+    "search_failure_instances",
+    "smallest_witness_modulus",
+    "two_nesta_schedule",
+]

@@ -1,0 +1,242 @@
+"""Figure 4: Ando et al.'s algorithm loses visibility under 1-Async and 2-NestA.
+
+The paper exhibits a five-robot configuration (three stationary robots
+``A``, ``B``, ``C`` and two mobile robots ``X``, ``Y`` at visibility-range
+separation) together with two activation timelines under which the
+unmodified Go-To-The-Centre-Of-The-SEC algorithm drives ``X`` and ``Y``
+more than ``V`` apart:
+
+* a 1-Async timeline, in which ``Y`` Looks while ``X``'s first activity
+  interval is in progress (so ``Y`` still sees ``X`` at its original
+  position), ``X`` is activated a second time before ``Y``'s very long
+  Move phase completes, and at most one activation of either robot starts
+  within any activity interval of the other;
+* a 2-NestA timeline with the same Looks and moves, in which both of
+  ``X``'s activity intervals are nested inside ``Y``'s single interval.
+
+This module provides a concrete instance of that family (derived
+analytically; the docstring of :func:`canonical_instance` spells out the
+geometry), the two activation timelines, a simulation driver that replays
+them through the engine, and a randomised search over the family for the
+robustness/ablation bench.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..algorithms.ando import AndoAlgorithm
+from ..algorithms.base import ConvergenceAlgorithm
+from ..engine.simulator import SimulationConfig, SimulationResult, Simulator
+from ..geometry.point import Point
+from ..model.configuration import Configuration
+from ..model.types import Activation
+from ..schedulers.scripted import ScriptedScheduler, validate_k_async, validate_k_nesta
+
+#: Robot indices used throughout this module.
+ROBOT_X = 0
+ROBOT_Y = 1
+ROBOT_A = 2
+ROBOT_B = 3
+ROBOT_C = 4
+
+
+@dataclass(frozen=True)
+class AndoFailureInstance:
+    """One member of the Figure-4 family: positions plus the visibility range."""
+
+    x0: Point
+    y0: Point
+    a: Point
+    b: Point
+    c: Point
+    visibility_range: float = 1.0
+
+    def positions(self) -> List[Point]:
+        """Positions indexed by the ``ROBOT_*`` constants."""
+        return [self.x0, self.y0, self.a, self.b, self.c]
+
+    def configuration(self) -> Configuration:
+        """The initial configuration of the instance."""
+        return Configuration.of(self.positions(), self.visibility_range)
+
+    def is_admissible(self) -> bool:
+        """Structural requirements of the construction.
+
+        The initial configuration must be connected, ``X`` and ``Y`` must be
+        mutually visible, ``A`` must be visible to ``Y`` but not to ``X``,
+        and ``B`` must be visible to ``X`` but not to ``Y`` (``C`` only needs
+        to keep the configuration connected and stay invisible to ``Y``).
+        """
+        v = self.visibility_range
+        checks = [
+            self.configuration().is_connected(),
+            self.x0.distance_to(self.y0) <= v,
+            self.a.distance_to(self.y0) <= v,
+            self.a.distance_to(self.x0) > v,
+            self.b.distance_to(self.x0) <= v,
+            self.b.distance_to(self.y0) > v,
+            self.c.distance_to(self.y0) > v,
+        ]
+        return all(checks)
+
+
+def canonical_instance(visibility_range: float = 1.0) -> AndoFailureInstance:
+    """The hand-constructed instance used by the Figure-4 benches.
+
+    With ``V = 1``: ``Y`` at the origin, ``X`` at ``(1, 0)`` (exactly at
+    visibility range), ``A = (0, -1)`` pulls ``Y``'s SEC centre to
+    ``(0.5, -0.5)``; ``B = (1, 1)`` pulls ``X``'s first SEC centre to
+    ``(0.5, 0.5)``; ``C = (0.1, 1.3)`` is connected to ``B``, invisible to
+    both ``X`` and ``Y`` initially, and becomes visible to ``X`` after its
+    first move, dragging ``X``'s second SEC centre further to
+    ``(0.375, 0.625)``.  The final separation between ``X`` and ``Y`` is
+    ``|(0.375, 0.625) - (0.5, -0.5)| ~= 1.13 > V``.
+    """
+    v = visibility_range
+    return AndoFailureInstance(
+        x0=Point(1.0, 0.0) * v,
+        y0=Point(0.0, 0.0),
+        a=Point(0.0, -1.0) * v,
+        b=Point(1.0, 1.0) * v,
+        c=Point(0.1, 1.3) * v,
+        visibility_range=v,
+    )
+
+
+def one_async_schedule() -> List[Activation]:
+    """The 1-Async timeline of Figure 4(a).
+
+    ``X`` is activated twice, ``Y`` once with a very long activity
+    interval; exactly one activation of either robot starts within any
+    activity interval of the other, so the timeline is 1-Async.
+    """
+    return [
+        Activation(robot_id=ROBOT_X, look_time=0.0, compute_duration=0.05, move_duration=0.05),
+        Activation(robot_id=ROBOT_Y, look_time=0.02, compute_duration=9.98, move_duration=0.1),
+        Activation(robot_id=ROBOT_X, look_time=1.0, compute_duration=0.05, move_duration=0.05),
+    ]
+
+
+def two_nesta_schedule() -> List[Activation]:
+    """The 2-NestA timeline of Figure 4(b).
+
+    Both of ``X``'s activity intervals are nested inside ``Y``'s single
+    interval; no pair of intervals properly overlaps.
+    """
+    return [
+        Activation(robot_id=ROBOT_Y, look_time=0.02, compute_duration=9.98, move_duration=0.1),
+        Activation(robot_id=ROBOT_X, look_time=0.1, compute_duration=0.05, move_duration=0.05),
+        Activation(robot_id=ROBOT_X, look_time=1.0, compute_duration=0.05, move_duration=0.05),
+    ]
+
+
+@dataclass
+class AndoFailureOutcome:
+    """Result of replaying one timeline on one instance with one algorithm."""
+
+    instance: AndoFailureInstance
+    schedule_name: str
+    algorithm_name: str
+    final_separation: float
+    visibility_broken: bool
+    cohesion_maintained: bool
+    result: SimulationResult = field(repr=False)
+
+    @property
+    def separation_ratio(self) -> float:
+        """Final X-Y separation as a multiple of the visibility range."""
+        return self.final_separation / self.instance.visibility_range
+
+
+def replay(
+    instance: AndoFailureInstance,
+    schedule: List[Activation],
+    *,
+    algorithm: Optional[ConvergenceAlgorithm] = None,
+    schedule_name: str = "scripted",
+) -> AndoFailureOutcome:
+    """Replay a timeline on an instance and report the final X-Y separation."""
+    algorithm = algorithm if algorithm is not None else AndoAlgorithm()
+    config = SimulationConfig(
+        visibility_range=instance.visibility_range,
+        seed=0,
+        max_activations=len(schedule) + 1,
+        convergence_epsilon=1e-9,
+        stop_at_convergence=False,
+        use_random_frames=False,
+        record_every=1,
+    )
+    simulator = Simulator(instance.positions(), algorithm, ScriptedScheduler(schedule), config)
+    result = simulator.run()
+    final = result.final_configuration
+    separation = final[ROBOT_X].distance_to(final[ROBOT_Y])
+    return AndoFailureOutcome(
+        instance=instance,
+        schedule_name=schedule_name,
+        algorithm_name=algorithm.describe(),
+        final_separation=separation,
+        visibility_broken=separation > instance.visibility_range + 1e-9,
+        cohesion_maintained=result.cohesion_maintained,
+        result=result,
+    )
+
+
+def run_figure4(
+    *,
+    instance: Optional[AndoFailureInstance] = None,
+    algorithm: Optional[ConvergenceAlgorithm] = None,
+) -> Dict[str, AndoFailureOutcome]:
+    """Replay both Figure-4 timelines (1-Async and 2-NestA) on an instance."""
+    instance = instance if instance is not None else canonical_instance()
+    schedule_a = one_async_schedule()
+    schedule_b = two_nesta_schedule()
+    if not validate_k_async(schedule_a, 1):
+        raise AssertionError("the Figure-4(a) timeline must satisfy the 1-Async constraint")
+    if not validate_k_nesta(schedule_b, 2):
+        raise AssertionError("the Figure-4(b) timeline must satisfy the 2-NestA constraint")
+    return {
+        "1-async": replay(instance, schedule_a, algorithm=algorithm, schedule_name="1-async"),
+        "2-nesta": replay(instance, schedule_b, algorithm=algorithm, schedule_name="2-nesta"),
+    }
+
+
+def search_failure_instances(
+    *,
+    n_candidates: int = 500,
+    seed: int = 0,
+    visibility_range: float = 1.0,
+    schedule_name: str = "1-async",
+) -> Tuple[Optional[AndoFailureOutcome], int]:
+    """Randomised search over the Figure-4 family for separating instances.
+
+    Samples admissible placements of the three stationary robots around the
+    canonical geometry, replays the requested timeline with Ando's
+    algorithm, and returns the best (largest-separation) outcome together
+    with the number of admissible candidates that broke visibility.  Used
+    by the robustness bench to show the failure is not knife-edge.
+    """
+    rng = np.random.default_rng(seed)
+    schedule = one_async_schedule() if schedule_name == "1-async" else two_nesta_schedule()
+    best: Optional[AndoFailureOutcome] = None
+    breaking = 0
+    v = visibility_range
+    for _ in range(n_candidates):
+        a = Point.polar(v * rng.uniform(0.9, 1.0), rng.uniform(-2.0, -1.1))
+        b = Point(v, 0.0) + Point.polar(v * rng.uniform(0.9, 1.0), rng.uniform(1.1, 2.0))
+        c = Point.of(b) + Point.polar(v * rng.uniform(0.7, 1.0), rng.uniform(2.0, 3.4))
+        instance = AndoFailureInstance(
+            x0=Point(v, 0.0), y0=Point(0.0, 0.0), a=a, b=b, c=c, visibility_range=v
+        )
+        if not instance.is_admissible():
+            continue
+        outcome = replay(instance, schedule, schedule_name=schedule_name)
+        if outcome.visibility_broken:
+            breaking += 1
+        if best is None or outcome.final_separation > best.final_separation:
+            best = outcome
+    return best, breaking

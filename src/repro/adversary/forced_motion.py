@@ -1,0 +1,122 @@
+"""Forced-motion witnesses (Section 7.2.1 of the paper).
+
+The impossibility argument needs the following fact: when a robot ``Q``
+sees two neighbours at perceived distance (exactly) the visibility
+threshold and perceived turn angle somewhere in ``[phi(1-lambda), phi]``,
+no algorithm may refuse to move it — otherwise the adversary could build a
+frozen, never-converging configuration out of regular polygons (or of
+alternating-turn closed chains) whose true turn angles are confusable with
+the perceived ones.
+
+Concretely the paper observes that for any ``phi > 0`` and skew bound
+``0 < lambda < 1``, choosing an integer ``M > 4*pi / (lambda*phi)``
+guarantees two *consecutive* multiples of ``2*pi/M`` inside the perceived
+interval ``[phi(1-lambda), phi]``; an algorithm that freezes at one of
+them must move at the other, hence motion can always be forced.  This
+module computes those witnesses explicitly so the impossibility bench can
+table them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class ForcedMotionWitness:
+    """Two confusable special angles inside the perceived turn-angle interval."""
+
+    turn_angle: float
+    skew: float
+    modulus: int
+    index: int
+
+    @property
+    def lower_special_angle(self) -> float:
+        """The smaller confusable angle ``2*pi*index / modulus``."""
+        return 2.0 * math.pi * self.index / self.modulus
+
+    @property
+    def upper_special_angle(self) -> float:
+        """The larger confusable angle ``2*pi*(index+1) / modulus``."""
+        return 2.0 * math.pi * (self.index + 1) / self.modulus
+
+    @property
+    def perceived_interval(self) -> tuple:
+        """The interval of turn angles the robot could be perceiving."""
+        return (self.turn_angle * (1.0 - self.skew), self.turn_angle)
+
+    def is_valid(self, *, eps: float = 1e-12) -> bool:
+        """Both special angles lie inside the perceived interval."""
+        low, high = self.perceived_interval
+        return (
+            low - eps <= self.lower_special_angle
+            and self.upper_special_angle <= high + eps
+            and self.index >= 1
+        )
+
+
+def paper_modulus(turn_angle: float, skew: float) -> int:
+    """The modulus ``M`` the paper's argument uses: the first integer above ``4*pi/(lambda*phi)``."""
+    if turn_angle <= 0.0 or not 0.0 < skew < 1.0:
+        raise ValueError("need a positive turn angle and a skew in (0, 1)")
+    return int(math.floor(4.0 * math.pi / (skew * turn_angle))) + 1
+
+
+def forced_motion_witness(
+    turn_angle: float, skew: float, *, modulus: Optional[int] = None
+) -> ForcedMotionWitness:
+    """Exhibit two consecutive multiples of ``2*pi/M`` inside ``[phi(1-lambda), phi]``.
+
+    Raises :class:`ValueError` when no witness exists for the requested
+    modulus (which the paper's bound guarantees cannot happen for
+    ``M > 4*pi/(lambda*phi)``).
+    """
+    if modulus is None:
+        modulus = paper_modulus(turn_angle, skew)
+    low = turn_angle * (1.0 - skew)
+    high = turn_angle
+    index = int(math.ceil(low * modulus / (2.0 * math.pi) - 1e-12))
+    index = max(index, 1)
+    witness = ForcedMotionWitness(
+        turn_angle=turn_angle, skew=skew, modulus=modulus, index=index
+    )
+    if not witness.is_valid():
+        raise ValueError(
+            f"no pair of consecutive multiples of 2*pi/{modulus} lies in "
+            f"[{low:.6g}, {high:.6g}]; increase the modulus"
+        )
+    return witness
+
+
+def smallest_witness_modulus(turn_angle: float, skew: float, *, limit: int = 10_000_000) -> int:
+    """The smallest modulus admitting a witness (for comparison with the paper's bound)."""
+    if turn_angle <= 0.0 or not 0.0 < skew < 1.0:
+        raise ValueError("need a positive turn angle and a skew in (0, 1)")
+    low = turn_angle * (1.0 - skew)
+    high = turn_angle
+    for modulus in range(2, limit):
+        index = int(math.ceil(low * modulus / (2.0 * math.pi) - 1e-12))
+        if index < 1:
+            index = 1
+        if 2.0 * math.pi * (index + 1) / modulus <= high + 1e-15 and (
+            2.0 * math.pi * index / modulus >= low - 1e-15
+        ):
+            return modulus
+    raise RuntimeError("no witness modulus found below the search limit")
+
+
+def distance_indistinguishable(true_distance: float, threshold: float, delta: float) -> bool:
+    """Could ``true_distance`` be perceived as exactly ``threshold``?
+
+    With relative distance error ``delta``, any true distance in
+    ``(threshold / (1 + delta), threshold]`` — in particular anything in
+    ``(threshold (1 - delta), threshold]`` — admits a perception equal to
+    the visibility threshold, which is what the Section-7 construction
+    needs for every chain edge it manipulates.
+    """
+    if true_distance > threshold:
+        return False
+    return true_distance * (1.0 + delta) >= threshold

@@ -1,0 +1,249 @@
+"""The full Section-7 impossibility construction, end to end.
+
+Given a turn angle ``psi`` and error bounds ``delta`` (relative distance
+error) and ``lam`` (compass skew), this driver
+
+1. builds the spiral initial configuration (Figure 19, left);
+2. computes the move the hub robot ``X_A`` is *forced* to plan from its
+   initial view of ``X_B`` and ``X_C`` — both for the abstract argument
+   (any positive ``zeta`` into the ``C``-side half of the sector ``C A B``)
+   and concretely for representative natural algorithms (the paper's
+   KKNPS rule and Ando et al.'s rule), whose planned moves land exactly on
+   the sector bisector;
+3. runs the sliver-flattening adversary (Figures 20-22) that drags the
+   whole tail onto the final chord while every individual move stays
+   inside the neighbour lens and changes hub distances by ``O(psi^2)``;
+4. exhibits the forced-motion witnesses (Section 7.2.1) for the turn
+   angles the adversary relies on; and
+5. finally lets ``X_A``'s pending move complete and checks that the edge
+   ``(X_A, X_B)`` of the initial visibility graph is broken — i.e. the
+   execution violates Cohesive Convergence — and that the final visibility
+   graph splits into linearly separable components.
+
+Everything the paper's argument needs is verified numerically and
+reported in an :class:`ImpossibilityReport`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..algorithms.ando import AndoAlgorithm
+from ..algorithms.kknps import KKNPSAlgorithm
+from ..geometry.angles import normalize_angle
+from ..geometry.point import Point
+from ..model.configuration import Configuration
+from ..model.snapshot import Snapshot
+from ..model.visibility import connected_components, is_linearly_separable, visibility_edges
+from .forced_motion import ForcedMotionWitness, forced_motion_witness
+from .sliver import FlatteningResult, flatten_spiral
+from .spiral import B_INDEX, C_INDEX, HUB_INDEX, SpiralConfiguration, build_spiral
+
+
+@dataclass(frozen=True)
+class HubMove:
+    """The move a representative algorithm plans for the hub from its initial view."""
+
+    algorithm_name: str
+    displacement: Point
+    zeta: float
+    direction_angle: float
+    in_c_side_half_sector: bool
+
+
+@dataclass
+class ImpossibilityReport:
+    """Everything the Section-7 verification bench reports."""
+
+    spiral: SpiralConfiguration
+    flattening: FlatteningResult
+    hub_moves: List[HubMove]
+    witnesses: List[ForcedMotionWitness]
+    delta: float
+    skew: float
+    required_zeta: float
+    separations: Dict[str, float] = field(default_factory=dict)
+    visibility_broken: Dict[str, bool] = field(default_factory=dict)
+    final_components: int = 0
+    components_linearly_separable: bool = False
+
+    @property
+    def construction_is_legal(self) -> bool:
+        """Every adversarial move stayed inside the neighbour lens."""
+        return self.flattening.lens_violations == 0
+
+    @property
+    def drift_within_paper_bound(self) -> bool:
+        """Every robot's hub-distance drift is within the paper's ``4*psi^2`` bound."""
+        return self.flattening.max_abs_drift <= self.flattening.paper_total_drift_bound() + 1e-9
+
+    @property
+    def edges_indistinguishable_from_threshold(self) -> bool:
+        """All manipulated chain edges stayed within the distance-error band."""
+        return self.flattening.edges_stay_indistinguishable(self.delta)
+
+    @property
+    def any_representative_breaks_visibility(self) -> bool:
+        """At least one representative forced hub move breaks the (X_A, X_B) edge."""
+        return any(self.visibility_broken.values())
+
+    def summary_lines(self) -> List[str]:
+        """Human-readable summary used by the bench and the example script."""
+        spiral = self.spiral
+        flat = self.flattening
+        lines = [
+            f"spiral: psi={spiral.psi:.3f}, tail robots={spiral.n_tail}, "
+            f"total robots={spiral.n_robots} "
+            f"(paper bound ~{spiral.predicted_robot_count():.0f})",
+            f"total chord rotation: {spiral.total_rotation():.4f} rad "
+            f"(target {spiral.target_rotation:.4f})",
+            f"flattening: {flat.total_moves} adversarial activations, "
+            f"{flat.stages_completed} stages, lens violations={flat.lens_violations}",
+            f"max |hub-distance drift| = {flat.max_abs_drift:.3e} "
+            f"(paper bound 4*psi^2 = {flat.paper_total_drift_bound():.3e})",
+            f"chain edge lengths stayed in [{flat.min_edge_length_seen:.4f}, "
+            f"{flat.max_edge_length_seen:.4f}] (delta needed <= {self.delta})",
+            f"required zeta for separation: {self.required_zeta:.4f}",
+        ]
+        for move in self.hub_moves:
+            broken = self.visibility_broken.get(move.algorithm_name, False)
+            separation = self.separations.get(move.algorithm_name, float("nan"))
+            lines.append(
+                f"hub move by {move.algorithm_name}: zeta={move.zeta:.4f} at "
+                f"{math.degrees(move.direction_angle):.1f} deg -> final |A' X_B| = "
+                f"{separation:.4f} ({'BROKEN' if broken else 'kept'})"
+            )
+        lines.append(
+            f"final visibility graph components: {self.final_components}, "
+            f"linearly separable: {self.components_linearly_separable}"
+        )
+        return lines
+
+
+def hub_snapshot(spiral: SpiralConfiguration, *, reveal_range: bool) -> Snapshot:
+    """The hub's initial snapshot: it sees exactly ``X_B`` and ``X_C``."""
+    hub = spiral.hub
+    visible = [
+        p - hub
+        for p in spiral.positions()[1:]
+        if hub.distance_to(p) <= spiral.visibility_range + 1e-12
+    ]
+    return Snapshot(
+        neighbours=tuple(visible),
+        visibility_range=spiral.visibility_range if reveal_range else None,
+    )
+
+
+def representative_hub_moves(spiral: SpiralConfiguration) -> List[HubMove]:
+    """Hub moves planned by the representative natural algorithms."""
+    moves: List[HubMove] = []
+    bisector = spiral.bisector_direction()
+    to_b = spiral.hub.direction_to(spiral.tail[0])
+    to_c = spiral.hub.direction_to(spiral.c_robot)
+    for algorithm in (KKNPSAlgorithm(k=1), AndoAlgorithm()):
+        snapshot = hub_snapshot(spiral, reveal_range=algorithm.requires_visibility_range)
+        displacement = algorithm.compute(snapshot)
+        zeta = displacement.norm()
+        angle = displacement.angle() if zeta > 0.0 else 0.0
+        # The move lies in the C-side half of the sector when it is at least
+        # as close (in angle) to the C direction as to the B direction.
+        if zeta > 0.0:
+            gap_to_c = abs(normalize_angle(angle - to_c.angle()))
+            gap_to_b = abs(normalize_angle(angle - to_b.angle()))
+            in_half = gap_to_c <= gap_to_b + 1e-9
+        else:
+            in_half = False
+        moves.append(
+            HubMove(
+                algorithm_name=algorithm.describe(),
+                displacement=displacement,
+                zeta=zeta,
+                direction_angle=angle,
+                in_c_side_half_sector=in_half,
+            )
+        )
+    return moves
+
+
+def required_zeta(spiral: SpiralConfiguration, flattening: FlatteningResult) -> float:
+    """Smallest hub move along the sector bisector that breaks the (X_A, X_B) edge.
+
+    Computed directly from the realised final position of ``X_B``: we need
+    ``|zeta * u_bisector - B_final| > V``; solving the quadratic for the
+    boundary case gives the threshold.
+    """
+    v = spiral.visibility_range
+    b_final = flattening.b_final - spiral.hub
+    u = spiral.bisector_direction()
+    d = b_final.norm()
+    cos_angle = u.dot(b_final) / d if d > 0.0 else 1.0
+    # |zeta*u - b|^2 = zeta^2 - 2*zeta*d*cos + d^2 > v^2
+    a = 1.0
+    b_coeff = -2.0 * d * cos_angle
+    c_coeff = d * d - v * v
+    discriminant = b_coeff * b_coeff - 4.0 * a * c_coeff
+    if c_coeff > 0.0:
+        # B_final is already farther than V from the hub: any positive zeta works.
+        return 0.0
+    if discriminant < 0.0:
+        return math.inf
+    return (-b_coeff + math.sqrt(discriminant)) / 2.0
+
+
+def run_impossibility(
+    psi: float = 0.3,
+    *,
+    delta: float = 0.05,
+    skew: float = 0.1,
+    visibility_range: float = 1.0,
+    target_rotation: float = 3.0 * math.pi / 8.0,
+    max_passes_per_stage: int = 60,
+) -> ImpossibilityReport:
+    """Run the whole Section-7 construction and verify its claims numerically."""
+    spiral = build_spiral(
+        psi, visibility_range=visibility_range, target_rotation=target_rotation
+    )
+    hub_moves = representative_hub_moves(spiral)
+    flattening = flatten_spiral(spiral, max_passes_per_stage=max_passes_per_stage)
+
+    # Forced-motion witnesses for the turn angles the adversary manipulates:
+    # the full sliver angle psi and the residual essential-collinearity angle.
+    witnesses = [forced_motion_witness(psi, skew)]
+    residual = psi / (2.0 * spiral.n_tail)
+    witnesses.append(forced_motion_witness(residual, skew))
+
+    report = ImpossibilityReport(
+        spiral=spiral,
+        flattening=flattening,
+        hub_moves=hub_moves,
+        witnesses=witnesses,
+        delta=delta,
+        skew=skew,
+        required_zeta=required_zeta(spiral, flattening),
+    )
+
+    # Final configuration: hub moved by each representative zeta, tail flattened.
+    for move in hub_moves:
+        hub_final = spiral.hub + move.displacement
+        separation = hub_final.distance_to(flattening.b_final)
+        report.separations[move.algorithm_name] = separation
+        report.visibility_broken[move.algorithm_name] = (
+            separation > visibility_range + 1e-9
+        )
+
+    # Component structure of the final configuration, using the first
+    # representative move that breaks visibility (if any).
+    breaking = [m for m in hub_moves if report.visibility_broken.get(m.algorithm_name)]
+    chosen = breaking[0] if breaking else hub_moves[0]
+    final_positions = [spiral.hub + chosen.displacement, spiral.c_robot, *flattening.final_tail]
+    edges = visibility_edges(final_positions, visibility_range)
+    components = connected_components(len(final_positions), edges)
+    report.final_components = len(components)
+    if len(components) >= 2:
+        components_sorted = sorted(components, key=len)
+        report.components_linearly_separable = is_linearly_separable(
+            final_positions, components_sorted[0], set().union(*components_sorted[1:])
+        )
+    return report

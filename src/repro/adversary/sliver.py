@@ -1,0 +1,251 @@
+"""Sliver flattening: the adversary's tail manipulation (Section 7.2.2-7.2.3).
+
+The Section-7 adversary repeatedly activates tail robots so that, stage by
+stage, the robots ``X_0 .. X_{i-1}`` already lying (essentially) on the
+chord ``A P_{i-1}`` end up lying on the next chord ``A P_i``.  Each
+individual activation collapses one *thin triangle*: a robot ``Q`` whose
+chain neighbours ``R`` (inner) and ``P`` (outer) are at distance
+(essentially) ``V`` is moved to a point (essentially) collinear with them.
+Every such move
+
+* stays inside the *lens* — the intersection of the closed ``V``-disks
+  around ``R`` and ``P`` — which is all a connectivity-preserving
+  algorithm can be sure of, and
+* changes the robot's distance to the hub ``A`` by at most ``phi^2 / 2``,
+  where ``phi`` is the turn angle being collapsed, so the accumulated
+  change stays ``O(psi^2)`` per robot.
+
+This module performs the flattening operationally (a Gauss-Seidel-style
+sweep of triangle collapses, mirroring the paper's recursive description)
+and records, for every move, the quantities the verification bench checks
+against the paper's bounds.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..geometry.point import Point
+from ..geometry.segment import Segment, foot_of_perpendicular
+from ..geometry.tolerances import EPS
+from .spiral import SpiralConfiguration
+
+
+@dataclass(frozen=True)
+class CollapseMove:
+    """One tail-robot activation performed by the adversary."""
+
+    stage: int
+    robot_index: int
+    old_position: Point
+    new_position: Point
+    turn_before: float
+    within_lens: bool
+    hub_distance_change: float
+    inner_distance_after: float
+    outer_distance_after: float
+
+    @property
+    def move_length(self) -> float:
+        """Length of the move."""
+        return self.old_position.distance_to(self.new_position)
+
+    def respects_paper_drift_bound(self, *, slack: float = 1e-9) -> bool:
+        """Per-move bound: the hub-distance change is at most ``turn^2 / 2``."""
+        return abs(self.hub_distance_change) <= self.turn_before * self.turn_before / 2.0 + slack
+
+
+@dataclass
+class FlatteningResult:
+    """Aggregate outcome of flattening the whole spiral tail."""
+
+    spiral: SpiralConfiguration
+    final_tail: List[Point]
+    total_moves: int
+    lens_violations: int
+    drift_bound_violations: int
+    max_single_move_length: float
+    min_edge_length_seen: float
+    max_edge_length_seen: float
+    hub_distance_initial: List[float]
+    hub_distance_final: List[float]
+    sampled_moves: List[CollapseMove] = field(default_factory=list)
+    stages_completed: int = 0
+    max_passes_used: int = 0
+
+    @property
+    def per_robot_drift(self) -> List[float]:
+        """Net change of each tail robot's distance to the hub."""
+        return [
+            final - initial
+            for initial, final in zip(self.hub_distance_initial, self.hub_distance_final)
+        ]
+
+    @property
+    def max_abs_drift(self) -> float:
+        """Largest absolute hub-distance drift over all tail robots."""
+        return max(abs(d) for d in self.per_robot_drift)
+
+    @property
+    def b_final(self) -> Point:
+        """Final position of ``X_B`` (tail robot 0)."""
+        return self.final_tail[0]
+
+    def paper_total_drift_bound(self) -> float:
+        """The paper's bound ``4 * psi^2`` on any robot's total hub-distance drift."""
+        return 4.0 * self.spiral.psi * self.spiral.psi
+
+    def edges_stay_indistinguishable(self, delta: float) -> bool:
+        """All chain edges stayed in ``((1 - delta) V, V]`` throughout the flattening."""
+        v = self.spiral.visibility_range
+        return (
+            self.min_edge_length_seen > (1.0 - delta) * v
+            and self.max_edge_length_seen <= v + 1e-9
+        )
+
+
+def collapse_point(hub: Point, inner: Point, current: Point, outer: Point) -> Point:
+    """The destination of one triangle collapse.
+
+    The moved robot should become collinear with ``inner`` and ``outer``.
+    Among collinear points we prefer the one at the robot's current
+    distance from the hub (so the per-move hub-distance change is zero);
+    when the supporting line does not reach that circle we fall back to the
+    orthogonal projection of the current position onto the line.
+    """
+    line = Segment(inner, outer)
+    direction = outer - inner
+    length = direction.norm()
+    if length <= EPS:
+        return foot_of_perpendicular(current, inner, outer)
+    u = direction / length
+    # Intersect the line inner + t*u with the circle of radius |hub->current| about the hub.
+    radius = hub.distance_to(current)
+    w = inner - hub
+    b = 2.0 * w.dot(u)
+    c = w.norm_squared() - radius * radius
+    discriminant = b * b - 4.0 * c
+    if discriminant < 0.0:
+        return foot_of_perpendicular(current, inner, outer)
+    sqrt_disc = math.sqrt(discriminant)
+    candidates = [inner + u * ((-b - sqrt_disc) / 2.0), inner + u * ((-b + sqrt_disc) / 2.0)]
+    return min(candidates, key=lambda p: p.distance_to(current))
+
+
+def _turn_magnitude(inner: Point, middle: Point, outer: Point) -> float:
+    """Unsigned turn angle at ``middle`` along the chain ``inner -> middle -> outer``."""
+    a = middle - inner
+    b = outer - middle
+    if a.norm() <= EPS or b.norm() <= EPS:
+        return 0.0
+    cos_value = max(-1.0, min(1.0, a.dot(b) / (a.norm() * b.norm())))
+    return math.acos(cos_value)
+
+
+def flatten_spiral(
+    spiral: SpiralConfiguration,
+    *,
+    collinearity_tolerance: Optional[float] = None,
+    max_passes_per_stage: int = 60,
+    sample_moves: int = 2000,
+) -> FlatteningResult:
+    """Run the full adversarial flattening of the spiral tail.
+
+    Stage ``i`` (for each tail robot beyond the first) sweeps the chain
+    ``X_{i-1}, ..., X_0`` repeatedly, collapsing the thin triangle at each
+    robot, until every turn angle along ``A, X_0, ..., X_i`` is below the
+    collinearity tolerance (default: ``psi / (2 * n_tail)``, the paper's
+    "essential collinearity").
+    """
+    v = spiral.visibility_range
+    n_tail = spiral.n_tail
+    tolerance = (
+        collinearity_tolerance
+        if collinearity_tolerance is not None
+        else spiral.psi / (2.0 * n_tail)
+    )
+    hub = spiral.hub
+    chain: List[Point] = list(spiral.tail)
+    hub_distance_initial = [hub.distance_to(p) for p in chain]
+
+    total_moves = 0
+    lens_violations = 0
+    drift_bound_violations = 0
+    max_single_move = 0.0
+    min_edge = math.inf
+    max_edge = 0.0
+    sampled: List[CollapseMove] = []
+    max_passes_used = 0
+
+    def edge_lengths() -> List[float]:
+        lengths = [hub.distance_to(chain[0])]
+        lengths.extend(chain[j].distance_to(chain[j + 1]) for j in range(len(chain) - 1))
+        return lengths
+
+    for length in edge_lengths():
+        min_edge = min(min_edge, length)
+        max_edge = max(max_edge, length)
+
+    stages_completed = 0
+    for stage in range(1, n_tail):
+        # Robots 0 .. stage-1 must become essentially collinear with the hub
+        # and the (unmoved) robot at index ``stage``.
+        for pass_index in range(max_passes_per_stage):
+            worst_turn = 0.0
+            for j in range(stage - 1, -1, -1):
+                inner = hub if j == 0 else chain[j - 1]
+                outer = chain[j + 1]
+                current = chain[j]
+                turn = _turn_magnitude(inner, current, outer)
+                worst_turn = max(worst_turn, turn)
+                if turn <= tolerance:
+                    continue
+                new_position = collapse_point(hub, inner, current, outer)
+                inner_distance = new_position.distance_to(inner)
+                outer_distance = new_position.distance_to(outer)
+                within_lens = inner_distance <= v + 1e-9 and outer_distance <= v + 1e-9
+                hub_change = hub.distance_to(new_position) - hub.distance_to(current)
+                move = CollapseMove(
+                    stage=stage,
+                    robot_index=j,
+                    old_position=current,
+                    new_position=new_position,
+                    turn_before=turn,
+                    within_lens=within_lens,
+                    hub_distance_change=hub_change,
+                    inner_distance_after=inner_distance,
+                    outer_distance_after=outer_distance,
+                )
+                chain[j] = new_position
+                total_moves += 1
+                if not within_lens:
+                    lens_violations += 1
+                if not move.respects_paper_drift_bound():
+                    drift_bound_violations += 1
+                max_single_move = max(max_single_move, move.move_length)
+                min_edge = min(min_edge, inner_distance, outer_distance)
+                max_edge = max(max_edge, inner_distance, outer_distance)
+                if len(sampled) < sample_moves:
+                    sampled.append(move)
+            max_passes_used = max(max_passes_used, pass_index + 1)
+            if worst_turn <= tolerance:
+                break
+        stages_completed = stage
+
+    return FlatteningResult(
+        spiral=spiral,
+        final_tail=chain,
+        total_moves=total_moves,
+        lens_violations=lens_violations,
+        drift_bound_violations=drift_bound_violations,
+        max_single_move_length=max_single_move,
+        min_edge_length_seen=min_edge,
+        max_edge_length_seen=max_edge,
+        hub_distance_initial=hub_distance_initial,
+        hub_distance_final=[hub.distance_to(p) for p in chain],
+        sampled_moves=sampled,
+        stages_completed=stages_completed,
+        max_passes_used=max_passes_used,
+    )

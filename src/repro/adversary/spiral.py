@@ -1,0 +1,145 @@
+"""The Section-7 spiral initial configuration.
+
+The impossibility construction starts from three robots ``X_A`` (the hub,
+at the origin), ``X_C`` at distance ``V`` in direction -135 degrees, and
+``X_B = P_0`` at distance ``V`` in direction 0, followed by a discrete
+spiral tail ``P_1, P_2, ...`` of robots spaced exactly ``V`` apart, where
+the segment ``P_{i-1} P_i`` makes a fixed turn angle ``psi`` with the
+chord ``A P_{i-1}``.  The number of tail robots is chosen so that the
+total rotation of the chords ``A P_i`` reaches (just over) ``3*pi/8``,
+which the paper shows requires on the order of ``exp(3*pi / (8 sin psi))``
+robots.
+
+The spiral turns *away* from ``X_C`` (counter-clockwise with the layout
+above) so that, once the adversary has dragged the whole tail onto the
+final chord, the forced move of the hub — which lands in the half of the
+sector ``C A B`` closer to ``C`` — points away from ``X_B``'s final
+position and breaks their mutual visibility.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..geometry.angles import normalize_angle
+from ..geometry.point import Point
+from ..model.configuration import Configuration
+
+#: Fixed robot indices in the spiral configuration.
+HUB_INDEX = 0
+C_INDEX = 1
+B_INDEX = 2  # == first tail robot P_0
+
+
+@dataclass(frozen=True)
+class SpiralConfiguration:
+    """The generated spiral plus its construction parameters."""
+
+    psi: float
+    visibility_range: float
+    hub: Point
+    c_robot: Point
+    tail: tuple  # P_0 (= X_B), P_1, ..., P_m
+    target_rotation: float
+
+    @property
+    def n_robots(self) -> int:
+        """Total number of robots (hub + C + tail)."""
+        return 2 + len(self.tail)
+
+    @property
+    def n_tail(self) -> int:
+        """Number of tail robots (including ``X_B = P_0``)."""
+        return len(self.tail)
+
+    def positions(self) -> List[Point]:
+        """All robot positions: hub, C, then the tail from ``P_0`` outward."""
+        return [self.hub, self.c_robot, *self.tail]
+
+    def configuration(self) -> Configuration:
+        """The initial configuration (visibility range ``V``)."""
+        return Configuration.of(self.positions(), self.visibility_range)
+
+    def chord_lengths(self) -> List[float]:
+        """Distances ``d_i = |A P_i|`` from the hub to each tail robot."""
+        return [self.hub.distance_to(p) for p in self.tail]
+
+    def chord_angles(self) -> List[float]:
+        """Directions of the chords ``A -> P_i`` (radians)."""
+        return [self.hub.angle_to(p) for p in self.tail]
+
+    def total_rotation(self) -> float:
+        """Total (unsigned) rotation between the first and last chord."""
+        angles = self.chord_angles()
+        total = 0.0
+        for a, b in zip(angles, angles[1:]):
+            total += abs(normalize_angle(b - a))
+        return total
+
+    def consecutive_gamma(self) -> List[float]:
+        """The per-step chord rotations ``gamma_i`` (paper: ``~ sin(psi) / d_i``)."""
+        angles = self.chord_angles()
+        return [abs(normalize_angle(b - a)) for a, b in zip(angles, angles[1:])]
+
+    def final_chord_direction(self) -> Point:
+        """Unit direction of the last chord ``A -> P_m``."""
+        return self.hub.direction_to(self.tail[-1])
+
+    def bisector_direction(self) -> Point:
+        """Unit direction of the bisector of the (convex) sector ``C A B``."""
+        to_b = self.hub.direction_to(self.tail[0])
+        to_c = self.hub.direction_to(self.c_robot)
+        bisector = to_b + to_c
+        return bisector.unit()
+
+    def predicted_robot_count(self) -> float:
+        """The paper's bound ``3 + exp(3*pi / (8 sin psi))`` on the robots needed."""
+        return 3.0 + math.exp(3.0 * math.pi / (8.0 * math.sin(self.psi)))
+
+
+def build_spiral(
+    psi: float = 0.25,
+    *,
+    visibility_range: float = 1.0,
+    target_rotation: float = 3.0 * math.pi / 8.0,
+    max_tail: int = 200_000,
+) -> SpiralConfiguration:
+    """Generate the spiral configuration for turn angle ``psi``.
+
+    Tail robots are appended until the chord ``A -> P_i`` has rotated by at
+    least ``target_rotation`` away from the initial chord ``A -> P_0``.
+    """
+    if not 0.0 < psi < math.pi / 4.0:
+        raise ValueError("psi must be a small positive turn angle (0 < psi < pi/4)")
+    if visibility_range <= 0.0:
+        raise ValueError("visibility range must be positive")
+    v = visibility_range
+    hub = Point(0.0, 0.0)
+    c_robot = Point.polar(v, -3.0 * math.pi / 4.0)
+    tail: List[Point] = [Point(v, 0.0)]
+
+    initial_chord_angle = hub.angle_to(tail[0])
+    while len(tail) < max_tail:
+        previous = tail[-1]
+        chord_direction = hub.angle_to(previous)
+        rotated = abs(normalize_angle(chord_direction - initial_chord_angle))
+        if rotated >= target_rotation:
+            break
+        # The next segment turns by +psi (counter-clockwise, away from X_C)
+        # relative to the chord A -> P_{i-1}.
+        segment_angle = chord_direction + psi
+        tail.append(previous + Point.polar(v, segment_angle))
+    else:
+        raise RuntimeError(
+            f"spiral did not reach the target rotation within {max_tail} tail robots"
+        )
+    return SpiralConfiguration(
+        psi=psi,
+        visibility_range=v,
+        hub=hub,
+        c_robot=c_robot,
+        tail=tuple(tail),
+        target_rotation=target_rotation,
+    )

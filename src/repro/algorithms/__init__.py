@@ -1,0 +1,42 @@
+"""Convergence algorithms: the paper's contribution and every baseline it discusses."""
+
+from .ando import AndoAlgorithm
+from .base import ConvergenceAlgorithm, StationaryAlgorithm
+from .cog import CenterOfGravityAlgorithm
+from .gcm import MinboxAlgorithm
+from .katreniak import KatreniakAlgorithm
+from .kknps import KKNPSAlgorithm
+from .safe_regions import (
+    KatreniakSafeRegion,
+    ando_safe_region,
+    ando_safe_region_local,
+    katreniak_safe_region,
+    katreniak_safe_region_local,
+    kknps_max_planned_move,
+    kknps_safe_region,
+    kknps_safe_region_local,
+    max_step_within_disks,
+    max_step_within_regions,
+    point_respects_disks,
+)
+
+__all__ = [
+    "AndoAlgorithm",
+    "CenterOfGravityAlgorithm",
+    "ConvergenceAlgorithm",
+    "KKNPSAlgorithm",
+    "KatreniakAlgorithm",
+    "KatreniakSafeRegion",
+    "MinboxAlgorithm",
+    "StationaryAlgorithm",
+    "ando_safe_region",
+    "ando_safe_region_local",
+    "katreniak_safe_region",
+    "katreniak_safe_region_local",
+    "kknps_max_planned_move",
+    "kknps_safe_region",
+    "kknps_safe_region_local",
+    "max_step_within_disks",
+    "max_step_within_regions",
+    "point_respects_disks",
+]

@@ -1,0 +1,72 @@
+"""Ando, Oasa, Suzuki and Yamashita's Go-To-The-Centre-Of-The-SEC algorithm.
+
+The classical limited-visibility convergence algorithm (reviewed in
+Section 3.1 of the paper).  Upon activation a robot:
+
+* observes every robot within the known visibility range ``V``;
+* computes the centre of the smallest enclosing circle (SEC) of the
+  observed robots (including itself);
+* moves as far as possible toward that centre while staying inside the
+  safe region of every neighbour — the disk of radius ``V/2`` centred at
+  the midpoint between the robot and that neighbour.
+
+The algorithm is correct under SSync but, as Figure 4 of the paper shows,
+fails to preserve visibility under 1-Async and 2-NestA scheduling; the
+``repro.adversary.ando_counterexample`` module reproduces that failure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..geometry.point import Point
+from ..geometry.sec import sec_center
+from ..geometry.tolerances import EPS
+from ..model.snapshot import Snapshot
+from .base import ConvergenceAlgorithm
+from .safe_regions import ando_safe_region_local, max_step_within_disks
+
+
+@dataclass
+class AndoAlgorithm(ConvergenceAlgorithm):
+    """Go-To-The-Centre-Of-The-SEC with cautious (safe-region-limited) moves."""
+
+    #: Optional cap on the length of a single move (the original algorithm
+    #: also limits moves to sigma = V/2-ish constants in some presentations;
+    #: ``None`` means the only limit is the safe regions themselves).
+    max_move: float | None = None
+
+    requires_visibility_range = True
+
+    def __post_init__(self) -> None:
+        self.name = "ando"
+        if self.max_move is not None and self.max_move <= 0.0:
+            raise ValueError("max_move must be positive when given")
+
+    def compute(self, snapshot: Snapshot) -> Point:
+        """Move toward the SEC centre of the visible robots, limited by safe regions."""
+        if not snapshot.has_neighbours():
+            return Point.origin()
+        visibility_range = self._known_range(snapshot)
+
+        points = snapshot.with_self()
+        goal = sec_center(points)
+        if goal.norm() <= EPS:
+            return Point.origin()
+        if self.max_move is not None and goal.norm() > self.max_move:
+            goal = goal.unit() * self.max_move
+
+        safe_disks = [
+            ando_safe_region_local(p, visibility_range) for p in snapshot.neighbours
+        ]
+        return max_step_within_disks(Point.origin(), goal, safe_disks)
+
+    def safe_regions(self, snapshot: Snapshot):
+        """The per-neighbour safe disks of this activation (for tests/benches)."""
+        visibility_range = self._known_range(snapshot)
+        return [ando_safe_region_local(p, visibility_range) for p in snapshot.neighbours]
+
+    def destination_respects_safe_regions(self, snapshot: Snapshot, *, eps: float = 1e-9) -> bool:
+        """Check that the computed destination lies in every neighbour's safe disk."""
+        destination = self.compute(snapshot)
+        return all(d.contains(destination, eps=eps) for d in self.safe_regions(snapshot))

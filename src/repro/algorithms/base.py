@@ -1,0 +1,70 @@
+"""The abstract interface every convergence algorithm implements.
+
+An algorithm in the OBLOT model is a pure function from a snapshot (the
+perceived relative positions of visible robots, in the robot's private
+coordinate system) to a destination point in that same coordinate system.
+It has no memory across activations, no identity, and no access to global
+information beyond what the snapshot carries.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+from ..geometry.point import Point
+from ..model.snapshot import Snapshot
+
+
+class ConvergenceAlgorithm(abc.ABC):
+    """A memoryless motion rule: snapshot in, destination out.
+
+    Destinations are relative to the observing robot (which sits at the
+    origin of its snapshot); returning the origin means a nil movement.
+    """
+
+    #: Human-readable name used in experiment tables.
+    name: str = "abstract"
+
+    #: Whether the algorithm needs the common visibility range ``V`` to be
+    #: revealed in its snapshots (Ando et al.'s algorithm does; the paper's
+    #: algorithm and Katreniak's do not).
+    requires_visibility_range: bool = False
+
+    #: Whether the algorithm assumes unlimited visibility (the CoG and GCM
+    #: baselines from Section 1.2.2 do).
+    assumes_unlimited_visibility: bool = False
+
+    @abc.abstractmethod
+    def compute(self, snapshot: Snapshot) -> Point:
+        """Destination for this activation, in snapshot-local coordinates."""
+
+    # -- conveniences shared by implementations ---------------------------------
+    def _known_range(self, snapshot: Snapshot) -> float:
+        """The visibility range the algorithm is entitled to use.
+
+        Raises when the algorithm declared it needs ``V`` but the engine
+        did not reveal it.
+        """
+        if snapshot.visibility_range is None:
+            raise ValueError(
+                f"{self.name} requires the visibility range but the snapshot does not carry it"
+            )
+        return snapshot.visibility_range
+
+    def describe(self) -> str:
+        """One-line description used in reports."""
+        return self.name
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.describe()}>"
+
+
+class StationaryAlgorithm(ConvergenceAlgorithm):
+    """An algorithm that never moves (useful as a control in tests)."""
+
+    name = "stationary"
+
+    def compute(self, snapshot: Snapshot) -> Point:
+        """Always perform the nil movement."""
+        return Point.origin()

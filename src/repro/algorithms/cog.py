@@ -1,0 +1,41 @@
+"""The Go-To-The-Centre-Of-Gravity (CoG) algorithm of Cohen and Peleg.
+
+The unlimited-visibility baseline reviewed in Section 1.2.2 of the paper:
+every activated robot moves to the centre of gravity (arithmetic mean) of
+all robot positions.  Cohen and Peleg proved convergence in Async with a
+convergence rate of ``O(n^2)`` rounds to halve the diameter of the convex
+hull; the ``bench_baselines_unlimited`` bench measures that growth against
+the asymptotically optimal GCM baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..geometry.point import Point, centroid
+from ..model.snapshot import Snapshot
+from .base import ConvergenceAlgorithm
+
+
+@dataclass
+class CenterOfGravityAlgorithm(ConvergenceAlgorithm):
+    """Move to (a fraction of the way toward) the centre of gravity."""
+
+    #: Fraction of the distance toward the centre of gravity to plan; 1.0
+    #: is the classical algorithm.
+    step_fraction: float = 1.0
+
+    assumes_unlimited_visibility = True
+    requires_visibility_range = False
+
+    def __post_init__(self) -> None:
+        self.name = "cog"
+        if not 0.0 < self.step_fraction <= 1.0:
+            raise ValueError("step_fraction must lie in (0, 1]")
+
+    def compute(self, snapshot: Snapshot) -> Point:
+        """Destination: the centre of gravity of all visible robots and itself."""
+        if not snapshot.has_neighbours():
+            return Point.origin()
+        goal = centroid(snapshot.with_self())
+        return goal * self.step_fraction

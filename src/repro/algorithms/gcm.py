@@ -1,0 +1,42 @@
+"""The Go-To-The-Centre-Of-Minbox (GCM) algorithm of Cord-Landwehr et al.
+
+The asymptotically optimal unlimited-visibility convergence baseline
+reviewed in Section 1.2.2 of the paper: every activated robot moves toward
+the centre of the minimal axis-aligned box containing all robot positions
+(assuming agreement on the coordinate axes).  With full synchrony the
+diameter of the convex hull halves in a constant number of rounds, versus
+the ``Theta(n)``-to-``O(n^2)`` behaviour of the centre-of-gravity
+algorithm; ``bench_baselines_unlimited`` reproduces that contrast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..geometry.minbox import minbox_center
+from ..geometry.point import Point
+from ..model.snapshot import Snapshot
+from .base import ConvergenceAlgorithm
+
+
+@dataclass
+class MinboxAlgorithm(ConvergenceAlgorithm):
+    """Move to (a fraction of the way toward) the centre of the minbox."""
+
+    #: Fraction of the distance toward the minbox centre to plan.
+    step_fraction: float = 1.0
+
+    assumes_unlimited_visibility = True
+    requires_visibility_range = False
+
+    def __post_init__(self) -> None:
+        self.name = "gcm"
+        if not 0.0 < self.step_fraction <= 1.0:
+            raise ValueError("step_fraction must lie in (0, 1]")
+
+    def compute(self, snapshot: Snapshot) -> Point:
+        """Destination: the centre of the minimal axis-aligned bounding box."""
+        if not snapshot.has_neighbours():
+            return Point.origin()
+        goal = minbox_center(snapshot.with_self())
+        return goal * self.step_fraction

@@ -1,0 +1,188 @@
+"""The paper's convergence algorithm (Kirkpatrick-Kostitsyna-Navarra-Prencipe-Santoro).
+
+Upon activation a robot ``Y``:
+
+1. observes its visible neighbours and sets ``V_Y`` to the distance of the
+   farthest one (a tentative lower bound on the unknown range ``V``);
+2. classifies neighbours farther than ``V_Y / 2`` as *distant*;
+3. builds, for every distant neighbour ``X``, the ``1/k``-scaled safe
+   region ``S^{V_Y/(8k)}_{Y}(X)``: a disk of radius ``V_Y/(8k)`` centred at
+   that same distance from ``Y`` toward ``X``;
+4. chooses its destination (Section 5 of the paper):
+
+   * if the distant neighbours do not fit in an open half-plane through
+     ``Y`` (``Y`` is in the convex hull of their directions) the
+     intersection of the safe regions is ``Y`` itself, so ``Y`` stays put;
+   * with exactly one distant neighbour, the destination is the centre of
+     its safe region;
+   * with two or more, the destination is the midpoint of the segment
+     joining the centres of the safe regions of the two distant
+     neighbours that bound the smallest sector containing all distant
+     neighbours (the extreme directions).
+
+Every planned move has length at most ``V_Y / 8`` (at most ``V/8``).
+
+Error tolerance (Section 6.1): a bounded relative distance error
+``delta`` is handled by scaling the perceived ``V_Y`` by ``1/(1+delta)``;
+a bounded-skew compass distortion is handled by shrinking the safe-region
+radius so that it is contained in the intersection of the safe regions of
+all possible true neighbour directions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..geometry.angles import extreme_directions, fits_in_open_halfplane
+from ..geometry.point import Point
+from ..geometry.tolerances import EPS
+from ..model.snapshot import Snapshot
+from .base import ConvergenceAlgorithm
+from .safe_regions import kknps_safe_region_local
+
+
+@dataclass
+class KKNPSAlgorithm(ConvergenceAlgorithm):
+    """The paper's k-Async cohesive-convergence algorithm.
+
+    Parameters
+    ----------
+    k:
+        The asynchrony bound the system is promised to respect; the safe
+        regions (and hence every move) are scaled by ``1/k``.  ``k = 1``
+        is the base formulation (sufficient for SSync, 1-NestA and
+        1-Async).
+    distance_error_tolerance:
+        The relative distance-measurement error bound ``delta`` the
+        algorithm is designed to tolerate; the perceived ``V_Y`` is scaled
+        by ``1/(1 + delta)`` so that it never overestimates ``V``.
+    skew_tolerance:
+        The compass-skew bound ``lambda`` tolerated; safe regions are
+        shrunk by the factor ``max(0, 1 - 2*lambda)``, a conservative
+        inner approximation of the intersection over all consistent true
+        directions.
+    close_fraction:
+        The distant/close threshold as a fraction of ``V_Y`` (the paper
+        uses 1/2 and notes the choice is somewhat arbitrary).
+    radius_divisor:
+        The safe-region radius is ``V_Y / radius_divisor`` before scaling
+        (the paper uses 8; exposed for the ablation bench).
+    """
+
+    k: int = 1
+    distance_error_tolerance: float = 0.0
+    skew_tolerance: float = 0.0
+    close_fraction: float = 0.5
+    radius_divisor: float = 8.0
+
+    requires_visibility_range = False
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError("the asynchrony bound k must be at least 1")
+        if self.distance_error_tolerance < 0.0 or self.distance_error_tolerance >= 1.0:
+            raise ValueError("distance error tolerance must lie in [0, 1)")
+        if self.skew_tolerance < 0.0 or self.skew_tolerance >= 0.5:
+            raise ValueError("skew tolerance must lie in [0, 0.5)")
+        if not 0.0 < self.close_fraction < 1.0:
+            raise ValueError("close_fraction must lie in (0, 1)")
+        if self.radius_divisor < 4.0:
+            raise ValueError("radius divisor below 4 violates the safe-region analysis")
+        self.name = f"kknps(k={self.k})"
+
+    # -- derived quantities -------------------------------------------------------
+    @property
+    def alpha(self) -> float:
+        """The scaling factor ``1/k`` applied to the basic safe regions."""
+        return 1.0 / float(self.k)
+
+    def effective_radius(self, v_lower_bound: float) -> float:
+        """Radius of the (scaled, error-shrunk) safe region for bound ``v_lower_bound``."""
+        shrink = max(0.0, 1.0 - 2.0 * self.skew_tolerance)
+        return self.alpha * v_lower_bound / self.radius_divisor * shrink
+
+    def perceived_range_bound(self, snapshot: Snapshot) -> float:
+        """The (error-corrected) lower bound ``V_Y`` used for this activation."""
+        v_y = snapshot.farthest_distance()
+        if self.distance_error_tolerance > 0.0:
+            v_y /= 1.0 + self.distance_error_tolerance
+        return v_y
+
+    def distant_neighbours(self, snapshot: Snapshot) -> List[Point]:
+        """The perceived positions classified as distant for this activation."""
+        v_y = snapshot.farthest_distance()
+        if v_y <= EPS:
+            return []
+        threshold = self.close_fraction * v_y
+        distant = [p for p in snapshot.neighbours if p.norm() > threshold + EPS]
+        if not distant:
+            # The farthest neighbour is distant by definition.
+            distant = [max(snapshot.neighbours, key=lambda p: p.norm())]
+        return distant
+
+    def max_move_length(self, snapshot: Snapshot) -> float:
+        """Upper bound on the move this activation may plan (``V_Y/(8k)``)."""
+        return self.effective_radius(self.perceived_range_bound(snapshot))
+
+    # -- the motion rule -------------------------------------------------------------
+    def compute(self, snapshot: Snapshot) -> Point:
+        """Destination of the observing robot, in snapshot-local coordinates."""
+        if not snapshot.has_neighbours():
+            return Point.origin()
+
+        v_y = self.perceived_range_bound(snapshot)
+        if v_y <= EPS:
+            return Point.origin()
+
+        distant = self.distant_neighbours(snapshot)
+        directions = [p.unit() for p in distant if p.norm() > EPS]
+        if not directions:
+            return Point.origin()
+
+        # If the robot lies in the convex hull of its distant neighbours'
+        # directions, the intersection of the safe regions is its own
+        # location: stay put.
+        if not fits_in_open_halfplane(directions):
+            return Point.origin()
+
+        radius = self.effective_radius(v_y)
+        if radius <= EPS:
+            return Point.origin()
+
+        if len(directions) == 1:
+            return directions[0] * radius
+
+        i, j = extreme_directions(directions)
+        center_i = directions[i] * radius
+        center_j = directions[j] * radius
+        return center_i.midpoint(center_j)
+
+    def describe(self) -> str:
+        """One-line description including the error tolerances."""
+        parts = [self.name]
+        if self.distance_error_tolerance > 0.0:
+            parts.append(f"delta={self.distance_error_tolerance}")
+        if self.skew_tolerance > 0.0:
+            parts.append(f"lambda={self.skew_tolerance}")
+        if self.radius_divisor != 8.0:
+            parts.append(f"divisor={self.radius_divisor}")
+        return ", ".join(parts)
+
+    # -- introspection used by tests and the verification benches ---------------------
+    def safe_regions(self, snapshot: Snapshot):
+        """The (scaled) safe regions of this activation's distant neighbours."""
+        v_y = self.perceived_range_bound(snapshot)
+        shrink = max(0.0, 1.0 - 2.0 * self.skew_tolerance)
+        return [
+            kknps_safe_region_local(
+                p, v_y * shrink, alpha=self.alpha, radius_divisor=self.radius_divisor
+            )
+            for p in self.distant_neighbours(snapshot)
+        ]
+
+    def destination_respects_safe_regions(self, snapshot: Snapshot, *, eps: float = 1e-9) -> bool:
+        """Check that the computed destination lies in every distant safe region."""
+        destination = self.compute(snapshot)
+        return all(region.contains(destination, eps=eps) for region in self.safe_regions(snapshot))

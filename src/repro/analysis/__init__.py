@@ -1,0 +1,36 @@
+"""Analysis helpers: chain/lemma verification and plain-text reporting."""
+
+from .chains import (
+    LEMMA5_COS_BOUND,
+    ChainEdgeMargin,
+    EngagementTrace,
+    adversarial_engagement_search,
+    chain_invariant_margins,
+)
+from .congregation import (
+    Lemma6Check,
+    Lemma8Check,
+    check_lemma6_on_configuration,
+    check_lemma8_on_configuration,
+    lemma6_distance_bound,
+    lemma7_distance_bound,
+    lemma8_perimeter_decrease,
+)
+from .tables import TextTable, render_key_values
+
+__all__ = [
+    "LEMMA5_COS_BOUND",
+    "ChainEdgeMargin",
+    "EngagementTrace",
+    "Lemma6Check",
+    "Lemma8Check",
+    "TextTable",
+    "adversarial_engagement_search",
+    "chain_invariant_margins",
+    "check_lemma6_on_configuration",
+    "check_lemma8_on_configuration",
+    "lemma6_distance_bound",
+    "lemma7_distance_bound",
+    "lemma8_perimeter_decrease",
+    "render_key_values",
+]

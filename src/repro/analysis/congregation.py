@@ -1,0 +1,177 @@
+"""Numeric verification of the congregation lemmas (Section 5, Lemmas 6-8).
+
+The congregation argument bounds how close a robot with far-away
+neighbours can get to a critical point ``A_H`` of the smallest circle
+bounding the convex hull (Lemma 6), shows that staying away from ``A_H``
+is contagious along the strong-neighbour graph (Lemma 7), and converts an
+empty ``d``-neighbourhood of ``A_H`` into a definite perimeter decrease
+(Lemma 8).  The experiment ``congregation_lemmas`` samples random
+configurations and checks the concrete inequalities below.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..algorithms.kknps import KKNPSAlgorithm
+from ..geometry.hull import ConvexHull
+from ..geometry.point import Point, PointLike
+from ..geometry.sec import critical_points, smallest_enclosing_circle
+from ..model.snapshot import Snapshot
+
+
+def lemma6_distance_bound(zeta: float, xi: float, hull_radius: float) -> float:
+    """Lemma 6's lower bound on the distance from ``A_H`` after a move.
+
+    ``(zeta / (80 (1 + 1/xi)^{1/2}))^4 * r_H`` for a robot whose
+    visibility lower bound satisfies ``V_Z >= zeta * r_H`` and whose motion
+    is ``xi``-rigid.
+    """
+    if not 0.0 < xi <= 1.0:
+        raise ValueError("xi must lie in (0, 1]")
+    if zeta <= 0.0:
+        raise ValueError("zeta must be positive")
+    return ((zeta / (80.0 * math.sqrt(1.0 + 1.0 / xi))) ** 4) * hull_radius
+
+
+def lemma7_distance_bound(mu: float, xi: float, hull_radius: float) -> float:
+    """Lemma 7's contagion bound ``(mu / (240 (1+1/xi)^{1/2}))^4 * r_H``."""
+    if mu <= 0.0:
+        raise ValueError("mu must be positive")
+    return ((mu / (240.0 * math.sqrt(1.0 + 1.0 / xi))) ** 4) * hull_radius
+
+
+def lemma8_perimeter_decrease(d: float, hull_radius: float) -> float:
+    """Lemma 8's bound: vacating ``Gamma_d(A_H)`` shortens the perimeter by ``d^3/(4 r_H^2)``."""
+    if d < 0.0 or hull_radius <= 0.0:
+        raise ValueError("need d >= 0 and a positive hull radius")
+    return d ** 3 / (4.0 * hull_radius * hull_radius)
+
+
+@dataclass(frozen=True)
+class Lemma6Check:
+    """One robot's move checked against the Lemma-6 bound."""
+
+    robot_index: int
+    v_lower_bound: float
+    zeta: float
+    distance_before: float
+    distance_after: float
+    bound: float
+    satisfied: bool
+
+
+def check_lemma6_on_configuration(
+    positions: Sequence[PointLike],
+    visibility_range: float,
+    *,
+    k: int = 1,
+    xi: float = 1.0,
+    progress_fraction: float = 1.0,
+) -> List[Lemma6Check]:
+    """Check Lemma 6 for every robot of a configuration under the KKNPS rule.
+
+    ``A_H`` is taken to be a farthest critical point of the smallest circle
+    enclosing the configuration; every robot's (xi-rigid) KKNPS move is
+    computed from an exact snapshot and its post-move distance to ``A_H``
+    is compared to the lemma's bound with ``zeta = V_Z / r_H``.
+    """
+    pts = [Point.of(p) for p in positions]
+    enclosing = smallest_enclosing_circle(pts)
+    r_h = enclosing.radius
+    if r_h <= 0.0:
+        return []
+    criticals = critical_points(enclosing, pts)
+    if not criticals:
+        return []
+    a_h = criticals[0]
+    algorithm = KKNPSAlgorithm(k=k)
+    fraction = max(xi, min(1.0, progress_fraction))
+
+    checks: List[Lemma6Check] = []
+    for index, position in enumerate(pts):
+        others = [
+            q - position
+            for j, q in enumerate(pts)
+            if j != index and position.distance_to(q) <= visibility_range + 1e-12
+        ]
+        if not others:
+            continue
+        snapshot = Snapshot(neighbours=tuple(others))
+        v_z = snapshot.farthest_distance()
+        if v_z <= 0.0:
+            continue
+        zeta = v_z / r_h
+        destination = position + algorithm.compute(snapshot)
+        realized = position.lerp(destination, fraction)
+        bound = lemma6_distance_bound(zeta, xi, r_h)
+        checks.append(
+            Lemma6Check(
+                robot_index=index,
+                v_lower_bound=v_z,
+                zeta=zeta,
+                distance_before=position.distance_to(a_h),
+                distance_after=realized.distance_to(a_h),
+                bound=bound,
+                satisfied=realized.distance_to(a_h) >= bound - 1e-12,
+            )
+        )
+    return checks
+
+
+@dataclass(frozen=True)
+class Lemma8Check:
+    """Perimeter decrease after emptying a ``d``-neighbourhood of ``A_H``."""
+
+    d: float
+    hull_radius: float
+    perimeter_before: float
+    perimeter_after: float
+    decrease: float
+    bound: float
+    satisfied: bool
+
+
+def check_lemma8_on_configuration(
+    positions: Sequence[PointLike], d: float
+) -> Optional[Lemma8Check]:
+    """Check Lemma 8 by clearing the ``d``-neighbourhood of a critical hull point.
+
+    Robots inside ``Gamma_d(A_H)`` are projected just outside it, in the
+    direction of the hull's bounding-circle centre (which the paper's
+    argument shows is where they must end up); the perimeter decrease is
+    then compared to ``d^3 / (4 r_H^2)``.
+    """
+    pts = [Point.of(p) for p in positions]
+    if len(pts) < 3:
+        return None
+    enclosing = smallest_enclosing_circle(pts)
+    r_h = enclosing.radius
+    criticals = critical_points(enclosing, pts)
+    if not criticals or r_h <= 0.0 or d >= r_h:
+        return None
+    a_h = criticals[0]
+    before = ConvexHull.of(pts).perimeter()
+    moved: List[Point] = []
+    for p in pts:
+        if p.distance_to(a_h) < d:
+            direction = (enclosing.center - a_h).unit()
+            moved.append(a_h + direction * d)
+        else:
+            moved.append(p)
+    after = ConvexHull.of(moved).perimeter()
+    bound = lemma8_perimeter_decrease(d, r_h)
+    decrease = before - after
+    return Lemma8Check(
+        d=d,
+        hull_radius=r_h,
+        perimeter_before=before,
+        perimeter_after=after,
+        decrease=decrease,
+        bound=bound,
+        satisfied=decrease >= bound - 1e-12,
+    )

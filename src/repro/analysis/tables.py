@@ -1,0 +1,70 @@
+"""Plain-text tables for experiment reports.
+
+The paper has no numeric tables, so the experiment harness prints its own:
+each experiment renders its findings as a fixed-width text table with a
+caption tying it back to the corresponding figure/section of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, List, Optional, Sequence
+
+
+def _format_cell(value: Any, float_format: str) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return format(value, float_format)
+    return str(value)
+
+
+@dataclass
+class TextTable:
+    """A fixed-width text table with a title and column headers."""
+
+    title: str
+    columns: Sequence[str]
+    rows: List[List[Any]] = field(default_factory=list)
+    float_format: str = ".4g"
+
+    def add_row(self, *values: Any) -> None:
+        """Append a row; the number of values must match the columns."""
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} cells but the table has {len(self.columns)} columns"
+            )
+        self.rows.append(list(values))
+
+    def add_rows(self, rows: Iterable[Sequence[Any]]) -> None:
+        """Append several rows."""
+        for row in rows:
+            self.add_row(*row)
+
+    def render(self) -> str:
+        """The table as a multi-line string."""
+        cells = [[_format_cell(v, self.float_format) for v in row] for row in self.rows]
+        headers = [str(c) for c in self.columns]
+        widths = [len(h) for h in headers]
+        for row in cells:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def format_row(row: Sequence[str]) -> str:
+            return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+
+        separator = "-+-".join("-" * w for w in widths)
+        lines = [self.title, format_row(headers), separator]
+        lines.extend(format_row(row) for row in cells)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()
+
+
+def render_key_values(title: str, pairs: Sequence[tuple], *, float_format: str = ".6g") -> str:
+    """A two-column key/value block used for per-experiment headline numbers."""
+    table = TextTable(title, ["quantity", "value"], float_format=float_format)
+    for key, value in pairs:
+        table.add_row(key, value)
+    return table.render()

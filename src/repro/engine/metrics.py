@@ -1,0 +1,113 @@
+"""Metric samples collected while a simulation runs.
+
+The quantities tracked are exactly the ones the paper's analysis reasons
+about: the diameter, perimeter and bounding-circle radius of the convex
+hull of the robot positions (congregation, Section 5), the preservation of
+the initial visibility edges (cohesion, Section 2.4 / Section 4) and the
+minimum pairwise separation (collision monitoring).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Set
+
+from ..geometry.hull import ConvexHull
+from ..geometry.point import Point, PointLike, max_pairwise_distance, pairwise_distances
+from ..geometry.sec import smallest_enclosing_circle
+from ..model.visibility import Edge, broken_edges, visibility_edges
+
+
+@dataclass(frozen=True)
+class MetricsSample:
+    """One observation of the global configuration at a given time."""
+
+    time: float
+    hull_diameter: float
+    hull_perimeter: float
+    hull_radius: float
+    min_pairwise_distance: float
+    initial_edges_preserved: bool
+    broken_edge_count: int
+    activations_processed: int
+
+    def converged(self, epsilon: float) -> bool:
+        """Point-Convergence check at this sample."""
+        return self.hull_diameter <= epsilon
+
+
+@dataclass
+class MetricsCollector:
+    """Builds :class:`MetricsSample` objects against a fixed initial edge set."""
+
+    visibility_range: float
+    initial_edges: Set[Edge] = field(default_factory=set)
+    samples: List[MetricsSample] = field(default_factory=list)
+    cohesion_ever_violated: bool = False
+
+    def bind_initial(self, positions: Sequence[PointLike]) -> None:
+        """Record the initial visibility edges the cohesion predicate refers to."""
+        self.initial_edges = visibility_edges(positions, self.visibility_range)
+
+    def observe(
+        self, time: float, positions: Sequence[PointLike], activations_processed: int
+    ) -> MetricsSample:
+        """Sample the configuration at ``time`` and append it to the history."""
+        pts = [Point.of(p) for p in positions]
+        hull = ConvexHull.of(pts)
+        broken = broken_edges(self.initial_edges, pts, self.visibility_range)
+        if broken:
+            self.cohesion_ever_violated = True
+        if len(pts) >= 2:
+            dist = pairwise_distances(pts)
+            import numpy as np
+
+            min_pairwise = float(dist[~np.eye(len(pts), dtype=bool)].min())
+        else:
+            min_pairwise = 0.0
+        sample = MetricsSample(
+            time=time,
+            hull_diameter=max_pairwise_distance(pts),
+            hull_perimeter=hull.perimeter(),
+            hull_radius=smallest_enclosing_circle(pts).radius if pts else 0.0,
+            min_pairwise_distance=min_pairwise,
+            initial_edges_preserved=not broken,
+            broken_edge_count=len(broken),
+            activations_processed=activations_processed,
+        )
+        self.samples.append(sample)
+        return sample
+
+    # -- history queries ------------------------------------------------------
+    def latest(self) -> Optional[MetricsSample]:
+        """Most recent sample, if any."""
+        return self.samples[-1] if self.samples else None
+
+    def diameters(self) -> List[float]:
+        """Hull diameters over time."""
+        return [s.hull_diameter for s in self.samples]
+
+    def perimeters(self) -> List[float]:
+        """Hull perimeters over time."""
+        return [s.hull_perimeter for s in self.samples]
+
+    def first_time_below(self, epsilon: float) -> Optional[float]:
+        """Earliest sampled time the hull diameter was at most ``epsilon``."""
+        for sample in self.samples:
+            if sample.hull_diameter <= epsilon:
+                return sample.time
+        return None
+
+    def monotone_hull_diameter(self, *, tolerance: float = 1e-9) -> bool:
+        """True when the sampled hull diameter never increases beyond ``tolerance``."""
+        diameters = self.diameters()
+        return all(
+            later <= earlier + tolerance for earlier, later in zip(diameters, diameters[1:])
+        )
+
+    def monotone_hull_perimeter(self, *, tolerance: float = 1e-9) -> bool:
+        """True when the sampled hull perimeter never increases beyond ``tolerance``."""
+        perimeters = self.perimeters()
+        return all(
+            later <= earlier + tolerance for earlier, later in zip(perimeters, perimeters[1:])
+        )

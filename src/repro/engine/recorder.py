@@ -1,0 +1,79 @@
+"""Trajectory recording for simulations.
+
+The recorder keeps, per robot, the piecewise-linear trajectory actually
+travelled (one breakpoint per completed move) so that experiments and
+examples can inspect or export full executions — for instance to verify
+that a robot's path stayed inside a region, or to dump a run for plotting
+outside this repository.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, TextIO, Tuple
+
+from ..geometry.point import Point, PointLike
+
+
+@dataclass
+class TrajectoryRecorder:
+    """Per-robot piecewise-linear trajectories."""
+
+    breakpoints: Dict[int, List[Tuple[float, Point]]] = field(default_factory=dict)
+
+    def record(self, robot_id: int, time: float, position: PointLike) -> None:
+        """Append a breakpoint for ``robot_id`` at ``time``."""
+        self.breakpoints.setdefault(robot_id, []).append((float(time), Point.of(position)))
+
+    def record_all(self, time: float, positions: Sequence[PointLike]) -> None:
+        """Append a breakpoint for every robot at the same instant."""
+        for robot_id, position in enumerate(positions):
+            self.record(robot_id, time, position)
+
+    def robot_ids(self) -> List[int]:
+        """Robots with at least one breakpoint."""
+        return sorted(self.breakpoints)
+
+    def trajectory(self, robot_id: int) -> List[Tuple[float, Point]]:
+        """Breakpoints of one robot, in recording order."""
+        return list(self.breakpoints.get(robot_id, []))
+
+    def position_at(self, robot_id: int, time: float) -> Optional[Point]:
+        """Interpolated position of ``robot_id`` at ``time`` (None if unknown)."""
+        points = self.breakpoints.get(robot_id)
+        if not points:
+            return None
+        if time < points[0][0]:
+            return points[0][1]
+        for (t0, p0), (t1, p1) in zip(points, points[1:]):
+            if t0 <= time <= t1:
+                if t1 - t0 <= 0.0:
+                    return p1
+                return p0.lerp(p1, (time - t0) / (t1 - t0))
+        return points[-1][1]
+
+    def path_length(self, robot_id: int) -> float:
+        """Total length of the recorded path of ``robot_id``."""
+        points = self.breakpoints.get(robot_id, [])
+        return sum(p0.distance_to(p1) for (_, p0), (_, p1) in zip(points, points[1:]))
+
+    def to_dict(self) -> dict:
+        """JSON-friendly representation of all trajectories."""
+        return {
+            str(robot_id): [[t, p.x, p.y] for t, p in points]
+            for robot_id, points in self.breakpoints.items()
+        }
+
+    def dump_json(self, stream: TextIO) -> None:
+        """Write the trajectories as JSON to an open text stream."""
+        json.dump(self.to_dict(), stream, indent=2)
+
+    @staticmethod
+    def from_dict(data: dict) -> "TrajectoryRecorder":
+        """Rebuild a recorder from :meth:`to_dict` output."""
+        recorder = TrajectoryRecorder()
+        for robot_id, points in data.items():
+            for t, x, y in points:
+                recorder.record(int(robot_id), float(t), Point(float(x), float(y)))
+        return recorder

@@ -1,0 +1,322 @@
+"""The event-driven continuous-time simulator of the OBLOT model.
+
+The simulator realises exactly the semantics the paper's proofs reason
+about:
+
+* activations are issued by a scheduler and processed in global
+  ``look_time`` order;
+* the Look phase is instantaneous: a robot snapshots the positions of all
+  robots within the visibility range *at that instant*, including robots
+  that are mid-move (their positions are interpolated along their realised
+  trajectories);
+* the Compute phase runs the algorithm on the snapshot (expressed in a
+  private, possibly distorted, coordinate frame) and yields a destination;
+* the Move phase translates the robot along a straight line toward the
+  destination; the scheduler's progress fraction (clamped to the motion
+  model's xi) and the motion-error model determine the realised endpoint.
+
+Cohesion (preservation of the initial visibility edges) and hull-based
+congregation measures are sampled at every processed activation.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import time as _time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..geometry.point import Point, PointLike
+from ..geometry.transforms import LocalFrame, random_frame
+from ..model.configuration import Configuration
+from ..model.errors import MotionModel, PerceptionModel
+from ..model.robot import Robot
+from ..model.snapshot import build_snapshot
+from ..model.types import Activation, ActivationRecord
+from ..algorithms.base import ConvergenceAlgorithm
+from ..schedulers.base import Scheduler
+from .convergence import ConvergenceSummary, summarize
+from .metrics import MetricsCollector, MetricsSample
+from .recorder import TrajectoryRecorder
+
+
+@dataclass
+class SimulationConfig:
+    """Everything about a run that is not the configuration, algorithm or scheduler."""
+
+    visibility_range: float = 1.0
+    perception: PerceptionModel = field(default_factory=PerceptionModel.exact)
+    motion: MotionModel = field(default_factory=MotionModel.rigid)
+    seed: int = 0
+    max_activations: int = 5000
+    max_time: float = math.inf
+    convergence_epsilon: float = 1e-3
+    stop_at_convergence: bool = True
+    use_random_frames: bool = True
+    allow_reflection: bool = True
+    reveal_visibility_range: Optional[bool] = None
+    k_bound: Optional[int] = None
+    multiplicity_detection: bool = False
+    record_every: int = 1
+    record_trajectories: bool = False
+    crashed_robots: tuple = ()
+
+    def __post_init__(self) -> None:
+        if self.visibility_range <= 0.0:
+            raise ValueError("visibility range must be positive")
+        if self.max_activations < 1:
+            raise ValueError("max_activations must be at least 1")
+        if self.convergence_epsilon <= 0.0:
+            raise ValueError("convergence_epsilon must be positive")
+        if self.record_every < 1:
+            raise ValueError("record_every must be at least 1")
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one simulation run."""
+
+    initial_configuration: Configuration
+    final_configuration: Configuration
+    metrics: MetricsCollector
+    activations_processed: int
+    activation_counts: Dict[int, int]
+    activation_end_times: Dict[int, List[float]]
+    records: List[ActivationRecord]
+    converged: bool
+    convergence_time: Optional[float]
+    cohesion_maintained: bool
+    final_time: float
+    wall_time_seconds: float
+    trajectories: Optional[TrajectoryRecorder] = None
+
+    def summary(self, epsilon: float = 1e-3) -> ConvergenceSummary:
+        """Convergence summary of the metric history against ``epsilon``."""
+        return summarize(self.metrics.samples, epsilon)
+
+    @property
+    def final_hull_diameter(self) -> float:
+        """Hull diameter of the final configuration."""
+        return self.final_configuration.hull_diameter()
+
+    @property
+    def initial_hull_diameter(self) -> float:
+        """Hull diameter of the initial configuration."""
+        return self.initial_configuration.hull_diameter()
+
+
+class Simulator:
+    """Run one algorithm under one scheduler from one initial configuration."""
+
+    def __init__(
+        self,
+        initial_positions: Sequence[PointLike],
+        algorithm: ConvergenceAlgorithm,
+        scheduler: Scheduler,
+        config: Optional[SimulationConfig] = None,
+    ) -> None:
+        self.config = config or SimulationConfig()
+        self.algorithm = algorithm
+        self.scheduler = scheduler
+        self.rng = np.random.default_rng(self.config.seed)
+        self.robots: List[Robot] = [
+            Robot(robot_id=i, position=Point.of(p)) for i, p in enumerate(initial_positions)
+        ]
+        for crashed_id in self.config.crashed_robots:
+            self.robots[crashed_id].crash()
+        self.initial_configuration = Configuration.of(
+            [r.position for r in self.robots], self.config.visibility_range
+        )
+        self._time = 0.0
+        self._pending: List[tuple] = []
+        self._sequence = 0
+
+    # -- EngineView protocol --------------------------------------------------------
+    @property
+    def time(self) -> float:
+        """Current global simulation time."""
+        return self._time
+
+    @property
+    def n_robots(self) -> int:
+        """Number of robots in the run."""
+        return len(self.robots)
+
+    def positions(self, at_time: Optional[float] = None) -> List[Point]:
+        """Positions of all robots at ``at_time`` (default: the current time)."""
+        t = self._time if at_time is None else at_time
+        return [r.position_at(t) for r in self.robots]
+
+    # -- internals ---------------------------------------------------------------------
+    def _push(self, activation: Activation) -> None:
+        heapq.heappush(self._pending, (activation.look_time, self._sequence, activation))
+        self._sequence += 1
+
+    def _refill(self) -> bool:
+        batch = self.scheduler.next_batch(self)
+        if not batch:
+            return False
+        for activation in batch:
+            self._push(activation)
+        return True
+
+    def _finalize_completed_moves(self, now: float) -> None:
+        for robot in self.robots:
+            if robot.is_motile() and robot.move_end_time <= now:
+                robot.finish_move()
+
+    def _reveal_range(self) -> bool:
+        if self.config.reveal_visibility_range is not None:
+            return self.config.reveal_visibility_range
+        return self.algorithm.requires_visibility_range
+
+    def _frame_for_look(self) -> Optional[LocalFrame]:
+        if not self.config.use_random_frames:
+            return None
+        return random_frame(self.rng, allow_reflection=self.config.allow_reflection)
+
+    def _effective_range(self) -> float:
+        if self.algorithm.assumes_unlimited_visibility:
+            return math.inf
+        return self.config.visibility_range
+
+    # -- main loop -----------------------------------------------------------------------
+    def run(self) -> SimulationResult:
+        """Execute the simulation and return its result."""
+        started = _time.perf_counter()
+        cfg = self.config
+        metrics = MetricsCollector(visibility_range=cfg.visibility_range)
+        metrics.bind_initial([r.position for r in self.robots])
+        recorder = TrajectoryRecorder() if cfg.record_trajectories else None
+        if recorder is not None:
+            recorder.record_all(0.0, [r.position for r in self.robots])
+
+        self.scheduler.reset(self.n_robots, self.rng)
+        records: List[ActivationRecord] = []
+        activation_end_times: Dict[int, List[float]] = {r.robot_id: [] for r in self.robots}
+        processed = 0
+        popped = 0
+        converged_time: Optional[float] = None
+
+        metrics.observe(0.0, self.positions(0.0), 0)
+
+        while processed < cfg.max_activations and popped < 100 * cfg.max_activations:
+            if not self._pending and not self._refill():
+                break
+            look_time, _, activation = heapq.heappop(self._pending)
+            popped += 1
+            if look_time > cfg.max_time:
+                break
+            self._time = look_time
+            robot = self.robots[activation.robot_id]
+            self._finalize_completed_moves(look_time)
+            if robot.crashed:
+                continue
+            if robot.is_motile():
+                # A scheduler bug: a robot was activated before its previous
+                # move ended.  Fail loudly rather than silently corrupting the run.
+                raise RuntimeError(
+                    f"robot {robot.robot_id} activated at t={look_time} before its move ended "
+                    f"at t={robot.move_end_time}"
+                )
+
+            robot.begin_activation(look_time)
+            other_positions = [
+                r.position_at(look_time) for r in self.robots if r.robot_id != robot.robot_id
+            ]
+            frame = self._frame_for_look()
+            snapshot = build_snapshot(
+                robot.position,
+                other_positions,
+                self._effective_range(),
+                frame=frame,
+                perception=cfg.perception,
+                rng=self.rng,
+                reveal_range=self._reveal_range(),
+                k_bound=cfg.k_bound,
+                multiplicity_detection=cfg.multiplicity_detection,
+                time=look_time,
+                robot_id=robot.robot_id,
+            )
+            destination_local = self.algorithm.compute(snapshot)
+            displacement = (
+                frame.to_global(destination_local) if frame is not None else Point.of(destination_local)
+            )
+            target_global = robot.position + displacement
+
+            move_start = activation.move_start_time
+            move_end = activation.end_time
+            realized = cfg.motion.realize(
+                robot.position, target_global, activation.progress_fraction, self.rng
+            )
+            origin = robot.position
+            robot.begin_move(origin, realized, move_start, move_end)
+            activation_end_times[robot.robot_id].append(move_end)
+
+            records.append(
+                ActivationRecord(
+                    activation=activation,
+                    origin=origin,
+                    target=target_global,
+                    destination=realized,
+                    neighbours_seen=snapshot.neighbour_count(),
+                    moved_distance=origin.distance_to(realized),
+                )
+            )
+            processed += 1
+
+            if processed % cfg.record_every == 0:
+                sample = metrics.observe(look_time, self.positions(look_time), processed)
+                if recorder is not None:
+                    recorder.record_all(look_time, self.positions(look_time))
+                if converged_time is None and sample.hull_diameter <= cfg.convergence_epsilon:
+                    converged_time = look_time
+                    if cfg.stop_at_convergence:
+                        break
+
+        # Let every in-flight move finish, then take the final measurement.
+        final_time = max(
+            [self._time] + [r.move_end_time for r in self.robots if r.is_motile()]
+        )
+        self._time = final_time
+        self._finalize_completed_moves(final_time + 1e-12)
+        for robot in self.robots:
+            if robot.is_motile():
+                robot.finish_move()
+        final_positions = [r.position for r in self.robots]
+        final_sample = metrics.observe(final_time, final_positions, processed)
+        if recorder is not None:
+            recorder.record_all(final_time, final_positions)
+        if converged_time is None and final_sample.hull_diameter <= cfg.convergence_epsilon:
+            converged_time = final_time
+
+        final_configuration = Configuration.of(final_positions, cfg.visibility_range)
+        result = SimulationResult(
+            initial_configuration=self.initial_configuration,
+            final_configuration=final_configuration,
+            metrics=metrics,
+            activations_processed=processed,
+            activation_counts={r.robot_id: r.activation_count for r in self.robots},
+            activation_end_times=activation_end_times,
+            records=records,
+            converged=converged_time is not None,
+            convergence_time=converged_time,
+            cohesion_maintained=not metrics.cohesion_ever_violated,
+            final_time=final_time,
+            wall_time_seconds=_time.perf_counter() - started,
+            trajectories=recorder,
+        )
+        return result
+
+
+def run_simulation(
+    initial_positions: Sequence[PointLike],
+    algorithm: ConvergenceAlgorithm,
+    scheduler: Scheduler,
+    config: Optional[SimulationConfig] = None,
+) -> SimulationResult:
+    """One-call convenience wrapper around :class:`Simulator`."""
+    return Simulator(initial_positions, algorithm, scheduler, config).run()

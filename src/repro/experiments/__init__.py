@@ -1,0 +1,42 @@
+"""Experiments: one module per reproduced figure/claim of the paper.
+
+See ``repro.experiments.registry`` for the index mapping experiment ids
+(as used in DESIGN.md and EXPERIMENTS.md) to run functions and benches.
+"""
+
+from . import (
+    baselines_unlimited,
+    congregation_lemmas,
+    convergence,
+    disconnected,
+    error_tolerance,
+    extension_3d,
+    fig3_safe_regions,
+    fig4_ando_failure,
+    impossibility,
+    lemma5_chain,
+    lemma_regions,
+    separation_matrix,
+    unlimited_async,
+)
+from .registry import REGISTRY, ExperimentEntry, experiment_ids, get
+
+__all__ = [
+    "REGISTRY",
+    "ExperimentEntry",
+    "baselines_unlimited",
+    "congregation_lemmas",
+    "convergence",
+    "disconnected",
+    "error_tolerance",
+    "extension_3d",
+    "experiment_ids",
+    "fig3_safe_regions",
+    "fig4_ando_failure",
+    "get",
+    "impossibility",
+    "lemma5_chain",
+    "lemma_regions",
+    "separation_matrix",
+    "unlimited_async",
+]

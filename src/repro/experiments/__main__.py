@@ -1,0 +1,65 @@
+"""Command-line entry point: ``python -m repro.experiments [EXPERIMENT_ID ...]``.
+
+With no arguments, lists the registered experiments; with one or more ids
+(e.g. ``F4 I1``), runs each experiment with its default parameters and
+prints its table(s).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List
+
+from .registry import REGISTRY, experiment_ids, get
+
+
+def _print_listing() -> None:
+    width = max(len(i) for i in experiment_ids())
+    print("Registered experiments (run with: python -m repro.experiments <id> ...):\n")
+    for entry in REGISTRY.values():
+        print(f"  {entry.experiment_id.ljust(width)}  {entry.paper_artifact}: {entry.description}")
+
+
+def _render(result: object) -> str:
+    for attribute in ("headline_table",):
+        if hasattr(result, attribute):
+            pieces = [getattr(result, attribute)()]
+            for extra in ("hub_move_table", "witness_table"):
+                if hasattr(result, extra):
+                    pieces.append(getattr(result, extra)().render())
+            return "\n\n".join(pieces)
+    pieces = []
+    if hasattr(result, "to_table"):
+        pieces.append(result.to_table().render())
+    for extra in ("k_table", "figure18_table"):
+        if hasattr(result, extra):
+            pieces.append(getattr(result, extra)().render())
+    return "\n\n".join(pieces) if pieces else repr(result)
+
+
+def main(argv: List[str] | None = None) -> int:
+    """Run the requested experiments and print their tables."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Run the reproduction experiments by id (see DESIGN.md).",
+    )
+    parser.add_argument("ids", nargs="*", help="experiment ids, e.g. F4 I1 T1")
+    parser.add_argument("--list", action="store_true", help="list the registered experiments")
+    args = parser.parse_args(argv)
+
+    if args.list or not args.ids:
+        _print_listing()
+        return 0
+
+    for experiment_id in args.ids:
+        entry = get(experiment_id)
+        print(f"=== {entry.experiment_id} — {entry.paper_artifact}: {entry.description} ===\n")
+        result = entry.run()
+        print(_render(result))
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

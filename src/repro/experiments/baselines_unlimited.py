@@ -1,0 +1,133 @@
+"""Experiment S2 — Section 1.2.2 baselines: CoG vs GCM under unlimited visibility.
+
+The paper's related-work discussion contrasts the Centre-of-Gravity
+algorithm of Cohen and Peleg (``O(n^2)`` rounds to halve the hull
+diameter, lower bound ``Omega(n)``) with the Go-To-The-Centre-Of-Minbox
+algorithm of Cord-Landwehr et al. (asymptotically optimal; a constant
+number of rounds with axis agreement).  This experiment measures the
+rounds needed to halve the hull diameter under SSync subset activation for
+both algorithms as the number of robots grows — the shape to reproduce is
+"GCM at least as fast as CoG at every n".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..algorithms.cog import CenterOfGravityAlgorithm
+from ..algorithms.gcm import MinboxAlgorithm
+from ..analysis.tables import TextTable
+from ..engine.convergence import rounds_to_halve
+from ..engine.simulator import SimulationConfig, run_simulation
+from ..schedulers.synchronous import FSyncScheduler, SSyncScheduler
+from ..workloads.generators import random_disk_configuration
+
+
+@dataclass(frozen=True)
+class BaselineRow:
+    """Rounds-to-halve measurement for one algorithm and robot count."""
+
+    algorithm: str
+    scheduler: str
+    n_robots: int
+    rounds_to_halve: Optional[float]
+    converged: bool
+
+
+@dataclass
+class BaselinesResult:
+    """All rows of the unlimited-visibility baseline comparison."""
+
+    rows: List[BaselineRow] = field(default_factory=list)
+
+    def to_table(self) -> TextTable:
+        table = TextTable(
+            "Section 1.2.2 baselines — rounds to halve the hull diameter "
+            "(unlimited visibility)",
+            ["algorithm", "scheduler", "n", "rounds to halve", "converged"],
+        )
+        for row in self.rows:
+            table.add_row(
+                row.algorithm,
+                row.scheduler,
+                row.n_robots,
+                row.rounds_to_halve if row.rounds_to_halve is not None else "-",
+                row.converged,
+            )
+        return table
+
+    def halving_rounds(self, algorithm: str, scheduler: str = "ssync") -> List[float]:
+        """The rounds-to-halve series of one algorithm, ordered by n."""
+        rows = sorted(
+            (r for r in self.rows if r.algorithm == algorithm and r.scheduler == scheduler),
+            key=lambda r: r.n_robots,
+        )
+        return [r.rounds_to_halve for r in rows if r.rounds_to_halve is not None]
+
+    @property
+    def gcm_never_slower_than_cog(self) -> bool:
+        """The qualitative shape: GCM halves at least as fast as CoG at every n."""
+        cog = self.halving_rounds("cog")
+        gcm = self.halving_rounds("gcm")
+        return len(cog) == len(gcm) and all(g <= c + 1e-9 for g, c in zip(gcm, cog))
+
+
+def run(
+    *,
+    n_values: tuple = (4, 8, 16, 32),
+    seed: int = 0,
+    max_rounds: int = 400,
+    epsilon: float = 1e-3,
+    include_fsync: bool = False,
+) -> BaselinesResult:
+    """Measure rounds-to-halve for CoG and GCM under SSync (and optionally FSync).
+
+    Under FSync both algorithms are degenerate-fast (all robots jump to a
+    common target in one round), so the informative comparison — the one
+    the cited O(n^2) vs Theta(n) analyses are about — uses semi-synchronous
+    subset activation.
+    """
+    result = BaselinesResult()
+    disk_radius = 5.0
+    schedulers = [("ssync", lambda: SSyncScheduler(activation_probability=0.5))]
+    if include_fsync:
+        schedulers.append(("fsync", lambda: FSyncScheduler()))
+    for scheduler_label, scheduler_factory in schedulers:
+        for algorithm_label, algorithm_factory in (
+            ("cog", lambda: CenterOfGravityAlgorithm()),
+            ("gcm", lambda: MinboxAlgorithm()),
+        ):
+            for n in n_values:
+                configuration = random_disk_configuration(
+                    n, disk_radius=disk_radius, visibility_range=2.0 * disk_radius + 1.0, seed=seed + n
+                )
+                sim = run_simulation(
+                    configuration.positions,
+                    algorithm_factory(),
+                    scheduler_factory(),
+                    SimulationConfig(
+                        visibility_range=configuration.visibility_range,
+                        max_activations=max_rounds * n,
+                        convergence_epsilon=epsilon,
+                        seed=seed + n,
+                    ),
+                )
+                result.rows.append(
+                    BaselineRow(
+                        algorithm=algorithm_label,
+                        scheduler=scheduler_label,
+                        n_robots=n,
+                        rounds_to_halve=rounds_to_halve(sim.metrics.samples),
+                        converged=sim.converged,
+                    )
+                )
+    return result
+
+
+def main() -> None:  # pragma: no cover - CLI entry point
+    print(run().to_table().render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

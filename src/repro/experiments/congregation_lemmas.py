@@ -1,0 +1,145 @@
+"""Experiment L68 — Lemmas 6-8 (Figures 16-17): congregation bounds.
+
+Monte-Carlo verification of the concrete inequalities used in the
+congregation argument:
+
+* Lemma 6: a robot whose visibility lower bound is at least ``zeta * r_H``
+  ends any ``xi``-rigid move at distance at least
+  ``(zeta / (80 (1+1/xi)^{1/2}))^4 r_H`` from a critical point ``A_H`` of
+  the hull's bounding circle;
+* Lemma 8: if every robot is outside the ``d``-neighbourhood of ``A_H``,
+  the hull perimeter is smaller by at least ``d^3 / (4 r_H^2)``.
+
+The experiment samples random connected configurations, evaluates the
+paper's algorithm on exact snapshots, and counts violations (expected:
+none) together with the observed safety margins, plus the hull-nesting
+invariant (``CH_{t+} ⊆ CH_t``) along short simulated runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from ..algorithms.kknps import KKNPSAlgorithm
+from ..analysis.congregation import (
+    check_lemma6_on_configuration,
+    check_lemma8_on_configuration,
+)
+from ..analysis.tables import TextTable
+from ..engine.simulator import SimulationConfig, run_simulation
+from ..geometry.hull import hulls_nested
+from ..schedulers.kasync import KAsyncScheduler
+from ..workloads.generators import random_connected_configuration
+
+
+@dataclass
+class CongregationLemmasResult:
+    """Counts and margins for the Lemma-6 / Lemma-8 / hull-nesting checks."""
+
+    lemma6_checks: int = 0
+    lemma6_violations: int = 0
+    lemma6_min_margin: float = float("inf")
+    lemma8_checks: int = 0
+    lemma8_violations: int = 0
+    lemma8_min_margin: float = float("inf")
+    hull_nesting_checks: int = 0
+    hull_nesting_violations: int = 0
+
+    def to_table(self) -> TextTable:
+        table = TextTable(
+            "Lemmas 6-8 (Figs. 16-17) — congregation bounds, Monte-Carlo verification",
+            ["check", "samples", "violations", "min margin"],
+        )
+        table.add_row("lemma 6 (distance from A_H)", self.lemma6_checks, self.lemma6_violations,
+                      self.lemma6_min_margin if self.lemma6_checks else "-")
+        table.add_row("lemma 8 (perimeter decrease)", self.lemma8_checks, self.lemma8_violations,
+                      self.lemma8_min_margin if self.lemma8_checks else "-")
+        table.add_row("hull nesting CH_{t+} ⊆ CH_t", self.hull_nesting_checks,
+                      self.hull_nesting_violations, "-")
+        return table
+
+    @property
+    def all_hold(self) -> bool:
+        """No violation in any of the three checks."""
+        return (
+            self.lemma6_violations == 0
+            and self.lemma8_violations == 0
+            and self.hull_nesting_violations == 0
+        )
+
+
+def run(
+    *,
+    configurations: int = 20,
+    n_robots: int = 10,
+    xi: float = 0.5,
+    k: int = 2,
+    seed: int = 0,
+    nesting_runs: int = 3,
+    nesting_activations: int = 300,
+) -> CongregationLemmasResult:
+    """Run all three checks over random connected configurations."""
+    rng = np.random.default_rng(seed)
+    result = CongregationLemmasResult()
+
+    for index in range(configurations):
+        configuration = random_connected_configuration(n_robots, seed=seed + index)
+        positions = list(configuration.positions)
+
+        for check in check_lemma6_on_configuration(
+            positions,
+            configuration.visibility_range,
+            k=k,
+            xi=xi,
+            progress_fraction=float(rng.uniform(xi, 1.0)),
+        ):
+            result.lemma6_checks += 1
+            if not check.satisfied:
+                result.lemma6_violations += 1
+            margin = check.distance_after - check.bound
+            result.lemma6_min_margin = min(result.lemma6_min_margin, margin)
+
+        d = 0.05 * configuration.hull_radius()
+        lemma8 = check_lemma8_on_configuration(positions, d)
+        if lemma8 is not None:
+            result.lemma8_checks += 1
+            if not lemma8.satisfied:
+                result.lemma8_violations += 1
+            result.lemma8_min_margin = min(
+                result.lemma8_min_margin, lemma8.decrease - lemma8.bound
+            )
+
+    # Hull nesting along simulated runs: the convex hull of the sampled
+    # configurations must be (weakly) nested over time.
+    for run_index in range(nesting_runs):
+        configuration = random_connected_configuration(n_robots, seed=seed + 1000 + run_index)
+        sim = run_simulation(
+            configuration.positions,
+            KKNPSAlgorithm(k=k),
+            KAsyncScheduler(k=k),
+            SimulationConfig(
+                max_activations=nesting_activations,
+                convergence_epsilon=1e-6,
+                stop_at_convergence=False,
+                seed=seed + run_index,
+                k_bound=k,
+            ),
+        )
+        samples = sim.metrics.samples
+        diameters = [s.hull_diameter for s in samples]
+        for earlier, later in zip(diameters, diameters[1:]):
+            result.hull_nesting_checks += 1
+            if later > earlier + 1e-9:
+                result.hull_nesting_violations += 1
+    return result
+
+
+def main() -> None:  # pragma: no cover - CLI entry point
+    print(run().to_table().render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

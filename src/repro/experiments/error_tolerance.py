@@ -1,0 +1,278 @@
+"""Experiment E1 — Section 6.1 / Figure 18: error tolerance of the algorithm.
+
+The paper claims the algorithm tolerates
+
+* bounded *relative* distance-measurement error (after scaling the
+  perceived range by ``1/(1+delta)``),
+* bounded-skew symmetric distortion of the local compass, and
+* motion error that grows *quadratically* with the distance travelled,
+
+while *linear* relative motion error defeats every convergence algorithm
+(Figure 18: two robots at exactly visibility range can be pushed apart
+when the lateral error exceeds ``tan`` of the commanded angle).
+
+This experiment measures all four claims: full simulated runs under each
+error model (cohesion + convergence), and the explicit Figure-18 two-robot
+threshold sweep for linear motion error.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..algorithms.kknps import KKNPSAlgorithm
+from ..analysis.tables import TextTable
+from ..engine.simulator import SimulationConfig, run_simulation
+from ..geometry.point import Point
+from ..geometry.transforms import SymmetricDistortion
+from ..model.errors import MotionModel, PerceptionModel
+from ..schedulers.kasync import KAsyncScheduler
+from ..schedulers.synchronous import FSyncScheduler
+from ..workloads.generators import random_connected_configuration
+
+
+@dataclass(frozen=True)
+class ErrorToleranceRow:
+    """One error-model run."""
+
+    label: str
+    cohesion: bool
+    converged: bool
+    final_diameter: float
+
+
+@dataclass(frozen=True)
+class Figure18Row:
+    """One point of the Figure-18 linear-motion-error threshold sweep."""
+
+    error_coefficient: float
+    commanded_angle: float
+    final_separation: float
+    separated: bool
+
+
+@dataclass
+class ErrorToleranceResult:
+    """All rows of the error-tolerance experiment."""
+
+    runs: List[ErrorToleranceRow] = field(default_factory=list)
+    figure18: List[Figure18Row] = field(default_factory=list)
+
+    def to_table(self) -> TextTable:
+        table = TextTable(
+            "Section 6.1 — full runs under each error model (KKNPS, 4-Async)",
+            ["error model", "cohesive", "converged", "final diameter"],
+        )
+        for row in self.runs:
+            table.add_row(row.label, row.cohesion, row.converged, row.final_diameter)
+        return table
+
+    def figure18_table(self) -> TextTable:
+        table = TextTable(
+            "Figure 18 — linear relative motion error vs separation of a "
+            "visibility-threshold pair",
+            ["error coefficient", "tan(commanded angle)", "final separation / V", "separated"],
+        )
+        for row in self.figure18:
+            table.add_row(
+                row.error_coefficient,
+                math.tan(row.commanded_angle),
+                row.final_separation,
+                row.separated,
+            )
+        return table
+
+    @property
+    def tolerated_models_all_cohesive(self) -> bool:
+        """Distance error, skew and quadratic motion error never broke cohesion."""
+        tolerated = [r for r in self.runs if not r.label.startswith("linear")]
+        return all(r.cohesion for r in tolerated)
+
+    @property
+    def linear_error_separates_threshold_pair(self) -> bool:
+        """Figure 18: some linear-error coefficient above tan(angle) separates the pair."""
+        return any(row.separated for row in self.figure18)
+
+
+def _run_with(
+    label: str,
+    *,
+    perception: PerceptionModel,
+    motion: MotionModel,
+    algorithm: KKNPSAlgorithm,
+    n_robots: int,
+    seed: int,
+    max_activations: int,
+    epsilon: float,
+    k: int,
+) -> ErrorToleranceRow:
+    configuration = random_connected_configuration(n_robots, seed=seed)
+    result = run_simulation(
+        configuration.positions,
+        algorithm,
+        KAsyncScheduler(k=k, progress_fraction=(0.5, 1.0)),
+        SimulationConfig(
+            max_activations=max_activations,
+            convergence_epsilon=epsilon,
+            seed=seed,
+            perception=perception,
+            motion=motion,
+            k_bound=k,
+        ),
+    )
+    return ErrorToleranceRow(
+        label=label,
+        cohesion=result.cohesion_maintained,
+        converged=result.converged,
+        final_diameter=result.final_hull_diameter,
+    )
+
+
+def _figure18_sweep(
+    error_coefficients: tuple, *, commanded_angle: float = math.pi / 3.0
+) -> List[Figure18Row]:
+    """The two-robot (plus one helper) linear-motion-error construction.
+
+    Robots ``B`` and ``C`` sit at exactly visibility range; a helper robot
+    above ``B`` makes ``B``'s commanded move point at ``commanded_angle``
+    away from the ``B -> C`` direction.  With adversarial lateral motion
+    error of relative size ``c``, the realised move acquires a component
+    *away* from ``C`` once ``c`` exceeds ``tan(commanded_angle)``'s
+    reciprocal geometry, and the pair separates.
+    """
+    rows: List[Figure18Row] = []
+    v = 1.0
+    b = Point(0.0, 0.0)
+    c = Point(v, 0.0)
+    helper = b + Point.polar(v, math.pi / 2.0 + (math.pi / 2.0 - commanded_angle))
+    for coefficient in error_coefficients:
+        positions = [b, c, helper]
+        result = run_simulation(
+            positions,
+            KKNPSAlgorithm(k=1),
+            FSyncScheduler(),
+            SimulationConfig(
+                max_activations=6,
+                convergence_epsilon=1e-9,
+                stop_at_convergence=False,
+                motion=MotionModel(
+                    xi=1.0, deviation="linear", coefficient=coefficient, bias="adversarial"
+                ),
+                seed=0,
+            ),
+        )
+        final = result.final_configuration
+        separation = final[0].distance_to(final[1])
+        rows.append(
+            Figure18Row(
+                error_coefficient=coefficient,
+                commanded_angle=commanded_angle,
+                final_separation=separation,
+                separated=separation > v + 1e-9,
+            )
+        )
+    return rows
+
+
+def run(
+    *,
+    n_robots: int = 10,
+    seed: int = 0,
+    max_activations: int = 15000,
+    epsilon: float = 0.05,
+    k: int = 4,
+    distance_error: float = 0.05,
+    skew: float = 0.1,
+    quadratic_coefficient: float = 0.2,
+    linear_coefficient: float = 0.6,
+    figure18_coefficients: tuple = (0.1, 0.5, 1.0, 2.0, 4.0),
+) -> ErrorToleranceResult:
+    """Run the error-model grid and the Figure-18 sweep."""
+    result = ErrorToleranceResult()
+
+    result.runs.append(
+        _run_with(
+            "exact perception, rigid motion",
+            perception=PerceptionModel.exact(),
+            motion=MotionModel.rigid(),
+            algorithm=KKNPSAlgorithm(k=k),
+            n_robots=n_robots,
+            seed=seed,
+            max_activations=max_activations,
+            epsilon=epsilon,
+            k=k,
+        )
+    )
+    result.runs.append(
+        _run_with(
+            f"relative distance error {distance_error}",
+            perception=PerceptionModel(distance_error=distance_error, bias="random"),
+            motion=MotionModel(xi=0.5),
+            algorithm=KKNPSAlgorithm(k=k, distance_error_tolerance=distance_error),
+            n_robots=n_robots,
+            seed=seed + 1,
+            max_activations=max_activations,
+            epsilon=epsilon,
+            k=k,
+        )
+    )
+    result.runs.append(
+        _run_with(
+            f"compass skew {skew}",
+            perception=PerceptionModel(
+                distortion=SymmetricDistortion(amplitude=skew, frequency=2)
+            ),
+            motion=MotionModel(xi=0.5),
+            algorithm=KKNPSAlgorithm(k=k, skew_tolerance=skew),
+            n_robots=n_robots,
+            seed=seed + 2,
+            max_activations=max_activations,
+            epsilon=epsilon,
+            k=k,
+        )
+    )
+    result.runs.append(
+        _run_with(
+            f"quadratic motion error (c={quadratic_coefficient})",
+            perception=PerceptionModel.exact(),
+            motion=MotionModel(
+                xi=0.5, deviation="quadratic", coefficient=quadratic_coefficient, bias="random"
+            ),
+            algorithm=KKNPSAlgorithm(k=k),
+            n_robots=n_robots,
+            seed=seed + 3,
+            max_activations=max_activations,
+            epsilon=epsilon,
+            k=k,
+        )
+    )
+    result.runs.append(
+        _run_with(
+            f"linear motion error (c={linear_coefficient})",
+            perception=PerceptionModel.exact(),
+            motion=MotionModel(
+                xi=0.5, deviation="linear", coefficient=linear_coefficient, bias="adversarial"
+            ),
+            algorithm=KKNPSAlgorithm(k=k),
+            n_robots=n_robots,
+            seed=seed + 4,
+            max_activations=max_activations,
+            epsilon=epsilon,
+            k=k,
+        )
+    )
+    result.figure18 = _figure18_sweep(figure18_coefficients)
+    return result
+
+
+def main() -> None:  # pragma: no cover - CLI entry point
+    result = run()
+    print(result.to_table().render())
+    print()
+    print(result.figure18_table().render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

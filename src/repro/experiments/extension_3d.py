@@ -1,0 +1,117 @@
+"""Experiment X1 — Section 6.3.2: the algorithm generalised to three dimensions.
+
+The paper sketches the 3D generalisation (ball-shaped safe regions) and
+leaves the details to future work; this experiment exercises the concrete
+instantiation in ``repro.spatial3d``: cohesive convergence of the 3D rule
+under semi-synchronous subset activation with non-rigid motion, across
+several 3D workload shapes and swarm sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from ..analysis.tables import TextTable
+from ..spatial3d import (
+    KKNPS3Algorithm,
+    Simulation3Config,
+    lattice_configuration3,
+    line_configuration3,
+    random_connected_configuration3,
+    run_simulation3,
+)
+
+
+@dataclass(frozen=True)
+class Extension3DRow:
+    """One 3D convergence run."""
+
+    workload: str
+    n_robots: int
+    k: int
+    converged: bool
+    cohesion: bool
+    rounds: int
+    final_diameter: float
+
+
+@dataclass
+class Extension3DResult:
+    """All rows of the 3D-extension experiment."""
+
+    epsilon: float
+    rows: List[Extension3DRow] = field(default_factory=list)
+
+    def to_table(self) -> TextTable:
+        table = TextTable(
+            f"Section 6.3.2 extension — cohesive convergence in 3D (epsilon {self.epsilon})",
+            ["workload", "n", "k", "converged", "cohesive", "rounds", "final diameter"],
+        )
+        for row in self.rows:
+            table.add_row(
+                row.workload, row.n_robots, row.k, row.converged, row.cohesion,
+                row.rounds, row.final_diameter,
+            )
+        return table
+
+    @property
+    def all_converged_cohesively(self) -> bool:
+        """Every 3D run converged while preserving the initial edges."""
+        return all(row.converged and row.cohesion for row in self.rows)
+
+
+def run(
+    *,
+    epsilon: float = 0.05,
+    max_rounds: int = 3000,
+    activation_probability: float = 0.6,
+    xi: float = 0.5,
+    seed: int = 0,
+    k_values: tuple = (1, 2),
+    random_sizes: tuple = (8, 16),
+) -> Extension3DResult:
+    """Run the 3D convergence grid."""
+    result = Extension3DResult(epsilon=epsilon)
+
+    workloads = [
+        ("line", line_configuration3(6, spacing=0.7)),
+        ("lattice", lattice_configuration3(2, spacing=0.6)),
+    ]
+    for n in random_sizes:
+        workloads.append((f"random({n})", random_connected_configuration3(n, seed=seed + n)))
+
+    for k in k_values:
+        for name, configuration in workloads:
+            outcome = run_simulation3(
+                configuration.positions,
+                KKNPS3Algorithm(k=k),
+                Simulation3Config(
+                    visibility_range=configuration.visibility_range,
+                    max_rounds=max_rounds,
+                    convergence_epsilon=epsilon,
+                    activation_probability=activation_probability,
+                    xi=xi,
+                    seed=seed + k,
+                ),
+            )
+            result.rows.append(
+                Extension3DRow(
+                    workload=name,
+                    n_robots=len(configuration),
+                    k=k,
+                    converged=outcome.converged,
+                    cohesion=outcome.cohesion_maintained,
+                    rounds=outcome.rounds_executed,
+                    final_diameter=outcome.final_diameter,
+                )
+            )
+    return result
+
+
+def main() -> None:  # pragma: no cover - CLI entry point
+    print(run().to_table().render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

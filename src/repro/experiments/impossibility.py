@@ -1,0 +1,121 @@
+"""Experiment I1 — Section 7 (Figures 19-22): impossibility under unbounded Async.
+
+Wraps :func:`repro.adversary.impossibility.run_impossibility` and renders
+the verification of every ingredient of the impossibility argument as a
+table: the spiral construction, the legality of every adversarial
+activation (lens confinement), the accumulated hub-distance drift versus
+the paper's ``4 psi^2`` bound, the distance-indistinguishability band, the
+forced-motion witnesses, and — the punchline — the broken
+``(X_A, X_B)`` visibility edge and the resulting linearly-separable split
+of the visibility graph.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..adversary.impossibility import ImpossibilityReport, run_impossibility
+from ..analysis.tables import TextTable, render_key_values
+
+
+@dataclass
+class ImpossibilityResult:
+    """The Section-7 report plus table renderings."""
+
+    report: ImpossibilityReport
+
+    def headline_table(self) -> str:
+        report = self.report
+        pairs = [
+            ("psi (turn angle)", report.spiral.psi),
+            ("tail robots", report.spiral.n_tail),
+            ("total robots", report.spiral.n_robots),
+            ("paper robot-count bound", report.spiral.predicted_robot_count()),
+            ("total chord rotation (rad)", report.spiral.total_rotation()),
+            ("adversarial activations", report.flattening.total_moves),
+            ("lens violations", report.flattening.lens_violations),
+            ("max |hub-distance drift|", report.flattening.max_abs_drift),
+            ("paper drift bound 4*psi^2", report.flattening.paper_total_drift_bound()),
+            ("min chain edge length", report.flattening.min_edge_length_seen),
+            ("required zeta", report.required_zeta),
+            ("final components", report.final_components),
+            ("components linearly separable", report.components_linearly_separable),
+        ]
+        return render_key_values("Section 7 — impossibility construction, headline numbers", pairs)
+
+    def hub_move_table(self) -> TextTable:
+        table = TextTable(
+            "Section 7 — forced hub moves of representative algorithms and the resulting "
+            "X_A / X_B separation",
+            ["algorithm", "zeta", "direction (deg)", "in C-side half sector",
+             "final |A' X_B|", "visibility broken"],
+        )
+        for move in self.report.hub_moves:
+            table.add_row(
+                move.algorithm_name,
+                move.zeta,
+                math.degrees(move.direction_angle),
+                move.in_c_side_half_sector,
+                self.report.separations.get(move.algorithm_name, float("nan")),
+                self.report.visibility_broken.get(move.algorithm_name, False),
+            )
+        return table
+
+    def witness_table(self) -> TextTable:
+        table = TextTable(
+            "Section 7.2.1 — forced-motion witnesses (confusable special angles)",
+            ["turn angle", "skew", "modulus M", "2*pi*i/M", "2*pi*(i+1)/M", "valid"],
+        )
+        for witness in self.report.witnesses:
+            table.add_row(
+                witness.turn_angle,
+                witness.skew,
+                witness.modulus,
+                witness.lower_special_angle,
+                witness.upper_special_angle,
+                witness.is_valid(),
+            )
+        return table
+
+    @property
+    def impossibility_demonstrated(self) -> bool:
+        """Every check of the construction passed and visibility was broken."""
+        report = self.report
+        return (
+            report.construction_is_legal
+            and report.drift_within_paper_bound
+            and report.edges_indistinguishable_from_threshold
+            and report.any_representative_breaks_visibility
+            and report.final_components >= 2
+        )
+
+
+def run(
+    *,
+    psi: float = 0.3,
+    delta: float = 0.05,
+    skew: float = 0.1,
+    target_rotation: float = 3.0 * math.pi / 8.0,
+) -> ImpossibilityResult:
+    """Run the Section-7 construction and wrap its report."""
+    report = run_impossibility(
+        psi, delta=delta, skew=skew, target_rotation=target_rotation
+    )
+    return ImpossibilityResult(report=report)
+
+
+def main() -> None:  # pragma: no cover - CLI entry point
+    result = run()
+    print(result.headline_table())
+    print()
+    print(result.hub_move_table().render())
+    print()
+    print(result.witness_table().render())
+    print()
+    print("impossibility demonstrated:", result.impossibility_demonstrated)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,164 @@
+"""Experiment L12 — Lemmas 1-2 (Figures 5-9): reachable-region containment.
+
+Lemma 1: a robot making ``j <= k`` successive moves, each confined to its
+current ``1/k``-scaled safe region with respect to a *stationary*
+neighbour, stays inside ``R^{j V/(8k)}_{Y0}(X0, X0)``.
+
+Lemma 2 (base-region extension): the same holds when the neighbour is in
+the process of moving from ``X0`` to ``X1`` and each move of the observer
+is confined to the scaled safe region with respect to the neighbour's
+*current* position.
+
+This experiment verifies both statements by Monte-Carlo simulation of
+adversarial move sequences, and also runs a negative control showing the
+containment is not an artefact of slack: when the per-move regions are
+inflated well beyond the paper's radius, escapes from the same target
+region do occur.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..analysis.tables import TextTable
+from ..geometry.point import Point
+from ..geometry.region import ReachableRegion, offset_disk
+
+
+@dataclass
+class RegionContainmentResult:
+    """Counts of containment checks for one experimental arm."""
+
+    label: str
+    trials: int
+    violations: int
+    max_overshoot: float
+
+    @property
+    def violation_rate(self) -> float:
+        """Fraction of trials that escaped the target region."""
+        return self.violations / self.trials if self.trials else 0.0
+
+
+@dataclass
+class LemmaRegionsResult:
+    """Outcome of the Lemma-1/Lemma-2 Monte-Carlo verification."""
+
+    lemma1: RegionContainmentResult
+    lemma2: RegionContainmentResult
+    inflated_control: RegionContainmentResult
+
+    def to_table(self) -> TextTable:
+        table = TextTable(
+            "Lemmas 1-2 (Figs. 5-9) — Monte-Carlo containment of scaled-safe-region moves",
+            ["arm", "trials", "violations", "violation rate", "max overshoot"],
+        )
+        for arm in (self.lemma1, self.lemma2, self.inflated_control):
+            table.add_row(arm.label, arm.trials, arm.violations, arm.violation_rate, arm.max_overshoot)
+        return table
+
+    @property
+    def lemmas_hold(self) -> bool:
+        """Both lemma arms produced zero violations."""
+        return self.lemma1.violations == 0 and self.lemma2.violations == 0
+
+
+def _simulate_moves(
+    rng: np.random.Generator,
+    *,
+    k: int,
+    j: int,
+    v_y: float,
+    x_start: Point,
+    x_end: Point,
+    radius_multiplier: float = 1.0,
+) -> Tuple[Point, ReachableRegion]:
+    """Make ``j`` adversarial scaled-safe-region moves and return the endpoint."""
+    y0 = Point(0.0, 0.0)
+    step_radius = radius_multiplier * v_y / (8.0 * k)
+    # The neighbour progresses monotonically from x_start to x_end; the
+    # fractions at which the observer sees it are adversarial.
+    ts = np.sort(rng.random(j))
+    position = y0
+    for t in ts:
+        observed = x_start.lerp(x_end, float(t))
+        region = offset_disk(position, observed, step_radius)
+        angle = rng.uniform(0.0, 2.0 * math.pi)
+        radius = region.radius * math.sqrt(rng.random())
+        # Bias toward the boundary to make escapes as likely as possible.
+        if rng.random() < 0.6:
+            radius = region.radius
+        position = region.center + Point.polar(radius, angle)
+    target = ReachableRegion.of(y0, x_start, x_end, j * v_y / (8.0 * k))
+    return position, target
+
+
+def _run_arm(
+    label: str,
+    *,
+    trials: int,
+    seed: int,
+    stationary: bool,
+    radius_multiplier: float = 1.0,
+    max_k: int = 6,
+) -> RegionContainmentResult:
+    rng = np.random.default_rng(seed)
+    violations = 0
+    max_overshoot = 0.0
+    for _ in range(trials):
+        k = int(rng.integers(1, max_k + 1))
+        j = int(rng.integers(1, k + 1))
+        v_y = float(rng.uniform(0.5, 1.0))
+        # The neighbour is distant: farther than V_Y / 2.
+        start_distance = float(rng.uniform(0.5 * v_y + 1e-6, v_y))
+        x_start = Point.polar(start_distance, rng.uniform(0.0, 2.0 * math.pi))
+        if stationary:
+            x_end = x_start
+        else:
+            # The neighbour's own move is bounded by V/8 <= V_Y/8 in the paper.
+            move = Point.polar(v_y / 8.0 * rng.random(), rng.uniform(0.0, 2.0 * math.pi))
+            x_end = x_start + move
+        endpoint, region = _simulate_moves(
+            rng,
+            k=k,
+            j=j,
+            v_y=v_y,
+            x_start=x_start,
+            x_end=x_end,
+            radius_multiplier=radius_multiplier,
+        )
+        if not region.contains(endpoint, eps=1e-7):
+            violations += 1
+            overshoot = (
+                region.distance_to_core_center(endpoint) - region.radius
+            )
+            max_overshoot = max(max_overshoot, overshoot)
+    return RegionContainmentResult(
+        label=label, trials=trials, violations=violations, max_overshoot=max_overshoot
+    )
+
+
+def run(*, trials: int = 400, seed: int = 0) -> LemmaRegionsResult:
+    """Run the three arms: Lemma 1, Lemma 2 and the inflated negative control."""
+    lemma1 = _run_arm("lemma 1 (stationary neighbour)", trials=trials, seed=seed, stationary=True)
+    lemma2 = _run_arm("lemma 2 (moving neighbour)", trials=trials, seed=seed + 1, stationary=False)
+    control = _run_arm(
+        "control (per-move radius x4)",
+        trials=trials,
+        seed=seed + 2,
+        stationary=False,
+        radius_multiplier=4.0,
+    )
+    return LemmaRegionsResult(lemma1=lemma1, lemma2=lemma2, inflated_control=control)
+
+
+def main() -> None:  # pragma: no cover - CLI entry point
+    print(run().to_table().render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,145 @@
+"""Registry of every reproduced experiment, keyed by the DESIGN.md experiment id."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from . import (
+    baselines_unlimited,
+    congregation_lemmas,
+    convergence,
+    disconnected,
+    error_tolerance,
+    extension_3d,
+    fig3_safe_regions,
+    fig4_ando_failure,
+    impossibility,
+    lemma5_chain,
+    lemma_regions,
+    separation_matrix,
+    unlimited_async,
+)
+
+
+@dataclass(frozen=True)
+class ExperimentEntry:
+    """One reproducible artifact of the paper."""
+
+    experiment_id: str
+    paper_artifact: str
+    description: str
+    run: Callable[..., object]
+    bench: str
+
+
+REGISTRY: Dict[str, ExperimentEntry] = {
+    entry.experiment_id: entry
+    for entry in [
+        ExperimentEntry(
+            "F3",
+            "Figure 3",
+            "Safe-region comparison: Ando vs Katreniak vs KKNPS",
+            fig3_safe_regions.run,
+            "benchmarks/bench_fig3_safe_regions.py",
+        ),
+        ExperimentEntry(
+            "F4",
+            "Figure 4",
+            "Ando separation under 1-Async / 2-NestA; KKNPS contrast",
+            fig4_ando_failure.run,
+            "benchmarks/bench_fig4_ando_failure.py",
+        ),
+        ExperimentEntry(
+            "L12",
+            "Lemmas 1-2, Figures 5-9",
+            "Reachable-region containment (Monte Carlo)",
+            lemma_regions.run,
+            "benchmarks/bench_lemma_regions.py",
+        ),
+        ExperimentEntry(
+            "L5",
+            "Lemma 5, Figures 10-14",
+            "Doomed-engagement adversarial search and chain invariant",
+            lemma5_chain.run,
+            "benchmarks/bench_lemma5_chain.py",
+        ),
+        ExperimentEntry(
+            "T1",
+            "Theorems 3-4 vs Figure 4 / Section 7",
+            "Separation matrix: algorithm x scheduler success table",
+            separation_matrix.run,
+            "benchmarks/bench_separation_matrix.py",
+        ),
+        ExperimentEntry(
+            "C1",
+            "Section 5",
+            "Congregation under k-Async: scaling in n and k, ablations",
+            convergence.run,
+            "benchmarks/bench_convergence.py",
+        ),
+        ExperimentEntry(
+            "L68",
+            "Lemmas 6-8, Figures 16-17",
+            "Congregation bounds and hull nesting (Monte Carlo)",
+            congregation_lemmas.run,
+            "benchmarks/bench_congregation_lemmas.py",
+        ),
+        ExperimentEntry(
+            "E1",
+            "Section 6.1, Figure 18",
+            "Error tolerance: distance, skew, quadratic vs linear motion error",
+            error_tolerance.run,
+            "benchmarks/bench_error_tolerance.py",
+        ),
+        ExperimentEntry(
+            "I1",
+            "Section 7, Figures 19-22",
+            "Impossibility construction under unbounded Async",
+            impossibility.run,
+            "benchmarks/bench_impossibility.py",
+        ),
+        ExperimentEntry(
+            "S2",
+            "Section 1.2.2",
+            "Unlimited-visibility baselines: CoG vs GCM halving rounds",
+            baselines_unlimited.run,
+            "benchmarks/bench_baselines_unlimited.py",
+        ),
+        ExperimentEntry(
+            "U1",
+            "Section 6.2",
+            "KKNPS under unbounded Async with V above the initial diameter",
+            unlimited_async.run,
+            "benchmarks/bench_unlimited_async.py",
+        ),
+        ExperimentEntry(
+            "D1",
+            "Section 6.3.1",
+            "Disconnected initial configurations: per-component convergence",
+            disconnected.run,
+            "benchmarks/bench_disconnected.py",
+        ),
+        ExperimentEntry(
+            "X1",
+            "Section 6.3.2",
+            "Three-dimensional extension: cohesive convergence in 3D",
+            extension_3d.run,
+            "benchmarks/bench_extension_3d.py",
+        ),
+    ]
+}
+
+
+def experiment_ids() -> List[str]:
+    """All registered experiment ids, in registration order."""
+    return list(REGISTRY)
+
+
+def get(experiment_id: str) -> ExperimentEntry:
+    """Look up one experiment; raises ``KeyError`` with the known ids listed."""
+    try:
+        return REGISTRY[experiment_id]
+    except KeyError:
+        known = ", ".join(REGISTRY)
+        raise KeyError(f"unknown experiment {experiment_id!r}; known ids: {known}") from None

@@ -1,0 +1,223 @@
+"""Experiment T1 — the headline separation matrix (Theorems 3-4 vs Section 7 / Figure 4).
+
+The paper's main message is a *separation*: with bounded asynchrony
+(k-Async, any fixed k) Cohesive Convergence is solvable — by the paper's
+algorithm — while with unbounded asynchrony it is not, and the classical
+algorithms already fail at very low levels of asynchrony.  This experiment
+assembles that message into a single success matrix:
+
+* rows: algorithm (KKNPS at matching k, KKNPS at k=1 run beyond its bound,
+  Ando et al., Katreniak);
+* columns: scheduler (SSync, 1-Async, k-Async, k-NestA, plus the scripted
+  Figure-4 adversary and the Section-7 spiral adversary where applicable);
+* cells: did the run preserve every initial visibility edge, and did it
+  converge?
+
+Random schedulers cannot certify impossibility, so the adversarial columns
+carry the constructive failures (Figure 4 for Ando, Section 7 for any
+error-tolerant algorithm), while the stochastic columns show the positive
+side of the separation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..adversary.ando_counterexample import (
+    canonical_instance,
+    one_async_schedule,
+    replay,
+    two_nesta_schedule,
+)
+from ..algorithms.ando import AndoAlgorithm
+from ..algorithms.base import ConvergenceAlgorithm
+from ..algorithms.katreniak import KatreniakAlgorithm
+from ..algorithms.kknps import KKNPSAlgorithm
+from ..analysis.tables import TextTable
+from ..engine.simulator import SimulationConfig, run_simulation
+from ..schedulers.base import Scheduler
+from ..schedulers.kasync import KAsyncScheduler
+from ..schedulers.nesta import KNestAScheduler
+from ..schedulers.synchronous import SSyncScheduler
+from ..workloads.generators import random_connected_configuration
+
+
+@dataclass(frozen=True)
+class MatrixCell:
+    """One algorithm/scheduler cell of the separation matrix."""
+
+    algorithm: str
+    scheduler: str
+    runs: int
+    cohesion_preserved: int
+    converged: int
+    worst_final_diameter: float
+
+    @property
+    def always_cohesive(self) -> bool:
+        return self.cohesion_preserved == self.runs
+
+    @property
+    def always_converged(self) -> bool:
+        return self.converged == self.runs
+
+
+@dataclass
+class SeparationMatrixResult:
+    """All cells of the separation matrix."""
+
+    cells: List[MatrixCell] = field(default_factory=list)
+
+    def to_table(self) -> TextTable:
+        table = TextTable(
+            "Separation matrix — cohesion / convergence per algorithm and scheduler",
+            [
+                "algorithm",
+                "scheduler",
+                "runs",
+                "cohesive",
+                "converged",
+                "worst final diameter",
+            ],
+        )
+        for cell in self.cells:
+            table.add_row(
+                cell.algorithm,
+                cell.scheduler,
+                cell.runs,
+                f"{cell.cohesion_preserved}/{cell.runs}",
+                f"{cell.converged}/{cell.runs}",
+                cell.worst_final_diameter,
+            )
+        return table
+
+    def cell(self, algorithm: str, scheduler: str) -> Optional[MatrixCell]:
+        """Look up one cell by its labels."""
+        for cell in self.cells:
+            if cell.algorithm == algorithm and cell.scheduler == scheduler:
+                return cell
+        return None
+
+
+def _stochastic_cell(
+    algorithm_factory: Callable[[], ConvergenceAlgorithm],
+    scheduler_factory: Callable[[], Scheduler],
+    *,
+    algorithm_label: str,
+    scheduler_label: str,
+    n_robots: int,
+    runs: int,
+    seed: int,
+    max_activations: int,
+    epsilon: float,
+    k_bound: Optional[int],
+) -> MatrixCell:
+    cohesive = 0
+    converged = 0
+    worst_diameter = 0.0
+    for run_index in range(runs):
+        configuration = random_connected_configuration(n_robots, seed=seed + run_index)
+        result = run_simulation(
+            configuration.positions,
+            algorithm_factory(),
+            scheduler_factory(),
+            SimulationConfig(
+                max_activations=max_activations,
+                convergence_epsilon=epsilon,
+                seed=seed + run_index,
+                k_bound=k_bound,
+            ),
+        )
+        if result.cohesion_maintained:
+            cohesive += 1
+        if result.converged:
+            converged += 1
+        worst_diameter = max(worst_diameter, result.final_hull_diameter)
+    return MatrixCell(
+        algorithm=algorithm_label,
+        scheduler=scheduler_label,
+        runs=runs,
+        cohesion_preserved=cohesive,
+        converged=converged,
+        worst_final_diameter=worst_diameter,
+    )
+
+
+def run(
+    *,
+    n_robots: int = 10,
+    runs_per_cell: int = 3,
+    max_activations: int = 6000,
+    epsilon: float = 0.05,
+    k: int = 4,
+    seed: int = 0,
+) -> SeparationMatrixResult:
+    """Build the separation matrix.
+
+    The stochastic columns use ``runs_per_cell`` random connected
+    configurations of ``n_robots`` robots each; the adversarial columns
+    replay the Figure-4 construction.
+    """
+    result = SeparationMatrixResult()
+
+    stochastic_columns = [
+        ("ssync", lambda: SSyncScheduler(), None),
+        ("1-async", lambda: KAsyncScheduler(k=1), 1),
+        (f"{k}-async", lambda: KAsyncScheduler(k=k), k),
+        (f"{k}-nesta", lambda: KNestAScheduler(k=k), k),
+    ]
+    algorithm_rows = [
+        ("kknps(k matched)", lambda k_bound: KKNPSAlgorithm(k=k_bound or 1)),
+        ("kknps(k=1 fixed)", lambda k_bound: KKNPSAlgorithm(k=1)),
+        ("ando", lambda k_bound: AndoAlgorithm()),
+        ("katreniak", lambda k_bound: KatreniakAlgorithm()),
+    ]
+
+    for algorithm_label, algorithm_factory in algorithm_rows:
+        for scheduler_label, scheduler_factory, k_bound in stochastic_columns:
+            result.cells.append(
+                _stochastic_cell(
+                    lambda kb=k_bound: algorithm_factory(kb),
+                    scheduler_factory,
+                    algorithm_label=algorithm_label,
+                    scheduler_label=scheduler_label,
+                    n_robots=n_robots,
+                    runs=runs_per_cell,
+                    seed=seed,
+                    max_activations=max_activations,
+                    epsilon=epsilon,
+                    k_bound=k_bound,
+                )
+            )
+
+    # Adversarial columns: the scripted Figure-4 timelines.
+    instance = canonical_instance()
+    for schedule_name, schedule in (
+        ("fig4 1-async adversary", one_async_schedule()),
+        ("fig4 2-nesta adversary", two_nesta_schedule()),
+    ):
+        for algorithm_label, algorithm in (
+            ("ando", AndoAlgorithm()),
+            ("kknps(k matched)", KKNPSAlgorithm(k=1 if "1-async" in schedule_name else 2)),
+        ):
+            outcome = replay(instance, schedule, algorithm=algorithm, schedule_name=schedule_name)
+            result.cells.append(
+                MatrixCell(
+                    algorithm=algorithm_label,
+                    scheduler=schedule_name,
+                    runs=1,
+                    cohesion_preserved=0 if outcome.visibility_broken else 1,
+                    converged=0,
+                    worst_final_diameter=outcome.result.final_hull_diameter,
+                )
+            )
+    return result
+
+
+def main() -> None:  # pragma: no cover - CLI entry point
+    print(run().to_table().render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

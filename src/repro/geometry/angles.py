@@ -1,0 +1,159 @@
+"""Angle arithmetic and angular-sector utilities.
+
+The paper's destination rule (Section 5) needs two angular computations:
+
+* whether a robot lies in the convex hull of the *directions* of its
+  distant neighbours (equivalently: whether those directions fit inside an
+  open half-plane through the robot), and
+* if they do fit, which two directions are *extreme*, i.e. define the
+  smallest sector containing all of them (the complement of the maximum
+  angular gap).
+
+Both are provided here, together with the usual normalisation helpers and
+the "signed turn angle" used by the Lemma-5 chain analysis and by the
+Section-7 sliver construction.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Sequence, Tuple
+
+from .point import Point, PointLike
+from .tolerances import EPS
+
+TWO_PI = 2.0 * math.pi
+
+
+def normalize_angle(theta: float) -> float:
+    """Map ``theta`` into ``(-pi, pi]``."""
+    theta = math.fmod(theta, TWO_PI)
+    if theta <= -math.pi:
+        theta += TWO_PI
+    elif theta > math.pi:
+        theta -= TWO_PI
+    return theta
+
+
+def normalize_angle_positive(theta: float) -> float:
+    """Map ``theta`` into ``[0, 2*pi)``."""
+    theta = math.fmod(theta, TWO_PI)
+    if theta < 0.0:
+        theta += TWO_PI
+    return theta
+
+
+def angle_difference(a: float, b: float) -> float:
+    """Signed difference ``a - b`` normalised into ``(-pi, pi]``."""
+    return normalize_angle(a - b)
+
+
+def angle_between(u: PointLike, v: PointLike) -> float:
+    """Unsigned angle in ``[0, pi]`` between two non-zero vectors."""
+    u, v = Point.of(u), Point.of(v)
+    nu, nv = u.norm(), v.norm()
+    if nu <= EPS or nv <= EPS:
+        raise ValueError("angle between zero vectors is undefined")
+    c = max(-1.0, min(1.0, u.dot(v) / (nu * nv)))
+    return math.acos(c)
+
+
+def signed_turn_angle(a: PointLike, b: PointLike, c: PointLike) -> float:
+    """Signed turn at ``b`` when walking ``a -> b -> c``.
+
+    Zero means the walk continues straight ahead; positive means a left
+    (counter-clockwise) turn.  The Section-7 spiral places consecutive tail
+    robots at a fixed turn angle ``psi`` from the supporting chord, and the
+    sliver-flattening adversary drives this quantity to (essentially) zero.
+    """
+    a, b, c = Point.of(a), Point.of(b), Point.of(c)
+    incoming = b - a
+    outgoing = c - b
+    return normalize_angle(outgoing.angle() - incoming.angle())
+
+
+def interior_angle(a: PointLike, b: PointLike, c: PointLike) -> float:
+    """Interior angle at vertex ``b`` of the triangle ``a b c``, in ``[0, pi]``."""
+    a, b, c = Point.of(a), Point.of(b), Point.of(c)
+    return angle_between(a - b, c - b)
+
+
+def max_angular_gap(angles: Sequence[float]) -> Tuple[float, int, int]:
+    """Largest gap between consecutive directions on the circle.
+
+    Returns ``(gap, i, j)`` where ``gap`` is the size of the largest empty
+    angular interval and ``i``/``j`` are indices (into ``angles``) of the
+    directions bounding the gap: the gap runs counter-clockwise from
+    ``angles[i]`` to ``angles[j]``.
+
+    With a single direction the gap is the full circle bounded by that
+    direction on both sides.
+    """
+    if not angles:
+        raise ValueError("max_angular_gap of an empty direction set")
+    normalized = [normalize_angle_positive(a) for a in angles]
+    order = sorted(range(len(normalized)), key=lambda k: normalized[k])
+    if len(order) == 1:
+        return TWO_PI, order[0], order[0]
+    best_gap = -1.0
+    best_pair = (order[0], order[0])
+    for idx in range(len(order)):
+        i = order[idx]
+        j = order[(idx + 1) % len(order)]
+        gap = normalized[j] - normalized[i]
+        if idx == len(order) - 1:
+            gap += TWO_PI
+        if gap > best_gap:
+            best_gap = gap
+            best_pair = (i, j)
+    return best_gap, best_pair[0], best_pair[1]
+
+
+def fits_in_open_halfplane(directions: Sequence[PointLike]) -> bool:
+    """True when all directions fit strictly inside some open half-plane.
+
+    Equivalently: the origin is *not* in the convex hull of the direction
+    vectors.  The paper's destination rule keeps a robot stationary exactly
+    when its distant neighbours do **not** fit in such a half-plane (the
+    intersection of their safe regions is then the robot's own location).
+    """
+    dirs = [Point.of(d) for d in directions if Point.of(d).norm() > EPS]
+    if not dirs:
+        return False
+    angles = [d.angle() for d in dirs]
+    gap, _, _ = max_angular_gap(angles)
+    return gap > math.pi + EPS
+
+
+def extreme_directions(directions: Sequence[PointLike]) -> Tuple[int, int]:
+    """Indices of the two directions bounding the smallest containing sector.
+
+    Preconditions: the directions fit in an open half-plane (use
+    :func:`fits_in_open_halfplane` first).  The returned pair ``(i, j)``
+    spans the sector counter-clockwise from direction ``j`` to direction
+    ``i`` (i.e. the *complement* of the maximum angular gap).
+    """
+    dirs = [Point.of(d) for d in directions]
+    angles = [d.angle() for d in dirs]
+    _, i, j = max_angular_gap(angles)
+    return j, i
+
+
+def sector_span(directions: Sequence[PointLike]) -> float:
+    """Angular span of the smallest sector containing all directions."""
+    dirs = [Point.of(d) for d in directions if Point.of(d).norm() > EPS]
+    if not dirs:
+        return 0.0
+    gap, _, _ = max_angular_gap([d.angle() for d in dirs])
+    return TWO_PI - gap
+
+
+def directions_from(origin: PointLike, points: Iterable[PointLike]) -> List[Point]:
+    """Unit direction vectors from ``origin`` to each point (skipping coincident points)."""
+    origin = Point.of(origin)
+    result: List[Point] = []
+    for p in points:
+        p = Point.of(p)
+        if origin.distance_to(p) > EPS:
+            result.append(origin.direction_to(p))
+    return result

@@ -1,0 +1,165 @@
+"""Closed disks and circles.
+
+Safe regions in all three algorithms (Ando et al., Katreniak, and the
+paper's KKNPS algorithm) are disks or unions/intersections of disks, so
+the :class:`Disk` type carries the containment, intersection and
+lens-geometry operations those constructions need.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from .point import Point, PointLike
+from .tolerances import EPS
+
+
+@dataclass(frozen=True)
+class Disk:
+    """The closed disk of radius ``radius`` centred at ``center``."""
+
+    center: Point
+    radius: float
+
+    def __post_init__(self) -> None:
+        if self.radius < -EPS:
+            raise ValueError(f"disk radius must be non-negative, got {self.radius}")
+        object.__setattr__(self, "center", Point.of(self.center))
+        object.__setattr__(self, "radius", float(max(0.0, self.radius)))
+
+    # -- predicates ----------------------------------------------------------
+    def contains(self, point: PointLike, *, eps: float = EPS) -> bool:
+        """Closed containment test, with tolerance ``eps``."""
+        return self.center.distance_to(point) <= self.radius + eps
+
+    def contains_disk(self, other: "Disk", *, eps: float = EPS) -> bool:
+        """True when ``other`` lies entirely inside this disk."""
+        return self.center.distance_to(other.center) + other.radius <= self.radius + eps
+
+    def intersects(self, other: "Disk", *, eps: float = EPS) -> bool:
+        """True when the two closed disks share at least one point."""
+        return self.center.distance_to(other.center) <= self.radius + other.radius + eps
+
+    def on_boundary(self, point: PointLike, *, eps: float = EPS) -> bool:
+        """True when ``point`` lies on the bounding circle up to ``eps``."""
+        return abs(self.center.distance_to(point) - self.radius) <= eps
+
+    # -- geometry --------------------------------------------------------------
+    def area(self) -> float:
+        """Area of the disk."""
+        return math.pi * self.radius * self.radius
+
+    def boundary_point(self, angle: float) -> Point:
+        """Point on the bounding circle in direction ``angle`` from the centre."""
+        return self.center + Point.polar(self.radius, angle)
+
+    def closest_point_to(self, point: PointLike) -> Point:
+        """The point of the disk closest to ``point`` (``point`` itself if inside)."""
+        point = Point.of(point)
+        if self.contains(point):
+            return point
+        return self.center.toward(point, self.radius)
+
+    def farthest_point_from(self, point: PointLike) -> Point:
+        """The point of the disk farthest from ``point``."""
+        point = Point.of(point)
+        if self.center.is_close(point):
+            return self.boundary_point(0.0)
+        direction = (self.center - point).unit()
+        return self.center + direction * self.radius
+
+    def clamp(self, point: PointLike) -> Point:
+        """Alias of :meth:`closest_point_to` (projection onto the disk)."""
+        return self.closest_point_to(point)
+
+    def scaled(self, factor: float) -> "Disk":
+        """Disk with the same centre and radius scaled by ``factor``."""
+        return Disk(self.center, self.radius * factor)
+
+    def translated(self, offset: PointLike) -> "Disk":
+        """Disk translated by ``offset``."""
+        return Disk(self.center + Point.of(offset), self.radius)
+
+    # -- circle-circle intersections ------------------------------------------
+    def boundary_intersections(self, other: "Disk") -> List[Point]:
+        """Intersection points of the two bounding circles (0, 1 or 2 points)."""
+        d = self.center.distance_to(other.center)
+        r0, r1 = self.radius, other.radius
+        if d <= EPS and abs(r0 - r1) <= EPS:
+            return []  # coincident circles: infinitely many points
+        if d > r0 + r1 + EPS or d < abs(r0 - r1) - EPS or d <= EPS:
+            return []
+        a = (r0 * r0 - r1 * r1 + d * d) / (2.0 * d)
+        h_sq = r0 * r0 - a * a
+        if h_sq < -EPS:
+            return []
+        h = math.sqrt(max(0.0, h_sq))
+        base = self.center + (other.center - self.center) * (a / d)
+        if h <= EPS:
+            return [base]
+        offset = (other.center - self.center).perpendicular() * (h / d)
+        return [base + offset, base - offset]
+
+    def intersection_area(self, other: "Disk") -> float:
+        """Area of the lens formed by the two closed disks."""
+        d = self.center.distance_to(other.center)
+        r0, r1 = self.radius, other.radius
+        if d >= r0 + r1:
+            return 0.0
+        if d <= abs(r0 - r1):
+            small = min(r0, r1)
+            return math.pi * small * small
+        alpha = math.acos(max(-1.0, min(1.0, (d * d + r0 * r0 - r1 * r1) / (2 * d * r0))))
+        beta = math.acos(max(-1.0, min(1.0, (d * d + r1 * r1 - r0 * r0) / (2 * d * r1))))
+        return (
+            r0 * r0 * (alpha - math.sin(2 * alpha) / 2.0)
+            + r1 * r1 * (beta - math.sin(2 * beta) / 2.0)
+        )
+
+    def segment_intersection_length(self, a: PointLike, b: PointLike) -> float:
+        """Length of the part of segment ``a b`` inside the disk."""
+        a, b = Point.of(a), Point.of(b)
+        d = b - a
+        length = d.norm()
+        if length <= EPS:
+            return 0.0
+        f = a - self.center
+        qa = d.norm_squared()
+        qb = 2.0 * f.dot(d)
+        qc = f.norm_squared() - self.radius * self.radius
+        disc = qb * qb - 4 * qa * qc
+        if disc <= 0.0:
+            return 0.0
+        sqrt_disc = math.sqrt(disc)
+        t0 = max(0.0, (-qb - sqrt_disc) / (2 * qa))
+        t1 = min(1.0, (-qb + sqrt_disc) / (2 * qa))
+        if t1 <= t0:
+            return 0.0
+        return (t1 - t0) * length
+
+
+def lens_center(a: Disk, b: Disk) -> Optional[Point]:
+    """Centre point of the lens ``a ∩ b``.
+
+    The paper's destination rule picks "the middle point of the segment
+    connecting the centers of the safe regions corresponding to the two
+    [extreme] distant neighbours"; for two disks of equal radius this is
+    exactly the centre of their lens.  Returns ``None`` when the disks are
+    disjoint.
+    """
+    if not a.intersects(b):
+        return None
+    return a.center.midpoint(b.center)
+
+
+def disks_common_point(disks: Sequence[Disk], point: PointLike, *, eps: float = EPS) -> bool:
+    """True when ``point`` belongs to every disk in ``disks``."""
+    return all(d.contains(point, eps=eps) for d in disks)
+
+
+def farthest_point_in_disk_from(disk: Disk, anchor: PointLike) -> Tuple[Point, float]:
+    """Farthest point of ``disk`` from ``anchor`` together with its distance."""
+    p = disk.farthest_point_from(anchor)
+    return p, Point.of(anchor).distance_to(p)

@@ -1,0 +1,175 @@
+"""Convex hulls and hull-based progress measures.
+
+The congregation argument (Section 5 of the paper) measures progress
+towards convergence with the convex hull of the robot locations: the hulls
+of successive configurations are nested, and both the perimeter and the
+radius of the smallest bounding circle decrease monotonically.  This
+module provides the hull itself plus the perimeter/diameter/containment
+operations the experiments assert on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from .point import Point, PointLike, points_to_array
+from .segment import distance_point_to_line, orientation
+from .tolerances import EPS
+
+
+def convex_hull(points: Sequence[PointLike]) -> List[Point]:
+    """Convex hull in counter-clockwise order (Andrew's monotone chain).
+
+    Collinear points on the boundary are dropped.  Degenerate inputs (one
+    point, or all-collinear points) return the one or two extreme points.
+    """
+    pts = sorted({(Point.of(p).x, Point.of(p).y) for p in points})
+    unique = [Point(x, y) for x, y in pts]
+    if len(unique) <= 2:
+        return unique
+
+    def build(sequence: List[Point]) -> List[Point]:
+        chain: List[Point] = []
+        for p in sequence:
+            while len(chain) >= 2:
+                a = chain[-1] - chain[-2]
+                b = p - chain[-2]
+                # Drop the middle point only when the turn is (relatively)
+                # non-left; the tolerance scales with the vector magnitudes so
+                # that tiny-extent configurations are not over-collapsed.
+                if a.cross(b) <= EPS * max(a.norm() * b.norm(), EPS):
+                    chain.pop()
+                else:
+                    break
+            chain.append(p)
+        return chain
+
+    lower = build(unique)
+    upper = build(list(reversed(unique)))
+    hull = lower[:-1] + upper[:-1]
+    if not hull:
+        # Fully collinear input: return the two extreme points.
+        return [unique[0], unique[-1]]
+    return hull
+
+
+@dataclass(frozen=True)
+class ConvexHull:
+    """Convex hull of a point set, with the measures used by the paper."""
+
+    vertices: tuple
+
+    @staticmethod
+    def of(points: Sequence[PointLike]) -> "ConvexHull":
+        """Compute the hull of ``points``."""
+        return ConvexHull(tuple(convex_hull(points)))
+
+    def __len__(self) -> int:
+        return len(self.vertices)
+
+    def perimeter(self) -> float:
+        """Perimeter of the hull (0 for a single point, 2*length for a segment)."""
+        verts = self.vertices
+        if len(verts) < 2:
+            return 0.0
+        total = 0.0
+        for i, v in enumerate(verts):
+            total += v.distance_to(verts[(i + 1) % len(verts)])
+        return total
+
+    def area(self) -> float:
+        """Area of the hull (shoelace formula)."""
+        verts = self.vertices
+        if len(verts) < 3:
+            return 0.0
+        total = 0.0
+        for i, v in enumerate(verts):
+            w = verts[(i + 1) % len(verts)]
+            total += v.cross(w)
+        return abs(total) / 2.0
+
+    def diameter(self) -> float:
+        """Largest pairwise distance between hull vertices."""
+        verts = self.vertices
+        if len(verts) < 2:
+            return 0.0
+        best = 0.0
+        for i in range(len(verts)):
+            for j in range(i + 1, len(verts)):
+                best = max(best, verts[i].distance_to(verts[j]))
+        return best
+
+    def centroid(self) -> Point:
+        """Arithmetic mean of the hull vertices."""
+        verts = self.vertices
+        if not verts:
+            raise ValueError("centroid of an empty hull")
+        sx = sum(v.x for v in verts)
+        sy = sum(v.y for v in verts)
+        return Point(sx / len(verts), sy / len(verts))
+
+    def contains(self, point: PointLike, *, eps: float = EPS) -> bool:
+        """Closed containment test, tolerant by ``eps``."""
+        point = Point.of(point)
+        verts = self.vertices
+        if not verts:
+            return False
+        if len(verts) == 1:
+            return verts[0].is_close(point, eps=eps)
+        if len(verts) == 2:
+            from .segment import Segment
+
+            return Segment(verts[0], verts[1]).distance_to_point(point) <= eps
+        for i, v in enumerate(verts):
+            w = verts[(i + 1) % len(verts)]
+            if (w - v).cross(point - v) < -eps * max(1.0, (w - v).norm()):
+                return False
+        return True
+
+    def contains_hull(self, other: "ConvexHull", *, eps: float = EPS) -> bool:
+        """True when every vertex of ``other`` lies in this hull (hull nesting)."""
+        return all(self.contains(v, eps=eps) for v in other.vertices)
+
+    def distance_to_point(self, point: PointLike) -> float:
+        """Distance from ``point`` to the hull (0 if inside)."""
+        point = Point.of(point)
+        if self.contains(point):
+            return 0.0
+        from .segment import Segment
+
+        verts = self.vertices
+        if len(verts) == 1:
+            return verts[0].distance_to(point)
+        best = math.inf
+        for i, v in enumerate(verts):
+            w = verts[(i + 1) % len(verts)]
+            best = min(best, Segment(v, w).distance_to_point(point))
+        return best
+
+
+def hulls_nested(outer: Sequence[PointLike], inner: Sequence[PointLike], *, eps: float = 1e-7) -> bool:
+    """True when the hull of ``inner`` is contained in the hull of ``outer``.
+
+    This is the paper's incremental-congregation invariant
+    ``CH_{t+} ⊆ CH_t``.
+    """
+    return ConvexHull.of(outer).contains_hull(ConvexHull.of(inner), eps=eps)
+
+
+def hull_perimeter(points: Sequence[PointLike]) -> float:
+    """Perimeter of the convex hull of ``points``."""
+    return ConvexHull.of(points).perimeter()
+
+
+def hull_diameter(points: Sequence[PointLike]) -> float:
+    """Diameter of the convex hull of ``points``."""
+    return ConvexHull.of(points).diameter()
+
+
+def hull_radius(points: Sequence[PointLike]) -> float:
+    """Radius of the smallest circle enclosing the hull of ``points``."""
+    from .sec import smallest_enclosing_circle
+
+    return smallest_enclosing_circle(points).radius

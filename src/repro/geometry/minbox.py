@@ -1,0 +1,88 @@
+"""Axis-aligned minimal bounding boxes.
+
+The Go-To-The-Centre-Of-Minbox (GCM) convergence algorithm of
+Cord-Landwehr et al. (reviewed in Section 1.2.2 of the paper as the
+asymptotically optimal unlimited-visibility baseline) moves robots toward
+the centre of the minimal axis-aligned box containing all robot
+positions.  This module provides that box.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from .point import Point, PointLike
+from .tolerances import EPS
+
+
+@dataclass(frozen=True)
+class BoundingBox:
+    """Closed axis-aligned box ``[x_min, x_max] x [y_min, y_max]``."""
+
+    x_min: float
+    y_min: float
+    x_max: float
+    y_max: float
+
+    def __post_init__(self) -> None:
+        if self.x_max < self.x_min - EPS or self.y_max < self.y_min - EPS:
+            raise ValueError("bounding box must have non-negative extent")
+
+    @staticmethod
+    def of(points: Sequence[PointLike]) -> "BoundingBox":
+        """Minimal axis-aligned box containing every point."""
+        pts = [Point.of(p) for p in points]
+        if not pts:
+            raise ValueError("bounding box of an empty point set")
+        xs = [p.x for p in pts]
+        ys = [p.y for p in pts]
+        return BoundingBox(min(xs), min(ys), max(xs), max(ys))
+
+    def center(self) -> Point:
+        """Centre of the box (the GCM target)."""
+        return Point((self.x_min + self.x_max) / 2.0, (self.y_min + self.y_max) / 2.0)
+
+    def width(self) -> float:
+        """Extent along x."""
+        return self.x_max - self.x_min
+
+    def height(self) -> float:
+        """Extent along y."""
+        return self.y_max - self.y_min
+
+    def diagonal(self) -> float:
+        """Length of the box diagonal (a convenient convergence measure)."""
+        return Point(self.x_min, self.y_min).distance_to(Point(self.x_max, self.y_max))
+
+    def area(self) -> float:
+        """Area of the box."""
+        return self.width() * self.height()
+
+    def contains(self, point: PointLike, *, eps: float = EPS) -> bool:
+        """Closed containment test."""
+        p = Point.of(point)
+        return (
+            self.x_min - eps <= p.x <= self.x_max + eps
+            and self.y_min - eps <= p.y <= self.y_max + eps
+        )
+
+    def contains_box(self, other: "BoundingBox", *, eps: float = EPS) -> bool:
+        """True when ``other`` is nested inside this box."""
+        return (
+            other.x_min >= self.x_min - eps
+            and other.x_max <= self.x_max + eps
+            and other.y_min >= self.y_min - eps
+            and other.y_max <= self.y_max + eps
+        )
+
+    def expanded(self, margin: float) -> "BoundingBox":
+        """Box grown by ``margin`` on every side."""
+        return BoundingBox(
+            self.x_min - margin, self.y_min - margin, self.x_max + margin, self.y_max + margin
+        )
+
+
+def minbox_center(points: Sequence[PointLike]) -> Point:
+    """Centre of the minimal axis-aligned bounding box of ``points``."""
+    return BoundingBox.of(points).center()

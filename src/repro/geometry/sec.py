@@ -1,0 +1,134 @@
+"""Smallest enclosing circle (Welzl's algorithm).
+
+Ando et al.'s Go-To-The-Centre-Of-The-SEC algorithm moves each robot
+toward the centre of the smallest circle enclosing all robots it can see;
+the congregation analysis in Section 5 of the paper also reasons about the
+smallest circle bounding the convex hull.  This module provides a robust,
+deterministic (seedable) expected-linear-time implementation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .disk import Disk
+from .point import Point, PointLike
+from .segment import perpendicular_bisector_intersection
+from .tolerances import EPS
+
+
+def _circle_from_two(a: Point, b: Point) -> Disk:
+    center = a.midpoint(b)
+    return Disk(center, a.distance_to(b) / 2.0)
+
+
+def _circle_from_three(a: Point, b: Point, c: Point) -> Optional[Disk]:
+    center = perpendicular_bisector_intersection(a, b, c)
+    if center is None:
+        return None
+    return Disk(center, center.distance_to(a))
+
+
+def _is_in(disk: Optional[Disk], p: Point) -> bool:
+    return disk is not None and disk.contains(p, eps=1e-7 * max(1.0, disk.radius))
+
+
+def _trivial(boundary: Sequence[Point]) -> Optional[Disk]:
+    if not boundary:
+        return None
+    if len(boundary) == 1:
+        return Disk(boundary[0], 0.0)
+    if len(boundary) == 2:
+        return _circle_from_two(boundary[0], boundary[1])
+    # Three boundary points: try all pairs first (one may dominate), then the
+    # circumcircle.  The pair acceptance uses a tight relative tolerance so a
+    # point that is genuinely (if barely) outside falls through to the
+    # circumcircle, which contains all three exactly.
+    for i in range(3):
+        for j in range(i + 1, 3):
+            d = _circle_from_two(boundary[i], boundary[j])
+            if all(d.contains(q, eps=1e-12 * max(1.0, d.radius)) for q in boundary):
+                return d
+    return _circle_from_three(boundary[0], boundary[1], boundary[2])
+
+
+def smallest_enclosing_circle(
+    points: Sequence[PointLike], *, seed: Optional[int] = 0
+) -> Disk:
+    """Smallest closed disk containing every point in ``points``.
+
+    Uses Welzl's randomised incremental algorithm (iterative variant).  The
+    shuffle is seeded (default seed 0) so results are reproducible; pass
+    ``seed=None`` for an unshuffled run, which is fine for the small point
+    sets a robot sees.
+    """
+    pts = [Point.of(p) for p in points]
+    if not pts:
+        raise ValueError("smallest enclosing circle of an empty point set")
+    if seed is not None and len(pts) > 3:
+        rng = np.random.default_rng(seed)
+        order = rng.permutation(len(pts))
+        pts = [pts[i] for i in order]
+
+    disk: Optional[Disk] = None
+    for i, p in enumerate(pts):
+        if _is_in(disk, p):
+            continue
+        # p must be on the boundary of the smallest circle of pts[:i + 1]
+        disk = Disk(p, 0.0)
+        for j in range(i):
+            q = pts[j]
+            if _is_in(disk, q):
+                continue
+            disk = _circle_from_two(p, q)
+            for k in range(j):
+                r = pts[k]
+                if _is_in(disk, r):
+                    continue
+                candidate = _trivial([p, q, r])
+                if candidate is None:
+                    # Collinear triple: fall back to the diametral pair.
+                    far_pair = max(
+                        ((a, b) for a in (p, q, r) for b in (p, q, r)),
+                        key=lambda ab: ab[0].distance_to(ab[1]),
+                    )
+                    candidate = _circle_from_two(*far_pair)
+                disk = candidate
+    assert disk is not None
+    return disk
+
+
+def sec_center(points: Sequence[PointLike], *, seed: Optional[int] = 0) -> Point:
+    """Centre of the smallest enclosing circle of ``points``."""
+    return smallest_enclosing_circle(points, seed=seed).center
+
+
+def sec_radius(points: Sequence[PointLike], *, seed: Optional[int] = 0) -> float:
+    """Radius of the smallest enclosing circle of ``points``."""
+    return smallest_enclosing_circle(points, seed=seed).radius
+
+
+def is_valid_enclosing_circle(
+    disk: Disk, points: Sequence[PointLike], *, eps: float = 1e-7
+) -> bool:
+    """Check that ``disk`` contains every point (a convenient test helper)."""
+    return all(disk.contains(p, eps=eps) for p in points)
+
+
+def critical_points(
+    disk: Disk, points: Sequence[PointLike], *, eps: float = 1e-6
+) -> list[Point]:
+    """Points lying (within ``eps``) on the boundary of ``disk``.
+
+    The congregation argument of Section 5 works with the up-to-three
+    critical points of the smallest circle bounding the convex hull.
+    """
+    result = []
+    for p in points:
+        p = Point.of(p)
+        if abs(disk.center.distance_to(p) - disk.radius) <= eps:
+            result.append(p)
+    return result

@@ -1,0 +1,153 @@
+"""Line segments: projection, distance and intersection primitives."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from .point import Point, PointLike
+from .tolerances import EPS
+
+
+@dataclass(frozen=True)
+class Segment:
+    """The closed line segment from ``start`` to ``end``."""
+
+    start: Point
+    end: Point
+
+    @staticmethod
+    def of(a: PointLike, b: PointLike) -> "Segment":
+        """Build a segment from any two point-like objects."""
+        return Segment(Point.of(a), Point.of(b))
+
+    def length(self) -> float:
+        """Euclidean length of the segment."""
+        return self.start.distance_to(self.end)
+
+    def direction(self) -> Point:
+        """Unit direction from ``start`` to ``end``."""
+        return self.start.direction_to(self.end)
+
+    def midpoint(self) -> Point:
+        """Midpoint of the segment."""
+        return self.start.midpoint(self.end)
+
+    def point_at(self, t: float) -> Point:
+        """Point at parameter ``t`` (0 = start, 1 = end); ``t`` is not clamped."""
+        return self.start.lerp(self.end, t)
+
+    def project_parameter(self, point: PointLike) -> float:
+        """Parameter of the orthogonal projection of ``point`` onto the supporting line."""
+        point = Point.of(point)
+        d = self.end - self.start
+        denom = d.norm_squared()
+        if denom <= EPS * EPS:
+            return 0.0
+        return (point - self.start).dot(d) / denom
+
+    def closest_point(self, point: PointLike) -> Point:
+        """Closest point of the (closed) segment to ``point``."""
+        t = max(0.0, min(1.0, self.project_parameter(point)))
+        return self.point_at(t)
+
+    def distance_to_point(self, point: PointLike) -> float:
+        """Euclidean distance from ``point`` to the segment."""
+        return Point.of(point).distance_to(self.closest_point(point))
+
+    def contains_point(self, point: PointLike, *, eps: float = EPS) -> bool:
+        """True when ``point`` lies on the segment up to ``eps``."""
+        return self.distance_to_point(point) <= eps
+
+    def reversed(self) -> "Segment":
+        """The same segment traversed in the opposite direction."""
+        return Segment(self.end, self.start)
+
+    def translate(self, offset: PointLike) -> "Segment":
+        """Segment translated by ``offset``."""
+        offset = Point.of(offset)
+        return Segment(self.start + offset, self.end + offset)
+
+    def intersection(self, other: "Segment") -> Optional[Point]:
+        """Proper intersection point of two segments, if there is exactly one.
+
+        Returns ``None`` when the segments do not intersect or are
+        collinear-overlapping (no unique point).
+        """
+        p, r = self.start, self.end - self.start
+        q, s = other.start, other.end - other.start
+        denom = r.cross(s)
+        qp = q - p
+        if abs(denom) <= EPS:
+            return None
+        t = qp.cross(s) / denom
+        u = qp.cross(r) / denom
+        if -EPS <= t <= 1.0 + EPS and -EPS <= u <= 1.0 + EPS:
+            return self.point_at(t)
+        return None
+
+
+def distance_point_to_line(point: PointLike, a: PointLike, b: PointLike) -> float:
+    """Distance from ``point`` to the infinite line through ``a`` and ``b``."""
+    point, a, b = Point.of(point), Point.of(a), Point.of(b)
+    d = b - a
+    n = d.norm()
+    if n <= EPS:
+        return point.distance_to(a)
+    return abs((point - a).cross(d)) / n
+
+
+def collinear(a: PointLike, b: PointLike, c: PointLike, *, eps: float = EPS) -> bool:
+    """True when the three points are collinear up to ``eps``."""
+    a, b, c = Point.of(a), Point.of(b), Point.of(c)
+    return abs((b - a).cross(c - a)) <= eps * max(1.0, (b - a).norm() * (c - a).norm())
+
+
+def orientation(a: PointLike, b: PointLike, c: PointLike) -> int:
+    """Orientation of the ordered triple: +1 counter-clockwise, -1 clockwise, 0 collinear."""
+    a, b, c = Point.of(a), Point.of(b), Point.of(c)
+    cross = (b - a).cross(c - a)
+    if cross > EPS:
+        return 1
+    if cross < -EPS:
+        return -1
+    return 0
+
+
+def foot_of_perpendicular(point: PointLike, a: PointLike, b: PointLike) -> Point:
+    """Foot of the perpendicular from ``point`` onto the line through ``a`` and ``b``."""
+    point, a, b = Point.of(point), Point.of(a), Point.of(b)
+    d = b - a
+    denom = d.norm_squared()
+    if denom <= EPS * EPS:
+        return a
+    t = (point - a).dot(d) / denom
+    return a + d * t
+
+
+def perpendicular_bisector_intersection(
+    a: PointLike, b: PointLike, c: PointLike
+) -> Optional[Point]:
+    """Circumcentre of the (non-degenerate) triangle ``a b c``.
+
+    Returns ``None`` for collinear input.  Used by the smallest-enclosing
+    circle routine.
+    """
+    a, b, c = Point.of(a), Point.of(b), Point.of(c)
+    d = 2.0 * ((b - a).cross(c - a))
+    if abs(d) <= EPS:
+        return None
+    a2, b2, c2 = a.norm_squared(), b.norm_squared(), c.norm_squared()
+    ux = (a2 * (b.y - c.y) + b2 * (c.y - a.y) + c2 * (a.y - b.y)) / d
+    uy = (a2 * (c.x - b.x) + b2 * (a.x - c.x) + c2 * (b.x - a.x)) / d
+    return Point(ux, uy)
+
+
+def clamp_motion(start: PointLike, target: PointLike, max_length: float) -> Point:
+    """Truncate the move ``start -> target`` to at most ``max_length``."""
+    start, target = Point.of(start), Point.of(target)
+    length = start.distance_to(target)
+    if length <= max_length or length <= EPS:
+        return target
+    return start.toward(target, max_length)

@@ -1,0 +1,40 @@
+"""Numeric tolerances used throughout the geometry substrate.
+
+All geometry in this package is carried out in float64.  The paper's
+constructions keep every relevant quantity bounded away from its threshold
+by a constant (or by Theta(psi) for the Section-7 spiral), so a single
+absolute/relative tolerance pair is sufficient for membership and
+comparison predicates.  Experiments that need a looser or tighter
+tolerance pass it explicitly.
+"""
+
+from __future__ import annotations
+
+#: Default absolute tolerance for geometric predicates (membership,
+#: collinearity, coincidence).  Distances in this package are expressed in
+#: units of the visibility range, so 1e-9 is nine orders of magnitude below
+#: any quantity of interest.
+EPS = 1e-9
+
+#: Relative tolerance used when comparing lengths of the same magnitude.
+REL_EPS = 1e-12
+
+
+def close(a: float, b: float, *, eps: float = EPS) -> bool:
+    """Return ``True`` when ``a`` and ``b`` differ by at most ``eps``."""
+    return abs(a - b) <= eps
+
+
+def leq(a: float, b: float, *, eps: float = EPS) -> bool:
+    """Tolerant ``a <= b``."""
+    return a <= b + eps
+
+
+def geq(a: float, b: float, *, eps: float = EPS) -> bool:
+    """Tolerant ``a >= b``."""
+    return a >= b - eps
+
+
+def positive(a: float, *, eps: float = EPS) -> bool:
+    """Tolerant strict positivity: ``a > eps``."""
+    return a > eps

@@ -1,0 +1,184 @@
+"""Measurement-imprecision and motion-error models (Sections 2.3.2, 2.3.3, 6.1).
+
+The paper's robots are subject to three kinds of adversarial inaccuracy:
+
+* **distance measurement error** — the perceived distance to a neighbour is
+  accurate only up to a relative factor ``delta``;
+* **angle measurement error** — perceived directions pass through a
+  symmetric distortion of the local coordinate system with bounded skew
+  ``lambda`` (see :class:`repro.geometry.SymmetricDistortion`);
+* **motion error** — the realised trajectory deviates from the intended
+  straight trajectory; the paper shows linear relative error defeats any
+  algorithm while error growing quadratically with the travelled distance
+  is tolerated; in addition motion is only ``xi``-rigid (an adversary may
+  stop the robot after fraction ``xi`` of its planned move).
+
+Perception errors may be sampled randomly or driven adversarially; both
+modes are exposed here.  The engine applies a :class:`PerceptionModel`
+when building snapshots and a :class:`MotionModel` when realising moves.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..geometry.point import Point, PointLike
+from ..geometry.tolerances import EPS
+from ..geometry.transforms import SymmetricDistortion
+
+
+@dataclass(frozen=True)
+class PerceptionModel:
+    """How a robot's Look phase corrupts true relative positions.
+
+    ``distance_error`` is the relative bound ``delta``: a true distance
+    ``d`` is perceived as some value in ``[(1 - delta) d, (1 + delta) d]``.
+    ``distortion`` is the bounded-skew symmetric distortion applied to the
+    perceived direction.  ``bias`` selects how the distance error is drawn:
+    ``"random"`` draws uniformly from the allowed interval,
+    ``"over"``/``"under"`` always report the extreme over/under estimate
+    (the adversarial cases the paper's arguments use), ``"none"`` reports
+    the true distance.
+    """
+
+    distance_error: float = 0.0
+    distortion: Optional[SymmetricDistortion] = None
+    bias: str = "random"
+
+    def __post_init__(self) -> None:
+        if self.distance_error < 0.0 or self.distance_error >= 1.0:
+            raise ValueError("relative distance error must lie in [0, 1)")
+        if self.bias not in ("random", "over", "under", "none"):
+            raise ValueError(f"unknown perception bias {self.bias!r}")
+
+    @staticmethod
+    def exact() -> "PerceptionModel":
+        """A perception model with no error at all."""
+        return PerceptionModel(0.0, None, "none")
+
+    def is_exact(self) -> bool:
+        """True when this model introduces no perception error."""
+        return self.distance_error == 0.0 and (
+            self.distortion is None or self.distortion.amplitude == 0.0
+        )
+
+    def _distance_factor(self, rng: Optional[np.random.Generator]) -> float:
+        if self.distance_error == 0.0 or self.bias == "none":
+            return 1.0
+        if self.bias == "over":
+            return 1.0 + self.distance_error
+        if self.bias == "under":
+            return 1.0 - self.distance_error
+        if rng is None:
+            return 1.0
+        return float(rng.uniform(1.0 - self.distance_error, 1.0 + self.distance_error))
+
+    def perceive_vector(
+        self, vector: PointLike, rng: Optional[np.random.Generator] = None
+    ) -> Point:
+        """Perceived version of a true relative position ``vector``."""
+        v = Point.of(vector)
+        r = v.norm()
+        if r <= EPS:
+            return v
+        r_perceived = r * self._distance_factor(rng)
+        angle = v.angle()
+        if self.distortion is not None:
+            angle = self.distortion.apply_angle(angle)
+        return Point.polar(r_perceived, angle)
+
+    def skew(self) -> float:
+        """The skew bound of the angular distortion (0 when undistorted)."""
+        return 0.0 if self.distortion is None else self.distortion.skew()
+
+
+@dataclass(frozen=True)
+class MotionModel:
+    """How a robot's Move phase realises the planned trajectory.
+
+    ``xi`` is the rigidity constant: the robot always covers at least the
+    fraction ``xi`` of the planned move (the scheduler picks the actual
+    fraction per activation, which the engine clamps to ``[xi, 1]``).
+
+    ``deviation`` selects the lateral error of the realised endpoint from
+    the intended straight trajectory: ``"none"``, ``"linear"`` (error up to
+    ``coefficient * d``) or ``"quadratic"`` (error up to
+    ``coefficient * d^2 / scale``), where ``d`` is the planned distance.
+    Section 6.1 and Figure 18 of the paper show linear error defeats every
+    algorithm while quadratic error is tolerated.
+    """
+
+    xi: float = 1.0
+    deviation: str = "none"
+    coefficient: float = 0.0
+    scale: float = 1.0
+    bias: str = "random"
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.xi <= 1.0:
+            raise ValueError("xi must lie in (0, 1]")
+        if self.deviation not in ("none", "linear", "quadratic"):
+            raise ValueError(f"unknown deviation model {self.deviation!r}")
+        if self.coefficient < 0.0:
+            raise ValueError("deviation coefficient must be non-negative")
+        if self.scale <= 0.0:
+            raise ValueError("deviation scale must be positive")
+        if self.bias not in ("random", "adversarial"):
+            raise ValueError(f"unknown motion bias {self.bias!r}")
+
+    @staticmethod
+    def rigid() -> "MotionModel":
+        """Fully rigid, error-free motion."""
+        return MotionModel()
+
+    def is_rigid(self) -> bool:
+        """True when motion is rigid (xi == 1) and free of lateral error."""
+        return self.xi == 1.0 and (self.deviation == "none" or self.coefficient == 0.0)
+
+    def clamp_fraction(self, requested_fraction: float) -> float:
+        """Clamp a scheduler-requested progress fraction into ``[xi, 1]``."""
+        return min(1.0, max(self.xi, requested_fraction))
+
+    def max_deviation(self, planned_distance: float) -> float:
+        """Largest lateral deviation allowed for a move of ``planned_distance``."""
+        if self.deviation == "none" or self.coefficient == 0.0:
+            return 0.0
+        if self.deviation == "linear":
+            return self.coefficient * planned_distance
+        return self.coefficient * planned_distance * planned_distance / self.scale
+
+    def realize(
+        self,
+        origin: PointLike,
+        target: PointLike,
+        requested_fraction: float = 1.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> Point:
+        """Endpoint actually reached when moving from ``origin`` toward ``target``.
+
+        The move covers ``clamp_fraction(requested_fraction)`` of the
+        planned distance along the intended direction and is then displaced
+        laterally by at most :meth:`max_deviation` of the *planned* length.
+        With ``bias == "adversarial"`` the full lateral deviation is always
+        applied (in the +90-degree direction); with ``"random"`` it is
+        sampled uniformly.
+        """
+        origin, target = Point.of(origin), Point.of(target)
+        planned = origin.distance_to(target)
+        if planned <= EPS:
+            return origin
+        fraction = self.clamp_fraction(requested_fraction)
+        along = origin.lerp(target, fraction)
+        max_dev = self.max_deviation(planned)
+        if max_dev <= 0.0:
+            return along
+        direction = origin.direction_to(target).perpendicular()
+        if self.bias == "adversarial" or rng is None:
+            offset = max_dev
+        else:
+            offset = float(rng.uniform(-max_dev, max_dev))
+        return along + direction * offset

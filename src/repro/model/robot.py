@@ -1,0 +1,120 @@
+"""Robot entities and their kinematic state.
+
+A :class:`Robot` is the engine-side representation of one OBLOT entity:
+anonymous from the algorithm's point of view (the id exists only for the
+engine and the metrics), oblivious (no state survives an activity cycle
+beyond its physical position), and either idle, computing or moving.
+While moving, the robot's position at any instant is the linear
+interpolation along its realised trajectory, which is what other robots
+observe when they Look mid-move.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..geometry.point import Point, PointLike
+from ..geometry.tolerances import EPS
+from .types import Phase
+
+
+@dataclass
+class Robot:
+    """One mobile entity with its current kinematic state."""
+
+    robot_id: int
+    position: Point
+    phase: Phase = Phase.IDLE
+    move_origin: Optional[Point] = None
+    move_destination: Optional[Point] = None
+    move_start_time: float = 0.0
+    move_end_time: float = 0.0
+    activation_count: int = 0
+    total_distance_travelled: float = 0.0
+    crashed: bool = False
+
+    def __post_init__(self) -> None:
+        self.position = Point.of(self.position)
+
+    # -- queries ---------------------------------------------------------------
+    def is_idle(self) -> bool:
+        """True when the robot is between activity cycles."""
+        return self.phase is Phase.IDLE
+
+    def is_motile(self) -> bool:
+        """True during the Move phase (capable of moving)."""
+        return self.phase is Phase.MOVING
+
+    def position_at(self, time: float) -> Point:
+        """Position at global time ``time``.
+
+        Before the Move phase starts (or when idle/computing) this is the
+        stored position; during the Move phase it is the linear
+        interpolation between the move origin and the realised endpoint.
+        After the move end it is the endpoint.
+        """
+        if self.phase is not Phase.MOVING or self.move_origin is None or self.move_destination is None:
+            return self.position
+        if time >= self.move_end_time:
+            return self.move_destination
+        if time <= self.move_start_time:
+            return self.move_origin
+        span = self.move_end_time - self.move_start_time
+        if span <= EPS:
+            return self.move_destination
+        t = (time - self.move_start_time) / span
+        return self.move_origin.lerp(self.move_destination, t)
+
+    # -- transitions -------------------------------------------------------------
+    def begin_activation(self, time: float) -> None:
+        """Enter the Compute phase (the Look phase is instantaneous)."""
+        if self.phase is not Phase.IDLE:
+            raise RuntimeError(
+                f"robot {self.robot_id} activated at t={time} while still {self.phase.value}"
+            )
+        self.phase = Phase.COMPUTING
+        self.activation_count += 1
+
+    def begin_move(
+        self, origin: PointLike, destination: PointLike, start_time: float, end_time: float
+    ) -> None:
+        """Enter the Move phase with a realised trajectory and its time span."""
+        if self.phase is not Phase.COMPUTING:
+            raise RuntimeError(
+                f"robot {self.robot_id} cannot start moving from phase {self.phase.value}"
+            )
+        if end_time < start_time:
+            raise ValueError("move must end at or after it starts")
+        self.move_origin = Point.of(origin)
+        self.move_destination = Point.of(destination)
+        self.move_start_time = start_time
+        self.move_end_time = end_time
+        self.phase = Phase.MOVING
+
+    def finish_move(self) -> Point:
+        """Leave the Move phase; the robot becomes idle at its realised endpoint."""
+        if self.phase is not Phase.MOVING or self.move_destination is None:
+            raise RuntimeError(f"robot {self.robot_id} is not moving")
+        assert self.move_origin is not None
+        self.total_distance_travelled += self.move_origin.distance_to(self.move_destination)
+        self.position = self.move_destination
+        self.move_origin = None
+        self.move_destination = None
+        self.phase = Phase.IDLE
+        return self.position
+
+    def crash(self) -> None:
+        """Fail-stop the robot: it stays at its current position forever.
+
+        Section 6.1 of the paper notes a single crash fault is tolerated
+        (the other robots converge to the crashed robot's location); the
+        fault-injection tests exercise this.
+        """
+        if self.phase is Phase.MOVING and self.move_destination is not None:
+            # A crashing robot stops where it currently is; the pending move is discarded.
+            self.move_destination = self.position
+        self.phase = Phase.IDLE
+        self.move_origin = None
+        self.move_destination = None
+        self.crashed = True

@@ -1,0 +1,171 @@
+"""Snapshots: what a robot perceives during its Look phase.
+
+A snapshot is expressed in the observing robot's private coordinate
+system: the observer sits at the origin and every visible robot appears as
+a relative position.  The private frame may be arbitrarily rotated,
+reflected and (optionally) scaled, and the perceived positions may carry
+measurement error.  Algorithms only ever see a :class:`Snapshot`; they
+return a destination expressed in the same private coordinates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..geometry.point import Point, PointLike
+from ..geometry.tolerances import EPS
+from ..geometry.transforms import LocalFrame
+from .errors import PerceptionModel
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """The input of one Compute phase.
+
+    ``neighbours`` are the perceived relative positions of the *other*
+    visible robots (the observer itself is not included; co-located robots
+    collapse to a single perceived position unless ``multiplicities`` is
+    provided).  ``visibility_range`` carries the common range ``V`` only
+    when the engine was configured to reveal it (the paper's algorithm
+    never needs it, Ando et al.'s does).  ``k_bound`` carries the
+    asynchrony bound the system is promised to respect, for algorithms
+    whose motion rule scales with ``1/k``.
+    """
+
+    neighbours: tuple
+    visibility_range: Optional[float] = None
+    k_bound: Optional[int] = None
+    multiplicities: Optional[tuple] = None
+    time: float = 0.0
+    robot_id: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "neighbours", tuple(Point.of(p) for p in self.neighbours)
+        )
+        if self.multiplicities is not None:
+            object.__setattr__(self, "multiplicities", tuple(int(m) for m in self.multiplicities))
+            if len(self.multiplicities) != len(self.neighbours):
+                raise ValueError("multiplicities must match neighbours")
+
+    # -- basic queries -------------------------------------------------------
+    def has_neighbours(self) -> bool:
+        """True when at least one other robot is visible."""
+        return len(self.neighbours) > 0
+
+    def neighbour_count(self) -> int:
+        """Number of perceived neighbour positions."""
+        return len(self.neighbours)
+
+    def distances(self) -> List[float]:
+        """Perceived distances to each neighbour."""
+        return [p.norm() for p in self.neighbours]
+
+    def farthest_distance(self) -> float:
+        """Perceived distance to the farthest neighbour (0 with no neighbours).
+
+        This is the paper's tentative lower bound ``V_Y`` on the true
+        visibility range.
+        """
+        if not self.neighbours:
+            return 0.0
+        return max(p.norm() for p in self.neighbours)
+
+    def farthest_neighbour(self) -> Optional[Point]:
+        """Perceived position of the farthest neighbour."""
+        if not self.neighbours:
+            return None
+        return max(self.neighbours, key=lambda p: p.norm())
+
+    def nearest_distance(self) -> float:
+        """Perceived distance to the nearest non-coincident neighbour."""
+        positive = [p.norm() for p in self.neighbours if p.norm() > EPS]
+        return min(positive) if positive else 0.0
+
+    def with_self(self) -> List[Point]:
+        """Neighbour positions plus the observer's own (origin) position."""
+        return [Point.origin(), *self.neighbours]
+
+    def distant_neighbours(self, close_fraction: float = 0.5) -> List[Point]:
+        """Neighbours farther than ``close_fraction * V_Y`` (the paper's *distant* set).
+
+        By the paper's definition the farthest neighbour is always distant,
+        so the returned list is non-empty whenever there are neighbours.
+        """
+        v_y = self.farthest_distance()
+        if v_y <= EPS:
+            return []
+        threshold = close_fraction * v_y
+        return [p for p in self.neighbours if p.norm() > threshold + EPS or p.norm() >= v_y - EPS]
+
+    def close_neighbours(self, close_fraction: float = 0.5) -> List[Point]:
+        """Neighbours at distance at most ``close_fraction * V_Y``."""
+        distant = {(p.x, p.y) for p in self.distant_neighbours(close_fraction)}
+        return [p for p in self.neighbours if (p.x, p.y) not in distant]
+
+
+def build_snapshot(
+    observer_position: PointLike,
+    others: Sequence[PointLike],
+    visibility_range: float,
+    *,
+    frame: Optional[LocalFrame] = None,
+    perception: Optional[PerceptionModel] = None,
+    rng: Optional[np.random.Generator] = None,
+    reveal_range: bool = False,
+    k_bound: Optional[int] = None,
+    multiplicity_detection: bool = False,
+    time: float = 0.0,
+    robot_id: Optional[int] = None,
+    coincidence_eps: float = 1e-12,
+) -> Snapshot:
+    """Construct the snapshot an observer would take of ``others``.
+
+    Visibility filtering uses the *true* positions and the true range
+    ``V`` (sensing reach is physical); the reported relative positions are
+    then passed through the private ``frame`` and the ``perception`` model.
+    Robots co-located with the observer are not reported (they are
+    indistinguishable from the observer itself without multiplicity
+    detection); co-located other robots collapse into a single entry
+    unless ``multiplicity_detection`` is set.
+    """
+    observer = Point.of(observer_position)
+    perception = perception or PerceptionModel.exact()
+
+    visible: List[Point] = []
+    for p in others:
+        p = Point.of(p)
+        d = observer.distance_to(p)
+        if d <= coincidence_eps:
+            continue
+        if d <= visibility_range + EPS:
+            visible.append(p - observer)
+
+    # Collapse coincident perceived robots (no multiplicity detection by default).
+    collapsed: List[Point] = []
+    counts: List[int] = []
+    for v in visible:
+        for i, u in enumerate(collapsed):
+            if u.distance_to(v) <= coincidence_eps:
+                counts[i] += 1
+                break
+        else:
+            collapsed.append(v)
+            counts.append(1)
+
+    perceived: List[Point] = []
+    for v in collapsed:
+        local = frame.to_local(v) if frame is not None else v
+        perceived.append(perception.perceive_vector(local, rng))
+
+    return Snapshot(
+        neighbours=tuple(perceived),
+        visibility_range=visibility_range if reveal_range else None,
+        k_bound=k_bound,
+        multiplicities=tuple(counts) if multiplicity_detection else None,
+        time=time,
+        robot_id=robot_id,
+    )

@@ -1,0 +1,182 @@
+"""Visibility graphs, connectivity and cohesion predicates.
+
+Two robots are mutually visible when their separation is at most the
+visibility range ``V``; the *visibility graph* has one vertex per robot
+and an edge per mutually-visible pair.  Cohesive Convergence additionally
+requires every edge of the initial visibility graph to persist forever
+(``E(0) ⊆ E(t)``), and the congregation argument uses the *strong*
+visibility relation (separation at most ``V/2``), which the paper shows
+is monotone under its algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..geometry.point import PointLike, pairwise_distances
+from ..geometry.tolerances import EPS
+
+Edge = Tuple[int, int]
+
+
+def visibility_edges(
+    positions: Sequence[PointLike], visibility_range: float, *, eps: float = EPS
+) -> Set[Edge]:
+    """All pairs ``(i, j)`` with ``i < j`` whose separation is at most ``V``."""
+    n = len(positions)
+    if n < 2:
+        return set()
+    distances = pairwise_distances(positions)
+    edges: Set[Edge] = set()
+    for i in range(n):
+        for j in range(i + 1, n):
+            if distances[i, j] <= visibility_range + eps:
+                edges.add((i, j))
+    return edges
+
+
+def strong_visibility_edges(
+    positions: Sequence[PointLike], visibility_range: float, *, eps: float = EPS
+) -> Set[Edge]:
+    """Pairs whose separation is at most ``V/2`` (the paper's *strong* visibility)."""
+    return visibility_edges(positions, visibility_range / 2.0, eps=eps)
+
+
+def adjacency_from_edges(n: int, edges: Iterable[Edge]) -> Dict[int, Set[int]]:
+    """Adjacency-list view of an edge set over ``n`` vertices."""
+    adjacency: Dict[int, Set[int]] = {i: set() for i in range(n)}
+    for i, j in edges:
+        adjacency[i].add(j)
+        adjacency[j].add(i)
+    return adjacency
+
+
+def connected_components(n: int, edges: Iterable[Edge]) -> List[Set[int]]:
+    """Connected components of the graph on ``n`` vertices with ``edges``."""
+    adjacency = adjacency_from_edges(n, edges)
+    seen: Set[int] = set()
+    components: List[Set[int]] = []
+    for start in range(n):
+        if start in seen:
+            continue
+        stack = [start]
+        component: Set[int] = set()
+        while stack:
+            v = stack.pop()
+            if v in component:
+                continue
+            component.add(v)
+            stack.extend(adjacency[v] - component)
+        seen |= component
+        components.append(component)
+    return components
+
+
+def is_connected(
+    positions: Sequence[PointLike], visibility_range: float, *, eps: float = EPS
+) -> bool:
+    """True when the visibility graph of ``positions`` is connected."""
+    n = len(positions)
+    if n <= 1:
+        return True
+    edges = visibility_edges(positions, visibility_range, eps=eps)
+    return len(connected_components(n, edges)) == 1
+
+
+def edges_preserved(
+    initial_edges: Iterable[Edge],
+    positions: Sequence[PointLike],
+    visibility_range: float,
+    *,
+    eps: float = EPS,
+) -> bool:
+    """Cohesion predicate: every initial edge is still a visibility edge.
+
+    This is the invariant ``E(0) ⊆ E(t)`` of the Cohesive Convergence
+    problem definition (Section 2.4 of the paper).
+    """
+    current = visibility_edges(positions, visibility_range, eps=eps)
+    return all(edge in current for edge in initial_edges)
+
+
+def broken_edges(
+    initial_edges: Iterable[Edge],
+    positions: Sequence[PointLike],
+    visibility_range: float,
+    *,
+    eps: float = EPS,
+) -> Set[Edge]:
+    """The initial edges that are no longer visibility edges (empty when cohesive)."""
+    current = visibility_edges(positions, visibility_range, eps=eps)
+    return {edge for edge in initial_edges if edge not in current}
+
+
+def max_edge_stretch(
+    edges: Iterable[Edge], positions: Sequence[PointLike]
+) -> float:
+    """Largest current separation among the given pairs (0 with no edges)."""
+    dist = pairwise_distances(positions)
+    lengths = [dist[i, j] for i, j in edges]
+    return float(max(lengths)) if lengths else 0.0
+
+
+def neighbours_of(
+    index: int, positions: Sequence[PointLike], visibility_range: float, *, eps: float = EPS
+) -> List[int]:
+    """Indices of the robots visible from robot ``index`` (excluding itself)."""
+    dist = pairwise_distances(positions)
+    return [
+        j
+        for j in range(len(positions))
+        if j != index and dist[index, j] <= visibility_range + eps
+    ]
+
+
+def is_linearly_separable(
+    positions: Sequence[PointLike], group_a: Iterable[int], group_b: Iterable[int]
+) -> bool:
+    """True when some line strictly separates the two groups of robots.
+
+    The Section-7 impossibility produces a configuration whose visibility
+    graph splits into two *linearly separable* connected components; this
+    predicate lets the experiment verify that claim.  Implemented as a
+    support-vector style test on the convex hulls: the groups are
+    separable iff their convex hulls are disjoint, which we check by
+    linear programming over candidate separating directions induced by
+    hull edges and vertex pairs.
+    """
+    from ..geometry.hull import ConvexHull
+    from ..geometry.point import Point
+
+    pts_a = [Point.of(positions[i]) for i in group_a]
+    pts_b = [Point.of(positions[i]) for i in group_b]
+    if not pts_a or not pts_b:
+        return True
+    hull_a = ConvexHull.of(pts_a)
+    hull_b = ConvexHull.of(pts_b)
+
+    def separated_by(direction: Point) -> bool:
+        if direction.norm() <= EPS:
+            return False
+        d = direction.unit()
+        max_a = max(p.dot(d) for p in pts_a)
+        min_b = min(p.dot(d) for p in pts_b)
+        return max_a < min_b - EPS
+
+    candidates: List[Point] = []
+    for hull in (hull_a, hull_b):
+        verts = hull.vertices
+        for i, v in enumerate(verts):
+            w = verts[(i + 1) % len(verts)] if len(verts) > 1 else v
+            edge = w - v
+            if edge.norm() > EPS:
+                candidates.append(edge.perpendicular())
+                candidates.append(-edge.perpendicular())
+    for a in pts_a:
+        for b in pts_b:
+            diff = b - a
+            if diff.norm() > EPS:
+                candidates.append(diff)
+    return any(separated_by(c) for c in candidates)

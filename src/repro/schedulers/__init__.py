@@ -1,0 +1,23 @@
+"""Schedulers: FSync, SSync, k-NestA, k-Async, Async and scripted adversaries."""
+
+from .base import ActivationLog, EngineView, Scheduler, uniform_or_constant
+from .kasync import AsyncScheduler, KAsyncScheduler, StalledAsyncScheduler
+from .nesta import KNestAScheduler
+from .scripted import ScriptedScheduler, validate_k_async, validate_k_nesta
+from .synchronous import FSyncScheduler, SSyncScheduler
+
+__all__ = [
+    "ActivationLog",
+    "AsyncScheduler",
+    "EngineView",
+    "FSyncScheduler",
+    "KAsyncScheduler",
+    "KNestAScheduler",
+    "SSyncScheduler",
+    "ScriptedScheduler",
+    "Scheduler",
+    "StalledAsyncScheduler",
+    "uniform_or_constant",
+    "validate_k_async",
+    "validate_k_nesta",
+]

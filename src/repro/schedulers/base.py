@@ -1,0 +1,132 @@
+"""Scheduler interface and shared bookkeeping.
+
+A scheduler decides *when* robots are activated and how long the phases
+of each activity cycle last; it never decides where robots move.  The
+paper treats the scheduler as an adversary constrained only by the
+synchronisation model (FSync, SSync, k-NestA, k-Async, Async) and by
+activation fairness.
+
+The engine consumes activations in global ``look_time`` order.  To keep
+that simple, schedulers must issue activations through :meth:`next_batch`
+such that every later batch contains only activations that start no
+earlier than those already issued (all built-in schedulers generate the
+globally earliest pending activation on each call, or a whole synchronous
+round at once).
+"""
+
+from __future__ import annotations
+
+import abc
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Protocol, Sequence
+
+import numpy as np
+
+from ..model.types import Activation, SchedulerClass
+
+
+class EngineView(Protocol):
+    """The read-only view of the running simulation a scheduler may consult.
+
+    Only reactive (adversarial) schedulers look at it; the stochastic
+    schedulers are oblivious to robot positions, as the paper's schedulers
+    conceptually are (they are adversaries over *timing*).
+    """
+
+    @property
+    def time(self) -> float:  # pragma: no cover - protocol
+        ...
+
+    @property
+    def n_robots(self) -> int:  # pragma: no cover - protocol
+        ...
+
+    def positions(self) -> Sequence:  # pragma: no cover - protocol
+        ...
+
+
+@dataclass
+class ActivationLog:
+    """Bookkeeping of issued activations, shared by the asynchronous schedulers."""
+
+    n_robots: int
+    start_times: Dict[int, List[float]] = field(default_factory=dict)
+    last_interval: Dict[int, Activation] = field(default_factory=dict)
+    total_issued: int = 0
+
+    def __post_init__(self) -> None:
+        self.start_times = {i: [] for i in range(self.n_robots)}
+
+    def record(self, activation: Activation) -> None:
+        """Record an issued activation."""
+        self.start_times[activation.robot_id].append(activation.look_time)
+        self.last_interval[activation.robot_id] = activation
+        self.total_issued += 1
+
+    def last_end_time(self, robot_id: int) -> float:
+        """End time of the robot's most recently issued activation (0 if none)."""
+        last = self.last_interval.get(robot_id)
+        return last.end_time if last is not None else 0.0
+
+    def starts_within(self, robot_id: int, start: float, end: float) -> int:
+        """Number of issued activations of ``robot_id`` starting in ``[start, end)``."""
+        return sum(1 for t in self.start_times[robot_id] if start <= t < end)
+
+    def active_intervals_containing(self, time: float, *, exclude: Optional[int] = None):
+        """Issued activations whose interval contains ``time`` (optionally excluding a robot)."""
+        result = []
+        for robot_id, activation in self.last_interval.items():
+            if exclude is not None and robot_id == exclude:
+                continue
+            if activation.look_time <= time < activation.end_time:
+                result.append(activation)
+        return result
+
+    def activation_counts(self) -> Dict[int, int]:
+        """Number of issued activations per robot (fairness accounting)."""
+        return {i: len(starts) for i, starts in self.start_times.items()}
+
+
+class Scheduler(abc.ABC):
+    """Base class of all schedulers."""
+
+    scheduler_class: SchedulerClass = SchedulerClass.ASYNC
+
+    def __init__(self) -> None:
+        self._n_robots = 0
+        self._rng: np.random.Generator = np.random.default_rng(0)
+
+    def reset(self, n_robots: int, rng: Optional[np.random.Generator] = None) -> None:
+        """Prepare the scheduler for a run over ``n_robots`` robots."""
+        if n_robots < 1:
+            raise ValueError("a schedule needs at least one robot")
+        self._n_robots = n_robots
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._after_reset()
+
+    def _after_reset(self) -> None:
+        """Hook for subclasses to (re)initialise their own state."""
+
+    @property
+    def n_robots(self) -> int:
+        """Number of robots this scheduler was reset for."""
+        return self._n_robots
+
+    @abc.abstractmethod
+    def next_batch(self, view: Optional[EngineView] = None) -> List[Activation]:
+        """The next batch of activations (empty list means the schedule is exhausted)."""
+
+    def describe(self) -> str:
+        """One-line description used in experiment tables."""
+        return self.scheduler_class.value
+
+
+def uniform_or_constant(rng: np.random.Generator, bounds) -> float:
+    """Draw uniformly from a ``(low, high)`` pair, or return a constant float."""
+    if isinstance(bounds, (tuple, list)):
+        low, high = bounds
+        if high <= low:
+            return float(low)
+        return float(rng.uniform(low, high))
+    return float(bounds)

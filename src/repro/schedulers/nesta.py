@@ -1,0 +1,120 @@
+"""k-NestA: nested-activation schedulers.
+
+In the NestA model (Section 2.3.1 of the paper) the activity intervals of
+any pair of robots are either disjoint or nested; the k-NestA restriction
+allows at most ``k`` activity intervals of one robot to be nested within a
+single activity interval of another.
+
+The stochastic generator below produces a sequence of *activation events*:
+each event consists of one outer activity interval and, inside it, a
+(possibly empty) series of nested activity intervals of other robots, at
+most ``k`` per nested robot, all pairwise disjoint.  Consecutive events
+are disjoint in time, so every pair of intervals in the whole schedule is
+disjoint or nested, as required.  Fairness is enforced by choosing outer
+and nested robots with a least-recently-activated bias.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..model.types import Activation, SchedulerClass
+from .base import EngineView, Scheduler, uniform_or_constant
+
+
+class KNestAScheduler(Scheduler):
+    """Randomised k-NestA scheduler."""
+
+    scheduler_class = SchedulerClass.K_NESTA
+
+    def __init__(
+        self,
+        k: int = 1,
+        *,
+        outer_duration: tuple = (2.0, 6.0),
+        nested_duration: tuple = (0.1, 0.4),
+        gap_between_events: tuple = (0.05, 0.5),
+        nested_robot_fraction: float = 0.5,
+        progress_fraction: tuple = (1.0, 1.0),
+    ) -> None:
+        super().__init__()
+        if k < 1:
+            raise ValueError("the nesting bound k must be at least 1")
+        if not 0.0 <= nested_robot_fraction <= 1.0:
+            raise ValueError("nested_robot_fraction must lie in [0, 1]")
+        self.k = k
+        self.outer_duration = outer_duration
+        self.nested_duration = nested_duration
+        self.gap_between_events = gap_between_events
+        self.nested_robot_fraction = nested_robot_fraction
+        self.progress_fraction = progress_fraction
+        self._time = 0.0
+        self._since_activated: List[int] = []
+
+    def _after_reset(self) -> None:
+        self._time = 0.0
+        self._since_activated = [0] * self.n_robots
+
+    def _pick_outer(self) -> int:
+        """Pick the outer robot with a least-recently-activated bias (fairness)."""
+        lags = np.asarray(self._since_activated, dtype=float)
+        weights = 1.0 + lags * lags
+        weights /= weights.sum()
+        return int(self._rng.choice(self.n_robots, p=weights))
+
+    def next_batch(self, view: Optional[EngineView] = None) -> List[Activation]:
+        """One whole activation event: an outer interval plus its nested intervals."""
+        outer_robot = self._pick_outer()
+        outer_start = self._time + uniform_or_constant(self._rng, self.gap_between_events)
+        outer_length = max(0.5, uniform_or_constant(self._rng, self.outer_duration))
+        outer = Activation(
+            robot_id=outer_robot,
+            look_time=outer_start,
+            compute_duration=outer_length * 0.25,
+            move_duration=outer_length * 0.75,
+            progress_fraction=uniform_or_constant(self._rng, self.progress_fraction),
+        )
+        batch = [outer]
+
+        # Choose which other robots get nested activations inside the outer interval.
+        others = [i for i in range(self.n_robots) if i != outer_robot]
+        others = [others[j] for j in self._rng.permutation(len(others))]
+        n_nested_robots = int(round(self.nested_robot_fraction * len(others)))
+        # Always nest the most-starved other robot so fairness cannot stall.
+        if others and n_nested_robots == 0:
+            n_nested_robots = 1
+        nested_robots = sorted(
+            others, key=lambda i: -self._since_activated[i]
+        )[:n_nested_robots]
+
+        cursor = outer_start + outer_length * 0.05
+        outer_end = outer.end_time
+        for robot_id in nested_robots:
+            count = int(self._rng.integers(1, self.k + 1))
+            for _ in range(count):
+                length = max(1e-3, uniform_or_constant(self._rng, self.nested_duration))
+                if cursor + length >= outer_end - 1e-6:
+                    break
+                batch.append(
+                    Activation(
+                        robot_id=robot_id,
+                        look_time=cursor,
+                        compute_duration=length * 0.25,
+                        move_duration=length * 0.75,
+                        progress_fraction=uniform_or_constant(self._rng, self.progress_fraction),
+                    )
+                )
+                cursor += length + 1e-6
+        # Nested intervals of different robots are serial, hence pairwise disjoint.
+
+        activated = {a.robot_id for a in batch}
+        for i in range(self.n_robots):
+            self._since_activated[i] = 0 if i in activated else self._since_activated[i] + 1
+
+        self._time = outer_end
+        return sorted(batch, key=lambda a: a.look_time)
+
+    def describe(self) -> str:
+        return f"{self.k}-nesta"

@@ -1,0 +1,121 @@
+"""Scripted (fully adversarial) schedules.
+
+The constructive failures of the paper — Figure 4's separation of Ando's
+algorithm under 1-Async and 2-NestA — are produced by hand-crafted
+activation timelines.  A :class:`ScriptedScheduler` replays an explicit
+list of activations exactly as given and then stops (optionally falling
+back to a continuation scheduler afterwards so that fairness can be
+restored for convergence experiments).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from ..model.types import Activation, SchedulerClass
+from .base import EngineView, Scheduler
+
+
+class ScriptedScheduler(Scheduler):
+    """Replay an explicit activation timeline."""
+
+    scheduler_class = SchedulerClass.SCRIPTED
+
+    def __init__(
+        self,
+        activations: Sequence[Activation],
+        *,
+        continuation: Optional[Scheduler] = None,
+        continuation_offset: float = 1.0,
+    ) -> None:
+        super().__init__()
+        self._script: List[Activation] = sorted(activations, key=lambda a: a.look_time)
+        self._validate_per_robot_ordering(self._script)
+        self._cursor = 0
+        self.continuation = continuation
+        self.continuation_offset = continuation_offset
+        self._continuation_started = False
+
+    @staticmethod
+    def _validate_per_robot_ordering(script: Sequence[Activation]) -> None:
+        last_end: dict = {}
+        for activation in script:
+            previous_end = last_end.get(activation.robot_id, -1.0)
+            if activation.look_time < previous_end - 1e-12:
+                raise ValueError(
+                    "scripted activations of one robot must not overlap "
+                    f"(robot {activation.robot_id} at t={activation.look_time})"
+                )
+            last_end[activation.robot_id] = activation.end_time
+
+    def _after_reset(self) -> None:
+        self._cursor = 0
+        self._continuation_started = False
+        if self.continuation is not None:
+            self.continuation.reset(self.n_robots, self._rng)
+
+    def script_end_time(self) -> float:
+        """Instant the last scripted activation ends."""
+        return max((a.end_time for a in self._script), default=0.0)
+
+    def next_batch(self, view: Optional[EngineView] = None) -> List[Activation]:
+        """The next scripted activation, then (optionally) the continuation schedule."""
+        if self._cursor < len(self._script):
+            activation = self._script[self._cursor]
+            self._cursor += 1
+            return [activation]
+        if self.continuation is None:
+            return []
+        offset = self.script_end_time() + self.continuation_offset
+        batch = self.continuation.next_batch(view)
+        if not self._continuation_started:
+            self._continuation_started = True
+        return [
+            Activation(
+                robot_id=a.robot_id,
+                look_time=a.look_time + offset,
+                compute_duration=a.compute_duration,
+                move_duration=a.move_duration,
+                progress_fraction=a.progress_fraction,
+            )
+            for a in batch
+        ]
+
+    def describe(self) -> str:
+        return f"scripted({len(self._script)} activations)"
+
+
+def validate_k_async(script: Iterable[Activation], k: int) -> bool:
+    """Check that an explicit timeline satisfies the k-Async constraint.
+
+    For every activity interval of every robot, at most ``k`` activations
+    of any other single robot start within it.
+    """
+    activations = list(script)
+    for outer in activations:
+        counts: dict = {}
+        for inner in activations:
+            if inner.robot_id == outer.robot_id:
+                continue
+            if inner.starts_within(outer):
+                counts[inner.robot_id] = counts.get(inner.robot_id, 0) + 1
+        if counts and max(counts.values()) > k:
+            return False
+    return True
+
+
+def validate_k_nesta(script: Iterable[Activation], k: int) -> bool:
+    """Check that an explicit timeline satisfies the k-NestA constraint.
+
+    Every pair of activity intervals of distinct robots must be disjoint or
+    nested, and at most ``k`` intervals of one robot may be nested within a
+    single interval of another.
+    """
+    activations = list(script)
+    for a in activations:
+        for b in activations:
+            if a is b or a.robot_id == b.robot_id:
+                continue
+            if a.overlaps(b) and not (a.contains(b) or b.contains(a)):
+                return False
+    return validate_k_async(activations, k)

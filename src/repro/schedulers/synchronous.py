@@ -1,0 +1,113 @@
+"""Fully synchronous and semi-synchronous schedulers.
+
+In the synchronous models time is divided into rounds; every robot
+activated in a round performs its whole Look-Compute-Move cycle inside the
+round, and nobody observes anybody mid-move.  FSync activates every robot
+in every round; SSync activates an arbitrary (fair) subset.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..model.types import Activation, SchedulerClass
+from .base import EngineView, Scheduler
+
+
+class FSyncScheduler(Scheduler):
+    """Every robot is activated in every round."""
+
+    scheduler_class = SchedulerClass.FSYNC
+
+    def __init__(self, *, move_duration: float = 0.5) -> None:
+        super().__init__()
+        if not 0.0 < move_duration < 1.0:
+            raise ValueError("move_duration must keep the cycle inside the unit round")
+        self.move_duration = move_duration
+        self._round = 0
+
+    def _after_reset(self) -> None:
+        self._round = 0
+
+    def next_batch(self, view: Optional[EngineView] = None) -> List[Activation]:
+        """All robots, activated simultaneously at the start of the next round."""
+        batch = [
+            Activation(
+                robot_id=i,
+                look_time=float(self._round),
+                compute_duration=0.0,
+                move_duration=self.move_duration,
+            )
+            for i in range(self.n_robots)
+        ]
+        self._round += 1
+        return batch
+
+    def describe(self) -> str:
+        return "fsync"
+
+
+class SSyncScheduler(Scheduler):
+    """A fair adversarial subset of robots is activated in every round.
+
+    Each robot is activated independently with probability
+    ``activation_probability``; fairness is enforced by forcing the
+    activation of any robot that has sat idle for ``max_lag`` consecutive
+    rounds, so every robot is activated infinitely often.
+    """
+
+    scheduler_class = SchedulerClass.SSYNC
+
+    def __init__(
+        self,
+        *,
+        activation_probability: float = 0.5,
+        max_lag: int = 5,
+        move_duration: float = 0.5,
+    ) -> None:
+        super().__init__()
+        if not 0.0 < activation_probability <= 1.0:
+            raise ValueError("activation_probability must lie in (0, 1]")
+        if max_lag < 1:
+            raise ValueError("max_lag must be at least 1")
+        if not 0.0 < move_duration < 1.0:
+            raise ValueError("move_duration must keep the cycle inside the unit round")
+        self.activation_probability = activation_probability
+        self.max_lag = max_lag
+        self.move_duration = move_duration
+        self._round = 0
+        self._lag: List[int] = []
+
+    def _after_reset(self) -> None:
+        self._round = 0
+        self._lag = [0] * self.n_robots
+
+    def next_batch(self, view: Optional[EngineView] = None) -> List[Activation]:
+        """The activated subset for the next round (never empty)."""
+        chosen = [
+            i
+            for i in range(self.n_robots)
+            if self._rng.random() < self.activation_probability
+            or self._lag[i] >= self.max_lag
+        ]
+        if not chosen:
+            chosen = [int(self._rng.integers(0, self.n_robots))]
+        chosen_set = set(chosen)
+        for i in range(self.n_robots):
+            self._lag[i] = 0 if i in chosen_set else self._lag[i] + 1
+        batch = [
+            Activation(
+                robot_id=i,
+                look_time=float(self._round),
+                compute_duration=0.0,
+                move_duration=self.move_duration,
+            )
+            for i in sorted(chosen_set)
+        ]
+        self._round += 1
+        return batch
+
+    def describe(self) -> str:
+        return f"ssync(p={self.activation_probability})"

@@ -1,0 +1,38 @@
+"""Section 6.3.2 extension: the paper's algorithm in three dimensions."""
+
+from .kknps3 import KKNPS3Algorithm
+from .model3 import (
+    Configuration3,
+    Snapshot3,
+    build_snapshot3,
+    edges_preserved3,
+    is_connected3,
+    visibility_edges3,
+)
+from .simulator3 import Simulation3Config, Simulation3Result, run_simulation3
+from .vector3 import Vector3, centroid3, fits_in_open_halfspace, max_pairwise_distance3
+from .workloads3 import (
+    lattice_configuration3,
+    line_configuration3,
+    random_connected_configuration3,
+)
+
+__all__ = [
+    "Configuration3",
+    "KKNPS3Algorithm",
+    "Simulation3Config",
+    "Simulation3Result",
+    "Snapshot3",
+    "Vector3",
+    "build_snapshot3",
+    "centroid3",
+    "edges_preserved3",
+    "fits_in_open_halfspace",
+    "is_connected3",
+    "lattice_configuration3",
+    "line_configuration3",
+    "max_pairwise_distance3",
+    "random_connected_configuration3",
+    "run_simulation3",
+    "visibility_edges3",
+]

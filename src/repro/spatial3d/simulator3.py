@@ -1,0 +1,131 @@
+"""A round-based simulator for the 3D extension.
+
+The planar engine carries the full continuous-time machinery; for the 3D
+extension (whose purpose is to demonstrate that the generalised safe
+regions and destination rule still congregate cohesively) a semi-
+synchronous round simulator with optional activation subsets and
+``xi``-rigid truncation is sufficient and keeps the extension compact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .kknps3 import KKNPS3Algorithm
+from .model3 import Configuration3, Snapshot3, build_snapshot3, edges_preserved3
+from .vector3 import Vector3, Vector3Like, max_pairwise_distance3
+
+
+@dataclass
+class Simulation3Config:
+    """Parameters of a 3D round-based run."""
+
+    visibility_range: float = 1.0
+    max_rounds: int = 2000
+    convergence_epsilon: float = 0.05
+    activation_probability: float = 1.0
+    xi: float = 1.0
+    seed: int = 0
+    rotate_frames: bool = True
+
+    def __post_init__(self) -> None:
+        if self.visibility_range <= 0.0:
+            raise ValueError("visibility range must be positive")
+        if not 0.0 < self.activation_probability <= 1.0:
+            raise ValueError("activation_probability must lie in (0, 1]")
+        if not 0.0 < self.xi <= 1.0:
+            raise ValueError("xi must lie in (0, 1]")
+        if self.max_rounds < 1:
+            raise ValueError("max_rounds must be at least 1")
+
+
+@dataclass
+class Simulation3Result:
+    """Outcome of a 3D run."""
+
+    initial_configuration: Configuration3
+    final_configuration: Configuration3
+    rounds_executed: int
+    converged: bool
+    cohesion_maintained: bool
+    diameter_history: List[float] = field(default_factory=list)
+
+    @property
+    def final_diameter(self) -> float:
+        """Diameter of the final configuration."""
+        return self.final_configuration.diameter()
+
+
+def _random_rotation(rng: np.random.Generator) -> np.ndarray:
+    matrix, _ = np.linalg.qr(rng.normal(size=(3, 3)))
+    if np.linalg.det(matrix) < 0:
+        matrix[:, 0] = -matrix[:, 0]
+    return matrix
+
+
+def run_simulation3(
+    initial_positions: Sequence[Vector3Like],
+    algorithm: Optional[KKNPS3Algorithm] = None,
+    config: Optional[Simulation3Config] = None,
+) -> Simulation3Result:
+    """Run the 3D algorithm under a (semi-)synchronous round scheduler."""
+    config = config or Simulation3Config()
+    algorithm = algorithm or KKNPS3Algorithm(k=1)
+    rng = np.random.default_rng(config.seed)
+
+    positions = [Vector3.of(p) for p in initial_positions]
+    initial = Configuration3.of(positions, config.visibility_range)
+    initial_edges = initial.edges()
+
+    diameter_history = [max_pairwise_distance3(positions)]
+    cohesion = True
+    converged_round: Optional[int] = None
+
+    for round_index in range(config.max_rounds):
+        activated = [
+            i for i in range(len(positions))
+            if rng.random() < config.activation_probability
+        ]
+        if not activated:
+            activated = [int(rng.integers(0, len(positions)))]
+
+        # Semi-synchronous semantics: every activated robot Looks at the
+        # start of the round, so all snapshots use the same positions.
+        new_positions = list(positions)
+        for index in activated:
+            observer = positions[index]
+            others = [p for j, p in enumerate(positions) if j != index]
+            rotation = _random_rotation(rng) if config.rotate_frames else np.eye(3)
+            relative = [
+                Vector3.of(rotation @ (Vector3.of(p) - observer).as_array())
+                for p in others
+                if observer.distance_to(p) <= config.visibility_range + 1e-12
+                and observer.distance_to(p) > 1e-12
+            ]
+            snapshot = Snapshot3(neighbours=tuple(relative))
+            destination_local = algorithm.compute(snapshot)
+            displacement = Vector3.of(rotation.T @ destination_local.as_array())
+            fraction = float(rng.uniform(config.xi, 1.0))
+            new_positions[index] = observer + displacement * fraction
+        positions = new_positions
+
+        diameter = max_pairwise_distance3(positions)
+        diameter_history.append(diameter)
+        if not edges_preserved3(initial_edges, positions, config.visibility_range):
+            cohesion = False
+        if diameter <= config.convergence_epsilon and converged_round is None:
+            converged_round = round_index + 1
+            break
+
+    final = Configuration3.of(positions, config.visibility_range)
+    return Simulation3Result(
+        initial_configuration=initial,
+        final_configuration=final,
+        rounds_executed=len(diameter_history) - 1,
+        converged=converged_round is not None,
+        cohesion_maintained=cohesion,
+        diameter_history=diameter_history,
+    )

@@ -1,0 +1,194 @@
+"""Three-dimensional vectors for the Section-6.3.2 extension.
+
+The paper sketches a natural generalisation of its algorithm to three (and
+higher) dimensions: safe regions become balls with the same centre and
+radius, and the visibility/congregation arguments carry over with more
+intricate geometry.  This subpackage provides a concrete, tested
+instantiation of that sketch; :class:`Vector3` is its small numeric
+foundation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Sequence, Union
+
+import numpy as np
+
+from ..geometry.tolerances import EPS
+
+
+@dataclass(frozen=True)
+class Vector3:
+    """An immutable point (or displacement vector) in 3-space."""
+
+    x: float
+    y: float
+    z: float
+
+    @staticmethod
+    def of(obj: "Vector3Like") -> "Vector3":
+        """Coerce a 3-sequence, numpy row or Vector3 into a :class:`Vector3`."""
+        if isinstance(obj, Vector3):
+            return obj
+        x, y, z = obj
+        return Vector3(float(x), float(y), float(z))
+
+    @staticmethod
+    def zero() -> "Vector3":
+        """The origin (0, 0, 0)."""
+        return Vector3(0.0, 0.0, 0.0)
+
+    @staticmethod
+    def spherical(radius: float, azimuth: float, polar: float) -> "Vector3":
+        """Point at ``radius`` in the direction given by spherical angles."""
+        sin_polar = math.sin(polar)
+        return Vector3(
+            radius * sin_polar * math.cos(azimuth),
+            radius * sin_polar * math.sin(azimuth),
+            radius * math.cos(polar),
+        )
+
+    # -- algebra ---------------------------------------------------------------
+    def __add__(self, other: "Vector3Like") -> "Vector3":
+        other = Vector3.of(other)
+        return Vector3(self.x + other.x, self.y + other.y, self.z + other.z)
+
+    def __sub__(self, other: "Vector3Like") -> "Vector3":
+        other = Vector3.of(other)
+        return Vector3(self.x - other.x, self.y - other.y, self.z - other.z)
+
+    def __mul__(self, scalar: float) -> "Vector3":
+        return Vector3(self.x * scalar, self.y * scalar, self.z * scalar)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, scalar: float) -> "Vector3":
+        return Vector3(self.x / scalar, self.y / scalar, self.z / scalar)
+
+    def __neg__(self) -> "Vector3":
+        return Vector3(-self.x, -self.y, -self.z)
+
+    def __iter__(self) -> Iterator[float]:
+        yield self.x
+        yield self.y
+        yield self.z
+
+    def __len__(self) -> int:
+        return 3
+
+    # -- metrics ------------------------------------------------------------------
+    def dot(self, other: "Vector3Like") -> float:
+        """Euclidean inner product."""
+        other = Vector3.of(other)
+        return self.x * other.x + self.y * other.y + self.z * other.z
+
+    def cross(self, other: "Vector3Like") -> "Vector3":
+        """Cross product."""
+        other = Vector3.of(other)
+        return Vector3(
+            self.y * other.z - self.z * other.y,
+            self.z * other.x - self.x * other.z,
+            self.x * other.y - self.y * other.x,
+        )
+
+    def norm(self) -> float:
+        """Euclidean length."""
+        return math.sqrt(self.x * self.x + self.y * self.y + self.z * self.z)
+
+    def norm_squared(self) -> float:
+        """Squared Euclidean length."""
+        return self.x * self.x + self.y * self.y + self.z * self.z
+
+    def distance_to(self, other: "Vector3Like") -> float:
+        """Euclidean distance."""
+        return (self - Vector3.of(other)).norm()
+
+    def unit(self) -> "Vector3":
+        """Unit vector in this direction (raises for the zero vector)."""
+        n = self.norm()
+        if n <= EPS:
+            raise ValueError("cannot normalise a (near-)zero vector")
+        return self / n
+
+    def direction_to(self, other: "Vector3Like") -> "Vector3":
+        """Unit vector from this point toward ``other``."""
+        return (Vector3.of(other) - self).unit()
+
+    def toward(self, other: "Vector3Like", distance: float) -> "Vector3":
+        """Point at ``distance`` from here in the direction of ``other``."""
+        other = Vector3.of(other)
+        gap = self.distance_to(other)
+        if gap <= EPS:
+            return self
+        return self + (other - self) * (distance / gap)
+
+    def lerp(self, other: "Vector3Like", t: float) -> "Vector3":
+        """Linear interpolation between this point and ``other``."""
+        other = Vector3.of(other)
+        return self + (other - self) * t
+
+    def midpoint(self, other: "Vector3Like") -> "Vector3":
+        """Midpoint of the segment to ``other``."""
+        return self.lerp(other, 0.5)
+
+    def is_close(self, other: "Vector3Like", *, eps: float = EPS) -> bool:
+        """True when the points coincide up to ``eps``."""
+        return self.distance_to(other) <= eps
+
+    def as_array(self) -> np.ndarray:
+        """This vector as a numpy array of shape ``(3,)``."""
+        return np.array([self.x, self.y, self.z], dtype=float)
+
+
+Vector3Like = Union[Vector3, Sequence[float], np.ndarray]
+
+
+def centroid3(points: Iterable[Vector3Like]) -> Vector3:
+    """Arithmetic mean of a non-empty collection of 3D points."""
+    pts = [Vector3.of(p) for p in points]
+    if not pts:
+        raise ValueError("centroid of an empty point set is undefined")
+    total = Vector3.zero()
+    for p in pts:
+        total = total + p
+    return total / len(pts)
+
+
+def max_pairwise_distance3(points: Sequence[Vector3Like]) -> float:
+    """Diameter of a 3D point set (0 for fewer than two points)."""
+    pts = [Vector3.of(p) for p in points]
+    best = 0.0
+    for i in range(len(pts)):
+        for j in range(i + 1, len(pts)):
+            best = max(best, pts[i].distance_to(pts[j]))
+    return best
+
+
+def fits_in_open_halfspace(directions: Sequence[Vector3Like], *, eps: float = 1e-9) -> bool:
+    """True when all direction vectors fit strictly inside some open half-space.
+
+    Equivalently the origin is not in the convex hull of the directions.
+    Solved exactly as a small linear program: find a unit-box vector ``u``
+    and the largest margin ``t`` with ``u . d_i >= t`` for every direction;
+    the directions fit in an open half-space iff the optimal margin is
+    strictly positive.
+    """
+    from scipy.optimize import linprog
+
+    dirs = [Vector3.of(d).unit() for d in directions if Vector3.of(d).norm() > eps]
+    if not dirs:
+        return False
+    arr = np.array([[d.x, d.y, d.z] for d in dirs])
+    n = len(dirs)
+    # Variables: u (3 components) and the margin t.  Maximise t subject to
+    # d_i . u - t >= 0, u in [-1, 1]^3, t in [0, 1].
+    c = np.array([0.0, 0.0, 0.0, -1.0])
+    a_ub = np.hstack([-arr, np.ones((n, 1))])
+    b_ub = np.zeros(n)
+    bounds = [(-1.0, 1.0)] * 3 + [(0.0, 1.0)]
+    result = linprog(c, A_ub=a_ub, b_ub=b_ub, bounds=bounds, method="highs")
+    if not result.success:
+        return False
+    return float(result.x[3]) > 1e-7

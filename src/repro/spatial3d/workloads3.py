@@ -1,0 +1,73 @@
+"""Connected 3D initial configurations for the Section-6.3.2 extension."""
+
+from __future__ import annotations
+
+import math
+from typing import List, Union
+
+import numpy as np
+
+from .model3 import Configuration3, is_connected3
+from .vector3 import Vector3
+
+RngLike = Union[int, np.random.Generator, None]
+
+
+def _rng(seed: RngLike) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def line_configuration3(
+    n: int, *, spacing: float = 0.8, visibility_range: float = 1.0
+) -> Configuration3:
+    """``n`` robots spaced along the x axis."""
+    if n < 1:
+        raise ValueError("need at least one robot")
+    if spacing > visibility_range:
+        raise ValueError("spacing beyond the visibility range would disconnect the line")
+    return Configuration3.of([Vector3(i * spacing, 0.0, 0.0) for i in range(n)], visibility_range)
+
+
+def lattice_configuration3(
+    side: int, *, spacing: float = 0.55, visibility_range: float = 1.0
+) -> Configuration3:
+    """A ``side^3`` cubic lattice of robots."""
+    if side < 1:
+        raise ValueError("lattice side must be at least 1")
+    if spacing > visibility_range:
+        raise ValueError("spacing beyond the visibility range would disconnect the lattice")
+    points = [
+        Vector3(x * spacing, y * spacing, z * spacing)
+        for x in range(side)
+        for y in range(side)
+        for z in range(side)
+    ]
+    return Configuration3.of(points, visibility_range)
+
+
+def random_connected_configuration3(
+    n: int,
+    *,
+    visibility_range: float = 1.0,
+    attach_radius_fraction: float = 0.9,
+    seed: RngLike = 0,
+) -> Configuration3:
+    """A random connected 3D configuration built by incremental attachment."""
+    if n < 1:
+        raise ValueError("need at least one robot")
+    if not 0.0 < attach_radius_fraction <= 1.0:
+        raise ValueError("attach_radius_fraction must lie in (0, 1]")
+    rng = _rng(seed)
+    points: List[Vector3] = [Vector3.zero()]
+    max_radius = attach_radius_fraction * visibility_range
+    while len(points) < n:
+        anchor = points[int(rng.integers(0, len(points)))]
+        radius = max_radius * (0.6 + 0.4 * rng.random())
+        azimuth = rng.uniform(0.0, 2.0 * math.pi)
+        polar = math.acos(rng.uniform(-1.0, 1.0))
+        points.append(anchor + Vector3.spherical(radius, azimuth, polar))
+    configuration = Configuration3.of(points, visibility_range)
+    assert is_connected3(configuration.positions, visibility_range)
+    return configuration

@@ -1,0 +1,10 @@
+"""Dependency-free SVG visualisation of configurations, runs and safe regions."""
+
+from .svg import SvgCanvas, render_configuration, render_safe_regions, render_trajectories
+
+__all__ = [
+    "SvgCanvas",
+    "render_configuration",
+    "render_safe_regions",
+    "render_trajectories",
+]

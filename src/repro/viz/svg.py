@@ -1,0 +1,253 @@
+"""Dependency-free SVG rendering of configurations, runs and constructions.
+
+The reproduction has no plotting dependency; this module writes plain SVG
+so that configurations, trajectories, visibility graphs and safe regions
+can be inspected in any browser.  It is used by the examples and can be
+driven from the command line (``python -m repro --svg out.svg ...``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, TextIO
+
+from ..geometry.disk import Disk
+from ..geometry.point import Point, PointLike
+from ..model.configuration import Configuration
+from ..model.visibility import visibility_edges
+
+_DEFAULT_PALETTE = [
+    "#1f77b4", "#ff7f0e", "#2ca02c", "#d62728", "#9467bd",
+    "#8c564b", "#e377c2", "#7f7f7f", "#bcbd22", "#17becf",
+]
+
+
+@dataclass
+class SvgCanvas:
+    """A minimal SVG scene with world-to-viewport scaling."""
+
+    width: int = 800
+    height: int = 800
+    margin: float = 40.0
+    background: str = "#ffffff"
+    elements: List[str] = field(default_factory=list)
+    _bounds: Optional[tuple] = None
+
+    # -- world bounds -------------------------------------------------------------
+    def fit(self, points: Iterable[PointLike], *, padding: float = 0.1) -> None:
+        """Set the world window to the bounding box of ``points`` plus padding."""
+        pts = [Point.of(p) for p in points]
+        if not pts:
+            raise ValueError("cannot fit an empty point set")
+        xs = [p.x for p in pts]
+        ys = [p.y for p in pts]
+        x_min, x_max = min(xs), max(xs)
+        y_min, y_max = min(ys), max(ys)
+        span = max(x_max - x_min, y_max - y_min, 1e-9)
+        pad = padding * span
+        self._bounds = (x_min - pad, y_min - pad, x_max + pad, y_max + pad)
+
+    def _require_bounds(self) -> tuple:
+        if self._bounds is None:
+            raise RuntimeError("call fit() before drawing")
+        return self._bounds
+
+    def to_pixel(self, point: PointLike) -> tuple:
+        """World point to pixel coordinates (y axis flipped)."""
+        x_min, y_min, x_max, y_max = self._require_bounds()
+        p = Point.of(point)
+        span_x = max(x_max - x_min, 1e-12)
+        span_y = max(y_max - y_min, 1e-12)
+        scale = min(
+            (self.width - 2 * self.margin) / span_x,
+            (self.height - 2 * self.margin) / span_y,
+        )
+        px = self.margin + (p.x - x_min) * scale
+        py = self.height - self.margin - (p.y - y_min) * scale
+        return px, py
+
+    def pixel_scale(self) -> float:
+        """Pixels per world unit."""
+        x_min, y_min, x_max, y_max = self._require_bounds()
+        span_x = max(x_max - x_min, 1e-12)
+        span_y = max(y_max - y_min, 1e-12)
+        return min(
+            (self.width - 2 * self.margin) / span_x,
+            (self.height - 2 * self.margin) / span_y,
+        )
+
+    # -- drawing primitives ----------------------------------------------------------
+    def add_circle(
+        self, center: PointLike, radius: float, *, fill: str = "none",
+        stroke: str = "#000000", stroke_width: float = 1.0, opacity: float = 1.0,
+    ) -> None:
+        """A circle with a world-space radius."""
+        cx, cy = self.to_pixel(center)
+        r = radius * self.pixel_scale()
+        self.elements.append(
+            f'<circle cx="{cx:.2f}" cy="{cy:.2f}" r="{r:.2f}" fill="{fill}" '
+            f'stroke="{stroke}" stroke-width="{stroke_width}" opacity="{opacity}"/>'
+        )
+
+    def add_dot(
+        self, center: PointLike, *, radius_px: float = 4.0, fill: str = "#1f77b4",
+        label: Optional[str] = None,
+    ) -> None:
+        """A fixed-pixel-size dot (a robot)."""
+        cx, cy = self.to_pixel(center)
+        self.elements.append(
+            f'<circle cx="{cx:.2f}" cy="{cy:.2f}" r="{radius_px:.2f}" fill="{fill}"/>'
+        )
+        if label is not None:
+            self.elements.append(
+                f'<text x="{cx + 6:.2f}" y="{cy - 6:.2f}" font-size="11" '
+                f'font-family="sans-serif">{label}</text>'
+            )
+
+    def add_line(
+        self, start: PointLike, end: PointLike, *, stroke: str = "#999999",
+        stroke_width: float = 1.0, dashed: bool = False, opacity: float = 1.0,
+    ) -> None:
+        """A straight segment between two world points."""
+        x1, y1 = self.to_pixel(start)
+        x2, y2 = self.to_pixel(end)
+        dash = ' stroke-dasharray="4 3"' if dashed else ""
+        self.elements.append(
+            f'<line x1="{x1:.2f}" y1="{y1:.2f}" x2="{x2:.2f}" y2="{y2:.2f}" '
+            f'stroke="{stroke}" stroke-width="{stroke_width}" opacity="{opacity}"{dash}/>'
+        )
+
+    def add_polyline(
+        self, points: Sequence[PointLike], *, stroke: str = "#1f77b4",
+        stroke_width: float = 1.5, opacity: float = 0.9,
+    ) -> None:
+        """An open polyline through the given world points."""
+        pixels = " ".join(f"{x:.2f},{y:.2f}" for x, y in (self.to_pixel(p) for p in points))
+        self.elements.append(
+            f'<polyline points="{pixels}" fill="none" stroke="{stroke}" '
+            f'stroke-width="{stroke_width}" opacity="{opacity}"/>'
+        )
+
+    def add_text(self, position: PointLike, text: str, *, font_size: int = 14) -> None:
+        """A text label anchored at a world point."""
+        x, y = self.to_pixel(position)
+        self.elements.append(
+            f'<text x="{x:.2f}" y="{y:.2f}" font-size="{font_size}" '
+            f'font-family="sans-serif">{text}</text>'
+        )
+
+    def add_title(self, text: str) -> None:
+        """A title at the top-left corner of the canvas."""
+        self.elements.append(
+            f'<text x="{self.margin:.2f}" y="{self.margin * 0.6:.2f}" font-size="16" '
+            f'font-family="sans-serif" font-weight="bold">{text}</text>'
+        )
+
+    # -- output -----------------------------------------------------------------------
+    def render(self) -> str:
+        """The complete SVG document as a string."""
+        body = "\n  ".join(self.elements)
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{self.width}" '
+            f'height="{self.height}" viewBox="0 0 {self.width} {self.height}">\n'
+            f'  <rect width="100%" height="100%" fill="{self.background}"/>\n'
+            f"  {body}\n"
+            "</svg>\n"
+        )
+
+    def write(self, stream_or_path) -> None:
+        """Write the SVG to an open stream or a filesystem path."""
+        content = self.render()
+        if hasattr(stream_or_path, "write"):
+            stream_or_path.write(content)
+        else:
+            with open(stream_or_path, "w", encoding="utf-8") as handle:
+                handle.write(content)
+
+
+def render_configuration(
+    configuration: Configuration,
+    *,
+    show_edges: bool = True,
+    show_ranges: bool = False,
+    labels: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+    canvas: Optional[SvgCanvas] = None,
+) -> SvgCanvas:
+    """Draw a configuration: robots, visibility edges, optional sensing ranges."""
+    canvas = canvas or SvgCanvas()
+    canvas.fit(configuration.positions)
+    if title:
+        canvas.add_title(title)
+    if show_ranges:
+        for p in configuration.positions:
+            canvas.add_circle(
+                p, configuration.visibility_range, stroke="#cccccc", stroke_width=0.7,
+                opacity=0.6,
+            )
+    if show_edges:
+        for i, j in sorted(configuration.edges()):
+            canvas.add_line(configuration[i], configuration[j], stroke="#bbbbbb")
+    for index, p in enumerate(configuration.positions):
+        color = _DEFAULT_PALETTE[index % len(_DEFAULT_PALETTE)]
+        label = labels[index] if labels is not None and index < len(labels) else None
+        canvas.add_dot(p, fill=color, label=label)
+    return canvas
+
+
+def render_trajectories(
+    recorder,
+    *,
+    visibility_range: Optional[float] = None,
+    title: Optional[str] = None,
+    canvas: Optional[SvgCanvas] = None,
+) -> SvgCanvas:
+    """Draw the piecewise-linear trajectories of a recorded run."""
+    canvas = canvas or SvgCanvas()
+    all_points: List[Point] = []
+    for robot_id in recorder.robot_ids():
+        all_points.extend(point for _, point in recorder.trajectory(robot_id))
+    if not all_points:
+        raise ValueError("the recorder holds no trajectories")
+    canvas.fit(all_points)
+    if title:
+        canvas.add_title(title)
+    for robot_id in recorder.robot_ids():
+        color = _DEFAULT_PALETTE[robot_id % len(_DEFAULT_PALETTE)]
+        points = [point for _, point in recorder.trajectory(robot_id)]
+        if len(points) >= 2:
+            canvas.add_polyline(points, stroke=color)
+        canvas.add_dot(points[0], fill=color, radius_px=3.0)
+        canvas.add_dot(points[-1], fill=color, radius_px=5.0)
+    return canvas
+
+
+def render_safe_regions(
+    neighbour_positions: Sequence[PointLike],
+    regions: Sequence[Disk],
+    *,
+    destination: Optional[PointLike] = None,
+    title: Optional[str] = None,
+    canvas: Optional[SvgCanvas] = None,
+) -> SvgCanvas:
+    """Draw an observer at the origin, its neighbours, safe regions and destination."""
+    canvas = canvas or SvgCanvas()
+    extent: List[Point] = [Point.origin()]
+    extent.extend(Point.of(p) for p in neighbour_positions)
+    for disk in regions:
+        extent.append(disk.center + Point(disk.radius, disk.radius))
+        extent.append(disk.center - Point(disk.radius, disk.radius))
+    canvas.fit(extent)
+    if title:
+        canvas.add_title(title)
+    for disk in regions:
+        canvas.add_circle(disk.center, disk.radius, stroke="#2ca02c", fill="#2ca02c",
+                          opacity=0.15)
+    for index, p in enumerate(neighbour_positions):
+        canvas.add_dot(p, fill="#d62728", label=f"N{index}")
+        canvas.add_line(Point.origin(), p, stroke="#dddddd", dashed=True)
+    canvas.add_dot(Point.origin(), fill="#1f77b4", label="observer")
+    if destination is not None:
+        canvas.add_dot(destination, fill="#ff7f0e", label="destination")
+    return canvas

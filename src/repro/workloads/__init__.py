@@ -1,0 +1,23 @@
+"""Initial-configuration generators for experiments and benchmarks."""
+
+from .generators import (
+    clustered_configuration,
+    grid_configuration,
+    line_configuration,
+    polygon_configuration,
+    random_connected_configuration,
+    random_disk_configuration,
+    ring_configuration,
+    two_robot_configuration,
+)
+
+__all__ = [
+    "clustered_configuration",
+    "grid_configuration",
+    "line_configuration",
+    "polygon_configuration",
+    "random_connected_configuration",
+    "random_disk_configuration",
+    "ring_configuration",
+    "two_robot_configuration",
+]

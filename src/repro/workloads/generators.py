@@ -1,0 +1,184 @@
+"""Workload generators: initial robot configurations for the experiments.
+
+All generators guarantee the property every limited-visibility experiment
+needs: the visibility graph of the generated configuration is connected.
+Random generators take an explicit numpy ``Generator`` (or a seed) so runs
+are reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..geometry.point import Point
+from ..model.configuration import Configuration
+from ..model.visibility import is_connected
+
+RngLike = Union[int, np.random.Generator, None]
+
+
+def _rng(seed: RngLike) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def line_configuration(
+    n: int, *, spacing: float = 0.8, visibility_range: float = 1.0
+) -> Configuration:
+    """``n`` robots evenly spaced on a horizontal line (connected when spacing <= V)."""
+    if n < 1:
+        raise ValueError("need at least one robot")
+    if spacing > visibility_range:
+        raise ValueError("spacing beyond the visibility range would disconnect the line")
+    points = [Point(i * spacing, 0.0) for i in range(n)]
+    return Configuration.of(points, visibility_range)
+
+
+def grid_configuration(
+    rows: int, cols: int, *, spacing: float = 0.7, visibility_range: float = 1.0
+) -> Configuration:
+    """A ``rows x cols`` grid of robots (connected when spacing <= V)."""
+    if rows < 1 or cols < 1:
+        raise ValueError("grid must have at least one row and one column")
+    if spacing > visibility_range:
+        raise ValueError("spacing beyond the visibility range would disconnect the grid")
+    points = [Point(c * spacing, r * spacing) for r in range(rows) for c in range(cols)]
+    return Configuration.of(points, visibility_range)
+
+
+def ring_configuration(
+    n: int, *, visibility_range: float = 1.0, chord_fraction: float = 0.9
+) -> Configuration:
+    """``n`` robots on a circle whose neighbouring chord is ``chord_fraction * V``."""
+    if n < 3:
+        raise ValueError("a ring needs at least three robots")
+    if not 0.0 < chord_fraction <= 1.0:
+        raise ValueError("chord_fraction must lie in (0, 1]")
+    chord = chord_fraction * visibility_range
+    radius = chord / (2.0 * math.sin(math.pi / n))
+    points = [
+        Point.polar(radius, 2.0 * math.pi * i / n) for i in range(n)
+    ]
+    return Configuration.of(points, visibility_range)
+
+
+def random_connected_configuration(
+    n: int,
+    *,
+    visibility_range: float = 1.0,
+    attach_radius_fraction: float = 0.9,
+    spread: float = 0.75,
+    seed: RngLike = 0,
+) -> Configuration:
+    """A random connected configuration built by incremental attachment.
+
+    Each new robot is placed within ``attach_radius_fraction * V`` of a
+    uniformly chosen existing robot, which guarantees connectivity by
+    construction while producing irregular, sprawling shapes.  ``spread``
+    biases how far from the anchor new robots land.
+    """
+    if n < 1:
+        raise ValueError("need at least one robot")
+    if not 0.0 < attach_radius_fraction <= 1.0:
+        raise ValueError("attach_radius_fraction must lie in (0, 1]")
+    rng = _rng(seed)
+    points: List[Point] = [Point(0.0, 0.0)]
+    max_radius = attach_radius_fraction * visibility_range
+    while len(points) < n:
+        anchor = points[int(rng.integers(0, len(points)))]
+        radius = max_radius * (spread + (1.0 - spread) * rng.random())
+        angle = rng.uniform(0.0, 2.0 * math.pi)
+        points.append(anchor + Point.polar(radius, angle))
+    configuration = Configuration.of(points, visibility_range)
+    assert configuration.is_connected(), "incremental attachment must yield a connected configuration"
+    return configuration
+
+
+def clustered_configuration(
+    n_clusters: int,
+    robots_per_cluster: int,
+    *,
+    visibility_range: float = 1.0,
+    cluster_radius_fraction: float = 0.3,
+    seed: RngLike = 0,
+) -> Configuration:
+    """Several tight clusters joined by a chain of bridging robots.
+
+    The cluster centres sit on a line ``1.2 V`` apart with one bridging
+    robot midway between consecutive clusters; with the default cluster
+    radius (``0.3 V``) every cluster member is within ``0.9 V`` of the
+    nearest bridge, so the configuration is connected but has long thin
+    'corridors' — a stress shape for cohesion.
+    """
+    if n_clusters < 1 or robots_per_cluster < 1:
+        raise ValueError("need at least one cluster with at least one robot")
+    if cluster_radius_fraction > 0.35:
+        raise ValueError("cluster_radius_fraction above 0.35 can disconnect a cluster from its bridge")
+    rng = _rng(seed)
+    cluster_gap = 1.2 * visibility_range
+    cluster_radius = cluster_radius_fraction * visibility_range
+    points: List[Point] = []
+    for c in range(n_clusters):
+        center = Point(c * cluster_gap, 0.0)
+        for _ in range(robots_per_cluster):
+            offset = Point.polar(
+                cluster_radius * math.sqrt(rng.random()), rng.uniform(0.0, 2.0 * math.pi)
+            )
+            points.append(center + offset)
+        if c + 1 < n_clusters:
+            points.append(Point((c + 0.5) * cluster_gap, 0.0))
+    configuration = Configuration.of(points, visibility_range)
+    assert configuration.is_connected()
+    return configuration
+
+
+def random_disk_configuration(
+    n: int,
+    *,
+    disk_radius: float = 2.0,
+    visibility_range: float = 1.0,
+    seed: RngLike = 0,
+    max_attempts: int = 200,
+) -> Configuration:
+    """Uniformly random points in a disk, rejected until connected.
+
+    Useful as an 'unstructured' workload; raises if no connected sample is
+    found within ``max_attempts`` (choose a smaller disk or larger V).
+    """
+    rng = _rng(seed)
+    for _ in range(max_attempts):
+        radii = disk_radius * np.sqrt(rng.random(n))
+        angles = rng.uniform(0.0, 2.0 * math.pi, n)
+        points = [Point.polar(float(r), float(a)) for r, a in zip(radii, angles)]
+        if is_connected(points, visibility_range):
+            return Configuration.of(points, visibility_range)
+    raise RuntimeError(
+        f"no connected configuration of {n} robots found in a disk of radius {disk_radius} "
+        f"with V={visibility_range} after {max_attempts} attempts"
+    )
+
+
+def polygon_configuration(
+    n: int, *, side_length: float = 1.0, visibility_range: float = 1.0
+) -> Configuration:
+    """A regular ``n``-gon with the given side length.
+
+    With ``side_length == visibility_range`` this is the frozen
+    configuration used in the paper's error-tolerance arguments (Section 6.1
+    and Section 7.2.1): any algorithm that refuses to move the apex of a
+    near-degenerate triple must freeze on it.
+    """
+    if n < 3:
+        raise ValueError("a polygon needs at least three vertices")
+    circumradius = side_length / (2.0 * math.sin(math.pi / n))
+    points = [Point.polar(circumradius, 2.0 * math.pi * i / n) for i in range(n)]
+    return Configuration.of(points, visibility_range)
+
+
+def two_robot_configuration(separation: float, *, visibility_range: float = 1.0) -> Configuration:
+    """Two robots at the given separation (the minimal interesting configuration)."""
+    return Configuration.of([Point(0.0, 0.0), Point(separation, 0.0)], visibility_range)

@@ -1,0 +1,75 @@
+"""Tests for the Figure-4 counterexample construction."""
+
+import pytest
+
+from repro.adversary import (
+    canonical_instance,
+    one_async_schedule,
+    replay,
+    run_figure4,
+    search_failure_instances,
+    two_nesta_schedule,
+)
+from repro.algorithms import KKNPSAlgorithm
+from repro.schedulers import validate_k_async, validate_k_nesta
+
+
+class TestInstance:
+    def test_canonical_instance_is_admissible(self):
+        instance = canonical_instance()
+        assert instance.is_admissible()
+        assert instance.configuration().is_connected()
+        assert instance.x0.distance_to(instance.y0) == pytest.approx(1.0)
+
+    def test_instance_scales_with_visibility_range(self):
+        instance = canonical_instance(visibility_range=2.0)
+        assert instance.is_admissible()
+        assert instance.x0.distance_to(instance.y0) == pytest.approx(2.0)
+
+
+class TestSchedules:
+    def test_one_async_schedule_is_one_async(self):
+        schedule = one_async_schedule()
+        assert validate_k_async(schedule, 1)
+
+    def test_two_nesta_schedule_is_two_nesta_but_not_one(self):
+        schedule = two_nesta_schedule()
+        assert validate_k_nesta(schedule, 2)
+        assert not validate_k_nesta(schedule, 1)
+
+    def test_x_is_activated_twice_and_y_once(self):
+        for schedule in (one_async_schedule(), two_nesta_schedule()):
+            ids = [a.robot_id for a in schedule]
+            assert ids.count(0) == 2
+            assert ids.count(1) == 1
+
+
+class TestReplay:
+    def test_ando_breaks_visibility_on_both_timelines(self):
+        outcomes = run_figure4()
+        for outcome in outcomes.values():
+            assert outcome.visibility_broken
+            assert outcome.final_separation > 1.0
+            assert not outcome.cohesion_maintained
+            assert outcome.separation_ratio > 1.0
+
+    def test_kknps_preserves_visibility_on_the_same_timelines(self):
+        instance = canonical_instance()
+        for schedule, k in ((one_async_schedule(), 1), (two_nesta_schedule(), 2)):
+            outcome = replay(instance, schedule, algorithm=KKNPSAlgorithm(k=k))
+            assert not outcome.visibility_broken
+            assert outcome.cohesion_maintained
+
+    def test_stationary_robots_do_not_move(self):
+        outcome = run_figure4()["1-async"]
+        final = outcome.result.final_configuration
+        instance = outcome.instance
+        assert final[2].is_close(instance.a)
+        assert final[3].is_close(instance.b)
+        assert final[4].is_close(instance.c)
+
+    def test_search_finds_additional_instances(self):
+        best, breaking = search_failure_instances(n_candidates=80, seed=1)
+        assert best is not None
+        assert breaking >= 1
+        assert best.final_separation > 1.0

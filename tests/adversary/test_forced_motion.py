@@ -1,0 +1,59 @@
+"""Tests for the forced-motion witnesses (Section 7.2.1)."""
+
+import math
+
+import pytest
+
+from repro.adversary import (
+    distance_indistinguishable,
+    forced_motion_witness,
+    paper_modulus,
+    smallest_witness_modulus,
+)
+
+
+class TestWitnesses:
+    def test_paper_modulus_formula(self):
+        assert paper_modulus(0.3, 0.1) == int(math.floor(4 * math.pi / 0.03)) + 1
+
+    def test_paper_modulus_validation(self):
+        with pytest.raises(ValueError):
+            paper_modulus(0.0, 0.1)
+        with pytest.raises(ValueError):
+            paper_modulus(0.3, 1.0)
+
+    @pytest.mark.parametrize("phi,lam", [(0.3, 0.1), (0.05, 0.2), (0.5, 0.05), (0.001, 0.3)])
+    def test_witness_exists_with_paper_modulus(self, phi, lam):
+        witness = forced_motion_witness(phi, lam)
+        assert witness.is_valid()
+        low, high = witness.perceived_interval
+        assert low - 1e-12 <= witness.lower_special_angle <= witness.upper_special_angle <= high + 1e-12
+        # The two special angles are consecutive multiples of 2*pi/M.
+        assert witness.upper_special_angle - witness.lower_special_angle == pytest.approx(
+            2 * math.pi / witness.modulus
+        )
+
+    def test_witness_with_too_small_modulus_raises(self):
+        with pytest.raises(ValueError):
+            forced_motion_witness(0.3, 0.1, modulus=10)
+
+    def test_smallest_modulus_is_at_most_paper_bound(self):
+        phi, lam = 0.3, 0.1
+        smallest = smallest_witness_modulus(phi, lam)
+        assert smallest <= paper_modulus(phi, lam)
+        witness = forced_motion_witness(phi, lam, modulus=smallest)
+        assert witness.is_valid()
+
+
+class TestDistanceIndistinguishability:
+    def test_threshold_distance_is_indistinguishable(self):
+        assert distance_indistinguishable(1.0, 1.0, 0.05)
+
+    def test_slightly_shorter_distance_is_indistinguishable(self):
+        assert distance_indistinguishable(0.97, 1.0, 0.05)
+
+    def test_much_shorter_distance_is_distinguishable(self):
+        assert not distance_indistinguishable(0.9, 1.0, 0.05)
+
+    def test_longer_than_threshold_never_qualifies(self):
+        assert not distance_indistinguishable(1.01, 1.0, 0.05)

@@ -1,0 +1,83 @@
+"""Tests for the full Section-7 impossibility driver."""
+
+import math
+
+import pytest
+
+from repro.adversary import required_zeta, representative_hub_moves, run_impossibility
+from repro.adversary.impossibility import hub_snapshot
+from repro.adversary.spiral import build_spiral
+
+
+class TestHubMoves:
+    def test_hub_snapshot_contains_two_neighbours(self):
+        spiral = build_spiral(0.3)
+        snapshot = hub_snapshot(spiral, reveal_range=False)
+        assert snapshot.neighbour_count() == 2
+        assert snapshot.visibility_range is None
+        assert hub_snapshot(spiral, reveal_range=True).visibility_range == 1.0
+
+    def test_representative_moves_are_forced_and_on_the_bisector(self):
+        spiral = build_spiral(0.3)
+        moves = representative_hub_moves(spiral)
+        assert len(moves) == 2
+        for move in moves:
+            assert move.zeta > 0.0
+            assert move.in_c_side_half_sector
+            assert math.degrees(move.direction_angle) == pytest.approx(-67.5, abs=1e-3)
+
+    def test_kknps_zeta_matches_hand_computation(self):
+        spiral = build_spiral(0.3)
+        moves = {m.algorithm_name: m for m in representative_hub_moves(spiral)}
+        kknps = [m for name, m in moves.items() if name.startswith("kknps")][0]
+        # zeta = |(1/8)(u_B + u_C)/2| with a 135-degree angle between u_B and u_C.
+        expected = (1.0 / 8.0) * math.cos(3.0 * math.pi / 8.0)
+        assert kknps.zeta == pytest.approx(expected, abs=1e-9)
+
+
+class TestFullConstruction:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_impossibility(psi=0.3, delta=0.05, skew=0.1)
+
+    def test_construction_is_legal(self, report):
+        assert report.construction_is_legal
+        assert report.flattening.lens_violations == 0
+
+    def test_drift_and_distance_band(self, report):
+        assert report.drift_within_paper_bound
+        assert report.edges_indistinguishable_from_threshold
+
+    def test_required_zeta_is_tiny(self, report):
+        # With the distance-preserving collapse, any positive hub move works.
+        assert report.required_zeta < 0.01
+
+    def test_both_representatives_break_visibility(self, report):
+        assert report.any_representative_breaks_visibility
+        assert all(report.visibility_broken.values())
+        for separation in report.separations.values():
+            assert separation > 1.0
+
+    def test_final_graph_splits_into_separable_components(self, report):
+        assert report.final_components >= 2
+        assert report.components_linearly_separable
+
+    def test_witnesses_are_valid(self, report):
+        assert len(report.witnesses) == 2
+        assert all(w.is_valid() for w in report.witnesses)
+
+    def test_summary_lines_render(self, report):
+        lines = report.summary_lines()
+        assert any("spiral" in line for line in lines)
+        assert any("BROKEN" in line for line in lines)
+
+
+class TestRequiredZeta:
+    def test_required_zeta_zero_when_b_already_far(self):
+        spiral = build_spiral(0.3)
+        flattening = type("F", (), {})()  # lightweight stand-in
+
+        class FakeFlattening:
+            b_final = spiral.hub + spiral.bisector_direction() * (-1.5)
+
+        assert required_zeta(spiral, FakeFlattening()) == 0.0

@@ -1,0 +1,91 @@
+"""Tests for the sliver-flattening adversary (Section 7.2.2-7.2.3)."""
+
+import math
+
+import pytest
+
+from repro.adversary import build_spiral, collapse_point, flatten_spiral
+from repro.geometry import Point
+from repro.geometry.segment import collinear
+
+
+class TestCollapsePoint:
+    def test_result_is_collinear_with_neighbours(self):
+        hub = Point(0, 0)
+        inner = Point(1.0, 0.0)
+        outer = Point(2.9, 0.5)
+        current = Point(2.0, 0.3)
+        new = collapse_point(hub, inner, current, outer)
+        assert collinear(inner, new, outer, eps=1e-9)
+
+    def test_hub_distance_preserved_when_possible(self):
+        hub = Point(0, 0)
+        inner = Point(1.0, 0.0)
+        current = Point(1.98, 0.3)
+        outer = Point(2.95, 0.4)
+        new = collapse_point(hub, inner, current, outer)
+        assert hub.distance_to(new) == pytest.approx(hub.distance_to(current), abs=1e-9)
+
+    def test_fallback_projection_when_circle_misses_line(self):
+        hub = Point(0, 0)
+        inner = Point(5.0, 5.0)
+        outer = Point(6.0, 5.0)
+        current = Point(3.0, 0.1)  # much closer to the hub than the line y = 5
+        new = collapse_point(hub, inner, current, outer)
+        # Falls back to the orthogonal projection onto the line y = 5.
+        assert new.y == pytest.approx(5.0)
+        assert new.x == pytest.approx(3.0)
+
+    def test_degenerate_neighbours(self):
+        hub = Point(0, 0)
+        inner = outer = Point(1.0, 1.0)
+        new = collapse_point(hub, inner, Point(2.0, 1.0), outer)
+        assert new.is_close(inner)
+
+
+class TestFlattening:
+    @pytest.fixture(scope="class")
+    def flattening(self):
+        spiral = build_spiral(0.35)
+        return flatten_spiral(spiral)
+
+    def test_every_move_is_lens_legal(self, flattening):
+        assert flattening.lens_violations == 0
+        assert flattening.total_moves > 0
+
+    def test_per_move_drift_bound(self, flattening):
+        assert flattening.drift_bound_violations == 0
+        for move in flattening.sampled_moves:
+            assert move.respects_paper_drift_bound()
+
+    def test_total_drift_within_paper_bound(self, flattening):
+        assert flattening.max_abs_drift <= flattening.paper_total_drift_bound()
+
+    def test_edges_stay_near_threshold(self, flattening):
+        psi = flattening.spiral.psi
+        assert flattening.max_edge_length_seen <= 1.0 + 1e-9
+        assert flattening.min_edge_length_seen > 1.0 - psi * psi
+        assert flattening.edges_stay_indistinguishable(delta=psi * psi)
+
+    def test_tail_ends_on_the_final_chord(self, flattening):
+        spiral = flattening.spiral
+        direction = spiral.final_chord_direction()
+        for index, position in enumerate(flattening.final_tail[:-1]):
+            offset = position - spiral.hub
+            lateral = abs(offset.cross(direction))
+            # Essential collinearity: the residual lateral offset is small
+            # compared with the chord length (the tolerance leaves a slack of
+            # roughly psi/4 in the accumulated direction).
+            assert lateral <= 0.3 * spiral.psi * max(1.0, offset.norm())
+
+    def test_b_rotates_by_the_target_angle(self, flattening):
+        spiral = flattening.spiral
+        b_final = flattening.b_final
+        rotation = abs(b_final.angle() - spiral.tail[0].angle())
+        assert rotation == pytest.approx(spiral.total_rotation(), abs=0.5 * spiral.psi)
+        # And X_B keeps (essentially) its unit distance from the hub.
+        assert spiral.hub.distance_to(b_final) == pytest.approx(1.0, abs=0.01)
+
+    def test_individual_moves_are_small(self, flattening):
+        # Each collapse moves a robot by at most ~phi/2 <= psi/2.
+        assert flattening.max_single_move_length <= flattening.spiral.psi

@@ -1,0 +1,88 @@
+"""Tests for the Section-7 spiral configuration generator."""
+
+import math
+
+import pytest
+
+from repro.adversary import build_spiral
+
+
+class TestSpiralGeometry:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            build_spiral(0.0)
+        with pytest.raises(ValueError):
+            build_spiral(1.0)
+        with pytest.raises(ValueError):
+            build_spiral(0.3, visibility_range=0.0)
+
+    def test_anchor_robots(self):
+        spiral = build_spiral(0.3)
+        assert spiral.hub.norm() == 0.0
+        assert spiral.c_robot.norm() == pytest.approx(1.0)
+        assert math.degrees(spiral.c_robot.angle()) == pytest.approx(-135.0)
+        assert spiral.tail[0].is_close((1.0, 0.0))
+
+    def test_consecutive_tail_robots_at_unit_distance(self):
+        spiral = build_spiral(0.3)
+        for a, b in zip(spiral.tail, spiral.tail[1:]):
+            assert a.distance_to(b) == pytest.approx(1.0)
+
+    def test_turn_angle_between_chord_and_segment_is_psi(self):
+        psi = 0.3
+        spiral = build_spiral(psi)
+        for previous, current in zip(spiral.tail, spiral.tail[1:]):
+            chord_angle = spiral.hub.angle_to(previous)
+            segment_angle = previous.angle_to(current)
+            assert segment_angle - chord_angle == pytest.approx(psi, abs=1e-9)
+
+    def test_total_rotation_reaches_target(self):
+        spiral = build_spiral(0.3)
+        assert spiral.total_rotation() >= spiral.target_rotation - 1e-9
+        # And does not wildly overshoot (one extra step at most).
+        assert spiral.total_rotation() <= spiral.target_rotation + 0.2
+
+    def test_chord_lengths_grow_roughly_linearly(self):
+        spiral = build_spiral(0.25)
+        lengths = spiral.chord_lengths()
+        psi = spiral.psi
+        for i, d in enumerate(lengths):
+            # Paper: i (1 - psi^2/2) < d_i < i (with d_0 = 1, 1-indexed here).
+            assert (i + 1) * (1 - psi * psi / 2) < d + 1e-9
+            assert d <= (i + 1) + 1e-9
+
+    def test_robot_count_close_to_paper_bound(self):
+        spiral = build_spiral(0.3)
+        # The generator should need the same order of robots as the paper's
+        # bound 3 + exp(3*pi / (8 sin psi)).
+        assert spiral.n_robots <= 3 * spiral.predicted_robot_count()
+        assert spiral.n_robots >= 0.3 * spiral.predicted_robot_count()
+
+    def test_initial_configuration_is_connected(self):
+        spiral = build_spiral(0.35)
+        assert spiral.configuration().is_connected()
+
+    def test_hub_sees_only_b_and_c(self):
+        spiral = build_spiral(0.3)
+        visible = [
+            p for p in spiral.positions()[1:]
+            if spiral.hub.distance_to(p) <= spiral.visibility_range + 1e-9
+        ]
+        assert len(visible) == 2
+
+    def test_spiral_turns_away_from_c(self):
+        spiral = build_spiral(0.3)
+        final_direction = spiral.final_chord_direction()
+        # The final chord points into the upper half plane (counter-clockwise
+        # from the x axis), on the opposite side from X_C.
+        assert final_direction.y > 0.0
+        assert spiral.bisector_direction().y < 0.0
+
+    def test_gamma_decreases_along_the_tail(self):
+        spiral = build_spiral(0.3)
+        gammas = spiral.consecutive_gamma()
+        assert gammas[0] > gammas[-1]
+        # gamma_i = asin(sin(psi) / d_i), where d_i is the new chord length.
+        lengths = spiral.chord_lengths()
+        for gamma, d in zip(gammas, lengths[1:]):
+            assert gamma == pytest.approx(math.asin(math.sin(spiral.psi) / d), rel=1e-6)

@@ -1,0 +1,83 @@
+"""Tests for Ando et al.'s Go-To-The-Centre-Of-The-SEC algorithm."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.algorithms import AndoAlgorithm
+from repro.geometry import Point
+from repro.model import Snapshot
+
+
+def snap(*neighbours, v=1.0):
+    return Snapshot(neighbours=tuple(Point.of(p) for p in neighbours), visibility_range=v)
+
+
+class TestRequirements:
+    def test_requires_visibility_range(self):
+        assert AndoAlgorithm().requires_visibility_range
+        with pytest.raises(ValueError):
+            AndoAlgorithm().compute(Snapshot(neighbours=(Point(0.5, 0),)))
+
+    def test_max_move_validation(self):
+        with pytest.raises(ValueError):
+            AndoAlgorithm(max_move=0.0)
+
+
+class TestDestination:
+    def test_no_neighbours_stays(self):
+        assert AndoAlgorithm().compute(snap()) == Point(0, 0)
+
+    def test_two_robots_meet_in_the_middle(self):
+        destination = AndoAlgorithm().compute(snap((0.8, 0.0)))
+        # SEC of {origin, neighbour} is centred at the midpoint, which is
+        # inside the safe disk, so the robot goes all the way there.
+        assert destination.is_close(Point(0.4, 0.0))
+
+    def test_symmetric_neighbours_cancel(self):
+        destination = AndoAlgorithm().compute(snap((0.8, 0.0), (-0.8, 0.0)))
+        assert destination.norm() < 1e-9
+
+    def test_destination_respects_safe_disks(self):
+        rng = np.random.default_rng(0)
+        algorithm = AndoAlgorithm()
+        for _ in range(100):
+            neighbours = [
+                Point.polar(float(rng.uniform(0.1, 1.0)), float(rng.uniform(0, 2 * math.pi)))
+                for _ in range(rng.integers(1, 6))
+            ]
+            snapshot = Snapshot(neighbours=tuple(neighbours), visibility_range=1.0)
+            assert algorithm.destination_respects_safe_regions(snapshot)
+
+    def test_move_stays_within_visibility_of_every_neighbour(self):
+        rng = np.random.default_rng(1)
+        algorithm = AndoAlgorithm()
+        for _ in range(100):
+            neighbours = [
+                Point.polar(float(rng.uniform(0.1, 1.0)), float(rng.uniform(0, 2 * math.pi)))
+                for _ in range(rng.integers(1, 5))
+            ]
+            snapshot = Snapshot(neighbours=tuple(neighbours), visibility_range=1.0)
+            destination = algorithm.compute(snapshot)
+            # A static neighbour stays visible after the move (SSync safety).
+            assert all(destination.distance_to(p) <= 1.0 + 1e-9 for p in neighbours)
+
+    def test_max_move_caps_the_goal(self):
+        capped = AndoAlgorithm(max_move=0.1).compute(snap((0.8, 0.0)))
+        assert capped.norm() <= 0.1 + 1e-12
+
+    def test_clipping_against_far_neighbour(self):
+        # One neighbour straight ahead at the range boundary and one behind:
+        # the SEC centre is ahead but the far neighbour's safe disk clips the move.
+        destination = AndoAlgorithm().compute(snap((1.0, 0.0), (-1.0, 0.0)))
+        assert destination.norm() < 1e-9
+
+    def test_rotation_equivariance(self):
+        algorithm = AndoAlgorithm()
+        neighbours = [Point(0.9, 0.0), Point(0.0, 0.7)]
+        base = algorithm.compute(Snapshot(neighbours=tuple(neighbours), visibility_range=1.0))
+        rotated = algorithm.compute(
+            Snapshot(neighbours=tuple(p.rotated(1.1) for p in neighbours), visibility_range=1.0)
+        )
+        assert rotated.is_close(base.rotated(1.1), eps=1e-9)

@@ -1,0 +1,77 @@
+"""Tests for the unlimited-visibility baselines (CoG, GCM) and the base interface."""
+
+import pytest
+
+from repro.algorithms import (
+    CenterOfGravityAlgorithm,
+    ConvergenceAlgorithm,
+    MinboxAlgorithm,
+    StationaryAlgorithm,
+)
+from repro.geometry import Point
+from repro.model import Snapshot
+
+
+def snap(*neighbours):
+    return Snapshot(neighbours=tuple(Point.of(p) for p in neighbours))
+
+
+class TestCenterOfGravity:
+    def test_moves_to_centroid_including_self(self):
+        destination = CenterOfGravityAlgorithm().compute(snap((3.0, 0.0), (0.0, 3.0)))
+        assert destination == Point(1.0, 1.0)
+
+    def test_step_fraction(self):
+        destination = CenterOfGravityAlgorithm(step_fraction=0.5).compute(snap((2.0, 0.0)))
+        assert destination == Point(0.5, 0.0)
+
+    def test_step_fraction_validation(self):
+        with pytest.raises(ValueError):
+            CenterOfGravityAlgorithm(step_fraction=0.0)
+
+    def test_no_neighbours_stays(self):
+        assert CenterOfGravityAlgorithm().compute(snap()) == Point(0, 0)
+
+    def test_assumes_unlimited_visibility(self):
+        assert CenterOfGravityAlgorithm().assumes_unlimited_visibility
+
+
+class TestMinbox:
+    def test_moves_to_minbox_center(self):
+        destination = MinboxAlgorithm().compute(snap((4.0, 0.0), (0.0, 2.0)))
+        assert destination == Point(2.0, 1.0)
+
+    def test_minbox_differs_from_centroid(self):
+        cog = CenterOfGravityAlgorithm().compute(snap((4.0, 0.0), (1.0, 0.0)))
+        gcm = MinboxAlgorithm().compute(snap((4.0, 0.0), (1.0, 0.0)))
+        assert cog != gcm
+        assert gcm == Point(2.0, 0.0)
+
+    def test_step_fraction_validation(self):
+        with pytest.raises(ValueError):
+            MinboxAlgorithm(step_fraction=2.0)
+
+    def test_no_neighbours_stays(self):
+        assert MinboxAlgorithm().compute(snap()) == Point(0, 0)
+
+
+class TestBaseInterface:
+    def test_stationary_never_moves(self):
+        assert StationaryAlgorithm().compute(snap((1.0, 1.0))) == Point(0, 0)
+
+    def test_known_range_error_message(self):
+        class NeedsRange(ConvergenceAlgorithm):
+            name = "needs-range"
+            requires_visibility_range = True
+
+            def compute(self, snapshot):
+                return Point(self._known_range(snapshot), 0.0)
+
+        with pytest.raises(ValueError, match="needs-range"):
+            NeedsRange().compute(snap((0.5, 0)))
+        assert NeedsRange().compute(
+            Snapshot(neighbours=(Point(0.5, 0),), visibility_range=2.0)
+        ) == Point(2.0, 0.0)
+
+    def test_describe_defaults_to_name(self):
+        assert StationaryAlgorithm().describe() == "stationary"

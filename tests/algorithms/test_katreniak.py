@@ -1,0 +1,73 @@
+"""Tests for the Katreniak-style algorithm."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.algorithms import KatreniakAlgorithm
+from repro.geometry import Point
+from repro.model import Snapshot
+
+
+def snap(*neighbours):
+    return Snapshot(neighbours=tuple(Point.of(p) for p in neighbours))
+
+
+class TestKatreniak:
+    def test_does_not_need_visibility_range(self):
+        assert not KatreniakAlgorithm().requires_visibility_range
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            KatreniakAlgorithm(ray_samples=2)
+
+    def test_no_neighbours_stays(self):
+        assert KatreniakAlgorithm().compute(snap()) == Point(0, 0)
+
+    def test_single_neighbour_moves_toward_it(self):
+        destination = KatreniakAlgorithm().compute(snap((0.8, 0.0)))
+        assert destination.x > 0.0
+        assert abs(destination.y) < 1e-9
+        # The farthest-neighbour slack disk has radius 0, so the move stays
+        # inside the quarter-way disk of radius |p|/4.
+        assert destination.x <= 0.4 + 1e-9
+
+    def test_destination_respects_composite_regions(self):
+        rng = np.random.default_rng(2)
+        algorithm = KatreniakAlgorithm(ray_samples=256)
+        for _ in range(60):
+            neighbours = [
+                Point.polar(float(rng.uniform(0.1, 1.0)), float(rng.uniform(0, 2 * math.pi)))
+                for _ in range(rng.integers(1, 5))
+            ]
+            snapshot = Snapshot(neighbours=tuple(neighbours))
+            assert algorithm.destination_respects_safe_regions(snapshot, eps=1e-6)
+
+    def test_move_keeps_every_neighbour_within_its_own_bound(self):
+        rng = np.random.default_rng(3)
+        algorithm = KatreniakAlgorithm()
+        for _ in range(60):
+            neighbours = [
+                Point.polar(float(rng.uniform(0.3, 1.0)), float(rng.uniform(0, 2 * math.pi)))
+                for _ in range(rng.integers(1, 4))
+            ]
+            snapshot = Snapshot(neighbours=tuple(neighbours))
+            v_z = snapshot.farthest_distance()
+            destination = algorithm.compute(snapshot)
+            # Staying within the union regions keeps each neighbour within V_Z
+            # of the new position when the neighbour does not move.
+            assert all(destination.distance_to(p) <= v_z + 1e-6 for p in neighbours)
+
+    def test_symmetric_neighbours_cancel(self):
+        destination = KatreniakAlgorithm().compute(snap((0.8, 0.0), (-0.8, 0.0)))
+        assert destination.norm() < 1e-6
+
+    def test_rotation_equivariance(self):
+        algorithm = KatreniakAlgorithm(ray_samples=512)
+        neighbours = [Point(0.9, 0.0), Point(0.0, 0.6)]
+        base = algorithm.compute(Snapshot(neighbours=tuple(neighbours)))
+        rotated = algorithm.compute(
+            Snapshot(neighbours=tuple(p.rotated(0.9) for p in neighbours))
+        )
+        assert rotated.is_close(base.rotated(0.9), eps=1e-2)

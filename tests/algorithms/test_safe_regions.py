@@ -1,0 +1,127 @@
+"""Tests for the safe-region constructions of all three algorithms."""
+
+import math
+
+import pytest
+
+from repro.algorithms import (
+    ando_safe_region,
+    ando_safe_region_local,
+    katreniak_safe_region,
+    katreniak_safe_region_local,
+    kknps_max_planned_move,
+    kknps_safe_region,
+    kknps_safe_region_local,
+    max_step_within_disks,
+    max_step_within_regions,
+    point_respects_disks,
+)
+from repro.geometry import Disk, Point
+
+
+class TestKKNPSSafeRegion:
+    def test_geometry_matches_paper(self):
+        # Radius V_Y / 8, centred at distance V_Y / 8 toward the neighbour.
+        region = kknps_safe_region((0, 0), (1, 0), 0.8)
+        assert region.radius == pytest.approx(0.1)
+        assert region.center == Point(0.1, 0.0)
+
+    def test_scaling_by_one_over_k(self):
+        base = kknps_safe_region((0, 0), (1, 0), 0.8)
+        scaled = kknps_safe_region((0, 0), (1, 0), 0.8, alpha=0.25)
+        assert scaled.radius == pytest.approx(base.radius / 4)
+        assert scaled.center.norm() == pytest.approx(base.center.norm() / 4)
+
+    def test_depends_only_on_direction(self):
+        near = kknps_safe_region((0, 0), (0.5, 0.5), 1.0)
+        far = kknps_safe_region((0, 0), (5, 5), 1.0)
+        assert near.center.is_close(far.center)
+        assert near.radius == far.radius
+
+    def test_observer_on_boundary(self):
+        region = kknps_safe_region_local((1, 0), 1.0)
+        assert region.on_boundary((0, 0))
+
+    def test_custom_radius_divisor(self):
+        region = kknps_safe_region((0, 0), (1, 0), 1.0, radius_divisor=4.0)
+        assert region.radius == pytest.approx(0.25)
+
+    def test_max_planned_move(self):
+        assert kknps_max_planned_move(0.8) == pytest.approx(0.1)
+        assert kknps_max_planned_move(0.8, alpha=0.5) == pytest.approx(0.05)
+
+
+class TestAndoSafeRegion:
+    def test_midpoint_disk(self):
+        region = ando_safe_region((0, 0), (1, 0), 1.0)
+        assert region.center == Point(0.5, 0.0)
+        assert region.radius == pytest.approx(0.5)
+
+    def test_both_endpoints_inside_when_within_range(self):
+        region = ando_safe_region((0, 0), (0.8, 0), 1.0)
+        assert region.contains((0, 0))
+        assert region.contains((0.8, 0))
+
+    def test_staying_inside_preserves_visibility(self):
+        # Any two points of the shared disk are within V of each other.
+        region = ando_safe_region_local((1.0, 0.0), 1.0)
+        a = region.boundary_point(0.3)
+        b = region.boundary_point(0.3 + math.pi)
+        assert a.distance_to(b) <= 1.0 + 1e-12
+
+
+class TestKatreniakSafeRegion:
+    def test_two_disk_shape(self):
+        region = katreniak_safe_region((0, 0), (0.8, 0), 1.0)
+        assert region.near_disk.center == Point(0.2, 0.0)
+        assert region.near_disk.radius == pytest.approx(0.2)
+        assert region.slack_disk.center == Point(0.0, 0.0)
+        assert region.slack_disk.radius == pytest.approx(0.05)
+
+    def test_union_membership(self):
+        region = katreniak_safe_region_local((0.8, 0), 1.0)
+        assert region.contains((0.2, 0.0))        # in the near disk
+        assert region.contains((0.0, 0.04))       # in the slack disk
+        assert not region.contains((0.8, 0.0))    # the neighbour itself is outside
+        assert not region.contains((-0.2, 0.0))
+
+    def test_slack_disk_vanishes_for_farthest_neighbour(self):
+        region = katreniak_safe_region((0, 0), (1.0, 0), 1.0)
+        assert region.slack_disk.radius == 0.0
+
+    def test_disks_accessor(self):
+        region = katreniak_safe_region_local((0.8, 0), 1.0)
+        assert len(region.disks()) == 2
+
+
+class TestMaxStepHelpers:
+    def test_max_step_within_disks_reaches_goal_when_inside(self):
+        disks = [Disk(Point(0.5, 0), 0.5)]
+        end = max_step_within_disks((0, 0), (0.8, 0), disks)
+        assert end.is_close(Point(0.8, 0.0))
+
+    def test_max_step_clips_at_boundary(self):
+        disks = [Disk(Point(0.5, 0), 0.5)]
+        end = max_step_within_disks((0, 0), (2.0, 0), disks)
+        assert end.is_close(Point(1.0, 0.0), eps=1e-9)
+
+    def test_max_step_with_origin_outside_does_not_move(self):
+        disks = [Disk(Point(5, 0), 0.5)]
+        assert max_step_within_disks((0, 0), (1, 0), disks) == Point(0, 0)
+
+    def test_max_step_multiple_disks_takes_tightest(self):
+        disks = [Disk(Point(0.5, 0), 0.5), Disk(Point(0.25, 0), 0.3)]
+        end = max_step_within_disks((0, 0), (2.0, 0), disks)
+        assert end.x == pytest.approx(0.55, abs=1e-9)
+
+    def test_point_respects_disks(self):
+        disks = [Disk(Point(0, 0), 1.0), Disk(Point(1, 0), 1.0)]
+        assert point_respects_disks((0.5, 0), disks)
+        assert not point_respects_disks((-0.5, 0), disks)
+
+    def test_max_step_within_regions_prefix_semantics(self):
+        regions = [katreniak_safe_region_local((0.8, 0.0), 1.0)]
+        end = max_step_within_regions((0, 0), (0.4, 0.0), regions, samples=256)
+        # The move stops at the largest feasible prefix of the ray.
+        assert 0.3 <= end.x <= 0.4 + 1e-9
+        assert regions[0].contains(end, eps=1e-6)

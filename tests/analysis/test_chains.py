@@ -1,0 +1,64 @@
+"""Tests for the doomed-engagement chain analysis (Lemma 5 / Theorem 4)."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    LEMMA5_COS_BOUND,
+    adversarial_engagement_search,
+    chain_invariant_margins,
+)
+from repro.analysis.chains import EngagementTrace
+from repro.geometry import Point
+
+
+class TestConstants:
+    def test_lemma5_bound_value(self):
+        assert LEMMA5_COS_BOUND == pytest.approx(math.sqrt((2 + math.sqrt(3)) / 4))
+        assert LEMMA5_COS_BOUND == pytest.approx(0.96592582, abs=1e-6)
+
+
+class TestEngagementSearch:
+    @pytest.mark.parametrize("k", [1, 2])
+    def test_separation_never_exceeds_v(self, k):
+        trace = adversarial_engagement_search(k=k, steps=20, trials=60, seed=k)
+        assert trace.max_separation_ratio() <= 1.0 + 1e-9
+
+    def test_search_is_adversarially_tight(self):
+        # The greedy adversary pushes the pair essentially to the V boundary,
+        # so the "never exceeds V" result is not vacuous.
+        trace = adversarial_engagement_search(k=1, steps=30, trials=80, seed=0)
+        assert trace.max_separation_ratio() > 0.95
+
+    def test_scaled_visibility_range(self):
+        trace = adversarial_engagement_search(
+            visibility_range=2.0, k=1, steps=15, trials=30, seed=3
+        )
+        assert trace.max_separation() <= 2.0 + 1e-9
+        assert trace.max_separation() > 1.5
+
+    def test_trace_checkpoints_are_recorded(self):
+        trace = adversarial_engagement_search(k=2, steps=10, trials=5, seed=1)
+        assert len(trace.x_positions) == len(trace.y_positions)
+        assert len(trace.separations()) == len(trace.x_positions)
+
+    def test_starting_below_range_stays_below(self):
+        trace = adversarial_engagement_search(
+            k=1, steps=20, trials=40, seed=2, initial_separation_fraction=0.8
+        )
+        assert trace.max_separation_ratio() <= 1.0 + 1e-9
+
+
+class TestChainMargins:
+    def test_margins_on_search_trace(self):
+        trace = adversarial_engagement_search(k=1, steps=20, trials=30, seed=5)
+        margins = chain_invariant_margins(trace)
+        assert margins
+        assert all(m.satisfied for m in margins)
+
+    def test_margins_of_trivial_trace(self):
+        trace = EngagementTrace(visibility_range=1.0, k=1)
+        trace.x_positions.append(Point(0, 0))
+        trace.y_positions.append(Point(1, 0))
+        assert chain_invariant_margins(trace) == []

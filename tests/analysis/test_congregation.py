@@ -1,0 +1,73 @@
+"""Tests for the congregation-lemma (6-8) numeric checks."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    check_lemma6_on_configuration,
+    check_lemma8_on_configuration,
+    lemma6_distance_bound,
+    lemma7_distance_bound,
+    lemma8_perimeter_decrease,
+)
+from repro.workloads import random_connected_configuration, ring_configuration
+
+
+class TestBounds:
+    def test_lemma6_bound_formula(self):
+        bound = lemma6_distance_bound(1.0, 1.0, 1.0)
+        assert bound == pytest.approx((1.0 / (80 * math.sqrt(2.0))) ** 4)
+
+    def test_lemma6_bound_monotone_in_zeta(self):
+        assert lemma6_distance_bound(0.5, 1.0, 1.0) < lemma6_distance_bound(1.0, 1.0, 1.0)
+
+    def test_lemma6_bound_smaller_for_less_rigid_motion(self):
+        assert lemma6_distance_bound(1.0, 0.1, 1.0) < lemma6_distance_bound(1.0, 1.0, 1.0)
+
+    def test_lemma6_validation(self):
+        with pytest.raises(ValueError):
+            lemma6_distance_bound(0.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            lemma6_distance_bound(1.0, 0.0, 1.0)
+
+    def test_lemma7_bound_is_smaller_than_lemma6(self):
+        assert lemma7_distance_bound(1.0, 1.0, 1.0) < lemma6_distance_bound(1.0, 1.0, 1.0)
+
+    def test_lemma8_bound_formula(self):
+        assert lemma8_perimeter_decrease(0.1, 2.0) == pytest.approx(0.001 / 16.0)
+        with pytest.raises(ValueError):
+            lemma8_perimeter_decrease(0.1, 0.0)
+
+
+class TestConfigurationChecks:
+    def test_lemma6_holds_on_random_configurations(self):
+        for seed in range(5):
+            configuration = random_connected_configuration(8, seed=seed)
+            checks = check_lemma6_on_configuration(
+                list(configuration.positions), 1.0, k=1, xi=0.5
+            )
+            assert checks
+            assert all(c.satisfied for c in checks)
+
+    def test_lemma6_checks_carry_metadata(self):
+        configuration = ring_configuration(6)
+        checks = check_lemma6_on_configuration(list(configuration.positions), 1.0)
+        assert all(c.v_lower_bound > 0 for c in checks)
+        assert all(c.zeta > 0 for c in checks)
+        assert all(c.bound >= 0 for c in checks)
+
+    def test_lemma8_holds_on_random_configurations(self):
+        for seed in range(5):
+            configuration = random_connected_configuration(10, seed=seed)
+            d = 0.05 * configuration.hull_radius()
+            check = check_lemma8_on_configuration(list(configuration.positions), d)
+            assert check is not None
+            assert check.satisfied
+            assert check.decrease >= check.bound - 1e-12
+
+    def test_lemma8_degenerate_inputs(self):
+        assert check_lemma8_on_configuration([(0, 0), (1, 0)], 0.01) is None
+        configuration = random_connected_configuration(8, seed=1)
+        too_large = 2.0 * configuration.hull_radius()
+        assert check_lemma8_on_configuration(list(configuration.positions), too_large) is None

@@ -1,0 +1,41 @@
+"""Tests for the text-table renderer."""
+
+import pytest
+
+from repro.analysis import TextTable, render_key_values
+
+
+class TestTextTable:
+    def test_render_alignment(self):
+        table = TextTable("title", ["name", "value"])
+        table.add_row("alpha", 1.0)
+        table.add_row("a-much-longer-name", 123.456)
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0] == "title"
+        assert "name" in lines[1] and "value" in lines[1]
+        # All data lines share the separator width.
+        assert len(lines[3]) == len(lines[4])
+
+    def test_row_length_checked(self):
+        table = TextTable("t", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_bool_and_float_formatting(self):
+        table = TextTable("t", ["flag", "x"], float_format=".2f")
+        table.add_row(True, 1.23456)
+        text = table.render()
+        assert "yes" in text
+        assert "1.23" in text and "1.2346" not in text
+
+    def test_add_rows_and_str(self):
+        table = TextTable("t", ["a"])
+        table.add_rows([[1], [2], [3]])
+        assert len(table.rows) == 3
+        assert str(table) == table.render()
+
+    def test_render_key_values(self):
+        text = render_key_values("summary", [("alpha", 1), ("beta", True)])
+        assert "summary" in text
+        assert "alpha" in text and "beta" in text

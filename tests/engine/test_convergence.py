@@ -1,0 +1,75 @@
+"""Tests for convergence-rate measures (summaries, halving, epochs)."""
+
+import pytest
+
+from repro.engine import epochs, epochs_to_converge, rounds_to_halve, summarize, time_to_halve
+from repro.engine.metrics import MetricsSample
+
+
+def sample(time, diameter):
+    return MetricsSample(
+        time=time,
+        hull_diameter=diameter,
+        hull_perimeter=3 * diameter,
+        hull_radius=diameter / 2,
+        min_pairwise_distance=diameter / 10,
+        initial_edges_preserved=True,
+        broken_edge_count=0,
+        activations_processed=int(time),
+    )
+
+
+HISTORY = [sample(t, 1.0 * (0.5 ** t)) for t in range(6)]
+
+
+class TestSummaries:
+    def test_summarize_basic(self):
+        summary = summarize(HISTORY, epsilon=0.1)
+        assert summary.initial_diameter == pytest.approx(1.0)
+        assert summary.final_diameter == pytest.approx(0.5 ** 5)
+        assert summary.converged
+        assert summary.convergence_time == 4.0  # first diameter <= 0.1 is 0.0625 at t=4
+        assert summary.halvings_observed == 5
+        assert summary.reduction_factor == pytest.approx(32.0)
+
+    def test_summarize_empty(self):
+        summary = summarize([], epsilon=0.1)
+        assert not summary.converged
+        assert summary.samples == 0
+
+    def test_summarize_not_converged(self):
+        summary = summarize(HISTORY[:2], epsilon=0.01)
+        assert not summary.converged
+        assert summary.convergence_time is None
+
+    def test_time_and_rounds_to_halve(self):
+        assert time_to_halve(HISTORY) == 1.0
+        assert rounds_to_halve(HISTORY, round_length=0.5) == 2.0
+        assert time_to_halve([sample(0, 1.0)]) is None
+
+    def test_time_to_halve_degenerate_initial(self):
+        assert time_to_halve([sample(3.0, 0.0)]) == 3.0
+
+
+class TestEpochs:
+    def test_epochs_partition(self):
+        times = {0: [1.0, 3.0, 5.0], 1: [2.0, 4.0, 6.0]}
+        spans = epochs(times)
+        assert spans[0] == (0.0, 2.0)
+        # The second epoch starts just after 2.0 and ends when both robots
+        # have completed another cycle.
+        assert spans[1][1] == 4.0
+
+    def test_epochs_empty(self):
+        assert epochs({}) == []
+        assert epochs({0: []}) == []
+
+    def test_epochs_to_converge(self):
+        times = {0: [1.0, 3.0, 5.0], 1: [2.0, 4.0, 6.0]}
+        count = epochs_to_converge(times, HISTORY, epsilon=0.1)
+        assert count is not None
+        assert count >= 1
+
+    def test_epochs_to_converge_when_never_converged(self):
+        times = {0: [1.0], 1: [2.0]}
+        assert epochs_to_converge(times, HISTORY[:1], epsilon=1e-9) is None

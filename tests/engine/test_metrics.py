@@ -1,0 +1,68 @@
+"""Tests for the metrics collector."""
+
+import pytest
+
+from repro.engine import MetricsCollector
+from repro.geometry import Point
+
+
+SQUARE = [Point(0, 0), Point(0.9, 0), Point(0.9, 0.9), Point(0, 0.9)]
+
+
+class TestMetricsCollector:
+    def test_observe_builds_samples(self):
+        collector = MetricsCollector(visibility_range=1.0)
+        collector.bind_initial(SQUARE)
+        sample = collector.observe(0.0, SQUARE, 0)
+        assert sample.hull_diameter == pytest.approx(0.9 * 2 ** 0.5)
+        assert sample.hull_perimeter == pytest.approx(3.6)
+        assert sample.min_pairwise_distance == pytest.approx(0.9)
+        assert sample.initial_edges_preserved
+        assert sample.broken_edge_count == 0
+        assert collector.latest() is sample
+
+    def test_cohesion_violation_is_sticky(self):
+        collector = MetricsCollector(visibility_range=1.0)
+        collector.bind_initial(SQUARE)
+        moved = list(SQUARE)
+        moved[0] = Point(-5, 0)
+        collector.observe(1.0, moved, 1)
+        assert collector.cohesion_ever_violated
+        # Coming back does not clear the flag.
+        collector.observe(2.0, SQUARE, 2)
+        assert collector.cohesion_ever_violated
+        assert collector.samples[-1].initial_edges_preserved
+
+    def test_first_time_below(self):
+        collector = MetricsCollector(visibility_range=1.0)
+        collector.bind_initial(SQUARE)
+        collector.observe(0.0, SQUARE, 0)
+        shrunk = [Point(p.x * 0.01, p.y * 0.01) for p in SQUARE]
+        collector.observe(5.0, shrunk, 1)
+        assert collector.first_time_below(0.1) == 5.0
+        assert collector.first_time_below(1e-9) is None
+
+    def test_monotonicity_helpers(self):
+        collector = MetricsCollector(visibility_range=1.0)
+        collector.bind_initial(SQUARE)
+        collector.observe(0.0, SQUARE, 0)
+        collector.observe(1.0, [p * 0.5 for p in SQUARE], 1)
+        collector.observe(2.0, [p * 0.25 for p in SQUARE], 2)
+        assert collector.monotone_hull_diameter()
+        assert collector.monotone_hull_perimeter()
+        collector.observe(3.0, [p * 2.0 for p in SQUARE], 3)
+        assert not collector.monotone_hull_diameter()
+
+    def test_single_robot_metrics(self):
+        collector = MetricsCollector(visibility_range=1.0)
+        collector.bind_initial([Point(0, 0)])
+        sample = collector.observe(0.0, [Point(0, 0)], 0)
+        assert sample.hull_diameter == 0.0
+        assert sample.min_pairwise_distance == 0.0
+
+    def test_converged_predicate(self):
+        collector = MetricsCollector(visibility_range=1.0)
+        collector.bind_initial(SQUARE)
+        sample = collector.observe(0.0, SQUARE, 0)
+        assert not sample.converged(0.1)
+        assert sample.converged(10.0)

@@ -1,0 +1,52 @@
+"""Tests for the trajectory recorder."""
+
+import io
+import json
+
+import pytest
+
+from repro.engine import TrajectoryRecorder
+from repro.geometry import Point
+
+
+class TestTrajectoryRecorder:
+    def test_record_and_query(self):
+        recorder = TrajectoryRecorder()
+        recorder.record(0, 0.0, (0, 0))
+        recorder.record(0, 2.0, (2, 0))
+        assert recorder.robot_ids() == [0]
+        assert recorder.path_length(0) == pytest.approx(2.0)
+        assert recorder.trajectory(0)[0] == (0.0, Point(0, 0))
+
+    def test_record_all(self):
+        recorder = TrajectoryRecorder()
+        recorder.record_all(1.0, [(0, 0), (1, 1)])
+        assert recorder.robot_ids() == [0, 1]
+
+    def test_interpolated_position(self):
+        recorder = TrajectoryRecorder()
+        recorder.record(0, 0.0, (0, 0))
+        recorder.record(0, 2.0, (2, 0))
+        assert recorder.position_at(0, 1.0) == Point(1.0, 0.0)
+        assert recorder.position_at(0, -1.0) == Point(0.0, 0.0)
+        assert recorder.position_at(0, 5.0) == Point(2.0, 0.0)
+        assert recorder.position_at(7, 1.0) is None
+
+    def test_zero_duration_breakpoints(self):
+        recorder = TrajectoryRecorder()
+        recorder.record(0, 1.0, (0, 0))
+        recorder.record(0, 1.0, (3, 0))
+        assert recorder.position_at(0, 1.0) == Point(3.0, 0.0)
+
+    def test_json_round_trip(self):
+        recorder = TrajectoryRecorder()
+        recorder.record(0, 0.0, (0, 0))
+        recorder.record(0, 1.0, (1, 2))
+        recorder.record(3, 0.5, (5, 5))
+        stream = io.StringIO()
+        recorder.dump_json(stream)
+        data = json.loads(stream.getvalue())
+        restored = TrajectoryRecorder.from_dict(data)
+        assert restored.robot_ids() == [0, 3]
+        assert restored.position_at(0, 1.0) == Point(1.0, 2.0)
+        assert restored.path_length(0) == pytest.approx(recorder.path_length(0))

@@ -1,0 +1,189 @@
+"""Tests for the event-driven simulator."""
+
+import math
+
+import pytest
+
+from repro.algorithms import KKNPSAlgorithm, StationaryAlgorithm
+from repro.engine import SimulationConfig, Simulator, run_simulation
+from repro.geometry import Point
+from repro.model import Activation, MotionModel, PerceptionModel
+from repro.schedulers import FSyncScheduler, KAsyncScheduler, SSyncScheduler, ScriptedScheduler
+from repro.workloads import line_configuration, two_robot_configuration
+
+
+class TestConfigValidation:
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(visibility_range=0.0)
+        with pytest.raises(ValueError):
+            SimulationConfig(max_activations=0)
+        with pytest.raises(ValueError):
+            SimulationConfig(convergence_epsilon=0.0)
+        with pytest.raises(ValueError):
+            SimulationConfig(record_every=0)
+
+
+class TestBasicRuns:
+    def test_two_robots_converge_under_fsync(self):
+        config = two_robot_configuration(0.8)
+        result = run_simulation(
+            config.positions,
+            KKNPSAlgorithm(k=1),
+            FSyncScheduler(),
+            SimulationConfig(max_activations=500, convergence_epsilon=0.01),
+        )
+        assert result.converged
+        assert result.cohesion_maintained
+        assert result.final_hull_diameter <= 0.01 + 1e-9
+
+    def test_stationary_algorithm_never_moves(self):
+        config = line_configuration(4)
+        result = run_simulation(
+            config.positions,
+            StationaryAlgorithm(),
+            FSyncScheduler(),
+            SimulationConfig(max_activations=40, convergence_epsilon=1e-6,
+                             stop_at_convergence=False),
+        )
+        for initial, final in zip(config.positions, result.final_configuration.positions):
+            assert initial.is_close(final)
+        assert result.activations_processed == 40
+
+    def test_activation_counts_and_records(self):
+        config = line_configuration(3)
+        result = run_simulation(
+            config.positions,
+            KKNPSAlgorithm(k=1),
+            FSyncScheduler(),
+            SimulationConfig(max_activations=30, convergence_epsilon=1e-9,
+                             stop_at_convergence=False),
+        )
+        assert sum(result.activation_counts.values()) == result.activations_processed
+        assert len(result.records) == result.activations_processed
+        for record in result.records:
+            assert record.moved_distance <= 1.0 / 8.0 + 1e-9
+
+    def test_metrics_sampled_every_activation(self):
+        config = line_configuration(3)
+        result = run_simulation(
+            config.positions,
+            KKNPSAlgorithm(k=1),
+            FSyncScheduler(),
+            SimulationConfig(max_activations=12, convergence_epsilon=1e-9,
+                             stop_at_convergence=False, record_every=1),
+        )
+        # One initial sample, one per activation, one final sample.
+        assert len(result.metrics.samples) == 12 + 2
+
+    def test_trajectories_recorded_when_requested(self):
+        config = line_configuration(3)
+        result = run_simulation(
+            config.positions,
+            KKNPSAlgorithm(k=1),
+            FSyncScheduler(),
+            SimulationConfig(max_activations=10, record_trajectories=True,
+                             convergence_epsilon=1e-9, stop_at_convergence=False),
+        )
+        assert result.trajectories is not None
+        assert result.trajectories.robot_ids() == [0, 1, 2]
+
+    def test_stop_at_convergence_halts_early(self):
+        config = two_robot_configuration(0.5)
+        early = run_simulation(
+            config.positions, KKNPSAlgorithm(k=1), FSyncScheduler(),
+            SimulationConfig(max_activations=1000, convergence_epsilon=0.05),
+        )
+        assert early.converged
+        assert early.activations_processed < 1000
+
+    def test_max_time_limits_the_run(self):
+        config = line_configuration(3)
+        result = run_simulation(
+            config.positions, KKNPSAlgorithm(k=1), FSyncScheduler(),
+            SimulationConfig(max_activations=10000, max_time=5.0, convergence_epsilon=1e-9,
+                             stop_at_convergence=False),
+        )
+        assert result.final_time <= 6.0
+
+
+class TestSchedulingSemantics:
+    def test_scripted_schedule_sees_stale_positions(self):
+        # Robot 1 looks while robot 0 is still computing, so it sees robot 0
+        # at its pre-move position even though robot 0 moves later.
+        positions = [Point(0.0, 0.0), Point(0.8, 0.0)]
+        script = [
+            Activation(robot_id=0, look_time=0.0, compute_duration=1.0, move_duration=1.0),
+            Activation(robot_id=1, look_time=0.5, compute_duration=0.1, move_duration=0.1),
+        ]
+        result = run_simulation(
+            positions,
+            KKNPSAlgorithm(k=1),
+            ScriptedScheduler(script),
+            SimulationConfig(max_activations=2, convergence_epsilon=1e-9,
+                             stop_at_convergence=False, use_random_frames=False),
+        )
+        final = result.final_configuration
+        # Robot 1 moved toward robot 0's OLD position (to its own left).
+        assert final[1].x < 0.8
+        assert final[1].x == pytest.approx(0.8 - 0.1, abs=1e-9)
+
+    def test_scheduler_exhaustion_ends_run(self):
+        positions = [Point(0.0, 0.0), Point(0.5, 0.0)]
+        script = [Activation(robot_id=0, look_time=0.0, move_duration=0.1)]
+        result = run_simulation(
+            positions, KKNPSAlgorithm(k=1), ScriptedScheduler(script),
+            SimulationConfig(max_activations=100, convergence_epsilon=1e-9,
+                             stop_at_convergence=False),
+        )
+        assert result.activations_processed == 1
+
+    def test_crashed_robot_does_not_move_and_others_converge_to_it(self):
+        config = line_configuration(4, spacing=0.5)
+        result = run_simulation(
+            config.positions,
+            KKNPSAlgorithm(k=1),
+            SSyncScheduler(),
+            SimulationConfig(max_activations=3000, convergence_epsilon=0.02,
+                             crashed_robots=(0,)),
+        )
+        assert result.converged
+        assert result.final_configuration[0].is_close(config.positions[0])
+        # Everyone else ended up near the crashed robot.
+        for p in result.final_configuration.positions:
+            assert p.distance_to(config.positions[0]) <= 0.02 + 1e-9
+
+    def test_xi_rigid_motion_still_converges(self):
+        config = two_robot_configuration(0.8)
+        result = run_simulation(
+            config.positions,
+            KKNPSAlgorithm(k=1),
+            KAsyncScheduler(k=1, progress_fraction=(0.3, 0.6)),
+            SimulationConfig(max_activations=3000, convergence_epsilon=0.02,
+                             motion=MotionModel(xi=0.3)),
+        )
+        assert result.converged
+        assert result.cohesion_maintained
+
+    def test_perception_error_with_tolerant_algorithm(self):
+        config = line_configuration(4, spacing=0.6)
+        result = run_simulation(
+            config.positions,
+            KKNPSAlgorithm(k=1, distance_error_tolerance=0.05),
+            SSyncScheduler(),
+            SimulationConfig(
+                max_activations=4000, convergence_epsilon=0.03,
+                perception=PerceptionModel(distance_error=0.05),
+            ),
+        )
+        assert result.converged
+        assert result.cohesion_maintained
+
+    def test_engine_view_protocol(self):
+        config = line_configuration(3)
+        simulator = Simulator(
+            config.positions, KKNPSAlgorithm(k=1), FSyncScheduler(), SimulationConfig()
+        )
+        assert simulator.n_robots == 3
+        assert simulator.time == 0.0
+        assert len(simulator.positions()) == 3

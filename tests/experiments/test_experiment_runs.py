@@ -1,0 +1,121 @@
+"""Small-parameter smoke-and-claim tests for each experiment module.
+
+Each test runs the experiment with parameters an order of magnitude
+smaller than the benches use, and checks the qualitative claim that the
+corresponding figure/section of the paper makes.  The benches repeat the
+same checks at full size.
+"""
+
+import pytest
+
+from repro.experiments import (
+    baselines_unlimited,
+    congregation_lemmas,
+    convergence,
+    error_tolerance,
+    fig3_safe_regions,
+    fig4_ando_failure,
+    impossibility,
+    lemma5_chain,
+    lemma_regions,
+    separation_matrix,
+    unlimited_async,
+)
+
+
+class TestFigure3:
+    def test_kknps_region_is_smallest_and_nested(self):
+        result = fig3_safe_regions.run(area_samples=4000)
+        for row in result.rows:
+            assert row.kknps_area < row.katreniak_area < row.ando_area
+            assert row.kknps_inside_ando
+        assert result.to_table().render()
+
+    def test_k_sweep_scales_inversely(self):
+        result = fig3_safe_regions.run(area_samples=1000, k_values=(1, 2, 8))
+        radii = dict((k, r) for k, r, _ in result.k_sweep)
+        assert radii[2] == pytest.approx(radii[1] / 2)
+        assert radii[8] == pytest.approx(radii[1] / 8)
+
+
+class TestFigure4:
+    def test_claims(self):
+        result = fig4_ando_failure.run()
+        assert result.ando_breaks_both_timelines
+        assert result.kknps_preserves_both_timelines
+
+
+class TestLemmaRegions:
+    def test_containment_and_control(self):
+        result = lemma_regions.run(trials=60, seed=1)
+        assert result.lemmas_hold
+        assert result.inflated_control.violations > 0
+
+
+class TestLemma5:
+    def test_no_separation_and_margins(self):
+        result = lemma5_chain.run(k_values=(1,), steps=15, trials=30, seed=1)
+        assert result.theorem4_holds
+        assert result.lemma5_margin_satisfied
+
+
+class TestSeparationMatrix:
+    def test_small_matrix(self):
+        result = separation_matrix.run(
+            n_robots=6, runs_per_cell=1, max_activations=2500, epsilon=0.06, k=2, seed=1
+        )
+        kknps = result.cell("kknps(k matched)", "ssync")
+        assert kknps is not None and kknps.always_cohesive
+        ando_adversary = result.cell("ando", "fig4 1-async adversary")
+        assert ando_adversary is not None and ando_adversary.cohesion_preserved == 0
+        kknps_adversary = result.cell("kknps(k matched)", "fig4 1-async adversary")
+        assert kknps_adversary is not None and kknps_adversary.cohesion_preserved == 1
+
+
+class TestConvergence:
+    def test_small_sweep(self):
+        result = convergence.run(
+            n_values=(5,), k_values=(1, 2), epsilon=0.06, max_activations=6000,
+            seed=1, include_ablations=False,
+        )
+        assert result.all_cohesive
+        assert all(row.converged for row in result.rows)
+
+
+class TestCongregationLemmas:
+    def test_all_bounds_hold(self):
+        result = congregation_lemmas.run(
+            configurations=5, n_robots=8, nesting_runs=1, nesting_activations=120, seed=1
+        )
+        assert result.all_hold
+
+
+class TestErrorTolerance:
+    def test_figure18_threshold(self):
+        result = error_tolerance.run(
+            n_robots=6, max_activations=4000, figure18_coefficients=(0.2, 3.0), seed=1
+        )
+        assert result.tolerated_models_all_cohesive
+        assert result.linear_error_separates_threshold_pair
+        assert not result.figure18[0].separated
+        assert result.figure18[-1].separated
+
+
+class TestImpossibility:
+    def test_construction(self):
+        result = impossibility.run(psi=0.35, delta=0.13, skew=0.1)
+        assert result.report.construction_is_legal
+        assert result.report.any_representative_breaks_visibility
+        assert result.impossibility_demonstrated
+
+
+class TestBaselines:
+    def test_gcm_not_slower(self):
+        result = baselines_unlimited.run(n_values=(4, 8), max_rounds=150, seed=1)
+        assert result.gcm_never_slower_than_cog
+
+
+class TestUnlimitedAsync:
+    def test_full_async_with_large_range(self):
+        result = unlimited_async.run(n_values=(5,), max_activations=12000, seed=1)
+        assert result.all_converged_cohesively

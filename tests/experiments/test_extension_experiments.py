@@ -1,0 +1,38 @@
+"""Tests for the Section-6.3 extension experiments (3D and disconnected starts)."""
+
+import pytest
+
+from repro.experiments import disconnected, extension_3d, experiment_ids, get
+
+
+class TestRegistryEntries:
+    def test_extensions_are_registered(self):
+        assert "X1" in experiment_ids()
+        assert "D1" in experiment_ids()
+        assert get("X1").paper_artifact == "Section 6.3.2"
+        assert get("D1").paper_artifact == "Section 6.3.1"
+
+
+class TestExtension3D:
+    def test_small_3d_grid_converges_cohesively(self):
+        result = extension_3d.run(
+            random_sizes=(6,), k_values=(1,), max_rounds=1500, seed=1
+        )
+        assert result.rows
+        assert result.all_converged_cohesively
+        assert result.to_table().render()
+
+
+class TestDisconnected:
+    def test_components_converge_separately(self):
+        result = disconnected.run(
+            n_components=2, robots_per_component=5, max_activations=2500, seed=1
+        )
+        assert result.every_component_converged
+        assert result.cohesion_maintained
+        assert result.components_remain_separated
+        assert len(result.components) == 2
+
+    def test_component_gap_validation(self):
+        with pytest.raises(ValueError):
+            disconnected.run(component_gap=1.0)

@@ -1,0 +1,50 @@
+"""Tests for the experiment registry and CLI entry point."""
+
+import pytest
+
+from repro.experiments import REGISTRY, experiment_ids, get
+from repro.experiments.__main__ import main as experiments_main
+
+
+class TestRegistry:
+    def test_all_design_doc_experiments_registered(self):
+        expected = {
+            "F3", "F4", "L12", "L5", "T1", "C1", "L68", "E1", "I1", "S2", "U1", "D1", "X1",
+        }
+        assert expected == set(experiment_ids())
+
+    def test_entries_are_complete(self):
+        for entry in REGISTRY.values():
+            assert entry.paper_artifact
+            assert entry.description
+            assert callable(entry.run)
+            assert entry.bench.startswith("benchmarks/")
+
+    def test_get_known_and_unknown(self):
+        assert get("F4").experiment_id == "F4"
+        with pytest.raises(KeyError):
+            get("does-not-exist")
+
+    def test_bench_files_exist(self):
+        from pathlib import Path
+
+        root = Path(__file__).resolve().parents[2]
+        for entry in REGISTRY.values():
+            assert (root / entry.bench).exists(), entry.bench
+
+
+class TestCli:
+    def test_listing_runs(self, capsys):
+        assert experiments_main([]) == 0
+        output = capsys.readouterr().out
+        assert "F4" in output and "I1" in output
+
+    def test_list_flag(self, capsys):
+        assert experiments_main(["--list"]) == 0
+        assert "Registered experiments" in capsys.readouterr().out
+
+    def test_running_a_fast_experiment(self, capsys):
+        assert experiments_main(["F3"]) == 0
+        output = capsys.readouterr().out
+        assert "Figure 3" in output
+        assert "Ando" in output

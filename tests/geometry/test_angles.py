@@ -1,0 +1,114 @@
+"""Tests for angle arithmetic and angular sectors."""
+
+import math
+
+import pytest
+
+from repro.geometry import (
+    Point,
+    angle_between,
+    angle_difference,
+    directions_from,
+    extreme_directions,
+    fits_in_open_halfplane,
+    interior_angle,
+    max_angular_gap,
+    normalize_angle,
+    normalize_angle_positive,
+    sector_span,
+    signed_turn_angle,
+)
+
+
+class TestNormalization:
+    @pytest.mark.parametrize(
+        "theta,expected",
+        [(0.0, 0.0), (math.pi, math.pi), (-math.pi, math.pi), (3 * math.pi, math.pi),
+         (2 * math.pi, 0.0), (-0.5, -0.5)],
+    )
+    def test_normalize_angle(self, theta, expected):
+        assert normalize_angle(theta) == pytest.approx(expected)
+
+    def test_normalize_angle_positive(self):
+        assert normalize_angle_positive(-math.pi / 2) == pytest.approx(3 * math.pi / 2)
+        assert normalize_angle_positive(2 * math.pi) == pytest.approx(0.0)
+
+    def test_angle_difference_wraps(self):
+        assert angle_difference(0.1, 2 * math.pi - 0.1) == pytest.approx(0.2)
+
+
+class TestAngleBetween:
+    def test_perpendicular_vectors(self):
+        assert angle_between((1, 0), (0, 1)) == pytest.approx(math.pi / 2)
+
+    def test_opposite_vectors(self):
+        assert angle_between((1, 0), (-2, 0)) == pytest.approx(math.pi)
+
+    def test_zero_vector_raises(self):
+        with pytest.raises(ValueError):
+            angle_between((0, 0), (1, 0))
+
+    def test_interior_angle_of_right_triangle(self):
+        assert interior_angle((1, 0), (0, 0), (0, 1)) == pytest.approx(math.pi / 2)
+
+
+class TestSignedTurn:
+    def test_straight_walk_has_zero_turn(self):
+        assert signed_turn_angle((0, 0), (1, 0), (2, 0)) == pytest.approx(0.0)
+
+    def test_left_turn_is_positive(self):
+        assert signed_turn_angle((0, 0), (1, 0), (1, 1)) == pytest.approx(math.pi / 2)
+
+    def test_right_turn_is_negative(self):
+        assert signed_turn_angle((0, 0), (1, 0), (1, -1)) == pytest.approx(-math.pi / 2)
+
+
+class TestAngularGap:
+    def test_gap_of_single_direction_is_full_circle(self):
+        gap, i, j = max_angular_gap([0.3])
+        assert gap == pytest.approx(2 * math.pi)
+        assert i == j == 0
+
+    def test_gap_of_two_opposite_directions(self):
+        gap, _, _ = max_angular_gap([0.0, math.pi])
+        assert gap == pytest.approx(math.pi)
+
+    def test_gap_identifies_bounding_directions(self):
+        angles = [0.0, math.pi / 2, math.pi]
+        gap, i, j = max_angular_gap(angles)
+        assert gap == pytest.approx(math.pi)
+        # The gap runs counter-clockwise from pi back around to 0.
+        assert angles[i] == pytest.approx(math.pi)
+        assert angles[j] == pytest.approx(0.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            max_angular_gap([])
+
+
+class TestHalfplaneAndExtremes:
+    def test_directions_in_quarter_plane_fit(self):
+        assert fits_in_open_halfplane([(1, 0), (1, 1), (0, 1)])
+
+    def test_opposite_directions_do_not_fit(self):
+        assert not fits_in_open_halfplane([(1, 0), (-1, 0)])
+
+    def test_spread_directions_do_not_fit(self):
+        assert not fits_in_open_halfplane([(1, 0), (-1, 1), (-1, -1)])
+
+    def test_empty_directions_do_not_fit(self):
+        assert not fits_in_open_halfplane([])
+
+    def test_extreme_directions_of_quarter_plane(self):
+        directions = [Point(1, 0), Point(1, 1).unit(), Point(0, 1)]
+        i, j = extreme_directions(directions)
+        assert {i, j} == {0, 2}
+
+    def test_sector_span(self):
+        assert sector_span([(1, 0), (0, 1)]) == pytest.approx(math.pi / 2)
+        assert sector_span([(1, 0)]) == pytest.approx(0.0)
+
+    def test_directions_from_skips_coincident(self):
+        dirs = directions_from((0, 0), [(0, 0), (2, 0), (0, 3)])
+        assert len(dirs) == 2
+        assert all(abs(d.norm() - 1.0) < 1e-12 for d in dirs)

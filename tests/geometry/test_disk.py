@@ -1,0 +1,131 @@
+"""Tests for disks, circle-circle intersections and lens geometry."""
+
+import math
+
+import pytest
+
+from repro.geometry import Disk, Point, disks_common_point, farthest_point_in_disk_from, lens_center
+
+
+class TestDiskBasics:
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ValueError):
+            Disk(Point(0, 0), -1.0)
+
+    def test_contains_closed(self):
+        d = Disk(Point(0, 0), 1.0)
+        assert d.contains((1.0, 0.0))
+        assert d.contains((0.5, 0.5))
+        assert not d.contains((1.1, 0.0))
+
+    def test_contains_disk(self):
+        outer = Disk(Point(0, 0), 2.0)
+        inner = Disk(Point(0.5, 0), 1.0)
+        assert outer.contains_disk(inner)
+        assert not inner.contains_disk(outer)
+
+    def test_intersects(self):
+        a = Disk(Point(0, 0), 1.0)
+        assert a.intersects(Disk(Point(2, 0), 1.0))
+        assert not a.intersects(Disk(Point(2.5, 0), 1.0))
+
+    def test_on_boundary(self):
+        d = Disk(Point(0, 0), 1.0)
+        assert d.on_boundary((1, 0))
+        assert not d.on_boundary((0.9, 0))
+
+    def test_area_and_scaling(self):
+        d = Disk(Point(0, 0), 2.0)
+        assert d.area() == pytest.approx(4 * math.pi)
+        assert d.scaled(0.5).radius == pytest.approx(1.0)
+
+    def test_boundary_point(self):
+        d = Disk(Point(1, 1), 2.0)
+        p = d.boundary_point(math.pi / 2)
+        assert p.x == pytest.approx(1.0)
+        assert p.y == pytest.approx(3.0)
+
+
+class TestProjectionAndExtremes:
+    def test_closest_point_inside_is_itself(self):
+        d = Disk(Point(0, 0), 1.0)
+        assert d.closest_point_to((0.2, 0.3)) == Point(0.2, 0.3)
+
+    def test_closest_point_outside_projects_to_boundary(self):
+        d = Disk(Point(0, 0), 1.0)
+        p = d.closest_point_to((3, 0))
+        assert p == Point(1.0, 0.0)
+
+    def test_farthest_point_from(self):
+        d = Disk(Point(0, 0), 1.0)
+        p = d.farthest_point_from((5, 0))
+        assert p == Point(-1.0, 0.0)
+
+    def test_farthest_point_from_center_is_deterministic(self):
+        d = Disk(Point(0, 0), 1.0)
+        p = d.farthest_point_from((0, 0))
+        assert abs(p.norm() - 1.0) < 1e-12
+
+    def test_farthest_point_in_disk_from_helper(self):
+        point, distance = farthest_point_in_disk_from(Disk(Point(1, 0), 1.0), (0, 0))
+        assert point == Point(2.0, 0.0)
+        assert distance == pytest.approx(2.0)
+
+
+class TestCircleIntersections:
+    def test_two_intersection_points(self):
+        a = Disk(Point(0, 0), 1.0)
+        b = Disk(Point(1, 0), 1.0)
+        points = a.boundary_intersections(b)
+        assert len(points) == 2
+        for p in points:
+            assert abs(p.norm() - 1.0) < 1e-9
+            assert abs(p.distance_to((1, 0)) - 1.0) < 1e-9
+
+    def test_tangent_circles_meet_in_one_point(self):
+        a = Disk(Point(0, 0), 1.0)
+        b = Disk(Point(2, 0), 1.0)
+        points = a.boundary_intersections(b)
+        assert len(points) == 1
+        assert points[0] == Point(1.0, 0.0)
+
+    def test_disjoint_circles_have_no_intersection(self):
+        a = Disk(Point(0, 0), 1.0)
+        b = Disk(Point(5, 0), 1.0)
+        assert a.boundary_intersections(b) == []
+
+    def test_intersection_area_of_identical_disks(self):
+        a = Disk(Point(0, 0), 1.0)
+        assert a.intersection_area(Disk(Point(0, 0), 1.0)) == pytest.approx(math.pi)
+
+    def test_intersection_area_of_disjoint_disks_is_zero(self):
+        a = Disk(Point(0, 0), 1.0)
+        assert a.intersection_area(Disk(Point(3, 0), 1.0)) == 0.0
+
+    def test_intersection_area_is_symmetric(self):
+        a = Disk(Point(0, 0), 1.0)
+        b = Disk(Point(1, 0), 0.7)
+        assert a.intersection_area(b) == pytest.approx(b.intersection_area(a))
+
+    def test_segment_intersection_length(self):
+        d = Disk(Point(0, 0), 1.0)
+        assert d.segment_intersection_length((-2, 0), (2, 0)) == pytest.approx(2.0)
+        assert d.segment_intersection_length((2, 2), (3, 3)) == 0.0
+        assert d.segment_intersection_length((0, 0), (0.5, 0)) == pytest.approx(0.5)
+
+
+class TestLens:
+    def test_lens_center_of_equal_disks(self):
+        a = Disk(Point(0, 0), 1.0)
+        b = Disk(Point(1, 0), 1.0)
+        assert lens_center(a, b) == Point(0.5, 0.0)
+
+    def test_lens_center_of_disjoint_disks_is_none(self):
+        a = Disk(Point(0, 0), 1.0)
+        b = Disk(Point(5, 0), 1.0)
+        assert lens_center(a, b) is None
+
+    def test_disks_common_point(self):
+        disks = [Disk(Point(0, 0), 1.0), Disk(Point(1, 0), 1.0)]
+        assert disks_common_point(disks, (0.5, 0.0))
+        assert not disks_common_point(disks, (-0.9, 0.0))

@@ -1,0 +1,104 @@
+"""Tests for convex hulls and hull-based measures."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry import (
+    ConvexHull,
+    Point,
+    convex_hull,
+    hull_diameter,
+    hull_perimeter,
+    hull_radius,
+    hulls_nested,
+)
+
+
+class TestConvexHullConstruction:
+    def test_square_hull(self):
+        pts = [(0, 0), (1, 0), (1, 1), (0, 1), (0.5, 0.5)]
+        hull = convex_hull(pts)
+        assert len(hull) == 4
+        assert Point(0.5, 0.5) not in hull
+
+    def test_collinear_input_returns_extremes(self):
+        hull = convex_hull([(0, 0), (1, 0), (2, 0), (3, 0)])
+        assert len(hull) == 2
+        assert Point(0, 0) in hull and Point(3, 0) in hull
+
+    def test_single_point(self):
+        assert convex_hull([(1, 1)]) == [Point(1, 1)]
+
+    def test_duplicates_are_removed(self):
+        hull = convex_hull([(0, 0), (0, 0), (1, 0), (1, 0), (0, 1)])
+        assert len(hull) == 3
+
+    def test_counter_clockwise_orientation(self):
+        hull = convex_hull([(0, 0), (2, 0), (2, 2), (0, 2)])
+        area2 = sum(hull[i].cross(hull[(i + 1) % len(hull)]) for i in range(len(hull)))
+        assert area2 > 0
+
+
+class TestHullMeasures:
+    def test_square_measures(self):
+        hull = ConvexHull.of([(0, 0), (1, 0), (1, 1), (0, 1)])
+        assert hull.perimeter() == pytest.approx(4.0)
+        assert hull.area() == pytest.approx(1.0)
+        assert hull.diameter() == pytest.approx(math.sqrt(2))
+        assert hull.centroid() == Point(0.5, 0.5)
+
+    def test_degenerate_measures(self):
+        segment_hull = ConvexHull.of([(0, 0), (2, 0)])
+        assert segment_hull.perimeter() == pytest.approx(4.0)  # there and back
+        assert segment_hull.area() == 0.0
+        point_hull = ConvexHull.of([(1, 1)])
+        assert point_hull.perimeter() == 0.0
+        assert point_hull.diameter() == 0.0
+
+    def test_module_level_helpers(self):
+        pts = [(0, 0), (2, 0), (2, 2), (0, 2)]
+        assert hull_perimeter(pts) == pytest.approx(8.0)
+        assert hull_diameter(pts) == pytest.approx(2 * math.sqrt(2))
+        assert hull_radius(pts) == pytest.approx(math.sqrt(2))
+
+
+class TestContainment:
+    def test_contains_interior_boundary_and_exterior(self):
+        hull = ConvexHull.of([(0, 0), (2, 0), (2, 2), (0, 2)])
+        assert hull.contains((1, 1))
+        assert hull.contains((0, 1))  # on an edge
+        assert hull.contains((2, 2))  # a vertex
+        assert not hull.contains((3, 1))
+
+    def test_contains_for_degenerate_hulls(self):
+        segment_hull = ConvexHull.of([(0, 0), (2, 0)])
+        assert segment_hull.contains((1, 0))
+        assert not segment_hull.contains((1, 0.1))
+        point_hull = ConvexHull.of([(1, 1)])
+        assert point_hull.contains((1, 1))
+        assert not point_hull.contains((1.2, 1))
+
+    def test_hull_nesting(self):
+        outer = [(0, 0), (4, 0), (4, 4), (0, 4)]
+        inner = [(1, 1), (2, 1), (1.5, 2)]
+        assert hulls_nested(outer, inner)
+        assert not hulls_nested(inner, outer)
+
+    def test_distance_to_point(self):
+        hull = ConvexHull.of([(0, 0), (2, 0), (2, 2), (0, 2)])
+        assert hull.distance_to_point((1, 1)) == 0.0
+        assert hull.distance_to_point((3, 1)) == pytest.approx(1.0)
+        assert hull.distance_to_point((3, 3)) == pytest.approx(math.sqrt(2))
+
+
+class TestShrinkingUnderContraction:
+    def test_contracting_points_shrinks_hull(self):
+        rng = np.random.default_rng(3)
+        pts = [Point(float(x), float(y)) for x, y in rng.normal(size=(20, 2))]
+        centre = Point(0, 0)
+        contracted = [centre + (p - centre) * 0.5 for p in pts]
+        assert hulls_nested(pts, contracted)
+        assert hull_perimeter(contracted) <= hull_perimeter(pts) + 1e-12
+        assert hull_diameter(contracted) <= hull_diameter(pts) + 1e-12

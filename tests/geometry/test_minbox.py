@@ -1,0 +1,51 @@
+"""Tests for axis-aligned minimal bounding boxes."""
+
+import math
+
+import pytest
+
+from repro.geometry import BoundingBox, Point, minbox_center
+
+
+class TestBoundingBox:
+    def test_of_points(self):
+        box = BoundingBox.of([(0, 1), (2, -1), (1, 3)])
+        assert box.x_min == 0 and box.x_max == 2
+        assert box.y_min == -1 and box.y_max == 3
+
+    def test_of_empty_raises(self):
+        with pytest.raises(ValueError):
+            BoundingBox.of([])
+
+    def test_invalid_extent_rejected(self):
+        with pytest.raises(ValueError):
+            BoundingBox(1.0, 0.0, 0.0, 1.0)
+
+    def test_center_width_height(self):
+        box = BoundingBox.of([(0, 0), (4, 2)])
+        assert box.center() == Point(2, 1)
+        assert box.width() == 4.0
+        assert box.height() == 2.0
+        assert box.diagonal() == pytest.approx(math.sqrt(20))
+        assert box.area() == pytest.approx(8.0)
+
+    def test_single_point_box(self):
+        box = BoundingBox.of([(1, 1)])
+        assert box.center() == Point(1, 1)
+        assert box.area() == 0.0
+
+    def test_contains(self):
+        box = BoundingBox.of([(0, 0), (2, 2)])
+        assert box.contains((1, 1))
+        assert box.contains((0, 2))
+        assert not box.contains((3, 1))
+
+    def test_contains_box_and_expanded(self):
+        outer = BoundingBox.of([(0, 0), (4, 4)])
+        inner = BoundingBox.of([(1, 1), (2, 2)])
+        assert outer.contains_box(inner)
+        assert not inner.contains_box(outer)
+        assert inner.expanded(3.0).contains_box(outer)
+
+    def test_minbox_center_helper(self):
+        assert minbox_center([(0, 0), (2, 0), (1, 4)]) == Point(1, 2)

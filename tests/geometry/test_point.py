@@ -1,0 +1,147 @@
+"""Tests for the Point/vector primitive."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry import Point
+from repro.geometry.point import (
+    array_to_points,
+    centroid,
+    max_pairwise_distance,
+    pairwise_distances,
+    points_to_array,
+)
+
+
+class TestConstruction:
+    def test_of_accepts_tuple(self):
+        assert Point.of((1, 2)) == Point(1.0, 2.0)
+
+    def test_of_accepts_numpy_row(self):
+        assert Point.of(np.array([3.0, 4.0])) == Point(3.0, 4.0)
+
+    def test_of_passes_through_point(self):
+        p = Point(1.0, 2.0)
+        assert Point.of(p) is p
+
+    def test_origin(self):
+        assert Point.origin() == Point(0.0, 0.0)
+
+    def test_polar(self):
+        p = Point.polar(2.0, math.pi / 2.0)
+        assert p.x == pytest.approx(0.0, abs=1e-12)
+        assert p.y == pytest.approx(2.0)
+
+
+class TestAlgebra:
+    def test_addition_and_subtraction(self):
+        assert Point(1, 2) + Point(3, 4) == Point(4, 6)
+        assert Point(3, 4) - (1, 1) == Point(2, 3)
+
+    def test_scalar_multiplication_both_sides(self):
+        assert Point(1, 2) * 3 == Point(3, 6)
+        assert 3 * Point(1, 2) == Point(3, 6)
+
+    def test_division_and_negation(self):
+        assert Point(2, 4) / 2 == Point(1, 2)
+        assert -Point(1, -2) == Point(-1, 2)
+
+    def test_iteration_and_indexing(self):
+        p = Point(5.0, 6.0)
+        assert list(p) == [5.0, 6.0]
+        assert p[0] == 5.0 and p[1] == 6.0
+        assert len(p) == 2
+
+    def test_dot_and_cross(self):
+        assert Point(1, 0).dot(Point(0, 1)) == 0.0
+        assert Point(1, 0).cross(Point(0, 1)) == 1.0
+        assert Point(0, 1).cross(Point(1, 0)) == -1.0
+
+
+class TestMetrics:
+    def test_norm_and_distance(self):
+        assert Point(3, 4).norm() == pytest.approx(5.0)
+        assert Point(3, 4).norm_squared() == pytest.approx(25.0)
+        assert Point(1, 1).distance_to(Point(4, 5)) == pytest.approx(5.0)
+
+    def test_angle(self):
+        assert Point(0, 1).angle() == pytest.approx(math.pi / 2.0)
+        assert Point(1, 0).angle_to(Point(1, 5)) == pytest.approx(math.pi / 2.0)
+
+    def test_unit_vector(self):
+        u = Point(3, 4).unit()
+        assert u.norm() == pytest.approx(1.0)
+        assert u.x == pytest.approx(0.6)
+
+    def test_unit_of_zero_vector_raises(self):
+        with pytest.raises(ValueError):
+            Point(0.0, 0.0).unit()
+
+
+class TestGeometricHelpers:
+    def test_toward_moves_exact_distance(self):
+        p = Point(0, 0).toward(Point(10, 0), 3.0)
+        assert p == Point(3.0, 0.0)
+
+    def test_toward_coincident_points_stays(self):
+        assert Point(1, 1).toward(Point(1, 1), 5.0) == Point(1, 1)
+
+    def test_toward_can_overshoot(self):
+        p = Point(0, 0).toward(Point(1, 0), 2.0)
+        assert p == Point(2.0, 0.0)
+
+    def test_midpoint_and_lerp(self):
+        assert Point(0, 0).midpoint(Point(2, 4)) == Point(1, 2)
+        assert Point(0, 0).lerp(Point(2, 4), 0.25) == Point(0.5, 1.0)
+
+    def test_rotation_about_origin(self):
+        p = Point(1, 0).rotated(math.pi / 2.0)
+        assert p.x == pytest.approx(0.0, abs=1e-12)
+        assert p.y == pytest.approx(1.0)
+
+    def test_rotation_about_other_point(self):
+        p = Point(2, 0).rotated(math.pi, about=Point(1, 0))
+        assert p.x == pytest.approx(0.0, abs=1e-12)
+        assert p.y == pytest.approx(0.0, abs=1e-12)
+
+    def test_perpendicular(self):
+        assert Point(1, 0).perpendicular() == Point(0, 1)
+
+    def test_is_close(self):
+        assert Point(0, 0).is_close(Point(0, 1e-12))
+        assert not Point(0, 0).is_close(Point(0, 1e-3))
+
+
+class TestCollections:
+    def test_centroid(self):
+        assert centroid([(0, 0), (2, 0), (1, 3)]) == Point(1.0, 1.0)
+
+    def test_centroid_empty_raises(self):
+        with pytest.raises(ValueError):
+            centroid([])
+
+    def test_points_array_round_trip(self):
+        pts = [Point(1, 2), Point(3, 4)]
+        arr = points_to_array(pts)
+        assert arr.shape == (2, 2)
+        assert array_to_points(arr) == pts
+
+    def test_points_to_array_empty(self):
+        assert points_to_array([]).shape == (0, 2)
+
+    def test_array_to_points_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            array_to_points(np.zeros((3, 3)))
+
+    def test_pairwise_distances_symmetry(self):
+        d = pairwise_distances([(0, 0), (3, 4), (6, 8)])
+        assert d[0, 1] == pytest.approx(5.0)
+        assert d[1, 0] == pytest.approx(5.0)
+        assert d[0, 2] == pytest.approx(10.0)
+        assert np.allclose(np.diag(d), 0.0)
+
+    def test_max_pairwise_distance(self):
+        assert max_pairwise_distance([(0, 0), (1, 0), (0, 2)]) == pytest.approx(math.sqrt(5))
+        assert max_pairwise_distance([(0, 0)]) == 0.0

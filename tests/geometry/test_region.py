@@ -1,0 +1,105 @@
+"""Tests for the paper's reachable region R^r_{Y0}(X0, X1) and offset disks."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry import Disk, Point, ReachableRegion, offset_disk
+
+
+class TestOffsetDisk:
+    def test_center_lies_toward_neighbour(self):
+        disk = offset_disk((0, 0), (1, 0), 0.125)
+        assert disk.center == Point(0.125, 0.0)
+        assert disk.radius == pytest.approx(0.125)
+
+    def test_observer_is_on_boundary(self):
+        disk = offset_disk((0, 0), (0, 5), 0.2)
+        assert disk.on_boundary((0, 0))
+
+    def test_coincident_points_degenerate(self):
+        disk = offset_disk((1, 1), (1, 1), 0.5)
+        assert disk.radius == 0.0
+        assert disk.center == Point(1, 1)
+
+    def test_direction_only_dependence(self):
+        # The paper's safe region depends only on the *direction* of a distant
+        # neighbour, not on its distance.
+        near = offset_disk((0, 0), (0.6, 0.0), 0.125)
+        far = offset_disk((0, 0), (0.97, 0.0), 0.125)
+        assert near.center == far.center
+        assert near.radius == far.radius
+
+
+class TestStationaryRegion:
+    def test_coincides_with_safe_region(self):
+        region = ReachableRegion.of((0, 0), (1, 0), (1, 0), 0.125)
+        disk = region.coincides_with_safe_region()
+        assert disk is not None
+        assert disk.center == Point(0.125, 0.0)
+
+    def test_core_membership_matches_disk(self):
+        region = ReachableRegion.of((0, 0), (1, 0), (1, 0), 0.125)
+        disk = offset_disk((0, 0), (1, 0), 0.125)
+        rng = np.random.default_rng(0)
+        for _ in range(100):
+            p = Point(float(rng.uniform(-0.3, 0.5)), float(rng.uniform(-0.3, 0.3)))
+            assert region.in_core(p) == disk.contains(p) or disk.on_boundary(p, eps=1e-6)
+
+    def test_moving_trajectory_has_no_safe_region_equivalent(self):
+        region = ReachableRegion.of((0, 0), (1, 0), (1, 0.2), 0.125)
+        assert region.coincides_with_safe_region() is None
+        assert not region.is_stationary_trajectory()
+
+
+class TestCoreAndBulge:
+    def test_core_contains_all_parametrised_disks(self):
+        region = ReachableRegion.of((0, 0), (1, 0), (0.8, 0.6), 0.1)
+        for t in np.linspace(0, 1, 11):
+            disk = region.core_disk(float(t))
+            assert region.in_core(disk.center)
+            assert region.in_core(disk.boundary_point(0.3), eps=1e-6)
+
+    def test_bulge_disks_are_four(self):
+        region = ReachableRegion.of((0, 0), (1, 0), (0.8, 0.6), 0.1)
+        assert len(region.bulge_disks()) == 4
+
+    def test_bulge_degenerate_when_observer_at_endpoint(self):
+        region = ReachableRegion.of((0, 0), (0, 0), (1, 0), 0.1)
+        assert region.bulge_disks() == []
+        assert not region.in_bulge((0.05, 0.0))
+
+    def test_contains_includes_core_and_bulge(self):
+        region = ReachableRegion.of((0, 0), (1, 0), (0.7, 0.7), 0.125)
+        # The core center toward the start must be inside.
+        assert region.contains(region.core_center(0.0))
+        # A far away point must be outside.
+        assert not region.contains((0.0, -1.0))
+
+    def test_expanded_region_contains_original(self):
+        region = ReachableRegion.of((0, 0), (1, 0), (0.9, 0.3), 0.1)
+        expanded = region.expanded(0.05)
+        rng = np.random.default_rng(1)
+        for _ in range(200):
+            p = Point(float(rng.uniform(-0.2, 0.5)), float(rng.uniform(-0.3, 0.4)))
+            if region.contains(p):
+                assert expanded.contains(p, eps=1e-7)
+
+
+class TestLemma1Containment:
+    """Direct unit-level version of the Lemma-1 containment property."""
+
+    @pytest.mark.parametrize("k,j", [(1, 1), (2, 2), (4, 3), (6, 6)])
+    def test_sequential_scaled_moves_stay_inside(self, k, j):
+        rng = np.random.default_rng(10 * k + j)
+        v_y = 1.0
+        x0 = Point(0.9, 0.0)
+        step = v_y / (8.0 * k)
+        position = Point(0.0, 0.0)
+        for _ in range(j):
+            region = offset_disk(position, x0, step)
+            angle = rng.uniform(0, 2 * math.pi)
+            position = region.center + Point.polar(region.radius * rng.random(), angle)
+        target = ReachableRegion.of((0, 0), x0, x0, j * v_y / (8.0 * k))
+        assert target.contains(position, eps=1e-7)

@@ -1,0 +1,104 @@
+"""Tests for the smallest enclosing circle (Welzl)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry import (
+    Point,
+    critical_points,
+    is_valid_enclosing_circle,
+    sec_center,
+    sec_radius,
+    smallest_enclosing_circle,
+)
+
+
+class TestSmallCases:
+    def test_single_point(self):
+        disk = smallest_enclosing_circle([(2, 3)])
+        assert disk.center == Point(2, 3)
+        assert disk.radius == 0.0
+
+    def test_two_points_diametral(self):
+        disk = smallest_enclosing_circle([(0, 0), (2, 0)])
+        assert disk.center == Point(1, 0)
+        assert disk.radius == pytest.approx(1.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            smallest_enclosing_circle([])
+
+    def test_right_triangle_uses_hypotenuse(self):
+        disk = smallest_enclosing_circle([(0, 0), (2, 0), (0, 2)])
+        assert disk.center.x == pytest.approx(1.0)
+        assert disk.center.y == pytest.approx(1.0)
+        assert disk.radius == pytest.approx(math.sqrt(2))
+
+    def test_equilateral_triangle_uses_circumcircle(self):
+        pts = [(0, 0), (1, 0), (0.5, math.sqrt(3) / 2)]
+        disk = smallest_enclosing_circle(pts)
+        assert disk.radius == pytest.approx(1 / math.sqrt(3))
+
+    def test_obtuse_triangle_uses_longest_side(self):
+        disk = smallest_enclosing_circle([(0, 0), (10, 0), (5, 0.1)])
+        assert disk.center.x == pytest.approx(5.0)
+        assert disk.radius == pytest.approx(5.0, rel=1e-3)
+
+    def test_collinear_points(self):
+        disk = smallest_enclosing_circle([(0, 0), (1, 0), (2, 0), (3, 0)])
+        assert disk.center == Point(1.5, 0.0)
+        assert disk.radius == pytest.approx(1.5)
+
+    def test_duplicate_points(self):
+        disk = smallest_enclosing_circle([(0, 0), (0, 0), (2, 0), (2, 0)])
+        assert disk.radius == pytest.approx(1.0)
+
+
+class TestRandomisedCorrectness:
+    @pytest.mark.parametrize("n", [5, 10, 30, 100])
+    def test_contains_all_points(self, n):
+        rng = np.random.default_rng(n)
+        points = [Point(float(x), float(y)) for x, y in rng.normal(size=(n, 2))]
+        disk = smallest_enclosing_circle(points)
+        assert is_valid_enclosing_circle(disk, points)
+
+    @pytest.mark.parametrize("n", [5, 15, 50])
+    def test_is_minimal_against_pairwise_and_triple_circles(self, n):
+        # The SEC radius can never exceed the radius of any enclosing circle
+        # determined by a pair of points; and it must be at least half the diameter.
+        rng = np.random.default_rng(100 + n)
+        points = [Point(float(x), float(y)) for x, y in rng.uniform(-1, 1, size=(n, 2))]
+        disk = smallest_enclosing_circle(points)
+        diameter = max(p.distance_to(q) for p in points for q in points)
+        assert disk.radius >= diameter / 2.0 - 1e-9
+        assert disk.radius <= diameter / math.sqrt(3) + 1e-9  # Jung's theorem in the plane
+
+    def test_seed_independence_of_result(self):
+        rng = np.random.default_rng(7)
+        points = [Point(float(x), float(y)) for x, y in rng.normal(size=(40, 2))]
+        a = smallest_enclosing_circle(points, seed=0)
+        b = smallest_enclosing_circle(points, seed=99)
+        assert a.radius == pytest.approx(b.radius, rel=1e-9)
+        assert a.center.distance_to(b.center) < 1e-7
+
+    def test_points_on_circle(self):
+        points = [Point.polar(1.0, 2 * math.pi * i / 12) for i in range(12)]
+        disk = smallest_enclosing_circle(points)
+        assert disk.radius == pytest.approx(1.0)
+        assert disk.center.norm() < 1e-9
+
+
+class TestHelpers:
+    def test_sec_center_and_radius_helpers(self):
+        pts = [(0, 0), (2, 0)]
+        assert sec_center(pts) == Point(1, 0)
+        assert sec_radius(pts) == pytest.approx(1.0)
+
+    def test_critical_points(self):
+        pts = [Point(0, 0), Point(2, 0), Point(1, 0.2)]
+        disk = smallest_enclosing_circle(pts)
+        crit = critical_points(disk, pts)
+        assert Point(0, 0) in crit and Point(2, 0) in crit
+        assert Point(1, 0.2) not in crit

@@ -1,0 +1,114 @@
+"""Tests for segments, lines and the related predicates."""
+
+import math
+
+import pytest
+
+from repro.geometry import (
+    Point,
+    Segment,
+    clamp_motion,
+    collinear,
+    distance_point_to_line,
+    foot_of_perpendicular,
+    orientation,
+    perpendicular_bisector_intersection,
+)
+
+
+class TestSegmentBasics:
+    def test_length_direction_midpoint(self):
+        s = Segment.of((0, 0), (3, 4))
+        assert s.length() == pytest.approx(5.0)
+        assert s.direction().norm() == pytest.approx(1.0)
+        assert s.midpoint() == Point(1.5, 2.0)
+
+    def test_point_at_is_not_clamped(self):
+        s = Segment.of((0, 0), (1, 0))
+        assert s.point_at(2.0) == Point(2.0, 0.0)
+
+    def test_reversed_and_translate(self):
+        s = Segment.of((0, 0), (1, 2))
+        assert s.reversed().start == Point(1, 2)
+        t = s.translate((1, 1))
+        assert t.start == Point(1, 1) and t.end == Point(2, 3)
+
+
+class TestProjectionAndDistance:
+    def test_closest_point_interior(self):
+        s = Segment.of((0, 0), (10, 0))
+        assert s.closest_point((3, 4)) == Point(3.0, 0.0)
+
+    def test_closest_point_clamps_to_endpoints(self):
+        s = Segment.of((0, 0), (1, 0))
+        assert s.closest_point((5, 1)) == Point(1.0, 0.0)
+        assert s.closest_point((-5, 1)) == Point(0.0, 0.0)
+
+    def test_distance_to_point(self):
+        s = Segment.of((0, 0), (10, 0))
+        assert s.distance_to_point((5, 3)) == pytest.approx(3.0)
+        assert s.distance_to_point((12, 0)) == pytest.approx(2.0)
+
+    def test_contains_point(self):
+        s = Segment.of((0, 0), (2, 2))
+        assert s.contains_point((1, 1))
+        assert not s.contains_point((1, 1.01))
+
+    def test_degenerate_segment(self):
+        s = Segment.of((1, 1), (1, 1))
+        assert s.distance_to_point((4, 5)) == pytest.approx(5.0)
+
+
+class TestIntersection:
+    def test_crossing_segments(self):
+        a = Segment.of((0, 0), (2, 2))
+        b = Segment.of((0, 2), (2, 0))
+        assert a.intersection(b) == Point(1.0, 1.0)
+
+    def test_non_crossing_segments(self):
+        a = Segment.of((0, 0), (1, 0))
+        b = Segment.of((0, 1), (1, 1))
+        assert a.intersection(b) is None
+
+    def test_parallel_segments(self):
+        a = Segment.of((0, 0), (1, 1))
+        b = Segment.of((0, 1), (1, 2))
+        assert a.intersection(b) is None
+
+
+class TestLinePredicates:
+    def test_distance_point_to_line(self):
+        assert distance_point_to_line((0, 5), (0, 0), (1, 0)) == pytest.approx(5.0)
+        # Point beyond the defining points still measures to the infinite line.
+        assert distance_point_to_line((100, 5), (0, 0), (1, 0)) == pytest.approx(5.0)
+
+    def test_collinear(self):
+        assert collinear((0, 0), (1, 1), (2, 2))
+        assert not collinear((0, 0), (1, 1), (2, 2.1))
+
+    def test_orientation(self):
+        assert orientation((0, 0), (1, 0), (1, 1)) == 1
+        assert orientation((0, 0), (1, 0), (1, -1)) == -1
+        assert orientation((0, 0), (1, 0), (2, 0)) == 0
+
+    def test_foot_of_perpendicular(self):
+        foot = foot_of_perpendicular((3, 4), (0, 0), (10, 0))
+        assert foot == Point(3.0, 0.0)
+
+    def test_circumcentre_of_right_triangle(self):
+        center = perpendicular_bisector_intersection((0, 0), (2, 0), (0, 2))
+        assert center == Point(1.0, 1.0)
+
+    def test_circumcentre_of_collinear_points_is_none(self):
+        assert perpendicular_bisector_intersection((0, 0), (1, 0), (2, 0)) is None
+
+
+class TestClampMotion:
+    def test_within_limit_is_unchanged(self):
+        assert clamp_motion((0, 0), (1, 0), 2.0) == Point(1.0, 0.0)
+
+    def test_beyond_limit_is_truncated(self):
+        assert clamp_motion((0, 0), (10, 0), 2.0) == Point(2.0, 0.0)
+
+    def test_zero_move(self):
+        assert clamp_motion((1, 1), (1, 1), 5.0) == Point(1.0, 1.0)

@@ -1,0 +1,96 @@
+"""Tests for local frames and symmetric angular distortions."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry import LocalFrame, Point, SymmetricDistortion, random_frame
+
+
+class TestLocalFrame:
+    def test_round_trip_identity(self):
+        frame = LocalFrame(Point(2, 3), rotation=0.7, reflected=True, scale=2.0)
+        p = Point(1.3, -0.4)
+        assert frame.to_global(frame.to_local(p)).is_close(p, eps=1e-12)
+        assert frame.to_local(frame.to_global(p)).is_close(p, eps=1e-12)
+
+    def test_rotation_only(self):
+        frame = LocalFrame(Point(0, 0), rotation=math.pi / 2)
+        local = frame.to_local(Point(0, 1))
+        assert local.is_close(Point(1, 0), eps=1e-12)
+
+    def test_translation_only(self):
+        frame = LocalFrame(Point(5, 5))
+        assert frame.to_local(Point(6, 7)) == Point(1, 2)
+
+    def test_reflection_flips_orientation(self):
+        frame = LocalFrame(Point(0, 0), reflected=True)
+        a, b, c = Point(0, 0), Point(1, 0), Point(0, 1)
+        cross_before = (b - a).cross(c - a)
+        la, lb, lc = frame.to_local(a), frame.to_local(b), frame.to_local(c)
+        cross_after = (lb - la).cross(lc - la)
+        assert cross_before * cross_after < 0
+
+    def test_scaling_preserves_direction(self):
+        frame = LocalFrame(Point(0, 0), scale=2.0)
+        assert frame.to_local(Point(4, 0)) == Point(2, 0)
+
+    def test_zero_scale_rejected(self):
+        with pytest.raises(ValueError):
+            LocalFrame(Point(0, 0), scale=0.0)
+
+    def test_distance_preserved_without_scale(self):
+        frame = LocalFrame(Point(1, 2), rotation=1.1, reflected=True)
+        p, q = Point(0, 0), Point(3, 4)
+        assert frame.to_local(p).distance_to(frame.to_local(q)) == pytest.approx(5.0)
+
+    def test_many_helpers(self):
+        frame = LocalFrame(Point(1, 1), rotation=0.3)
+        points = [Point(0, 0), Point(2, 2)]
+        locals_ = frame.to_local_many(points)
+        back = frame.to_global_many(locals_)
+        for original, restored in zip(points, back):
+            assert original.is_close(restored, eps=1e-12)
+
+    def test_random_frame_respects_reflection_flag(self, rng):
+        frame = random_frame(rng, allow_reflection=False)
+        assert frame.reflected is False
+
+
+class TestSymmetricDistortion:
+    def test_identity_when_amplitude_zero(self):
+        distortion = SymmetricDistortion(amplitude=0.0)
+        assert distortion.apply_angle(1.234) == 1.234
+        assert distortion.apply_vector(Point(1, 2)) == Point(1, 2)
+
+    def test_amplitude_bounds(self):
+        with pytest.raises(ValueError):
+            SymmetricDistortion(amplitude=1.0)
+        with pytest.raises(ValueError):
+            SymmetricDistortion(amplitude=-0.1)
+
+    def test_frequency_must_be_even(self):
+        with pytest.raises(ValueError):
+            SymmetricDistortion(amplitude=0.1, frequency=3)
+
+    def test_symmetry_property(self):
+        distortion = SymmetricDistortion(amplitude=0.3, frequency=4, phase=0.2)
+        assert distortion.is_symmetric()
+
+    def test_skew_is_bounded_by_amplitude(self):
+        distortion = SymmetricDistortion(amplitude=0.2, frequency=2)
+        assert distortion.max_observed_skew() <= 0.2 + 1e-9
+        assert distortion.skew() == pytest.approx(0.2)
+
+    def test_vector_length_preserved(self):
+        distortion = SymmetricDistortion(amplitude=0.3, frequency=2)
+        v = Point(3, 4)
+        assert distortion.apply_vector(v).norm() == pytest.approx(5.0)
+
+    def test_direction_changes_by_bounded_amount(self):
+        distortion = SymmetricDistortion(amplitude=0.3, frequency=2)
+        v = Point.polar(1.0, 0.7)
+        distorted = distortion.apply_vector(v)
+        delta = abs(distorted.angle() - v.angle())
+        assert delta <= 0.3 / 2 + 1e-9  # amplitude / frequency bounds the shift

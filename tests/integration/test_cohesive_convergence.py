@@ -1,0 +1,118 @@
+"""End-to-end integration tests: cohesive convergence across scheduler classes.
+
+These tests exercise the full stack (workload generator -> scheduler ->
+algorithm -> simulator -> metrics) on multi-robot runs and assert the
+paper's positive results: the algorithm converges and preserves every
+initial visibility edge under every bounded-asynchrony scheduler class.
+"""
+
+import pytest
+
+from repro.algorithms import AndoAlgorithm, KKNPSAlgorithm
+from repro.engine import SimulationConfig, run_simulation
+from repro.schedulers import (
+    FSyncScheduler,
+    KAsyncScheduler,
+    KNestAScheduler,
+    SSyncScheduler,
+)
+from repro.workloads import (
+    clustered_configuration,
+    grid_configuration,
+    line_configuration,
+    random_connected_configuration,
+    ring_configuration,
+)
+
+
+def run_kknps(configuration, scheduler, *, k, max_activations=20000, epsilon=0.05, seed=0):
+    return run_simulation(
+        configuration.positions,
+        KKNPSAlgorithm(k=k),
+        scheduler,
+        SimulationConfig(
+            max_activations=max_activations,
+            convergence_epsilon=epsilon,
+            seed=seed,
+            k_bound=k,
+        ),
+    )
+
+
+class TestSchedulerClasses:
+    def test_fsync(self):
+        result = run_kknps(random_connected_configuration(8, seed=1), FSyncScheduler(), k=1)
+        assert result.converged and result.cohesion_maintained
+
+    def test_ssync(self):
+        result = run_kknps(random_connected_configuration(8, seed=2), SSyncScheduler(), k=1)
+        assert result.converged and result.cohesion_maintained
+
+    @pytest.mark.parametrize("k", [1, 2, 4])
+    def test_k_async(self, k):
+        result = run_kknps(
+            random_connected_configuration(8, seed=3 + k), KAsyncScheduler(k=k), k=k
+        )
+        assert result.converged and result.cohesion_maintained
+
+    @pytest.mark.parametrize("k", [1, 3])
+    def test_k_nesta(self, k):
+        result = run_kknps(
+            random_connected_configuration(8, seed=10 + k), KNestAScheduler(k=k), k=k
+        )
+        assert result.converged and result.cohesion_maintained
+
+
+class TestWorkloadShapes:
+    @pytest.mark.parametrize(
+        "configuration",
+        [
+            line_configuration(6, spacing=0.7),
+            grid_configuration(3, 3, spacing=0.6),
+            ring_configuration(8),
+            clustered_configuration(2, 4, seed=5),
+        ],
+        ids=["line", "grid", "ring", "clusters"],
+    )
+    def test_kknps_converges_on_every_shape(self, configuration):
+        result = run_kknps(configuration, KAsyncScheduler(k=2), k=2, seed=7)
+        assert result.converged
+        assert result.cohesion_maintained
+
+    def test_hull_diameter_is_monotone_along_the_run(self):
+        configuration = random_connected_configuration(10, seed=9)
+        result = run_kknps(configuration, KAsyncScheduler(k=2), k=2, seed=9)
+        assert result.metrics.monotone_hull_diameter(tolerance=1e-7)
+
+    def test_ando_matches_kknps_under_ssync(self):
+        configuration = random_connected_configuration(8, seed=11)
+        ando = run_simulation(
+            configuration.positions,
+            AndoAlgorithm(),
+            SSyncScheduler(),
+            SimulationConfig(max_activations=20000, convergence_epsilon=0.05, seed=11),
+        )
+        kknps = run_kknps(configuration, SSyncScheduler(), k=1, seed=11)
+        assert ando.converged and ando.cohesion_maintained
+        assert kknps.converged and kknps.cohesion_maintained
+
+
+class TestScaleAndSeeds:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_many_seeds_small_swarm(self, seed):
+        result = run_kknps(
+            random_connected_configuration(6, seed=seed), KAsyncScheduler(k=2), k=2, seed=seed
+        )
+        assert result.converged and result.cohesion_maintained
+
+    def test_larger_swarm(self):
+        result = run_kknps(
+            random_connected_configuration(25, seed=100),
+            KAsyncScheduler(k=2),
+            k=2,
+            max_activations=60000,
+            epsilon=0.1,
+            seed=100,
+        )
+        assert result.converged
+        assert result.cohesion_maintained

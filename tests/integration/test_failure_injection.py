@@ -1,0 +1,112 @@
+"""Integration tests for fault injection and error models on full runs."""
+
+import pytest
+
+from repro.algorithms import KKNPSAlgorithm
+from repro.engine import SimulationConfig, run_simulation
+from repro.geometry import SymmetricDistortion
+from repro.model import MotionModel, PerceptionModel
+from repro.schedulers import KAsyncScheduler, SSyncScheduler
+from repro.workloads import line_configuration, random_connected_configuration
+
+
+class TestCrashFaults:
+    def test_single_crash_is_tolerated(self):
+        # Section 6.1: with one fail-stop fault the remaining robots converge
+        # to the crashed robot's location.
+        configuration = line_configuration(5, spacing=0.6)
+        crashed_position = configuration.positions[2]
+        result = run_simulation(
+            configuration.positions,
+            KKNPSAlgorithm(k=1),
+            SSyncScheduler(),
+            SimulationConfig(
+                max_activations=20000, convergence_epsilon=0.03, crashed_robots=(2,), seed=0
+            ),
+        )
+        assert result.converged
+        assert result.cohesion_maintained
+        assert result.final_configuration[2].is_close(crashed_position)
+        for position in result.final_configuration.positions:
+            assert position.distance_to(crashed_position) <= 0.03 + 1e-9
+
+    def test_all_crashed_robots_freeze_the_system(self):
+        configuration = line_configuration(3, spacing=0.5)
+        result = run_simulation(
+            configuration.positions,
+            KKNPSAlgorithm(k=1),
+            SSyncScheduler(),
+            SimulationConfig(
+                max_activations=50, convergence_epsilon=1e-6, stop_at_convergence=False,
+                crashed_robots=(0, 1, 2),
+            ),
+        )
+        for initial, final in zip(configuration.positions, result.final_configuration.positions):
+            assert initial.is_close(final)
+
+
+class TestErrorModels:
+    def test_nonrigid_motion_with_adversarial_fractions(self):
+        configuration = random_connected_configuration(8, seed=3)
+        result = run_simulation(
+            configuration.positions,
+            KKNPSAlgorithm(k=2),
+            KAsyncScheduler(k=2, progress_fraction=(0.2, 0.4)),
+            SimulationConfig(
+                max_activations=40000, convergence_epsilon=0.05,
+                motion=MotionModel(xi=0.2), seed=3, k_bound=2,
+            ),
+        )
+        assert result.converged
+        assert result.cohesion_maintained
+
+    def test_distance_error_beyond_tolerance_can_still_be_run(self):
+        # The engine must not crash even when the algorithm is not tuned for
+        # the injected error; cohesion is not asserted here, only that the
+        # run completes and produces sane metrics.
+        configuration = random_connected_configuration(6, seed=4)
+        result = run_simulation(
+            configuration.positions,
+            KKNPSAlgorithm(k=1),
+            SSyncScheduler(),
+            SimulationConfig(
+                max_activations=2000, convergence_epsilon=0.05,
+                perception=PerceptionModel(distance_error=0.2, bias="over"), seed=4,
+            ),
+        )
+        assert result.activations_processed > 0
+        assert result.final_hull_diameter >= 0.0
+
+    def test_combined_error_models_with_tolerant_algorithm(self):
+        configuration = random_connected_configuration(8, seed=5)
+        result = run_simulation(
+            configuration.positions,
+            KKNPSAlgorithm(k=2, distance_error_tolerance=0.05, skew_tolerance=0.08),
+            KAsyncScheduler(k=2, progress_fraction=(0.5, 1.0)),
+            SimulationConfig(
+                max_activations=40000, convergence_epsilon=0.05,
+                perception=PerceptionModel(
+                    distance_error=0.05,
+                    distortion=SymmetricDistortion(amplitude=0.08, frequency=2),
+                ),
+                motion=MotionModel(xi=0.5, deviation="quadratic", coefficient=0.1),
+                seed=5, k_bound=2,
+            ),
+        )
+        assert result.converged
+        assert result.cohesion_maintained
+
+    def test_reflected_frames_do_not_matter(self):
+        configuration = random_connected_configuration(7, seed=6)
+        with_reflection = run_simulation(
+            configuration.positions, KKNPSAlgorithm(k=1), SSyncScheduler(),
+            SimulationConfig(max_activations=15000, convergence_epsilon=0.05,
+                             allow_reflection=True, seed=6),
+        )
+        without_frames = run_simulation(
+            configuration.positions, KKNPSAlgorithm(k=1), SSyncScheduler(),
+            SimulationConfig(max_activations=15000, convergence_epsilon=0.05,
+                             use_random_frames=False, seed=6),
+        )
+        assert with_reflection.converged and without_frames.converged
+        assert with_reflection.cohesion_maintained and without_frames.cohesion_maintained

@@ -1,0 +1,110 @@
+"""Tests for the perception and motion error models."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry import Point, SymmetricDistortion
+from repro.model import MotionModel, PerceptionModel
+
+
+class TestPerceptionModel:
+    def test_exact_model_is_identity(self):
+        model = PerceptionModel.exact()
+        v = Point(0.3, -0.8)
+        assert model.perceive_vector(v) == v
+        assert model.is_exact()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PerceptionModel(distance_error=1.5)
+        with pytest.raises(ValueError):
+            PerceptionModel(distance_error=-0.1)
+        with pytest.raises(ValueError):
+            PerceptionModel(bias="sideways")
+
+    def test_random_distance_error_is_bounded(self, rng):
+        model = PerceptionModel(distance_error=0.1, bias="random")
+        v = Point(1.0, 0.0)
+        for _ in range(100):
+            perceived = model.perceive_vector(v, rng)
+            assert 0.9 - 1e-12 <= perceived.norm() <= 1.1 + 1e-12
+            # Direction is untouched when there is no distortion.
+            assert perceived.angle() == pytest.approx(0.0, abs=1e-12)
+
+    def test_over_and_under_bias(self):
+        v = Point(2.0, 0.0)
+        over = PerceptionModel(distance_error=0.05, bias="over").perceive_vector(v)
+        under = PerceptionModel(distance_error=0.05, bias="under").perceive_vector(v)
+        assert over.norm() == pytest.approx(2.1)
+        assert under.norm() == pytest.approx(1.9)
+
+    def test_distortion_preserves_length(self, rng):
+        model = PerceptionModel(
+            distortion=SymmetricDistortion(amplitude=0.2, frequency=2)
+        )
+        v = Point.polar(0.7, 1.2)
+        perceived = model.perceive_vector(v, rng)
+        assert perceived.norm() == pytest.approx(0.7)
+        assert model.skew() == pytest.approx(0.2)
+
+    def test_zero_vector_untouched(self, rng):
+        model = PerceptionModel(distance_error=0.1)
+        assert model.perceive_vector(Point(0, 0), rng) == Point(0, 0)
+
+
+class TestMotionModel:
+    def test_rigid_model(self):
+        model = MotionModel.rigid()
+        assert model.is_rigid()
+        end = model.realize((0, 0), (1, 0))
+        assert end == Point(1, 0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MotionModel(xi=0.0)
+        with pytest.raises(ValueError):
+            MotionModel(xi=1.5)
+        with pytest.raises(ValueError):
+            MotionModel(deviation="cubic")
+        with pytest.raises(ValueError):
+            MotionModel(coefficient=-1.0)
+
+    def test_fraction_clamped_to_xi(self):
+        model = MotionModel(xi=0.5)
+        assert model.clamp_fraction(0.1) == 0.5
+        assert model.clamp_fraction(0.7) == 0.7
+        assert model.clamp_fraction(2.0) == 1.0
+        end = model.realize((0, 0), (1, 0), requested_fraction=0.1)
+        assert end == Point(0.5, 0.0)
+
+    def test_zero_length_move(self):
+        model = MotionModel(xi=0.5, deviation="linear", coefficient=1.0)
+        assert model.realize((1, 1), (1, 1)) == Point(1, 1)
+
+    def test_linear_deviation_bound(self, rng):
+        model = MotionModel(deviation="linear", coefficient=0.2, bias="random")
+        start, target = Point(0, 0), Point(1, 0)
+        for _ in range(50):
+            end = model.realize(start, target, rng=rng)
+            # Lateral deviation is bounded by coefficient * planned distance.
+            assert abs(end.y) <= 0.2 + 1e-12
+            assert end.x == pytest.approx(1.0)
+
+    def test_quadratic_deviation_is_smaller_for_short_moves(self):
+        model = MotionModel(deviation="quadratic", coefficient=1.0, scale=1.0, bias="adversarial")
+        short = model.realize((0, 0), (0.1, 0))
+        assert abs(short.y) == pytest.approx(0.01)
+        long = model.realize((0, 0), (1.0, 0))
+        assert abs(long.y) == pytest.approx(1.0)
+
+    def test_adversarial_bias_always_maximal(self):
+        model = MotionModel(deviation="linear", coefficient=0.3, bias="adversarial")
+        end = model.realize((0, 0), (2, 0))
+        assert abs(end.y) == pytest.approx(0.6)
+
+    def test_max_deviation_helper(self):
+        assert MotionModel().max_deviation(1.0) == 0.0
+        assert MotionModel(deviation="linear", coefficient=0.5).max_deviation(2.0) == 1.0
+        assert MotionModel(deviation="quadratic", coefficient=0.5, scale=2.0).max_deviation(2.0) == 1.0

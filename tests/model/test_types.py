@@ -1,0 +1,57 @@
+"""Tests for activation records and phase bookkeeping."""
+
+import pytest
+
+from repro.model import Activation, Phase
+from repro.model.types import ActivationRecord
+
+
+class TestPhase:
+    def test_active_and_motile_flags(self):
+        assert not Phase.IDLE.is_active()
+        assert Phase.COMPUTING.is_active()
+        assert Phase.MOVING.is_active()
+        assert Phase.MOVING.is_motile()
+        assert not Phase.COMPUTING.is_motile()
+
+
+class TestActivation:
+    def test_derived_times(self):
+        a = Activation(robot_id=0, look_time=1.0, compute_duration=0.5, move_duration=2.0)
+        assert a.move_start_time == pytest.approx(1.5)
+        assert a.end_time == pytest.approx(3.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Activation(robot_id=0, look_time=-1.0)
+        with pytest.raises(ValueError):
+            Activation(robot_id=0, look_time=0.0, compute_duration=-0.1)
+        with pytest.raises(ValueError):
+            Activation(robot_id=0, look_time=0.0, progress_fraction=0.0)
+        with pytest.raises(ValueError):
+            Activation(robot_id=0, look_time=0.0, progress_fraction=1.5)
+
+    def test_overlaps(self):
+        a = Activation(robot_id=0, look_time=0.0, move_duration=2.0)
+        b = Activation(robot_id=1, look_time=1.0, move_duration=2.0)
+        c = Activation(robot_id=1, look_time=5.0, move_duration=1.0)
+        assert a.overlaps(b) and b.overlaps(a)
+        assert not a.overlaps(c)
+
+    def test_contains_nested_interval(self):
+        outer = Activation(robot_id=0, look_time=0.0, move_duration=10.0)
+        inner = Activation(robot_id=1, look_time=2.0, move_duration=1.0)
+        assert outer.contains(inner)
+        assert not inner.contains(outer)
+
+    def test_starts_within(self):
+        outer = Activation(robot_id=0, look_time=0.0, move_duration=10.0)
+        inner = Activation(robot_id=1, look_time=2.0, move_duration=100.0)
+        before = Activation(robot_id=1, look_time=20.0, move_duration=1.0)
+        assert inner.starts_within(outer)
+        assert not before.starts_within(outer)
+
+    def test_record_carries_robot_id(self):
+        a = Activation(robot_id=3, look_time=0.0)
+        record = ActivationRecord(activation=a)
+        assert record.robot_id == 3

@@ -1,0 +1,94 @@
+"""Tests for visibility graphs, connectivity and cohesion predicates."""
+
+import pytest
+
+from repro.geometry import Point
+from repro.model import (
+    broken_edges,
+    connected_components,
+    edges_preserved,
+    is_connected,
+    is_linearly_separable,
+    max_edge_stretch,
+    neighbours_of,
+    strong_visibility_edges,
+    visibility_edges,
+)
+
+
+LINE = [Point(0, 0), Point(0.8, 0), Point(1.6, 0), Point(2.4, 0)]
+
+
+class TestEdges:
+    def test_visibility_edges_of_line(self):
+        edges = visibility_edges(LINE, 1.0)
+        assert edges == {(0, 1), (1, 2), (2, 3)}
+
+    def test_edge_at_exact_range_included(self):
+        edges = visibility_edges([Point(0, 0), Point(1.0, 0)], 1.0)
+        assert edges == {(0, 1)}
+
+    def test_strong_visibility_is_half_range(self):
+        pts = [Point(0, 0), Point(0.4, 0), Point(1.0, 0)]
+        assert strong_visibility_edges(pts, 1.0) == {(0, 1)}
+
+    def test_no_edges_for_single_robot(self):
+        assert visibility_edges([Point(0, 0)], 1.0) == set()
+
+    def test_neighbours_of(self):
+        assert neighbours_of(1, LINE, 1.0) == [0, 2]
+
+
+class TestConnectivity:
+    def test_connected_line(self):
+        assert is_connected(LINE, 1.0)
+
+    def test_disconnected_when_range_too_small(self):
+        assert not is_connected(LINE, 0.5)
+
+    def test_single_robot_is_connected(self):
+        assert is_connected([Point(0, 0)], 1.0)
+
+    def test_connected_components(self):
+        pts = [Point(0, 0), Point(0.5, 0), Point(10, 0), Point(10.5, 0)]
+        components = connected_components(len(pts), visibility_edges(pts, 1.0))
+        assert len(components) == 2
+        assert {0, 1} in components and {2, 3} in components
+
+
+class TestCohesion:
+    def test_edges_preserved_when_nothing_moves(self):
+        edges = visibility_edges(LINE, 1.0)
+        assert edges_preserved(edges, LINE, 1.0)
+
+    def test_edges_broken_when_pair_separates(self):
+        edges = visibility_edges(LINE, 1.0)
+        moved = list(LINE)
+        moved[3] = Point(3.0, 0)
+        assert not edges_preserved(edges, moved, 1.0)
+        assert broken_edges(edges, moved, 1.0) == {(2, 3)}
+
+    def test_new_edges_do_not_matter(self):
+        edges = visibility_edges(LINE, 1.0)
+        moved = [Point(0, 0), Point(0.4, 0), Point(0.8, 0), Point(1.2, 0)]
+        assert edges_preserved(edges, moved, 1.0)
+
+    def test_max_edge_stretch(self):
+        edges = {(0, 1), (1, 2)}
+        assert max_edge_stretch(edges, LINE) == pytest.approx(0.8)
+        assert max_edge_stretch(set(), LINE) == 0.0
+
+
+class TestLinearSeparability:
+    def test_separable_groups(self):
+        pts = [Point(0, 0), Point(0.2, 0.1), Point(5, 5), Point(5.5, 5.2)]
+        assert is_linearly_separable(pts, [0, 1], [2, 3])
+
+    def test_interleaved_groups_not_separable(self):
+        pts = [Point(0, 0), Point(2, 0), Point(1, 0.1), Point(3, 0.1)]
+        # Group A surrounds group B along the x axis.
+        assert not is_linearly_separable(pts, [0, 3], [1, 2])
+
+    def test_empty_group_is_trivially_separable(self):
+        pts = [Point(0, 0), Point(1, 1)]
+        assert is_linearly_separable(pts, [], [0, 1])

@@ -1,0 +1,107 @@
+"""Property-based tests for the motion rules and safe regions."""
+
+import math
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import AndoAlgorithm, KKNPSAlgorithm, kknps_safe_region
+from repro.geometry import Point
+from repro.model import Snapshot
+
+angles = st.floats(min_value=0.0, max_value=2 * math.pi, allow_nan=False)
+distances = st.floats(min_value=0.05, max_value=1.0, allow_nan=False)
+neighbour_strategy = st.builds(Point.polar, distances, angles)
+neighbour_lists = st.lists(neighbour_strategy, min_size=1, max_size=8)
+k_values = st.integers(min_value=1, max_value=8)
+
+
+class TestKKNPSProperties:
+    @given(neighbour_lists, k_values)
+    @settings(max_examples=150)
+    def test_move_is_bounded_by_scaled_range(self, neighbours, k):
+        snapshot = Snapshot(neighbours=tuple(neighbours))
+        destination = KKNPSAlgorithm(k=k).compute(snapshot)
+        assert destination.norm() <= snapshot.farthest_distance() / (8.0 * k) + 1e-9
+
+    @given(neighbour_lists, k_values)
+    @settings(max_examples=150)
+    def test_destination_lies_in_every_distant_safe_region(self, neighbours, k):
+        algorithm = KKNPSAlgorithm(k=k)
+        snapshot = Snapshot(neighbours=tuple(neighbours))
+        assert algorithm.destination_respects_safe_regions(snapshot, eps=1e-7)
+
+    @given(neighbour_lists)
+    @settings(max_examples=100)
+    def test_static_neighbours_remain_visible_after_the_move(self, neighbours):
+        # A single activation can never break visibility with a stationary
+        # neighbour: the move is at most V_Y/8 toward the half-plane of the
+        # distant neighbours.
+        snapshot = Snapshot(neighbours=tuple(neighbours))
+        v_y = snapshot.farthest_distance()
+        destination = KKNPSAlgorithm(k=1).compute(snapshot)
+        for p in neighbours:
+            assert destination.distance_to(p) <= v_y + 1e-9
+
+    @given(neighbour_lists, st.floats(min_value=0.0, max_value=2 * math.pi))
+    @settings(max_examples=100)
+    def test_rotation_equivariance(self, neighbours, theta):
+        algorithm = KKNPSAlgorithm(k=2)
+        base = algorithm.compute(Snapshot(neighbours=tuple(neighbours)))
+        rotated = algorithm.compute(
+            Snapshot(neighbours=tuple(p.rotated(theta) for p in neighbours))
+        )
+        assert rotated.distance_to(base.rotated(theta)) <= 1e-7
+
+    @given(neighbour_lists, st.floats(min_value=0.1, max_value=5.0))
+    @settings(max_examples=100)
+    def test_scale_equivariance(self, neighbours, scale):
+        algorithm = KKNPSAlgorithm(k=1)
+        base = algorithm.compute(Snapshot(neighbours=tuple(neighbours)))
+        scaled = algorithm.compute(
+            Snapshot(neighbours=tuple(p * scale for p in neighbours))
+        )
+        assert scaled.distance_to(base * scale) <= 1e-7 * max(1.0, scale)
+
+
+class TestSafeRegionProperties:
+    @given(
+        st.builds(Point, st.floats(-5, 5), st.floats(-5, 5)),
+        neighbour_strategy,
+        st.floats(min_value=0.1, max_value=1.0),
+        k_values,
+    )
+    @settings(max_examples=150)
+    def test_scaled_region_is_contained_in_unscaled(self, observer, offset, v_y, k):
+        assume(offset.norm() > 1e-3)
+        neighbour = observer + offset
+        base = kknps_safe_region(observer, neighbour, v_y)
+        scaled = kknps_safe_region(observer, neighbour, v_y, alpha=1.0 / k)
+        assert base.contains_disk(scaled, eps=1e-9)
+
+    @given(neighbour_strategy, st.floats(min_value=0.1, max_value=1.0))
+    @settings(max_examples=100)
+    def test_observer_is_always_on_the_region_boundary(self, neighbour, v_y):
+        assume(neighbour.norm() > 1e-3)
+        region = kknps_safe_region(Point(0, 0), neighbour, v_y)
+        assert abs(region.center.norm() - region.radius) <= 1e-9
+
+
+class TestAndoProperties:
+    @given(neighbour_lists)
+    @settings(max_examples=100)
+    def test_static_neighbours_remain_visible_after_the_move(self, neighbours):
+        snapshot = Snapshot(neighbours=tuple(neighbours), visibility_range=1.0)
+        destination = AndoAlgorithm().compute(snapshot)
+        for p in neighbours:
+            assert destination.distance_to(p) <= 1.0 + 1e-7
+
+    @given(neighbour_lists)
+    @settings(max_examples=100)
+    def test_move_never_leaves_the_sec(self, neighbours):
+        from repro.geometry import smallest_enclosing_circle
+
+        snapshot = Snapshot(neighbours=tuple(neighbours), visibility_range=1.0)
+        destination = AndoAlgorithm().compute(snapshot)
+        sec = smallest_enclosing_circle([Point(0, 0), *neighbours])
+        assert sec.contains(destination, eps=1e-6)

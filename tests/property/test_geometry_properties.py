@@ -1,0 +1,122 @@
+"""Property-based tests (hypothesis) for the geometry substrate."""
+
+import math
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import (
+    ConvexHull,
+    Disk,
+    Point,
+    Segment,
+    convex_hull,
+    normalize_angle,
+    smallest_enclosing_circle,
+)
+
+# Coordinates are rounded to six decimals: robot configurations live at unit
+# scale, and mixing metre-scale values with denormal (1e-300) offsets only
+# exercises floating-point pathologies the library does not target.
+coordinates = st.floats(
+    min_value=-100.0, max_value=100.0, allow_nan=False, allow_infinity=False
+).map(lambda value: round(value, 6))
+points = st.builds(Point, coordinates, coordinates)
+point_lists = st.lists(points, min_size=1, max_size=25)
+
+
+class TestPointProperties:
+    @given(points, points)
+    def test_distance_is_symmetric(self, a, b):
+        assert a.distance_to(b) == b.distance_to(a)
+
+    @given(points, points, points)
+    def test_triangle_inequality(self, a, b, c):
+        assert a.distance_to(c) <= a.distance_to(b) + b.distance_to(c) + 1e-7
+
+    @given(points, points, st.floats(min_value=0.0, max_value=1.0))
+    def test_lerp_stays_between_endpoints(self, a, b, t):
+        p = a.lerp(b, t)
+        assert p.distance_to(a) + p.distance_to(b) <= a.distance_to(b) + 1e-6
+
+    @given(points, st.floats(min_value=-10.0, max_value=10.0))
+    def test_rotation_preserves_norm(self, p, angle):
+        assert math.isclose(p.rotated(angle).norm(), p.norm(), rel_tol=1e-9, abs_tol=1e-9)
+
+    @given(points, points, st.floats(min_value=0.0, max_value=50.0))
+    def test_toward_lands_at_requested_distance(self, a, b, d):
+        assume(a.distance_to(b) > 1e-6)
+        p = a.toward(b, d)
+        assert math.isclose(a.distance_to(p), d, rel_tol=1e-9, abs_tol=1e-7)
+
+
+class TestAngleProperties:
+    @given(st.floats(min_value=-50.0, max_value=50.0))
+    def test_normalize_angle_range(self, theta):
+        normalized = normalize_angle(theta)
+        assert -math.pi < normalized <= math.pi + 1e-12
+        # Normalisation preserves the angle modulo 2*pi.
+        assert math.isclose(
+            math.cos(normalized), math.cos(theta), abs_tol=1e-9
+        ) and math.isclose(math.sin(normalized), math.sin(theta), abs_tol=1e-9)
+
+
+class TestSegmentProperties:
+    @given(points, points, points)
+    def test_closest_point_is_on_segment_and_closest_among_samples(self, a, b, q):
+        segment = Segment(a, b)
+        closest = segment.closest_point(q)
+        assert segment.distance_to_point(closest) <= 1e-6
+        for t in (0.0, 0.25, 0.5, 0.75, 1.0):
+            assert q.distance_to(closest) <= q.distance_to(segment.point_at(t)) + 1e-6
+
+
+class TestHullProperties:
+    @given(point_lists)
+    def test_hull_contains_all_points(self, pts):
+        hull = ConvexHull.of(pts)
+        for p in pts:
+            assert hull.contains(p, eps=1e-6)
+
+    @given(point_lists)
+    def test_hull_vertices_are_a_subset_of_the_points(self, pts):
+        originals = {(p.x, p.y) for p in pts}
+        for v in convex_hull(pts):
+            assert (v.x, v.y) in originals
+
+    @given(point_lists, st.floats(min_value=0.0, max_value=1.0))
+    def test_contraction_shrinks_perimeter(self, pts, factor):
+        hull = ConvexHull.of(pts)
+        centre = pts[0]
+        contracted = [centre + (p - centre) * factor for p in pts]
+        assert ConvexHull.of(contracted).perimeter() <= hull.perimeter() + 1e-6
+
+
+class TestSecProperties:
+    @given(point_lists)
+    @settings(max_examples=60)
+    def test_sec_contains_points_and_is_tight(self, pts):
+        disk = smallest_enclosing_circle(pts)
+        tolerance = 1e-6 * (1.0 + disk.radius)
+        for p in pts:
+            assert disk.contains(p, eps=tolerance)
+        diameter = max((p.distance_to(q) for p in pts for q in pts), default=0.0)
+        assert disk.radius >= diameter / 2.0 - tolerance
+        assert disk.radius <= diameter / math.sqrt(3) + tolerance
+
+    @given(point_lists, points)
+    @settings(max_examples=40)
+    def test_sec_is_translation_equivariant(self, pts, offset):
+        base = smallest_enclosing_circle(pts)
+        moved = smallest_enclosing_circle([p + offset for p in pts])
+        assert math.isclose(base.radius, moved.radius, rel_tol=1e-6, abs_tol=1e-6)
+        assert moved.center.distance_to(base.center + offset) <= 1e-5
+
+
+class TestDiskProperties:
+    @given(points, st.floats(min_value=0.01, max_value=10.0), points)
+    def test_projection_is_inside_and_idempotent(self, center, radius, q):
+        disk = Disk(center, radius)
+        projected = disk.closest_point_to(q)
+        assert disk.contains(projected, eps=1e-7)
+        assert projected.distance_to(disk.closest_point_to(projected)) <= 1e-7

@@ -1,0 +1,95 @@
+"""Property-based tests for the scheduler generators."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.schedulers import (
+    KAsyncScheduler,
+    KNestAScheduler,
+    SSyncScheduler,
+    validate_k_async,
+    validate_k_nesta,
+)
+
+
+def drain(scheduler, n_robots, count, seed):
+    scheduler.reset(n_robots, np.random.default_rng(seed))
+    activations = []
+    while len(activations) < count:
+        batch = scheduler.next_batch()
+        if not batch:
+            break
+        activations.extend(batch)
+    return activations
+
+
+class TestKAsyncProperties:
+    @given(
+        st.integers(min_value=1, max_value=5),
+        st.integers(min_value=2, max_value=6),
+        st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_generated_schedules_satisfy_their_bound(self, k, n_robots, seed):
+        activations = drain(KAsyncScheduler(k=k), n_robots, 80, seed)
+        assert validate_k_async(activations, k)
+
+    @given(
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=2, max_value=5),
+        st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_issue_order_and_per_robot_sequencing(self, k, n_robots, seed):
+        activations = drain(KAsyncScheduler(k=k), n_robots, 80, seed)
+        times = [a.look_time for a in activations]
+        assert times == sorted(times)
+        last_end = {}
+        for a in activations:
+            assert a.look_time >= last_end.get(a.robot_id, 0.0) - 1e-12
+            last_end[a.robot_id] = a.end_time
+
+    @given(
+        st.integers(min_value=2, max_value=6),
+        st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_fairness_every_robot_appears(self, n_robots, seed):
+        activations = drain(KAsyncScheduler(k=2), n_robots, 40 * n_robots, seed)
+        assert {a.robot_id for a in activations} == set(range(n_robots))
+
+
+class TestKNestAProperties:
+    @given(
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=2, max_value=6),
+        st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_generated_schedules_are_k_nesta(self, k, n_robots, seed):
+        scheduler = KNestAScheduler(k=k)
+        scheduler.reset(n_robots, np.random.default_rng(seed))
+        activations = []
+        for _ in range(25):
+            activations.extend(scheduler.next_batch())
+        assert validate_k_nesta(activations, k)
+
+
+class TestSSyncProperties:
+    @given(
+        st.floats(min_value=0.05, max_value=1.0),
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_rounds_are_well_formed(self, probability, n_robots, seed):
+        scheduler = SSyncScheduler(activation_probability=probability)
+        scheduler.reset(n_robots, np.random.default_rng(seed))
+        for round_index in range(10):
+            batch = scheduler.next_batch()
+            assert batch
+            assert all(a.look_time == float(round_index) for a in batch)
+            ids = [a.robot_id for a in batch]
+            assert len(set(ids)) == len(ids)
+            assert all(a.end_time < round_index + 1 for a in batch)

@@ -1,0 +1,80 @@
+"""Tests for the k-NestA scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.schedulers import KNestAScheduler
+from repro.schedulers.scripted import validate_k_async, validate_k_nesta
+
+
+def drain(scheduler, n_robots, batches, seed=0):
+    scheduler.reset(n_robots, np.random.default_rng(seed))
+    activations = []
+    for _ in range(batches):
+        activations.extend(scheduler.next_batch())
+    return activations
+
+
+class TestKNestA:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KNestAScheduler(k=0)
+        with pytest.raises(ValueError):
+            KNestAScheduler(nested_robot_fraction=1.5)
+
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_intervals_are_disjoint_or_nested_with_bound(self, k):
+        activations = drain(KNestAScheduler(k=k), n_robots=5, batches=30, seed=k)
+        assert validate_k_nesta(activations, k)
+
+    def test_one_nesta_is_not_necessarily_valid_for_zero_nesting(self):
+        activations = drain(KNestAScheduler(k=2), n_robots=4, batches=40, seed=7)
+        # Sanity: the schedule uses nesting at all (some interval contains another).
+        nested_found = any(
+            a.contains(b)
+            for a in activations
+            for b in activations
+            if a is not b and a.robot_id != b.robot_id
+        )
+        assert nested_found
+
+    def test_batches_advance_in_time(self):
+        scheduler = KNestAScheduler(k=2)
+        scheduler.reset(4, np.random.default_rng(1))
+        previous_end = -1.0
+        for _ in range(10):
+            batch = scheduler.next_batch()
+            start = min(a.look_time for a in batch)
+            assert start >= previous_end - 1e-12
+            previous_end = max(a.end_time for a in batch)
+
+    def test_batch_is_sorted_by_look_time(self):
+        scheduler = KNestAScheduler(k=3)
+        scheduler.reset(5, np.random.default_rng(2))
+        for _ in range(10):
+            batch = scheduler.next_batch()
+            times = [a.look_time for a in batch]
+            assert times == sorted(times)
+
+    def test_per_robot_activations_do_not_overlap(self):
+        activations = drain(KNestAScheduler(k=3), n_robots=5, batches=40, seed=3)
+        per_robot = {}
+        for a in activations:
+            per_robot.setdefault(a.robot_id, []).append(a)
+        for robot_activations in per_robot.values():
+            ordered = sorted(robot_activations, key=lambda a: a.look_time)
+            for earlier, later in zip(ordered, ordered[1:]):
+                assert later.look_time >= earlier.end_time - 1e-12
+
+    def test_fairness_every_robot_eventually_activated(self):
+        activations = drain(KNestAScheduler(k=1), n_robots=6, batches=80, seed=4)
+        activated = {a.robot_id for a in activations}
+        assert activated == set(range(6))
+
+    def test_nested_schedules_also_satisfy_k_async(self):
+        # Every k-NestA schedule is in particular a k-Async schedule.
+        activations = drain(KNestAScheduler(k=2), n_robots=4, batches=30, seed=5)
+        assert validate_k_async(activations, 2)
+
+    def test_describe(self):
+        assert KNestAScheduler(k=4).describe() == "4-nesta"

@@ -1,0 +1,107 @@
+"""Tests for scripted schedules and the timeline validators."""
+
+import numpy as np
+import pytest
+
+from repro.model import Activation
+from repro.schedulers import FSyncScheduler, ScriptedScheduler, validate_k_async, validate_k_nesta
+
+
+def make_script():
+    return [
+        Activation(robot_id=0, look_time=0.0, compute_duration=0.1, move_duration=0.2),
+        Activation(robot_id=1, look_time=0.1, compute_duration=0.1, move_duration=5.0),
+        Activation(robot_id=0, look_time=1.0, compute_duration=0.1, move_duration=0.2),
+    ]
+
+
+class TestScriptedScheduler:
+    def test_replays_in_time_order(self):
+        scheduler = ScriptedScheduler(make_script())
+        scheduler.reset(2, np.random.default_rng(0))
+        replayed = []
+        while True:
+            batch = scheduler.next_batch()
+            if not batch:
+                break
+            replayed.extend(batch)
+        assert [a.look_time for a in replayed] == [0.0, 0.1, 1.0]
+        assert [a.robot_id for a in replayed] == [0, 1, 0]
+
+    def test_unsorted_input_is_sorted(self):
+        script = list(reversed(make_script()))
+        scheduler = ScriptedScheduler(script)
+        scheduler.reset(2, np.random.default_rng(0))
+        first = scheduler.next_batch()[0]
+        assert first.look_time == 0.0
+
+    def test_overlapping_same_robot_rejected(self):
+        with pytest.raises(ValueError):
+            ScriptedScheduler(
+                [
+                    Activation(robot_id=0, look_time=0.0, move_duration=2.0),
+                    Activation(robot_id=0, look_time=1.0, move_duration=1.0),
+                ]
+            )
+
+    def test_exhausted_without_continuation(self):
+        scheduler = ScriptedScheduler(make_script()[:1])
+        scheduler.reset(1, np.random.default_rng(0))
+        assert scheduler.next_batch()
+        assert scheduler.next_batch() == []
+
+    def test_continuation_is_offset_after_script(self):
+        scheduler = ScriptedScheduler(
+            make_script(), continuation=FSyncScheduler(), continuation_offset=2.0
+        )
+        scheduler.reset(2, np.random.default_rng(0))
+        for _ in range(3):
+            scheduler.next_batch()
+        continuation_batch = scheduler.next_batch()
+        assert continuation_batch
+        script_end = max(a.end_time for a in make_script())
+        assert all(a.look_time >= script_end + 2.0 - 1e-12 for a in continuation_batch)
+
+    def test_script_end_time(self):
+        scheduler = ScriptedScheduler(make_script())
+        assert scheduler.script_end_time() == pytest.approx(5.2)
+
+    def test_describe(self):
+        assert "3" in ScriptedScheduler(make_script()).describe()
+
+
+class TestValidators:
+    def test_k_async_validator_counts_starts(self):
+        script = [
+            Activation(robot_id=0, look_time=0.0, move_duration=10.0),
+            Activation(robot_id=1, look_time=1.0, move_duration=0.5),
+            Activation(robot_id=1, look_time=2.0, move_duration=0.5),
+        ]
+        assert not validate_k_async(script, 1)
+        assert validate_k_async(script, 2)
+
+    def test_activation_starting_before_interval_does_not_count(self):
+        script = [
+            Activation(robot_id=0, look_time=0.0, move_duration=0.5),
+            Activation(robot_id=1, look_time=0.2, move_duration=10.0),
+            Activation(robot_id=0, look_time=1.0, move_duration=0.5),
+        ]
+        # Only robot 0's second activation starts within robot 1's interval.
+        assert validate_k_async(script, 1)
+
+    def test_nesta_validator_rejects_proper_overlap(self):
+        script = [
+            Activation(robot_id=0, look_time=0.0, move_duration=2.0),
+            Activation(robot_id=1, look_time=1.0, move_duration=2.0),
+        ]
+        assert not validate_k_nesta(script, 5)
+        assert validate_k_async(script, 5)
+
+    def test_nesta_validator_accepts_nested_and_counts(self):
+        script = [
+            Activation(robot_id=0, look_time=0.0, move_duration=10.0),
+            Activation(robot_id=1, look_time=1.0, move_duration=1.0),
+            Activation(robot_id=1, look_time=3.0, move_duration=1.0),
+        ]
+        assert validate_k_nesta(script, 2)
+        assert not validate_k_nesta(script, 1)

@@ -1,0 +1,78 @@
+"""Tests for the FSync and SSync schedulers."""
+
+import numpy as np
+import pytest
+
+from repro.model import SchedulerClass
+from repro.schedulers import FSyncScheduler, SSyncScheduler
+
+
+class TestFSync:
+    def test_every_robot_every_round(self):
+        scheduler = FSyncScheduler()
+        scheduler.reset(4, np.random.default_rng(0))
+        for round_index in range(3):
+            batch = scheduler.next_batch()
+            assert sorted(a.robot_id for a in batch) == [0, 1, 2, 3]
+            assert all(a.look_time == float(round_index) for a in batch)
+
+    def test_cycle_fits_inside_round(self):
+        scheduler = FSyncScheduler()
+        scheduler.reset(2, np.random.default_rng(0))
+        batch = scheduler.next_batch()
+        assert all(a.end_time < a.look_time + 1.0 for a in batch)
+
+    def test_invalid_move_duration(self):
+        with pytest.raises(ValueError):
+            FSyncScheduler(move_duration=1.5)
+
+    def test_scheduler_class(self):
+        assert FSyncScheduler().scheduler_class is SchedulerClass.FSYNC
+
+    def test_reset_requires_robots(self):
+        with pytest.raises(ValueError):
+            FSyncScheduler().reset(0)
+
+
+class TestSSync:
+    def test_rounds_are_never_empty(self):
+        scheduler = SSyncScheduler(activation_probability=0.01, max_lag=1000)
+        scheduler.reset(5, np.random.default_rng(1))
+        for _ in range(20):
+            assert scheduler.next_batch()
+
+    def test_fairness_forces_lagging_robots(self):
+        scheduler = SSyncScheduler(activation_probability=0.3, max_lag=4)
+        scheduler.reset(6, np.random.default_rng(2))
+        last_seen = {i: -1 for i in range(6)}
+        for round_index in range(60):
+            for activation in scheduler.next_batch():
+                last_seen[activation.robot_id] = round_index
+        # Every robot was activated within the last max_lag + 1 rounds.
+        assert all(59 - seen <= 5 for seen in last_seen.values())
+
+    def test_at_most_one_activation_per_robot_per_round(self):
+        scheduler = SSyncScheduler(activation_probability=0.9)
+        scheduler.reset(8, np.random.default_rng(3))
+        for _ in range(10):
+            batch = scheduler.next_batch()
+            ids = [a.robot_id for a in batch]
+            assert len(ids) == len(set(ids))
+
+    def test_rounds_advance_in_time(self):
+        scheduler = SSyncScheduler()
+        scheduler.reset(3, np.random.default_rng(4))
+        times = [scheduler.next_batch()[0].look_time for _ in range(5)]
+        assert times == sorted(times)
+        assert len(set(times)) == 5
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            SSyncScheduler(activation_probability=0.0)
+        with pytest.raises(ValueError):
+            SSyncScheduler(max_lag=0)
+        with pytest.raises(ValueError):
+            SSyncScheduler(move_duration=1.0)
+
+    def test_describe(self):
+        assert "ssync" in SSyncScheduler().describe()

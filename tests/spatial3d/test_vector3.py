@@ -1,0 +1,77 @@
+"""Tests for 3D vectors and the half-space predicate."""
+
+import math
+
+import pytest
+
+from repro.spatial3d import Vector3, centroid3, fits_in_open_halfspace, max_pairwise_distance3
+
+
+class TestVector3:
+    def test_construction_and_coercion(self):
+        assert Vector3.of((1, 2, 3)) == Vector3(1.0, 2.0, 3.0)
+        v = Vector3(1, 2, 3)
+        assert Vector3.of(v) is v
+        assert list(v) == [1.0, 2.0, 3.0]
+        assert len(v) == 3
+
+    def test_spherical(self):
+        v = Vector3.spherical(2.0, 0.0, math.pi / 2)
+        assert v.x == pytest.approx(2.0)
+        assert v.y == pytest.approx(0.0, abs=1e-12)
+        assert v.z == pytest.approx(0.0, abs=1e-12)
+        top = Vector3.spherical(1.0, 0.3, 0.0)
+        assert top.z == pytest.approx(1.0)
+
+    def test_algebra(self):
+        a, b = Vector3(1, 2, 3), Vector3(4, 5, 6)
+        assert a + b == Vector3(5, 7, 9)
+        assert b - a == Vector3(3, 3, 3)
+        assert 2 * a == Vector3(2, 4, 6)
+        assert a / 2 == Vector3(0.5, 1.0, 1.5)
+        assert -a == Vector3(-1, -2, -3)
+
+    def test_dot_cross_norm(self):
+        assert Vector3(1, 0, 0).dot(Vector3(0, 1, 0)) == 0.0
+        assert Vector3(1, 0, 0).cross(Vector3(0, 1, 0)) == Vector3(0, 0, 1)
+        assert Vector3(1, 2, 2).norm() == pytest.approx(3.0)
+        assert Vector3(1, 2, 2).norm_squared() == pytest.approx(9.0)
+
+    def test_unit_and_toward(self):
+        assert Vector3(0, 0, 5).unit() == Vector3(0, 0, 1)
+        with pytest.raises(ValueError):
+            Vector3.zero().unit()
+        assert Vector3.zero().toward(Vector3(0, 10, 0), 3.0) == Vector3(0, 3, 0)
+        assert Vector3(1, 1, 1).toward(Vector3(1, 1, 1), 2.0) == Vector3(1, 1, 1)
+
+    def test_lerp_and_midpoint(self):
+        assert Vector3.zero().lerp(Vector3(2, 4, 6), 0.5) == Vector3(1, 2, 3)
+        assert Vector3(0, 0, 0).midpoint(Vector3(2, 0, 0)) == Vector3(1, 0, 0)
+
+    def test_collections(self):
+        pts = [Vector3(0, 0, 0), Vector3(2, 0, 0), Vector3(1, 3, 0)]
+        assert centroid3(pts) == Vector3(1, 1, 0)
+        assert max_pairwise_distance3(pts) == pytest.approx(math.sqrt(10))
+        with pytest.raises(ValueError):
+            centroid3([])
+
+
+class TestHalfspacePredicate:
+    def test_one_sided_directions_fit(self):
+        directions = [Vector3(1, 0, 0), Vector3(1, 1, 0), Vector3(1, 0, 1)]
+        assert fits_in_open_halfspace(directions)
+
+    def test_opposite_directions_do_not_fit(self):
+        assert not fits_in_open_halfspace([Vector3(1, 0, 0), Vector3(-1, 0, 0)])
+
+    def test_tetrahedral_directions_do_not_fit(self):
+        directions = [
+            Vector3(1, 1, 1), Vector3(1, -1, -1), Vector3(-1, 1, -1), Vector3(-1, -1, 1)
+        ]
+        assert not fits_in_open_halfspace(directions)
+
+    def test_empty_does_not_fit(self):
+        assert not fits_in_open_halfspace([])
+
+    def test_single_direction_fits(self):
+        assert fits_in_open_halfspace([Vector3(0, 0, 1)])

@@ -1,0 +1,91 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main, make_algorithm, make_scheduler, make_workload
+from repro.algorithms import (
+    AndoAlgorithm,
+    CenterOfGravityAlgorithm,
+    KKNPSAlgorithm,
+    KatreniakAlgorithm,
+    MinboxAlgorithm,
+)
+from repro.schedulers import (
+    AsyncScheduler,
+    FSyncScheduler,
+    KAsyncScheduler,
+    KNestAScheduler,
+    SSyncScheduler,
+)
+
+
+class TestFactories:
+    def test_algorithm_factory(self):
+        parser = build_parser()
+        cases = {
+            "kknps": KKNPSAlgorithm,
+            "ando": AndoAlgorithm,
+            "katreniak": KatreniakAlgorithm,
+            "cog": CenterOfGravityAlgorithm,
+            "gcm": MinboxAlgorithm,
+        }
+        for name, expected in cases.items():
+            args = parser.parse_args(["--algorithm", name])
+            assert isinstance(make_algorithm(args), expected)
+
+    def test_kknps_picks_up_error_tolerances(self):
+        args = build_parser().parse_args(
+            ["--algorithm", "kknps", "--k", "3", "--distance-error", "0.05", "--skew", "0.1"]
+        )
+        algorithm = make_algorithm(args)
+        assert algorithm.k == 3
+        assert algorithm.distance_error_tolerance == pytest.approx(0.05)
+        assert algorithm.skew_tolerance == pytest.approx(0.1)
+
+    def test_scheduler_factory(self):
+        parser = build_parser()
+        cases = {
+            "fsync": FSyncScheduler,
+            "ssync": SSyncScheduler,
+            "k-nesta": KNestAScheduler,
+            "k-async": KAsyncScheduler,
+            "async": AsyncScheduler,
+        }
+        for name, expected in cases.items():
+            args = parser.parse_args(["--scheduler", name])
+            assert isinstance(make_scheduler(args), expected)
+
+    def test_workload_factory(self):
+        parser = build_parser()
+        for name in ("random", "line", "grid", "ring", "clusters"):
+            args = parser.parse_args(["--workload", name, "--robots", "9"])
+            configuration = make_workload(args)
+            assert len(configuration) >= 3
+            assert configuration.is_connected()
+
+
+class TestMain:
+    def test_successful_run_returns_zero(self, capsys):
+        code = main(
+            ["--robots", "6", "--k", "1", "--scheduler", "ssync",
+             "--max-activations", "4000", "--epsilon", "0.05", "--trace"]
+        )
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "converged" in output
+        assert "hull-diameter trace" in output
+
+    def test_svg_output(self, tmp_path, capsys):
+        target = tmp_path / "run.svg"
+        code = main(
+            ["--robots", "5", "--scheduler", "fsync", "--max-activations", "2000",
+             "--svg", str(target)]
+        )
+        assert code == 0
+        assert target.exists()
+        assert target.read_text().startswith("<svg")
+
+    def test_non_converged_run_returns_one(self):
+        # One activation cannot converge a spread-out swarm.
+        code = main(["--robots", "8", "--max-activations", "1", "--epsilon", "0.001"])
+        assert code == 1

@@ -1,0 +1,96 @@
+"""Tests for the SVG rendering helpers."""
+
+import io
+
+import pytest
+
+from repro.algorithms import KKNPSAlgorithm
+from repro.engine import SimulationConfig, TrajectoryRecorder, run_simulation
+from repro.geometry import Disk, Point
+from repro.schedulers import FSyncScheduler
+from repro.viz import SvgCanvas, render_configuration, render_safe_regions, render_trajectories
+from repro.workloads import line_configuration, ring_configuration
+
+
+class TestSvgCanvas:
+    def test_fit_required_before_drawing(self):
+        canvas = SvgCanvas()
+        with pytest.raises(RuntimeError):
+            canvas.add_dot((0, 0))
+        with pytest.raises(ValueError):
+            canvas.fit([])
+
+    def test_world_to_pixel_mapping(self):
+        canvas = SvgCanvas(width=200, height=200, margin=10)
+        canvas.fit([(0, 0), (1, 1)], padding=0.0)
+        x0, y0 = canvas.to_pixel((0, 0))
+        x1, y1 = canvas.to_pixel((1, 1))
+        # x grows to the right, y is flipped (SVG origin at the top left).
+        assert x1 > x0
+        assert y1 < y0
+
+    def test_render_produces_wellformed_svg(self):
+        canvas = SvgCanvas()
+        canvas.fit([(0, 0), (2, 2)])
+        canvas.add_title("demo")
+        canvas.add_dot((0, 0), label="a")
+        canvas.add_line((0, 0), (2, 2), dashed=True)
+        canvas.add_circle((1, 1), 0.5, fill="#ff0000")
+        canvas.add_polyline([(0, 0), (1, 0), (1, 1)])
+        canvas.add_text((2, 2), "end")
+        text = canvas.render()
+        assert text.startswith("<svg")
+        assert text.rstrip().endswith("</svg>")
+        for tag in ("<circle", "<line", "<polyline", "<text"):
+            assert tag in text
+
+    def test_write_to_stream_and_path(self, tmp_path):
+        canvas = SvgCanvas()
+        canvas.fit([(0, 0), (1, 1)])
+        canvas.add_dot((0.5, 0.5))
+        stream = io.StringIO()
+        canvas.write(stream)
+        assert "<svg" in stream.getvalue()
+        path = tmp_path / "out.svg"
+        canvas.write(path)
+        assert path.read_text().startswith("<svg")
+
+
+class TestRenderers:
+    def test_render_configuration(self):
+        configuration = ring_configuration(6)
+        canvas = render_configuration(
+            configuration, show_edges=True, show_ranges=True,
+            labels=[f"r{i}" for i in range(6)], title="ring",
+        )
+        text = canvas.render()
+        assert text.count("<circle") >= 12  # 6 dots + 6 range circles
+        assert "ring" in text
+
+    def test_render_trajectories_from_a_run(self):
+        configuration = line_configuration(3, spacing=0.6)
+        result = run_simulation(
+            configuration.positions,
+            KKNPSAlgorithm(k=1),
+            FSyncScheduler(),
+            SimulationConfig(max_activations=60, convergence_epsilon=0.05,
+                             record_trajectories=True),
+        )
+        canvas = render_trajectories(result.trajectories, title="run")
+        text = canvas.render()
+        assert "<polyline" in text
+
+    def test_render_trajectories_requires_data(self):
+        with pytest.raises(ValueError):
+            render_trajectories(TrajectoryRecorder())
+
+    def test_render_safe_regions(self):
+        neighbours = [Point(0.9, 0.0), Point(0.0, 0.8)]
+        regions = [Disk(Point(0.1, 0.0), 0.1), Disk(Point(0.0, 0.1), 0.1)]
+        canvas = render_safe_regions(
+            neighbours, regions, destination=Point(0.05, 0.05), title="regions"
+        )
+        text = canvas.render()
+        assert "observer" in text
+        assert "destination" in text
+        assert text.count("N") >= 2

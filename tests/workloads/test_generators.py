@@ -1,0 +1,117 @@
+"""Tests for the workload generators."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry import Point
+from repro.workloads import (
+    clustered_configuration,
+    grid_configuration,
+    line_configuration,
+    polygon_configuration,
+    random_connected_configuration,
+    random_disk_configuration,
+    ring_configuration,
+    two_robot_configuration,
+)
+
+
+class TestDeterministicShapes:
+    def test_line(self):
+        config = line_configuration(5, spacing=0.8)
+        assert len(config) == 5
+        assert config.is_connected()
+        assert config[4] == Point(3.2, 0.0)
+
+    def test_line_validation(self):
+        with pytest.raises(ValueError):
+            line_configuration(0)
+        with pytest.raises(ValueError):
+            line_configuration(3, spacing=1.5)
+
+    def test_grid(self):
+        config = grid_configuration(3, 4, spacing=0.7)
+        assert len(config) == 12
+        assert config.is_connected()
+
+    def test_grid_validation(self):
+        with pytest.raises(ValueError):
+            grid_configuration(0, 3)
+        with pytest.raises(ValueError):
+            grid_configuration(2, 2, spacing=2.0)
+
+    def test_ring(self):
+        config = ring_configuration(8)
+        assert len(config) == 8
+        assert config.is_connected()
+        # All robots are at the same distance from the centroid.
+        centroid = config.centroid()
+        radii = [p.distance_to(centroid) for p in config.positions]
+        assert max(radii) - min(radii) < 1e-9
+
+    def test_ring_validation(self):
+        with pytest.raises(ValueError):
+            ring_configuration(2)
+        with pytest.raises(ValueError):
+            ring_configuration(5, chord_fraction=0.0)
+
+    def test_polygon_unit_sides(self):
+        config = polygon_configuration(6, side_length=1.0)
+        positions = list(config.positions)
+        for a, b in zip(positions, positions[1:] + positions[:1]):
+            assert a.distance_to(b) == pytest.approx(1.0)
+
+    def test_two_robot(self):
+        config = two_robot_configuration(0.6)
+        assert len(config) == 2
+        assert config.hull_diameter() == pytest.approx(0.6)
+
+
+class TestRandomShapes:
+    @pytest.mark.parametrize("n", [1, 2, 10, 40])
+    def test_random_connected_is_connected(self, n):
+        config = random_connected_configuration(n, seed=n)
+        assert len(config) == n
+        assert config.is_connected()
+
+    def test_random_connected_is_deterministic_per_seed(self):
+        a = random_connected_configuration(12, seed=3)
+        b = random_connected_configuration(12, seed=3)
+        c = random_connected_configuration(12, seed=4)
+        assert all(p.is_close(q) for p, q in zip(a.positions, b.positions))
+        assert any(not p.is_close(q) for p, q in zip(a.positions, c.positions))
+
+    def test_random_connected_accepts_generator(self):
+        rng = np.random.default_rng(5)
+        config = random_connected_configuration(8, seed=rng)
+        assert config.is_connected()
+
+    def test_random_connected_validation(self):
+        with pytest.raises(ValueError):
+            random_connected_configuration(0)
+        with pytest.raises(ValueError):
+            random_connected_configuration(5, attach_radius_fraction=1.5)
+
+    def test_clustered_configuration(self):
+        config = clustered_configuration(3, 4, seed=1)
+        assert len(config) == 3 * 4 + 2  # clusters plus bridges
+        assert config.is_connected()
+
+    def test_clustered_validation(self):
+        with pytest.raises(ValueError):
+            clustered_configuration(0, 3)
+        with pytest.raises(ValueError):
+            clustered_configuration(2, 2, cluster_radius_fraction=0.5)
+
+    def test_random_disk_connected(self):
+        config = random_disk_configuration(15, disk_radius=2.0, visibility_range=1.5, seed=2)
+        assert config.is_connected()
+        assert all(p.norm() <= 2.0 + 1e-9 for p in config.positions)
+
+    def test_random_disk_raises_when_infeasible(self):
+        with pytest.raises(RuntimeError):
+            random_disk_configuration(
+                3, disk_radius=100.0, visibility_range=0.1, seed=0, max_attempts=5
+            )
