@@ -1,14 +1,17 @@
-"""Command-line interface: run one simulation from the shell.
+"""Command-line interface: run one simulation (or a sweep) from the shell.
 
 Examples::
 
     python -m repro --algorithm kknps --scheduler k-async --k 3 --robots 20
     python -m repro --algorithm ando --scheduler ssync --robots 12 --epsilon 0.02
     python -m repro --workload clusters --svg out.svg --trace
+    python -m repro sweep --algorithms kknps ando --workers 4 --out results.jsonl
+    python -m repro sweep --smoke
 
-The CLI builds a workload, runs the requested algorithm under the
-requested scheduler, prints a summary table, and can optionally dump the
-trajectories to an SVG file.
+The default form builds a workload, runs the requested algorithm under
+the requested scheduler, prints a summary table, and can optionally dump
+the trajectories to an SVG file.  The ``sweep`` subcommand fans a whole
+parameter grid out across worker processes (see :mod:`repro.sweeps`).
 """
 
 from __future__ import annotations
@@ -53,6 +56,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Run one Point-Convergence simulation (PODC 2021 reproduction).",
+        epilog="Subcommand: 'python -m repro sweep --help' runs whole parameter "
+               "grids across worker processes with resumable JSONL results.",
     )
     parser.add_argument("--algorithm", choices=ALGORITHMS, default="kknps")
     parser.add_argument("--scheduler", choices=SCHEDULERS, default="k-async")
@@ -119,7 +124,13 @@ def make_workload(args: argparse.Namespace):
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """Entry point of ``python -m repro``."""
+    """Entry point of ``python -m repro`` (single run, or the sweep subcommand)."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "sweep":
+        from .sweeps.cli import main as sweep_main
+
+        return sweep_main(argv[1:])
     args = build_parser().parse_args(argv)
 
     configuration = make_workload(args)

@@ -12,10 +12,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, List, Optional, Sequence, Set
 
+import numpy as np
+
 from ..geometry.hull import ConvexHull
-from ..geometry.point import Point, PointLike, max_pairwise_distance, pairwise_distances
+from ..geometry.point import PointLike, pairwise_distance_matrix, points_to_array
 from ..geometry.sec import smallest_enclosing_circle
-from ..model.visibility import Edge, broken_edges, visibility_edges
+from ..model.visibility import Edge, broken_edges_from_matrix, visibility_edges
 
 
 @dataclass(frozen=True)
@@ -52,24 +54,35 @@ class MetricsCollector:
     def observe(
         self, time: float, positions: Sequence[PointLike], activations_processed: int
     ) -> MetricsSample:
-        """Sample the configuration at ``time`` and append it to the history."""
-        pts = [Point.of(p) for p in positions]
-        hull = ConvexHull.of(pts)
-        broken = broken_edges(self.initial_edges, pts, self.visibility_range)
+        """Sample the configuration at ``time`` and append it to the history.
+
+        The hot path is array-native: the positions are stacked into one
+        ``(n, 2)`` array, the pairwise distance matrix is computed once, and
+        the diameter, minimum separation and broken-edge check all read from
+        it.  The bounding circle runs on the hull vertices only (the SEC of
+        a point set equals the SEC of its convex hull).
+        """
+        arr = points_to_array(positions)
+        n = len(arr)
+        hull = ConvexHull.of_array(arr)
+        if n >= 2:
+            dist = pairwise_distance_matrix(arr)
+            diameter = float(dist.max())
+            min_pairwise = float(dist[~np.eye(n, dtype=bool)].min())
+            broken = broken_edges_from_matrix(
+                self.initial_edges, dist, self.visibility_range
+            )
+        else:
+            diameter = 0.0
+            min_pairwise = 0.0
+            broken = set()
         if broken:
             self.cohesion_ever_violated = True
-        if len(pts) >= 2:
-            dist = pairwise_distances(pts)
-            import numpy as np
-
-            min_pairwise = float(dist[~np.eye(len(pts), dtype=bool)].min())
-        else:
-            min_pairwise = 0.0
         sample = MetricsSample(
             time=time,
-            hull_diameter=max_pairwise_distance(pts),
+            hull_diameter=diameter,
             hull_perimeter=hull.perimeter(),
-            hull_radius=smallest_enclosing_circle(pts).radius if pts else 0.0,
+            hull_radius=smallest_enclosing_circle(hull.vertices).radius if n else 0.0,
             min_pairwise_distance=min_pairwise,
             initial_edges_preserved=not broken,
             broken_edge_count=len(broken),

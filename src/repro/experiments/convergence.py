@@ -14,20 +14,20 @@ convergence empirically:
 Every run also reports whether cohesion (preservation of the initial
 visibility edges) held, and how close any initial edge ever came to the
 visibility range (the safety margin).
+
+The grid is expressed through the sweep engine (:mod:`repro.sweeps`):
+each measurement is a picklable :class:`~repro.sweeps.RunSpec`, so the
+whole experiment can fan out across worker processes via ``workers > 1``
+with results identical to the serial run.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
-from ..algorithms.kknps import KKNPSAlgorithm
 from ..analysis.tables import TextTable
-from ..engine.convergence import epochs_to_converge
-from ..engine.simulator import SimulationConfig, SimulationResult, run_simulation
-from ..model.visibility import max_edge_stretch
-from ..schedulers.kasync import KAsyncScheduler
-from ..workloads.generators import random_connected_configuration
+from ..sweeps import RunSpec, SweepRunner
 
 
 @dataclass(frozen=True)
@@ -87,43 +87,27 @@ class ConvergenceResult:
         return all(row.cohesion for row in self.rows if row.label.startswith("kknps"))
 
 
-def _measure(
-    label: str,
-    algorithm: KKNPSAlgorithm,
+def _spec(
     *,
+    algorithm_params: Tuple[Tuple[str, float], ...],
     n_robots: int,
     k: int,
     seed: int,
     epsilon: float,
     max_activations: int,
-) -> ConvergenceRow:
-    configuration = random_connected_configuration(n_robots, seed=seed)
-    result: SimulationResult = run_simulation(
-        configuration.positions,
-        algorithm,
-        KAsyncScheduler(k=k),
-        SimulationConfig(
-            max_activations=max_activations,
-            convergence_epsilon=epsilon,
-            seed=seed,
-            k_bound=k,
-        ),
-    )
-    initial_edges = configuration.edges()
-    stretch = 0.0
-    for sample_positions in (result.final_configuration.positions,):
-        stretch = max(stretch, max_edge_stretch(initial_edges, list(sample_positions)))
-    epochs = epochs_to_converge(result.activation_end_times, result.metrics.samples, epsilon)
-    return ConvergenceRow(
-        label=label,
+) -> RunSpec:
+    """One KKNPS-under-k-Async measurement as a sweep run spec."""
+    return RunSpec(
+        algorithm="kknps",
+        scheduler="k-async",
+        workload="random",
         n_robots=n_robots,
-        k=k,
-        converged=result.converged,
-        cohesion=result.cohesion_maintained,
-        activations=result.activations_processed,
-        epochs=epochs,
-        final_diameter=result.final_hull_diameter,
-        max_initial_edge_stretch=stretch / configuration.visibility_range,
+        seed=seed,
+        scheduler_k=k,
+        algorithm_params=algorithm_params,
+        k_bound=k,
+        epsilon=epsilon,
+        max_activations=max_activations,
     )
 
 
@@ -135,69 +119,102 @@ def run(
     max_activations: int = 20000,
     seed: int = 0,
     include_ablations: bool = True,
+    workers: int = 1,
 ) -> ConvergenceResult:
-    """Run the n-sweep, the k-sweep and (optionally) the ablations."""
-    result = ConvergenceResult(epsilon=epsilon)
+    """Run the n-sweep, the k-sweep and (optionally) the ablations.
+
+    ``workers > 1`` executes the measurements across a process pool via the
+    sweep engine; the rows are identical to the serial run.
+    """
+    measurements: List[Tuple[str, RunSpec]] = []
 
     for n in n_values:
-        result.rows.append(
-            _measure(
+        measurements.append(
+            (
                 "kknps (paper)",
-                KKNPSAlgorithm(k=2),
-                n_robots=n,
-                k=2,
-                seed=seed + n,
-                epsilon=epsilon,
-                max_activations=max_activations,
+                _spec(
+                    algorithm_params=(("k", 2),),
+                    n_robots=n,
+                    k=2,
+                    seed=seed + n,
+                    epsilon=epsilon,
+                    max_activations=max_activations,
+                ),
             )
         )
     for k in k_values:
-        result.rows.append(
-            _measure(
+        measurements.append(
+            (
                 "kknps (paper)",
-                KKNPSAlgorithm(k=k),
-                n_robots=10,
-                k=k,
-                seed=seed + 100 + k,
-                epsilon=epsilon,
-                max_activations=max_activations,
+                _spec(
+                    algorithm_params=(("k", k),),
+                    n_robots=10,
+                    k=k,
+                    seed=seed + 100 + k,
+                    epsilon=epsilon,
+                    max_activations=max_activations,
+                ),
             )
         )
     if include_ablations:
         # Ablation 1: drop the 1/k scaling while the scheduler runs at k=4.
-        result.rows.append(
-            _measure(
+        measurements.append(
+            (
                 "ablation: no 1/k scaling",
-                KKNPSAlgorithm(k=1),
-                n_robots=10,
-                k=4,
-                seed=seed + 200,
-                epsilon=epsilon,
-                max_activations=max_activations,
+                _spec(
+                    algorithm_params=(("k", 1),),
+                    n_robots=10,
+                    k=4,
+                    seed=seed + 200,
+                    epsilon=epsilon,
+                    max_activations=max_activations,
+                ),
             )
         )
         # Ablation 2: a more aggressive safe-region radius (divisor 4 instead of 8).
-        result.rows.append(
-            _measure(
+        measurements.append(
+            (
                 "ablation: radius divisor 4",
-                KKNPSAlgorithm(k=2, radius_divisor=4.0),
-                n_robots=10,
-                k=2,
-                seed=seed + 300,
-                epsilon=epsilon,
-                max_activations=max_activations,
+                _spec(
+                    algorithm_params=(("k", 2), ("radius_divisor", 4.0)),
+                    n_robots=10,
+                    k=2,
+                    seed=seed + 300,
+                    epsilon=epsilon,
+                    max_activations=max_activations,
+                ),
             )
         )
         # Ablation 3: a different close/distant threshold (0.25 V_Y instead of 0.5 V_Y).
-        result.rows.append(
-            _measure(
+        measurements.append(
+            (
                 "ablation: close threshold 0.25",
-                KKNPSAlgorithm(k=2, close_fraction=0.25),
-                n_robots=10,
-                k=2,
-                seed=seed + 400,
-                epsilon=epsilon,
-                max_activations=max_activations,
+                _spec(
+                    algorithm_params=(("k", 2), ("close_fraction", 0.25)),
+                    n_robots=10,
+                    k=2,
+                    seed=seed + 400,
+                    epsilon=epsilon,
+                    max_activations=max_activations,
+                ),
+            )
+        )
+
+    sweep = SweepRunner([spec for _, spec in measurements], workers=workers).run()
+
+    result = ConvergenceResult(epsilon=epsilon)
+    for (label, spec), row in zip(measurements, sweep.rows):
+        result.rows.append(
+            ConvergenceRow(
+                label=label,
+                n_robots=row["n_robots"],
+                k=spec.scheduler_k,
+                converged=row["converged"],
+                cohesion=row["cohesion"],
+                activations=row["activations"],
+                epochs=row["epochs"],
+                final_diameter=row["final_diameter"],
+                max_initial_edge_stretch=row["max_edge_stretch"] / row["visibility_range"],
             )
         )
     return result

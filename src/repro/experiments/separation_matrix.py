@@ -17,12 +17,20 @@ Random schedulers cannot certify impossibility, so the adversarial columns
 carry the constructive failures (Figure 4 for Ando, Section 7 for any
 error-tolerant algorithm), while the stochastic columns show the positive
 side of the separation.
+
+The stochastic cells are expressed through the sweep engine
+(:mod:`repro.sweeps`): every (algorithm, scheduler, seed) cell entry is a
+:class:`~repro.sweeps.RunSpec`, aliased entries (e.g. KKNPS at matched k
+and at fixed k=1 under SSync, which are the same run) are deduplicated by
+run key, and ``workers > 1`` fans the whole matrix out across processes
+with results identical to the serial run.  The adversarial columns replay
+scripted timelines and stay outside the sweep engine by design.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..adversary.ando_counterexample import (
     canonical_instance,
@@ -31,16 +39,9 @@ from ..adversary.ando_counterexample import (
     two_nesta_schedule,
 )
 from ..algorithms.ando import AndoAlgorithm
-from ..algorithms.base import ConvergenceAlgorithm
-from ..algorithms.katreniak import KatreniakAlgorithm
 from ..algorithms.kknps import KKNPSAlgorithm
 from ..analysis.tables import TextTable
-from ..engine.simulator import SimulationConfig, run_simulation
-from ..schedulers.base import Scheduler
-from ..schedulers.kasync import KAsyncScheduler
-from ..schedulers.nesta import KNestAScheduler
-from ..schedulers.synchronous import SSyncScheduler
-from ..workloads.generators import random_connected_configuration
+from ..sweeps import RunSpec, SweepRunner
 
 
 @dataclass(frozen=True)
@@ -100,47 +101,17 @@ class SeparationMatrixResult:
         return None
 
 
-def _stochastic_cell(
-    algorithm_factory: Callable[[], ConvergenceAlgorithm],
-    scheduler_factory: Callable[[], Scheduler],
-    *,
-    algorithm_label: str,
-    scheduler_label: str,
-    n_robots: int,
-    runs: int,
-    seed: int,
-    max_activations: int,
-    epsilon: float,
-    k_bound: Optional[int],
+def _cell_from_rows(
+    algorithm_label: str, scheduler_label: str, rows: List[Dict[str, object]]
 ) -> MatrixCell:
-    cohesive = 0
-    converged = 0
-    worst_diameter = 0.0
-    for run_index in range(runs):
-        configuration = random_connected_configuration(n_robots, seed=seed + run_index)
-        result = run_simulation(
-            configuration.positions,
-            algorithm_factory(),
-            scheduler_factory(),
-            SimulationConfig(
-                max_activations=max_activations,
-                convergence_epsilon=epsilon,
-                seed=seed + run_index,
-                k_bound=k_bound,
-            ),
-        )
-        if result.cohesion_maintained:
-            cohesive += 1
-        if result.converged:
-            converged += 1
-        worst_diameter = max(worst_diameter, result.final_hull_diameter)
+    """Aggregate the sweep rows of one cell into its matrix entry."""
     return MatrixCell(
         algorithm=algorithm_label,
         scheduler=scheduler_label,
-        runs=runs,
-        cohesion_preserved=cohesive,
-        converged=converged,
-        worst_final_diameter=worst_diameter,
+        runs=len(rows),
+        cohesion_preserved=sum(1 for r in rows if r["cohesion"]),
+        converged=sum(1 for r in rows if r["converged"]),
+        worst_final_diameter=max(r["final_diameter"] for r in rows),
     )
 
 
@@ -152,44 +123,64 @@ def run(
     epsilon: float = 0.05,
     k: int = 4,
     seed: int = 0,
+    workers: int = 1,
 ) -> SeparationMatrixResult:
     """Build the separation matrix.
 
     The stochastic columns use ``runs_per_cell`` random connected
     configurations of ``n_robots`` robots each; the adversarial columns
-    replay the Figure-4 construction.
+    replay the Figure-4 construction.  ``workers > 1`` fans the stochastic
+    runs out across a process pool via the sweep engine.
     """
     result = SeparationMatrixResult()
 
     stochastic_columns = [
-        ("ssync", lambda: SSyncScheduler(), None),
-        ("1-async", lambda: KAsyncScheduler(k=1), 1),
-        (f"{k}-async", lambda: KAsyncScheduler(k=k), k),
-        (f"{k}-nesta", lambda: KNestAScheduler(k=k), k),
+        ("ssync", "ssync", 1, None),
+        ("1-async", "k-async", 1, 1),
+        (f"{k}-async", "k-async", k, k),
+        (f"{k}-nesta", "k-nesta", k, k),
     ]
-    algorithm_rows = [
-        ("kknps(k matched)", lambda k_bound: KKNPSAlgorithm(k=k_bound or 1)),
-        ("kknps(k=1 fixed)", lambda k_bound: KKNPSAlgorithm(k=1)),
-        ("ando", lambda k_bound: AndoAlgorithm()),
-        ("katreniak", lambda k_bound: KatreniakAlgorithm()),
+    algorithm_rows: List[Tuple[str, Callable[[Optional[int]], Tuple[Tuple[str, float], ...]]]] = [
+        ("kknps(k matched)", lambda k_bound: (("k", k_bound or 1),)),
+        ("kknps(k=1 fixed)", lambda k_bound: (("k", 1),)),
+        ("ando", lambda k_bound: ()),
+        ("katreniak", lambda k_bound: ()),
     ]
 
-    for algorithm_label, algorithm_factory in algorithm_rows:
-        for scheduler_label, scheduler_factory, k_bound in stochastic_columns:
-            result.cells.append(
-                _stochastic_cell(
-                    lambda kb=k_bound: algorithm_factory(kb),
-                    scheduler_factory,
-                    algorithm_label=algorithm_label,
-                    scheduler_label=scheduler_label,
+    # One run spec per (algorithm row, scheduler column, seed) cell entry.
+    # Aliased entries (same spec reached from different cells, e.g. both
+    # KKNPS rows under SSync) share a run key and execute only once.
+    cell_keys: List[Tuple[str, str, List[str]]] = []
+    unique: Dict[str, RunSpec] = {}
+    for algorithm_label, params_for in algorithm_rows:
+        algorithm = "kknps" if algorithm_label.startswith("kknps") else algorithm_label
+        for scheduler_label, scheduler, scheduler_k, k_bound in stochastic_columns:
+            keys: List[str] = []
+            for run_index in range(runs_per_cell):
+                spec = RunSpec(
+                    algorithm=algorithm,
+                    scheduler=scheduler,
+                    workload="random",
                     n_robots=n_robots,
-                    runs=runs_per_cell,
-                    seed=seed,
-                    max_activations=max_activations,
-                    epsilon=epsilon,
+                    seed=seed + run_index,
+                    scheduler_k=scheduler_k,
+                    algorithm_params=params_for(k_bound),
                     k_bound=k_bound,
+                    epsilon=epsilon,
+                    max_activations=max_activations,
                 )
+                unique.setdefault(spec.run_key, spec)
+                keys.append(spec.run_key)
+            cell_keys.append((algorithm_label, scheduler_label, keys))
+
+    sweep = SweepRunner(list(unique.values()), workers=workers).run()
+    rows_by_key = {row["run_key"]: row for row in sweep.rows}
+    for algorithm_label, scheduler_label, keys in cell_keys:
+        result.cells.append(
+            _cell_from_rows(
+                algorithm_label, scheduler_label, [rows_by_key[key] for key in keys]
             )
+        )
 
     # Adversarial columns: the scripted Figure-4 timelines.
     instance = canonical_instance()

@@ -23,6 +23,7 @@ from .disk import Disk, disks_common_point, farthest_point_in_disk_from, lens_ce
 from .hull import (
     ConvexHull,
     convex_hull,
+    convex_hull_array,
     hull_diameter,
     hull_perimeter,
     hull_radius,
@@ -35,6 +36,9 @@ from .point import (
     array_to_points,
     centroid,
     max_pairwise_distance,
+    min_pairwise_distance,
+    min_pairwise_distance_from_matrix,
+    pairwise_distance_matrix,
     pairwise_distances,
     points_to_array,
 )
@@ -76,6 +80,7 @@ __all__ = [
     "clamp_motion",
     "collinear",
     "convex_hull",
+    "convex_hull_array",
     "critical_points",
     "directions_from",
     "disks_common_point",
@@ -93,7 +98,10 @@ __all__ = [
     "lens_center",
     "max_angular_gap",
     "max_pairwise_distance",
+    "min_pairwise_distance",
+    "min_pairwise_distance_from_matrix",
     "minbox_center",
+    "pairwise_distance_matrix",
     "normalize_angle",
     "normalize_angle_positive",
     "offset_disk",

@@ -14,9 +14,57 @@ import math
 from dataclasses import dataclass
 from typing import List, Sequence
 
+import numpy as np
+
 from .point import Point, PointLike, points_to_array
 from .segment import distance_point_to_line, orientation
 from .tolerances import EPS
+
+
+def convex_hull_array(array: np.ndarray) -> List[Point]:
+    """Convex hull of an ``(n, 2)`` array, counter-clockwise (monotone chain).
+
+    The input preparation — deduplication and the lexicographic sort the
+    chain construction needs — is vectorized (``np.unique`` over rows); only
+    the chain walk itself, which is linear in the number of sorted points,
+    stays a Python loop.  Collinear points on the boundary are dropped.
+    Degenerate inputs (one point, or all-collinear points) return the one
+    or two extreme points.
+    """
+    arr = np.asarray(array, dtype=float).reshape(-1, 2)
+    unique = np.unique(arr, axis=0) if len(arr) else arr
+    m = len(unique)
+    if m <= 2:
+        return [Point(float(x), float(y)) for x, y in unique]
+
+    xs, ys = unique[:, 0], unique[:, 1]
+
+    def build(order: range) -> List[int]:
+        chain: List[int] = []
+        for i in order:
+            while len(chain) >= 2:
+                j, k = chain[-1], chain[-2]
+                ax, ay = xs[j] - xs[k], ys[j] - ys[k]
+                bx, by = xs[i] - xs[k], ys[i] - ys[k]
+                # Drop the middle point only when the turn is (relatively)
+                # non-left; the tolerance scales with the vector magnitudes so
+                # that tiny-extent configurations are not over-collapsed.
+                cross = ax * by - ay * bx
+                norms = math.hypot(ax, ay) * math.hypot(bx, by)
+                if cross <= EPS * max(norms, EPS):
+                    chain.pop()
+                else:
+                    break
+            chain.append(i)
+        return chain
+
+    lower = build(range(m))
+    upper = build(range(m - 1, -1, -1))
+    hull = lower[:-1] + upper[:-1]
+    if not hull:
+        # Fully collinear input: return the two extreme points.
+        hull = [0, m - 1]
+    return [Point(float(xs[i]), float(ys[i])) for i in hull]
 
 
 def convex_hull(points: Sequence[PointLike]) -> List[Point]:
@@ -25,34 +73,7 @@ def convex_hull(points: Sequence[PointLike]) -> List[Point]:
     Collinear points on the boundary are dropped.  Degenerate inputs (one
     point, or all-collinear points) return the one or two extreme points.
     """
-    pts = sorted({(Point.of(p).x, Point.of(p).y) for p in points})
-    unique = [Point(x, y) for x, y in pts]
-    if len(unique) <= 2:
-        return unique
-
-    def build(sequence: List[Point]) -> List[Point]:
-        chain: List[Point] = []
-        for p in sequence:
-            while len(chain) >= 2:
-                a = chain[-1] - chain[-2]
-                b = p - chain[-2]
-                # Drop the middle point only when the turn is (relatively)
-                # non-left; the tolerance scales with the vector magnitudes so
-                # that tiny-extent configurations are not over-collapsed.
-                if a.cross(b) <= EPS * max(a.norm() * b.norm(), EPS):
-                    chain.pop()
-                else:
-                    break
-            chain.append(p)
-        return chain
-
-    lower = build(unique)
-    upper = build(list(reversed(unique)))
-    hull = lower[:-1] + upper[:-1]
-    if not hull:
-        # Fully collinear input: return the two extreme points.
-        return [unique[0], unique[-1]]
-    return hull
+    return convex_hull_array(points_to_array(points))
 
 
 @dataclass(frozen=True)
@@ -65,6 +86,11 @@ class ConvexHull:
     def of(points: Sequence[PointLike]) -> "ConvexHull":
         """Compute the hull of ``points``."""
         return ConvexHull(tuple(convex_hull(points)))
+
+    @staticmethod
+    def of_array(array: np.ndarray) -> "ConvexHull":
+        """Compute the hull of an ``(n, 2)`` coordinate array."""
+        return ConvexHull(tuple(convex_hull_array(array)))
 
     def __len__(self) -> int:
         return len(self.vertices)

@@ -205,11 +205,21 @@ def array_to_points(array: np.ndarray) -> list[Point]:
     return [Point(float(x), float(y)) for x, y in array]
 
 
-def pairwise_distances(points: Sequence[PointLike]) -> np.ndarray:
-    """Full ``(n, n)`` matrix of pairwise Euclidean distances."""
-    arr = points_to_array(points)
+def pairwise_distance_matrix(array: np.ndarray) -> np.ndarray:
+    """Full ``(n, n)`` distance matrix of an ``(n, 2)`` coordinate array.
+
+    This is the array-native core of the metrics hot path: compute it once
+    per observation and derive the diameter, the minimum separation and the
+    edge lengths from the same matrix.
+    """
+    arr = np.asarray(array, dtype=float)
     diff = arr[:, None, :] - arr[None, :, :]
     return np.sqrt((diff * diff).sum(axis=-1))
+
+
+def pairwise_distances(points: Sequence[PointLike]) -> np.ndarray:
+    """Full ``(n, n)`` matrix of pairwise Euclidean distances."""
+    return pairwise_distance_matrix(points_to_array(points))
 
 
 def max_pairwise_distance(points: Sequence[PointLike]) -> float:
@@ -217,3 +227,18 @@ def max_pairwise_distance(points: Sequence[PointLike]) -> float:
     if len(points) < 2:
         return 0.0
     return float(pairwise_distances(points).max())
+
+
+def min_pairwise_distance_from_matrix(distances: np.ndarray) -> float:
+    """Smallest off-diagonal entry of a distance matrix (0 for n < 2)."""
+    n = distances.shape[0]
+    if n < 2:
+        return 0.0
+    return float(distances[~np.eye(n, dtype=bool)].min())
+
+
+def min_pairwise_distance(points: Sequence[PointLike]) -> float:
+    """Smallest separation between distinct points (0 for fewer than two)."""
+    if len(points) < 2:
+        return 0.0
+    return min_pairwise_distance_from_matrix(pairwise_distances(points))

@@ -128,14 +128,9 @@ class Configuration:
 
     def min_pairwise_distance(self) -> float:
         """Smallest separation between distinct robots (collision measure)."""
-        n = len(self.positions)
-        if n < 2:
-            return 0.0
-        from ..geometry.point import pairwise_distances
+        from ..geometry.point import min_pairwise_distance
 
-        dist = pairwise_distances(self.positions)
-        off_diag = dist[~np.eye(n, dtype=bool)]
-        return float(off_diag.min())
+        return min_pairwise_distance(self.positions)
 
     def within_epsilon(self, epsilon: float) -> bool:
         """Point-Convergence check: every pairwise separation at most ``epsilon``."""

@@ -21,20 +21,27 @@ from ..geometry.tolerances import EPS
 Edge = Tuple[int, int]
 
 
+def visibility_edges_from_matrix(
+    distances: np.ndarray, visibility_range: float, *, eps: float = EPS
+) -> Set[Edge]:
+    """Visibility edges derived from a precomputed ``(n, n)`` distance matrix."""
+    n = distances.shape[0]
+    if n < 2:
+        return set()
+    rows, cols = np.triu_indices(n, k=1)
+    mask = distances[rows, cols] <= visibility_range + eps
+    return set(zip(rows[mask].tolist(), cols[mask].tolist()))
+
+
 def visibility_edges(
     positions: Sequence[PointLike], visibility_range: float, *, eps: float = EPS
 ) -> Set[Edge]:
     """All pairs ``(i, j)`` with ``i < j`` whose separation is at most ``V``."""
-    n = len(positions)
-    if n < 2:
+    if len(positions) < 2:
         return set()
-    distances = pairwise_distances(positions)
-    edges: Set[Edge] = set()
-    for i in range(n):
-        for j in range(i + 1, n):
-            if distances[i, j] <= visibility_range + eps:
-                edges.add((i, j))
-    return edges
+    return visibility_edges_from_matrix(
+        pairwise_distances(positions), visibility_range, eps=eps
+    )
 
 
 def strong_visibility_edges(
@@ -111,6 +118,28 @@ def broken_edges(
     """The initial edges that are no longer visibility edges (empty when cohesive)."""
     current = visibility_edges(positions, visibility_range, eps=eps)
     return {edge for edge in initial_edges if edge not in current}
+
+
+def broken_edges_from_matrix(
+    initial_edges: Iterable[Edge],
+    distances: np.ndarray,
+    visibility_range: float,
+    *,
+    eps: float = EPS,
+) -> Set[Edge]:
+    """The initial edges whose current length exceeds ``V``, from a distance matrix.
+
+    Equivalent to :func:`broken_edges` but reads the lengths of the tracked
+    edges straight out of a precomputed matrix instead of rebuilding the
+    full current edge set — the form the vectorized metrics path uses.
+    """
+    edges = list(initial_edges)
+    if not edges:
+        return set()
+    index = np.asarray(edges, dtype=int)
+    lengths = distances[index[:, 0], index[:, 1]]
+    over = lengths > visibility_range + eps
+    return {edges[i] for i in np.flatnonzero(over)}
 
 
 def max_edge_stretch(

@@ -1,0 +1,53 @@
+"""Declarative parallel parameter sweeps over the simulation scenario space.
+
+This is the scale-out seam of the reproduction: experiments (and the
+``python -m repro sweep`` CLI) describe *what* to run as a
+:class:`SweepSpec` grid or an explicit list of :class:`RunSpec` objects,
+and the :class:`SweepRunner` decides *how* — serially in-process or
+fanned out over ``multiprocessing`` workers — with append-only JSONL
+persistence and run-key resumption.  Results are identical either way;
+``tests/sweeps`` pins that guarantee.
+"""
+
+from .factories import (
+    algorithm_names,
+    error_model_names,
+    make_algorithm,
+    make_error_models,
+    make_scheduler,
+    make_workload,
+    scheduler_names,
+    validate_names,
+    workload_names,
+)
+from .runner import (
+    SweepResult,
+    SweepRunner,
+    execute_run,
+    load_completed_rows,
+    run_sweep,
+    strip_timing,
+)
+from .spec import K_SCHEDULERS, RunSpec, SweepSpec, check_unique_keys
+
+__all__ = [
+    "K_SCHEDULERS",
+    "RunSpec",
+    "SweepResult",
+    "SweepRunner",
+    "SweepSpec",
+    "algorithm_names",
+    "check_unique_keys",
+    "error_model_names",
+    "execute_run",
+    "load_completed_rows",
+    "make_algorithm",
+    "make_error_models",
+    "make_scheduler",
+    "make_workload",
+    "run_sweep",
+    "scheduler_names",
+    "strip_timing",
+    "validate_names",
+    "workload_names",
+]

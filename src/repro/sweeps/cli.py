@@ -1,0 +1,136 @@
+"""The ``python -m repro sweep`` subcommand.
+
+Builds a :class:`~repro.sweeps.spec.SweepSpec` from the command line, runs
+it through the :class:`~repro.sweeps.runner.SweepRunner`, prints the
+aggregate table and (optionally) persists the per-run rows as resumable
+JSONL.  ``--smoke`` runs a small fixed grid with two workers — the CI
+sanity check that the whole pipeline (expansion, multiprocessing,
+aggregation) holds together in under half a minute.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .factories import (
+    algorithm_names,
+    error_model_names,
+    scheduler_names,
+    workload_names,
+)
+from .runner import run_sweep
+from .spec import SweepSpec
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The sweep subcommand's argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro sweep",
+        description="Run a declarative parameter sweep across worker processes.",
+    )
+    parser.add_argument(
+        "--algorithms", nargs="+", default=["kknps"], choices=algorithm_names()
+    )
+    parser.add_argument(
+        "--schedulers", nargs="+", default=["k-async"], choices=scheduler_names()
+    )
+    parser.add_argument(
+        "--workloads", nargs="+", default=["random"], choices=workload_names()
+    )
+    parser.add_argument(
+        "--n", nargs="+", type=int, default=[10], help="numbers of robots to sweep"
+    )
+    parser.add_argument(
+        "--errors", nargs="+", default=["exact"], choices=error_model_names()
+    )
+    parser.add_argument(
+        "--seeds", type=int, default=3, help="number of seeds per grid point"
+    )
+    parser.add_argument(
+        "--seed-base", type=int, default=0, help="first seed of the seed axis"
+    )
+    parser.add_argument("--k", type=int, default=2, help="asynchrony bound for k-schedulers")
+    parser.add_argument("--epsilon", type=float, default=0.05)
+    parser.add_argument("--max-activations", type=int, default=5000)
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker processes (default 1; 1 = serial fallback; "
+                             "--smoke defaults to 2)")
+    parser.add_argument("--chunk-size", type=int, default=1,
+                        help="runs handed to a worker at a time")
+    parser.add_argument("--out", type=str, default=None,
+                        help="JSONL result file (resumable; one row per run)")
+    parser.add_argument("--no-resume", action="store_true",
+                        help="re-run everything even if --out already has rows")
+    parser.add_argument("--quiet", action="store_true", help="suppress per-run progress")
+    parser.add_argument("--smoke", action="store_true",
+                        help="run the small fixed smoke grid (overrides the axes)")
+    return parser
+
+
+def smoke_spec() -> SweepSpec:
+    """The fixed grid ``--smoke`` runs: 16 tiny runs across 2 workers."""
+    return SweepSpec(
+        algorithms=("kknps", "ando"),
+        schedulers=("ssync", "k-async"),
+        workloads=("line", "blobs"),
+        n_robots=(6,),
+        error_models=("exact",),
+        seeds=(0, 1),
+        scheduler_k=1,
+        epsilon=0.08,
+        max_activations=250,
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of ``python -m repro sweep``."""
+    args = build_parser().parse_args(argv)
+
+    def progress(done: int, total: int) -> None:
+        if not args.quiet:
+            print(f"\r  {done}/{total} runs", end="", file=sys.stderr, flush=True)
+
+    try:
+        if args.smoke:
+            spec = smoke_spec()
+            workers = args.workers if args.workers is not None else 2
+        else:
+            spec = SweepSpec(
+                algorithms=tuple(args.algorithms),
+                schedulers=tuple(args.schedulers),
+                workloads=tuple(args.workloads),
+                n_robots=tuple(args.n),
+                error_models=tuple(args.errors),
+                seeds=tuple(range(args.seed_base, args.seed_base + args.seeds)),
+                scheduler_k=args.k,
+                epsilon=args.epsilon,
+                max_activations=args.max_activations,
+            )
+            workers = args.workers if args.workers is not None else 1
+        result = run_sweep(
+            spec,
+            workers=workers,
+            chunk_size=args.chunk_size,
+            jsonl_path=args.out,
+            resume=not args.no_resume,
+            progress=progress,
+        )
+    except ValueError as error:
+        # Bad axis values (empty/duplicate axes, zero workers, ...) are user
+        # errors: report them like argparse would, not as a traceback.
+        print(f"python -m repro sweep: error: {error}", file=sys.stderr)
+        return 2
+    if not args.quiet and result.executed:
+        print(file=sys.stderr)
+
+    print(result.to_table().render())
+    if args.out is not None:
+        print(f"\n{result.executed} rows appended to {args.out} "
+              f"({result.resumed} resumed)")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

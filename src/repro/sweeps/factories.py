@@ -1,0 +1,188 @@
+"""Name-to-object factories for the sweep engine.
+
+Run specs are plain data; these registries turn their string fields into
+live algorithm, scheduler, workload and error-model objects *inside* the
+process that executes the run.  Keeping construction here (rather than in
+the spec) is what makes run specs picklable and the sweep engine safe to
+fan out over ``multiprocessing`` workers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Mapping, Sequence, Tuple
+
+from ..algorithms import (
+    AndoAlgorithm,
+    CenterOfGravityAlgorithm,
+    ConvergenceAlgorithm,
+    KatreniakAlgorithm,
+    KKNPSAlgorithm,
+    MinboxAlgorithm,
+)
+from ..geometry.transforms import SymmetricDistortion
+from ..model.configuration import Configuration
+from ..model.errors import MotionModel, PerceptionModel
+from ..schedulers import (
+    AsyncScheduler,
+    FSyncScheduler,
+    KAsyncScheduler,
+    KNestAScheduler,
+    Scheduler,
+    SSyncScheduler,
+)
+from ..workloads import (
+    annulus_configuration,
+    blob_configuration,
+    clustered_configuration,
+    line_configuration,
+    random_connected_configuration,
+    random_disk_configuration,
+    ring_configuration,
+    truncated_grid_configuration,
+)
+
+ALGORITHM_FACTORIES: Dict[str, Callable[..., ConvergenceAlgorithm]] = {
+    "kknps": KKNPSAlgorithm,
+    "ando": AndoAlgorithm,
+    "katreniak": KatreniakAlgorithm,
+    "cog": CenterOfGravityAlgorithm,
+    "gcm": MinboxAlgorithm,
+}
+
+SCHEDULER_FACTORIES: Dict[str, Callable[[int], Scheduler]] = {
+    "fsync": lambda k: FSyncScheduler(),
+    "ssync": lambda k: SSyncScheduler(),
+    "k-async": lambda k: KAsyncScheduler(k=k),
+    "k-nesta": lambda k: KNestAScheduler(k=k),
+    "async": lambda k: AsyncScheduler(),
+}
+
+
+def _clusters_workload(n: int, seed: int, visibility_range: float) -> Configuration:
+    # Exactly n robots: k clusters plus k-1 bridges, the cluster robots
+    # split as evenly as possible.  Small n degrades to fewer clusters.
+    k = min(3, max(1, n // 2))
+    in_clusters = n - (k - 1)
+    base, extra = divmod(in_clusters, k)
+    sizes = [base + 1 if c < extra else base for c in range(k)]
+    return clustered_configuration(
+        k, max(sizes), cluster_sizes=sizes, visibility_range=visibility_range, seed=seed
+    )
+
+
+# Every factory returns a configuration of exactly ``n`` robots (``ring``
+# raises for n < 3 rather than silently padding), so a sweep's run keys
+# always describe the simulations they label.
+WORKLOAD_FACTORIES: Dict[str, Callable[[int, int, float], Configuration]] = {
+    "random": lambda n, seed, v: random_connected_configuration(
+        n, visibility_range=v, seed=seed
+    ),
+    "line": lambda n, seed, v: line_configuration(n, spacing=0.8 * v, visibility_range=v),
+    "grid": lambda n, seed, v: truncated_grid_configuration(
+        n, spacing=0.7 * v, visibility_range=v
+    ),
+    "ring": lambda n, seed, v: ring_configuration(n, visibility_range=v),
+    "clusters": _clusters_workload,
+    "blobs": lambda n, seed, v: blob_configuration(
+        n, n_blobs=min(3, n), visibility_range=v, seed=seed
+    ),
+    "annulus": lambda n, seed, v: annulus_configuration(
+        n, inner_radius=0.5 * v, outer_radius=1.2 * v, visibility_range=v, seed=seed
+    ),
+    "disk": lambda n, seed, v: random_disk_configuration(
+        n, disk_radius=2.0 * v, visibility_range=v, seed=seed
+    ),
+}
+
+ERROR_MODEL_FACTORIES: Dict[str, Callable[[], Tuple[PerceptionModel, MotionModel]]] = {
+    # No error at all: the baseline the paper's positive results assume away.
+    "exact": lambda: (PerceptionModel.exact(), MotionModel.rigid()),
+    # 5% relative distance-measurement error (Section 2.3.2).
+    "distance-5": lambda: (PerceptionModel(distance_error=0.05), MotionModel.rigid()),
+    # Compass skew 0.1 through the symmetric distortion (Section 2.3.2).
+    "skew-10": lambda: (
+        PerceptionModel(distortion=SymmetricDistortion(amplitude=0.1, frequency=2)),
+        MotionModel.rigid(),
+    ),
+    # xi = 0.5 rigidity: the adversary may stop a move half way (Section 2.3.3).
+    "nonrigid-50": lambda: (PerceptionModel.exact(), MotionModel(xi=0.5)),
+    # Quadratic lateral motion error, the tolerated kind (Section 6.1).
+    "quad-motion": lambda: (
+        PerceptionModel.exact(),
+        MotionModel(xi=0.5, deviation="quadratic", coefficient=0.2),
+    ),
+}
+
+
+def algorithm_names() -> Tuple[str, ...]:
+    """Registered algorithm names."""
+    return tuple(ALGORITHM_FACTORIES)
+
+
+def scheduler_names() -> Tuple[str, ...]:
+    """Registered scheduler names."""
+    return tuple(SCHEDULER_FACTORIES)
+
+
+def workload_names() -> Tuple[str, ...]:
+    """Registered workload names."""
+    return tuple(WORKLOAD_FACTORIES)
+
+
+def error_model_names() -> Tuple[str, ...]:
+    """Registered error-model names."""
+    return tuple(ERROR_MODEL_FACTORIES)
+
+
+def make_algorithm(
+    name: str, params: Sequence[Tuple[str, float]] = ()
+) -> ConvergenceAlgorithm:
+    """Instantiate an algorithm by name with optional keyword parameters."""
+    factory = _lookup(ALGORITHM_FACTORIES, name, "algorithm")
+    kwargs = dict(params)
+    if kwargs and name != "kknps":
+        raise ValueError(f"algorithm {name!r} takes no parameters, got {kwargs}")
+    return factory(**kwargs)
+
+
+def make_scheduler(name: str, k: int = 1) -> Scheduler:
+    """Instantiate a scheduler by name (``k`` applies to k-async/k-nesta)."""
+    return _lookup(SCHEDULER_FACTORIES, name, "scheduler")(k)
+
+
+def make_workload(
+    name: str, n_robots: int, seed: int, visibility_range: float = 1.0
+) -> Configuration:
+    """Build an initial configuration by workload name."""
+    return _lookup(WORKLOAD_FACTORIES, name, "workload")(n_robots, seed, visibility_range)
+
+
+def make_error_models(name: str) -> Tuple[PerceptionModel, MotionModel]:
+    """Build the (perception, motion) pair of a named error model."""
+    return _lookup(ERROR_MODEL_FACTORIES, name, "error model")()
+
+
+def validate_names(
+    *,
+    algorithms: Sequence[str] = (),
+    schedulers: Sequence[str] = (),
+    workloads: Sequence[str] = (),
+    error_models: Sequence[str] = (),
+) -> None:
+    """Raise ``ValueError`` for any name missing from its registry."""
+    for names, registry, kind in (
+        (algorithms, ALGORITHM_FACTORIES, "algorithm"),
+        (schedulers, SCHEDULER_FACTORIES, "scheduler"),
+        (workloads, WORKLOAD_FACTORIES, "workload"),
+        (error_models, ERROR_MODEL_FACTORIES, "error model"),
+    ):
+        for name in names:
+            _lookup(registry, name, kind)
+
+
+def _lookup(registry: Mapping[str, object], name: str, kind: str):
+    try:
+        return registry[name]
+    except KeyError:
+        known = ", ".join(registry)
+        raise ValueError(f"unknown {kind} {name!r}; known: {known}") from None

@@ -1,0 +1,301 @@
+"""Parallel execution of sweep runs, with JSONL persistence and resumption.
+
+The runner is deliberately boring: :func:`execute_run` is a pure function
+from a :class:`~repro.sweeps.spec.RunSpec` to a flat, JSON-serializable
+result row, and :class:`SweepRunner` maps it over the runs — either
+serially in-process (the fallback, and the reference semantics) or across
+a ``multiprocessing`` pool.  Because every run rebuilds its workload,
+algorithm, scheduler and RNG from the spec's names and seed, a row is
+identical no matter which process produced it; the only field that varies
+between executions is ``wall_time_s``, which :data:`TIMING_FIELDS` names
+so comparisons can drop it.
+
+Persistence is append-only JSONL, one row per line.  On re-run with
+``resume=True`` the runner loads the completed run keys from the file and
+executes only the missing runs, so a killed sweep continues where it
+stopped.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from ..analysis.tables import TextTable
+from ..engine.convergence import epochs_to_converge
+from ..engine.simulator import SimulationConfig, run_simulation
+from ..model.visibility import max_edge_stretch
+from .factories import make_algorithm, make_error_models, make_scheduler, make_workload
+from .spec import RunSpec, SweepSpec, check_unique_keys
+
+#: Row fields that vary between executions of the same spec (dropped when
+#: comparing parallel against serial results).
+TIMING_FIELDS = ("wall_time_s",)
+
+
+def execute_run(spec: RunSpec) -> Dict[str, object]:
+    """Execute one run spec and return its flat result row.
+
+    The row contains only JSON-serializable scalars, is independent of the
+    executing process, and is keyed by ``spec.run_key`` for resumption.
+    """
+    started = time.perf_counter()
+    configuration = make_workload(
+        spec.workload, spec.n_robots, spec.seed, spec.visibility_range
+    )
+    algorithm = make_algorithm(spec.algorithm, spec.algorithm_params)
+    scheduler = make_scheduler(spec.scheduler, spec.scheduler_k)
+    perception, motion = make_error_models(spec.error_model)
+    result = run_simulation(
+        configuration.positions,
+        algorithm,
+        scheduler,
+        SimulationConfig(
+            visibility_range=configuration.visibility_range,
+            perception=perception,
+            motion=motion,
+            seed=spec.seed,
+            max_activations=spec.max_activations,
+            convergence_epsilon=spec.epsilon,
+            k_bound=spec.k_bound,
+        ),
+    )
+    epochs = epochs_to_converge(
+        result.activation_end_times, result.metrics.samples, spec.epsilon
+    )
+    stretch = max_edge_stretch(
+        result.initial_configuration.edges(), list(result.final_configuration.positions)
+    )
+    return {
+        "run_key": spec.run_key,
+        "algorithm": spec.algorithm,
+        "scheduler": spec.scheduler,
+        "workload": spec.workload,
+        "n_robots": len(configuration),
+        "seed": spec.seed,
+        "error_model": spec.error_model,
+        "scheduler_k": spec.scheduler_k,
+        "k_bound": spec.k_bound,
+        "epsilon": spec.epsilon,
+        "max_activations": spec.max_activations,
+        "visibility_range": configuration.visibility_range,
+        "converged": result.converged,
+        "convergence_time": result.convergence_time,
+        "cohesion": result.cohesion_maintained,
+        "activations": result.activations_processed,
+        "epochs": epochs,
+        "samples": len(result.metrics.samples),
+        "initial_diameter": result.initial_hull_diameter,
+        "final_diameter": result.final_hull_diameter,
+        "final_min_pairwise": result.final_configuration.min_pairwise_distance(),
+        "max_edge_stretch": stretch,
+        "simulated_time": result.final_time,
+        "wall_time_s": time.perf_counter() - started,
+    }
+
+
+def strip_timing(row: Dict[str, object]) -> Dict[str, object]:
+    """A copy of ``row`` without the execution-dependent timing fields."""
+    return {k: v for k, v in row.items() if k not in TIMING_FIELDS}
+
+
+@dataclass
+class SweepResult:
+    """All result rows of a sweep, in the deterministic expansion order."""
+
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    executed: int = 0
+    resumed: int = 0
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def deterministic_rows(self) -> List[Dict[str, object]]:
+        """The rows without timing fields (equal across serial/parallel runs)."""
+        return [strip_timing(row) for row in self.rows]
+
+    def row_for(self, run_key: str) -> Optional[Dict[str, object]]:
+        """The row of one run key, if present."""
+        for row in self.rows:
+            if row["run_key"] == run_key:
+                return row
+        return None
+
+    def to_table(self) -> TextTable:
+        """Aggregate table: one line per (algorithm, scheduler, workload, error)."""
+        groups: Dict[tuple, List[Dict[str, object]]] = {}
+        for row in self.rows:
+            key = (row["algorithm"], row["scheduler"], row["workload"], row["error_model"])
+            groups.setdefault(key, []).append(row)
+        table = TextTable(
+            f"Sweep aggregate — {len(self.rows)} runs "
+            f"({self.executed} executed, {self.resumed} resumed)",
+            [
+                "algorithm",
+                "scheduler",
+                "workload",
+                "error model",
+                "runs",
+                "converged",
+                "cohesive",
+                "mean activations",
+                "mean final diameter",
+                "worst final diameter",
+            ],
+        )
+        for key in sorted(groups):
+            rows = groups[key]
+            converged = sum(1 for r in rows if r["converged"])
+            cohesive = sum(1 for r in rows if r["cohesion"])
+            mean_activations = sum(r["activations"] for r in rows) / len(rows)
+            diameters = [r["final_diameter"] for r in rows]
+            table.add_row(
+                *key,
+                len(rows),
+                f"{converged}/{len(rows)}",
+                f"{cohesive}/{len(rows)}",
+                mean_activations,
+                sum(diameters) / len(diameters),
+                max(diameters),
+            )
+        return table
+
+
+def load_completed_rows(jsonl_path: Union[str, Path]) -> Dict[str, Dict[str, object]]:
+    """Completed rows keyed by run key, from an existing JSONL result file.
+
+    Lines that fail to parse (e.g. a partial line left by a killed run) are
+    skipped; their runs simply execute again.
+    """
+    path = Path(jsonl_path)
+    completed: Dict[str, Dict[str, object]] = {}
+    if not path.exists():
+        return completed
+    with path.open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            key = row.get("run_key")
+            if isinstance(key, str):
+                completed[key] = row
+    return completed
+
+
+class SweepRunner:
+    """Execute a sweep's runs across workers, persisting rows as they finish.
+
+    ``runs`` may be a :class:`SweepSpec` (expanded on construction) or an
+    explicit sequence of :class:`RunSpec` objects (how the registry
+    experiments express ablations the grid cannot).  ``workers <= 1``
+    selects the in-process serial fallback, whose results define the
+    reference semantics; with ``workers > 1`` the runs are chunked across a
+    ``multiprocessing`` pool and — because :func:`execute_run` is pure —
+    produce the same rows in the same order.
+    """
+
+    def __init__(
+        self,
+        runs: Union[SweepSpec, Sequence[RunSpec]],
+        *,
+        workers: int = 1,
+        chunk_size: int = 1,
+        jsonl_path: Optional[Union[str, Path]] = None,
+        resume: bool = True,
+    ) -> None:
+        if isinstance(runs, SweepSpec):
+            runs = runs.expand()
+        self.runs: List[RunSpec] = list(runs)
+        check_unique_keys(self.runs)
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be at least 1")
+        self.workers = workers
+        self.chunk_size = chunk_size
+        self.jsonl_path = Path(jsonl_path) if jsonl_path is not None else None
+        self.resume = resume
+
+    def run(
+        self, *, progress: Optional[Callable[[int, int], None]] = None
+    ) -> SweepResult:
+        """Execute every non-completed run and return all rows in order.
+
+        ``progress`` (optional) is called as ``progress(done, total)`` after
+        every completed run.
+        """
+        completed: Dict[str, Dict[str, object]] = {}
+        if self.jsonl_path is not None and self.resume:
+            completed = load_completed_rows(self.jsonl_path)
+        todo = [spec for spec in self.runs if spec.run_key not in completed]
+
+        handle = None
+        if self.jsonl_path is not None:
+            self.jsonl_path.parent.mkdir(parents=True, exist_ok=True)
+            if not self.resume:
+                self.jsonl_path.unlink(missing_ok=True)
+                completed = {}
+            handle = self.jsonl_path.open("a", encoding="utf-8")
+
+        fresh: Dict[str, Dict[str, object]] = {}
+        done = 0
+        total = len(todo)
+        try:
+            for row in self._execute(todo):
+                fresh[row["run_key"]] = row
+                if handle is not None:
+                    handle.write(json.dumps(row) + "\n")
+                    handle.flush()
+                done += 1
+                if progress is not None:
+                    progress(done, total)
+        finally:
+            if handle is not None:
+                handle.close()
+
+        rows = [
+            fresh[spec.run_key] if spec.run_key in fresh else completed[spec.run_key]
+            for spec in self.runs
+        ]
+        return SweepResult(rows=rows, executed=len(fresh), resumed=len(rows) - len(fresh))
+
+    def _execute(self, todo: Sequence[RunSpec]):
+        if not todo:
+            return
+        if self.workers == 1:
+            for spec in todo:
+                yield execute_run(spec)
+            return
+        # imap (ordered) keeps the JSONL file in expansion order while still
+        # streaming rows back as chunks complete.
+        with multiprocessing.Pool(processes=self.workers) as pool:
+            for row in pool.imap(execute_run, todo, chunksize=self.chunk_size):
+                yield row
+
+
+def run_sweep(
+    spec: Union[SweepSpec, Sequence[RunSpec]],
+    *,
+    workers: int = 1,
+    chunk_size: int = 1,
+    jsonl_path: Optional[Union[str, Path]] = None,
+    resume: bool = True,
+    progress: Optional[Callable[[int, int], None]] = None,
+) -> SweepResult:
+    """One-call convenience wrapper around :class:`SweepRunner`."""
+    runner = SweepRunner(
+        spec,
+        workers=workers,
+        chunk_size=chunk_size,
+        jsonl_path=jsonl_path,
+        resume=resume,
+    )
+    return runner.run(progress=progress)

@@ -1,0 +1,199 @@
+"""Declarative parameter-sweep specifications.
+
+A :class:`SweepSpec` names a grid over the experiment axes — algorithm,
+scheduler, workload, number of robots, error model and seed — and expands
+into a list of :class:`RunSpec` objects.  A :class:`RunSpec` is a plain,
+frozen, picklable description of *one* simulation run; the factories in
+:mod:`repro.sweeps.factories` turn it into live algorithm / scheduler /
+workload / error-model objects inside whichever process executes it, so
+run specs can cross ``multiprocessing`` boundaries freely.
+
+Every run spec has a deterministic ``run_key`` string.  The key is the
+identity the sweep runner uses for resumption: a completed key found in an
+existing JSONL result file is never executed again.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence, Tuple
+
+AlgorithmParams = Tuple[Tuple[str, float], ...]
+
+#: Schedulers whose behaviour is governed by an asynchrony bound ``k``.
+K_SCHEDULERS = ("k-async", "k-nesta")
+
+
+def _format_value(value: object) -> str:
+    if isinstance(value, float):
+        # repr is the shortest round-trippable form: keys stay readable for
+        # common values ("0.05") while distinct floats never collide.
+        return repr(value)
+    return str(value)
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """Everything needed to reproduce one simulation run, as plain data."""
+
+    algorithm: str
+    scheduler: str
+    workload: str
+    n_robots: int
+    seed: int
+    error_model: str = "exact"
+    scheduler_k: int = 2
+    algorithm_params: AlgorithmParams = ()
+    k_bound: Optional[int] = None
+    epsilon: float = 0.05
+    max_activations: int = 5000
+    visibility_range: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.n_robots < 1:
+            raise ValueError("a run needs at least one robot")
+        if self.scheduler_k < 1:
+            raise ValueError("scheduler_k must be at least 1")
+        if self.epsilon <= 0.0:
+            raise ValueError("epsilon must be positive")
+        if self.max_activations < 1:
+            raise ValueError("max_activations must be at least 1")
+        if self.visibility_range <= 0.0:
+            raise ValueError("visibility range must be positive")
+        object.__setattr__(
+            self, "algorithm_params", tuple((str(k), v) for k, v in self.algorithm_params)
+        )
+
+    @property
+    def run_key(self) -> str:
+        """Deterministic identity of this run (the JSONL resume key)."""
+        params = ",".join(f"{k}={_format_value(v)}" for k, v in self.algorithm_params)
+        return "|".join(
+            [
+                f"{self.algorithm}[{params}]",
+                f"{self.scheduler}(k={self.scheduler_k})",
+                f"{self.workload}",
+                f"n={self.n_robots}",
+                f"err={self.error_model}",
+                f"seed={self.seed}",
+                f"kb={self.k_bound}",
+                f"eps={_format_value(self.epsilon)}",
+                f"act={self.max_activations}",
+                f"V={_format_value(self.visibility_range)}",
+            ]
+        )
+
+    def with_seed(self, seed: int) -> "RunSpec":
+        """The same run at a different seed."""
+        return replace(self, seed=seed)
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A grid over the sweep axes, expanded into the product of run specs.
+
+    Expansion order is deterministic: the axes nest in declaration order
+    (algorithm outermost, seed innermost), so two expansions of the same
+    spec produce identical lists — the property resumption and the
+    parallel-equals-serial guarantee both lean on.
+    """
+
+    algorithms: Tuple[str, ...] = ("kknps",)
+    schedulers: Tuple[str, ...] = ("k-async",)
+    workloads: Tuple[str, ...] = ("random",)
+    n_robots: Tuple[int, ...] = (10,)
+    error_models: Tuple[str, ...] = ("exact",)
+    seeds: Tuple[int, ...] = (0,)
+    scheduler_k: int = 2
+    epsilon: float = 0.05
+    max_activations: int = 5000
+    visibility_range: float = 1.0
+
+    def __post_init__(self) -> None:
+        for axis_name in (
+            "algorithms",
+            "schedulers",
+            "workloads",
+            "n_robots",
+            "error_models",
+            "seeds",
+        ):
+            axis = tuple(getattr(self, axis_name))
+            object.__setattr__(self, axis_name, axis)
+            if not axis:
+                raise ValueError(f"sweep axis {axis_name!r} must not be empty")
+            if len(set(axis)) != len(axis):
+                raise ValueError(f"sweep axis {axis_name!r} contains duplicate values")
+        # Validate the names eagerly so a typo fails at spec-build time, not
+        # inside a worker process half way through the sweep.
+        from .factories import validate_names
+
+        validate_names(
+            algorithms=self.algorithms,
+            schedulers=self.schedulers,
+            workloads=self.workloads,
+            error_models=self.error_models,
+        )
+
+    def size(self) -> int:
+        """Number of runs the expansion produces (the product of axis sizes)."""
+        return (
+            len(self.algorithms)
+            * len(self.schedulers)
+            * len(self.workloads)
+            * len(self.n_robots)
+            * len(self.error_models)
+            * len(self.seeds)
+        )
+
+    def expand(self) -> List[RunSpec]:
+        """The full grid as run specs, in deterministic nesting order.
+
+        For schedulers with an asynchrony bound (``k-async``/``k-nesta``)
+        the bound is revealed to the algorithm (``k_bound``) and a ``kknps``
+        algorithm is matched to it; under the remaining schedulers KKNPS
+        runs its base ``k = 1`` formulation.  Mismatched pairings (the
+        ablations) are expressed as explicit :class:`RunSpec` lists instead.
+        """
+        runs: List[RunSpec] = []
+        for algorithm, scheduler, workload, n, error_model, seed in itertools.product(
+            self.algorithms,
+            self.schedulers,
+            self.workloads,
+            self.n_robots,
+            self.error_models,
+            self.seeds,
+        ):
+            bounded = scheduler in K_SCHEDULERS
+            effective_k = self.scheduler_k if bounded else 1
+            params: AlgorithmParams = ()
+            if algorithm == "kknps":
+                params = (("k", effective_k),)
+            runs.append(
+                RunSpec(
+                    algorithm=algorithm,
+                    scheduler=scheduler,
+                    workload=workload,
+                    n_robots=n,
+                    seed=seed,
+                    error_model=error_model,
+                    scheduler_k=self.scheduler_k,
+                    algorithm_params=params,
+                    k_bound=self.scheduler_k if bounded else None,
+                    epsilon=self.epsilon,
+                    max_activations=self.max_activations,
+                    visibility_range=self.visibility_range,
+                )
+            )
+        return runs
+
+
+def check_unique_keys(runs: Sequence[RunSpec]) -> None:
+    """Raise ``ValueError`` when two runs share a run key."""
+    seen = {}
+    for run in runs:
+        key = run.run_key
+        if key in seen:
+            raise ValueError(f"duplicate run key in sweep: {key}")
+        seen[key] = run

@@ -1,6 +1,8 @@
 """Initial-configuration generators for experiments and benchmarks."""
 
 from .generators import (
+    annulus_configuration,
+    blob_configuration,
     clustered_configuration,
     grid_configuration,
     line_configuration,
@@ -8,10 +10,13 @@ from .generators import (
     random_connected_configuration,
     random_disk_configuration,
     ring_configuration,
+    truncated_grid_configuration,
     two_robot_configuration,
 )
 
 __all__ = [
+    "annulus_configuration",
+    "blob_configuration",
     "clustered_configuration",
     "grid_configuration",
     "line_configuration",
@@ -19,5 +24,6 @@ __all__ = [
     "random_connected_configuration",
     "random_disk_configuration",
     "ring_configuration",
+    "truncated_grid_configuration",
     "two_robot_configuration",
 ]

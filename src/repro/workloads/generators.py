@@ -50,6 +50,27 @@ def grid_configuration(
     return Configuration.of(points, visibility_range)
 
 
+def truncated_grid_configuration(
+    n: int, *, spacing: float = 0.7, visibility_range: float = 1.0
+) -> Configuration:
+    """Exactly ``n`` robots filling a near-square grid in row-major order.
+
+    The last row may be partial; row-major truncation keeps the grid
+    connected, since every robot still has its left or lower neighbour at
+    ``spacing``.  This is the exact-count form the sweep engine needs: a
+    grid point labelled ``n`` must actually simulate ``n`` robots.
+    """
+    if n < 1:
+        raise ValueError("need at least one robot")
+    if spacing > visibility_range:
+        raise ValueError("spacing beyond the visibility range would disconnect the grid")
+    cols = max(1, math.ceil(math.sqrt(n)))
+    points = [
+        Point((i % cols) * spacing, (i // cols) * spacing) for i in range(n)
+    ]
+    return Configuration.of(points, visibility_range)
+
+
 def ring_configuration(
     n: int, *, visibility_range: float = 1.0, chord_fraction: float = 0.9
 ) -> Configuration:
@@ -105,6 +126,7 @@ def clustered_configuration(
     visibility_range: float = 1.0,
     cluster_radius_fraction: float = 0.3,
     seed: RngLike = 0,
+    cluster_sizes: Optional[Sequence[int]] = None,
 ) -> Configuration:
     """Several tight clusters joined by a chain of bridging robots.
 
@@ -113,18 +135,26 @@ def clustered_configuration(
     radius (``0.3 V``) every cluster member is within ``0.9 V`` of the
     nearest bridge, so the configuration is connected but has long thin
     'corridors' — a stress shape for cohesion.
+
+    ``cluster_sizes`` overrides the uniform ``robots_per_cluster`` with an
+    explicit per-cluster count (one entry per cluster), which lets callers
+    hit an exact total robot count.
     """
     if n_clusters < 1 or robots_per_cluster < 1:
         raise ValueError("need at least one cluster with at least one robot")
     if cluster_radius_fraction > 0.35:
         raise ValueError("cluster_radius_fraction above 0.35 can disconnect a cluster from its bridge")
+    if cluster_sizes is None:
+        cluster_sizes = [robots_per_cluster] * n_clusters
+    if len(cluster_sizes) != n_clusters or any(size < 1 for size in cluster_sizes):
+        raise ValueError("cluster_sizes needs one positive entry per cluster")
     rng = _rng(seed)
     cluster_gap = 1.2 * visibility_range
     cluster_radius = cluster_radius_fraction * visibility_range
     points: List[Point] = []
-    for c in range(n_clusters):
+    for c, size in enumerate(cluster_sizes):
         center = Point(c * cluster_gap, 0.0)
-        for _ in range(robots_per_cluster):
+        for _ in range(size):
             offset = Point.polar(
                 cluster_radius * math.sqrt(rng.random()), rng.uniform(0.0, 2.0 * math.pi)
             )
@@ -134,6 +164,94 @@ def clustered_configuration(
     configuration = Configuration.of(points, visibility_range)
     assert configuration.is_connected()
     return configuration
+
+
+def blob_configuration(
+    n: int,
+    *,
+    n_blobs: int = 3,
+    visibility_range: float = 1.0,
+    blob_radius_fraction: float = 0.2,
+    centre_gap_fraction: float = 0.55,
+    seed: RngLike = 0,
+) -> Configuration:
+    """``n`` robots split into dense blobs scattered by incremental attachment.
+
+    Each blob centre is placed at ``centre_gap_fraction * V`` from a
+    uniformly chosen earlier centre (chain connectivity of the blobs), and
+    every robot lands within ``blob_radius_fraction * V`` of its centre.
+    With ``centre_gap_fraction + 2 * blob_radius_fraction <= 1`` every robot
+    of a blob sees every robot of the blob its centre attached to, so the
+    configuration is connected by construction — unlike
+    :func:`clustered_configuration` there are no bridging robots, which
+    makes this the harsher cohesion workload of the two.
+    """
+    if n < 1:
+        raise ValueError("need at least one robot")
+    if n_blobs < 1:
+        raise ValueError("need at least one blob")
+    if n < n_blobs:
+        raise ValueError("need at least one robot per blob")
+    if centre_gap_fraction + 2.0 * blob_radius_fraction > 1.0:
+        raise ValueError(
+            "centre gap plus two blob radii beyond the visibility range would "
+            "disconnect adjacent blobs"
+        )
+    rng = _rng(seed)
+    centres: List[Point] = [Point(0.0, 0.0)]
+    while len(centres) < n_blobs:
+        anchor = centres[int(rng.integers(0, len(centres)))]
+        angle = rng.uniform(0.0, 2.0 * math.pi)
+        centres.append(anchor + Point.polar(centre_gap_fraction * visibility_range, angle))
+    blob_radius = blob_radius_fraction * visibility_range
+    sizes = [n // n_blobs + (1 if b < n % n_blobs else 0) for b in range(n_blobs)]
+    points: List[Point] = []
+    for centre, size in zip(centres, sizes):
+        for _ in range(size):
+            offset = Point.polar(
+                blob_radius * math.sqrt(rng.random()), rng.uniform(0.0, 2.0 * math.pi)
+            )
+            points.append(centre + offset)
+    configuration = Configuration.of(points, visibility_range)
+    assert configuration.is_connected(), "blob attachment must yield a connected configuration"
+    return configuration
+
+
+def annulus_configuration(
+    n: int,
+    *,
+    inner_radius: float = 0.5,
+    outer_radius: float = 1.2,
+    visibility_range: float = 1.0,
+    seed: RngLike = 0,
+    max_attempts: int = 400,
+) -> Configuration:
+    """Uniformly random points in an annulus, rejected until connected.
+
+    The hole in the middle forces the visibility graph around a ring — a
+    stress shape for congregation, since the hull must collapse through a
+    region no robot starts in.  Raises if no connected sample is found
+    within ``max_attempts`` (narrow the annulus or raise V).
+    """
+    if n < 2:
+        raise ValueError("an annulus workload needs at least two robots")
+    if not 0.0 <= inner_radius < outer_radius:
+        raise ValueError("need 0 <= inner_radius < outer_radius")
+    rng = _rng(seed)
+    for _ in range(max_attempts):
+        # Uniform by area: r^2 uniform on [inner^2, outer^2].
+        radii = np.sqrt(
+            rng.uniform(inner_radius**2, outer_radius**2, n)
+        )
+        angles = rng.uniform(0.0, 2.0 * math.pi, n)
+        points = [Point.polar(float(r), float(a)) for r, a in zip(radii, angles)]
+        if is_connected(points, visibility_range):
+            return Configuration.of(points, visibility_range)
+    raise RuntimeError(
+        f"no connected configuration of {n} robots found in the annulus "
+        f"[{inner_radius}, {outer_radius}] with V={visibility_range} "
+        f"after {max_attempts} attempts"
+    )
 
 
 def random_disk_configuration(

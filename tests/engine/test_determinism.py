@@ -1,0 +1,100 @@
+"""Cross-run determinism regression tests.
+
+The parallel sweep engine is only sound because a simulation run is a pure
+function of its configuration and seed: the same ``Simulator`` inputs must
+yield *bit-identical* outputs no matter when (or in which process) they
+execute.  These tests pin that property for the final positions, the full
+metrics history and the activation records — including under random
+perception/motion error, where determinism rests entirely on the seeded
+RNG stream.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import AndoAlgorithm, KKNPSAlgorithm
+from repro.engine import SimulationConfig, run_simulation
+from repro.geometry.transforms import SymmetricDistortion
+from repro.model import MotionModel, PerceptionModel
+from repro.schedulers import KAsyncScheduler, KNestAScheduler, SSyncScheduler
+from repro.workloads import blob_configuration, random_connected_configuration
+
+
+def _run(algorithm, scheduler, *, seed: int, config_kwargs=None):
+    configuration = random_connected_configuration(8, seed=seed)
+    config = SimulationConfig(
+        seed=seed, max_activations=400, convergence_epsilon=0.05, k_bound=2,
+        **(config_kwargs or {}),
+    )
+    return run_simulation(configuration.positions, algorithm, scheduler, config)
+
+
+def _assert_identical(first, second) -> None:
+    """Bit-identical outcomes: positions, metric samples, activation records."""
+    assert tuple(first.final_configuration.positions) == tuple(
+        second.final_configuration.positions
+    )
+    assert first.metrics.samples == second.metrics.samples
+    assert first.activation_counts == second.activation_counts
+    assert first.activation_end_times == second.activation_end_times
+    assert first.converged == second.converged
+    assert first.convergence_time == second.convergence_time
+    assert first.final_time == second.final_time
+    assert len(first.records) == len(second.records)
+    for a, b in zip(first.records, second.records):
+        assert a.activation == b.activation
+        assert a.origin == b.origin
+        assert a.target == b.target
+        assert a.destination == b.destination
+        assert a.neighbours_seen == b.neighbours_seen
+        assert a.moved_distance == b.moved_distance
+
+
+class TestSimulatorDeterminism:
+    @pytest.mark.parametrize("seed", [0, 7, 123])
+    def test_kknps_under_kasync_is_bit_identical(self, seed):
+        first = _run(KKNPSAlgorithm(k=2), KAsyncScheduler(k=2), seed=seed)
+        second = _run(KKNPSAlgorithm(k=2), KAsyncScheduler(k=2), seed=seed)
+        _assert_identical(first, second)
+
+    def test_ando_under_ssync_is_bit_identical(self):
+        first = _run(AndoAlgorithm(), SSyncScheduler(), seed=5)
+        second = _run(AndoAlgorithm(), SSyncScheduler(), seed=5)
+        _assert_identical(first, second)
+
+    def test_noisy_run_is_bit_identical(self):
+        """Random perception and non-rigid motion still replay exactly by seed."""
+        noisy = dict(
+            perception=PerceptionModel(
+                distance_error=0.05,
+                distortion=SymmetricDistortion(amplitude=0.1, frequency=2),
+            ),
+            motion=MotionModel(xi=0.5, deviation="quadratic", coefficient=0.2),
+        )
+        first = _run(
+            KKNPSAlgorithm(k=2, distance_error_tolerance=0.05, skew_tolerance=0.1),
+            KNestAScheduler(k=2),
+            seed=11,
+            config_kwargs=noisy,
+        )
+        second = _run(
+            KKNPSAlgorithm(k=2, distance_error_tolerance=0.05, skew_tolerance=0.1),
+            KNestAScheduler(k=2),
+            seed=11,
+            config_kwargs=noisy,
+        )
+        _assert_identical(first, second)
+
+    def test_different_seeds_actually_differ(self):
+        """The regression above is not vacuous: seeds do change the outcome."""
+        first = _run(KKNPSAlgorithm(k=2), KAsyncScheduler(k=2), seed=0)
+        second = _run(KKNPSAlgorithm(k=2), KAsyncScheduler(k=2), seed=1)
+        assert tuple(first.final_configuration.positions) != tuple(
+            second.final_configuration.positions
+        )
+
+    def test_workload_generation_is_deterministic(self):
+        first = blob_configuration(12, seed=9)
+        second = blob_configuration(12, seed=9)
+        assert tuple(first.positions) == tuple(second.positions)

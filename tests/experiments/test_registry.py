@@ -32,6 +32,49 @@ class TestRegistry:
         for entry in REGISTRY.values():
             assert (root / entry.bench).exists(), entry.bench
 
+    def test_ids_are_unique_and_match_keys(self):
+        ids = experiment_ids()
+        assert len(set(ids)) == len(ids)
+        for key, entry in REGISTRY.items():
+            assert key == entry.experiment_id
+
+    def test_bench_paths_are_distinct(self):
+        benches = [entry.bench for entry in REGISTRY.values()]
+        assert len(set(benches)) == len(benches)
+
+
+#: Per-experiment tiny parameters: every registered ``run`` callable must
+#: complete with these (an order of magnitude below even the smoke tests in
+#: test_experiment_runs.py, which check the qualitative claims).
+SMOKE_KWARGS = {
+    "F3": dict(area_samples=400, k_values=(1, 2)),
+    "F4": dict(),
+    "L12": dict(trials=15, seed=1),
+    "L5": dict(k_values=(1,), steps=5, trials=8, seed=1),
+    "T1": dict(n_robots=5, runs_per_cell=1, max_activations=600, epsilon=0.15, k=2, seed=1),
+    "C1": dict(n_values=(4,), k_values=(1,), epsilon=0.15, max_activations=1500,
+               seed=1, include_ablations=False),
+    "L68": dict(configurations=2, n_robots=5, nesting_runs=1, nesting_activations=40, seed=1),
+    "E1": dict(n_robots=5, max_activations=1200, epsilon=0.15,
+               figure18_coefficients=(0.2,), seed=1),
+    "I1": dict(psi=0.35, delta=0.13, skew=0.1),
+    "S2": dict(n_values=(4,), max_rounds=50, seed=1),
+    "U1": dict(n_values=(4,), max_activations=4000, seed=1),
+    "D1": dict(n_components=2, robots_per_component=3, max_activations=1000, seed=1),
+    "X1": dict(k_values=(1,), random_sizes=(5,), max_rounds=300, seed=1),
+}
+
+
+class TestRegistrySmokeRuns:
+    def test_every_experiment_has_smoke_kwargs(self):
+        assert set(SMOKE_KWARGS) == set(experiment_ids())
+
+    @pytest.mark.parametrize("experiment_id", sorted(SMOKE_KWARGS))
+    def test_run_callable_smoke_runs(self, experiment_id):
+        entry = get(experiment_id)
+        result = entry.run(**SMOKE_KWARGS[experiment_id])
+        assert result is not None
+
 
 class TestCli:
     def test_listing_runs(self, capsys):

@@ -1,0 +1,71 @@
+"""Tests for the ``python -m repro sweep`` subcommand."""
+
+from __future__ import annotations
+
+import json
+
+from repro.__main__ import main as repro_main
+from repro.sweeps.cli import build_parser, main as sweep_main, smoke_spec
+
+
+class TestSweepCli:
+    def test_tiny_grid_prints_aggregate_and_persists(self, tmp_path, capsys):
+        out = tmp_path / "rows.jsonl"
+        code = sweep_main(
+            [
+                "--algorithms", "kknps",
+                "--schedulers", "ssync",
+                "--workloads", "line",
+                "--n", "5",
+                "--seeds", "2",
+                "--max-activations", "120",
+                "--epsilon", "0.1",
+                "--out", str(out),
+                "--quiet",
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "Sweep aggregate" in captured
+        assert str(out) in captured
+        rows = [json.loads(line) for line in out.read_text().splitlines()]
+        assert len(rows) == 2
+        assert all(row["algorithm"] == "kknps" for row in rows)
+
+    def test_resume_through_cli(self, tmp_path, capsys):
+        out = tmp_path / "rows.jsonl"
+        argv = [
+            "--algorithms", "kknps", "--schedulers", "ssync", "--workloads", "line",
+            "--n", "5", "--seeds", "2", "--max-activations", "120", "--quiet",
+            "--out", str(out),
+        ]
+        assert sweep_main(argv) == 0
+        capsys.readouterr()
+        assert sweep_main(argv) == 0
+        assert "0 rows appended" in capsys.readouterr().out
+        assert len(out.read_text().splitlines()) == 2
+
+    def test_dispatch_from_repro_main(self, tmp_path, capsys):
+        code = repro_main(
+            ["sweep", "--algorithms", "ando", "--schedulers", "fsync",
+             "--workloads", "line", "--n", "4", "--seeds", "1",
+             "--max-activations", "80", "--quiet"]
+        )
+        assert code == 0
+        assert "Sweep aggregate" in capsys.readouterr().out
+
+    def test_smoke_spec_is_small_and_multi_axis(self):
+        spec = smoke_spec()
+        assert spec.size() <= 20
+        assert len(spec.algorithms) > 1 and len(spec.schedulers) > 1
+        assert spec.max_activations <= 500
+
+    def test_smoke_flag_runs_with_two_workers(self, capsys):
+        assert sweep_main(["--smoke", "--quiet"]) == 0
+        assert "Sweep aggregate" in capsys.readouterr().out
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.workers is None  # resolved to 1 (2 under --smoke) in main
+        assert args.out is None
+        assert not args.smoke

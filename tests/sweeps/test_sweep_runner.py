@@ -1,0 +1,137 @@
+"""Tests for the sweep runner: parallel-equals-serial, persistence, resume."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.sweeps import (
+    RunSpec,
+    SweepRunner,
+    SweepSpec,
+    execute_run,
+    load_completed_rows,
+    run_sweep,
+    strip_timing,
+)
+
+#: A small grid used by most tests below (12 runs, sub-second).
+SMALL_SPEC = SweepSpec(
+    algorithms=("kknps",),
+    schedulers=("ssync", "k-async"),
+    workloads=("line", "blobs"),
+    n_robots=(5,),
+    seeds=(0, 1, 2),
+    scheduler_k=2,
+    epsilon=0.08,
+    max_activations=150,
+)
+
+#: The acceptance grid: >= 200 (algorithm, scheduler, workload, seed) runs.
+ACCEPTANCE_SPEC = SweepSpec(
+    algorithms=("kknps", "ando"),
+    schedulers=("ssync", "k-async", "k-nesta"),
+    workloads=("line", "blobs"),
+    n_robots=(5, 7),
+    seeds=tuple(range(9)),
+    scheduler_k=2,
+    epsilon=0.1,
+    max_activations=120,
+)
+
+
+class TestExecuteRun:
+    def test_row_is_flat_and_json_serializable(self):
+        spec = SMALL_SPEC.expand()[0]
+        row = execute_run(spec)
+        assert row["run_key"] == spec.run_key
+        assert json.loads(json.dumps(row)) == row
+        for key in (
+            "algorithm", "scheduler", "workload", "n_robots", "seed", "error_model",
+            "converged", "convergence_time", "cohesion", "activations", "epochs",
+            "initial_diameter", "final_diameter", "final_min_pairwise",
+            "max_edge_stretch", "simulated_time", "wall_time_s",
+        ):
+            assert key in row
+
+    def test_row_is_reproducible(self):
+        spec = SMALL_SPEC.expand()[3]
+        assert strip_timing(execute_run(spec)) == strip_timing(execute_run(spec))
+
+
+class TestSweepRunner:
+    def test_acceptance_parallel_equals_serial_on_200_plus_runs(self, tmp_path):
+        """>= 200 runs complete with workers > 1, persist, and match the serial fallback."""
+        assert ACCEPTANCE_SPEC.size() == 216
+        jsonl = tmp_path / "acceptance.jsonl"
+        parallel = SweepRunner(
+            ACCEPTANCE_SPEC, workers=2, chunk_size=4, jsonl_path=jsonl
+        ).run()
+        assert len(parallel) == 216
+        assert parallel.executed == 216
+        serial = SweepRunner(ACCEPTANCE_SPEC, workers=1).run()
+        assert parallel.deterministic_rows() == serial.deterministic_rows()
+        # The persisted JSONL holds every row, and the aggregate table renders.
+        assert len(load_completed_rows(jsonl)) == 216
+        assert "216 runs" in parallel.to_table().render()
+
+    def test_rows_keep_expansion_order(self):
+        result = run_sweep(SMALL_SPEC, workers=2)
+        assert [row["run_key"] for row in result.rows] == [
+            spec.run_key for spec in SMALL_SPEC.expand()
+        ]
+
+    def test_resume_skips_completed_runs(self, tmp_path):
+        jsonl = tmp_path / "rows.jsonl"
+        runs = SMALL_SPEC.expand()
+        first = run_sweep(runs[:5], jsonl_path=jsonl)
+        assert (first.executed, first.resumed) == (5, 0)
+        full = run_sweep(SMALL_SPEC, jsonl_path=jsonl)
+        assert (full.executed, full.resumed) == (len(runs) - 5, 5)
+        # Resumed rows are byte-for-byte the persisted ones.
+        persisted = load_completed_rows(jsonl)
+        assert all(row == persisted[row["run_key"]] for row in full.rows)
+
+    def test_no_resume_recomputes_everything(self, tmp_path):
+        jsonl = tmp_path / "rows.jsonl"
+        run_sweep(SMALL_SPEC.expand()[:4], jsonl_path=jsonl)
+        result = run_sweep(SMALL_SPEC.expand()[:4], jsonl_path=jsonl, resume=False)
+        assert (result.executed, result.resumed) == (4, 0)
+        assert len(load_completed_rows(jsonl)) == 4
+
+    def test_partial_trailing_line_is_tolerated(self, tmp_path):
+        jsonl = tmp_path / "rows.jsonl"
+        run_sweep(SMALL_SPEC.expand()[:3], jsonl_path=jsonl)
+        with jsonl.open("a", encoding="utf-8") as handle:
+            handle.write('{"run_key": "truncated-by-a-cr')  # killed mid-write
+        result = run_sweep(SMALL_SPEC.expand()[:4], jsonl_path=jsonl)
+        assert (result.executed, result.resumed) == (1, 3)
+
+    def test_progress_callback(self):
+        calls = []
+        run_sweep(
+            SMALL_SPEC.expand()[:3],
+            progress=lambda done, total: calls.append((done, total)),
+        )
+        assert calls == [(1, 3), (2, 3), (3, 3)]
+
+    def test_duplicate_runs_rejected(self):
+        spec = SMALL_SPEC.expand()[0]
+        with pytest.raises(ValueError, match="duplicate run key"):
+            SweepRunner([spec, spec])
+
+    def test_invalid_worker_counts_rejected(self):
+        with pytest.raises(ValueError):
+            SweepRunner(SMALL_SPEC.expand()[:1], workers=0)
+        with pytest.raises(ValueError):
+            SweepRunner(SMALL_SPEC.expand()[:1], chunk_size=0)
+
+    def test_aggregate_table_groups_and_counts(self):
+        result = run_sweep(SMALL_SPEC)
+        rendered = result.to_table().render()
+        assert "kknps" in rendered
+        assert "ssync" in rendered and "k-async" in rendered
+        assert "line" in rendered and "blobs" in rendered
+        # 2 schedulers x 2 workloads -> 4 aggregate lines of 3 seeds each.
+        assert rendered.count("3/3") >= 4

@@ -1,0 +1,173 @@
+"""Property-style tests for sweep specifications and their expansion."""
+
+from __future__ import annotations
+
+import itertools
+import pickle
+
+import pytest
+
+from repro.sweeps import (
+    K_SCHEDULERS,
+    RunSpec,
+    SweepSpec,
+    check_unique_keys,
+)
+
+
+class TestRunSpec:
+    def test_is_picklable(self):
+        spec = RunSpec(
+            algorithm="kknps",
+            scheduler="k-async",
+            workload="blobs",
+            n_robots=10,
+            seed=3,
+            algorithm_params=(("k", 2), ("radius_divisor", 4.0)),
+            k_bound=2,
+        )
+        assert pickle.loads(pickle.dumps(spec)) == spec
+
+    def test_run_key_is_deterministic_and_injective_on_fields(self):
+        base = RunSpec(
+            algorithm="kknps", scheduler="k-async", workload="random", n_robots=8, seed=0
+        )
+        assert base.run_key == base.run_key
+        assert base.with_seed(0).run_key == base.run_key
+        assert base.with_seed(1).run_key != base.run_key
+        changed = RunSpec(
+            algorithm="kknps", scheduler="k-async", workload="random", n_robots=9, seed=0
+        )
+        assert changed.run_key != base.run_key
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RunSpec(algorithm="kknps", scheduler="ssync", workload="line", n_robots=0, seed=0)
+        with pytest.raises(ValueError):
+            RunSpec(
+                algorithm="kknps", scheduler="ssync", workload="line", n_robots=5,
+                seed=0, epsilon=0.0,
+            )
+        with pytest.raises(ValueError):
+            RunSpec(
+                algorithm="kknps", scheduler="ssync", workload="line", n_robots=5,
+                seed=0, max_activations=0,
+            )
+
+
+class TestSweepSpecExpansion:
+    # A spread of axis shapes: every combination below must expand to the
+    # exact product of its axis sizes with pairwise-distinct run keys.
+    AXIS_CASES = [
+        dict(algorithms=("kknps",), schedulers=("ssync",), workloads=("line",),
+             n_robots=(5,), error_models=("exact",), seeds=(0,)),
+        dict(algorithms=("kknps", "ando"), schedulers=("ssync", "k-async"),
+             workloads=("line", "blobs"), n_robots=(5, 8),
+             error_models=("exact",), seeds=(0, 1, 2)),
+        dict(algorithms=("kknps", "ando", "katreniak"),
+             schedulers=("ssync", "k-async", "k-nesta", "fsync"),
+             workloads=("random",), n_robots=(6,),
+             error_models=("exact", "distance-5", "nonrigid-50"), seeds=(0, 4)),
+    ]
+
+    @pytest.mark.parametrize("axes", AXIS_CASES)
+    def test_expansion_count_is_product_of_axis_sizes(self, axes):
+        spec = SweepSpec(**axes)
+        runs = spec.expand()
+        expected = 1
+        for axis in axes.values():
+            expected *= len(axis)
+        assert len(runs) == expected == spec.size()
+
+    @pytest.mark.parametrize("axes", AXIS_CASES)
+    def test_expansion_has_no_duplicate_run_keys(self, axes):
+        runs = SweepSpec(**axes).expand()
+        keys = [run.run_key for run in runs]
+        assert len(set(keys)) == len(keys)
+        check_unique_keys(runs)  # must not raise
+
+    def test_expansion_is_deterministic(self):
+        spec = SweepSpec(
+            algorithms=("kknps", "ando"), schedulers=("ssync", "k-async"),
+            workloads=("line",), n_robots=(5,), seeds=(0, 1),
+        )
+        assert spec.expand() == spec.expand()
+
+    def test_every_grid_point_appears_exactly_once(self):
+        spec = SweepSpec(
+            algorithms=("kknps", "ando"), schedulers=("ssync", "k-async"),
+            workloads=("line", "blobs"), n_robots=(5, 8), seeds=(0, 1),
+        )
+        runs = spec.expand()
+        combos = {
+            (r.algorithm, r.scheduler, r.workload, r.n_robots, r.error_model, r.seed)
+            for r in runs
+        }
+        expected = set(
+            itertools.product(
+                spec.algorithms, spec.schedulers, spec.workloads,
+                spec.n_robots, spec.error_models, spec.seeds,
+            )
+        )
+        assert combos == expected
+
+    def test_k_bound_follows_scheduler_class(self):
+        spec = SweepSpec(
+            algorithms=("kknps",),
+            schedulers=("ssync", "k-async", "k-nesta", "fsync", "async"),
+            workloads=("line",), n_robots=(5,), seeds=(0,), scheduler_k=3,
+        )
+        for run in spec.expand():
+            if run.scheduler in K_SCHEDULERS:
+                assert run.k_bound == 3
+                assert ("k", 3) in run.algorithm_params
+            else:
+                assert run.k_bound is None
+                assert ("k", 1) in run.algorithm_params
+
+    def test_axis_validation(self):
+        with pytest.raises(ValueError):
+            SweepSpec(algorithms=())
+        with pytest.raises(ValueError):
+            SweepSpec(seeds=(0, 0))
+        with pytest.raises(ValueError):
+            SweepSpec(algorithms=("not-an-algorithm",))
+        with pytest.raises(ValueError):
+            SweepSpec(schedulers=("not-a-scheduler",))
+        with pytest.raises(ValueError):
+            SweepSpec(workloads=("not-a-workload",))
+        with pytest.raises(ValueError):
+            SweepSpec(error_models=("not-an-error-model",))
+
+    def test_duplicate_run_keys_detected(self):
+        run = RunSpec(
+            algorithm="kknps", scheduler="ssync", workload="line", n_robots=5, seed=0
+        )
+        with pytest.raises(ValueError, match="duplicate run key"):
+            check_unique_keys([run, run])
+
+
+class TestWorkloadFactoriesHonourN:
+    """A grid point labelled n must simulate exactly n robots — otherwise
+    distinct run keys alias the same simulation and the aggregates lie."""
+
+    @pytest.mark.parametrize("workload", ["random", "line", "grid", "clusters", "blobs"])
+    @pytest.mark.parametrize("n", [2, 5, 6, 9, 16])
+    def test_exact_robot_count(self, workload, n):
+        from repro.sweeps import make_workload
+
+        configuration = make_workload(workload, n, seed=1)
+        assert len(configuration) == n
+        assert configuration.is_connected()
+
+    @pytest.mark.parametrize("n", [3, 5, 8])
+    def test_ring_exact_count(self, n):
+        from repro.sweeps import make_workload
+
+        assert len(make_workload("ring", n, seed=0)) == n
+
+    def test_ring_rejects_tiny_n_instead_of_padding(self):
+        from repro.sweeps import make_workload
+
+        with pytest.raises(ValueError):
+            make_workload("ring", 2, seed=0)

@@ -7,6 +7,8 @@ import pytest
 
 from repro.geometry import Point
 from repro.workloads import (
+    annulus_configuration,
+    blob_configuration,
     clustered_configuration,
     grid_configuration,
     line_configuration,
@@ -114,4 +116,67 @@ class TestRandomShapes:
         with pytest.raises(RuntimeError):
             random_disk_configuration(
                 3, disk_radius=100.0, visibility_range=0.1, seed=0, max_attempts=5
+            )
+
+
+class TestBlobConfiguration:
+    """Property-style checks: every generated instance is visibility-connected."""
+
+    @pytest.mark.parametrize("seed", range(12))
+    @pytest.mark.parametrize("n", [3, 7, 12, 25])
+    def test_always_connected_with_exact_count(self, n, seed):
+        config = blob_configuration(n, seed=seed)
+        assert len(config) == n
+        assert config.is_connected()
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_scaled_visibility_range(self, seed):
+        config = blob_configuration(10, visibility_range=2.5, seed=seed)
+        assert config.visibility_range == 2.5
+        assert config.is_connected()
+
+    def test_deterministic_per_seed(self):
+        a = blob_configuration(9, seed=4)
+        b = blob_configuration(9, seed=4)
+        c = blob_configuration(9, seed=5)
+        assert tuple(a.positions) == tuple(b.positions)
+        assert tuple(a.positions) != tuple(c.positions)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            blob_configuration(0)
+        with pytest.raises(ValueError):
+            blob_configuration(2, n_blobs=3)
+        with pytest.raises(ValueError):
+            # Gap plus two radii beyond V could disconnect adjacent blobs.
+            blob_configuration(6, blob_radius_fraction=0.3, centre_gap_fraction=0.6)
+
+
+class TestAnnulusConfiguration:
+    """Property-style checks: accepted samples are connected and in the annulus."""
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_always_connected_within_radii(self, seed):
+        config = annulus_configuration(10, inner_radius=0.5, outer_radius=1.2, seed=seed)
+        assert len(config) == 10
+        assert config.is_connected()
+        for p in config.positions:
+            assert 0.5 - 1e-9 <= p.norm() <= 1.2 + 1e-9
+
+    def test_deterministic_per_seed(self):
+        a = annulus_configuration(8, seed=2)
+        b = annulus_configuration(8, seed=2)
+        assert tuple(a.positions) == tuple(b.positions)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            annulus_configuration(1)
+        with pytest.raises(ValueError):
+            annulus_configuration(5, inner_radius=1.2, outer_radius=0.5)
+
+    def test_raises_when_infeasible(self):
+        with pytest.raises(RuntimeError):
+            annulus_configuration(
+                3, inner_radius=40.0, outer_radius=50.0, visibility_range=0.1,
+                seed=0, max_attempts=5,
             )
