@@ -1,0 +1,317 @@
+"""Bench — end-to-end ``Simulator.run`` wall time, new engine vs the pre-PR seed.
+
+The array-native engine rebuilt the whole per-activation path: vectorized
+kinematics (one numpy interpolation for all in-flight moves), a batched
+snapshot pipeline (visibility mask, lexsort-certified coincidence
+collapse, batch frame/perception transforms), grid-accelerated neighbour
+candidates for large swarms, and an array-native metrics observation.
+
+This bench measures the end-to-end effect: it runs identical simulations
+through the new engine and through a faithful replica of the **pre-PR
+seed engine** — the retained object snapshot path (per-Point loops and
+the quadratic coincidence collapse) combined with a frozen copy of the
+seed's ``MetricsCollector.observe`` internals (per-observe hull with a
+numpy-scalar chain walk, the ``(n, n, 2)`` pairwise temporary, per-call
+edge-list rebuilds, the object-path Welzl SEC).  Both sides simulate the
+same seeds; results are written to ``BENCH_engine.json`` as the repo's
+machine-readable perf trajectory.
+
+Run it directly::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py            # full grid
+    PYTHONPATH=src python benchmarks/bench_engine.py --smoke    # CI smoke
+
+The full grid covers n in {25, 50, 100, 200, 400} for kknps/ando under
+ssync/k-async.  ``--smoke`` shrinks the grid and the activation budget so
+the script (and its JSON contract) is exercised on every CI push.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+import numpy as np
+
+from repro.algorithms import AndoAlgorithm, KKNPSAlgorithm
+from repro.engine import MetricsCollector, SimulationConfig, Simulator
+from repro.engine.metrics import MetricsSample
+from repro.geometry.point import Point, points_to_array
+from repro.geometry.sec import _is_in, _trivial, _circle_from_two
+from repro.geometry.disk import Disk
+from repro.model.visibility import broken_edges_from_matrix
+from repro.schedulers import KAsyncScheduler, SSyncScheduler
+from repro.workloads import random_connected_configuration
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+FULL_SIZES = (25, 50, 100, 200, 400)
+SMOKE_SIZES = (12, 25)
+FULL_ACTIVATIONS = 300
+SMOKE_ACTIVATIONS = 40
+SEED = 3
+
+
+# --------------------------------------------------------------------------
+# Faithful replicas of the seed metrics internals (frozen at the PR-1 state).
+# --------------------------------------------------------------------------
+
+def _legacy_pairwise(arr: np.ndarray) -> np.ndarray:
+    diff = arr[:, None, :] - arr[None, :, :]
+    return np.sqrt((diff * diff).sum(axis=-1))
+
+
+def _legacy_hull_vertices(arr: np.ndarray) -> List[Point]:
+    """The seed ``convex_hull_array``: np.unique, then a numpy-scalar chain walk."""
+    from repro.geometry.tolerances import EPS
+
+    arr = np.asarray(arr, dtype=float).reshape(-1, 2)
+    unique = np.unique(arr, axis=0) if len(arr) else arr
+    m = len(unique)
+    if m <= 2:
+        return [Point(float(x), float(y)) for x, y in unique]
+    xs, ys = unique[:, 0], unique[:, 1]
+
+    def build(order) -> List[int]:
+        chain: List[int] = []
+        for i in order:
+            while len(chain) >= 2:
+                j, k = chain[-1], chain[-2]
+                ax, ay = xs[j] - xs[k], ys[j] - ys[k]
+                bx, by = xs[i] - xs[k], ys[i] - ys[k]
+                cross = ax * by - ay * bx
+                norms = math.hypot(ax, ay) * math.hypot(bx, by)
+                if cross <= EPS * max(norms, EPS):
+                    chain.pop()
+                else:
+                    break
+            chain.append(i)
+        return chain
+
+    lower = build(range(m))
+    upper = build(range(m - 1, -1, -1))
+    hull = lower[:-1] + upper[:-1]
+    if not hull:
+        hull = [0, m - 1]
+    return [Point(float(xs[i]), float(ys[i])) for i in hull]
+
+
+def _legacy_hull_perimeter(vertices: List[Point]) -> float:
+    if len(vertices) < 2:
+        return 0.0
+    total = 0.0
+    for i, v in enumerate(vertices):
+        total += v.distance_to(vertices[(i + 1) % len(vertices)])
+    return total
+
+
+def _legacy_sec(points: List[Point]) -> Disk:
+    """The seed's object-path Welzl (Disk/Point objects, per-call shuffle)."""
+    pts = list(points)
+    if len(pts) > 3:
+        rng = np.random.default_rng(0)
+        order = rng.permutation(len(pts))
+        pts = [pts[i] for i in order]
+    disk: Optional[Disk] = None
+    for i, p in enumerate(pts):
+        if _is_in(disk, p):
+            continue
+        disk = Disk(p, 0.0)
+        for j in range(i):
+            q = pts[j]
+            if _is_in(disk, q):
+                continue
+            disk = _circle_from_two(p, q)
+            for k in range(j):
+                r = pts[k]
+                if _is_in(disk, r):
+                    continue
+                candidate = _trivial([p, q, r])
+                if candidate is None:
+                    far_pair = max(
+                        ((a, b) for a in (p, q, r) for b in (p, q, r)),
+                        key=lambda ab: ab[0].distance_to(ab[1]),
+                    )
+                    candidate = _circle_from_two(*far_pair)
+                disk = candidate
+    assert disk is not None
+    return disk
+
+
+class LegacyMetricsCollector(MetricsCollector):
+    """``MetricsCollector`` with the seed's per-observe implementation."""
+
+    def observe(self, time, positions, activations_processed):
+        arr = points_to_array(
+            positions if not isinstance(positions, np.ndarray) else positions
+        )
+        n = len(arr)
+        hull_vertices = _legacy_hull_vertices(arr)
+        if n >= 2:
+            dist = _legacy_pairwise(arr)
+            diameter = float(dist.max())
+            min_pairwise = float(dist[~np.eye(n, dtype=bool)].min())
+            broken = broken_edges_from_matrix(
+                self.initial_edges, dist, self.visibility_range
+            )
+        else:
+            diameter = 0.0
+            min_pairwise = 0.0
+            broken = set()
+        if broken:
+            self.cohesion_ever_violated = True
+        sample = MetricsSample(
+            time=time,
+            hull_diameter=diameter,
+            hull_perimeter=_legacy_hull_perimeter(hull_vertices),
+            hull_radius=_legacy_sec(hull_vertices).radius if n else 0.0,
+            min_pairwise_distance=min_pairwise,
+            initial_edges_preserved=not broken,
+            broken_edge_count=len(broken),
+            activations_processed=activations_processed,
+        )
+        self.samples.append(sample)
+        return sample
+
+
+class SeedEngineSimulator(Simulator):
+    """The pre-PR engine: object look path + seed metrics internals."""
+
+    def _make_metrics(self) -> MetricsCollector:
+        return LegacyMetricsCollector(visibility_range=self.config.visibility_range)
+
+
+# --------------------------------------------------------------------------
+# The grid.
+# --------------------------------------------------------------------------
+
+def _algorithms():
+    return (
+        ("kknps", lambda k: KKNPSAlgorithm(k=k)),
+        ("ando", lambda k: AndoAlgorithm()),
+    )
+
+
+def _schedulers():
+    return (
+        ("ssync", lambda: SSyncScheduler(), 1),
+        ("kasync", lambda: KAsyncScheduler(k=2), 2),
+    )
+
+
+def _config(max_activations: int, engine_mode: str, k: int) -> SimulationConfig:
+    return SimulationConfig(
+        seed=SEED,
+        max_activations=max_activations,
+        stop_at_convergence=False,
+        use_random_frames=False,
+        k_bound=k,
+        engine_mode=engine_mode,
+    )
+
+
+def _run_once(simulator_cls, positions, algorithm, scheduler, config) -> float:
+    started = time.perf_counter()
+    simulator_cls(positions, algorithm, scheduler, config).run()
+    return time.perf_counter() - started
+
+
+def run_grid(sizes, max_activations: int, *, verbose: bool = True) -> dict:
+    results = []
+    for algo_name, algo_factory in _algorithms():
+        for sched_name, sched_factory, k in _schedulers():
+            for n in sizes:
+                configuration = random_connected_configuration(n, seed=SEED)
+                positions = list(configuration.positions)
+                new_seconds = _run_once(
+                    Simulator, positions, algo_factory(k), sched_factory(),
+                    _config(max_activations, "array", k),
+                )
+                seed_seconds = _run_once(
+                    SeedEngineSimulator, positions, algo_factory(k), sched_factory(),
+                    _config(max_activations, "object", k),
+                )
+                speedup = seed_seconds / new_seconds if new_seconds > 0 else math.inf
+                results.append(
+                    {
+                        "algorithm": algo_name,
+                        "scheduler": sched_name,
+                        "n": n,
+                        "activations": max_activations,
+                        "seed": SEED,
+                        "seconds_new": round(new_seconds, 6),
+                        "seconds_seed_engine": round(seed_seconds, 6),
+                        "speedup": round(speedup, 3),
+                    }
+                )
+                if verbose:
+                    print(
+                        f"{algo_name:>6} x {sched_name:<7} n={n:<4} "
+                        f"new {new_seconds:8.3f}s   seed {seed_seconds:8.3f}s   "
+                        f"speedup {speedup:6.2f}x"
+                    )
+    headline = [
+        r for r in results
+        if r["algorithm"] == "kknps" and r["scheduler"] == "ssync" and r["n"] == 200
+    ]
+    return {
+        "bench": "bench_engine",
+        "description": (
+            "End-to-end Simulator.run wall time: array-native engine vs a "
+            "faithful replica of the pre-PR seed engine (object snapshot "
+            "path + seed metrics internals), exact perception, no frames."
+        ),
+        "sizes": list(sizes),
+        "activations": max_activations,
+        "results": results,
+        "headline_speedup_kknps_ssync_n200": (
+            headline[0]["speedup"] if headline else None
+        ),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny grid + activation budget: verifies the bench runs and emits valid JSON",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=BENCH_PATH,
+        help=f"where to write the JSON results (default: {BENCH_PATH})",
+    )
+    args = parser.parse_args(argv)
+
+    sizes = SMOKE_SIZES if args.smoke else FULL_SIZES
+    max_activations = SMOKE_ACTIVATIONS if args.smoke else FULL_ACTIVATIONS
+    payload = run_grid(sizes, max_activations)
+    payload["smoke"] = bool(args.smoke)
+
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {args.output}")
+
+    # The JSON contract the CI smoke step relies on.
+    parsed = json.loads(args.output.read_text())
+    assert parsed["results"], "bench produced no results"
+    for row in parsed["results"]:
+        assert row["seconds_new"] > 0 and row["seconds_seed_engine"] > 0
+    if not args.smoke:
+        headline = parsed["headline_speedup_kknps_ssync_n200"]
+        print(f"headline (kknps x ssync, n=200): {headline}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -116,10 +116,13 @@ class KKNPSAlgorithm(ConvergenceAlgorithm):
         if v_y <= EPS:
             return []
         threshold = self.close_fraction * v_y
-        distant = [p for p in snapshot.neighbours if p.norm() > threshold + EPS]
+        norms = snapshot.norms
+        distant = [
+            p for p, r in zip(snapshot.neighbours, norms) if r > threshold + EPS
+        ]
         if not distant:
             # The farthest neighbour is distant by definition.
-            distant = [max(snapshot.neighbours, key=lambda p: p.norm())]
+            distant = [snapshot.farthest_neighbour()]
         return distant
 
     def max_move_length(self, snapshot: Snapshot) -> float:

@@ -11,15 +11,20 @@ from .convergence import (
 from .metrics import MetricsCollector, MetricsSample
 from .recorder import TrajectoryRecorder
 from .simulator import SimulationConfig, SimulationResult, Simulator, run_simulation
+from .spatial_index import GRID_MIN_ROBOTS, UniformGridIndex
+from .state import EngineState
 
 __all__ = [
     "ConvergenceSummary",
+    "EngineState",
+    "GRID_MIN_ROBOTS",
     "MetricsCollector",
     "MetricsSample",
     "SimulationConfig",
     "SimulationResult",
     "Simulator",
     "TrajectoryRecorder",
+    "UniformGridIndex",
     "epochs",
     "epochs_to_converge",
     "rounds_to_halve",

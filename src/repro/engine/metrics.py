@@ -9,15 +9,17 @@ minimum pairwise separation (collision monitoring).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Iterable, List, Optional, Sequence, Set
 
 import numpy as np
 
 from ..geometry.hull import ConvexHull
-from ..geometry.point import PointLike, pairwise_distance_matrix, points_to_array
+from ..geometry.point import PointLike, points_to_array
 from ..geometry.sec import smallest_enclosing_circle
-from ..model.visibility import Edge, broken_edges_from_matrix, visibility_edges
+from ..geometry.tolerances import EPS
+from ..model.visibility import Edge, visibility_edges
 
 
 @dataclass(frozen=True)
@@ -48,8 +50,28 @@ class MetricsCollector:
     cohesion_ever_violated: bool = False
 
     def bind_initial(self, positions: Sequence[PointLike]) -> None:
-        """Record the initial visibility edges the cohesion predicate refers to."""
+        """Record the initial visibility edges the cohesion predicate refers to.
+
+        The edge set is also cached as a ``(|E|, 2)`` index array so every
+        subsequent observation checks cohesion with one fancy-indexed
+        gather instead of rebuilding an edge list.
+        """
         self.initial_edges = visibility_edges(positions, self.visibility_range)
+        self._build_edge_index()
+
+    def _build_edge_index(self) -> None:
+        """Cache ``initial_edges`` as contiguous per-endpoint index vectors.
+
+        1D gathers are measurably cheaper than row gathers in the
+        per-activation cohesion check.
+        """
+        if self.initial_edges:
+            index = np.asarray(sorted(self.initial_edges), dtype=int)
+            self._edge_i = np.ascontiguousarray(index[:, 0])
+            self._edge_j = np.ascontiguousarray(index[:, 1])
+        else:
+            self._edge_i = None
+            self._edge_j = None
 
     def observe(
         self, time: float, positions: Sequence[PointLike], activations_processed: int
@@ -57,26 +79,28 @@ class MetricsCollector:
         """Sample the configuration at ``time`` and append it to the history.
 
         The hot path is array-native: the positions are stacked into one
-        ``(n, 2)`` array, the pairwise distance matrix is computed once, and
-        the diameter, minimum separation and broken-edge check all read from
-        it.  The bounding circle runs on the hull vertices only (the SEC of
-        a point set equals the SEC of its convex hull).
+        ``(n, 2)`` array and a single *squared*-distance matrix feeds the
+        diameter and the minimum separation (one square root after the
+        reduction — ``sqrt`` is monotone, so the extremes are bit-identical
+        to reducing over rooted distances).  The cohesion check gathers
+        only the cached initial-edge entries, and the bounding circle runs
+        on the hull vertices only (the SEC of a point set equals the SEC
+        of its convex hull).
         """
         arr = points_to_array(positions)
         n = len(arr)
         hull = ConvexHull.of_array(arr)
         if n >= 2:
-            dist = pairwise_distance_matrix(arr)
-            diameter = float(dist.max())
-            min_pairwise = float(dist[~np.eye(n, dtype=bool)].min())
-            broken = broken_edges_from_matrix(
-                self.initial_edges, dist, self.visibility_range
-            )
+            sq = self._squared_matrix(arr)
+            diameter = float(math.sqrt(sq.max()))
+            np.fill_diagonal(sq, math.inf)
+            min_pairwise = float(math.sqrt(sq.min()))
+            broken_count = self._broken_edge_count(arr)
         else:
             diameter = 0.0
             min_pairwise = 0.0
-            broken = set()
-        if broken:
+            broken_count = 0
+        if broken_count:
             self.cohesion_ever_violated = True
         sample = MetricsSample(
             time=time,
@@ -84,12 +108,51 @@ class MetricsCollector:
             hull_perimeter=hull.perimeter(),
             hull_radius=smallest_enclosing_circle(hull.vertices).radius if n else 0.0,
             min_pairwise_distance=min_pairwise,
-            initial_edges_preserved=not broken,
-            broken_edge_count=len(broken),
+            initial_edges_preserved=not broken_count,
+            broken_edge_count=broken_count,
             activations_processed=activations_processed,
         )
         self.samples.append(sample)
         return sample
+
+    def _squared_matrix(self, arr: np.ndarray) -> np.ndarray:
+        """The squared-distance matrix, built into per-collector scratch buffers.
+
+        ``observe`` runs once per processed activation, so the three
+        ``(n, n)`` temporaries are allocated once and reused — the values
+        are exactly :func:`squared_distance_matrix` of ``arr``.
+        """
+        n = len(arr)
+        buffers = getattr(self, "_matrix_buffers", None)
+        if buffers is None or buffers[0].shape[0] != n:
+            buffers = (np.empty((n, n)), np.empty((n, n)))
+            self._matrix_buffers = buffers
+        dx, dy = buffers
+        x = np.ascontiguousarray(arr[:, 0])
+        y = np.ascontiguousarray(arr[:, 1])
+        np.subtract(x[:, None], x[None, :], out=dx)
+        np.subtract(y[:, None], y[None, :], out=dy)
+        np.multiply(dx, dx, out=dx)
+        np.multiply(dy, dy, out=dy)
+        np.add(dx, dy, out=dx)
+        return dx
+
+    def _broken_edge_count(self, arr: np.ndarray) -> int:
+        """How many initial visibility edges currently exceed the range."""
+        i = getattr(self, "_edge_i", None)
+        if i is None:
+            if not self.initial_edges:
+                return 0
+            # initial_edges was assigned directly (without bind_initial).
+            self._build_edge_index()
+            i = self._edge_i
+        j = self._edge_j
+        x = np.ascontiguousarray(arr[:, 0])
+        y = np.ascontiguousarray(arr[:, 1])
+        dx = x[i] - x[j]
+        dy = y[i] - y[j]
+        lengths = np.sqrt(dx * dx + dy * dy)
+        return int(np.count_nonzero(lengths > self.visibility_range + EPS))
 
     # -- history queries ------------------------------------------------------
     def latest(self) -> Optional[MetricsSample]:

@@ -41,6 +41,8 @@ from ..schedulers.base import Scheduler
 from .convergence import ConvergenceSummary, summarize
 from .metrics import MetricsCollector, MetricsSample
 from .recorder import TrajectoryRecorder
+from .spatial_index import GRID_MIN_ROBOTS, UniformGridIndex
+from .state import EngineState
 
 
 @dataclass
@@ -63,6 +65,8 @@ class SimulationConfig:
     record_every: int = 1
     record_trajectories: bool = False
     crashed_robots: tuple = ()
+    engine_mode: str = "array"
+    spatial_index: Optional[bool] = None
 
     def __post_init__(self) -> None:
         if self.visibility_range <= 0.0:
@@ -73,6 +77,8 @@ class SimulationConfig:
             raise ValueError("convergence_epsilon must be positive")
         if self.record_every < 1:
             raise ValueError("record_every must be at least 1")
+        if self.engine_mode not in ("array", "object"):
+            raise ValueError(f"unknown engine mode {self.engine_mode!r}")
 
 
 @dataclass
@@ -122,9 +128,8 @@ class Simulator:
         self.algorithm = algorithm
         self.scheduler = scheduler
         self.rng = np.random.default_rng(self.config.seed)
-        self.robots: List[Robot] = [
-            Robot(robot_id=i, position=Point.of(p)) for i, p in enumerate(initial_positions)
-        ]
+        self._state = EngineState(initial_positions)
+        self.robots: List[Robot] = self._state.robots
         for crashed_id in self.config.crashed_robots:
             self.robots[crashed_id].crash()
         self.initial_configuration = Configuration.of(
@@ -133,6 +138,7 @@ class Simulator:
         self._time = 0.0
         self._pending: List[tuple] = []
         self._sequence = 0
+        self._grid = self._build_grid()
 
     # -- EngineView protocol --------------------------------------------------------
     @property
@@ -148,9 +154,45 @@ class Simulator:
     def positions(self, at_time: Optional[float] = None) -> List[Point]:
         """Positions of all robots at ``at_time`` (default: the current time)."""
         t = self._time if at_time is None else at_time
-        return [r.position_at(t) for r in self.robots]
+        return self._state.positions_at_points(t)
+
+    def positions_array(self, at_time: Optional[float] = None) -> np.ndarray:
+        """Positions of all robots at ``at_time`` as an ``(n, 2)`` float array.
+
+        The vectorized form of :meth:`positions`: all in-flight moves are
+        interpolated in one numpy expression.
+        """
+        t = self._time if at_time is None else at_time
+        return self._state.positions_at(t)
 
     # -- internals ---------------------------------------------------------------------
+    def _build_grid(self) -> Optional[UniformGridIndex]:
+        """The spatial hash index for this run, or None for the dense path.
+
+        Auto-enabled (``config.spatial_index is None``) only when the
+        array engine runs a finite visibility range over a swarm big
+        enough for the bookkeeping to pay off; ``spatial_index=False``
+        always forces the dense path and ``True`` forces the grid
+        whenever the range is finite.  The object reference path never
+        queries the grid, so it is never built there.
+        """
+        cfg = self.config
+        if cfg.engine_mode != "array":
+            return None
+        effective = self._effective_range()
+        feasible = math.isfinite(effective) and effective > 0.0
+        if cfg.spatial_index is not None:
+            enabled = cfg.spatial_index and feasible
+        else:
+            enabled = feasible and self.n_robots >= GRID_MIN_ROBOTS
+        if not enabled:
+            return None
+        grid = UniformGridIndex(effective)
+        committed = self._state.committed_positions()
+        for i in range(self.n_robots):
+            grid.settle(i, committed[i, 0], committed[i, 1])
+        return grid
+
     def _push(self, activation: Activation) -> None:
         heapq.heappush(self._pending, (activation.look_time, self._sequence, activation))
         self._sequence += 1
@@ -164,9 +206,51 @@ class Simulator:
         return True
 
     def _finalize_completed_moves(self, now: float) -> None:
-        for robot in self.robots:
-            if robot.is_motile() and robot.move_end_time <= now:
-                robot.finish_move()
+        completed = self._state.completed_movers(now)
+        if len(completed) == 0:
+            return
+        grid = self._grid
+        committed = self._state.committed_positions()
+        for i in completed:
+            self.robots[i].finish_move()
+            if grid is not None:
+                grid.settle(int(i), committed[i, 0], committed[i, 1])
+
+    def _begin_move(
+        self, robot: Robot, origin: Point, destination: Point, start: float, end: float
+    ) -> None:
+        robot.begin_move(origin, destination, start, end)
+        if self._grid is not None:
+            self._grid.begin_move(
+                robot.robot_id, origin.x, origin.y, destination.x, destination.y
+            )
+
+    def _look_positions(self, robot: Robot, look_time: float):
+        """What the observing robot can be shown: candidate positions for its Look.
+
+        On the array path this is an ``(m, 2)`` array of interpolated
+        positions — all other robots on the dense path, only the robots in
+        the observer's 3x3 grid neighbourhood when the spatial index is
+        active (an exact superset of the visible set; the snapshot's
+        distance filter is unchanged).  On the object path it is the
+        seed's per-Point list.
+
+        Returns ``(others, all_positions)`` where ``all_positions`` is the
+        full ``(n, 2)`` interpolation when the dense path computed one
+        (reused for the metrics sample of the same instant), else None.
+        """
+        rid = robot.robot_id
+        if self.config.engine_mode == "object":
+            return (
+                [r.position_at(look_time) for r in self.robots if r.robot_id != rid],
+                None,
+            )
+        if self._grid is not None:
+            observer = self._state.committed_positions()[rid]
+            candidates = self._grid.candidates(observer[0], observer[1], exclude=rid)
+            return self._state.positions_at(look_time, candidates), None
+        all_positions = self._state.positions_at(look_time)
+        return np.delete(all_positions, rid, axis=0), all_positions
 
     def _reveal_range(self) -> bool:
         if self.config.reveal_visibility_range is not None:
@@ -183,12 +267,16 @@ class Simulator:
             return math.inf
         return self.config.visibility_range
 
+    def _make_metrics(self) -> MetricsCollector:
+        """The metrics collector for this run (a seam for benchmark baselines)."""
+        return MetricsCollector(visibility_range=self.config.visibility_range)
+
     # -- main loop -----------------------------------------------------------------------
     def run(self) -> SimulationResult:
         """Execute the simulation and return its result."""
         started = _time.perf_counter()
         cfg = self.config
-        metrics = MetricsCollector(visibility_range=cfg.visibility_range)
+        metrics = self._make_metrics()
         metrics.bind_initial([r.position for r in self.robots])
         recorder = TrajectoryRecorder() if cfg.record_trajectories else None
         if recorder is not None:
@@ -224,9 +312,7 @@ class Simulator:
                 )
 
             robot.begin_activation(look_time)
-            other_positions = [
-                r.position_at(look_time) for r in self.robots if r.robot_id != robot.robot_id
-            ]
+            other_positions, look_all_positions = self._look_positions(robot, look_time)
             frame = self._frame_for_look()
             snapshot = build_snapshot(
                 robot.position,
@@ -240,6 +326,7 @@ class Simulator:
                 multiplicity_detection=cfg.multiplicity_detection,
                 time=look_time,
                 robot_id=robot.robot_id,
+                method=cfg.engine_mode,
             )
             destination_local = self.algorithm.compute(snapshot)
             displacement = (
@@ -253,8 +340,13 @@ class Simulator:
                 robot.position, target_global, activation.progress_fraction, self.rng
             )
             origin = robot.position
-            robot.begin_move(origin, realized, move_start, move_end)
+            self._begin_move(robot, origin, realized, move_start, move_end)
             activation_end_times[robot.robot_id].append(move_end)
+            if move_end <= look_time:
+                # A zero-duration move completes at the look instant itself:
+                # the observer is already at its destination, so the Look's
+                # interpolation (taken before the move began) is stale.
+                look_all_positions = None
 
             records.append(
                 ActivationRecord(
@@ -269,9 +361,20 @@ class Simulator:
             processed += 1
 
             if processed % cfg.record_every == 0:
-                sample = metrics.observe(look_time, self.positions(look_time), processed)
+                # One interpolation pass feeds both the metrics sample and the
+                # trajectory recorder (the seed recomputed all positions twice);
+                # the dense Look's full interpolation of this same instant is
+                # reused outright (beginning the observer's move cannot change
+                # its position at its own look time).
+                if look_all_positions is not None:
+                    sampled_positions = look_all_positions
+                elif cfg.engine_mode == "array":
+                    sampled_positions = self.positions_array(look_time)
+                else:
+                    sampled_positions = self.positions(look_time)
+                sample = metrics.observe(look_time, sampled_positions, processed)
                 if recorder is not None:
-                    recorder.record_all(look_time, self.positions(look_time))
+                    recorder.record_all(look_time, sampled_positions)
                 if converged_time is None and sample.hull_diameter <= cfg.convergence_epsilon:
                     converged_time = look_time
                     if cfg.stop_at_convergence:

@@ -1,0 +1,127 @@
+"""A uniform spatial hash grid for exact neighbour-candidate queries.
+
+Each Look phase must find every robot within the visibility range ``V``
+of the observer.  The dense path interpolates and distance-filters all
+``n`` robots; this index buckets robots into square cells of side at
+least ``V`` so a query only has to examine the 3x3 block of cells around
+the observer — an *exact* candidate set, never a lossy one:
+
+* an **idle** robot occupies the single cell containing its committed
+  position;
+* a **moving** robot occupies every cell overlapped by the axis-aligned
+  bounding box of its realised trajectory segment, so wherever along the
+  segment it is observed, the cell containing that point is registered.
+
+Because the cell side is at least ``V`` plus the visibility tolerance,
+any robot within perception reach of an observer lies in a cell at most
+one step away from the observer's cell in each axis; querying the 3x3
+block therefore returns a superset of the true visible set, and the
+caller's exact distance filter does the rest.  The engine falls back to
+the dense path for small swarms (the constant-factor bookkeeping beats
+the O(n) scan only once n is large enough) and for unlimited-visibility
+algorithms (``V = inf`` cannot be bucketed).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from ..geometry.tolerances import EPS
+
+Cell = Tuple[int, int]
+
+# Below this swarm size the dense vectorized O(n) scan wins (a single
+# numpy interpolation pass is cheap; the grid's per-Look bucket unions
+# only pay off once n is well into the hundreds); the simulator uses this
+# as the auto-enable threshold for the grid.
+GRID_MIN_ROBOTS = 512
+
+
+class UniformGridIndex:
+    """Uniform hash grid over the plane with incremental per-robot updates."""
+
+    __slots__ = ("cell_size", "_cells", "_keys")
+
+    def __init__(self, visibility_range: float) -> None:
+        if not math.isfinite(visibility_range) or visibility_range <= 0.0:
+            raise ValueError("grid needs a positive, finite visibility range")
+        # The visibility filter accepts distances up to V + EPS, so the cell
+        # side must be at least that for the 3x3-block guarantee to hold on
+        # the tolerance boundary as well.
+        self.cell_size = visibility_range + 2.0 * EPS
+        self._cells: Dict[Cell, Set[int]] = {}
+        self._keys: Dict[int, List[Cell]] = {}
+
+    # -- cell arithmetic -----------------------------------------------------------
+    def cell_of(self, x: float, y: float) -> Cell:
+        """The cell containing the point ``(x, y)``."""
+        return (int(math.floor(x / self.cell_size)), int(math.floor(y / self.cell_size)))
+
+    def _bbox_cells(self, x0: float, y0: float, x1: float, y1: float) -> List[Cell]:
+        cx0, cy0 = self.cell_of(min(x0, x1), min(y0, y1))
+        cx1, cy1 = self.cell_of(max(x0, x1), max(y0, y1))
+        return [(cx, cy) for cx in range(cx0, cx1 + 1) for cy in range(cy0, cy1 + 1)]
+
+    # -- incremental maintenance ---------------------------------------------------
+    def _assign(self, robot_id: int, cells: List[Cell]) -> None:
+        old = self._keys.get(robot_id)
+        if old is not None:
+            for key in old:
+                bucket = self._cells.get(key)
+                if bucket is not None:
+                    bucket.discard(robot_id)
+                    if not bucket:
+                        del self._cells[key]
+        for key in cells:
+            self._cells.setdefault(key, set()).add(robot_id)
+        self._keys[robot_id] = cells
+
+    def settle(self, robot_id: int, x: float, y: float) -> None:
+        """Register a robot at rest at ``(x, y)`` (one cell)."""
+        self._assign(robot_id, [self.cell_of(x, y)])
+
+    def begin_move(self, robot_id: int, x0: float, y0: float, x1: float, y1: float) -> None:
+        """Register a robot moving along the segment ``(x0,y0) -> (x1,y1)``.
+
+        The robot is placed in every cell of the segment's bounding box so
+        a Look at any instant of the move finds it.
+        """
+        self._assign(robot_id, self._bbox_cells(x0, y0, x1, y1))
+
+    def remove(self, robot_id: int) -> None:
+        """Drop a robot from the index entirely."""
+        self._assign(robot_id, [])
+        del self._keys[robot_id]
+
+    # -- queries ---------------------------------------------------------------------
+    def candidates(self, x: float, y: float, *, exclude: Optional[int] = None) -> np.ndarray:
+        """Ids of all robots in the 3x3 cell block around ``(x, y)``, ascending.
+
+        This is a superset of every robot within ``cell_size`` of the
+        point; ``exclude`` (typically the observer itself) is omitted.
+        """
+        cx, cy = self.cell_of(x, y)
+        found: Set[int] = set()
+        cells = self._cells
+        for dx in (-1, 0, 1):
+            for dy in (-1, 0, 1):
+                bucket = cells.get((cx + dx, cy + dy))
+                if bucket:
+                    found.update(bucket)
+        if exclude is not None:
+            found.discard(exclude)
+        if not found:
+            return np.empty(0, dtype=np.intp)
+        out = np.fromiter(found, dtype=np.intp, count=len(found))
+        out.sort()
+        return out
+
+    def cells_of(self, robot_id: int) -> List[Cell]:
+        """The cells a robot currently occupies (for tests and debugging)."""
+        return list(self._keys.get(robot_id, []))
+
+    def __len__(self) -> int:
+        return len(self._keys)

@@ -21,23 +21,92 @@ from .segment import distance_point_to_line, orientation
 from .tolerances import EPS
 
 
+# Points this deep inside the octagon of coordinate extremes (relative to
+# the configuration's extent) are discarded before the chain walk.  The
+# margin is three orders of magnitude above the chain's collinearity
+# tolerance, so pruned points could never have appeared on (or influenced)
+# the toleranced boundary.
+_PREFILTER_MARGIN = 1e-6
+_PREFILTER_MIN_POINTS = 16
+
+
+def _prune_interior(unique: np.ndarray) -> np.ndarray:
+    """Drop points safely interior to the hull (Akl-Toussaint prefilter).
+
+    Takes the eight coordinate extremes (support points of the axis and
+    diagonal directions, a convex CCW octagon), and removes every point
+    farther than a safety margin inside *all* of its edges.  The
+    survivors keep their lexicographic order, so the chain walk sees the
+    same sequence it would have seen minus provably-interior points.
+    """
+    x, y = unique[:, 0], unique[:, 1]
+    s, d = x + y, x - y
+    stacked = np.stack((x, s, y, d))
+    low = np.argmin(stacked, axis=1)
+    high = np.argmax(stacked, axis=1)
+    # Support points of the eight axis/diagonal directions, in CCW order.
+    support = [
+        int(low[0]),
+        int(low[1]),
+        int(low[2]),
+        int(high[3]),
+        int(high[0]),
+        int(high[1]),
+        int(high[2]),
+        int(low[3]),
+    ]
+    corners: List[int] = []
+    for i in support:
+        if not corners or (i != corners[-1] and i != corners[0]):
+            corners.append(i)
+    if len(corners) < 3:
+        return unique
+    cx, cy = x[corners], y[corners]
+    extent = max(float(cx.max() - cx.min()), float(cy.max() - cy.min()))
+    if extent <= 0.0:
+        return unique
+    margin = _PREFILTER_MARGIN * extent
+    # One broadcast evaluates every point against every octagon edge: the
+    # signed distance left of edge a->b (CCW interior) must clear the
+    # margin for all edges for a point to be pruned.
+    ex = np.roll(cx, -1) - cx
+    ey = np.roll(cy, -1) - cy
+    lengths = np.hypot(ex, ey)
+    valid = lengths > 0.0
+    if not valid.any():
+        return unique
+    ex, ey, cx, cy, lengths = ex[valid], ey[valid], cx[valid], cy[valid], lengths[valid]
+    offsets = (
+        ex[:, None] * (y[None, :] - cy[:, None]) - ey[:, None] * (x[None, :] - cx[:, None])
+    ) / lengths[:, None]
+    interior = (offsets > margin).all(axis=0)
+    if not interior.any():
+        return unique
+    return unique[~interior]
+
+
 def convex_hull_array(array: np.ndarray) -> List[Point]:
     """Convex hull of an ``(n, 2)`` array, counter-clockwise (monotone chain).
 
-    The input preparation — deduplication and the lexicographic sort the
-    chain construction needs — is vectorized (``np.unique`` over rows); only
-    the chain walk itself, which is linear in the number of sorted points,
-    stays a Python loop.  Collinear points on the boundary are dropped.
-    Degenerate inputs (one point, or all-collinear points) return the one
-    or two extreme points.
+    The input preparation is vectorized: deduplication and lexicographic
+    sorting via ``np.unique`` over rows, then an interior-point prefilter
+    that discards everything safely inside the octagon of coordinate
+    extremes, so the Python chain walk only visits near-boundary points.
+    Collinear points on the boundary are dropped.  Degenerate inputs (one
+    point, or all-collinear points) return the one or two extreme points.
     """
     arr = np.asarray(array, dtype=float).reshape(-1, 2)
+    # Prune before deduplicating: the filter needs only the coordinate
+    # extremes, and it cuts the points the O(n log n) unique-sort touches.
+    if len(arr) >= _PREFILTER_MIN_POINTS:
+        arr = _prune_interior(arr)
     unique = np.unique(arr, axis=0) if len(arr) else arr
     m = len(unique)
     if m <= 2:
         return [Point(float(x), float(y)) for x, y in unique]
 
-    xs, ys = unique[:, 0], unique[:, 1]
+    xs: List[float] = unique[:, 0].tolist()
+    ys: List[float] = unique[:, 1].tolist()
 
     def build(order: range) -> List[int]:
         chain: List[int] = []
@@ -64,7 +133,7 @@ def convex_hull_array(array: np.ndarray) -> List[Point]:
     if not hull:
         # Fully collinear input: return the two extreme points.
         hull = [0, m - 1]
-    return [Point(float(xs[i]), float(ys[i])) for i in hull]
+    return [Point(xs[i], ys[i]) for i in hull]
 
 
 def convex_hull(points: Sequence[PointLike]) -> List[Point]:

@@ -10,6 +10,7 @@ deterministic (seedable) expected-linear-time implementation.
 from __future__ import annotations
 
 import math
+from functools import lru_cache
 from typing import Optional, Sequence
 
 import numpy as np
@@ -55,6 +56,45 @@ def _trivial(boundary: Sequence[Point]) -> Optional[Disk]:
     return _circle_from_three(boundary[0], boundary[1], boundary[2])
 
 
+@lru_cache(maxsize=64)
+def _seeded_order(n: int, seed: int) -> tuple:
+    """The (cached) seeded shuffle order for ``n`` points."""
+    rng = np.random.default_rng(seed)
+    return tuple(int(i) for i in rng.permutation(n))
+
+
+def _float_two(ax, ay, bx, by):
+    """Diametral circle of two points, as plain floats (``Disk``-free)."""
+    cx, cy = (ax + bx) / 2.0, (ay + by) / 2.0
+    return cx, cy, math.hypot(bx - ax, by - ay) / 2.0
+
+
+def _float_trivial(ax, ay, bx, by, cx, cy):
+    """The three-boundary-point circle of :func:`_trivial`, on plain floats."""
+    for (px, py), (qx, qy) in (
+        ((ax, ay), (bx, by)),
+        ((ax, ay), (cx, cy)),
+        ((bx, by), (cx, cy)),
+    ):
+        ox, oy, r = _float_two(px, py, qx, qy)
+        eps = 1e-12 * max(1.0, r)
+        if (
+            math.hypot(ax - ox, ay - oy) <= r + eps
+            and math.hypot(bx - ox, by - oy) <= r + eps
+            and math.hypot(cx - ox, cy - oy) <= r + eps
+        ):
+            return ox, oy, r
+    d = 2.0 * ((bx - ax) * (cy - ay) - (by - ay) * (cx - ax))
+    if abs(d) <= EPS:
+        return None
+    a2 = ax * ax + ay * ay
+    b2 = bx * bx + by * by
+    c2 = cx * cx + cy * cy
+    ux = (a2 * (by - cy) + b2 * (cy - ay) + c2 * (ay - by)) / d
+    uy = (a2 * (cx - bx) + b2 * (ax - cx) + c2 * (bx - ax)) / d
+    return ux, uy, math.hypot(ux - ax, uy - ay)
+
+
 def smallest_enclosing_circle(
     points: Sequence[PointLike], *, seed: Optional[int] = 0
 ) -> Disk:
@@ -64,41 +104,56 @@ def smallest_enclosing_circle(
     shuffle is seeded (default seed 0) so results are reproducible; pass
     ``seed=None`` for an unshuffled run, which is fine for the small point
     sets a robot sees.
+
+    This runs after every processed activation (once per metrics sample
+    and inside Ando et al.'s algorithm on every Look), so the inner loops
+    work on plain floats — same formulas, same tolerances, same seeded
+    order as the object form, with the :class:`Disk` built only at the
+    end.
     """
     pts = [Point.of(p) for p in points]
     if not pts:
         raise ValueError("smallest enclosing circle of an empty point set")
     if seed is not None and len(pts) > 3:
-        rng = np.random.default_rng(seed)
-        order = rng.permutation(len(pts))
+        order = _seeded_order(len(pts), seed)
         pts = [pts[i] for i in order]
+    xs = [p.x for p in pts]
+    ys = [p.y for p in pts]
 
-    disk: Optional[Disk] = None
-    for i, p in enumerate(pts):
-        if _is_in(disk, p):
-            continue
-        # p must be on the boundary of the smallest circle of pts[:i + 1]
-        disk = Disk(p, 0.0)
-        for j in range(i):
-            q = pts[j]
-            if _is_in(disk, q):
+    # (cx, cy, radius) of the current candidate, None before the first point.
+    disk = None
+    for i in range(len(pts)):
+        px, py = xs[i], ys[i]
+        if disk is not None:
+            cx, cy, cr = disk
+            if math.hypot(px - cx, py - cy) <= cr + 1e-7 * max(1.0, cr):
                 continue
-            disk = _circle_from_two(p, q)
+        # p must be on the boundary of the smallest circle of pts[:i + 1]
+        disk = (px, py, 0.0)
+        for j in range(i):
+            qx, qy = xs[j], ys[j]
+            cx, cy, cr = disk
+            if math.hypot(qx - cx, qy - cy) <= cr + 1e-7 * max(1.0, cr):
+                continue
+            disk = _float_two(px, py, qx, qy)
             for k in range(j):
-                r = pts[k]
-                if _is_in(disk, r):
+                rx, ry = xs[k], ys[k]
+                cx, cy, cr = disk
+                if math.hypot(rx - cx, ry - cy) <= cr + 1e-7 * max(1.0, cr):
                     continue
-                candidate = _trivial([p, q, r])
+                candidate = _float_trivial(px, py, qx, qy, rx, ry)
                 if candidate is None:
                     # Collinear triple: fall back to the diametral pair.
+                    triple = ((px, py), (qx, qy), (rx, ry))
                     far_pair = max(
-                        ((a, b) for a in (p, q, r) for b in (p, q, r)),
-                        key=lambda ab: ab[0].distance_to(ab[1]),
+                        ((a, b) for a in triple for b in triple),
+                        key=lambda ab: math.hypot(ab[0][0] - ab[1][0], ab[0][1] - ab[1][1]),
                     )
-                    candidate = _circle_from_two(*far_pair)
+                    (fax, fay), (fbx, fby) = far_pair
+                    candidate = _float_two(fax, fay, fbx, fby)
                 disk = candidate
     assert disk is not None
-    return disk
+    return Disk(Point(disk[0], disk[1]), disk[2])
 
 
 def sec_center(points: Sequence[PointLike], *, seed: Optional[int] = 0) -> Point:

@@ -21,6 +21,8 @@ import math
 from dataclasses import dataclass
 from typing import Iterable, List
 
+import numpy as np
+
 from .angles import normalize_angle_positive
 from .point import Point, PointLike
 from .tolerances import EPS
@@ -64,6 +66,38 @@ class LocalFrame:
         """Convert a collection of frame-local points to global coordinates."""
         return [self.to_global(p) for p in points]
 
+    def to_local_array(self, array) -> "np.ndarray":
+        """Express an ``(m, 2)`` array of global points in this frame.
+
+        The rotation coefficients are the same ``math.cos``/``math.sin``
+        scalars the per-point path uses and the elementwise arithmetic is
+        IEEE-identical, so the rows match :meth:`to_local` bit for bit.
+        """
+        arr = np.asarray(array, dtype=float).reshape(-1, 2)
+        x = arr[:, 0] - self.origin.x
+        y = arr[:, 1] - self.origin.y
+        c, s = math.cos(-self.rotation), math.sin(-self.rotation)
+        rx = c * x - s * y
+        ry = s * x + c * y
+        if self.reflected:
+            ry = -ry
+        return np.column_stack((rx / self.scale, ry / self.scale))
+
+    def to_global_array(self, array) -> "np.ndarray":
+        """Express an ``(m, 2)`` array of frame-local points globally.
+
+        Bit-identical to mapping :meth:`to_global` over the rows.
+        """
+        arr = np.asarray(array, dtype=float).reshape(-1, 2)
+        x = arr[:, 0] * self.scale
+        y = arr[:, 1] * self.scale
+        if self.reflected:
+            y = -y
+        c, s = math.cos(self.rotation), math.sin(self.rotation)
+        rx = c * x - s * y
+        ry = s * x + c * y
+        return np.column_stack((rx + self.origin.x, ry + self.origin.y))
+
 
 @dataclass(frozen=True)
 class SymmetricDistortion:
@@ -97,6 +131,20 @@ class SymmetricDistortion:
         if self.amplitude == 0.0:
             return theta
         return theta + (self.amplitude / self.frequency) * math.sin(
+            self.frequency * (theta - self.phase)
+        )
+
+    def apply_angle_array(self, theta: np.ndarray) -> np.ndarray:
+        """Distorted image of an array of angles (the batch-perception form).
+
+        Uses ``np.sin`` where :meth:`apply_angle` uses ``math.sin``; both
+        snapshot paths route through this form so their outputs agree
+        exactly.
+        """
+        theta = np.asarray(theta, dtype=float)
+        if self.amplitude == 0.0:
+            return theta
+        return theta + (self.amplitude / self.frequency) * np.sin(
             self.frequency * (theta - self.phase)
         )
 

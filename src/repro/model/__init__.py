@@ -2,7 +2,7 @@
 
 from .configuration import Configuration
 from .errors import MotionModel, PerceptionModel
-from .robot import Robot
+from .robot import KinematicArrays, Robot
 from .snapshot import Snapshot, build_snapshot
 from .types import Activation, ActivationRecord, Phase, SchedulerClass
 from .visibility import (
@@ -23,6 +23,7 @@ __all__ = [
     "ActivationRecord",
     "Configuration",
     "Edge",
+    "KinematicArrays",
     "MotionModel",
     "PerceptionModel",
     "Phase",

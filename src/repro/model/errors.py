@@ -77,19 +77,68 @@ class PerceptionModel:
             return 1.0
         return float(rng.uniform(1.0 - self.distance_error, 1.0 + self.distance_error))
 
+    def _is_identity(self, rng: Optional[np.random.Generator]) -> bool:
+        """True when perception would report every vector unchanged."""
+        no_distance_error = (
+            self.distance_error == 0.0
+            or self.bias == "none"
+            or (self.bias == "random" and rng is None)
+        )
+        no_distortion = self.distortion is None or self.distortion.amplitude == 0.0
+        return no_distance_error and no_distortion
+
     def perceive_vector(
         self, vector: PointLike, rng: Optional[np.random.Generator] = None
     ) -> Point:
-        """Perceived version of a true relative position ``vector``."""
+        """Perceived version of a true relative position ``vector``.
+
+        Delegates to :meth:`perceive_array` so the scalar and batch paths
+        are bit-identical (including the order of any RNG draws).
+        """
         v = Point.of(vector)
-        r = v.norm()
-        if r <= EPS:
-            return v
-        r_perceived = r * self._distance_factor(rng)
-        angle = v.angle()
+        out = self.perceive_array(np.array([[v.x, v.y]], dtype=float), rng)
+        return Point(float(out[0, 0]), float(out[0, 1]))
+
+    def perceive_array(
+        self, vectors: np.ndarray, rng: Optional[np.random.Generator] = None
+    ) -> np.ndarray:
+        """Perceived versions of an ``(m, 2)`` array of true relative positions.
+
+        The batch form of :meth:`perceive_vector`: one polar decomposition
+        and one reconstruction for the whole array.  With ``bias ==
+        "random"`` the distance factors are drawn as a single
+        ``rng.uniform(..., size=k)`` call over the vectors that need one
+        (near-zero vectors are reported verbatim and draw nothing), which
+        consumes the generator stream exactly as the per-vector loop did.
+        Error-free perception is the identity: the true relative positions
+        are returned unchanged, with no polar round-trip rounding.
+        """
+        arr = np.asarray(vectors, dtype=float).reshape(-1, 2)
+        if len(arr) == 0 or self._is_identity(rng):
+            return arr
+        r = np.hypot(arr[:, 0], arr[:, 1])
+        measurable = r > EPS
+        if not measurable.any():
+            return arr
+        r_perceived = r.copy()
+        if self.distance_error > 0.0 and self.bias != "none":
+            if self.bias == "over":
+                r_perceived[measurable] = r[measurable] * (1.0 + self.distance_error)
+            elif self.bias == "under":
+                r_perceived[measurable] = r[measurable] * (1.0 - self.distance_error)
+            elif rng is not None:
+                factors = rng.uniform(
+                    1.0 - self.distance_error,
+                    1.0 + self.distance_error,
+                    size=int(measurable.sum()),
+                )
+                r_perceived[measurable] = r[measurable] * factors
+        angle = np.arctan2(arr[:, 1], arr[:, 0])
         if self.distortion is not None:
-            angle = self.distortion.apply_angle(angle)
-        return Point.polar(r_perceived, angle)
+            angle = self.distortion.apply_angle_array(angle)
+        out = np.column_stack((r_perceived * np.cos(angle), r_perceived * np.sin(angle)))
+        out[~measurable] = arr[~measurable]
+        return out
 
     def skew(self) -> float:
         """The skew bound of the angular distortion (0 when undistorted)."""

@@ -7,44 +7,257 @@ beyond its physical position), and either idle, computing or moving.
 While moving, the robot's position at any instant is the linear
 interpolation along its realised trajectory, which is what other robots
 observe when they Look mid-move.
+
+The kinematic state itself lives in :class:`KinematicArrays`, a
+structure-of-arrays store: contiguous ``(n, 2)`` float64 arrays for the
+committed positions, move origins and move destinations, plus ``(n,)``
+arrays for the move time spans, phase codes and per-robot counters.  A
+:class:`Robot` is a thin view over one row of such a store — the engine's
+hot paths (interpolating every robot's position at a Look instant,
+finding the moves that have completed) run as single numpy expressions
+over the arrays, while the per-robot object API stays exactly what it
+always was.  A robot constructed standalone allocates its own one-row
+store, so ``Robot(robot_id=0, position=Point(1, 2))`` keeps working.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
+import math
+from typing import Optional, Sequence
+
+import numpy as np
 
 from ..geometry.point import Point, PointLike
 from ..geometry.tolerances import EPS
 from .types import Phase
 
+# Integer phase codes stored in the arrays (the Phase enum stays the
+# public face; the codes make the per-activation masks pure numpy).
+PHASE_IDLE = 0
+PHASE_COMPUTING = 1
+PHASE_MOVING = 2
 
-@dataclass
+_PHASE_TO_CODE = {Phase.IDLE: PHASE_IDLE, Phase.COMPUTING: PHASE_COMPUTING, Phase.MOVING: PHASE_MOVING}
+_CODE_TO_PHASE = (Phase.IDLE, Phase.COMPUTING, Phase.MOVING)
+
+
+class KinematicArrays:
+    """Structure-of-arrays kinematic state for ``n`` robots.
+
+    ``position`` holds the last *committed* position of each robot (the
+    move origin while a move is in flight; the realised endpoint once the
+    move has been finalised).  The interpolation rule implemented by
+    :meth:`positions_at` is exactly :meth:`Robot.position_at`, evaluated
+    for all robots in one numpy expression.
+    """
+
+    __slots__ = (
+        "n",
+        "position",
+        "move_origin",
+        "move_destination",
+        "move_start",
+        "move_end",
+        "phase",
+        "crashed",
+        "activation_count",
+        "total_distance",
+    )
+
+    def __init__(self, n: int) -> None:
+        if n < 0:
+            raise ValueError("robot count must be non-negative")
+        self.n = n
+        self.position = np.zeros((n, 2), dtype=float)
+        self.move_origin = np.zeros((n, 2), dtype=float)
+        self.move_destination = np.zeros((n, 2), dtype=float)
+        self.move_start = np.zeros(n, dtype=float)
+        self.move_end = np.zeros(n, dtype=float)
+        self.phase = np.zeros(n, dtype=np.int8)
+        self.crashed = np.zeros(n, dtype=bool)
+        self.activation_count = np.zeros(n, dtype=np.int64)
+        self.total_distance = np.zeros(n, dtype=float)
+
+    @staticmethod
+    def from_positions(positions: Sequence[PointLike]) -> "KinematicArrays":
+        """A store with every robot idle at the given positions."""
+        pts = [Point.of(p) for p in positions]
+        arrays = KinematicArrays(len(pts))
+        for i, p in enumerate(pts):
+            arrays.position[i, 0] = p.x
+            arrays.position[i, 1] = p.y
+        return arrays
+
+    # -- vectorized queries ------------------------------------------------------
+    def positions_at(self, time: float, indices: Optional[np.ndarray] = None) -> np.ndarray:
+        """Interpolated positions at global ``time`` as an ``(m, 2)`` array.
+
+        With ``indices`` given, only those rows are evaluated (in the given
+        order); otherwise all ``n`` robots are.  The branch structure per
+        robot is identical to :meth:`Robot.position_at`, so the values are
+        bit-identical to the scalar path.
+        """
+        if indices is None:
+            out = self.position.copy()
+            phase = self.phase
+        else:
+            out = self.position[indices]
+            phase = self.phase[indices]
+        moving = phase == PHASE_MOVING
+        if not moving.any():
+            return out
+        rows = np.flatnonzero(moving)
+        sub = indices[rows] if indices is not None else rows
+        start = self.move_start[sub]
+        end = self.move_end[sub]
+        origin = self.move_origin[sub]
+        destination = self.move_destination[sub]
+        span = end - start
+        # Branch order mirrors Robot.position_at: endpoint once the move is
+        # over (or the span is degenerate), origin before it starts, linear
+        # interpolation in between.
+        at_destination = (time >= end) | ((time > start) & (span <= EPS))
+        interpolate = (time > start) & (time < end) & (span > EPS)
+        values = origin.copy()
+        values[at_destination] = destination[at_destination]
+        if interpolate.any():
+            t = (time - start[interpolate]) / span[interpolate]
+            o = origin[interpolate]
+            values[interpolate] = o + (destination[interpolate] - o) * t[:, None]
+        out[rows] = values
+        return out
+
+    def completed_movers(self, now: float) -> np.ndarray:
+        """Indices of robots whose move has ended at or before ``now``."""
+        return np.flatnonzero((self.phase == PHASE_MOVING) & (self.move_end <= now))
+
+    def any_moving(self) -> bool:
+        """True when at least one robot is mid-move."""
+        return bool((self.phase == PHASE_MOVING).any())
+
+
 class Robot:
-    """One mobile entity with its current kinematic state."""
+    """One mobile entity: a thin view over one row of a :class:`KinematicArrays`."""
 
-    robot_id: int
-    position: Point
-    phase: Phase = Phase.IDLE
-    move_origin: Optional[Point] = None
-    move_destination: Optional[Point] = None
-    move_start_time: float = 0.0
-    move_end_time: float = 0.0
-    activation_count: int = 0
-    total_distance_travelled: float = 0.0
-    crashed: bool = False
+    __slots__ = ("robot_id", "_arrays", "_index")
 
-    def __post_init__(self) -> None:
-        self.position = Point.of(self.position)
+    def __init__(
+        self,
+        robot_id: int = 0,
+        position: PointLike = (0.0, 0.0),
+        phase: Phase = Phase.IDLE,
+        move_origin: Optional[PointLike] = None,
+        move_destination: Optional[PointLike] = None,
+        move_start_time: float = 0.0,
+        move_end_time: float = 0.0,
+        activation_count: int = 0,
+        total_distance_travelled: float = 0.0,
+        crashed: bool = False,
+    ) -> None:
+        arrays = KinematicArrays(1)
+        self.robot_id = robot_id
+        self._arrays = arrays
+        self._index = 0
+        p = Point.of(position)
+        arrays.position[0] = (p.x, p.y)
+        arrays.phase[0] = _PHASE_TO_CODE[phase]
+        if move_origin is not None:
+            o = Point.of(move_origin)
+            arrays.move_origin[0] = (o.x, o.y)
+        if move_destination is not None:
+            d = Point.of(move_destination)
+            arrays.move_destination[0] = (d.x, d.y)
+        arrays.move_start[0] = move_start_time
+        arrays.move_end[0] = move_end_time
+        arrays.activation_count[0] = activation_count
+        arrays.total_distance[0] = total_distance_travelled
+        arrays.crashed[0] = crashed
+
+    @classmethod
+    def view(cls, arrays: KinematicArrays, index: int, robot_id: Optional[int] = None) -> "Robot":
+        """A view over row ``index`` of a shared store (used by the engine)."""
+        self = object.__new__(cls)
+        self.robot_id = index if robot_id is None else robot_id
+        self._arrays = arrays
+        self._index = index
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Robot(robot_id={self.robot_id}, position={self.position!r}, "
+            f"phase={self.phase.value!r})"
+        )
+
+    # -- array-backed attributes ---------------------------------------------------
+    @property
+    def position(self) -> Point:
+        """Last committed position (the move origin while a move is in flight)."""
+        row = self._arrays.position[self._index]
+        return Point(float(row[0]), float(row[1]))
+
+    @position.setter
+    def position(self, value: PointLike) -> None:
+        p = Point.of(value)
+        self._arrays.position[self._index] = (p.x, p.y)
+
+    @property
+    def phase(self) -> Phase:
+        """Current phase of the activity cycle."""
+        return _CODE_TO_PHASE[self._arrays.phase[self._index]]
+
+    @phase.setter
+    def phase(self, value: Phase) -> None:
+        self._arrays.phase[self._index] = _PHASE_TO_CODE[value]
+
+    @property
+    def move_origin(self) -> Optional[Point]:
+        """Origin of the in-flight move (None when not moving)."""
+        if self._arrays.phase[self._index] != PHASE_MOVING:
+            return None
+        row = self._arrays.move_origin[self._index]
+        return Point(float(row[0]), float(row[1]))
+
+    @property
+    def move_destination(self) -> Optional[Point]:
+        """Realised endpoint of the in-flight move (None when not moving)."""
+        if self._arrays.phase[self._index] != PHASE_MOVING:
+            return None
+        row = self._arrays.move_destination[self._index]
+        return Point(float(row[0]), float(row[1]))
+
+    @property
+    def move_start_time(self) -> float:
+        """Instant the in-flight (or last) move started."""
+        return float(self._arrays.move_start[self._index])
+
+    @property
+    def move_end_time(self) -> float:
+        """Instant the in-flight (or last) move ends."""
+        return float(self._arrays.move_end[self._index])
+
+    @property
+    def activation_count(self) -> int:
+        """Number of activations this robot has begun."""
+        return int(self._arrays.activation_count[self._index])
+
+    @property
+    def total_distance_travelled(self) -> float:
+        """Total length of the realised trajectories so far."""
+        return float(self._arrays.total_distance[self._index])
+
+    @property
+    def crashed(self) -> bool:
+        """True once the robot has fail-stopped."""
+        return bool(self._arrays.crashed[self._index])
 
     # -- queries ---------------------------------------------------------------
     def is_idle(self) -> bool:
         """True when the robot is between activity cycles."""
-        return self.phase is Phase.IDLE
+        return self._arrays.phase[self._index] == PHASE_IDLE
 
     def is_motile(self) -> bool:
         """True during the Move phase (capable of moving)."""
-        return self.phase is Phase.MOVING
+        return self._arrays.phase[self._index] == PHASE_MOVING
 
     def position_at(self, time: float) -> Point:
         """Position at global time ``time``.
@@ -54,67 +267,76 @@ class Robot:
         interpolation between the move origin and the realised endpoint.
         After the move end it is the endpoint.
         """
-        if self.phase is not Phase.MOVING or self.move_origin is None or self.move_destination is None:
+        arrays, i = self._arrays, self._index
+        if arrays.phase[i] != PHASE_MOVING:
             return self.position
-        if time >= self.move_end_time:
-            return self.move_destination
-        if time <= self.move_start_time:
-            return self.move_origin
-        span = self.move_end_time - self.move_start_time
+        end = arrays.move_end[i]
+        if time >= end:
+            row = arrays.move_destination[i]
+            return Point(float(row[0]), float(row[1]))
+        start = arrays.move_start[i]
+        if time <= start:
+            row = arrays.move_origin[i]
+            return Point(float(row[0]), float(row[1]))
+        span = end - start
         if span <= EPS:
-            return self.move_destination
-        t = (time - self.move_start_time) / span
-        return self.move_origin.lerp(self.move_destination, t)
+            row = arrays.move_destination[i]
+            return Point(float(row[0]), float(row[1]))
+        t = (time - start) / span
+        ox, oy = arrays.move_origin[i]
+        dx, dy = arrays.move_destination[i]
+        return Point(float(ox + (dx - ox) * t), float(oy + (dy - oy) * t))
 
     # -- transitions -------------------------------------------------------------
     def begin_activation(self, time: float) -> None:
         """Enter the Compute phase (the Look phase is instantaneous)."""
-        if self.phase is not Phase.IDLE:
+        arrays, i = self._arrays, self._index
+        if arrays.phase[i] != PHASE_IDLE:
             raise RuntimeError(
                 f"robot {self.robot_id} activated at t={time} while still {self.phase.value}"
             )
-        self.phase = Phase.COMPUTING
-        self.activation_count += 1
+        arrays.phase[i] = PHASE_COMPUTING
+        arrays.activation_count[i] += 1
 
     def begin_move(
         self, origin: PointLike, destination: PointLike, start_time: float, end_time: float
     ) -> None:
         """Enter the Move phase with a realised trajectory and its time span."""
-        if self.phase is not Phase.COMPUTING:
+        arrays, i = self._arrays, self._index
+        if arrays.phase[i] != PHASE_COMPUTING:
             raise RuntimeError(
                 f"robot {self.robot_id} cannot start moving from phase {self.phase.value}"
             )
         if end_time < start_time:
             raise ValueError("move must end at or after it starts")
-        self.move_origin = Point.of(origin)
-        self.move_destination = Point.of(destination)
-        self.move_start_time = start_time
-        self.move_end_time = end_time
-        self.phase = Phase.MOVING
+        o = Point.of(origin)
+        d = Point.of(destination)
+        arrays.move_origin[i] = (o.x, o.y)
+        arrays.move_destination[i] = (d.x, d.y)
+        arrays.move_start[i] = start_time
+        arrays.move_end[i] = end_time
+        arrays.phase[i] = PHASE_MOVING
 
     def finish_move(self) -> Point:
         """Leave the Move phase; the robot becomes idle at its realised endpoint."""
-        if self.phase is not Phase.MOVING or self.move_destination is None:
+        arrays, i = self._arrays, self._index
+        if arrays.phase[i] != PHASE_MOVING:
             raise RuntimeError(f"robot {self.robot_id} is not moving")
-        assert self.move_origin is not None
-        self.total_distance_travelled += self.move_origin.distance_to(self.move_destination)
-        self.position = self.move_destination
-        self.move_origin = None
-        self.move_destination = None
-        self.phase = Phase.IDLE
-        return self.position
+        ox, oy = arrays.move_origin[i]
+        dx, dy = arrays.move_destination[i]
+        arrays.total_distance[i] += math.hypot(dx - ox, dy - oy)
+        arrays.position[i] = (dx, dy)
+        arrays.phase[i] = PHASE_IDLE
+        return Point(float(dx), float(dy))
 
     def crash(self) -> None:
         """Fail-stop the robot: it stays at its current position forever.
 
         Section 6.1 of the paper notes a single crash fault is tolerated
         (the other robots converge to the crashed robot's location); the
-        fault-injection tests exercise this.
+        fault-injection tests exercise this.  A crashing robot keeps its
+        last committed position; any pending move is discarded.
         """
-        if self.phase is Phase.MOVING and self.move_destination is not None:
-            # A crashing robot stops where it currently is; the pending move is discarded.
-            self.move_destination = self.position
-        self.phase = Phase.IDLE
-        self.move_origin = None
-        self.move_destination = None
-        self.crashed = True
+        arrays, i = self._arrays, self._index
+        arrays.phase[i] = PHASE_IDLE
+        arrays.crashed[i] = True

@@ -10,7 +10,9 @@ return a destination expressed in the same private coordinates.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import List, Optional, Sequence
 
 import numpy as np
@@ -43,9 +45,14 @@ class Snapshot:
     robot_id: Optional[int] = None
 
     def __post_init__(self) -> None:
-        object.__setattr__(
-            self, "neighbours", tuple(Point.of(p) for p in self.neighbours)
-        )
+        neighbours = self.neighbours
+        if not (
+            isinstance(neighbours, tuple)
+            and all(type(p) is Point for p in neighbours)
+        ):
+            object.__setattr__(
+                self, "neighbours", tuple(Point.of(p) for p in neighbours)
+            )
         if self.multiplicities is not None:
             object.__setattr__(self, "multiplicities", tuple(int(m) for m in self.multiplicities))
             if len(self.multiplicities) != len(self.neighbours):
@@ -60,9 +67,20 @@ class Snapshot:
         """Number of perceived neighbour positions."""
         return len(self.neighbours)
 
+    @cached_property
+    def norms(self) -> tuple:
+        """Perceived distance of each neighbour, computed once per snapshot.
+
+        Every Compute phase reads the neighbour norms several times (the
+        range bound, the distant/close split, the direction scaling); this
+        caches the single pass.  Values are exactly ``p.norm()`` per
+        neighbour.
+        """
+        return tuple(math.hypot(p.x, p.y) for p in self.neighbours)
+
     def distances(self) -> List[float]:
         """Perceived distances to each neighbour."""
-        return [p.norm() for p in self.neighbours]
+        return list(self.norms)
 
     def farthest_distance(self) -> float:
         """Perceived distance to the farthest neighbour (0 with no neighbours).
@@ -72,17 +90,18 @@ class Snapshot:
         """
         if not self.neighbours:
             return 0.0
-        return max(p.norm() for p in self.neighbours)
+        return max(self.norms)
 
     def farthest_neighbour(self) -> Optional[Point]:
         """Perceived position of the farthest neighbour."""
         if not self.neighbours:
             return None
-        return max(self.neighbours, key=lambda p: p.norm())
+        norms = self.norms
+        return self.neighbours[max(range(len(norms)), key=norms.__getitem__)]
 
     def nearest_distance(self) -> float:
         """Perceived distance to the nearest non-coincident neighbour."""
-        positive = [p.norm() for p in self.neighbours if p.norm() > EPS]
+        positive = [r for r in self.norms if r > EPS]
         return min(positive) if positive else 0.0
 
     def with_self(self) -> List[Point]:
@@ -99,12 +118,82 @@ class Snapshot:
         if v_y <= EPS:
             return []
         threshold = close_fraction * v_y
-        return [p for p in self.neighbours if p.norm() > threshold + EPS or p.norm() >= v_y - EPS]
+        return [
+            p
+            for p, r in zip(self.neighbours, self.norms)
+            if r > threshold + EPS or r >= v_y - EPS
+        ]
 
     def close_neighbours(self, close_fraction: float = 0.5) -> List[Point]:
         """Neighbours at distance at most ``close_fraction * V_Y``."""
         distant = {(p.x, p.y) for p in self.distant_neighbours(close_fraction)}
         return [p for p in self.neighbours if (p.x, p.y) not in distant]
+
+
+def _others_as_array(others: Sequence[PointLike]) -> np.ndarray:
+    """Coerce the observed positions into an ``(m, 2)`` float array."""
+    if isinstance(others, np.ndarray):
+        return np.asarray(others, dtype=float).reshape(-1, 2)
+    if len(others) == 0:
+        return np.zeros((0, 2), dtype=float)
+    return np.array([(p[0], p[1]) for p in others], dtype=float)
+
+
+def _collapse_coincident_array(
+    visible: np.ndarray, eps: float
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Collapse coincident rows of an ``(m, 2)`` array, seed semantics.
+
+    The generic case — no two visible robots within ``eps`` of each other
+    — is certified by one lexsort: if all x-gaps between lexically
+    adjacent points exceed ``eps``, and within every run of x-close
+    points all sorted y-gaps do too, no pair can be within ``eps``
+    (1D: any two values within ``eps`` leave an adjacent sorted gap of at
+    most ``eps``), so nothing collapses and the quadratic scan is skipped
+    entirely.  Only when the sort finds candidate near-duplicates does
+    the exact first-representative scan run — over what is then a tiny
+    cluster-bearing set — preserving the object path's semantics
+    (each point joins the first earlier representative within ``eps``).
+    """
+    m = len(visible)
+    counts = np.ones(m, dtype=np.int64)
+    if m <= 1:
+        return visible, counts
+    order = np.lexsort((visible[:, 1], visible[:, 0]))
+    xs = visible[order, 0]
+    x_close = np.diff(xs) <= eps
+    if x_close.any():
+        # Check y-separation inside each run of x-close points.
+        suspicious = False
+        for run in np.split(order, np.flatnonzero(~x_close) + 1):
+            if len(run) < 2:
+                continue
+            ys = np.sort(visible[run, 1])
+            if (np.diff(ys) <= eps).any():
+                suspicious = True
+                break
+        if suspicious:
+            return _collapse_coincident_scan(visible, eps)
+    return visible, counts
+
+
+def _collapse_coincident_scan(
+    visible: np.ndarray, eps: float
+) -> "tuple[np.ndarray, np.ndarray]":
+    """The first-representative collapse scan (exact object-path semantics)."""
+    kept: List[int] = []
+    counts: List[int] = []
+    for i in range(len(visible)):
+        v = visible[i]
+        for slot, j in enumerate(kept):
+            du = visible[j] - v
+            if math.hypot(du[0], du[1]) <= eps:
+                counts[slot] += 1
+                break
+        else:
+            kept.append(i)
+            counts.append(1)
+    return visible[kept], np.asarray(counts, dtype=np.int64)
 
 
 def build_snapshot(
@@ -121,6 +210,7 @@ def build_snapshot(
     time: float = 0.0,
     robot_id: Optional[int] = None,
     coincidence_eps: float = 1e-12,
+    method: str = "array",
 ) -> Snapshot:
     """Construct the snapshot an observer would take of ``others``.
 
@@ -131,6 +221,79 @@ def build_snapshot(
     indistinguishable from the observer itself without multiplicity
     detection); co-located other robots collapse into a single entry
     unless ``multiplicity_detection`` is set.
+
+    ``method`` selects the implementation: ``"array"`` (default) runs the
+    whole pipeline — visibility mask, coincidence collapse, frame and
+    perception transforms — as batched numpy expressions; ``"object"`` is
+    the retained per-Point reference path.  Both produce identical
+    snapshots (see the equivalence property tests); ``others`` may be an
+    ``(m, 2)`` array on either path.
+    """
+    if method == "object":
+        return _build_snapshot_objects(
+            observer_position,
+            others,
+            visibility_range,
+            frame=frame,
+            perception=perception,
+            rng=rng,
+            reveal_range=reveal_range,
+            k_bound=k_bound,
+            multiplicity_detection=multiplicity_detection,
+            time=time,
+            robot_id=robot_id,
+            coincidence_eps=coincidence_eps,
+        )
+    if method != "array":
+        raise ValueError(f"unknown snapshot method {method!r}")
+    observer = Point.of(observer_position)
+    perception = perception or PerceptionModel.exact()
+
+    arr = _others_as_array(others)
+    if len(arr):
+        relative = arr - np.array((observer.x, observer.y), dtype=float)
+        distance = np.hypot(relative[:, 0], relative[:, 1])
+        keep = (distance > coincidence_eps) & (distance <= visibility_range + EPS)
+        visible = relative[keep]
+    else:
+        visible = np.zeros((0, 2), dtype=float)
+
+    collapsed, counts = _collapse_coincident_array(visible, coincidence_eps)
+    local = frame.to_local_array(collapsed) if frame is not None else collapsed
+    perceived = perception.perceive_array(local, rng)
+
+    return Snapshot(
+        neighbours=tuple(Point(float(x), float(y)) for x, y in perceived),
+        visibility_range=visibility_range if reveal_range else None,
+        k_bound=k_bound,
+        multiplicities=tuple(int(c) for c in counts) if multiplicity_detection else None,
+        time=time,
+        robot_id=robot_id,
+    )
+
+
+def _build_snapshot_objects(
+    observer_position: PointLike,
+    others: Sequence[PointLike],
+    visibility_range: float,
+    *,
+    frame: Optional[LocalFrame] = None,
+    perception: Optional[PerceptionModel] = None,
+    rng: Optional[np.random.Generator] = None,
+    reveal_range: bool = False,
+    k_bound: Optional[int] = None,
+    multiplicity_detection: bool = False,
+    time: float = 0.0,
+    robot_id: Optional[int] = None,
+    coincidence_eps: float = 1e-12,
+) -> Snapshot:
+    """The per-Point reference implementation of :func:`build_snapshot`.
+
+    Retained as the object path: an O(m) Point loop for visibility, the
+    quadratic first-representative collapse, and per-vector frame and
+    perception transforms.  The equivalence property suite pins the array
+    path to this one; it also serves as the pre-vectorization baseline in
+    ``benchmarks/bench_engine.py``.
     """
     observer = Point.of(observer_position)
     perception = perception or PerceptionModel.exact()

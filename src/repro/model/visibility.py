@@ -15,7 +15,7 @@ from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
 
 import numpy as np
 
-from ..geometry.point import PointLike, pairwise_distances
+from ..geometry.point import PointLike, pairwise_distances, points_to_array
 from ..geometry.tolerances import EPS
 
 Edge = Tuple[int, int]
@@ -145,22 +145,36 @@ def broken_edges_from_matrix(
 def max_edge_stretch(
     edges: Iterable[Edge], positions: Sequence[PointLike]
 ) -> float:
-    """Largest current separation among the given pairs (0 with no edges)."""
-    dist = pairwise_distances(positions)
-    lengths = [dist[i, j] for i, j in edges]
-    return float(max(lengths)) if lengths else 0.0
+    """Largest current separation among the given pairs (0 with no edges).
+
+    Gathers only the endpoints of the given edges — O(|E|) work instead of
+    the full O(n^2) pairwise matrix.
+    """
+    index = np.asarray(list(edges), dtype=int)
+    if index.size == 0:
+        return 0.0
+    arr = points_to_array(positions)
+    diff = arr[index[:, 0]] - arr[index[:, 1]]
+    lengths = np.sqrt(diff[:, 0] * diff[:, 0] + diff[:, 1] * diff[:, 1])
+    return float(lengths.max())
 
 
 def neighbours_of(
     index: int, positions: Sequence[PointLike], visibility_range: float, *, eps: float = EPS
 ) -> List[int]:
-    """Indices of the robots visible from robot ``index`` (excluding itself)."""
-    dist = pairwise_distances(positions)
-    return [
-        j
-        for j in range(len(positions))
-        if j != index and dist[index, j] <= visibility_range + eps
-    ]
+    """Indices of the robots visible from robot ``index`` (excluding itself).
+
+    Computes only the one distance row the query needs, not the full
+    pairwise matrix.
+    """
+    arr = points_to_array(positions)
+    if len(arr) == 0:
+        return []
+    diff = arr - arr[index]
+    row = np.sqrt(diff[:, 0] * diff[:, 0] + diff[:, 1] * diff[:, 1])
+    visible = row <= visibility_range + eps
+    visible[index] = False
+    return np.flatnonzero(visible).tolist()
 
 
 def is_linearly_separable(

@@ -1,0 +1,191 @@
+"""Tests for the uniform spatial hash grid and its exactness guarantee."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.algorithms import KKNPSAlgorithm
+from repro.engine import SimulationConfig, Simulator, UniformGridIndex, run_simulation
+from repro.engine.state import EngineState
+from repro.schedulers import KAsyncScheduler, SSyncScheduler
+from repro.workloads import random_connected_configuration
+
+
+class TestGridMaintenance:
+    def test_requires_finite_positive_range(self):
+        with pytest.raises(ValueError):
+            UniformGridIndex(0.0)
+        with pytest.raises(ValueError):
+            UniformGridIndex(math.inf)
+
+    def test_settle_and_candidates(self):
+        grid = UniformGridIndex(1.0)
+        grid.settle(0, 0.5, 0.5)
+        grid.settle(1, 1.5, 0.5)   # adjacent cell
+        grid.settle(2, 3.5, 0.5)   # two cells away in x: out of the 3x3 block
+        assert grid.candidates(0.5, 0.5).tolist() == [0, 1]
+        assert grid.candidates(0.5, 0.5, exclude=0).tolist() == [1]
+
+    def test_moving_robot_spans_segment_bbox(self):
+        grid = UniformGridIndex(1.0)
+        grid.begin_move(7, 0.5, 0.5, 2.5, 0.5)
+        # The mover is discoverable from every cell its segment crosses.
+        for x in (0.5, 1.5, 2.5):
+            assert 7 in grid.candidates(x, 0.5).tolist()
+        grid.settle(7, 2.5, 0.5)
+        assert 7 not in grid.candidates(0.5, 0.5, ).tolist()
+        assert 7 in grid.candidates(2.5, 0.5).tolist()
+        assert len(grid.cells_of(7)) == 1
+
+    def test_remove(self):
+        grid = UniformGridIndex(1.0)
+        grid.settle(3, 0.0, 0.0)
+        grid.remove(3)
+        assert grid.candidates(0.0, 0.0).size == 0
+        assert len(grid) == 0
+
+    def test_boundary_of_cell_points(self):
+        """Points exactly on cell edges stay discoverable from both sides."""
+        grid = UniformGridIndex(1.0)
+        side = grid.cell_size
+        grid.settle(0, side, 0.0)          # exactly on the x-boundary
+        grid.settle(1, side, side)         # exactly on a corner
+        grid.settle(2, 2 * side, 2 * side)
+        # Observers just left/below the boundary still see them in the block.
+        eps = 1e-9
+        assert 0 in grid.candidates(side - eps, 0.0).tolist()
+        assert 0 in grid.candidates(side + eps, 0.0).tolist()
+        assert 1 in grid.candidates(side - eps, side - eps).tolist()
+        assert 1 in grid.candidates(side + eps, side + eps).tolist()
+
+    def test_negative_coordinates(self):
+        grid = UniformGridIndex(1.0)
+        grid.settle(0, -0.5, -0.5)
+        grid.settle(1, 0.5, 0.5)
+        assert grid.candidates(-0.1, -0.1).tolist() == [0, 1]
+
+
+class TestGridExactness:
+    """Grid candidates must always cover the true visible set."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_candidates_superset_of_visible(self, seed):
+        rng = np.random.default_rng(seed)
+        n, v = 60, 1.0
+        positions = rng.uniform(-4.0, 4.0, size=(n, 2))
+        state = EngineState(positions)
+        grid = UniformGridIndex(v)
+        for i in range(n):
+            grid.settle(i, positions[i, 0], positions[i, 1])
+        # Start some moves and finish others to mix phases.
+        movers = rng.choice(n, size=n // 3, replace=False)
+        for j, i in enumerate(movers):
+            robot = state.robots[i]
+            robot.begin_activation(float(j))
+            target = positions[i] + rng.uniform(-v / 8, v / 8, size=2)
+            robot.begin_move(positions[i], target, float(j), float(j) + 1.0)
+            grid.begin_move(int(i), positions[i, 0], positions[i, 1], target[0], target[1])
+        look_time = float(rng.uniform(0.0, n // 3 + 1.0))
+        interpolated = state.positions_at(look_time)
+        for observer in range(0, n, 7):
+            if state.robots[observer].is_motile():
+                continue
+            ox, oy = positions[observer]
+            candidates = set(grid.candidates(ox, oy, exclude=observer).tolist())
+            for other in range(n):
+                if other == observer:
+                    continue
+                d = math.hypot(
+                    interpolated[other, 0] - ox, interpolated[other, 1] - oy
+                )
+                if d <= v + 1e-9:
+                    assert other in candidates, (
+                        f"robot {other} visible at d={d} but not a grid candidate"
+                    )
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_grid_and_dense_runs_bit_identical(self, seed):
+        configuration = random_connected_configuration(60, seed=seed)
+        results = []
+        for spatial in (True, False):
+            config = SimulationConfig(
+                seed=seed,
+                max_activations=250,
+                stop_at_convergence=False,
+                spatial_index=spatial,
+            )
+            results.append(
+                run_simulation(
+                    configuration.positions,
+                    KKNPSAlgorithm(k=1),
+                    SSyncScheduler(),
+                    config,
+                )
+            )
+        grid_run, dense_run = results
+        assert tuple(grid_run.final_configuration.positions) == tuple(
+            dense_run.final_configuration.positions
+        )
+        assert grid_run.metrics.samples == dense_run.metrics.samples
+        for a, b in zip(grid_run.records, dense_run.records):
+            assert a.destination == b.destination
+            assert a.neighbours_seen == b.neighbours_seen
+
+    def test_grid_and_dense_with_midmove_looks(self):
+        """k-async interleavings make robots look while others are mid-move."""
+        configuration = random_connected_configuration(50, seed=4)
+        results = []
+        for spatial in (True, False):
+            config = SimulationConfig(
+                seed=4,
+                max_activations=250,
+                stop_at_convergence=False,
+                spatial_index=spatial,
+                k_bound=2,
+            )
+            results.append(
+                run_simulation(
+                    configuration.positions,
+                    KKNPSAlgorithm(k=2),
+                    KAsyncScheduler(k=2),
+                    config,
+                )
+            )
+        grid_run, dense_run = results
+        assert tuple(grid_run.final_configuration.positions) == tuple(
+            dense_run.final_configuration.positions
+        )
+        assert grid_run.metrics.samples == dense_run.metrics.samples
+
+    def test_simulator_builds_grid_only_when_worthwhile(self):
+        configuration = random_connected_configuration(10, seed=0)
+        auto = Simulator(
+            configuration.positions, KKNPSAlgorithm(k=1), SSyncScheduler(),
+            SimulationConfig(),
+        )
+        assert auto._grid is None  # small n: dense fallback
+        forced = Simulator(
+            configuration.positions, KKNPSAlgorithm(k=1), SSyncScheduler(),
+            SimulationConfig(spatial_index=True),
+        )
+        assert forced._grid is not None
+        disabled = Simulator(
+            configuration.positions, KKNPSAlgorithm(k=1), SSyncScheduler(),
+            SimulationConfig(spatial_index=False),
+        )
+        assert disabled._grid is None
+
+    def test_unlimited_visibility_forces_dense(self):
+        from repro.algorithms import CenterOfGravityAlgorithm
+
+        configuration = random_connected_configuration(40, seed=0)
+        simulator = Simulator(
+            configuration.positions,
+            CenterOfGravityAlgorithm(),
+            SSyncScheduler(),
+            SimulationConfig(spatial_index=True),
+        )
+        assert simulator._grid is None
