@@ -1,0 +1,166 @@
+"""Bench — 3D round engine wall time, array mode vs the retained object path.
+
+The array-native 3D engine (``repro.spatial3d.engine3``) replaced the
+per-robot ``Vector3`` round loop with one contiguous ``(n, 3)`` position
+array: batched distance filtering per Look, fused-column rotation of
+whole neighbour batches, the vectorized destination rule
+(``KKNPS3Algorithm.compute_array``), vectorized per-round diameter and
+cohesion reductions, and (for large swarms) 3x3x3-block candidate
+queries against the shared uniform hash grid.  The object path — the
+pre-array reference loop — is retained as ``engine_mode="object"`` and
+property-tested bit-identical, which makes this benchmark an equal-work
+comparison: both sides simulate the exact same rounds.
+
+Run it directly::
+
+    PYTHONPATH=src python benchmarks/bench_engine3d.py            # full grid
+    PYTHONPATH=src python benchmarks/bench_engine3d.py --smoke    # CI smoke
+
+The full grid covers n in {25, 50, 100, 200, 400} on the random
+connected 3D workload under the ssync3 discipline (60% activation
+subsets, xi = 0.5, random frames).  The convergence threshold is set
+unreachably low so every run executes the full round budget.  Results
+are written to ``BENCH_engine3d.json``; ``--smoke`` shrinks the grid and
+budget so the script (and its JSON contract) is exercised on every CI
+push.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+import time
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+import numpy as np
+
+from repro.spatial3d import (
+    KKNPS3Algorithm,
+    Simulation3Config,
+    random_connected_configuration3,
+    run_simulation3,
+)
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine3d.json"
+
+FULL_SIZES = (25, 50, 100, 200, 400)
+SMOKE_SIZES = (8, 16)
+FULL_ROUNDS = 30
+SMOKE_ROUNDS = 4
+#: Timed repetitions per (mode, cell); the minimum is reported, which is
+#: the standard way to suppress scheduler/load noise in wall-time benches.
+FULL_REPEATS = 3
+SMOKE_REPEATS = 1
+SEED = 3
+K_VALUES = (1, 2)
+
+
+def _config(engine_mode: str, max_rounds: int) -> Simulation3Config:
+    return Simulation3Config(
+        max_rounds=max_rounds,
+        # Unreachable threshold: both modes execute the full budget.
+        convergence_epsilon=1e-12,
+        activation_probability=0.6,
+        xi=0.5,
+        seed=SEED,
+        rotate_frames=True,
+        engine_mode=engine_mode,
+    )
+
+
+def _run_once(positions, k: int, engine_mode: str, max_rounds: int) -> float:
+    started = time.perf_counter()
+    run_simulation3(positions, KKNPS3Algorithm(k=k), _config(engine_mode, max_rounds))
+    return time.perf_counter() - started
+
+
+def _best_of(repeats: int, positions, k: int, engine_mode: str, max_rounds: int) -> float:
+    return min(_run_once(positions, k, engine_mode, max_rounds) for _ in range(repeats))
+
+
+def run_grid(sizes, max_rounds: int, repeats: int, *, verbose: bool = True) -> dict:
+    results = []
+    for k in K_VALUES:
+        for n in sizes:
+            configuration = random_connected_configuration3(n, seed=SEED)
+            positions = list(configuration.positions)
+            array_seconds = _best_of(repeats, positions, k, "array", max_rounds)
+            object_seconds = _best_of(repeats, positions, k, "object", max_rounds)
+            speedup = object_seconds / array_seconds if array_seconds > 0 else math.inf
+            results.append(
+                {
+                    "algorithm": f"kknps3(k={k})",
+                    "workload": "random3",
+                    "n": n,
+                    "rounds": max_rounds,
+                    "seed": SEED,
+                    "seconds_array": round(array_seconds, 6),
+                    "seconds_object": round(object_seconds, 6),
+                    "speedup": round(speedup, 3),
+                }
+            )
+            if verbose:
+                print(
+                    f"kknps3(k={k}) n={n:<4} "
+                    f"array {array_seconds:8.3f}s   object {object_seconds:8.3f}s   "
+                    f"speedup {speedup:6.2f}x"
+                )
+    headline = [r for r in results if r["algorithm"] == "kknps3(k=1)" and r["n"] == 200]
+    return {
+        "bench": "bench_engine3d",
+        "description": (
+            "3D round engine wall time: array mode (SoA positions, batched "
+            "Look + vectorized destination rule) vs the retained object "
+            "reference loop, bit-identical work on both sides."
+        ),
+        "sizes": list(sizes),
+        "rounds": max_rounds,
+        "repeats": repeats,
+        "results": results,
+        "headline_speedup_n200": headline[0]["speedup"] if headline else None,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny grid + round budget: verifies the bench runs and emits valid JSON",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=BENCH_PATH,
+        help=f"where to write the JSON results (default: {BENCH_PATH})",
+    )
+    args = parser.parse_args(argv)
+
+    sizes = SMOKE_SIZES if args.smoke else FULL_SIZES
+    max_rounds = SMOKE_ROUNDS if args.smoke else FULL_ROUNDS
+    repeats = SMOKE_REPEATS if args.smoke else FULL_REPEATS
+    payload = run_grid(sizes, max_rounds, repeats)
+    payload["smoke"] = bool(args.smoke)
+
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {args.output}")
+
+    # The JSON contract the CI smoke step relies on.
+    parsed = json.loads(args.output.read_text())
+    assert parsed["results"], "bench produced no results"
+    for row in parsed["results"]:
+        assert row["seconds_array"] > 0 and row["seconds_object"] > 0
+    if not args.smoke:
+        headline = parsed["headline_speedup_n200"]
+        print(f"headline (kknps3 k=1, n=200): {headline}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -14,23 +14,32 @@ when the lateral error exceeds ``tan`` of the commanded angle).
 This experiment measures all four claims: full simulated runs under each
 error model (cohesion + convergence), and the explicit Figure-18 two-robot
 threshold sweep for linear motion error.
+
+The error-model grid is expressed through the sweep engine
+(:mod:`repro.sweeps`): each run is a picklable
+:class:`~repro.sweeps.RunSpec` over the named registries — the
+``k-async-half`` scheduler and the ``distance-5-nonrigid`` /
+``skew-10-nonrigid`` / ``quad-motion`` / ``linear-60`` error models are
+exactly the objects this experiment used to build inline — so the whole
+grid can fan out across worker processes (``workers > 1``) with rows
+identical to the serial run.  The Figure-18 construction stays a direct
+simulation: its three-robot geometry depends on the commanded angle and
+is not a named workload.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Tuple
 
 from ..algorithms.kknps import KKNPSAlgorithm
 from ..analysis.tables import TextTable
 from ..engine.simulator import SimulationConfig, run_simulation
 from ..geometry.point import Point
-from ..geometry.transforms import SymmetricDistortion
-from ..model.errors import MotionModel, PerceptionModel
-from ..schedulers.kasync import KAsyncScheduler
+from ..model.errors import MotionModel
 from ..schedulers.synchronous import FSyncScheduler
-from ..workloads.generators import random_connected_configuration
+from ..sweeps import RunSpec, SweepRunner
 
 
 @dataclass(frozen=True)
@@ -96,37 +105,33 @@ class ErrorToleranceResult:
         return any(row.separated for row in self.figure18)
 
 
-def _run_with(
-    label: str,
+def _spec(
     *,
-    perception: PerceptionModel,
-    motion: MotionModel,
-    algorithm: KKNPSAlgorithm,
+    error_model: str,
+    algorithm_params: Tuple[Tuple[str, float], ...],
     n_robots: int,
     seed: int,
     max_activations: int,
     epsilon: float,
     k: int,
-) -> ErrorToleranceRow:
-    configuration = random_connected_configuration(n_robots, seed=seed)
-    result = run_simulation(
-        configuration.positions,
-        algorithm,
-        KAsyncScheduler(k=k, progress_fraction=(0.5, 1.0)),
-        SimulationConfig(
-            max_activations=max_activations,
-            convergence_epsilon=epsilon,
-            seed=seed,
-            perception=perception,
-            motion=motion,
-            k_bound=k,
-        ),
-    )
-    return ErrorToleranceRow(
-        label=label,
-        cohesion=result.cohesion_maintained,
-        converged=result.converged,
-        final_diameter=result.final_hull_diameter,
+) -> RunSpec:
+    """One error-model measurement as a sweep run spec.
+
+    ``k-async-half`` is the registered KAsyncScheduler with progress
+    fraction (0.5, 1.0) — the scheduler this experiment always ran under.
+    """
+    return RunSpec(
+        algorithm="kknps",
+        scheduler="k-async-half",
+        workload="random",
+        n_robots=n_robots,
+        seed=seed,
+        error_model=error_model,
+        scheduler_k=k,
+        algorithm_params=algorithm_params,
+        k_bound=k,
+        epsilon=epsilon,
+        max_activations=max_activations,
     )
 
 
@@ -176,6 +181,19 @@ def _figure18_sweep(
     return rows
 
 
+#: The error-model grid: display label, registry name, seed offset and the
+#: extra KKNPS tolerance parameters each model is paired with (Section 6.1:
+#: the algorithm is told the error bound it must tolerate).
+ERROR_GRID: Tuple[Tuple[str, str, int, Tuple[Tuple[str, float], ...]], ...] = (
+    ("exact perception, rigid motion", "exact", 0, ()),
+    ("relative distance error 0.05", "distance-5-nonrigid", 1,
+     (("distance_error_tolerance", 0.05),)),
+    ("compass skew 0.1", "skew-10-nonrigid", 2, (("skew_tolerance", 0.1),)),
+    ("quadratic motion error (c=0.2)", "quad-motion", 3, ()),
+    ("linear motion error (c=0.6)", "linear-60", 4, ()),
+)
+
+
 def run(
     *,
     n_robots: int = 10,
@@ -183,86 +201,38 @@ def run(
     max_activations: int = 15000,
     epsilon: float = 0.05,
     k: int = 4,
-    distance_error: float = 0.05,
-    skew: float = 0.1,
-    quadratic_coefficient: float = 0.2,
-    linear_coefficient: float = 0.6,
     figure18_coefficients: tuple = (0.1, 0.5, 1.0, 2.0, 4.0),
+    workers: int = 1,
 ) -> ErrorToleranceResult:
-    """Run the error-model grid and the Figure-18 sweep."""
+    """Run the error-model grid (through the sweep engine) and the Figure-18 sweep.
+
+    ``workers > 1`` executes the grid across a process pool; the rows are
+    identical to the serial run.
+    """
     result = ErrorToleranceResult()
 
-    result.runs.append(
-        _run_with(
-            "exact perception, rigid motion",
-            perception=PerceptionModel.exact(),
-            motion=MotionModel.rigid(),
-            algorithm=KKNPSAlgorithm(k=k),
+    specs = [
+        _spec(
+            error_model=error_model,
+            algorithm_params=(("k", k),) + extra_params,
             n_robots=n_robots,
-            seed=seed,
+            seed=seed + seed_offset,
             max_activations=max_activations,
             epsilon=epsilon,
             k=k,
         )
-    )
-    result.runs.append(
-        _run_with(
-            f"relative distance error {distance_error}",
-            perception=PerceptionModel(distance_error=distance_error, bias="random"),
-            motion=MotionModel(xi=0.5),
-            algorithm=KKNPSAlgorithm(k=k, distance_error_tolerance=distance_error),
-            n_robots=n_robots,
-            seed=seed + 1,
-            max_activations=max_activations,
-            epsilon=epsilon,
-            k=k,
+        for _, error_model, seed_offset, extra_params in ERROR_GRID
+    ]
+    sweep = SweepRunner(specs, workers=workers).run()
+    for (label, _, _, _), row in zip(ERROR_GRID, sweep.rows):
+        result.runs.append(
+            ErrorToleranceRow(
+                label=label,
+                cohesion=row["cohesion"],
+                converged=row["converged"],
+                final_diameter=row["final_diameter"],
+            )
         )
-    )
-    result.runs.append(
-        _run_with(
-            f"compass skew {skew}",
-            perception=PerceptionModel(
-                distortion=SymmetricDistortion(amplitude=skew, frequency=2)
-            ),
-            motion=MotionModel(xi=0.5),
-            algorithm=KKNPSAlgorithm(k=k, skew_tolerance=skew),
-            n_robots=n_robots,
-            seed=seed + 2,
-            max_activations=max_activations,
-            epsilon=epsilon,
-            k=k,
-        )
-    )
-    result.runs.append(
-        _run_with(
-            f"quadratic motion error (c={quadratic_coefficient})",
-            perception=PerceptionModel.exact(),
-            motion=MotionModel(
-                xi=0.5, deviation="quadratic", coefficient=quadratic_coefficient, bias="random"
-            ),
-            algorithm=KKNPSAlgorithm(k=k),
-            n_robots=n_robots,
-            seed=seed + 3,
-            max_activations=max_activations,
-            epsilon=epsilon,
-            k=k,
-        )
-    )
-    result.runs.append(
-        _run_with(
-            f"linear motion error (c={linear_coefficient})",
-            perception=PerceptionModel.exact(),
-            motion=MotionModel(
-                xi=0.5, deviation="linear", coefficient=linear_coefficient, bias="adversarial"
-            ),
-            algorithm=KKNPSAlgorithm(k=k),
-            n_robots=n_robots,
-            seed=seed + 4,
-            max_activations=max_activations,
-            epsilon=epsilon,
-            k=k,
-        )
-    )
     result.figure18 = _figure18_sweep(figure18_coefficients)
     return result
 

@@ -7,6 +7,16 @@ alone then shows that the (1-Async-formulated) algorithm converges under a
 *fully asynchronous* scheduler, without multiplicity detection.  This
 experiment runs exactly that setting: KKNPS with ``k = 1`` under an
 unbounded Async scheduler on configurations whose diameter is below ``V``.
+
+The n-sweep is expressed through the sweep engine (:mod:`repro.sweeps`):
+each size is a picklable :class:`~repro.sweeps.RunSpec` over the
+``disk-unbounded`` workload, whose visibility range is derived from the
+realised configuration (``margin`` times its hull diameter — the sweep's
+visibility-range axis carries the margin).  With ``workers > 1`` the
+sizes fan out across worker processes with rows identical to the serial
+run.  Because the initial visibility graph is complete and the cohesion
+metric samples every processed activation, the row's cohesion flag *is*
+the all-pairs-always-visible predicate this experiment reports.
 """
 
 from __future__ import annotations
@@ -14,11 +24,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List
 
-from ..algorithms.kknps import KKNPSAlgorithm
 from ..analysis.tables import TextTable
-from ..engine.simulator import SimulationConfig, run_simulation
-from ..schedulers.kasync import AsyncScheduler
-from ..workloads.generators import random_disk_configuration
+from ..sweeps import RunSpec, SweepRunner
 
 
 @dataclass(frozen=True)
@@ -79,43 +86,45 @@ def run(
     max_activations: int = 30000,
     epsilon: float = 0.05,
     diameter_margin: float = 1.25,
+    workers: int = 1,
 ) -> UnlimitedAsyncResult:
-    """Run KKNPS (k=1) under unbounded Async with V above the initial diameter."""
+    """Run KKNPS (k=1) under unbounded Async with V above the initial diameter.
+
+    ``workers > 1`` executes the sizes across a process pool via the sweep
+    engine; the rows are identical to the serial run.
+    """
+    specs = [
+        RunSpec(
+            algorithm="kknps",
+            scheduler="async",
+            workload="disk-unbounded",
+            n_robots=n,
+            seed=seed + n,
+            scheduler_k=1,
+            algorithm_params=(("k", 1),),
+            epsilon=epsilon,
+            max_activations=max_activations,
+            visibility_range=diameter_margin,
+        )
+        for n in n_values
+    ]
+    sweep = SweepRunner(specs, workers=workers).run()
+
     result = UnlimitedAsyncResult()
-    for n in n_values:
-        disk_radius = 1.0
-        configuration = random_disk_configuration(
-            n, disk_radius=disk_radius, visibility_range=2.0 * disk_radius, seed=seed + n
-        )
-        initial_diameter = configuration.hull_diameter()
-        visibility_range = diameter_margin * max(initial_diameter, 1e-6)
-        sim = run_simulation(
-            configuration.positions,
-            KKNPSAlgorithm(k=1),
-            AsyncScheduler(),
-            SimulationConfig(
-                visibility_range=visibility_range,
-                max_activations=max_activations,
-                convergence_epsilon=epsilon,
-                seed=seed + n,
-            ),
-        )
-        # With V above the initial diameter and a hull-diminishing rule, every
-        # pair must be a visibility edge in every sampled configuration; the
-        # cohesion flag already tracks the initial (complete) edge set, so the
-        # two predicates coincide, but we compute the pairwise check anyway.
-        all_visible = all(
-            sample.initial_edges_preserved for sample in sim.metrics.samples
-        )
+    for row in sweep.rows:
+        # The initial visibility graph is complete (V exceeds the initial
+        # diameter) and the cohesion metric checks the initial edge set at
+        # every sampled activation, so the cohesion flag is exactly the
+        # all-pairs-always-visible predicate.
         result.rows.append(
             UnlimitedAsyncRow(
-                n_robots=n,
-                initial_diameter=initial_diameter,
-                visibility_range=visibility_range,
-                converged=sim.converged,
-                cohesion=sim.cohesion_maintained,
-                all_pairs_always_visible=all_visible,
-                final_diameter=sim.final_hull_diameter,
+                n_robots=row["n_robots"],
+                initial_diameter=row["initial_diameter"],
+                visibility_range=row["visibility_range"],
+                converged=row["converged"],
+                cohesion=row["cohesion"],
+                all_pairs_always_visible=row["cohesion"],
+                final_diameter=row["final_diameter"],
             )
         )
     return result

@@ -9,9 +9,14 @@ interpolation along its realised trajectory, which is what other robots
 observe when they Look mid-move.
 
 The kinematic state itself lives in :class:`KinematicArrays`, a
-structure-of-arrays store: contiguous ``(n, 2)`` float64 arrays for the
-committed positions, move origins and move destinations, plus ``(n,)``
-arrays for the move time spans, phase codes and per-robot counters.  A
+structure-of-arrays store: contiguous ``(n, d)`` float64 arrays for the
+committed positions, move origins and move destinations (``d = 2`` for
+the planar engine, ``d = 3`` for the :mod:`repro.spatial3d` extension),
+plus ``(n,)`` arrays for the move time spans, phase codes and per-robot
+counters.  The batched queries — :meth:`KinematicArrays.positions_at`,
+:meth:`KinematicArrays.completed_movers` — are dimension-generic: every
+operation is row-wise, so the same interpolation machinery serves any
+``d``.  A
 :class:`Robot` is a thin view over one row of such a store — the engine's
 hot paths (interpolating every robot's position at a Look instant,
 finding the moves that have completed) run as single numpy expressions
@@ -42,17 +47,21 @@ _CODE_TO_PHASE = (Phase.IDLE, Phase.COMPUTING, Phase.MOVING)
 
 
 class KinematicArrays:
-    """Structure-of-arrays kinematic state for ``n`` robots.
+    """Structure-of-arrays kinematic state for ``n`` robots in ``dim``-space.
 
     ``position`` holds the last *committed* position of each robot (the
     move origin while a move is in flight; the realised endpoint once the
     move has been finalised).  The interpolation rule implemented by
     :meth:`positions_at` is exactly :meth:`Robot.position_at`, evaluated
-    for all robots in one numpy expression.
+    for all robots in one numpy expression.  Every batched query is
+    row-wise, so the store works for any spatial dimension; the planar
+    engine uses ``dim=2`` (where :class:`Robot` views apply) and the 3D
+    extension's round engine uses ``dim=3``.
     """
 
     __slots__ = (
         "n",
+        "dim",
         "position",
         "move_origin",
         "move_destination",
@@ -64,13 +73,16 @@ class KinematicArrays:
         "total_distance",
     )
 
-    def __init__(self, n: int) -> None:
+    def __init__(self, n: int, dim: int = 2) -> None:
         if n < 0:
             raise ValueError("robot count must be non-negative")
+        if dim < 1:
+            raise ValueError("spatial dimension must be at least 1")
         self.n = n
-        self.position = np.zeros((n, 2), dtype=float)
-        self.move_origin = np.zeros((n, 2), dtype=float)
-        self.move_destination = np.zeros((n, 2), dtype=float)
+        self.dim = dim
+        self.position = np.zeros((n, dim), dtype=float)
+        self.move_origin = np.zeros((n, dim), dtype=float)
+        self.move_destination = np.zeros((n, dim), dtype=float)
         self.move_start = np.zeros(n, dtype=float)
         self.move_end = np.zeros(n, dtype=float)
         self.phase = np.zeros(n, dtype=np.int8)
@@ -80,12 +92,22 @@ class KinematicArrays:
 
     @staticmethod
     def from_positions(positions: Sequence[PointLike]) -> "KinematicArrays":
-        """A store with every robot idle at the given positions."""
+        """A planar store with every robot idle at the given positions."""
         pts = [Point.of(p) for p in positions]
         arrays = KinematicArrays(len(pts))
         for i, p in enumerate(pts):
             arrays.position[i, 0] = p.x
             arrays.position[i, 1] = p.y
+        return arrays
+
+    @staticmethod
+    def from_array(positions: np.ndarray) -> "KinematicArrays":
+        """A store of any dimension with every robot idle at the given rows."""
+        arr = np.asarray(positions, dtype=float)
+        if arr.ndim != 2:
+            raise ValueError("positions must be an (n, d) array")
+        arrays = KinematicArrays(arr.shape[0], arr.shape[1])
+        arrays.position[:] = arr
         return arrays
 
     # -- vectorized queries ------------------------------------------------------
@@ -176,6 +198,8 @@ class Robot:
     @classmethod
     def view(cls, arrays: KinematicArrays, index: int, robot_id: Optional[int] = None) -> "Robot":
         """A view over row ``index`` of a shared store (used by the engine)."""
+        if arrays.dim != 2:
+            raise ValueError("Robot views are planar; a %d-dimensional store has none" % arrays.dim)
         self = object.__new__(cls)
         self.robot_id = index if robot_id is None else robot_id
         self._arrays = arrays

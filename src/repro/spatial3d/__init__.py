@@ -1,12 +1,19 @@
 """Section 6.3.2 extension: the paper's algorithm in three dimensions."""
 
+from .halfspace import fits_in_open_halfspace_array
 from .kknps3 import KKNPS3Algorithm
 from .model3 import (
     Configuration3,
     Snapshot3,
     build_snapshot3,
+    edge_index_array,
     edges_preserved3,
+    edges_preserved3_array,
     is_connected3,
+    max_edge_stretch3,
+    max_pairwise_distance3_array,
+    min_pairwise_distance3_array,
+    positions_as_array3,
     visibility_edges3,
 )
 from .simulator3 import Simulation3Config, Simulation3Result, run_simulation3
@@ -26,12 +33,19 @@ __all__ = [
     "Vector3",
     "build_snapshot3",
     "centroid3",
+    "edge_index_array",
     "edges_preserved3",
+    "edges_preserved3_array",
     "fits_in_open_halfspace",
+    "fits_in_open_halfspace_array",
     "is_connected3",
     "lattice_configuration3",
     "line_configuration3",
+    "max_edge_stretch3",
     "max_pairwise_distance3",
+    "max_pairwise_distance3_array",
+    "min_pairwise_distance3_array",
+    "positions_as_array3",
     "random_connected_configuration3",
     "run_simulation3",
     "visibility_edges3",

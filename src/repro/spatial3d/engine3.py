@@ -1,0 +1,315 @@
+"""The array-native round engine behind :func:`repro.spatial3d.run_simulation3`.
+
+This module holds both execution modes of the 3D round simulator:
+
+* ``engine_mode="array"`` (the default) keeps the swarm as one
+  contiguous ``(n, 3)`` float64 position array.  Each activated robot's
+  Look is a batched distance filter (optionally restricted to the
+  observer's 3x3x3 block of a :class:`~repro.engine.spatial_index.UniformGridIndex`),
+  the random-frame rotation is applied to the whole neighbour batch in
+  three fused column expressions, the destination rule runs through
+  :meth:`~repro.spatial3d.kknps3.KKNPS3Algorithm.compute_array`, and the
+  per-round diameter / cohesion measurements are single vectorized
+  reductions.
+* ``engine_mode="object"`` is the retained reference loop: per-robot
+  :class:`~repro.spatial3d.vector3.Vector3` arithmetic and per-neighbour
+  Python filtering, exactly the shape of the pre-array implementation.
+
+The two modes are **bit-identical** (pinned by
+``tests/spatial3d/test_engine3.py``).  Three things make that hold by
+construction rather than by luck:
+
+* both modes consume the RNG in the same order (one ``random()`` per
+  robot for the activation draw, then per activated robot a rotation and
+  a progress fraction) — numpy's ``Generator`` fills vectorized draws
+  from the same bitstream as repeated scalar draws;
+* rotations are applied through explicit component expressions (no BLAS
+  matmul, whose summation order is build-dependent), evaluated in the
+  same order scalar Python would;
+* the destination rule itself is one shared numeric core
+  (``compute_array``), which the object mode reaches through
+  ``compute``'s delegation.
+
+Semantics of a round are unchanged from the original 3D simulator:
+semi-synchronous subset activation (every activated robot Looks at the
+round-start positions), uniformly random orthonormal frames, and
+``xi``-rigid truncation of every commanded move.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Set
+
+import numpy as np
+
+from ..engine.spatial_index import GRID_MIN_ROBOTS, UniformGridIndex
+from .kknps3 import KKNPS3Algorithm
+from .model3 import (
+    Edge,
+    Snapshot3,
+    edge_index_array,
+    edges_preserved3,
+    edges_preserved3_array,
+    max_pairwise_distance3_array,
+)
+from .vector3 import Vector3, max_pairwise_distance3
+
+#: The visibility filter tolerance of the round engine (the historical
+#: constant of the 3D simulator; distinct from the geometric EPS used by
+#: the cohesion predicate).
+VIS_EPS = 1e-12
+
+
+def random_rotation3(rng: np.random.Generator) -> np.ndarray:
+    """A uniformly random (Haar) rotation via QR of a Gaussian matrix."""
+    matrix, _ = np.linalg.qr(rng.normal(size=(3, 3)))
+    if np.linalg.det(matrix) < 0:
+        matrix[:, 0] = -matrix[:, 0]
+    return matrix
+
+
+def rotate_rows3(matrix: np.ndarray, rows: np.ndarray) -> np.ndarray:
+    """Apply a 3x3 rotation to every row of an ``(m, 3)`` array.
+
+    Written as explicit fused column expressions so the result is
+    bit-identical to rotating each row with scalar arithmetic (BLAS
+    matmul kernels do not guarantee a summation order).
+    """
+    x, y, z = rows[:, 0], rows[:, 1], rows[:, 2]
+    out = np.empty_like(rows)
+    out[:, 0] = matrix[0, 0] * x + matrix[0, 1] * y + matrix[0, 2] * z
+    out[:, 1] = matrix[1, 0] * x + matrix[1, 1] * y + matrix[1, 2] * z
+    out[:, 2] = matrix[2, 0] * x + matrix[2, 1] * y + matrix[2, 2] * z
+    return out
+
+
+def rotate_back3(matrix: np.ndarray, vector: np.ndarray) -> np.ndarray:
+    """Apply the inverse (transpose) of a rotation to one 3-vector."""
+    x, y, z = float(vector[0]), float(vector[1]), float(vector[2])
+    return np.array(
+        [
+            matrix[0, 0] * x + matrix[1, 0] * y + matrix[2, 0] * z,
+            matrix[0, 1] * x + matrix[1, 1] * y + matrix[2, 1] * z,
+            matrix[0, 2] * x + matrix[1, 2] * y + matrix[2, 2] * z,
+        ],
+        dtype=float,
+    )
+
+
+class RoundOutcome:
+    """What one engine-mode run of the round loop produced."""
+
+    __slots__ = (
+        "final_positions",
+        "diameter_history",
+        "converged_round",
+        "cohesion_maintained",
+        "activations_executed",
+    )
+
+    def __init__(
+        self,
+        final_positions: np.ndarray,
+        diameter_history: List[float],
+        converged_round: Optional[int],
+        cohesion_maintained: bool,
+        activations_executed: int,
+    ) -> None:
+        self.final_positions = final_positions
+        self.diameter_history = diameter_history
+        self.converged_round = converged_round
+        self.cohesion_maintained = cohesion_maintained
+        self.activations_executed = activations_executed
+
+
+def _activated_indices(
+    rng: np.random.Generator, n: int, probability: float, mode: str
+) -> List[int]:
+    """The robots activated this round (both modes: same RNG consumption)."""
+    if mode == "array":
+        activated = np.flatnonzero(rng.random(n) < probability).tolist()
+    else:
+        activated = [i for i in range(n) if rng.random() < probability]
+    if not activated:
+        activated = [int(rng.integers(0, n))]
+    return activated
+
+
+def _build_grid(
+    positions: np.ndarray, visibility_range: float, override: Optional[bool]
+) -> Optional[UniformGridIndex]:
+    """The 3D neighbour grid, or None for the dense path.
+
+    Mirrors the planar engine's policy: auto-on (``override is None``)
+    once the swarm reaches ``GRID_MIN_ROBOTS``, forced on/off otherwise;
+    an infinite range can never be bucketed.
+    """
+    feasible = math.isfinite(visibility_range) and visibility_range > 0.0
+    if override is not None:
+        enabled = override and feasible
+    else:
+        enabled = feasible and len(positions) >= GRID_MIN_ROBOTS
+    if not enabled:
+        return None
+    grid = UniformGridIndex(visibility_range, dim=3)
+    for i in range(len(positions)):
+        grid.settle(i, positions[i, 0], positions[i, 1], positions[i, 2])
+    return grid
+
+
+def run_rounds_array(
+    positions: np.ndarray,
+    algorithm: KKNPS3Algorithm,
+    initial_edges: Set[Edge],
+    *,
+    visibility_range: float,
+    max_rounds: int,
+    convergence_epsilon: float,
+    activation_probability: float,
+    xi: float,
+    rng: np.random.Generator,
+    rotate_frames: bool,
+    spatial_index: Optional[bool] = None,
+) -> RoundOutcome:
+    """The vectorized round loop over an ``(n, 3)`` position array."""
+    positions = np.array(positions, dtype=float)
+    n = len(positions)
+    v = visibility_range
+    edge_index = edge_index_array(initial_edges)
+    grid = _build_grid(positions, v, spatial_index)
+
+    diameter_history = [max_pairwise_distance3_array(positions)]
+    cohesion = True
+    converged_round: Optional[int] = None
+    activations = 0
+
+    for round_index in range(max_rounds):
+        activated = _activated_indices(rng, n, activation_probability, "array")
+        activations += len(activated)
+
+        # Semi-synchronous semantics: every activated robot Looks at the
+        # start-of-round positions; moves land in a fresh buffer.
+        new_positions = positions.copy()
+        for index in activated:
+            observer = positions[index]
+            rotation = random_rotation3(rng) if rotate_frames else None
+            if grid is not None:
+                candidates = grid.candidates(
+                    observer[0], observer[1], observer[2], exclude=index
+                )
+                pool = positions[candidates]
+            else:
+                pool = positions
+            delta = pool - observer
+            distances = np.sqrt(
+                delta[:, 0] * delta[:, 0]
+                + delta[:, 1] * delta[:, 1]
+                + delta[:, 2] * delta[:, 2]
+            )
+            # The lower bound drops the observer itself (distance 0) on the
+            # dense path and any coincident robot on both paths.
+            relative = delta[(distances <= v + VIS_EPS) & (distances > VIS_EPS)]
+            if rotation is not None:
+                relative = rotate_rows3(rotation, relative)
+            destination_local = algorithm.compute_array(relative)
+            if rotation is not None:
+                displacement = rotate_back3(rotation, destination_local)
+            else:
+                displacement = destination_local
+            fraction = float(rng.uniform(xi, 1.0))
+            new_positions[index] = observer + displacement * fraction
+        positions = new_positions
+        if grid is not None:
+            for index in activated:
+                grid.settle(
+                    index, positions[index, 0], positions[index, 1], positions[index, 2]
+                )
+
+        diameter = max_pairwise_distance3_array(positions)
+        diameter_history.append(diameter)
+        if not edges_preserved3_array(edge_index, positions, v):
+            cohesion = False
+        if diameter <= convergence_epsilon and converged_round is None:
+            converged_round = round_index + 1
+            break
+
+    return RoundOutcome(positions, diameter_history, converged_round, cohesion, activations)
+
+
+def run_rounds_object(
+    positions: np.ndarray,
+    algorithm: KKNPS3Algorithm,
+    initial_edges: Set[Edge],
+    *,
+    visibility_range: float,
+    max_rounds: int,
+    convergence_epsilon: float,
+    activation_probability: float,
+    xi: float,
+    rng: np.random.Generator,
+    rotate_frames: bool,
+    spatial_index: Optional[bool] = None,
+) -> RoundOutcome:
+    """The retained per-robot reference loop (``engine_mode="object"``).
+
+    ``spatial_index`` is accepted for signature parity but never used:
+    the reference path always scans densely.
+    """
+    points: List[Vector3] = [
+        Vector3(float(x), float(y), float(z)) for x, y, z in np.asarray(positions, float)
+    ]
+    n = len(points)
+    v = visibility_range
+
+    diameter_history = [max_pairwise_distance3(points)]
+    cohesion = True
+    converged_round: Optional[int] = None
+    activations = 0
+
+    for round_index in range(max_rounds):
+        activated = _activated_indices(rng, n, activation_probability, "object")
+        activations += len(activated)
+
+        new_points = list(points)
+        for index in activated:
+            observer = points[index]
+            rotation = random_rotation3(rng) if rotate_frames else None
+            relative: List[Vector3] = []
+            for j, p in enumerate(points):
+                if j == index:
+                    continue
+                distance = observer.distance_to(p)
+                if distance <= v + VIS_EPS and distance > VIS_EPS:
+                    rel = p - observer
+                    if rotation is not None:
+                        rel = Vector3(
+                            rotation[0, 0] * rel.x + rotation[0, 1] * rel.y + rotation[0, 2] * rel.z,
+                            rotation[1, 0] * rel.x + rotation[1, 1] * rel.y + rotation[1, 2] * rel.z,
+                            rotation[2, 0] * rel.x + rotation[2, 1] * rel.y + rotation[2, 2] * rel.z,
+                        )
+                    relative.append(rel)
+            snapshot = Snapshot3(neighbours=tuple(relative))
+            local = algorithm.compute(snapshot)
+            if rotation is not None:
+                displacement = Vector3(
+                    rotation[0, 0] * local.x + rotation[1, 0] * local.y + rotation[2, 0] * local.z,
+                    rotation[0, 1] * local.x + rotation[1, 1] * local.y + rotation[2, 1] * local.z,
+                    rotation[0, 2] * local.x + rotation[1, 2] * local.y + rotation[2, 2] * local.z,
+                )
+            else:
+                displacement = local
+            fraction = float(rng.uniform(xi, 1.0))
+            new_points[index] = observer + displacement * fraction
+        points = new_points
+
+        diameter = max_pairwise_distance3(points)
+        diameter_history.append(diameter)
+        if not edges_preserved3(initial_edges, points, v):
+            cohesion = False
+        if diameter <= convergence_epsilon and converged_round is None:
+            converged_round = round_index + 1
+            break
+
+    final = np.array([(p.x, p.y, p.z) for p in points], dtype=float)
+    return RoundOutcome(final, diameter_history, converged_round, cohesion, activations)

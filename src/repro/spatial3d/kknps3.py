@@ -23,9 +23,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List
 
+import numpy as np
+
 from ..geometry.tolerances import EPS
+from .halfspace import fits_in_open_halfspace_array
 from .model3 import Snapshot3
-from .vector3 import Vector3, fits_in_open_halfspace
+from .vector3 import Vector3
 
 
 @dataclass
@@ -58,32 +61,59 @@ class KKNPS3Algorithm:
         """Destination in snapshot-local coordinates (observer at the origin)."""
         if not snapshot.has_neighbours():
             return Vector3.zero()
-        v_y = snapshot.farthest_distance()
+        relative = np.array([(p.x, p.y, p.z) for p in snapshot.neighbours], dtype=float)
+        destination = self.compute_array(relative)
+        return Vector3(float(destination[0]), float(destination[1]), float(destination[2]))
+
+    def compute_array(self, relative: np.ndarray) -> np.ndarray:
+        """:meth:`compute` on an ``(m, 3)`` array of relative positions.
+
+        This is the rule's single numeric core — the scalar
+        :meth:`compute` delegates here, and the array engine mode calls
+        it directly on whole neighbour batches, so the two stay
+        bit-identical by construction.
+        """
+        pts = np.asarray(relative, dtype=float).reshape(-1, 3)
+        zero = np.zeros(3, dtype=float)
+        if len(pts) == 0:
+            return zero
+        norms = np.sqrt(
+            pts[:, 0] * pts[:, 0] + pts[:, 1] * pts[:, 1] + pts[:, 2] * pts[:, 2]
+        )
+        v_y = float(norms.max())
         if v_y <= EPS:
-            return Vector3.zero()
+            return zero
 
-        distant = snapshot.distant_neighbours(self.close_fraction)
-        directions = [p.unit() for p in distant if p.norm() > EPS]
-        if not directions:
-            return Vector3.zero()
-        if not fits_in_open_halfspace(directions):
-            return Vector3.zero()
+        # Distant neighbours: beyond close_fraction * V_Y, falling back to
+        # the single farthest neighbour when none qualify (mirroring
+        # Snapshot3.distant_neighbours).
+        distant = np.flatnonzero(norms > self.close_fraction * v_y + EPS)
+        if distant.size == 0:
+            distant = np.array([int(norms.argmax())])
+        lengths = norms[distant]
+        nonzero = lengths > EPS
+        if not nonzero.any():
+            return zero
+        directions = pts[distant[nonzero]] / lengths[nonzero, None]
+        if not fits_in_open_halfspace_array(directions):
+            return zero
 
-        mean = Vector3.zero()
-        for d in directions:
-            mean = mean + d
-        if mean.norm() <= EPS:
-            return Vector3.zero()
-        direction = mean.unit()
+        mean = directions.sum(axis=0)
+        mean_norm = float(
+            np.sqrt(mean[0] * mean[0] + mean[1] * mean[1] + mean[2] * mean[2])
+        )
+        if mean_norm <= EPS:
+            return zero
+        direction = mean / mean_norm
 
         radius = self.safe_radius(v_y)
         # Largest step along `direction` that stays inside every distant safe
         # ball: the chord of the ball toward d_j along u has length 2 r (u.d_j).
-        step = radius
-        for d in directions:
-            step = min(step, max(0.0, 2.0 * radius * direction.dot(d)))
+        # max(0, .) commutes with the min over neighbours, so one reduction
+        # suffices.
+        step = min(radius, max(0.0, 2.0 * radius * float((directions @ direction).min())))
         if step <= EPS:
-            return Vector3.zero()
+            return zero
         return direction * step
 
     def destination_respects_safe_balls(self, snapshot: Snapshot3, *, eps: float = 1e-9) -> bool:

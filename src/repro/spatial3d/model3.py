@@ -20,6 +20,109 @@ from .vector3 import Vector3, Vector3Like, centroid3, max_pairwise_distance3
 Edge = Tuple[int, int]
 
 
+def positions_as_array3(positions: Sequence[Vector3Like]) -> np.ndarray:
+    """A sequence of 3D points as a contiguous ``(n, 3)`` float array."""
+    pts = [Vector3.of(p) for p in positions]
+    out = np.empty((len(pts), 3), dtype=float)
+    for i, p in enumerate(pts):
+        out[i, 0] = p.x
+        out[i, 1] = p.y
+        out[i, 2] = p.z
+    return out
+
+
+def _pairwise_squared3(arr: np.ndarray) -> np.ndarray:
+    """The ``(n, n)`` squared-distance matrix of an ``(n, 3)`` array.
+
+    Component arithmetic mirrors :meth:`Vector3.distance_to` (squares
+    summed left to right), so with one correctly-rounded square root per
+    consumer the derived distances are bit-identical to the scalar path.
+    """
+    diff = arr[:, None, :] - arr[None, :, :]
+    return (
+        diff[..., 0] * diff[..., 0]
+        + diff[..., 1] * diff[..., 1]
+        + diff[..., 2] * diff[..., 2]
+    )
+
+
+def pairwise_distances3_array(positions: np.ndarray) -> np.ndarray:
+    """The full ``(n, n)`` distance matrix of an ``(n, 3)`` position array."""
+    return np.sqrt(_pairwise_squared3(np.asarray(positions, dtype=float)))
+
+
+def max_pairwise_distance3_array(positions: np.ndarray) -> float:
+    """Diameter of an ``(n, 3)`` point array (0 for fewer than two points).
+
+    Bit-identical to :func:`~repro.spatial3d.vector3.max_pairwise_distance3`
+    on the same points: ``sqrt`` is monotone and correctly rounded, so
+    reducing the squared matrix first and rooting once preserves the
+    scalar path's floats while keeping the per-round hot loop to a
+    single square root.
+    """
+    arr = np.asarray(positions, dtype=float)
+    if len(arr) < 2:
+        return 0.0
+    return float(math.sqrt(_pairwise_squared3(arr).max()))
+
+
+def min_pairwise_distance3_array(positions: np.ndarray) -> float:
+    """Smallest separation between two distinct robots (0 below two points)."""
+    arr = np.asarray(positions, dtype=float)
+    n = len(arr)
+    if n < 2:
+        return 0.0
+    squared = _pairwise_squared3(arr)
+    return float(math.sqrt(squared[~np.eye(n, dtype=bool)].min()))
+
+
+def edge_index_array(edges: Set[Edge]) -> np.ndarray:
+    """A visibility edge set as a sorted ``(E, 2)`` integer index array."""
+    if not edges:
+        return np.empty((0, 2), dtype=np.intp)
+    return np.array(sorted(edges), dtype=np.intp)
+
+
+def edge_lengths3_array(edge_index: np.ndarray, positions: np.ndarray) -> np.ndarray:
+    """Current lengths of the given edges — an O(E) gather, no full matrix."""
+    index = np.asarray(edge_index, dtype=np.intp).reshape(-1, 2)
+    if index.size == 0:
+        return np.empty(0, dtype=float)
+    arr = np.asarray(positions, dtype=float)
+    diff = arr[index[:, 0]] - arr[index[:, 1]]
+    squared = (
+        diff[:, 0] * diff[:, 0] + diff[:, 1] * diff[:, 1] + diff[:, 2] * diff[:, 2]
+    )
+    return np.sqrt(squared)
+
+
+def edges_preserved3_array(
+    edge_index: np.ndarray,
+    positions: np.ndarray,
+    visibility_range: float,
+    *,
+    eps: float = EPS,
+) -> bool:
+    """The cohesion predicate on arrays: every given edge still within ``V``.
+
+    Decides exactly what :func:`edges_preserved3` decides (an edge is
+    preserved iff its endpoints are within ``V + eps``), without
+    rebuilding the full current edge set.
+    """
+    lengths = edge_lengths3_array(edge_index, positions)
+    if lengths.size == 0:
+        return True
+    return bool((lengths <= visibility_range + eps).all())
+
+
+def max_edge_stretch3(edge_index: np.ndarray, positions: np.ndarray) -> float:
+    """Largest current separation among the given pairs (0 with no edges)."""
+    lengths = edge_lengths3_array(edge_index, positions)
+    if lengths.size == 0:
+        return 0.0
+    return float(lengths.max())
+
+
 def visibility_edges3(
     positions: Sequence[Vector3Like], visibility_range: float, *, eps: float = EPS
 ) -> Set[Edge]:

@@ -5,6 +5,12 @@ extension (whose purpose is to demonstrate that the generalised safe
 regions and destination rule still congregate cohesively) a semi-
 synchronous round simulator with optional activation subsets and
 ``xi``-rigid truncation is sufficient and keeps the extension compact.
+
+As of the array-native 3D engine, the round loop itself lives in
+:mod:`repro.spatial3d.engine3` in two modes: the vectorized ``"array"``
+default and the retained per-robot ``"object"`` reference path, pinned
+bit-identical to each other.  This module owns the public entry point,
+the configuration and the result type.
 """
 
 from __future__ import annotations
@@ -14,9 +20,10 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from .engine3 import run_rounds_array, run_rounds_object
 from .kknps3 import KKNPS3Algorithm
-from .model3 import Configuration3, Snapshot3, build_snapshot3, edges_preserved3
-from .vector3 import Vector3, Vector3Like, max_pairwise_distance3
+from .model3 import Configuration3, positions_as_array3
+from .vector3 import Vector3Like
 
 
 @dataclass
@@ -30,6 +37,8 @@ class Simulation3Config:
     xi: float = 1.0
     seed: int = 0
     rotate_frames: bool = True
+    engine_mode: str = "array"
+    spatial_index: Optional[bool] = None
 
     def __post_init__(self) -> None:
         if self.visibility_range <= 0.0:
@@ -40,6 +49,8 @@ class Simulation3Config:
             raise ValueError("xi must lie in (0, 1]")
         if self.max_rounds < 1:
             raise ValueError("max_rounds must be at least 1")
+        if self.engine_mode not in ("array", "object"):
+            raise ValueError(f"unknown engine mode {self.engine_mode!r}")
 
 
 @dataclass
@@ -52,18 +63,12 @@ class Simulation3Result:
     converged: bool
     cohesion_maintained: bool
     diameter_history: List[float] = field(default_factory=list)
+    activations_executed: int = 0
 
     @property
     def final_diameter(self) -> float:
         """Diameter of the final configuration."""
         return self.final_configuration.diameter()
-
-
-def _random_rotation(rng: np.random.Generator) -> np.ndarray:
-    matrix, _ = np.linalg.qr(rng.normal(size=(3, 3)))
-    if np.linalg.det(matrix) < 0:
-        matrix[:, 0] = -matrix[:, 0]
-    return matrix
 
 
 def run_simulation3(
@@ -76,56 +81,32 @@ def run_simulation3(
     algorithm = algorithm or KKNPS3Algorithm(k=1)
     rng = np.random.default_rng(config.seed)
 
-    positions = [Vector3.of(p) for p in initial_positions]
+    positions = positions_as_array3(initial_positions)
     initial = Configuration3.of(positions, config.visibility_range)
     initial_edges = initial.edges()
 
-    diameter_history = [max_pairwise_distance3(positions)]
-    cohesion = True
-    converged_round: Optional[int] = None
+    run_rounds = run_rounds_array if config.engine_mode == "array" else run_rounds_object
+    outcome = run_rounds(
+        positions,
+        algorithm,
+        initial_edges,
+        visibility_range=config.visibility_range,
+        max_rounds=config.max_rounds,
+        convergence_epsilon=config.convergence_epsilon,
+        activation_probability=config.activation_probability,
+        xi=config.xi,
+        rng=rng,
+        rotate_frames=config.rotate_frames,
+        spatial_index=config.spatial_index,
+    )
 
-    for round_index in range(config.max_rounds):
-        activated = [
-            i for i in range(len(positions))
-            if rng.random() < config.activation_probability
-        ]
-        if not activated:
-            activated = [int(rng.integers(0, len(positions)))]
-
-        # Semi-synchronous semantics: every activated robot Looks at the
-        # start of the round, so all snapshots use the same positions.
-        new_positions = list(positions)
-        for index in activated:
-            observer = positions[index]
-            others = [p for j, p in enumerate(positions) if j != index]
-            rotation = _random_rotation(rng) if config.rotate_frames else np.eye(3)
-            relative = [
-                Vector3.of(rotation @ (Vector3.of(p) - observer).as_array())
-                for p in others
-                if observer.distance_to(p) <= config.visibility_range + 1e-12
-                and observer.distance_to(p) > 1e-12
-            ]
-            snapshot = Snapshot3(neighbours=tuple(relative))
-            destination_local = algorithm.compute(snapshot)
-            displacement = Vector3.of(rotation.T @ destination_local.as_array())
-            fraction = float(rng.uniform(config.xi, 1.0))
-            new_positions[index] = observer + displacement * fraction
-        positions = new_positions
-
-        diameter = max_pairwise_distance3(positions)
-        diameter_history.append(diameter)
-        if not edges_preserved3(initial_edges, positions, config.visibility_range):
-            cohesion = False
-        if diameter <= config.convergence_epsilon and converged_round is None:
-            converged_round = round_index + 1
-            break
-
-    final = Configuration3.of(positions, config.visibility_range)
+    final = Configuration3.of(outcome.final_positions, config.visibility_range)
     return Simulation3Result(
         initial_configuration=initial,
         final_configuration=final,
-        rounds_executed=len(diameter_history) - 1,
-        converged=converged_round is not None,
-        cohesion_maintained=cohesion,
-        diameter_history=diameter_history,
+        rounds_executed=len(outcome.diameter_history) - 1,
+        converged=outcome.converged_round is not None,
+        cohesion_maintained=outcome.cohesion_maintained,
+        diameter_history=outcome.diameter_history,
+        activations_executed=outcome.activations_executed,
     )

@@ -5,6 +5,14 @@ live algorithm, scheduler, workload and error-model objects *inside* the
 process that executes the run.  Keeping construction here (rather than in
 the spec) is what makes run specs picklable and the sweep engine safe to
 fan out over ``multiprocessing`` workers.
+
+Two dimensions share the registries.  Planar names resolve against the
+continuous-time engine (:mod:`repro.engine`); the ``*3`` names —
+``kknps3``, ``fsync3``/``ssync3``, ``line3``/``lattice3``/``random3`` —
+resolve against the 3D round engine (:mod:`repro.spatial3d`).  A run's
+dimension is a property of the whole spec: :func:`run_dimension` decides
+it and rejects mixed pairings, so a typo like ``kknps`` on a ``random3``
+workload fails at spec-build time rather than deep inside a worker.
 """
 
 from __future__ import annotations
@@ -30,6 +38,13 @@ from ..schedulers import (
     Scheduler,
     SSyncScheduler,
 )
+from ..spatial3d import (
+    Configuration3,
+    KKNPS3Algorithm,
+    lattice_configuration3,
+    line_configuration3,
+    random_connected_configuration3,
+)
 from ..workloads import (
     annulus_configuration,
     blob_configuration,
@@ -53,8 +68,53 @@ SCHEDULER_FACTORIES: Dict[str, Callable[[int], Scheduler]] = {
     "fsync": lambda k: FSyncScheduler(),
     "ssync": lambda k: SSyncScheduler(),
     "k-async": lambda k: KAsyncScheduler(k=k),
+    # The E1 error-tolerance grid's scheduler: k-Async where the adversary
+    # may stop any move between half way and completion.
+    "k-async-half": lambda k: KAsyncScheduler(k=k, progress_fraction=(0.5, 1.0)),
     "k-nesta": lambda k: KNestAScheduler(k=k),
     "async": lambda k: AsyncScheduler(),
+}
+
+# -- the 3D round engine's registries -----------------------------------------------
+ALGORITHM3_FACTORIES: Dict[str, Callable[..., KKNPS3Algorithm]] = {
+    "kknps3": KKNPS3Algorithm,
+}
+
+#: 3D "schedulers" are activation disciplines of the round engine: every
+#: robot every round (fsync3) or an independent 60% subset per round
+#: (ssync3, the Section-6.3.2 experiment's setting).
+SCHEDULER3_ACTIVATION: Dict[str, float] = {
+    "fsync3": 1.0,
+    "ssync3": 0.6,
+}
+
+#: Error models the round engine understands, as its ``xi`` rigidity bound
+#: (the 3D extension has no perception-error machinery).
+ERROR_MODEL3_XI: Dict[str, float] = {
+    "exact": 1.0,
+    "nonrigid-50": 0.5,
+}
+
+
+def _lattice3_workload(n: int, seed: int, visibility_range: float) -> Configuration3:
+    # Exactly n robots, like every other workload factory: lattice3 accepts
+    # only perfect cubes rather than silently padding or truncating.
+    side = round(n ** (1.0 / 3.0))
+    if side**3 != n:
+        raise ValueError(f"lattice3 needs a perfect-cube robot count, got {n}")
+    return lattice_configuration3(
+        side, spacing=0.6 * visibility_range, visibility_range=visibility_range
+    )
+
+
+WORKLOAD3_FACTORIES: Dict[str, Callable[[int, int, float], Configuration3]] = {
+    "line3": lambda n, seed, v: line_configuration3(
+        n, spacing=0.7 * v, visibility_range=v
+    ),
+    "lattice3": _lattice3_workload,
+    "random3": lambda n, seed, v: random_connected_configuration3(
+        n, visibility_range=v, seed=seed
+    ),
 }
 
 
@@ -68,6 +128,19 @@ def _clusters_workload(n: int, seed: int, visibility_range: float) -> Configurat
     return clustered_configuration(
         k, max(sizes), cluster_sizes=sizes, visibility_range=visibility_range, seed=seed
     )
+
+
+def _disk_unbounded_workload(n: int, seed: int, margin: float) -> Configuration:
+    # The U1 unlimited-visibility setting: robots uniformly in a unit disk,
+    # with the visibility range derived from the *realised* configuration —
+    # ``margin`` times its hull diameter — so every pair starts (and, by
+    # the hull-diminishing property, stays) mutually visible.  The sweep's
+    # visibility-range axis is therefore the diameter margin, not a range.
+    configuration = random_disk_configuration(
+        n, disk_radius=1.0, visibility_range=2.0, seed=seed
+    )
+    diameter = configuration.hull_diameter()
+    return Configuration.of(configuration.positions, margin * max(diameter, 1e-6))
 
 
 # Every factory returns a configuration of exactly ``n`` robots (``ring``
@@ -92,6 +165,7 @@ WORKLOAD_FACTORIES: Dict[str, Callable[[int, int, float], Configuration]] = {
     "disk": lambda n, seed, v: random_disk_configuration(
         n, disk_radius=2.0 * v, visibility_range=v, seed=seed
     ),
+    "disk-unbounded": _disk_unbounded_workload,
 }
 
 ERROR_MODEL_FACTORIES: Dict[str, Callable[[], Tuple[PerceptionModel, MotionModel]]] = {
@@ -111,22 +185,38 @@ ERROR_MODEL_FACTORIES: Dict[str, Callable[[], Tuple[PerceptionModel, MotionModel
         PerceptionModel.exact(),
         MotionModel(xi=0.5, deviation="quadratic", coefficient=0.2),
     ),
+    # The E1 experiment's tolerated-error pairings: the same perception
+    # errors as above but under non-rigid (xi = 0.5) motion.
+    "distance-5-nonrigid": lambda: (
+        PerceptionModel(distance_error=0.05),
+        MotionModel(xi=0.5),
+    ),
+    "skew-10-nonrigid": lambda: (
+        PerceptionModel(distortion=SymmetricDistortion(amplitude=0.1, frequency=2)),
+        MotionModel(xi=0.5),
+    ),
+    # Linear relative motion error with adversarial bias — the kind the
+    # paper proves defeats every convergence algorithm (Figure 18).
+    "linear-60": lambda: (
+        PerceptionModel.exact(),
+        MotionModel(xi=0.5, deviation="linear", coefficient=0.6, bias="adversarial"),
+    ),
 }
 
 
 def algorithm_names() -> Tuple[str, ...]:
-    """Registered algorithm names."""
-    return tuple(ALGORITHM_FACTORIES)
+    """Registered algorithm names (planar first, then 3D)."""
+    return tuple(ALGORITHM_FACTORIES) + tuple(ALGORITHM3_FACTORIES)
 
 
 def scheduler_names() -> Tuple[str, ...]:
-    """Registered scheduler names."""
-    return tuple(SCHEDULER_FACTORIES)
+    """Registered scheduler names (planar first, then 3D)."""
+    return tuple(SCHEDULER_FACTORIES) + tuple(SCHEDULER3_ACTIVATION)
 
 
 def workload_names() -> Tuple[str, ...]:
-    """Registered workload names."""
-    return tuple(WORKLOAD_FACTORIES)
+    """Registered workload names (planar first, then 3D)."""
+    return tuple(WORKLOAD_FACTORIES) + tuple(WORKLOAD3_FACTORIES)
 
 
 def error_model_names() -> Tuple[str, ...]:
@@ -134,32 +224,82 @@ def error_model_names() -> Tuple[str, ...]:
     return tuple(ERROR_MODEL_FACTORIES)
 
 
-def make_algorithm(
-    name: str, params: Sequence[Tuple[str, float]] = ()
-) -> ConvergenceAlgorithm:
+def make_algorithm(name: str, params: Sequence[Tuple[str, float]] = ()):
     """Instantiate an algorithm by name with optional keyword parameters."""
-    factory = _lookup(ALGORITHM_FACTORIES, name, "algorithm")
+    registry = ALGORITHM3_FACTORIES if name in ALGORITHM3_FACTORIES else ALGORITHM_FACTORIES
+    factory = _lookup(registry, name, "algorithm")
     kwargs = dict(params)
-    if kwargs and name != "kknps":
+    if kwargs and name not in ("kknps", "kknps3"):
         raise ValueError(f"algorithm {name!r} takes no parameters, got {kwargs}")
     return factory(**kwargs)
 
 
 def make_scheduler(name: str, k: int = 1) -> Scheduler:
-    """Instantiate a scheduler by name (``k`` applies to k-async/k-nesta)."""
+    """Instantiate a planar scheduler by name (``k`` applies to k-schedulers)."""
+    if name in SCHEDULER3_ACTIVATION:
+        raise ValueError(
+            f"scheduler {name!r} is a 3D round discipline; "
+            "use activation_probability3() in a 3D run"
+        )
     return _lookup(SCHEDULER_FACTORIES, name, "scheduler")(k)
 
 
-def make_workload(
-    name: str, n_robots: int, seed: int, visibility_range: float = 1.0
-) -> Configuration:
-    """Build an initial configuration by workload name."""
-    return _lookup(WORKLOAD_FACTORIES, name, "workload")(n_robots, seed, visibility_range)
+def activation_probability3(name: str) -> float:
+    """The per-round activation probability of a 3D scheduler name."""
+    return float(_lookup(SCHEDULER3_ACTIVATION, name, "3D scheduler"))
+
+
+def make_workload(name: str, n_robots: int, seed: int, visibility_range: float = 1.0):
+    """Build an initial configuration (2D or 3D) by workload name."""
+    registry = WORKLOAD3_FACTORIES if name in WORKLOAD3_FACTORIES else WORKLOAD_FACTORIES
+    return _lookup(registry, name, "workload")(n_robots, seed, visibility_range)
 
 
 def make_error_models(name: str) -> Tuple[PerceptionModel, MotionModel]:
     """Build the (perception, motion) pair of a named error model."""
     return _lookup(ERROR_MODEL_FACTORIES, name, "error model")()
+
+
+def error_model3_xi(name: str) -> float:
+    """The ``xi`` rigidity bound a named error model means to the 3D engine."""
+    if name not in ERROR_MODEL3_XI:
+        known = ", ".join(ERROR_MODEL3_XI)
+        raise ValueError(
+            f"error model {name!r} is not available in 3D runs; known: {known}"
+        )
+    return ERROR_MODEL3_XI[name]
+
+
+def run_dimension(
+    algorithm: str, scheduler: str, workload: str, error_model: str = "exact"
+) -> int:
+    """The spatial dimension (2 or 3) a run with these names executes in.
+
+    Every name must already be registered; mixed pairings (a planar
+    algorithm on a 3D workload, and so on) raise ``ValueError``.
+    """
+    validate_names(
+        algorithms=(algorithm,),
+        schedulers=(scheduler,),
+        workloads=(workload,),
+        error_models=(error_model,),
+    )
+    flags = {
+        "algorithm": algorithm in ALGORITHM3_FACTORIES,
+        "scheduler": scheduler in SCHEDULER3_ACTIVATION,
+        "workload": workload in WORKLOAD3_FACTORIES,
+    }
+    if not any(flags.values()):
+        return 2
+    if not all(flags.values()):
+        planar = ", ".join(sorted(kind for kind, is_3d in flags.items() if not is_3d))
+        raise ValueError(
+            f"mixed-dimension run: {algorithm!r} x {scheduler!r} x {workload!r} "
+            f"({planar} planar, rest 3D)"
+        )
+    if error_model not in ERROR_MODEL3_XI:
+        error_model3_xi(error_model)  # raises with the known-names message
+    return 3
 
 
 def validate_names(
@@ -170,14 +310,16 @@ def validate_names(
     error_models: Sequence[str] = (),
 ) -> None:
     """Raise ``ValueError`` for any name missing from its registry."""
-    for names, registry, kind in (
-        (algorithms, ALGORITHM_FACTORIES, "algorithm"),
-        (schedulers, SCHEDULER_FACTORIES, "scheduler"),
-        (workloads, WORKLOAD_FACTORIES, "workload"),
-        (error_models, ERROR_MODEL_FACTORIES, "error model"),
+    for names, registries, kind in (
+        (algorithms, (ALGORITHM_FACTORIES, ALGORITHM3_FACTORIES), "algorithm"),
+        (schedulers, (SCHEDULER_FACTORIES, SCHEDULER3_ACTIVATION), "scheduler"),
+        (workloads, (WORKLOAD_FACTORIES, WORKLOAD3_FACTORIES), "workload"),
+        (error_models, (ERROR_MODEL_FACTORIES,), "error model"),
     ):
         for name in names:
-            _lookup(registry, name, kind)
+            if not any(name in registry for registry in registries):
+                known = ", ".join(n for registry in registries for n in registry)
+                raise ValueError(f"unknown {kind} {name!r}; known: {known}")
 
 
 def _lookup(registry: Mapping[str, object], name: str, kind: str):

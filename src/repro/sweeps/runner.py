@@ -29,7 +29,15 @@ from ..analysis.tables import TextTable
 from ..engine.convergence import epochs_to_converge
 from ..engine.simulator import SimulationConfig, run_simulation
 from ..model.visibility import max_edge_stretch
-from .factories import make_algorithm, make_error_models, make_scheduler, make_workload
+from .factories import (
+    activation_probability3,
+    error_model3_xi,
+    make_algorithm,
+    make_error_models,
+    make_scheduler,
+    make_workload,
+    run_dimension,
+)
 from .spec import RunSpec, SweepSpec, check_unique_keys
 
 #: Row fields that vary between executions of the same spec (dropped when
@@ -42,7 +50,12 @@ def execute_run(spec: RunSpec) -> Dict[str, object]:
 
     The row contains only JSON-serializable scalars, is independent of the
     executing process, and is keyed by ``spec.run_key`` for resumption.
+    Specs whose names resolve to the 3D registries execute on the 3D
+    round engine (:func:`_execute_run3`); everything else runs the planar
+    continuous-time engine.
     """
+    if run_dimension(spec.algorithm, spec.scheduler, spec.workload, spec.error_model) == 3:
+        return _execute_run3(spec)
     started = time.perf_counter()
     configuration = make_workload(
         spec.workload, spec.n_robots, spec.seed, spec.visibility_range
@@ -72,6 +85,7 @@ def execute_run(spec: RunSpec) -> Dict[str, object]:
     )
     return {
         "run_key": spec.run_key,
+        "dimension": 2,
         "algorithm": spec.algorithm,
         "scheduler": spec.scheduler,
         "workload": spec.workload,
@@ -94,6 +108,76 @@ def execute_run(spec: RunSpec) -> Dict[str, object]:
         "final_min_pairwise": result.final_configuration.min_pairwise_distance(),
         "max_edge_stretch": stretch,
         "simulated_time": result.final_time,
+        "wall_time_s": time.perf_counter() - started,
+    }
+
+
+def _execute_run3(spec: RunSpec) -> Dict[str, object]:
+    """Execute one 3D run spec on the round engine, same row contract.
+
+    The mapping from the spec's planar-flavoured fields:
+
+    * ``max_activations`` bounds the number of *rounds* (the round engine's
+      scheduling quantum); the ``activations`` row field still reports
+      individual robot activations, and ``rounds`` reports rounds.
+    * ``error_model`` selects the rigidity bound ``xi`` (the 3D engine has
+      no perception-error machinery), via ``ERROR_MODEL3_XI``.
+    * ``simulated_time`` is the executed round count as a float.
+    """
+    from ..spatial3d import (
+        Simulation3Config,
+        edge_index_array,
+        max_edge_stretch3,
+        min_pairwise_distance3_array,
+        positions_as_array3,
+        run_simulation3,
+    )
+
+    started = time.perf_counter()
+    configuration = make_workload(
+        spec.workload, spec.n_robots, spec.seed, spec.visibility_range
+    )
+    algorithm = make_algorithm(spec.algorithm, spec.algorithm_params)
+    result = run_simulation3(
+        configuration.positions,
+        algorithm,
+        Simulation3Config(
+            visibility_range=configuration.visibility_range,
+            max_rounds=spec.max_activations,
+            convergence_epsilon=spec.epsilon,
+            activation_probability=activation_probability3(spec.scheduler),
+            xi=error_model3_xi(spec.error_model),
+            seed=spec.seed,
+        ),
+    )
+    final_positions = positions_as_array3(result.final_configuration.positions)
+    initial_edges = edge_index_array(result.initial_configuration.edges())
+    return {
+        "run_key": spec.run_key,
+        "dimension": 3,
+        "algorithm": spec.algorithm,
+        "scheduler": spec.scheduler,
+        "workload": spec.workload,
+        "n_robots": len(configuration),
+        "seed": spec.seed,
+        "error_model": spec.error_model,
+        "scheduler_k": spec.scheduler_k,
+        "k_bound": spec.k_bound,
+        "epsilon": spec.epsilon,
+        "max_activations": spec.max_activations,
+        "visibility_range": configuration.visibility_range,
+        "converged": result.converged,
+        "convergence_time": float(result.rounds_executed) if result.converged else None,
+        "cohesion": result.cohesion_maintained,
+        "activations": result.activations_executed,
+        "rounds": result.rounds_executed,
+        "epochs": None,
+        "samples": len(result.diameter_history),
+        "initial_diameter": result.initial_configuration.diameter(),
+        "final_diameter": result.final_diameter,
+        "final_min_pairwise": min_pairwise_distance3_array(final_positions),
+        "max_edge_stretch": max_edge_stretch3(initial_edges, final_positions),
+        "simulated_time": float(result.rounds_executed),
         "wall_time_s": time.perf_counter() - started,
     }
 

@@ -22,7 +22,11 @@ from typing import List, Optional, Sequence, Tuple
 AlgorithmParams = Tuple[Tuple[str, float], ...]
 
 #: Schedulers whose behaviour is governed by an asynchrony bound ``k``.
-K_SCHEDULERS = ("k-async", "k-nesta")
+K_SCHEDULERS = ("k-async", "k-async-half", "k-nesta")
+
+#: Algorithms whose safe regions scale with an asynchrony bound ``k``
+#: (the grid expansion matches their ``k`` parameter to the scheduler's).
+K_ALGORITHMS = ("kknps", "kknps3")
 
 
 def _format_value(value: object) -> str:
@@ -126,8 +130,11 @@ class SweepSpec:
             if len(set(axis)) != len(axis):
                 raise ValueError(f"sweep axis {axis_name!r} contains duplicate values")
         # Validate the names eagerly so a typo fails at spec-build time, not
-        # inside a worker process half way through the sweep.
-        from .factories import validate_names
+        # inside a worker process half way through the sweep.  Because the
+        # grid is a full product, every (algorithm, scheduler, workload)
+        # combination must live in one dimension; run_dimension raises on
+        # any mixed pairing.
+        from .factories import run_dimension, validate_names
 
         validate_names(
             algorithms=self.algorithms,
@@ -135,6 +142,11 @@ class SweepSpec:
             workloads=self.workloads,
             error_models=self.error_models,
         )
+        for algorithm in self.algorithms:
+            for scheduler in self.schedulers:
+                for workload in self.workloads:
+                    for error_model in self.error_models:
+                        run_dimension(algorithm, scheduler, workload, error_model)
 
     def size(self) -> int:
         """Number of runs the expansion produces (the product of axis sizes)."""
@@ -168,7 +180,7 @@ class SweepSpec:
             bounded = scheduler in K_SCHEDULERS
             effective_k = self.scheduler_k if bounded else 1
             params: AlgorithmParams = ()
-            if algorithm == "kknps":
+            if algorithm in K_ALGORITHMS:
                 params = (("k", effective_k),)
             runs.append(
                 RunSpec(

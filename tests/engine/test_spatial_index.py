@@ -189,3 +189,53 @@ class TestGridExactness:
             SimulationConfig(spatial_index=True),
         )
         assert simulator._grid is None
+
+
+class TestGrid3D:
+    """The dimension-generic grid in 3-space: 3x3x3 blocks, same exactness."""
+
+    def test_settle_and_candidates_3d(self):
+        grid = UniformGridIndex(1.0, dim=3)
+        grid.settle(0, 0.5, 0.5, 0.5)
+        grid.settle(1, 1.5, 0.5, 0.5)   # adjacent cell in x
+        grid.settle(2, 0.5, 0.5, 1.5)   # adjacent cell in z
+        grid.settle(3, 3.5, 0.5, 0.5)   # out of the 3x3x3 block
+        assert grid.candidates(0.5, 0.5, 0.5).tolist() == [0, 1, 2]
+        assert grid.candidates(0.5, 0.5, 0.5, exclude=0).tolist() == [1, 2]
+
+    def test_moving_robot_spans_segment_bbox_3d(self):
+        grid = UniformGridIndex(1.0, dim=3)
+        grid.begin_move(7, 0.5, 0.5, 0.5, 2.5, 0.5, 2.5)
+        for x, z in ((0.5, 0.5), (1.5, 1.5), (2.5, 2.5)):
+            assert 7 in grid.candidates(x, 0.5, z).tolist()
+        grid.settle(7, 2.5, 0.5, 2.5)
+        assert 7 not in grid.candidates(0.5, 0.5, 0.5).tolist()
+        assert len(grid.cells_of(7)) == 1
+
+    def test_coordinate_arity_enforced(self):
+        grid = UniformGridIndex(1.0, dim=3)
+        with pytest.raises(ValueError):
+            grid.settle(0, 0.5, 0.5)
+        with pytest.raises(ValueError):
+            grid.begin_move(0, 0.0, 0.0, 0.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            grid.candidates(0.0, 0.0)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_candidates_superset_of_visible_3d(self, seed):
+        rng = np.random.default_rng(seed)
+        n, v = 80, 1.0
+        positions = rng.uniform(-3.0, 3.0, size=(n, 3))
+        grid = UniformGridIndex(v, dim=3)
+        for i in range(n):
+            grid.settle(i, positions[i, 0], positions[i, 1], positions[i, 2])
+        for observer in range(0, n, 5):
+            ox, oy, oz = positions[observer]
+            candidates = set(
+                grid.candidates(ox, oy, oz, exclude=observer).tolist()
+            )
+            deltas = positions - positions[observer]
+            distances = np.sqrt((deltas * deltas).sum(axis=1))
+            for other in range(n):
+                if other != observer and distances[other] <= v + 1e-9:
+                    assert other in candidates

@@ -81,3 +81,40 @@ class TestRobotViews:
         view = Robot.view(arrays, 1)
         assert view.robot_id == 1
         assert view.position == Point(7, 7)
+
+
+class TestDimensionGenericArrays:
+    """KinematicArrays at d != 2: same batched interpolation machinery."""
+
+    def test_from_array_3d(self):
+        positions = np.array([[0.0, 1.0, 2.0], [3.0, 4.0, 5.0]])
+        arrays = KinematicArrays.from_array(positions)
+        assert arrays.n == 2 and arrays.dim == 3
+        assert arrays.position.shape == (2, 3)
+        assert np.array_equal(arrays.position, positions)
+
+    def test_from_array_rejects_flat_input(self):
+        with pytest.raises(ValueError):
+            KinematicArrays.from_array(np.zeros(6))
+
+    def test_interpolation_is_dimension_generic(self):
+        arrays = KinematicArrays(3, dim=3)
+        arrays.position[:] = [(0, 0, 0), (1, 1, 1), (2, 2, 2)]
+        # Row 1 moves to (2, 3, 5) over t in [0, 2].
+        arrays.move_origin[1] = (1, 1, 1)
+        arrays.move_destination[1] = (2, 3, 5)
+        arrays.move_start[1] = 0.0
+        arrays.move_end[1] = 2.0
+        arrays.phase[1] = 2  # PHASE_MOVING
+        mid = arrays.positions_at(1.0)
+        assert np.array_equal(mid[0], [0, 0, 0])
+        assert np.array_equal(mid[1], [1.5, 2.0, 3.0])
+        assert np.array_equal(mid[2], [2, 2, 2])
+        done = arrays.positions_at(5.0)
+        assert np.array_equal(done[1], [2, 3, 5])
+        assert arrays.completed_movers(2.0).tolist() == [1]
+
+    def test_robot_views_are_planar_only(self):
+        arrays = KinematicArrays(2, dim=3)
+        with pytest.raises(ValueError):
+            Robot.view(arrays, 0)

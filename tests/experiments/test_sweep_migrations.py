@@ -1,0 +1,177 @@
+"""Numerics-unchanged regression for the E1/U1 sweep-engine migrations.
+
+E1 (error tolerance) and U1 (unlimited-visibility Async) now express
+their grids as sweep ``RunSpec``s over registry names.  These tests
+rebuild each measurement the way the pre-migration experiments did —
+direct object construction and a direct ``run_simulation`` call — and
+require the migrated rows to match **exactly** (same RNG streams, same
+floats), plus parallel == serial through the experiments' ``workers``
+seam.  X1's migration to the 3D registries is covered by
+``tests/sweeps/test_sweep3d.py`` and the experiment smoke tests.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.kknps import KKNPSAlgorithm
+from repro.engine.simulator import SimulationConfig, run_simulation
+from repro.experiments import error_tolerance, unlimited_async
+from repro.geometry.transforms import SymmetricDistortion
+from repro.model.errors import MotionModel, PerceptionModel
+from repro.schedulers.kasync import AsyncScheduler, KAsyncScheduler
+from repro.workloads.generators import (
+    random_connected_configuration,
+    random_disk_configuration,
+)
+
+N_ROBOTS = 5
+MAX_ACTIVATIONS = 900
+EPSILON = 0.15
+K = 4
+SEED = 1
+
+
+def _reference_e1_run(perception, motion, algorithm, seed):
+    """One error-model measurement exactly as pre-migration E1 ran it."""
+    configuration = random_connected_configuration(N_ROBOTS, seed=seed)
+    result = run_simulation(
+        configuration.positions,
+        algorithm,
+        KAsyncScheduler(k=K, progress_fraction=(0.5, 1.0)),
+        SimulationConfig(
+            max_activations=MAX_ACTIVATIONS,
+            convergence_epsilon=EPSILON,
+            seed=seed,
+            perception=perception,
+            motion=motion,
+            k_bound=K,
+        ),
+    )
+    return (
+        result.cohesion_maintained,
+        result.converged,
+        result.final_hull_diameter,
+    )
+
+
+class TestE1NumericsUnchanged:
+    def test_rows_match_direct_simulation_exactly(self):
+        migrated = error_tolerance.run(
+            n_robots=N_ROBOTS,
+            seed=SEED,
+            max_activations=MAX_ACTIVATIONS,
+            epsilon=EPSILON,
+            k=K,
+            figure18_coefficients=(0.2,),
+        )
+        reference = [
+            _reference_e1_run(
+                PerceptionModel.exact(), MotionModel.rigid(),
+                KKNPSAlgorithm(k=K), SEED,
+            ),
+            _reference_e1_run(
+                PerceptionModel(distance_error=0.05, bias="random"),
+                MotionModel(xi=0.5),
+                KKNPSAlgorithm(k=K, distance_error_tolerance=0.05), SEED + 1,
+            ),
+            _reference_e1_run(
+                PerceptionModel(distortion=SymmetricDistortion(amplitude=0.1, frequency=2)),
+                MotionModel(xi=0.5),
+                KKNPSAlgorithm(k=K, skew_tolerance=0.1), SEED + 2,
+            ),
+            _reference_e1_run(
+                PerceptionModel.exact(),
+                MotionModel(xi=0.5, deviation="quadratic", coefficient=0.2, bias="random"),
+                KKNPSAlgorithm(k=K), SEED + 3,
+            ),
+            _reference_e1_run(
+                PerceptionModel.exact(),
+                MotionModel(xi=0.5, deviation="linear", coefficient=0.6, bias="adversarial"),
+                KKNPSAlgorithm(k=K), SEED + 4,
+            ),
+        ]
+        assert [
+            (row.cohesion, row.converged, row.final_diameter) for row in migrated.runs
+        ] == reference
+
+    def test_parallel_equals_serial(self):
+        kwargs = dict(
+            n_robots=N_ROBOTS, seed=SEED, max_activations=MAX_ACTIVATIONS,
+            epsilon=EPSILON, k=K, figure18_coefficients=(0.2,),
+        )
+        serial = error_tolerance.run(**kwargs)
+        parallel = error_tolerance.run(workers=2, **kwargs)
+        assert [
+            (row.label, row.cohesion, row.converged, row.final_diameter)
+            for row in serial.runs
+        ] == [
+            (row.label, row.cohesion, row.converged, row.final_diameter)
+            for row in parallel.runs
+        ]
+
+
+class TestU1NumericsUnchanged:
+    N_VALUES = (5, 7)
+    MARGIN = 1.25
+    BUDGET = 4000
+
+    def _reference_u1_row(self, n):
+        """One size exactly as pre-migration U1 ran it."""
+        configuration = random_disk_configuration(
+            n, disk_radius=1.0, visibility_range=2.0, seed=SEED + n
+        )
+        initial_diameter = configuration.hull_diameter()
+        visibility_range = self.MARGIN * max(initial_diameter, 1e-6)
+        sim = run_simulation(
+            configuration.positions,
+            KKNPSAlgorithm(k=1),
+            AsyncScheduler(),
+            SimulationConfig(
+                visibility_range=visibility_range,
+                max_activations=self.BUDGET,
+                convergence_epsilon=EPSILON,
+                seed=SEED + n,
+            ),
+        )
+        all_visible = all(
+            sample.initial_edges_preserved for sample in sim.metrics.samples
+        )
+        return (
+            n,
+            initial_diameter,
+            visibility_range,
+            sim.converged,
+            sim.cohesion_maintained,
+            all_visible,
+            sim.final_hull_diameter,
+        )
+
+    def test_rows_match_direct_simulation_exactly(self):
+        migrated = unlimited_async.run(
+            n_values=self.N_VALUES,
+            seed=SEED,
+            max_activations=self.BUDGET,
+            epsilon=EPSILON,
+            diameter_margin=self.MARGIN,
+        )
+        reference = [self._reference_u1_row(n) for n in self.N_VALUES]
+        assert [
+            (
+                row.n_robots,
+                row.initial_diameter,
+                row.visibility_range,
+                row.converged,
+                row.cohesion,
+                row.all_pairs_always_visible,
+                row.final_diameter,
+            )
+            for row in migrated.rows
+        ] == reference
+
+    def test_parallel_equals_serial(self):
+        kwargs = dict(
+            n_values=self.N_VALUES, seed=SEED, max_activations=self.BUDGET,
+            epsilon=EPSILON, diameter_margin=self.MARGIN,
+        )
+        serial = unlimited_async.run(**kwargs)
+        parallel = unlimited_async.run(workers=2, **kwargs)
+        assert serial.rows == parallel.rows

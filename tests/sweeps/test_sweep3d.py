@@ -1,0 +1,159 @@
+"""Tests for 3D runs flowing through the sweep pipeline end to end."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.spatial3d import (
+    KKNPS3Algorithm,
+    Simulation3Config,
+    run_simulation3,
+)
+from repro.sweeps import RunSpec, SweepSpec, run_sweep
+from repro.sweeps.factories import (
+    activation_probability3,
+    error_model3_xi,
+    make_algorithm,
+    make_workload,
+    run_dimension,
+)
+from repro.sweeps.runner import execute_run
+
+
+class TestDimensionDispatch:
+    def test_planar_names_are_dimension_2(self):
+        assert run_dimension("kknps", "k-async", "random") == 2
+
+    def test_3d_names_are_dimension_3(self):
+        assert run_dimension("kknps3", "ssync3", "random3", "nonrigid-50") == 3
+
+    @pytest.mark.parametrize(
+        "algorithm,scheduler,workload",
+        [
+            ("kknps", "k-async", "random3"),
+            ("kknps3", "k-async", "random3"),
+            ("kknps3", "ssync3", "random"),
+            ("kknps", "ssync3", "random"),
+        ],
+    )
+    def test_mixed_dimensions_rejected(self, algorithm, scheduler, workload):
+        with pytest.raises(ValueError, match="mixed-dimension"):
+            run_dimension(algorithm, scheduler, workload)
+
+    def test_3d_error_models_restricted(self):
+        with pytest.raises(ValueError, match="not available in 3D"):
+            run_dimension("kknps3", "ssync3", "random3", "distance-5")
+
+    def test_mixed_sweep_spec_rejected_at_build_time(self):
+        with pytest.raises(ValueError, match="mixed-dimension"):
+            SweepSpec(algorithms=("kknps",), workloads=("random3",))
+
+    def test_unknown_names_still_rejected(self):
+        with pytest.raises(ValueError, match="unknown workload"):
+            SweepSpec(workloads=("random4",))
+
+
+class TestFactories3D:
+    def test_algorithm_factory_passes_k(self):
+        algorithm = make_algorithm("kknps3", (("k", 3),))
+        assert isinstance(algorithm, KKNPS3Algorithm)
+        assert algorithm.k == 3
+
+    def test_scheduler_probabilities(self):
+        assert activation_probability3("fsync3") == 1.0
+        assert activation_probability3("ssync3") == 0.6
+
+    def test_error_model_xi(self):
+        assert error_model3_xi("exact") == 1.0
+        assert error_model3_xi("nonrigid-50") == 0.5
+
+    @pytest.mark.parametrize("name,n", [("line3", 5), ("random3", 9), ("lattice3", 8)])
+    def test_workloads_have_exactly_n_robots(self, name, n):
+        configuration = make_workload(name, n, seed=1, visibility_range=1.0)
+        assert len(configuration) == n
+        assert configuration.is_connected()
+
+    def test_lattice3_requires_perfect_cube(self):
+        with pytest.raises(ValueError, match="perfect-cube"):
+            make_workload("lattice3", 10, seed=0)
+
+
+class TestExecuteRun3D:
+    def _spec(self, **overrides) -> RunSpec:
+        base = dict(
+            algorithm="kknps3",
+            scheduler="ssync3",
+            workload="random3",
+            n_robots=8,
+            seed=4,
+            error_model="nonrigid-50",
+            scheduler_k=2,
+            algorithm_params=(("k", 2),),
+            epsilon=0.05,
+            max_activations=400,
+        )
+        base.update(overrides)
+        return RunSpec(**base)
+
+    def test_row_contract(self):
+        row = execute_run(self._spec())
+        assert row["dimension"] == 3
+        assert row["epochs"] is None
+        assert row["rounds"] >= 1
+        assert row["simulated_time"] == float(row["rounds"])
+        assert row["activations"] >= row["rounds"]
+        assert row["n_robots"] == 8
+        assert 0.0 < row["final_diameter"] < row["initial_diameter"]
+
+    def test_row_matches_direct_engine_run(self):
+        """The sweep row is exactly a run_simulation3 call on the factories."""
+        spec = self._spec()
+        row = execute_run(spec)
+        configuration = make_workload(spec.workload, spec.n_robots, spec.seed, 1.0)
+        result = run_simulation3(
+            configuration.positions,
+            KKNPS3Algorithm(k=2),
+            Simulation3Config(
+                visibility_range=configuration.visibility_range,
+                max_rounds=spec.max_activations,
+                convergence_epsilon=spec.epsilon,
+                activation_probability=0.6,
+                xi=0.5,
+                seed=spec.seed,
+            ),
+        )
+        assert row["converged"] == result.converged
+        assert row["cohesion"] == result.cohesion_maintained
+        assert row["rounds"] == result.rounds_executed
+        assert row["activations"] == result.activations_executed
+        assert row["final_diameter"] == result.final_diameter
+
+    def test_parallel_equals_serial_3d(self):
+        spec = SweepSpec(
+            algorithms=("kknps3",),
+            schedulers=("ssync3", "fsync3"),
+            workloads=("line3", "random3"),
+            n_robots=(6,),
+            error_models=("exact", "nonrigid-50"),
+            seeds=(0, 1),
+            max_activations=150,
+        )
+        serial = run_sweep(spec, workers=1)
+        parallel = run_sweep(spec, workers=2)
+        assert serial.deterministic_rows() == parallel.deterministic_rows()
+
+    def test_resume_skips_completed_3d_runs(self, tmp_path):
+        spec = SweepSpec(
+            algorithms=("kknps3",),
+            schedulers=("fsync3",),
+            workloads=("line3",),
+            n_robots=(5,),
+            seeds=(0, 1, 2),
+            max_activations=120,
+        )
+        jsonl = tmp_path / "runs3d.jsonl"
+        first = run_sweep(spec, jsonl_path=jsonl)
+        assert first.executed == 3
+        second = run_sweep(spec, jsonl_path=jsonl)
+        assert second.executed == 0 and second.resumed == 3
+        assert second.deterministic_rows() == first.deterministic_rows()

@@ -1,0 +1,30 @@
+"""Tier-1 enforcement of the documentation's link integrity.
+
+CI also runs ``tools/check_doc_links.py`` directly; this test makes the
+same guarantee part of every local test run, so a page rename cannot
+leave dangling links behind.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+_TOOLS = Path(__file__).resolve().parent.parent / "tools"
+if str(_TOOLS) not in sys.path:
+    sys.path.insert(0, str(_TOOLS))
+
+import check_doc_links  # noqa: E402
+
+
+def test_every_relative_doc_link_resolves():
+    assert check_doc_links.broken_links() == []
+
+
+def test_checker_covers_the_front_door_and_docs():
+    covered = {path.name for path in check_doc_links.markdown_files()}
+    assert "README.md" in covered
+    assert "architecture.md" in covered
+    assert "spatial3d.md" in covered
+    assert "sweeps.md" in covered
+    assert "engine-performance.md" in covered

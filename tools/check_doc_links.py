@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Verify that every relative markdown link in the repo's docs resolves.
+
+Scans the top-level ``*.md`` files and everything under ``docs/`` (plus
+any other tracked markdown directories listed in ``SCAN_DIRS``) for
+markdown links and images, and checks that each relative target exists
+on disk.  External links (``http(s)://``, ``mailto:``) and pure
+in-page anchors (``#...``) are skipped; a relative target's ``#anchor``
+suffix is stripped before the existence check.
+
+Exit status 0 when every link resolves; 1 otherwise, with one line per
+broken link (``file:line: target``).  Run by CI on every push, and by
+``tests/test_docs_links.py`` as part of tier-1.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Directories whose markdown files are scanned (beyond the repo root).
+SCAN_DIRS = ("docs", "tests")
+
+#: ``[text](target)`` and ``![alt](target)`` — good enough for the plain
+#: markdown these docs use (no reference-style links, no titles).
+LINK_PATTERN = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def markdown_files() -> List[Path]:
+    """All markdown files the checker covers, repo-root relative order."""
+    files = sorted(REPO_ROOT.glob("*.md"))
+    for directory in SCAN_DIRS:
+        files.extend(sorted((REPO_ROOT / directory).rglob("*.md")))
+    return [f for f in files if f.is_file()]
+
+
+def iter_links(path: Path) -> Iterator[Tuple[int, str]]:
+    """Yield (line number, link target) pairs of one markdown file."""
+    for line_number, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        for match in LINK_PATTERN.finditer(line):
+            yield line_number, match.group(1)
+
+
+def broken_links() -> List[str]:
+    """All unresolved relative links, as ``file:line: target`` strings."""
+    problems: List[str] = []
+    for path in markdown_files():
+        for line_number, target in iter_links(path):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            relative = target.split("#", 1)[0]
+            if not relative:
+                continue
+            resolved = (path.parent / relative).resolve()
+            if not resolved.exists():
+                problems.append(
+                    f"{path.relative_to(REPO_ROOT)}:{line_number}: {target}"
+                )
+    return problems
+
+
+def main() -> int:
+    problems = broken_links()
+    checked = len(markdown_files())
+    if problems:
+        print(f"broken links in {checked} markdown files:")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    print(f"all relative links resolve across {checked} markdown files")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
