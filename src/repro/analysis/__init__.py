@@ -16,9 +16,12 @@ from .congregation import (
     lemma7_distance_bound,
     lemma8_perimeter_decrease,
 )
+from .streaming import GroupAccumulator, StreamingAggregator
 from .tables import TextTable, render_key_values
 
 __all__ = [
+    "GroupAccumulator",
+    "StreamingAggregator",
     "LEMMA5_COS_BOUND",
     "ChainEdgeMargin",
     "EngagementTrace",

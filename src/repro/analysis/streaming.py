@@ -1,0 +1,177 @@
+"""Incremental sweep aggregation over streamed result rows.
+
+The sweep runner streams rows as runs complete — in whatever order the
+execution backend finishes them.  :class:`StreamingAggregator` consumes
+that stream one row at a time and maintains the same group-by statistics
+the batch :meth:`~repro.sweeps.runner.SweepResult.to_table` table
+reports, so a live progress display (or a monitoring hook) can render
+the aggregate mid-sweep without a second pass over the JSONL file.
+
+Exactness contract: the finished table is **bit-identical** to the batch
+table over the same rows, regardless of arrival order.  Counters and
+maxima are order-independent anyway; the float means are made exact by
+remembering each sample with its *order index* (the run's position in
+the sweep's deterministic expansion) and summing in order-index order at
+render time.  Running sums are still kept for the cheap mid-sweep
+:meth:`snapshot`, where last-ULP exactness does not matter.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from .tables import TextTable
+
+#: The batch table's group-by key: (algorithm, scheduler, workload, error model).
+GroupKey = Tuple[str, str, str, str]
+
+#: Row fields every aggregated row must carry.
+REQUIRED_FIELDS = (
+    "algorithm",
+    "scheduler",
+    "workload",
+    "error_model",
+    "converged",
+    "cohesion",
+    "activations",
+    "final_diameter",
+)
+
+
+@dataclass
+class GroupAccumulator:
+    """Running statistics of one (algorithm, scheduler, workload, error) group."""
+
+    count: int = 0
+    converged: int = 0
+    cohesive: int = 0
+    activations_sum: float = 0.0
+    diameter_sum: float = 0.0
+    diameter_max: float = -math.inf
+    #: (order index, activations, final diameter) per row — the exact-mean
+    #: and quantile record.
+    samples: List[Tuple[int, float, float]] = field(default_factory=list)
+
+    def add(self, order: int, row: Mapping[str, object]) -> None:
+        activations = row["activations"]
+        diameter = row["final_diameter"]
+        self.count += 1
+        self.converged += bool(row["converged"])
+        self.cohesive += bool(row["cohesion"])
+        self.activations_sum += activations
+        self.diameter_sum += diameter
+        self.diameter_max = max(self.diameter_max, diameter)
+        self.samples.append((order, activations, diameter))
+
+    def ordered_samples(self) -> List[Tuple[int, float, float]]:
+        """The samples sorted by order index (the batch iteration order)."""
+        return sorted(self.samples)
+
+    def exact_means(self) -> Tuple[float, float]:
+        """(mean activations, mean final diameter), summed in batch order."""
+        ordered = self.ordered_samples()
+        activations_total = sum(sample[1] for sample in ordered)
+        diameter_total = sum(sample[2] for sample in ordered)
+        return activations_total / self.count, diameter_total / self.count
+
+    def quantile(self, q: float) -> float:
+        """Empirical final-diameter quantile (linear interpolation)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if not self.samples:
+            raise ValueError("quantile of an empty group")
+        values = sorted(sample[2] for sample in self.samples)
+        position = (len(values) - 1) * q
+        low = math.floor(position)
+        high = math.ceil(position)
+        if low == high:
+            return values[low]
+        return values[low] + (values[high] - values[low]) * (position - low)
+
+
+class StreamingAggregator:
+    """Group-by sweep statistics maintained one row at a time."""
+
+    def __init__(self) -> None:
+        self.groups: Dict[GroupKey, GroupAccumulator] = {}
+        self.rows_added = 0
+        self._next_order = 0
+
+    def add_row(self, row: Mapping[str, object], *, order: Optional[int] = None) -> None:
+        """Fold one result row in.
+
+        ``order`` is the row's position in the sweep's deterministic
+        expansion; it anchors the exact-mean summation order.  When
+        omitted (standalone use over an already-ordered stream) a
+        monotone arrival counter is used.
+        """
+        for field_name in REQUIRED_FIELDS:
+            if field_name not in row:
+                raise ValueError(f"row is missing aggregate field {field_name!r}")
+        if order is None:
+            order = self._next_order
+        self._next_order = max(self._next_order, order + 1)
+        key: GroupKey = (
+            str(row["algorithm"]),
+            str(row["scheduler"]),
+            str(row["workload"]),
+            str(row["error_model"]),
+        )
+        self.groups.setdefault(key, GroupAccumulator()).add(order, row)
+        self.rows_added += 1
+
+    def snapshot(self) -> Dict[str, object]:
+        """Cheap mid-sweep totals (running sums; no per-sample pass)."""
+        return {
+            "rows": self.rows_added,
+            "groups": len(self.groups),
+            "converged": sum(g.converged for g in self.groups.values()),
+            "cohesive": sum(g.cohesive for g in self.groups.values()),
+        }
+
+    def group_quantiles(
+        self, qs: Sequence[float] = (0.5, 0.9)
+    ) -> Dict[GroupKey, Tuple[float, ...]]:
+        """Final-diameter quantiles per group, groups in sorted order."""
+        return {
+            key: tuple(self.groups[key].quantile(q) for q in qs)
+            for key in sorted(self.groups)
+        }
+
+    def to_table(
+        self, *, executed: Optional[int] = None, resumed: int = 0
+    ) -> TextTable:
+        """The batch-identical aggregate table over every row added so far."""
+        if executed is None:
+            executed = self.rows_added - resumed
+        table = TextTable(
+            f"Sweep aggregate — {self.rows_added} runs "
+            f"({executed} executed, {resumed} resumed)",
+            [
+                "algorithm",
+                "scheduler",
+                "workload",
+                "error model",
+                "runs",
+                "converged",
+                "cohesive",
+                "mean activations",
+                "mean final diameter",
+                "worst final diameter",
+            ],
+        )
+        for key in sorted(self.groups):
+            group = self.groups[key]
+            mean_activations, mean_diameter = group.exact_means()
+            table.add_row(
+                *key,
+                group.count,
+                f"{group.converged}/{group.count}",
+                f"{group.cohesive}/{group.count}",
+                mean_activations,
+                mean_diameter,
+                group.diameter_max,
+            )
+        return table

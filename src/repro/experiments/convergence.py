@@ -120,11 +120,13 @@ def run(
     seed: int = 0,
     include_ablations: bool = True,
     workers: int = 1,
+    backend: Optional[str] = None,
 ) -> ConvergenceResult:
     """Run the n-sweep, the k-sweep and (optionally) the ablations.
 
     ``workers > 1`` executes the measurements across a process pool via the
-    sweep engine; the rows are identical to the serial run.
+    sweep engine; ``backend`` selects another execution backend by name
+    (e.g. ``"work-stealing"``).  The rows are identical to the serial run.
     """
     measurements: List[Tuple[str, RunSpec]] = []
 
@@ -200,7 +202,9 @@ def run(
             )
         )
 
-    sweep = SweepRunner([spec for _, spec in measurements], workers=workers).run()
+    sweep = SweepRunner(
+        [spec for _, spec in measurements], workers=workers, backend=backend
+    ).run()
 
     result = ConvergenceResult(epsilon=epsilon)
     for (label, spec), row in zip(measurements, sweep.rows):

@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from ..algorithms.kknps import KKNPSAlgorithm
 from ..analysis.tables import TextTable
@@ -203,11 +203,13 @@ def run(
     k: int = 4,
     figure18_coefficients: tuple = (0.1, 0.5, 1.0, 2.0, 4.0),
     workers: int = 1,
+    backend: Optional[str] = None,
 ) -> ErrorToleranceResult:
     """Run the error-model grid (through the sweep engine) and the Figure-18 sweep.
 
-    ``workers > 1`` executes the grid across a process pool; the rows are
-    identical to the serial run.
+    ``workers > 1`` executes the grid across a process pool; ``backend``
+    selects another execution backend by name.  The rows are identical to
+    the serial run.
     """
     result = ErrorToleranceResult()
 
@@ -223,7 +225,7 @@ def run(
         )
         for _, error_model, seed_offset, extra_params in ERROR_GRID
     ]
-    sweep = SweepRunner(specs, workers=workers).run()
+    sweep = SweepRunner(specs, workers=workers, backend=backend).run()
     for (label, _, _, _), row in zip(ERROR_GRID, sweep.rows):
         result.runs.append(
             ErrorToleranceRow(

@@ -25,7 +25,7 @@ promise no asynchrony bound to match ``k`` against.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from ..analysis.tables import TextTable
 from ..sweeps import RunSpec, SweepRunner
@@ -77,11 +77,13 @@ def run(
     k_values: tuple = (1, 2),
     random_sizes: tuple = (8, 16),
     workers: int = 1,
+    backend: Optional[str] = None,
 ) -> Extension3DResult:
     """Run the 3D convergence grid through the sweep engine.
 
-    ``workers > 1`` executes the measurements across a process pool; the
-    rows are identical to the serial run.
+    ``workers > 1`` executes the measurements across a process pool;
+    ``backend`` selects another execution backend by name.  The rows are
+    identical to the serial run.
     """
     workloads: List[Tuple[str, int]] = [("line3", 6), ("lattice3", 8)]
     workloads.extend(("random3", n) for n in random_sizes)
@@ -105,7 +107,7 @@ def run(
         for k in k_values
         for workload, n in workloads
     ]
-    sweep = SweepRunner(specs, workers=workers).run()
+    sweep = SweepRunner(specs, workers=workers, backend=backend).run()
 
     result = Extension3DResult(epsilon=epsilon)
     for row in sweep.rows:

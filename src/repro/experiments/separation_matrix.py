@@ -124,6 +124,7 @@ def run(
     k: int = 4,
     seed: int = 0,
     workers: int = 1,
+    backend: Optional[str] = None,
 ) -> SeparationMatrixResult:
     """Build the separation matrix.
 
@@ -173,7 +174,7 @@ def run(
                 keys.append(spec.run_key)
             cell_keys.append((algorithm_label, scheduler_label, keys))
 
-    sweep = SweepRunner(list(unique.values()), workers=workers).run()
+    sweep = SweepRunner(list(unique.values()), workers=workers, backend=backend).run()
     rows_by_key = {row["run_key"]: row for row in sweep.rows}
     for algorithm_label, scheduler_label, keys in cell_keys:
         result.cells.append(

@@ -22,7 +22,7 @@ the all-pairs-always-visible predicate this experiment reports.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import List, Optional
 
 from ..analysis.tables import TextTable
 from ..sweeps import RunSpec, SweepRunner
@@ -87,11 +87,13 @@ def run(
     epsilon: float = 0.05,
     diameter_margin: float = 1.25,
     workers: int = 1,
+    backend: Optional[str] = None,
 ) -> UnlimitedAsyncResult:
     """Run KKNPS (k=1) under unbounded Async with V above the initial diameter.
 
     ``workers > 1`` executes the sizes across a process pool via the sweep
-    engine; the rows are identical to the serial run.
+    engine; ``backend`` selects another execution backend by name.  The
+    rows are identical to the serial run.
     """
     specs = [
         RunSpec(
@@ -108,7 +110,7 @@ def run(
         )
         for n in n_values
     ]
-    sweep = SweepRunner(specs, workers=workers).run()
+    sweep = SweepRunner(specs, workers=workers, backend=backend).run()
 
     result = UnlimitedAsyncResult()
     for row in sweep.rows:

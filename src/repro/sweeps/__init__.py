@@ -3,12 +3,25 @@
 This is the scale-out seam of the reproduction: experiments (and the
 ``python -m repro sweep`` CLI) describe *what* to run as a
 :class:`SweepSpec` grid or an explicit list of :class:`RunSpec` objects,
-and the :class:`SweepRunner` decides *how* — serially in-process or
-fanned out over ``multiprocessing`` workers — with append-only JSONL
-persistence and run-key resumption.  Results are identical either way;
-``tests/sweeps`` pins that guarantee.
+and the :class:`SweepRunner` decides *how* — through a pluggable
+:class:`~repro.sweeps.backends.ExecutionBackend` (serial in-process,
+static ``multiprocessing`` pool, work-stealing pool, or socket workers)
+— with append-only JSONL persistence, run-key resumption, and streamed
+row consumption into the incremental analysis layer.  Results are
+identical on every backend; ``tests/sweeps`` pins that guarantee.
 """
 
+from .backends import (
+    BackendStats,
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    SocketBackend,
+    WorkStealingBackend,
+    WorkerHealth,
+    backend_names,
+    make_backend,
+)
 from .factories import (
     algorithm_names,
     error_model_names,
@@ -21,6 +34,7 @@ from .factories import (
     workload_names,
 )
 from .runner import (
+    SweepProgress,
     SweepResult,
     SweepRunner,
     execute_run,
@@ -31,17 +45,27 @@ from .runner import (
 from .spec import K_SCHEDULERS, RunSpec, SweepSpec, check_unique_keys
 
 __all__ = [
+    "BackendStats",
+    "ExecutionBackend",
     "K_SCHEDULERS",
+    "ProcessPoolBackend",
     "RunSpec",
+    "SerialBackend",
+    "SocketBackend",
+    "SweepProgress",
     "SweepResult",
     "SweepRunner",
     "SweepSpec",
+    "WorkStealingBackend",
+    "WorkerHealth",
     "algorithm_names",
+    "backend_names",
     "check_unique_keys",
     "error_model_names",
     "execute_run",
     "load_completed_rows",
     "make_algorithm",
+    "make_backend",
     "make_error_models",
     "make_scheduler",
     "make_workload",

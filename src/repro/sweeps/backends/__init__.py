@@ -1,0 +1,92 @@
+"""Pluggable execution backends for the sweep runner.
+
+The :class:`~repro.sweeps.runner.SweepRunner` delegates *how* runs
+execute to an :class:`ExecutionBackend`; four ship with the repo:
+
+``serial``
+    One run after another in the calling process — the reference
+    semantics every other backend must reproduce bit-identically.
+``process-pool``
+    The pre-refactor static ``multiprocessing`` pool: ordered, chunked
+    ``imap`` in expansion order.
+``work-stealing``
+    Cost-ordered per-worker deques with dynamic chunking and
+    steal-on-idle — removes the straggler tail of skewed grids.
+``socket``
+    A coordinator and N worker processes over localhost TCP speaking
+    length-prefixed JSON frames — the remote-worker seam.
+
+All backends yield ``(run_key, row)`` pairs as runs complete and report
+worker health via :meth:`ExecutionBackend.stats`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from .base import (
+    BackendStats,
+    ExecutionBackend,
+    RowResult,
+    RunFunction,
+    WorkerHealth,
+)
+from .process_pool import ProcessPoolBackend
+from .serial import SerialBackend
+from .socket_backend import SocketBackend
+from .work_stealing import WorkStealingBackend
+
+#: Registry of constructable backend names.
+BACKENDS: Dict[str, type] = {
+    SerialBackend.name: SerialBackend,
+    ProcessPoolBackend.name: ProcessPoolBackend,
+    WorkStealingBackend.name: WorkStealingBackend,
+    SocketBackend.name: SocketBackend,
+}
+
+
+def backend_names() -> Tuple[str, ...]:
+    """The registered backend names, in registry order."""
+    return tuple(BACKENDS)
+
+
+def make_backend(
+    name: str,
+    *,
+    workers: int = 1,
+    chunk_size: int = 1,
+    run_fn: Optional[RunFunction] = None,
+) -> ExecutionBackend:
+    """Construct a backend by registry name.
+
+    ``workers``/``chunk_size`` are applied where the backend accepts
+    them; the serial backend ignores both.
+    """
+    try:
+        cls = BACKENDS[name]
+    except KeyError:
+        known = ", ".join(BACKENDS)
+        raise ValueError(f"unknown backend {name!r}; known: {known}") from None
+    if cls is SerialBackend:
+        return SerialBackend(run_fn=run_fn)
+    if cls is ProcessPoolBackend:
+        return ProcessPoolBackend(workers=workers, chunk_size=chunk_size, run_fn=run_fn)
+    if cls is WorkStealingBackend:
+        return WorkStealingBackend(workers=workers, run_fn=run_fn)
+    return SocketBackend(workers=workers, run_fn=run_fn)
+
+
+__all__ = [
+    "BACKENDS",
+    "BackendStats",
+    "ExecutionBackend",
+    "ProcessPoolBackend",
+    "RowResult",
+    "RunFunction",
+    "SerialBackend",
+    "SocketBackend",
+    "WorkStealingBackend",
+    "WorkerHealth",
+    "backend_names",
+    "make_backend",
+]

@@ -1,0 +1,108 @@
+"""The execution-backend contract of the sweep subsystem.
+
+A backend answers one question — *how* do the runs of a sweep execute —
+while the :class:`~repro.sweeps.runner.SweepRunner` keeps owning the
+*what* (expansion, resumption, JSONL persistence, aggregation).  The
+contract is deliberately narrow:
+
+* :meth:`ExecutionBackend.execute` takes the to-do run specs and yields
+  ``(run_key, row)`` pairs **as runs complete**, in whatever order the
+  backend finishes them.  Rows are pure functions of their spec
+  (:func:`~repro.sweeps.runner.execute_run`), so any backend produces
+  bit-identical rows up to the timing fields; only arrival order may
+  differ.
+* :meth:`ExecutionBackend.stats` reports worker health for the execution
+  that just ran — per-worker run counts and busy time, plus
+  backend-specific counters (steals for the work-stealing backend).
+
+Backends call the run function through ``self.run_fn``, which defaults
+to :func:`execute_run` but is injectable for tests.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..spec import RunSpec
+
+#: A completed run: its resume key and its flat result row.
+RowResult = Tuple[str, Dict[str, object]]
+
+#: The signature backends execute per run (injectable for tests).
+RunFunction = Callable[[RunSpec], Dict[str, object]]
+
+
+def default_run_fn() -> RunFunction:
+    """The production run function (imported lazily to avoid a cycle)."""
+    from ..runner import execute_run
+
+    return execute_run
+
+
+@dataclass
+class WorkerHealth:
+    """One worker's health report for a finished execution."""
+
+    worker_id: str
+    runs: int = 0
+    chunks: int = 0
+    busy_s: float = 0.0
+    steals: int = 0
+
+    def observe_chunk(self, runs: int, busy_s: float) -> None:
+        """Record one completed chunk of ``runs`` runs taking ``busy_s``."""
+        self.runs += runs
+        self.chunks += 1
+        self.busy_s += busy_s
+
+
+@dataclass
+class BackendStats:
+    """Aggregate health of one :meth:`ExecutionBackend.execute` call."""
+
+    backend: str
+    workers: int = 1
+    runs: int = 0
+    wall_time_s: float = 0.0
+    steals: int = 0
+    worker_health: List[WorkerHealth] = field(default_factory=list)
+
+    def summary(self) -> str:
+        """One-line human summary (the CLI's per-backend report)."""
+        parts = [
+            f"backend={self.backend}",
+            f"runs={self.runs}",
+            f"workers={self.workers}",
+            f"wall={self.wall_time_s:.2f}s",
+        ]
+        if self.backend == "work-stealing":
+            parts.append(f"steals={self.steals}")
+        if self.worker_health:
+            busy = ", ".join(
+                f"{w.worker_id}:{w.runs}r/{w.busy_s:.2f}s" for w in self.worker_health
+            )
+            parts.append(f"per-worker [{busy}]")
+        return " ".join(parts)
+
+
+class ExecutionBackend(abc.ABC):
+    """Abstract base of all sweep execution backends."""
+
+    #: Registry name of the backend (set by subclasses).
+    name: str = "abstract"
+
+    def __init__(self, *, run_fn: Optional[RunFunction] = None) -> None:
+        self.run_fn: RunFunction = run_fn if run_fn is not None else default_run_fn()
+        self._stats: Optional[BackendStats] = None
+
+    @abc.abstractmethod
+    def execute(self, specs: Sequence[RunSpec]) -> Iterator[RowResult]:
+        """Execute every spec, yielding ``(run_key, row)`` as runs complete."""
+
+    def stats(self) -> BackendStats:
+        """Health of the most recent :meth:`execute` call."""
+        if self._stats is None:
+            return BackendStats(backend=self.name, workers=0)
+        return self._stats

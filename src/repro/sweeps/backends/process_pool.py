@@ -1,0 +1,73 @@
+"""The static ``multiprocessing`` pool backend (pre-refactor semantics).
+
+This preserves the original ``SweepRunner`` parallel path exactly:
+``Pool.imap`` over the specs in expansion order with a fixed chunk size.
+Ordered ``imap`` keeps the row stream (and hence the JSONL file) in spec
+order, at the cost of head-of-line blocking: a slow chunk holds back
+rows that finished after it — the straggler behaviour the work-stealing
+backend exists to remove.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from typing import Dict, Iterator, Sequence, Tuple
+
+from ..spec import RunSpec
+from .base import BackendStats, ExecutionBackend, RowResult, RunFunction, WorkerHealth
+
+#: Module-level state of a pool worker (set once per process by the
+#: initializer; ``Pool`` cannot pass per-call closures to ``imap``).
+_WORKER_RUN_FN: RunFunction = None  # type: ignore[assignment]
+
+
+def _init_worker(run_fn: RunFunction) -> None:
+    global _WORKER_RUN_FN
+    _WORKER_RUN_FN = run_fn
+
+
+def _run_attributed(spec: RunSpec) -> Tuple[int, float, Dict[str, object]]:
+    """Execute one spec, tagging the row with its worker pid and busy time."""
+    started = time.perf_counter()
+    row = _WORKER_RUN_FN(spec)
+    return os.getpid(), time.perf_counter() - started, row
+
+
+class ProcessPoolBackend(ExecutionBackend):
+    """Chunked, ordered fan-out over a static ``multiprocessing.Pool``."""
+
+    name = "process-pool"
+
+    def __init__(self, *, workers: int = 2, chunk_size: int = 1, run_fn=None) -> None:
+        super().__init__(run_fn=run_fn)
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be at least 1")
+        self.workers = workers
+        self.chunk_size = chunk_size
+
+    def execute(self, specs: Sequence[RunSpec]) -> Iterator[RowResult]:
+        self._stats = BackendStats(backend=self.name, workers=self.workers)
+        if not specs:
+            return
+        health: Dict[int, WorkerHealth] = {}
+        started = time.perf_counter()
+        with multiprocessing.Pool(
+            processes=self.workers,
+            initializer=_init_worker,
+            initargs=(self.run_fn,),
+        ) as pool:
+            results = pool.imap(_run_attributed, specs, chunksize=self.chunk_size)
+            for spec, (pid, busy_s, row) in zip(specs, results):
+                worker = health.setdefault(pid, WorkerHealth(worker_id=f"pid-{pid}"))
+                worker.observe_chunk(1, busy_s)
+                self._stats.runs += 1
+                self._stats.wall_time_s = time.perf_counter() - started
+                yield spec.run_key, row
+        self._stats.wall_time_s = time.perf_counter() - started
+        self._stats.worker_health = [
+            health[pid] for pid in sorted(health)
+        ]

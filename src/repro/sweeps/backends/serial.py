@@ -1,0 +1,35 @@
+"""In-process serial execution — the reference semantics of every sweep."""
+
+from __future__ import annotations
+
+import time
+from typing import Iterator, Sequence
+
+from ..spec import RunSpec
+from .base import BackendStats, ExecutionBackend, RowResult, WorkerHealth
+
+
+class SerialBackend(ExecutionBackend):
+    """Execute runs one after another in the calling process.
+
+    This is the fallback every other backend is measured against: rows
+    arrive in spec order, and (timing aside) define the bit-identical
+    reference output of the sweep.
+    """
+
+    name = "serial"
+
+    def execute(self, specs: Sequence[RunSpec]) -> Iterator[RowResult]:
+        health = WorkerHealth(worker_id="serial-0")
+        self._stats = BackendStats(
+            backend=self.name, workers=1, worker_health=[health]
+        )
+        started = time.perf_counter()
+        for spec in specs:
+            row_started = time.perf_counter()
+            row = self.run_fn(spec)
+            health.observe_chunk(1, time.perf_counter() - row_started)
+            self._stats.runs += 1
+            self._stats.wall_time_s = time.perf_counter() - started
+            yield spec.run_key, row
+        self._stats.wall_time_s = time.perf_counter() - started

@@ -1,0 +1,251 @@
+"""Remote-worker seam: a coordinator and N workers over localhost TCP.
+
+This backend proves the distributed contract end to end while staying on
+one machine: the coordinator binds an ephemeral ``127.0.0.1`` port,
+spawns worker *processes* that talk to it **only through the socket** —
+no shared memory, no inherited queues — and streams rows back as they
+complete.  Pointing the same protocol at real remote hosts is a matter
+of starting :func:`worker_main` elsewhere with the coordinator's
+address; nothing in the message flow would change.
+
+Wire protocol (one frame = 4-byte big-endian length + UTF-8 JSON body):
+
+======================  ======================================================
+frame                   meaning
+======================  ======================================================
+``hello``               worker → coordinator, once per connection
+``task``                coordinator → worker; ``specs`` is a list of
+                        :meth:`RunSpec.to_dict` payloads to execute
+``result``              worker → coordinator; the executed ``rows`` plus the
+                        worker's ``busy_s`` for the chunk
+``shutdown``            coordinator → worker; close the connection and exit
+======================  ======================================================
+
+Tasks are self-scheduled: chunks (cost-sorted largest-first, sizes
+shrinking as the queue drains) live in a thread-safe queue, and one
+coordinator thread per connection hands them out as its worker finishes
+— idle workers therefore drain the chunks other workers have not
+claimed, the socket-shaped analogue of steal-on-idle.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import queue
+import socket
+import struct
+import threading
+import time
+from typing import Iterator, List, Optional, Sequence
+
+from ..spec import RunSpec
+from .base import BackendStats, ExecutionBackend, RowResult, RunFunction, WorkerHealth
+from .work_stealing import dynamic_chunk_size
+
+_LENGTH = struct.Struct(">I")
+
+
+def send_frame(sock: socket.socket, message: dict) -> None:
+    """Send one length-prefixed JSON frame."""
+    payload = json.dumps(message).encode("utf-8")
+    sock.sendall(_LENGTH.pack(len(payload)) + payload)
+
+
+def recv_frame(sock: socket.socket) -> dict:
+    """Receive one length-prefixed JSON frame (raises on a closed peer)."""
+    header = _recv_exact(sock, _LENGTH.size)
+    (length,) = _LENGTH.unpack(header)
+    return json.loads(_recv_exact(sock, length).decode("utf-8"))
+
+
+def _recv_exact(sock: socket.socket, size: int) -> bytes:
+    chunks: List[bytes] = []
+    while size > 0:
+        chunk = sock.recv(size)
+        if not chunk:
+            raise ConnectionError("socket worker closed the connection mid-frame")
+        chunks.append(chunk)
+        size -= len(chunk)
+    return b"".join(chunks)
+
+
+def worker_main(host: str, port: int, worker_id: int, run_fn: RunFunction) -> None:
+    """A socket worker: connect, announce, execute task frames until shutdown.
+
+    This is the function a *real* remote deployment would start on each
+    worker host (with ``host``/``port`` pointing at the coordinator).
+    A lost connection means the coordinator is gone (finished, crashed,
+    or never needed this worker); the worker exits quietly — error
+    reporting belongs to the coordinator side.
+    """
+    try:
+        with socket.create_connection((host, port)) as sock:
+            send_frame(sock, {"type": "hello", "worker": worker_id})
+            while True:
+                frame = recv_frame(sock)
+                if frame["type"] == "shutdown":
+                    return
+                if frame["type"] != "task":
+                    raise ValueError(f"unexpected frame type {frame['type']!r}")
+                specs = [RunSpec.from_dict(payload) for payload in frame["specs"]]
+                started = time.perf_counter()
+                rows = [run_fn(spec) for spec in specs]
+                send_frame(
+                    sock,
+                    {
+                        "type": "result",
+                        "worker": worker_id,
+                        "rows": rows,
+                        "busy_s": time.perf_counter() - started,
+                    },
+                )
+    except (ConnectionError, OSError):
+        return
+
+
+class SocketBackend(ExecutionBackend):
+    """Coordinator + N localhost TCP workers speaking JSON frames."""
+
+    name = "socket"
+
+    def __init__(
+        self, *, workers: int = 2, host: str = "127.0.0.1", run_fn=None
+    ) -> None:
+        super().__init__(run_fn=run_fn)
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        self.workers = workers
+        self.host = host
+
+    def _chunk_tasks(self, specs: Sequence[RunSpec]) -> "queue.SimpleQueue[List[dict]]":
+        """Cost-sorted specs pre-chunked with shrinking sizes, as a queue."""
+        ordered = sorted(specs, key=lambda s: (-s.cost_hint(), s.run_key))
+        tasks: "queue.SimpleQueue[List[dict]]" = queue.SimpleQueue()
+        index = 0
+        while index < len(ordered):
+            size = dynamic_chunk_size(len(ordered) - index, self.workers)
+            tasks.put([spec.to_dict() for spec in ordered[index : index + size]])
+            index += size
+        return tasks
+
+    def _serve_connection(
+        self,
+        sock: socket.socket,
+        tasks: "queue.SimpleQueue[List[dict]]",
+        results: "queue.Queue",
+    ) -> None:
+        """One coordinator thread: feed chunks to one worker, relay rows."""
+        try:
+            hello = recv_frame(sock)
+            worker_id = int(hello.get("worker", -1))
+            health = WorkerHealth(worker_id=f"sock-{worker_id}")
+            while True:
+                try:
+                    chunk = tasks.get_nowait()
+                except queue.Empty:
+                    send_frame(sock, {"type": "shutdown"})
+                    results.put(health)
+                    return
+                send_frame(sock, {"type": "task", "specs": chunk})
+                frame = recv_frame(sock)
+                health.observe_chunk(len(frame["rows"]), float(frame["busy_s"]))
+                results.put(frame["rows"])
+        except BaseException as error:
+            results.put(error)
+        finally:
+            sock.close()
+
+    def execute(self, specs: Sequence[RunSpec]) -> Iterator[RowResult]:
+        self._stats = BackendStats(backend=self.name, workers=self.workers)
+        if not specs:
+            return
+        tasks = self._chunk_tasks(specs)
+        results: "queue.Queue" = queue.Queue()
+        started = time.perf_counter()
+
+        server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        context = multiprocessing.get_context()
+        processes: List[multiprocessing.Process] = []
+        threads: List[threading.Thread] = []
+        try:
+            server.bind((self.host, 0))
+            server.listen(self.workers)
+            port = server.getsockname()[1]
+            processes = [
+                context.Process(
+                    target=worker_main,
+                    args=(self.host, port, i, self.run_fn),
+                    daemon=True,
+                )
+                for i in range(self.workers)
+            ]
+            for process in processes:
+                process.start()
+            # Accept with a poll loop: a worker that dies before connecting
+            # (bootstrap failure under spawn) must not hang the coordinator
+            # in accept() forever.  More dead processes than accepted
+            # connections proves a worker was lost pre-connect; if the
+            # connected survivors have already claimed every chunk, the
+            # missing workers are not needed and the sweep proceeds without
+            # them.
+            server.settimeout(1.0)
+            while len(threads) < self.workers:
+                try:
+                    connection, _address = server.accept()
+                except socket.timeout:
+                    if threads and tasks.empty():
+                        break
+                    dead = sum(1 for p in processes if not p.is_alive())
+                    if dead > len(threads):
+                        if threads:
+                            break
+                        raise RuntimeError(
+                            f"{dead} socket worker(s) died before connecting"
+                        ) from None
+                    continue
+                thread = threading.Thread(
+                    target=self._serve_connection,
+                    args=(connection, tasks, results),
+                    daemon=True,
+                )
+                thread.start()
+                threads.append(thread)
+            # The accept phase is over: close the listener now so a
+            # late-connecting worker stranded in the backlog gets a reset
+            # (and exits quietly) instead of blocking until the join below.
+            server.close()
+
+            pending = len(specs)
+            connected = len(threads)
+            finished_workers = 0
+            while pending > 0:
+                item = results.get()
+                if isinstance(item, BaseException):
+                    raise RuntimeError("socket worker connection failed") from item
+                if isinstance(item, WorkerHealth):
+                    finished_workers += 1
+                    self._stats.worker_health.append(item)
+                    continue
+                for row in item:
+                    pending -= 1
+                    self._stats.runs += 1
+                    self._stats.wall_time_s = time.perf_counter() - started
+                    yield str(row["run_key"]), row
+            while finished_workers < connected:
+                item = results.get(timeout=10)
+                if isinstance(item, BaseException):
+                    raise RuntimeError("socket worker connection failed") from item
+                if isinstance(item, WorkerHealth):
+                    finished_workers += 1
+                    self._stats.worker_health.append(item)
+            for process in processes:
+                process.join(timeout=10)
+        finally:
+            server.close()
+            for process in processes:
+                if process.is_alive():
+                    process.terminate()
+                    process.join(timeout=5)
+        self._stats.worker_health.sort(key=lambda w: w.worker_id)
+        self._stats.wall_time_s = time.perf_counter() - started

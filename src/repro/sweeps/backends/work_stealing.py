@@ -1,0 +1,182 @@
+"""Work-stealing execution: cost-ordered local deques with steal-on-idle.
+
+The straggler problem this solves: a static pool partitions chunks in
+expansion order, so a tail chunk of expensive runs (a 3D run, an
+``n = 400`` planar run) can land on one worker while the rest sit idle.
+Here the coordinator (the calling process) keeps one deque per worker:
+
+1. The to-do specs are sorted **largest-first** by the cost model
+   (:meth:`RunSpec.cost_hint`) and dealt snake-wise across the deques, so
+   every worker starts with a balanced share and the expensive runs
+   execute first (classic LPT scheduling).
+2. Workers pull **dynamically chunked** batches from the front of their
+   own deque — large chunks while the deque is full (amortising IPC),
+   shrinking to single runs near the end (minimising the tail).
+3. A worker whose deque runs dry **steals** from the back of the largest
+   remaining deque — the cheap end, because each deque is sorted
+   largest-first — so no worker idles while another has queued work.
+
+Rows stream back over a shared results queue and are yielded as they
+arrive; the order is non-deterministic but the rows themselves are pure
+functions of their specs, so the sweep's output is unchanged.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue
+import time
+from collections import deque
+from typing import Deque, Dict, Iterator, List, Sequence
+
+from ..spec import RunSpec
+from .base import BackendStats, ExecutionBackend, RowResult, RunFunction, WorkerHealth
+
+#: Upper bound on how many runs one message hands a worker.
+MAX_CHUNK = 8
+
+
+def _worker_loop(worker_id, inbox, outbox, run_fn: RunFunction) -> None:
+    """Worker process: execute chunks from ``inbox`` until the sentinel."""
+    while True:
+        chunk = inbox.get()
+        if chunk is None:
+            break
+        started = time.perf_counter()
+        try:
+            rows = [run_fn(spec) for spec in chunk]
+        except BaseException as error:  # surface in the coordinator, don't hang it
+            outbox.put((worker_id, error, 0.0))
+            break
+        outbox.put((worker_id, rows, time.perf_counter() - started))
+
+
+def dynamic_chunk_size(remaining: int, workers: int) -> int:
+    """How many runs to hand a worker when ``remaining`` are still queued.
+
+    Roughly a quarter of a fair share, clamped to ``[1, MAX_CHUNK]`` — big
+    enough to amortise queue traffic early on, and collapsing to one run
+    per message near the end so the last runs spread across all workers.
+    """
+    return max(1, min(MAX_CHUNK, remaining // (4 * workers)))
+
+
+class WorkStealingBackend(ExecutionBackend):
+    """Shared-queue execution with per-worker deques and steal-on-idle."""
+
+    name = "work-stealing"
+
+    def __init__(self, *, workers: int = 2, run_fn=None) -> None:
+        super().__init__(run_fn=run_fn)
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        self.workers = workers
+
+    def _deal_deques(self, specs: Sequence[RunSpec]) -> List[Deque[RunSpec]]:
+        """Cost-sorted specs dealt snake-wise into one deque per worker."""
+        by_cost = sorted(
+            range(len(specs)),
+            key=lambda i: (-specs[i].cost_hint(), i),
+        )
+        deques: List[Deque[RunSpec]] = [deque() for _ in range(self.workers)]
+        for position, spec_index in enumerate(by_cost):
+            lap, slot = divmod(position, self.workers)
+            worker = slot if lap % 2 == 0 else self.workers - 1 - slot
+            deques[worker].append(specs[spec_index])
+        return deques
+
+    def _next_chunk(
+        self, worker: int, deques: List[Deque[RunSpec]], health: List[WorkerHealth]
+    ) -> List[RunSpec]:
+        """The next batch for ``worker``: own deque first, then a steal."""
+        remaining = sum(len(d) for d in deques)
+        if remaining == 0:
+            return []
+        size = dynamic_chunk_size(remaining, self.workers)
+        own = deques[worker]
+        if own:
+            return [own.popleft() for _ in range(min(size, len(own)))]
+        victim = max(range(self.workers), key=lambda i: len(deques[i]))
+        loot = deques[victim]
+        # Steal from the back — each deque is sorted largest-first, so the
+        # back holds the cheapest runs, keeping the victim's big runs local.
+        stolen = [loot.pop() for _ in range(min(size, len(loot)))]
+        self._stats.steals += 1
+        health[worker].steals += 1
+        return stolen
+
+    def execute(self, specs: Sequence[RunSpec]) -> Iterator[RowResult]:
+        self._stats = BackendStats(backend=self.name, workers=self.workers)
+        if not specs:
+            return
+        health = [WorkerHealth(worker_id=f"ws-{i}") for i in range(self.workers)]
+        self._stats.worker_health = health
+        deques = self._deal_deques(specs)
+        started = time.perf_counter()
+
+        context = multiprocessing.get_context()
+        outbox = context.Queue()
+        inboxes = [context.Queue() for _ in range(self.workers)]
+        processes = [
+            context.Process(
+                target=_worker_loop,
+                args=(i, inboxes[i], outbox, self.run_fn),
+                daemon=True,
+            )
+            for i in range(self.workers)
+        ]
+        for process in processes:
+            process.start()
+        try:
+            retired = set()
+
+            def _dispatch(worker: int) -> None:
+                chunk = self._next_chunk(worker, deques, health)
+                if chunk:
+                    inboxes[worker].put(chunk)
+                else:
+                    inboxes[worker].put(None)
+                    retired.add(worker)
+
+            for i in range(self.workers):
+                _dispatch(i)
+            pending = len(specs)
+            while pending > 0:
+                try:
+                    worker, rows, busy_s = outbox.get(timeout=1.0)
+                except queue.Empty:
+                    # A worker killed outside Python (OOM, segfault) can
+                    # never report back; fail loudly instead of hanging.
+                    # Workers in `retired` exited normally after their
+                    # shutdown sentinel and are not suspects.
+                    dead = [
+                        i
+                        for i, process in enumerate(processes)
+                        if i not in retired and not process.is_alive()
+                    ]
+                    if dead and outbox.empty():
+                        raise RuntimeError(
+                            f"work-stealing worker(s) ws-"
+                            f"{', ws-'.join(map(str, dead))} died with "
+                            f"{pending} runs outstanding"
+                        ) from None
+                    continue
+                if isinstance(rows, BaseException):
+                    raise RuntimeError(
+                        f"work-stealing worker ws-{worker} failed"
+                    ) from rows
+                health[worker].observe_chunk(len(rows), busy_s)
+                _dispatch(worker)
+                for row in rows:
+                    pending -= 1
+                    self._stats.runs += 1
+                    self._stats.wall_time_s = time.perf_counter() - started
+                    yield str(row["run_key"]), row
+            for process in processes:
+                process.join(timeout=10)
+        finally:
+            for process in processes:
+                if process.is_alive():
+                    process.terminate()
+                    process.join(timeout=5)
+        self._stats.wall_time_s = time.perf_counter() - started

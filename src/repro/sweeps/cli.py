@@ -1,11 +1,14 @@
 """The ``python -m repro sweep`` subcommand.
 
 Builds a :class:`~repro.sweeps.spec.SweepSpec` from the command line, runs
-it through the :class:`~repro.sweeps.runner.SweepRunner`, prints the
-aggregate table and (optionally) persists the per-run rows as resumable
-JSONL.  ``--smoke`` runs a small fixed grid with two workers — the CI
-sanity check that the whole pipeline (expansion, multiprocessing,
-aggregation) holds together in under half a minute.
+it through the :class:`~repro.sweeps.runner.SweepRunner` on the selected
+execution backend, prints the aggregate table plus a per-backend summary
+and (optionally) persists the per-run rows as resumable JSONL.
+``--stream-progress`` upgrades the progress line with a cost-model ETA
+and a live converged/cohesive tally.  ``--smoke`` runs a small fixed
+grid with two workers — the CI sanity check that the whole pipeline
+(expansion, fan-out, streaming aggregation) holds together in under half
+a minute.
 """
 
 from __future__ import annotations
@@ -14,13 +17,14 @@ import argparse
 import sys
 from typing import List, Optional
 
+from .backends import backend_names
 from .factories import (
     algorithm_names,
     error_model_names,
     scheduler_names,
     workload_names,
 )
-from .runner import run_sweep
+from .runner import SweepProgress, run_sweep
 from .spec import SweepSpec
 
 
@@ -54,16 +58,21 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--k", type=int, default=2, help="asynchrony bound for k-schedulers")
     parser.add_argument("--epsilon", type=float, default=0.05)
     parser.add_argument("--max-activations", type=int, default=5000)
+    parser.add_argument("--backend", choices=backend_names(), default=None,
+                        help="execution backend (default: serial with 1 worker, "
+                             "process-pool otherwise)")
     parser.add_argument("--workers", type=int, default=None,
                         help="worker processes (default 1; 1 = serial fallback; "
                              "--smoke defaults to 2)")
     parser.add_argument("--chunk-size", type=int, default=1,
-                        help="runs handed to a worker at a time")
+                        help="runs handed to a process-pool worker at a time")
     parser.add_argument("--out", type=str, default=None,
                         help="JSONL result file (resumable; one row per run)")
     parser.add_argument("--no-resume", action="store_true",
                         help="re-run everything even if --out already has rows")
     parser.add_argument("--quiet", action="store_true", help="suppress per-run progress")
+    parser.add_argument("--stream-progress", action="store_true",
+                        help="live progress with cost-model ETA and running tallies")
     parser.add_argument("--smoke", action="store_true",
                         help="run the small fixed smoke grid (overrides the axes)")
     return parser
@@ -84,13 +93,42 @@ def smoke_spec() -> SweepSpec:
     )
 
 
+def _format_eta(eta_s: Optional[float]) -> str:
+    if eta_s is None:
+        return "ETA --"
+    if eta_s >= 60:
+        return f"ETA {eta_s / 60:.1f}m"
+    return f"ETA {eta_s:.0f}s"
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point of ``python -m repro sweep``."""
     args = build_parser().parse_args(argv)
 
+    progress_printed = [False]
+
     def progress(done: int, total: int) -> None:
-        if not args.quiet:
+        if not args.quiet and not args.stream_progress:
+            progress_printed[0] = True
             print(f"\r  {done}/{total} runs", end="", file=sys.stderr, flush=True)
+
+    def stream_progress(tick: SweepProgress) -> None:
+        if args.quiet or not args.stream_progress:
+            return
+        progress_printed[0] = True
+        # The tallies span every row of the sweep (resumed ones included),
+        # so print them over the aggregate row count, not done/total —
+        # which only cover the runs this invocation executes.
+        tally = tick.aggregate
+        print(
+            f"\r  {tick.done}/{tick.total} runs "
+            f"({tick.cost_fraction:6.1%} of cost, {_format_eta(tick.eta_s)}) "
+            f"converged {tally['converged']}/{tally['rows']} "
+            f"cohesive {tally['cohesive']}/{tally['rows']}",
+            end="",
+            file=sys.stderr,
+            flush=True,
+        )
 
     try:
         if args.smoke:
@@ -115,17 +153,25 @@ def main(argv: Optional[List[str]] = None) -> int:
             chunk_size=args.chunk_size,
             jsonl_path=args.out,
             resume=not args.no_resume,
+            backend=args.backend,
             progress=progress,
+            stream_progress=stream_progress,
         )
     except ValueError as error:
-        # Bad axis values (empty/duplicate axes, zero workers, ...) are user
-        # errors: report them like argparse would, not as a traceback.
+        # Bad axis values (empty/duplicate axes, zero workers, unknown
+        # backend, ...) are user errors: report them like argparse would,
+        # not as a traceback.
         print(f"python -m repro sweep: error: {error}", file=sys.stderr)
         return 2
-    if not args.quiet and result.executed:
-        print(file=sys.stderr)
+    finally:
+        # The progress line ends with \r-overwrites; always terminate it so
+        # whatever prints next starts on a fresh line.
+        if progress_printed[0]:
+            print(file=sys.stderr)
 
     print(result.to_table().render())
+    if result.stats is not None:
+        print(f"\n{result.stats.summary()}")
     if args.out is not None:
         print(f"\n{result.executed} rows appended to {args.out} "
               f"({result.resumed} resumed)")

@@ -1,34 +1,45 @@
-"""Parallel execution of sweep runs, with JSONL persistence and resumption.
+"""Sweep execution over pluggable backends, with JSONL persistence and resumption.
 
 The runner is deliberately boring: :func:`execute_run` is a pure function
 from a :class:`~repro.sweeps.spec.RunSpec` to a flat, JSON-serializable
-result row, and :class:`SweepRunner` maps it over the runs — either
-serially in-process (the fallback, and the reference semantics) or across
-a ``multiprocessing`` pool.  Because every run rebuilds its workload,
-algorithm, scheduler and RNG from the spec's names and seed, a row is
-identical no matter which process produced it; the only field that varies
-between executions is ``wall_time_s``, which :data:`TIMING_FIELDS` names
-so comparisons can drop it.
+result row, and :class:`SweepRunner` maps it over the runs through an
+:class:`~repro.sweeps.backends.ExecutionBackend` — serial in-process (the
+reference semantics), the static ``multiprocessing`` pool, a
+work-stealing pool, or socket workers.  Because every run rebuilds its
+workload, algorithm, scheduler and RNG from the spec's names and seed, a
+row is identical no matter which process produced it; the only field that
+varies between executions is ``wall_time_s``, which :data:`TIMING_FIELDS`
+names so comparisons can drop it.
 
-Persistence is append-only JSONL, one row per line.  On re-run with
-``resume=True`` the runner loads the completed run keys from the file and
-executes only the missing runs, so a killed sweep continues where it
-stopped.
+Consumption is incremental: the runner appends each row to the JSONL
+file **as it arrives** from the backend (crash-safe — a sweep killed
+mid-run resumes losslessly), folds it into a
+:class:`~repro.analysis.streaming.StreamingAggregator`, and drives the
+progress callbacks with a cost-model ETA.  On re-run with
+``resume=True`` the runner loads the completed run keys from the file
+and executes only the missing runs.
 """
 
 from __future__ import annotations
 
 import json
-import multiprocessing
 import time
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
+from ..analysis.streaming import StreamingAggregator
 from ..analysis.tables import TextTable
 from ..engine.convergence import epochs_to_converge
 from ..engine.simulator import SimulationConfig, run_simulation
 from ..model.visibility import max_edge_stretch
+from .backends import (
+    BackendStats,
+    ExecutionBackend,
+    backend_names,
+    make_backend,
+)
 from .factories import (
     activation_probability3,
     error_model3_xi,
@@ -188,18 +199,41 @@ def strip_timing(row: Dict[str, object]) -> Dict[str, object]:
 
 
 @dataclass
+class SweepProgress:
+    """One tick of the streamed progress callback (after every row)."""
+
+    done: int
+    total: int
+    run_key: str
+    cost_done: float
+    cost_total: float
+    elapsed_s: float
+    eta_s: Optional[float]
+    aggregate: Dict[str, object]
+
+    @property
+    def cost_fraction(self) -> float:
+        """Cost-weighted completion in ``[0, 1]`` (what the ETA is based on)."""
+        if self.cost_total <= 0:
+            return 1.0 if self.done >= self.total else 0.0
+        return min(1.0, self.cost_done / self.cost_total)
+
+
+@dataclass
 class SweepResult:
     """All result rows of a sweep, in the deterministic expansion order."""
 
     rows: List[Dict[str, object]] = field(default_factory=list)
     executed: int = 0
     resumed: int = 0
+    aggregator: Optional[StreamingAggregator] = None
+    stats: Optional[BackendStats] = None
 
     def __len__(self) -> int:
         return len(self.rows)
 
     def deterministic_rows(self) -> List[Dict[str, object]]:
-        """The rows without timing fields (equal across serial/parallel runs)."""
+        """The rows without timing fields (equal across backends)."""
         return [strip_timing(row) for row in self.rows]
 
     def row_for(self, run_key: str) -> Optional[Dict[str, object]]:
@@ -210,80 +244,107 @@ class SweepResult:
         return None
 
     def to_table(self) -> TextTable:
-        """Aggregate table: one line per (algorithm, scheduler, workload, error)."""
-        groups: Dict[tuple, List[Dict[str, object]]] = {}
-        for row in self.rows:
-            key = (row["algorithm"], row["scheduler"], row["workload"], row["error_model"])
-            groups.setdefault(key, []).append(row)
-        table = TextTable(
-            f"Sweep aggregate — {len(self.rows)} runs "
-            f"({self.executed} executed, {self.resumed} resumed)",
-            [
-                "algorithm",
-                "scheduler",
-                "workload",
-                "error model",
-                "runs",
-                "converged",
-                "cohesive",
-                "mean activations",
-                "mean final diameter",
-                "worst final diameter",
-            ],
-        )
-        for key in sorted(groups):
-            rows = groups[key]
-            converged = sum(1 for r in rows if r["converged"])
-            cohesive = sum(1 for r in rows if r["cohesion"])
-            mean_activations = sum(r["activations"] for r in rows) / len(rows)
-            diameters = [r["final_diameter"] for r in rows]
-            table.add_row(
-                *key,
-                len(rows),
-                f"{converged}/{len(rows)}",
-                f"{cohesive}/{len(rows)}",
-                mean_activations,
-                sum(diameters) / len(diameters),
-                max(diameters),
-            )
-        return table
+        """Aggregate table: one line per (algorithm, scheduler, workload, error).
+
+        Rendered from the streaming aggregator the runner maintained while
+        rows arrived; built on demand (in row order) for results assembled
+        without one.  Both paths produce the identical table —
+        ``tests/analysis/test_streaming.py`` pins the equality.
+        """
+        aggregator = self.aggregator
+        if aggregator is None or aggregator.rows_added != len(self.rows):
+            aggregator = StreamingAggregator()
+            for row in self.rows:
+                aggregator.add_row(row)
+        return aggregator.to_table(executed=self.executed, resumed=self.resumed)
 
 
-def load_completed_rows(jsonl_path: Union[str, Path]) -> Dict[str, Dict[str, object]]:
+def load_completed_rows(
+    jsonl_path: Union[str, Path], *, repair: bool = True
+) -> Dict[str, Dict[str, object]]:
     """Completed rows keyed by run key, from an existing JSONL result file.
 
-    Lines that fail to parse (e.g. a partial line left by a killed run) are
-    skipped; their runs simply execute again.
+    A process killed mid-append leaves an unterminated trailing line.
+    With ``repair=True`` (the default) that partial line — recognised by
+    its missing newline, since the runner always writes whole
+    ``row + "\\n"`` lines — is dropped **and removed from the file**,
+    with a warning, so subsequent appends start on a clean line boundary
+    and the poisoned line cannot shadow its re-executed run.
+    Newline-terminated lines that fail to parse (or carry no run key)
+    are skipped with a warning wherever they appear; their runs simply
+    execute again.
     """
     path = Path(jsonl_path)
     completed: Dict[str, Dict[str, object]] = {}
     if not path.exists():
         return completed
-    with path.open("r", encoding="utf-8") as handle:
-        for line in handle:
-            line = line.strip()
-            if not line:
-                continue
+    data = path.read_bytes()
+    truncate_at: Optional[int] = None
+    unterminated_row = False
+    position = 0
+    while position < len(data):
+        newline = data.find(b"\n", position)
+        end = len(data) if newline == -1 else newline + 1
+        raw = data[position : newline if newline != -1 else len(data)].strip()
+        if raw:
+            row: Optional[Dict[str, object]] = None
             try:
-                row = json.loads(line)
-            except json.JSONDecodeError:
-                continue
-            key = row.get("run_key")
-            if isinstance(key, str):
-                completed[key] = row
+                parsed = json.loads(raw.decode("utf-8"))
+                if isinstance(parsed, dict) and isinstance(parsed.get("run_key"), str):
+                    row = parsed
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                row = None
+            if row is not None:
+                completed[row["run_key"]] = row
+                # A complete row whose newline never hit the disk: keep it,
+                # but the file must be terminated before the next append
+                # merges two rows onto one line.
+                unterminated_row = newline == -1
+            elif newline == -1:
+                truncate_at = position
+            else:
+                warnings.warn(
+                    f"skipping JSONL line without a parseable sweep row at byte "
+                    f"{position} of {path}"
+                )
+        position = end
+    if truncate_at is not None:
+        if repair:
+            warnings.warn(
+                f"dropping truncated trailing JSONL line in {path} "
+                "(crash mid-append?); rewriting the file for a clean resume"
+            )
+            with path.open("r+b") as handle:
+                handle.truncate(truncate_at)
+        else:
+            warnings.warn(
+                f"ignoring truncated trailing JSONL line in {path}; "
+                "its run will execute again"
+            )
+    elif unterminated_row and repair:
+        warnings.warn(
+            f"terminating the unterminated final JSONL line in {path} "
+            "(crash between row and newline?) so appends start on a clean line"
+        )
+        with path.open("ab") as handle:
+            handle.write(b"\n")
     return completed
 
 
 class SweepRunner:
-    """Execute a sweep's runs across workers, persisting rows as they finish.
+    """Execute a sweep's runs through a backend, persisting rows as they finish.
 
     ``runs`` may be a :class:`SweepSpec` (expanded on construction) or an
     explicit sequence of :class:`RunSpec` objects (how the registry
-    experiments express ablations the grid cannot).  ``workers <= 1``
-    selects the in-process serial fallback, whose results define the
-    reference semantics; with ``workers > 1`` the runs are chunked across a
-    ``multiprocessing`` pool and — because :func:`execute_run` is pure —
-    produce the same rows in the same order.
+    experiments express ablations the grid cannot).  ``backend`` selects
+    the execution strategy by registry name (``serial``, ``process-pool``,
+    ``work-stealing``, ``socket``) or as a pre-built
+    :class:`~repro.sweeps.backends.ExecutionBackend`; when omitted,
+    ``workers <= 1`` selects the serial reference backend and
+    ``workers > 1`` the static process pool — exactly the pre-backend
+    behaviour.  Every backend produces the same rows (timing aside); only
+    completion order differs, and the returned result is always in
+    expansion order.
     """
 
     def __init__(
@@ -294,6 +355,7 @@ class SweepRunner:
         chunk_size: int = 1,
         jsonl_path: Optional[Union[str, Path]] = None,
         resume: bool = True,
+        backend: Optional[Union[str, ExecutionBackend]] = None,
     ) -> None:
         if isinstance(runs, SweepSpec):
             runs = runs.expand()
@@ -303,22 +365,46 @@ class SweepRunner:
             raise ValueError("workers must be at least 1")
         if chunk_size < 1:
             raise ValueError("chunk_size must be at least 1")
+        if isinstance(backend, str) and backend not in backend_names():
+            known = ", ".join(backend_names())
+            raise ValueError(f"unknown backend {backend!r}; known: {known}")
         self.workers = workers
         self.chunk_size = chunk_size
         self.jsonl_path = Path(jsonl_path) if jsonl_path is not None else None
         self.resume = resume
+        self.backend = backend
+
+    def resolve_backend(self) -> ExecutionBackend:
+        """The backend instance this runner will execute through."""
+        if isinstance(self.backend, ExecutionBackend):
+            return self.backend
+        name = self.backend
+        if name is None:
+            name = "serial" if self.workers == 1 else "process-pool"
+        return make_backend(name, workers=self.workers, chunk_size=self.chunk_size)
 
     def run(
-        self, *, progress: Optional[Callable[[int, int], None]] = None
+        self,
+        *,
+        progress: Optional[Callable[[int, int], None]] = None,
+        stream_progress: Optional[Callable[[SweepProgress], None]] = None,
     ) -> SweepResult:
         """Execute every non-completed run and return all rows in order.
 
-        ``progress`` (optional) is called as ``progress(done, total)`` after
-        every completed run.
+        Each row is appended to the JSONL file and folded into the
+        streaming aggregator the moment the backend yields it, **before**
+        the callbacks fire — so a sweep interrupted at any point (even by
+        a raising callback) resumes from everything that completed.
+
+        ``progress`` (optional) is called as ``progress(done, total)``
+        after every completed run; ``stream_progress`` receives a
+        :class:`SweepProgress` with the cost-model ETA and a live
+        aggregate snapshot.
         """
         completed: Dict[str, Dict[str, object]] = {}
         if self.jsonl_path is not None and self.resume:
             completed = load_completed_rows(self.jsonl_path)
+        order = {spec.run_key: index for index, spec in enumerate(self.runs)}
         todo = [spec for spec in self.runs if spec.run_key not in completed]
 
         handle = None
@@ -329,18 +415,50 @@ class SweepRunner:
                 completed = {}
             handle = self.jsonl_path.open("a", encoding="utf-8")
 
+        aggregator = StreamingAggregator()
+        for spec in self.runs:
+            row = completed.get(spec.run_key)
+            if row is not None:
+                aggregator.add_row(row, order=order[spec.run_key])
+
+        backend = self.resolve_backend()
+        costs = {spec.run_key: spec.cost_hint() for spec in todo}
+        cost_total = sum(costs.values())
+        cost_done = 0.0
         fresh: Dict[str, Dict[str, object]] = {}
         done = 0
         total = len(todo)
+        started = time.perf_counter()
         try:
-            for row in self._execute(todo):
-                fresh[row["run_key"]] = row
+            for run_key, row in backend.execute(todo):
+                fresh[run_key] = row
                 if handle is not None:
                     handle.write(json.dumps(row) + "\n")
                     handle.flush()
+                aggregator.add_row(row, order=order[run_key])
                 done += 1
+                cost_done += costs[run_key]
                 if progress is not None:
                     progress(done, total)
+                if stream_progress is not None:
+                    elapsed = time.perf_counter() - started
+                    eta: Optional[float] = None
+                    if cost_done > 0 and done < total:
+                        eta = elapsed * (cost_total - cost_done) / cost_done
+                    elif done >= total:
+                        eta = 0.0
+                    stream_progress(
+                        SweepProgress(
+                            done=done,
+                            total=total,
+                            run_key=run_key,
+                            cost_done=cost_done,
+                            cost_total=cost_total,
+                            elapsed_s=elapsed,
+                            eta_s=eta,
+                            aggregate=aggregator.snapshot(),
+                        )
+                    )
         finally:
             if handle is not None:
                 handle.close()
@@ -349,20 +467,13 @@ class SweepRunner:
             fresh[spec.run_key] if spec.run_key in fresh else completed[spec.run_key]
             for spec in self.runs
         ]
-        return SweepResult(rows=rows, executed=len(fresh), resumed=len(rows) - len(fresh))
-
-    def _execute(self, todo: Sequence[RunSpec]):
-        if not todo:
-            return
-        if self.workers == 1:
-            for spec in todo:
-                yield execute_run(spec)
-            return
-        # imap (ordered) keeps the JSONL file in expansion order while still
-        # streaming rows back as chunks complete.
-        with multiprocessing.Pool(processes=self.workers) as pool:
-            for row in pool.imap(execute_run, todo, chunksize=self.chunk_size):
-                yield row
+        return SweepResult(
+            rows=rows,
+            executed=len(fresh),
+            resumed=len(rows) - len(fresh),
+            aggregator=aggregator,
+            stats=backend.stats(),
+        )
 
 
 def run_sweep(
@@ -372,7 +483,9 @@ def run_sweep(
     chunk_size: int = 1,
     jsonl_path: Optional[Union[str, Path]] = None,
     resume: bool = True,
+    backend: Optional[Union[str, ExecutionBackend]] = None,
     progress: Optional[Callable[[int, int], None]] = None,
+    stream_progress: Optional[Callable[[SweepProgress], None]] = None,
 ) -> SweepResult:
     """One-call convenience wrapper around :class:`SweepRunner`."""
     runner = SweepRunner(
@@ -381,5 +494,6 @@ def run_sweep(
         chunk_size=chunk_size,
         jsonl_path=jsonl_path,
         resume=resume,
+        backend=backend,
     )
-    return runner.run(progress=progress)
+    return runner.run(progress=progress, stream_progress=stream_progress)

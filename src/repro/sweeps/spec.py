@@ -16,8 +16,8 @@ existing JSONL result file is never executed again.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, replace
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import asdict, dataclass, replace
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 AlgorithmParams = Tuple[Tuple[str, float], ...]
 
@@ -91,6 +91,43 @@ class RunSpec:
     def with_seed(self, seed: int) -> "RunSpec":
         """The same run at a different seed."""
         return replace(self, seed=seed)
+
+    def cost_hint(self) -> float:
+        """Estimated relative cost of this run, for scheduling and ETAs.
+
+        A dimensionless heuristic, not a promise: backends use it to order
+        and balance work (largest-first), and the runner uses it to weight
+        progress into an ETA.  Planar runs cost roughly one O(n) snapshot
+        per activation; a 3D run's ``max_activations`` bounds *rounds*,
+        each of which activates ~n robots, so an extra factor of n.
+        Results never depend on it — a wrong hint only costs balance.
+        """
+        try:
+            from .factories import run_dimension
+
+            dimension = run_dimension(
+                self.algorithm, self.scheduler, self.workload, self.error_model
+            )
+        except ValueError:
+            dimension = 2
+        per_unit = float(self.n_robots)
+        if dimension == 3:
+            per_unit *= self.n_robots
+        return self.max_activations * per_unit
+
+    def to_dict(self) -> Dict[str, object]:
+        """This spec as a JSON-serializable dict (the socket wire format)."""
+        data = asdict(self)
+        data["algorithm_params"] = [list(pair) for pair in self.algorithm_params]
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "RunSpec":
+        """Rebuild a spec from :meth:`to_dict` output (JSON round-trip safe)."""
+        payload = dict(data)
+        params = payload.get("algorithm_params", ())
+        payload["algorithm_params"] = tuple((str(k), v) for k, v in params)
+        return cls(**payload)
 
 
 @dataclass(frozen=True)

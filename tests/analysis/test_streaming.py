@@ -1,0 +1,122 @@
+"""Tests for the incremental sweep aggregator.
+
+The headline property: the streaming aggregate over rows arriving in
+*any* order renders the identical table to the batch aggregate over the
+same rows in expansion order — including on a sweep that mixes planar
+and 3D runs.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.analysis.streaming import StreamingAggregator
+from repro.sweeps import RunSpec, run_sweep
+
+#: A mixed 2D/3D run list: two planar groups and one 3D group.
+MIXED_RUNS = [
+    RunSpec(
+        algorithm="kknps", scheduler=scheduler, workload="line", n_robots=5,
+        seed=seed, epsilon=0.1, max_activations=100,
+    )
+    for scheduler in ("ssync", "k-async")
+    for seed in range(3)
+] + [
+    RunSpec(
+        algorithm="kknps3", scheduler="ssync3", workload="line3", n_robots=6,
+        seed=seed, algorithm_params=(("k", 1),), scheduler_k=1,
+        epsilon=0.1, max_activations=40,
+    )
+    for seed in range(3)
+]
+
+
+@pytest.fixture(scope="module")
+def mixed_result():
+    return run_sweep(MIXED_RUNS)
+
+
+class TestStreamingEqualsBatch:
+    def test_runner_attached_aggregator_matches_batch(self, mixed_result):
+        """The aggregator the runner streamed into == a batch rebuild."""
+        batch = StreamingAggregator()
+        for row in mixed_result.rows:
+            batch.add_row(row)
+        assert (
+            mixed_result.to_table().render()
+            == batch.to_table(executed=mixed_result.executed).render()
+        )
+
+    def test_arrival_order_does_not_change_the_table(self, mixed_result):
+        """Rows folded in shuffled arrival order render the identical table."""
+        reference = StreamingAggregator()
+        for index, row in enumerate(mixed_result.rows):
+            reference.add_row(row, order=index)
+
+        indices = list(range(len(mixed_result.rows)))
+        for attempt in range(5):
+            random.Random(attempt).shuffle(indices)
+            shuffled = StreamingAggregator()
+            for index in indices:
+                shuffled.add_row(mixed_result.rows[index], order=index)
+            assert (
+                shuffled.to_table(executed=len(indices)).render()
+                == reference.to_table(executed=len(indices)).render()
+            )
+
+    def test_mixed_sweep_groups_cover_both_dimensions(self, mixed_result):
+        rendered = mixed_result.to_table().render()
+        assert "kknps3" in rendered and "kknps " in rendered
+        assert "ssync3" in rendered
+
+
+class TestAccumulators:
+    def test_counts_and_extrema(self):
+        aggregator = StreamingAggregator()
+        diameters = [0.5, 0.1, 0.9, 0.3]
+        for index, diameter in enumerate(diameters):
+            aggregator.add_row(
+                {
+                    "algorithm": "a", "scheduler": "s", "workload": "w",
+                    "error_model": "exact", "converged": index % 2 == 0,
+                    "cohesion": True, "activations": 10 * (index + 1),
+                    "final_diameter": diameter,
+                }
+            )
+        group = aggregator.groups[("a", "s", "w", "exact")]
+        assert group.count == 4
+        assert group.converged == 2
+        assert group.cohesive == 4
+        assert group.diameter_max == 0.9
+        mean_activations, mean_diameter = group.exact_means()
+        assert mean_activations == 25.0
+        assert mean_diameter == pytest.approx(0.45)
+        assert group.quantile(0.0) == 0.1
+        assert group.quantile(1.0) == 0.9
+        assert group.quantile(0.5) == pytest.approx(0.4)
+        assert aggregator.group_quantiles((0.5,)) == {
+            ("a", "s", "w", "exact"): (pytest.approx(0.4),)
+        }
+        assert aggregator.snapshot() == {
+            "rows": 4, "groups": 1, "converged": 2, "cohesive": 4,
+        }
+
+    def test_missing_field_rejected(self):
+        aggregator = StreamingAggregator()
+        with pytest.raises(ValueError, match="missing aggregate field"):
+            aggregator.add_row({"algorithm": "a"})
+
+    def test_bad_quantile_rejected(self):
+        aggregator = StreamingAggregator()
+        aggregator.add_row(
+            {
+                "algorithm": "a", "scheduler": "s", "workload": "w",
+                "error_model": "exact", "converged": True, "cohesion": True,
+                "activations": 1, "final_diameter": 0.5,
+            }
+        )
+        group = aggregator.groups[("a", "s", "w", "exact")]
+        with pytest.raises(ValueError):
+            group.quantile(1.5)

@@ -69,3 +69,42 @@ class TestSweepCli:
         assert args.workers is None  # resolved to 1 (2 under --smoke) in main
         assert args.out is None
         assert not args.smoke
+        assert args.backend is None  # resolved from workers in the runner
+        assert not args.stream_progress
+
+    def test_backend_summary_printed(self, capsys):
+        code = sweep_main(
+            ["--algorithms", "kknps", "--schedulers", "ssync", "--workloads", "line",
+             "--n", "5", "--seeds", "2", "--max-activations", "120", "--quiet",
+             "--backend", "work-stealing", "--workers", "2"]
+        )
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "backend=work-stealing" in captured
+        assert "workers=2" in captured
+        assert "steals=" in captured
+
+    def test_stream_progress_prints_eta_and_final_newline(self, capsys):
+        code = sweep_main(
+            ["--algorithms", "kknps", "--schedulers", "ssync", "--workloads", "line",
+             "--n", "5", "--seeds", "2", "--max-activations", "120",
+             "--stream-progress"]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "ETA" in captured.err
+        # The \r-overwritten progress line is always terminated, so the
+        # table starts on a fresh line.
+        assert captured.err.endswith("\n")
+        assert "backend=serial" in captured.out
+
+    def test_socket_backend_through_cli(self, capsys):
+        code = sweep_main(
+            ["--algorithms", "kknps", "--schedulers", "ssync", "--workloads", "line",
+             "--n", "5", "--seeds", "2", "--max-activations", "120", "--quiet",
+             "--backend", "socket", "--workers", "2"]
+        )
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "Sweep aggregate" in captured
+        assert "backend=socket" in captured
