@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Bench sweep behind the shared ``GRID_MIN_ROBOTS`` auto-threshold.
+
+Each engine auto-enables the uniform spatial hash grid once a run reaches
+its dimension's threshold — ``GRID_MIN_ROBOTS`` in the plane,
+``GRID_MIN_ROBOTS_3D`` in 3-space (``repro.engine.spatial_index``; the
+3D value was set from this bench's measurements).  This bench
+measures, for swarm sizes around that threshold, the same run executed
+with the grid forced on and forced off — in the planar continuous-time
+engine and in the 3D round engine — and reports the grid:dense speedup
+per size.  Constant-density workloads (grid/lattice spacings proportional
+to ``V``) keep the per-Look neighbourhood bounded, which is the regime
+the grid targets; metrics sampling is suppressed (``record_every`` past
+the horizon) so the numbers isolate the Look path the threshold governs.
+
+The measured table is recorded in ``docs/engine-performance.md``; rerun
+with ``--output`` to regenerate the JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.algorithms import KKNPSAlgorithm  # noqa: E402
+from repro.engine import SimulationConfig, run_simulation  # noqa: E402
+from repro.engine.spatial_index import (  # noqa: E402
+    GRID_MIN_ROBOTS,
+    GRID_MIN_ROBOTS_3D,
+)
+from repro.schedulers import SSyncScheduler  # noqa: E402
+from repro.spatial3d import (  # noqa: E402
+    KKNPS3Algorithm,
+    Simulation3Config,
+    lattice_configuration3,
+    run_simulation3,
+)
+from repro.workloads import truncated_grid_configuration  # noqa: E402
+
+
+def time_2d(n: int, *, spatial_index: bool, activations: int, repeats: int) -> float:
+    configuration = truncated_grid_configuration(n, spacing=0.7, visibility_range=1.0)
+    best = float("inf")
+    for _ in range(repeats):
+        config = SimulationConfig(
+            seed=7,
+            max_activations=activations,
+            convergence_epsilon=1e-12,
+            stop_at_convergence=False,
+            record_every=activations + 1,
+            spatial_index=spatial_index,
+        )
+        started = time.perf_counter()
+        run_simulation(configuration.positions, KKNPSAlgorithm(k=1),
+                       SSyncScheduler(), config)
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def time_3d(side: int, *, spatial_index: bool, rounds: int, repeats: int) -> float:
+    configuration = lattice_configuration3(side, spacing=0.6, visibility_range=1.0)
+    best = float("inf")
+    for _ in range(repeats):
+        config = Simulation3Config(
+            seed=7,
+            max_rounds=rounds,
+            convergence_epsilon=1e-12,
+            activation_probability=0.6,
+            xi=0.5,
+            spatial_index=spatial_index,
+        )
+        started = time.perf_counter()
+        run_simulation3(configuration.positions, KKNPS3Algorithm(k=1), config)
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--n", nargs="+", type=int, default=[128, 256, 512, 1024],
+                        help="planar swarm sizes to measure")
+    parser.add_argument("--sides", nargs="+", type=int, default=[5, 6, 8, 10],
+                        help="3D lattice sides (n = side^3: 125, 216, 512, 1000)")
+    parser.add_argument("--activations", type=int, default=600,
+                        help="planar activation horizon per measurement")
+    parser.add_argument("--rounds", type=int, default=5,
+                        help="3D round horizon per measurement")
+    parser.add_argument("--repeats", type=int, default=2, help="best-of repeats")
+    parser.add_argument("--output", type=str, default=None, help="JSON output path")
+    args = parser.parse_args(argv)
+
+    results = {
+        "grid_min_robots": GRID_MIN_ROBOTS,
+        "grid_min_robots_3d": GRID_MIN_ROBOTS_3D,
+        "planar": [],
+        "spatial3d": [],
+    }
+    print(f"GRID_MIN_ROBOTS = {GRID_MIN_ROBOTS} (2D), {GRID_MIN_ROBOTS_3D} (3D)\n")
+    print(f"{'engine':<9} {'n':>5} {'dense s':>9} {'grid s':>9} {'grid/dense':>11}")
+    for n in args.n:
+        dense = time_2d(n, spatial_index=False, activations=args.activations,
+                        repeats=args.repeats)
+        grid = time_2d(n, spatial_index=True, activations=args.activations,
+                       repeats=args.repeats)
+        results["planar"].append(
+            {"n": n, "dense_s": dense, "grid_s": grid, "speedup": dense / grid}
+        )
+        print(f"{'planar':<9} {n:>5} {dense:>9.3f} {grid:>9.3f} {dense / grid:>10.2f}x")
+    for side in args.sides:
+        n = side ** 3
+        dense = time_3d(side, spatial_index=False, rounds=args.rounds,
+                        repeats=args.repeats)
+        grid = time_3d(side, spatial_index=True, rounds=args.rounds,
+                       repeats=args.repeats)
+        results["spatial3d"].append(
+            {"n": n, "dense_s": dense, "grid_s": grid, "speedup": dense / grid}
+        )
+        print(f"{'spatial3d':<9} {n:>5} {dense:>9.3f} {grid:>9.3f} {dense / grid:>10.2f}x")
+
+    if args.output:
+        Path(args.output).write_text(json.dumps(results, indent=2) + "\n")
+        print(f"\nwritten to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

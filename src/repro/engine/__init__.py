@@ -11,13 +11,20 @@ from .convergence import (
 from .metrics import MetricsCollector, MetricsSample
 from .recorder import TrajectoryRecorder
 from .simulator import SimulationConfig, SimulationResult, Simulator, run_simulation
-from .spatial_index import GRID_MIN_ROBOTS, UniformGridIndex
+from .spatial_index import (
+    GRID_MIN_ROBOTS,
+    GRID_MIN_ROBOTS_3D,
+    UniformGridIndex,
+    grid_auto_threshold,
+)
 from .state import EngineState
 
 __all__ = [
     "ConvergenceSummary",
     "EngineState",
     "GRID_MIN_ROBOTS",
+    "GRID_MIN_ROBOTS_3D",
+    "grid_auto_threshold",
     "MetricsCollector",
     "MetricsSample",
     "SimulationConfig",

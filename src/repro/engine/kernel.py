@@ -1,0 +1,387 @@
+"""The dimension-generic continuous-time simulation kernel.
+
+This module owns the event-driven activation pipeline that both engines
+share: scheduler batches feeding a global ``look_time``-ordered heap,
+instantaneous Looks over interpolated ``(n, d)`` kinematic state, phase
+transitions on the structure-of-arrays store, spatial-index maintenance,
+metrics sampling cadence, and the convergence / horizon stopping rules.
+Nothing in here knows the spatial dimension: every position is a row of a
+:class:`~repro.model.robot.KinematicArrays` store, every transition is a
+row-level operation, and the grid is the dimension-generic
+:class:`~repro.engine.spatial_index.UniformGridIndex`.
+
+What *does* depend on the dimension is factored into a handful of hooks a
+subclass provides:
+
+* :meth:`ContinuousKernel._decide_move` — the Look/Compute core: build
+  the perceived snapshot from the candidate positions (private frame,
+  perception error), run the destination rule, realise the move.  The
+  planar :class:`~repro.engine.simulator.Simulator` implements it with
+  :func:`~repro.model.snapshot.build_snapshot` and 2D ``LocalFrame``
+  transforms; the 3D engines implement it with rotation matrices and
+  :meth:`~repro.spatial3d.kknps3.KKNPS3Algorithm.compute_array`.
+* :meth:`ContinuousKernel._make_metrics` / :meth:`_bind_metrics` — the
+  metrics collector.  The kernel only requires that ``observe`` return a
+  sample exposing ``hull_diameter`` (for a full-dimensional point set the
+  hull diameter *is* the set diameter, so the name is dimension-honest).
+* :meth:`ContinuousKernel._make_record` — per-activation records (the
+  planar engine emits Point-typed :class:`ActivationRecord` objects; the
+  3D round adapter skips records entirely).
+
+Because the pipeline itself lives here once, the full scheduler family
+(fsync, ssync, k-NestA, k-Async, scripted) drives runs in any dimension;
+schedulers only ever see :class:`Activation` batches and the read-only
+engine view, both dimension-free.
+
+The required configuration attributes (duck-typed; satisfied by
+``SimulationConfig`` and the 3D config types) are: ``visibility_range``,
+``seed``, ``max_activations``, ``max_time``, ``convergence_epsilon``,
+``stop_at_convergence``, ``record_every``, ``crashed_robots``,
+``engine_mode`` and ``spatial_index``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import time as _time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..model.robot import PHASE_MOVING
+from ..model.types import Activation, ActivationRecord
+from ..schedulers.base import Scheduler
+from .spatial_index import UniformGridIndex, grid_auto_threshold
+from .state import EngineState
+
+
+class MoveDecision:
+    """What one Look/Compute/Move decision produced, as coordinate rows.
+
+    ``target`` is where the algorithm wanted to go (global coordinates),
+    ``realized`` where the motion model actually lands the robot;
+    ``payload`` carries whatever the subclass wants to hand from
+    :meth:`ContinuousKernel._decide_move` to
+    :meth:`ContinuousKernel._make_record` without re-conversion.
+    """
+
+    __slots__ = ("target", "realized", "neighbours_seen", "payload")
+
+    def __init__(
+        self,
+        target: np.ndarray,
+        realized: np.ndarray,
+        neighbours_seen: int,
+        payload: object = None,
+    ) -> None:
+        self.target = target
+        self.realized = realized
+        self.neighbours_seen = neighbours_seen
+        self.payload = payload
+
+
+@dataclass
+class KernelOutcome:
+    """Everything one kernel run produced, in dimension-free form."""
+
+    metrics: object
+    processed: int
+    activation_end_times: Dict[int, List[float]]
+    records: List[ActivationRecord]
+    converged_time: Optional[float]
+    final_time: float
+    final_positions: np.ndarray
+    wall_time_seconds: float
+    recorder: Optional[object] = None
+
+
+class ContinuousKernel:
+    """The shared continuous-time activation pipeline over ``(n, d)`` state."""
+
+    def __init__(
+        self,
+        state: EngineState,
+        algorithm,
+        scheduler: Scheduler,
+        config,
+        *,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        self.config = config
+        self.algorithm = algorithm
+        self.scheduler = scheduler
+        self.rng = np.random.default_rng(config.seed) if rng is None else rng
+        self._state = state
+        for crashed_id in getattr(config, "crashed_robots", ()):
+            self._state.arrays.crash_at(crashed_id)
+        self._time = 0.0
+        self._pending: List[tuple] = []
+        self._sequence = 0
+        self._grid = self._build_grid()
+
+    # -- EngineView protocol --------------------------------------------------------
+    @property
+    def time(self) -> float:
+        """Current global simulation time."""
+        return self._time
+
+    @property
+    def n_robots(self) -> int:
+        """Number of robots in the run."""
+        return self._state.n
+
+    @property
+    def dim(self) -> int:
+        """Spatial dimension of the run."""
+        return self._state.arrays.dim
+
+    def positions_array(self, at_time: Optional[float] = None) -> np.ndarray:
+        """Positions of all robots at ``at_time`` as an ``(n, d)`` float array.
+
+        All in-flight moves are interpolated in one numpy expression.
+        """
+        t = self._time if at_time is None else at_time
+        return self._state.positions_at(t)
+
+    # -- dimension hooks -------------------------------------------------------------
+    def _decide_move(
+        self,
+        robot_id: int,
+        look_time: float,
+        other_positions,
+        activation: Activation,
+    ) -> MoveDecision:
+        """Look/Compute/realise for one activation (subclasses implement)."""
+        raise NotImplementedError
+
+    def _make_metrics(self):
+        """The metrics collector for this run (subclasses implement)."""
+        raise NotImplementedError
+
+    def _bind_metrics(self, metrics) -> None:
+        """Bind the collector to the initial configuration (cohesion baseline)."""
+        bind = getattr(metrics, "bind_initial", None)
+        if bind is not None:
+            bind(self._state.committed_positions())
+
+    def _make_recorder(self):
+        """The trajectory recorder, or None (base: no recording)."""
+        return None
+
+    def _make_record(
+        self, activation: Activation, origin_row: np.ndarray, decision: MoveDecision
+    ) -> Optional[ActivationRecord]:
+        """The per-activation record to append, or None to skip records."""
+        return None
+
+    def _frame_for_look(self):
+        """The private frame of one Look (base: the global frame)."""
+        return None
+
+    def _effective_range(self) -> float:
+        """The visibility range the Look filter applies."""
+        if getattr(self.algorithm, "assumes_unlimited_visibility", False):
+            return math.inf
+        return self.config.visibility_range
+
+    def _sampled_positions(self, look_time: float, look_all_positions):
+        """Positions fed to the metrics sample of ``look_time``.
+
+        The dense Look's full interpolation of the same instant is reused
+        outright (beginning the observer's move cannot change its position
+        at its own look time); otherwise one fresh interpolation pass runs.
+        """
+        if look_all_positions is not None:
+            return look_all_positions
+        return self.positions_array(look_time)
+
+    # -- internals ---------------------------------------------------------------------
+    def _build_grid(self) -> Optional[UniformGridIndex]:
+        """The spatial hash index for this run, or None for the dense path.
+
+        Auto-enabled (``config.spatial_index is None``) only when the
+        array engine runs a finite visibility range over a swarm big
+        enough for the bookkeeping to pay off; ``spatial_index=False``
+        always forces the dense path and ``True`` forces the grid
+        whenever the range is finite.  The object reference path never
+        queries the grid, so it is never built there.
+        """
+        cfg = self.config
+        if getattr(cfg, "engine_mode", "array") != "array":
+            return None
+        effective = self._effective_range()
+        feasible = math.isfinite(effective) and effective > 0.0
+        if cfg.spatial_index is not None:
+            enabled = cfg.spatial_index and feasible
+        else:
+            enabled = feasible and self.n_robots >= grid_auto_threshold(self.dim)
+        if not enabled:
+            return None
+        grid = UniformGridIndex(effective, dim=self.dim)
+        committed = self._state.committed_positions()
+        for i in range(self.n_robots):
+            grid.settle(i, *committed[i])
+        return grid
+
+    def _push(self, activation: Activation) -> None:
+        heapq.heappush(self._pending, (activation.look_time, self._sequence, activation))
+        self._sequence += 1
+
+    def _refill(self) -> bool:
+        batch = self.scheduler.next_batch(self)
+        if not batch:
+            return False
+        for activation in batch:
+            self._push(activation)
+        return True
+
+    def _finalize_completed_moves(self, now: float) -> None:
+        completed = self._state.completed_movers(now)
+        if len(completed) == 0:
+            return
+        grid = self._grid
+        arrays = self._state.arrays
+        committed = arrays.position
+        for i in completed:
+            arrays.finish_move_at(int(i))
+            if grid is not None:
+                grid.settle(int(i), *committed[i])
+
+    def _begin_move(
+        self, robot_id: int, origin: np.ndarray, destination: np.ndarray,
+        start: float, end: float,
+    ) -> None:
+        self._state.arrays.begin_move_at(robot_id, origin, destination, start, end)
+        if self._grid is not None:
+            self._grid.begin_move(robot_id, *origin, *destination)
+
+    def _look_positions(self, robot_id: int, look_time: float):
+        """What the observing robot can be shown: candidate positions for its Look.
+
+        An ``(m, d)`` array of interpolated positions — all other robots
+        on the dense path, only the robots in the observer's 3^d grid
+        neighbourhood when the spatial index is active (an exact superset
+        of the visible set; the Look's distance filter is unchanged).
+
+        Returns ``(others, all_positions)`` where ``all_positions`` is the
+        full ``(n, d)`` interpolation when the dense path computed one
+        (reused for the metrics sample of the same instant), else None.
+        """
+        if self._grid is not None:
+            observer = self._state.committed_positions()[robot_id]
+            candidates = self._grid.candidates(*observer, exclude=robot_id)
+            return self._state.positions_at(look_time, candidates), None
+        all_positions = self._state.positions_at(look_time)
+        return np.delete(all_positions, robot_id, axis=0), all_positions
+
+    # -- main loop -----------------------------------------------------------------------
+    def run_kernel(self) -> KernelOutcome:
+        """Execute the continuous-time pipeline and return its raw outcome."""
+        started = _time.perf_counter()
+        cfg = self.config
+        arrays = self._state.arrays
+        metrics = self._make_metrics()
+        self._bind_metrics(metrics)
+        recorder = self._make_recorder()
+        if recorder is not None:
+            recorder.record_all(0.0, self._sampled_positions(0.0, None))
+
+        self.scheduler.reset(self.n_robots, self.rng)
+        records: List[ActivationRecord] = []
+        activation_end_times: Dict[int, List[float]] = {
+            i: [] for i in range(self.n_robots)
+        }
+        processed = 0
+        popped = 0
+        converged_time: Optional[float] = None
+
+        metrics.observe(0.0, self._sampled_positions(0.0, None), 0)
+
+        while processed < cfg.max_activations and popped < 100 * cfg.max_activations:
+            if not self._pending and not self._refill():
+                break
+            look_time, _, activation = heapq.heappop(self._pending)
+            popped += 1
+            if look_time > cfg.max_time:
+                break
+            self._time = look_time
+            robot_id = activation.robot_id
+            self._finalize_completed_moves(look_time)
+            if arrays.crashed[robot_id]:
+                continue
+            if arrays.phase[robot_id] == PHASE_MOVING:
+                # A scheduler bug: a robot was activated before its previous
+                # move ended.  Fail loudly rather than silently corrupting the run.
+                raise RuntimeError(
+                    f"robot {robot_id} activated at t={look_time} before its move ended "
+                    f"at t={float(arrays.move_end[robot_id])}"
+                )
+
+            arrays.begin_activation_at(robot_id, look_time)
+            other_positions, look_all_positions = self._look_positions(robot_id, look_time)
+            decision = self._decide_move(robot_id, look_time, other_positions, activation)
+
+            move_start = activation.move_start_time
+            move_end = activation.end_time
+            origin_row = arrays.position[robot_id].copy()
+            self._begin_move(robot_id, origin_row, decision.realized, move_start, move_end)
+            activation_end_times[robot_id].append(move_end)
+            if move_end <= look_time:
+                # A zero-duration move completes at the look instant itself:
+                # the observer is already at its destination, so the Look's
+                # interpolation (taken before the move began) is stale.
+                look_all_positions = None
+
+            record = self._make_record(activation, origin_row, decision)
+            if record is not None:
+                records.append(record)
+            processed += 1
+
+            if processed % cfg.record_every == 0:
+                # One interpolation pass feeds both the metrics sample and
+                # the trajectory recorder.
+                sampled_positions = self._sampled_positions(look_time, look_all_positions)
+                sample = metrics.observe(look_time, sampled_positions, processed)
+                if recorder is not None:
+                    recorder.record_all(look_time, sampled_positions)
+                if converged_time is None and sample.hull_diameter <= cfg.convergence_epsilon:
+                    converged_time = look_time
+                    if cfg.stop_at_convergence:
+                        break
+
+        # Let every in-flight move finish, then take the final measurement.
+        moving = np.flatnonzero(arrays.phase == PHASE_MOVING)
+        final_time = max([self._time] + [float(arrays.move_end[i]) for i in moving])
+        self._time = final_time
+        self._finalize_completed_moves(final_time + 1e-12)
+        for i in np.flatnonzero(arrays.phase == PHASE_MOVING):
+            arrays.finish_move_at(int(i))
+        final_positions = self._final_observed_positions()
+        final_sample = metrics.observe(final_time, final_positions, processed)
+        if recorder is not None:
+            recorder.record_all(final_time, final_positions)
+        if converged_time is None and final_sample.hull_diameter <= cfg.convergence_epsilon:
+            converged_time = final_time
+
+        return KernelOutcome(
+            metrics=metrics,
+            processed=processed,
+            activation_end_times=activation_end_times,
+            records=records,
+            converged_time=converged_time,
+            final_time=final_time,
+            final_positions=arrays.position.copy(),
+            wall_time_seconds=_time.perf_counter() - started,
+            recorder=recorder,
+        )
+
+    def _final_observed_positions(self):
+        """Positions handed to the final metrics sample (base: the rows)."""
+        return self._state.committed_positions()
+
+    def activation_counts(self) -> Dict[int, int]:
+        """Activations begun per robot (read after :meth:`run_kernel`)."""
+        counts = self._state.arrays.activation_count
+        return {i: int(counts[i]) for i in range(self.n_robots)}

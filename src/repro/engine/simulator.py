@@ -1,16 +1,19 @@
-"""The event-driven continuous-time simulator of the OBLOT model.
+"""The planar front end of the continuous-time simulation kernel.
 
-The simulator realises exactly the semantics the paper's proofs reason
-about:
+The event-driven activation pipeline itself — scheduler batches consumed
+in global ``look_time`` order, instantaneous Looks over interpolated
+kinematic state, phase transitions, spatial-index maintenance, metrics
+cadence and stopping rules — lives dimension-generically in
+:mod:`repro.engine.kernel`.  This module supplies the planar pieces the
+kernel leaves open, realising exactly the semantics the paper's proofs
+reason about:
 
-* activations are issued by a scheduler and processed in global
-  ``look_time`` order;
-* the Look phase is instantaneous: a robot snapshots the positions of all
-  robots within the visibility range *at that instant*, including robots
-  that are mid-move (their positions are interpolated along their realised
-  trajectories);
-* the Compute phase runs the algorithm on the snapshot (expressed in a
-  private, possibly distorted, coordinate frame) and yields a destination;
+* the Look phase snapshots the positions of all robots within the
+  visibility range *at that instant* (robots mid-move are interpolated
+  along their realised trajectories) and expresses them in a private,
+  possibly distorted, coordinate frame (:func:`build_snapshot`);
+* the Compute phase runs the algorithm on the snapshot and yields a
+  destination;
 * the Move phase translates the robot along a straight line toward the
   destination; the scheduler's progress fraction (clamped to the motion
   model's xi) and the motion-error model determine the realised endpoint.
@@ -21,9 +24,7 @@ congregation measures are sampled at every processed activation.
 
 from __future__ import annotations
 
-import heapq
 import math
-import time as _time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -39,9 +40,9 @@ from ..model.types import Activation, ActivationRecord
 from ..algorithms.base import ConvergenceAlgorithm
 from ..schedulers.base import Scheduler
 from .convergence import ConvergenceSummary, summarize
-from .metrics import MetricsCollector, MetricsSample
+from .kernel import ContinuousKernel, MoveDecision
+from .metrics import MetricsCollector
 from .recorder import TrajectoryRecorder
-from .spatial_index import GRID_MIN_ROBOTS, UniformGridIndex
 from .state import EngineState
 
 
@@ -114,8 +115,14 @@ class SimulationResult:
         return self.initial_configuration.hull_diameter()
 
 
-class Simulator:
-    """Run one algorithm under one scheduler from one initial configuration."""
+class Simulator(ContinuousKernel):
+    """Run one algorithm under one scheduler from one initial configuration.
+
+    A thin planar specialisation of :class:`ContinuousKernel`: the hooks
+    below reproduce the 2D Look/Compute/Move semantics (snapshots via
+    :func:`build_snapshot`, random 2D local frames, Point-typed records),
+    while the shared kernel owns the loop itself.
+    """
 
     def __init__(
         self,
@@ -124,133 +131,27 @@ class Simulator:
         scheduler: Scheduler,
         config: Optional[SimulationConfig] = None,
     ) -> None:
-        self.config = config or SimulationConfig()
-        self.algorithm = algorithm
-        self.scheduler = scheduler
-        self.rng = np.random.default_rng(self.config.seed)
-        self._state = EngineState(initial_positions)
-        self.robots: List[Robot] = self._state.robots
-        for crashed_id in self.config.crashed_robots:
-            self.robots[crashed_id].crash()
+        state = EngineState(initial_positions)
+        super().__init__(state, algorithm, scheduler, config or SimulationConfig())
+        self.robots: List[Robot] = state.robots
         self.initial_configuration = Configuration.of(
             [r.position for r in self.robots], self.config.visibility_range
         )
-        self._time = 0.0
-        self._pending: List[tuple] = []
-        self._sequence = 0
-        self._grid = self._build_grid()
-
-    # -- EngineView protocol --------------------------------------------------------
-    @property
-    def time(self) -> float:
-        """Current global simulation time."""
-        return self._time
-
-    @property
-    def n_robots(self) -> int:
-        """Number of robots in the run."""
-        return len(self.robots)
 
     def positions(self, at_time: Optional[float] = None) -> List[Point]:
         """Positions of all robots at ``at_time`` (default: the current time)."""
         t = self._time if at_time is None else at_time
         return self._state.positions_at_points(t)
 
-    def positions_array(self, at_time: Optional[float] = None) -> np.ndarray:
-        """Positions of all robots at ``at_time`` as an ``(n, 2)`` float array.
-
-        The vectorized form of :meth:`positions`: all in-flight moves are
-        interpolated in one numpy expression.
-        """
-        t = self._time if at_time is None else at_time
-        return self._state.positions_at(t)
-
-    # -- internals ---------------------------------------------------------------------
-    def _build_grid(self) -> Optional[UniformGridIndex]:
-        """The spatial hash index for this run, or None for the dense path.
-
-        Auto-enabled (``config.spatial_index is None``) only when the
-        array engine runs a finite visibility range over a swarm big
-        enough for the bookkeeping to pay off; ``spatial_index=False``
-        always forces the dense path and ``True`` forces the grid
-        whenever the range is finite.  The object reference path never
-        queries the grid, so it is never built there.
-        """
-        cfg = self.config
-        if cfg.engine_mode != "array":
-            return None
-        effective = self._effective_range()
-        feasible = math.isfinite(effective) and effective > 0.0
-        if cfg.spatial_index is not None:
-            enabled = cfg.spatial_index and feasible
-        else:
-            enabled = feasible and self.n_robots >= GRID_MIN_ROBOTS
-        if not enabled:
-            return None
-        grid = UniformGridIndex(effective)
-        committed = self._state.committed_positions()
-        for i in range(self.n_robots):
-            grid.settle(i, committed[i, 0], committed[i, 1])
-        return grid
-
-    def _push(self, activation: Activation) -> None:
-        heapq.heappush(self._pending, (activation.look_time, self._sequence, activation))
-        self._sequence += 1
-
-    def _refill(self) -> bool:
-        batch = self.scheduler.next_batch(self)
-        if not batch:
-            return False
-        for activation in batch:
-            self._push(activation)
-        return True
-
-    def _finalize_completed_moves(self, now: float) -> None:
-        completed = self._state.completed_movers(now)
-        if len(completed) == 0:
-            return
-        grid = self._grid
-        committed = self._state.committed_positions()
-        for i in completed:
-            self.robots[i].finish_move()
-            if grid is not None:
-                grid.settle(int(i), committed[i, 0], committed[i, 1])
-
-    def _begin_move(
-        self, robot: Robot, origin: Point, destination: Point, start: float, end: float
-    ) -> None:
-        robot.begin_move(origin, destination, start, end)
-        if self._grid is not None:
-            self._grid.begin_move(
-                robot.robot_id, origin.x, origin.y, destination.x, destination.y
-            )
-
-    def _look_positions(self, robot: Robot, look_time: float):
-        """What the observing robot can be shown: candidate positions for its Look.
-
-        On the array path this is an ``(m, 2)`` array of interpolated
-        positions — all other robots on the dense path, only the robots in
-        the observer's 3x3 grid neighbourhood when the spatial index is
-        active (an exact superset of the visible set; the snapshot's
-        distance filter is unchanged).  On the object path it is the
-        seed's per-Point list.
-
-        Returns ``(others, all_positions)`` where ``all_positions`` is the
-        full ``(n, 2)`` interpolation when the dense path computed one
-        (reused for the metrics sample of the same instant), else None.
-        """
-        rid = robot.robot_id
+    # -- kernel hooks, planar implementations --------------------------------------
+    def _look_positions(self, robot_id: int, look_time: float):
+        """Candidate Look positions; adds the retained per-Point object path."""
         if self.config.engine_mode == "object":
             return (
-                [r.position_at(look_time) for r in self.robots if r.robot_id != rid],
+                [r.position_at(look_time) for r in self.robots if r.robot_id != robot_id],
                 None,
             )
-        if self._grid is not None:
-            observer = self._state.committed_positions()[rid]
-            candidates = self._grid.candidates(observer[0], observer[1], exclude=rid)
-            return self._state.positions_at(look_time, candidates), None
-        all_positions = self._state.positions_at(look_time)
-        return np.delete(all_positions, rid, axis=0), all_positions
+        return super()._look_positions(robot_id, look_time)
 
     def _reveal_range(self) -> bool:
         if self.config.reveal_visibility_range is not None:
@@ -262,157 +163,102 @@ class Simulator:
             return None
         return random_frame(self.rng, allow_reflection=self.config.allow_reflection)
 
-    def _effective_range(self) -> float:
-        if self.algorithm.assumes_unlimited_visibility:
-            return math.inf
-        return self.config.visibility_range
-
     def _make_metrics(self) -> MetricsCollector:
         """The metrics collector for this run (a seam for benchmark baselines)."""
         return MetricsCollector(visibility_range=self.config.visibility_range)
 
+    def _bind_metrics(self, metrics) -> None:
+        metrics.bind_initial([r.position for r in self.robots])
+
+    def _make_recorder(self) -> Optional[TrajectoryRecorder]:
+        return TrajectoryRecorder() if self.config.record_trajectories else None
+
+    def _sampled_positions(self, look_time: float, look_all_positions):
+        if look_all_positions is not None:
+            return look_all_positions
+        if self.config.engine_mode == "array":
+            return self.positions_array(look_time)
+        return self.positions(look_time)
+
+    def _final_observed_positions(self):
+        return [r.position for r in self.robots]
+
+    def _decide_move(
+        self,
+        robot_id: int,
+        look_time: float,
+        other_positions,
+        activation: Activation,
+    ) -> MoveDecision:
+        cfg = self.config
+        robot = self.robots[robot_id]
+        frame = self._frame_for_look()
+        snapshot = build_snapshot(
+            robot.position,
+            other_positions,
+            self._effective_range(),
+            frame=frame,
+            perception=cfg.perception,
+            rng=self.rng,
+            reveal_range=self._reveal_range(),
+            k_bound=cfg.k_bound,
+            multiplicity_detection=cfg.multiplicity_detection,
+            time=look_time,
+            robot_id=robot.robot_id,
+            method=cfg.engine_mode,
+        )
+        destination_local = self.algorithm.compute(snapshot)
+        displacement = (
+            frame.to_global(destination_local) if frame is not None else Point.of(destination_local)
+        )
+        target_global = robot.position + displacement
+        realized = cfg.motion.realize(
+            robot.position, target_global, activation.progress_fraction, self.rng
+        )
+        return MoveDecision(
+            target=np.array((target_global.x, target_global.y), dtype=float),
+            realized=np.array((realized.x, realized.y), dtype=float),
+            neighbours_seen=snapshot.neighbour_count(),
+            payload=(target_global, realized),
+        )
+
+    def _make_record(
+        self, activation: Activation, origin_row: np.ndarray, decision: MoveDecision
+    ) -> Optional[ActivationRecord]:
+        origin = Point(float(origin_row[0]), float(origin_row[1]))
+        target_global, realized = decision.payload
+        return ActivationRecord(
+            activation=activation,
+            origin=origin,
+            target=target_global,
+            destination=realized,
+            neighbours_seen=decision.neighbours_seen,
+            moved_distance=origin.distance_to(realized),
+        )
+
     # -- main loop -----------------------------------------------------------------------
     def run(self) -> SimulationResult:
         """Execute the simulation and return its result."""
-        started = _time.perf_counter()
+        outcome = self.run_kernel()
         cfg = self.config
-        metrics = self._make_metrics()
-        metrics.bind_initial([r.position for r in self.robots])
-        recorder = TrajectoryRecorder() if cfg.record_trajectories else None
-        if recorder is not None:
-            recorder.record_all(0.0, [r.position for r in self.robots])
-
-        self.scheduler.reset(self.n_robots, self.rng)
-        records: List[ActivationRecord] = []
-        activation_end_times: Dict[int, List[float]] = {r.robot_id: [] for r in self.robots}
-        processed = 0
-        popped = 0
-        converged_time: Optional[float] = None
-
-        metrics.observe(0.0, self.positions(0.0), 0)
-
-        while processed < cfg.max_activations and popped < 100 * cfg.max_activations:
-            if not self._pending and not self._refill():
-                break
-            look_time, _, activation = heapq.heappop(self._pending)
-            popped += 1
-            if look_time > cfg.max_time:
-                break
-            self._time = look_time
-            robot = self.robots[activation.robot_id]
-            self._finalize_completed_moves(look_time)
-            if robot.crashed:
-                continue
-            if robot.is_motile():
-                # A scheduler bug: a robot was activated before its previous
-                # move ended.  Fail loudly rather than silently corrupting the run.
-                raise RuntimeError(
-                    f"robot {robot.robot_id} activated at t={look_time} before its move ended "
-                    f"at t={robot.move_end_time}"
-                )
-
-            robot.begin_activation(look_time)
-            other_positions, look_all_positions = self._look_positions(robot, look_time)
-            frame = self._frame_for_look()
-            snapshot = build_snapshot(
-                robot.position,
-                other_positions,
-                self._effective_range(),
-                frame=frame,
-                perception=cfg.perception,
-                rng=self.rng,
-                reveal_range=self._reveal_range(),
-                k_bound=cfg.k_bound,
-                multiplicity_detection=cfg.multiplicity_detection,
-                time=look_time,
-                robot_id=robot.robot_id,
-                method=cfg.engine_mode,
-            )
-            destination_local = self.algorithm.compute(snapshot)
-            displacement = (
-                frame.to_global(destination_local) if frame is not None else Point.of(destination_local)
-            )
-            target_global = robot.position + displacement
-
-            move_start = activation.move_start_time
-            move_end = activation.end_time
-            realized = cfg.motion.realize(
-                robot.position, target_global, activation.progress_fraction, self.rng
-            )
-            origin = robot.position
-            self._begin_move(robot, origin, realized, move_start, move_end)
-            activation_end_times[robot.robot_id].append(move_end)
-            if move_end <= look_time:
-                # A zero-duration move completes at the look instant itself:
-                # the observer is already at its destination, so the Look's
-                # interpolation (taken before the move began) is stale.
-                look_all_positions = None
-
-            records.append(
-                ActivationRecord(
-                    activation=activation,
-                    origin=origin,
-                    target=target_global,
-                    destination=realized,
-                    neighbours_seen=snapshot.neighbour_count(),
-                    moved_distance=origin.distance_to(realized),
-                )
-            )
-            processed += 1
-
-            if processed % cfg.record_every == 0:
-                # One interpolation pass feeds both the metrics sample and the
-                # trajectory recorder (the seed recomputed all positions twice);
-                # the dense Look's full interpolation of this same instant is
-                # reused outright (beginning the observer's move cannot change
-                # its position at its own look time).
-                if look_all_positions is not None:
-                    sampled_positions = look_all_positions
-                elif cfg.engine_mode == "array":
-                    sampled_positions = self.positions_array(look_time)
-                else:
-                    sampled_positions = self.positions(look_time)
-                sample = metrics.observe(look_time, sampled_positions, processed)
-                if recorder is not None:
-                    recorder.record_all(look_time, sampled_positions)
-                if converged_time is None and sample.hull_diameter <= cfg.convergence_epsilon:
-                    converged_time = look_time
-                    if cfg.stop_at_convergence:
-                        break
-
-        # Let every in-flight move finish, then take the final measurement.
-        final_time = max(
-            [self._time] + [r.move_end_time for r in self.robots if r.is_motile()]
+        final_configuration = Configuration.of(
+            [r.position for r in self.robots], cfg.visibility_range
         )
-        self._time = final_time
-        self._finalize_completed_moves(final_time + 1e-12)
-        for robot in self.robots:
-            if robot.is_motile():
-                robot.finish_move()
-        final_positions = [r.position for r in self.robots]
-        final_sample = metrics.observe(final_time, final_positions, processed)
-        if recorder is not None:
-            recorder.record_all(final_time, final_positions)
-        if converged_time is None and final_sample.hull_diameter <= cfg.convergence_epsilon:
-            converged_time = final_time
-
-        final_configuration = Configuration.of(final_positions, cfg.visibility_range)
-        result = SimulationResult(
+        return SimulationResult(
             initial_configuration=self.initial_configuration,
             final_configuration=final_configuration,
-            metrics=metrics,
-            activations_processed=processed,
-            activation_counts={r.robot_id: r.activation_count for r in self.robots},
-            activation_end_times=activation_end_times,
-            records=records,
-            converged=converged_time is not None,
-            convergence_time=converged_time,
-            cohesion_maintained=not metrics.cohesion_ever_violated,
-            final_time=final_time,
-            wall_time_seconds=_time.perf_counter() - started,
-            trajectories=recorder,
+            metrics=outcome.metrics,
+            activations_processed=outcome.processed,
+            activation_counts=self.activation_counts(),
+            activation_end_times=outcome.activation_end_times,
+            records=outcome.records,
+            converged=outcome.converged_time is not None,
+            convergence_time=outcome.converged_time,
+            cohesion_maintained=not outcome.metrics.cohesion_ever_violated,
+            final_time=outcome.final_time,
+            wall_time_seconds=outcome.wall_time_seconds,
+            trajectories=outcome.recorder,
         )
-        return result
 
 
 def run_simulation(

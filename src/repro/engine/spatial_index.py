@@ -40,12 +40,20 @@ Cell = Tuple[int, ...]
 
 # Below this swarm size the dense vectorized O(n) scan wins (a single
 # numpy interpolation pass is cheap; the grid's per-Look bucket unions
-# only pay off once n is well into the hundreds); both the planar and
-# the 3D engine use this as the auto-enable threshold for the grid.
-# Tuned on one machine — override per run with
-# ``SimulationConfig.spatial_index`` / ``Simulation3Config.spatial_index``
-# (see docs/engine-performance.md).
+# only pay off once n is well into the hundreds).  The planar engines
+# auto-enable the grid at GRID_MIN_ROBOTS; 3D runs pay for 27 bucket
+# lookups per Look instead of 9, which pushes the measured crossover to
+# around n ~ 2000 (see benchmarks/bench_grid_threshold.py and
+# docs/engine-performance.md), hence the separate 3D threshold.  Both are
+# measured on one machine — override per run with
+# ``SimulationConfig.spatial_index`` / ``Simulation3Config.spatial_index``.
 GRID_MIN_ROBOTS = 512
+GRID_MIN_ROBOTS_3D = 2048
+
+
+def grid_auto_threshold(dim: int) -> int:
+    """The swarm size at which a ``dim``-dimensional run auto-enables the grid."""
+    return GRID_MIN_ROBOTS if dim <= 2 else GRID_MIN_ROBOTS_3D
 
 
 class UniformGridIndex:

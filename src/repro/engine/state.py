@@ -20,7 +20,15 @@ from ..model.robot import KinematicArrays, Robot
 
 
 class EngineState:
-    """The simulator's kinematic state: arrays first, robot views on top."""
+    """The simulator's kinematic state: arrays first, robot views on top.
+
+    The store itself is dimension-generic (any ``(n, d)``
+    :class:`~repro.model.robot.KinematicArrays`); the per-robot
+    :class:`Robot` views exist only in the planar case, where the
+    object-style engine API needs them.  Build a planar state from points
+    with the constructor, or a state of any dimension from an ``(n, d)``
+    array with :meth:`from_array`.
+    """
 
     __slots__ = ("arrays", "robots")
 
@@ -29,6 +37,18 @@ class EngineState:
         self.robots: List[Robot] = [
             Robot.view(self.arrays, i) for i in range(self.arrays.n)
         ]
+
+    @classmethod
+    def from_array(cls, positions: np.ndarray) -> "EngineState":
+        """A state of any dimension from an ``(n, d)`` position array."""
+        state = object.__new__(cls)
+        state.arrays = KinematicArrays.from_array(positions)
+        state.robots = (
+            [Robot.view(state.arrays, i) for i in range(state.arrays.n)]
+            if state.arrays.dim == 2
+            else []
+        )
+        return state
 
     @property
     def n(self) -> int:

@@ -102,7 +102,7 @@ class PerceptionModel:
     def perceive_array(
         self, vectors: np.ndarray, rng: Optional[np.random.Generator] = None
     ) -> np.ndarray:
-        """Perceived versions of an ``(m, 2)`` array of true relative positions.
+        """Perceived versions of an ``(m, d)`` array of true relative positions.
 
         The batch form of :meth:`perceive_vector`: one polar decomposition
         and one reconstruction for the whole array.  With ``bias ==
@@ -112,8 +112,19 @@ class PerceptionModel:
         consumes the generator stream exactly as the per-vector loop did.
         Error-free perception is the identity: the true relative positions
         are returned unchanged, with no polar round-trip rounding.
+
+        The model is dimension-generic: in the plane the perceived vector
+        is rebuilt from its (possibly distorted) polar form, exactly as it
+        always was; in higher dimensions the relative distance error
+        scales each vector along its true direction, and the angular
+        distortion — an inherently planar notion (a bijection of the
+        circle) — raises ``ValueError``.
         """
-        arr = np.asarray(vectors, dtype=float).reshape(-1, 2)
+        arr = np.asarray(vectors, dtype=float)
+        if arr.ndim != 2:
+            arr = arr.reshape(-1, 2)
+        if arr.shape[1] != 2:
+            return self._perceive_rows_nd(arr, rng)
         if len(arr) == 0 or self._is_identity(rng):
             return arr
         r = np.hypot(arr[:, 0], arr[:, 1])
@@ -139,6 +150,35 @@ class PerceptionModel:
         out = np.column_stack((r_perceived * np.cos(angle), r_perceived * np.sin(angle)))
         out[~measurable] = arr[~measurable]
         return out
+
+    def _perceive_rows_nd(
+        self, arr: np.ndarray, rng: Optional[np.random.Generator]
+    ) -> np.ndarray:
+        """The d > 2 branch of :meth:`perceive_array` (radial error only)."""
+        if self.distortion is not None and self.distortion.amplitude != 0.0:
+            raise ValueError(
+                "angular distortion is a planar error model and has no "
+                f"{arr.shape[1]}-dimensional counterpart"
+            )
+        if len(arr) == 0 or self._is_identity(rng):
+            return arr
+        r = np.sqrt((arr * arr).sum(axis=1))
+        measurable = r > EPS
+        if not measurable.any():
+            return arr
+        factor = np.ones(len(arr), dtype=float)
+        if self.distance_error > 0.0 and self.bias != "none":
+            if self.bias == "over":
+                factor[measurable] = 1.0 + self.distance_error
+            elif self.bias == "under":
+                factor[measurable] = 1.0 - self.distance_error
+            elif rng is not None:
+                factor[measurable] = rng.uniform(
+                    1.0 - self.distance_error,
+                    1.0 + self.distance_error,
+                    size=int(measurable.sum()),
+                )
+        return arr * factor[:, None]
 
     def skew(self) -> float:
         """The skew bound of the angular distortion (0 when undistorted)."""
@@ -231,3 +271,72 @@ class MotionModel:
         else:
             offset = float(rng.uniform(-max_dev, max_dev))
         return along + direction * offset
+
+    def realize_array(
+        self,
+        origin: np.ndarray,
+        target: np.ndarray,
+        requested_fraction: float = 1.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> np.ndarray:
+        """:meth:`realize` on coordinate rows, in any spatial dimension.
+
+        In the plane the arithmetic mirrors the :class:`Point` path
+        operation for operation (same clamp, same interpolation, same
+        fixed +90-degree lateral direction), so the two forms agree bit
+        for bit.  In higher dimensions the lateral deviation leaves along
+        a unit direction perpendicular to the planned trajectory: a
+        deterministic one under ``bias == "adversarial"`` (or without an
+        RNG), otherwise a uniformly random direction on the perpendicular
+        circle (one Gaussian draw of ``d`` components) followed by the
+        same uniform offset draw the planar path makes.
+        """
+        origin = np.asarray(origin, dtype=float)
+        target = np.asarray(target, dtype=float)
+        dim = origin.shape[-1]
+        delta = target - origin
+        if dim == 2:
+            planned = math.hypot(float(delta[0]), float(delta[1]))
+        else:
+            planned = math.sqrt(float((delta * delta).sum()))
+        if planned <= EPS:
+            return origin.copy()
+        fraction = self.clamp_fraction(requested_fraction)
+        along = origin + delta * fraction
+        max_dev = self.max_deviation(planned)
+        if max_dev <= 0.0:
+            return along
+        unit = delta / planned
+        if dim == 2:
+            direction = np.array((-unit[1], unit[0]), dtype=float)
+        elif self.bias == "adversarial" or rng is None:
+            direction = _deterministic_perpendicular(unit)
+        else:
+            direction = _random_perpendicular(unit, rng)
+        if self.bias == "adversarial" or rng is None:
+            offset = max_dev
+        else:
+            offset = float(rng.uniform(-max_dev, max_dev))
+        return along + direction * offset
+
+
+def _deterministic_perpendicular(unit: np.ndarray) -> np.ndarray:
+    """A fixed unit vector perpendicular to ``unit`` (for adversarial bias).
+
+    Projects out the axis least aligned with the trajectory, so the
+    result is well-conditioned for every direction.
+    """
+    axis = np.zeros_like(unit)
+    axis[int(np.abs(unit).argmin())] = 1.0
+    perpendicular = axis - float(axis @ unit) * unit
+    return perpendicular / math.sqrt(float((perpendicular * perpendicular).sum()))
+
+
+def _random_perpendicular(unit: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """A uniformly random unit vector perpendicular to ``unit``."""
+    gaussian = rng.normal(size=unit.shape[0])
+    perpendicular = gaussian - float(gaussian @ unit) * unit
+    norm = math.sqrt(float((perpendicular * perpendicular).sum()))
+    if norm <= EPS:  # pragma: no cover - measure-zero draw
+        return _deterministic_perpendicular(unit)
+    return perpendicular / norm

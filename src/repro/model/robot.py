@@ -157,6 +157,79 @@ class KinematicArrays:
         """True when at least one robot is mid-move."""
         return bool((self.phase == PHASE_MOVING).any())
 
+    # -- row-level transitions ---------------------------------------------------
+    # These are the dimension-generic core of the activity-cycle state
+    # machine: the planar :class:`Robot` views delegate here, and the
+    # continuous-time kernel drives them directly for stores of any
+    # dimension.  ``label`` only affects error messages (a standalone
+    # Robot's ``robot_id`` may differ from its row index).
+
+    def travel_distance(self, origin: np.ndarray, destination: np.ndarray) -> float:
+        """Length of one realised trajectory, matching the scalar conventions.
+
+        ``math.hypot`` in the plane (exactly what :meth:`Robot.finish_move`
+        always computed) and a left-to-right sum of squares under one
+        square root in higher dimensions (the :class:`Vector3` convention).
+        """
+        if self.dim == 2:
+            return math.hypot(
+                float(destination[0]) - float(origin[0]),
+                float(destination[1]) - float(origin[1]),
+            )
+        total = 0.0
+        for axis in range(self.dim):
+            delta = float(destination[axis]) - float(origin[axis])
+            total += delta * delta
+        return math.sqrt(total)
+
+    def begin_activation_at(self, index: int, time: float, *, label: Optional[int] = None) -> None:
+        """Enter the Compute phase on row ``index`` (the Look is instantaneous)."""
+        if self.phase[index] != PHASE_IDLE:
+            who = index if label is None else label
+            phase = _CODE_TO_PHASE[self.phase[index]].value
+            raise RuntimeError(f"robot {who} activated at t={time} while still {phase}")
+        self.phase[index] = PHASE_COMPUTING
+        self.activation_count[index] += 1
+
+    def begin_move_at(
+        self,
+        index: int,
+        origin: np.ndarray,
+        destination: np.ndarray,
+        start_time: float,
+        end_time: float,
+        *,
+        label: Optional[int] = None,
+    ) -> None:
+        """Enter the Move phase on row ``index`` with a realised trajectory."""
+        if self.phase[index] != PHASE_COMPUTING:
+            who = index if label is None else label
+            phase = _CODE_TO_PHASE[self.phase[index]].value
+            raise RuntimeError(f"robot {who} cannot start moving from phase {phase}")
+        if end_time < start_time:
+            raise ValueError("move must end at or after it starts")
+        self.move_origin[index] = origin
+        self.move_destination[index] = destination
+        self.move_start[index] = start_time
+        self.move_end[index] = end_time
+        self.phase[index] = PHASE_MOVING
+
+    def finish_move_at(self, index: int, *, label: Optional[int] = None) -> None:
+        """Leave the Move phase on row ``index``; the robot idles at its endpoint."""
+        if self.phase[index] != PHASE_MOVING:
+            who = index if label is None else label
+            raise RuntimeError(f"robot {who} is not moving")
+        self.total_distance[index] += self.travel_distance(
+            self.move_origin[index], self.move_destination[index]
+        )
+        self.position[index] = self.move_destination[index]
+        self.phase[index] = PHASE_IDLE
+
+    def crash_at(self, index: int) -> None:
+        """Fail-stop row ``index``: any pending move is discarded."""
+        self.phase[index] = PHASE_IDLE
+        self.crashed[index] = True
+
 
 class Robot:
     """One mobile entity: a thin view over one row of a :class:`KinematicArrays`."""
@@ -314,44 +387,28 @@ class Robot:
     # -- transitions -------------------------------------------------------------
     def begin_activation(self, time: float) -> None:
         """Enter the Compute phase (the Look phase is instantaneous)."""
-        arrays, i = self._arrays, self._index
-        if arrays.phase[i] != PHASE_IDLE:
-            raise RuntimeError(
-                f"robot {self.robot_id} activated at t={time} while still {self.phase.value}"
-            )
-        arrays.phase[i] = PHASE_COMPUTING
-        arrays.activation_count[i] += 1
+        self._arrays.begin_activation_at(self._index, time, label=self.robot_id)
 
     def begin_move(
         self, origin: PointLike, destination: PointLike, start_time: float, end_time: float
     ) -> None:
         """Enter the Move phase with a realised trajectory and its time span."""
-        arrays, i = self._arrays, self._index
-        if arrays.phase[i] != PHASE_COMPUTING:
-            raise RuntimeError(
-                f"robot {self.robot_id} cannot start moving from phase {self.phase.value}"
-            )
-        if end_time < start_time:
-            raise ValueError("move must end at or after it starts")
         o = Point.of(origin)
         d = Point.of(destination)
-        arrays.move_origin[i] = (o.x, o.y)
-        arrays.move_destination[i] = (d.x, d.y)
-        arrays.move_start[i] = start_time
-        arrays.move_end[i] = end_time
-        arrays.phase[i] = PHASE_MOVING
+        self._arrays.begin_move_at(
+            self._index,
+            np.array((o.x, o.y), dtype=float),
+            np.array((d.x, d.y), dtype=float),
+            start_time,
+            end_time,
+            label=self.robot_id,
+        )
 
     def finish_move(self) -> Point:
         """Leave the Move phase; the robot becomes idle at its realised endpoint."""
-        arrays, i = self._arrays, self._index
-        if arrays.phase[i] != PHASE_MOVING:
-            raise RuntimeError(f"robot {self.robot_id} is not moving")
-        ox, oy = arrays.move_origin[i]
-        dx, dy = arrays.move_destination[i]
-        arrays.total_distance[i] += math.hypot(dx - ox, dy - oy)
-        arrays.position[i] = (dx, dy)
-        arrays.phase[i] = PHASE_IDLE
-        return Point(float(dx), float(dy))
+        self._arrays.finish_move_at(self._index, label=self.robot_id)
+        row = self._arrays.position[self._index]
+        return Point(float(row[0]), float(row[1]))
 
     def crash(self) -> None:
         """Fail-stop the robot: it stays at its current position forever.
@@ -361,6 +418,4 @@ class Robot:
         fault-injection tests exercise this.  A crashing robot keeps its
         last committed position; any pending move is discarded.
         """
-        arrays, i = self._arrays, self._index
-        arrays.phase[i] = PHASE_IDLE
-        arrays.crashed[i] = True
+        self._arrays.crash_at(self._index)

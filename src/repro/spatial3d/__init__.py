@@ -1,6 +1,14 @@
 """Section 6.3.2 extension: the paper's algorithm in three dimensions."""
 
 from .halfspace import fits_in_open_halfspace_array
+from .kernel3 import (
+    AsyncSimulation3Config,
+    Kernel3,
+    Metrics3Collector,
+    Metrics3Sample,
+    Simulation3AsyncResult,
+    run_simulation3_async,
+)
 from .kknps3 import KKNPS3Algorithm
 from .model3 import (
     Configuration3,
@@ -25,8 +33,13 @@ from .workloads3 import (
 )
 
 __all__ = [
+    "AsyncSimulation3Config",
     "Configuration3",
     "KKNPS3Algorithm",
+    "Kernel3",
+    "Metrics3Collector",
+    "Metrics3Sample",
+    "Simulation3AsyncResult",
     "Simulation3Config",
     "Simulation3Result",
     "Snapshot3",
@@ -48,5 +61,6 @@ __all__ = [
     "positions_as_array3",
     "random_connected_configuration3",
     "run_simulation3",
+    "run_simulation3_async",
     "visibility_edges3",
 ]

@@ -1,16 +1,17 @@
-"""The array-native round engine behind :func:`repro.spatial3d.run_simulation3`.
+"""The round engine behind :func:`repro.spatial3d.run_simulation3`.
 
 This module holds both execution modes of the 3D round simulator:
 
-* ``engine_mode="array"`` (the default) keeps the swarm as one
-  contiguous ``(n, 3)`` float64 position array.  Each activated robot's
-  Look is a batched distance filter (optionally restricted to the
-  observer's 3x3x3 block of a :class:`~repro.engine.spatial_index.UniformGridIndex`),
-  the random-frame rotation is applied to the whole neighbour batch in
-  three fused column expressions, the destination rule runs through
-  :meth:`~repro.spatial3d.kknps3.KKNPS3Algorithm.compute_array`, and the
-  per-round diameter / cohesion measurements are single vectorized
-  reductions.
+* ``engine_mode="array"`` (the default) is a **thin adapter over the
+  dimension-generic continuous-time kernel**
+  (:class:`~repro.engine.kernel.ContinuousKernel`): the round semantics
+  live in :class:`Round3Scheduler` (one simultaneous batch per round,
+  per-round measurement and stopping at round boundaries) and
+  :class:`_RoundKernel3` (the historical Look filter, frame rotation and
+  ``uniform(xi, 1)`` fraction draws, in the historical RNG order), while
+  the activation pipeline itself — heap consumption, ``(n, 3)``
+  interpolation, phase transitions, grid maintenance — is the same
+  kernel that runs planar and continuous-time 3D simulations.
 * ``engine_mode="object"`` is the retained reference loop: per-robot
   :class:`~repro.spatial3d.vector3.Vector3` arithmetic and per-neighbour
   Python filtering, exactly the shape of the pre-array implementation.
@@ -19,10 +20,10 @@ The two modes are **bit-identical** (pinned by
 ``tests/spatial3d/test_engine3.py``).  Three things make that hold by
 construction rather than by luck:
 
-* both modes consume the RNG in the same order (one ``random()`` per
-  robot for the activation draw, then per activated robot a rotation and
-  a progress fraction) — numpy's ``Generator`` fills vectorized draws
-  from the same bitstream as repeated scalar draws;
+* both modes consume the RNG in the same order (one ``random(n)`` draw
+  per round for the activation subset, then per activated robot a
+  rotation and a progress fraction) — numpy's ``Generator`` fills
+  vectorized draws from the same bitstream as repeated scalar draws;
 * rotations are applied through explicit component expressions (no BLAS
   matmul, whose summation order is build-dependent), evaluated in the
   same order scalar Python would;
@@ -30,10 +31,15 @@ construction rather than by luck:
   (``compute_array``), which the object mode reaches through
   ``compute``'s delegation.
 
-Semantics of a round are unchanged from the original 3D simulator:
-semi-synchronous subset activation (every activated robot Looks at the
-round-start positions), uniformly random orthonormal frames, and
-``xi``-rigid truncation of every commanded move.
+Round semantics through the kernel, spelled out: every activated robot
+of round ``r`` Looks at ``t = r`` — robots activated earlier in the same
+round have begun moves whose span starts at ``r``, so interpolating them
+at ``r`` yields their move *origins*, i.e. exactly the round-start
+positions — and every move ends at ``r + 0.5``, inside the round.  The
+:class:`Round3Scheduler` measures diameter and cohesion from the
+interpolated end-of-round state before drawing the next subset, so a
+converged run stops without consuming further RNG, exactly like the
+historical loop.
 """
 
 from __future__ import annotations
@@ -43,7 +49,10 @@ from typing import List, Optional, Set
 
 import numpy as np
 
-from ..engine.spatial_index import GRID_MIN_ROBOTS, UniformGridIndex
+from ..engine.kernel import ContinuousKernel, MoveDecision
+from ..engine.state import EngineState
+from ..model.types import Activation, SchedulerClass
+from ..schedulers.base import Scheduler
 from .kknps3 import KKNPS3Algorithm
 from .model3 import (
     Edge,
@@ -82,6 +91,28 @@ def rotate_rows3(matrix: np.ndarray, rows: np.ndarray) -> np.ndarray:
     out[:, 1] = matrix[1, 0] * x + matrix[1, 1] * y + matrix[1, 2] * z
     out[:, 2] = matrix[2, 0] * x + matrix[2, 1] * y + matrix[2, 2] * z
     return out
+
+
+def visible_relative3(
+    observer: np.ndarray, pool, visibility_range: float
+) -> np.ndarray:
+    """Relative positions of the robots in ``pool`` visible from ``observer``.
+
+    The 3D extension's one visibility filter, shared by the round adapter
+    and the continuous-time 3D kernel so the two engines cannot diverge
+    on who sees whom: distances within ``(VIS_EPS, V + VIS_EPS]`` (the
+    lower bound drops the observer itself on a dense pool and any
+    coincident robot on every pool), computed with the explicit component
+    expressions the historical loop used.
+    """
+    pool = np.asarray(pool, dtype=float).reshape(-1, 3)
+    delta = pool - observer
+    distances = np.sqrt(
+        delta[:, 0] * delta[:, 0]
+        + delta[:, 1] * delta[:, 1]
+        + delta[:, 2] * delta[:, 2]
+    )
+    return delta[(distances <= visibility_range + VIS_EPS) & (distances > VIS_EPS)]
 
 
 def rotate_back3(matrix: np.ndarray, vector: np.ndarray) -> np.ndarray:
@@ -136,26 +167,181 @@ def _activated_indices(
     return activated
 
 
-def _build_grid(
-    positions: np.ndarray, visibility_range: float, override: Optional[bool]
-) -> Optional[UniformGridIndex]:
-    """The 3D neighbour grid, or None for the dense path.
+class _NullSample:
+    """The sample a round-adapter observation returns (never converges)."""
 
-    Mirrors the planar engine's policy: auto-on (``override is None``)
-    once the swarm reaches ``GRID_MIN_ROBOTS``, forced on/off otherwise;
-    an infinite range can never be bucketed.
+    __slots__ = ()
+    hull_diameter = math.inf
+
+
+class _NullMetrics:
+    """A do-nothing metrics collector for the round adapter.
+
+    The round loop's own measurements (per-round diameter and cohesion)
+    live in :class:`Round3Scheduler`, which evaluates them at round
+    boundaries exactly as the historical loop did; the kernel's
+    per-activation sampling is therefore switched off.
     """
-    feasible = math.isfinite(visibility_range) and visibility_range > 0.0
-    if override is not None:
-        enabled = override and feasible
-    else:
-        enabled = feasible and len(positions) >= GRID_MIN_ROBOTS
-    if not enabled:
-        return None
-    grid = UniformGridIndex(visibility_range, dim=3)
-    for i in range(len(positions)):
-        grid.settle(i, positions[i, 0], positions[i, 1], positions[i, 2])
-    return grid
+
+    __slots__ = ()
+    cohesion_ever_violated = False
+    _SAMPLE = _NullSample()
+
+    def observe(self, time, positions, processed) -> _NullSample:
+        return self._SAMPLE
+
+
+class _RoundKernelConfig:
+    """The duck-typed kernel configuration of one round-adapter run."""
+
+    __slots__ = (
+        "visibility_range", "xi", "rotate_frames", "spatial_index", "seed",
+        "max_activations", "max_time", "convergence_epsilon",
+        "stop_at_convergence", "record_every", "crashed_robots", "engine_mode",
+    )
+
+    def __init__(self, *, visibility_range, xi, rotate_frames, spatial_index, max_rounds, n):
+        self.visibility_range = visibility_range
+        self.xi = xi
+        self.rotate_frames = rotate_frames
+        self.spatial_index = spatial_index
+        self.seed = 0  # unused: the adapter injects the caller's generator
+        # Bound generously: the scheduler exhausts after max_rounds rounds.
+        self.max_activations = max_rounds * max(n, 1) + 1
+        self.max_time = math.inf
+        # Unsatisfiable on purpose: _NullSample.hull_diameter is +inf, so any
+        # non-negative epsilon (and in particular +inf <= +inf) would flag a
+        # spurious converged_time on the kernel outcome.  The scheduler owns
+        # the round engine's real convergence decision.
+        self.convergence_epsilon = -1.0
+        self.stop_at_convergence = False
+        self.record_every = self.max_activations + 1  # skip per-activation sampling
+        self.crashed_robots = ()
+        self.engine_mode = "array"
+
+
+class Round3Scheduler(Scheduler):
+    """The round discipline as a continuous-time scheduler (the adapter's clock).
+
+    Each :meth:`next_batch` call is one round boundary: it first measures
+    the configuration the *previous* round produced (diameter history,
+    cohesion, convergence — in that order, exactly like the historical
+    loop, and crucially *before* any further RNG draw), then draws the
+    activated subset for the next round from the engine's own generator —
+    ``rng.random(n) < p`` with the single-robot fallback — and issues one
+    simultaneous batch at ``look_time = round``.  All activated robots
+    therefore Look at the start-of-round positions (simultaneous
+    activations see each other's move origins), and every move completes
+    inside its round.
+    """
+
+    scheduler_class = SchedulerClass.SSYNC
+
+    def __init__(
+        self,
+        *,
+        activation_probability: float,
+        max_rounds: int,
+        convergence_epsilon: float,
+        visibility_range: float,
+        edge_index: np.ndarray,
+        move_duration: float = 0.5,
+    ) -> None:
+        super().__init__()
+        self.activation_probability = activation_probability
+        self.max_rounds = max_rounds
+        self.convergence_epsilon = convergence_epsilon
+        self.visibility_range = visibility_range
+        self.edge_index = edge_index
+        self.move_duration = move_duration
+        self.rounds_issued = 0
+        self.diameter_history: List[float] = []
+        self.cohesion = True
+        self.converged_round: Optional[int] = None
+
+    def _after_reset(self) -> None:
+        self.rounds_issued = 0
+        self.diameter_history = []
+        self.cohesion = True
+        self.converged_round = None
+
+    def next_batch(self, view=None) -> List[Activation]:
+        n = self.n_robots
+        if self.rounds_issued > 0:
+            # End-of-round measurement: every move of the previous round has
+            # completed by its round boundary, so the interpolation returns
+            # exactly the committed end-of-round positions.
+            positions = view.positions_array(float(self.rounds_issued))
+            diameter = max_pairwise_distance3_array(positions)
+            self.diameter_history.append(diameter)
+            if not edges_preserved3_array(self.edge_index, positions, self.visibility_range):
+                self.cohesion = False
+            if diameter <= self.convergence_epsilon and self.converged_round is None:
+                self.converged_round = self.rounds_issued
+                return []
+        if self.rounds_issued >= self.max_rounds:
+            return []
+        activated = np.flatnonzero(
+            self._rng.random(n) < self.activation_probability
+        ).tolist()
+        if not activated:
+            activated = [int(self._rng.integers(0, n))]
+        look_time = float(self.rounds_issued)
+        self.rounds_issued += 1
+        return [
+            Activation(
+                robot_id=index,
+                look_time=look_time,
+                compute_duration=0.0,
+                move_duration=self.move_duration,
+            )
+            for index in activated
+        ]
+
+    def describe(self) -> str:
+        return f"round3(p={self.activation_probability})"
+
+
+class _RoundKernel3(ContinuousKernel):
+    """The round-mode Look/Compute hooks: historical RNG order, xi-draws.
+
+    Per activated robot the historical loop drew a rotation (when frames
+    are on) and then, after computing the destination, the realised
+    fraction ``uniform(xi, 1)``; the hook below reproduces both draws in
+    that order and applies the fraction directly (``observer +
+    displacement * fraction``), bypassing the motion model — the round
+    engine's xi-truncation *is* its motion model.
+    """
+
+    def _make_metrics(self) -> _NullMetrics:
+        return _NullMetrics()
+
+    def _bind_metrics(self, metrics) -> None:
+        pass
+
+    def _decide_move(
+        self,
+        robot_id: int,
+        look_time: float,
+        other_positions,
+        activation: Activation,
+    ) -> MoveDecision:
+        cfg = self.config
+        observer = self._state.committed_positions()[robot_id]
+        rotation = random_rotation3(self.rng) if cfg.rotate_frames else None
+        relative = visible_relative3(observer, other_positions, cfg.visibility_range)
+        if rotation is not None:
+            relative = rotate_rows3(rotation, relative)
+        destination_local = self.algorithm.compute_array(relative)
+        if rotation is not None:
+            displacement = rotate_back3(rotation, destination_local)
+        else:
+            displacement = destination_local
+        fraction = float(self.rng.uniform(cfg.xi, 1.0))
+        realized = observer + displacement * fraction
+        return MoveDecision(
+            target=realized, realized=realized, neighbours_seen=len(relative)
+        )
 
 
 def run_rounds_array(
@@ -172,69 +358,49 @@ def run_rounds_array(
     rotate_frames: bool,
     spatial_index: Optional[bool] = None,
 ) -> RoundOutcome:
-    """The vectorized round loop over an ``(n, 3)`` position array."""
+    """The round loop as a thin adapter over the continuous-time kernel.
+
+    The round semantics live in :class:`Round3Scheduler` (simultaneous
+    round batches, per-round measurement and stopping) and
+    :class:`_RoundKernel3` (the historical Look filter and RNG draws);
+    the activation pipeline itself — heap consumption, interpolation,
+    phase transitions, grid maintenance — is the shared
+    :class:`~repro.engine.kernel.ContinuousKernel`.  The outcome is
+    bit-identical to the historical vectorized loop (pinned against the
+    retained object path by ``tests/spatial3d/test_engine3.py``).
+    """
     positions = np.array(positions, dtype=float)
     n = len(positions)
-    v = visibility_range
     edge_index = edge_index_array(initial_edges)
-    grid = _build_grid(positions, v, spatial_index)
+    initial_diameter = max_pairwise_distance3_array(positions)
 
-    diameter_history = [max_pairwise_distance3_array(positions)]
-    cohesion = True
-    converged_round: Optional[int] = None
-    activations = 0
+    scheduler = Round3Scheduler(
+        activation_probability=activation_probability,
+        max_rounds=max_rounds,
+        convergence_epsilon=convergence_epsilon,
+        visibility_range=visibility_range,
+        edge_index=edge_index,
+    )
+    config = _RoundKernelConfig(
+        visibility_range=visibility_range,
+        xi=xi,
+        rotate_frames=rotate_frames,
+        spatial_index=spatial_index,
+        max_rounds=max_rounds,
+        n=n,
+    )
+    kernel = _RoundKernel3(
+        EngineState.from_array(positions), algorithm, scheduler, config, rng=rng
+    )
+    outcome = kernel.run_kernel()
 
-    for round_index in range(max_rounds):
-        activated = _activated_indices(rng, n, activation_probability, "array")
-        activations += len(activated)
-
-        # Semi-synchronous semantics: every activated robot Looks at the
-        # start-of-round positions; moves land in a fresh buffer.
-        new_positions = positions.copy()
-        for index in activated:
-            observer = positions[index]
-            rotation = random_rotation3(rng) if rotate_frames else None
-            if grid is not None:
-                candidates = grid.candidates(
-                    observer[0], observer[1], observer[2], exclude=index
-                )
-                pool = positions[candidates]
-            else:
-                pool = positions
-            delta = pool - observer
-            distances = np.sqrt(
-                delta[:, 0] * delta[:, 0]
-                + delta[:, 1] * delta[:, 1]
-                + delta[:, 2] * delta[:, 2]
-            )
-            # The lower bound drops the observer itself (distance 0) on the
-            # dense path and any coincident robot on both paths.
-            relative = delta[(distances <= v + VIS_EPS) & (distances > VIS_EPS)]
-            if rotation is not None:
-                relative = rotate_rows3(rotation, relative)
-            destination_local = algorithm.compute_array(relative)
-            if rotation is not None:
-                displacement = rotate_back3(rotation, destination_local)
-            else:
-                displacement = destination_local
-            fraction = float(rng.uniform(xi, 1.0))
-            new_positions[index] = observer + displacement * fraction
-        positions = new_positions
-        if grid is not None:
-            for index in activated:
-                grid.settle(
-                    index, positions[index, 0], positions[index, 1], positions[index, 2]
-                )
-
-        diameter = max_pairwise_distance3_array(positions)
-        diameter_history.append(diameter)
-        if not edges_preserved3_array(edge_index, positions, v):
-            cohesion = False
-        if diameter <= convergence_epsilon and converged_round is None:
-            converged_round = round_index + 1
-            break
-
-    return RoundOutcome(positions, diameter_history, converged_round, cohesion, activations)
+    return RoundOutcome(
+        outcome.final_positions,
+        [initial_diameter] + scheduler.diameter_history,
+        scheduler.converged_round,
+        scheduler.cohesion,
+        outcome.processed,
+    )
 
 
 def run_rounds_object(

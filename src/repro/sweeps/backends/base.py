@@ -50,12 +50,29 @@ class WorkerHealth:
     chunks: int = 0
     busy_s: float = 0.0
     steals: int = 0
+    #: Heartbeat frames received from the worker (socket backend; the
+    #: ``hello`` counts as the first beat, so a live worker always has one).
+    heartbeats: int = 0
+    #: Age of the last heartbeat at the moment the coordinator released the
+    #: worker — None for backends without live heartbeats.
+    last_heartbeat_age_s: Optional[float] = None
+    _last_heartbeat_monotonic: Optional[float] = field(default=None, repr=False)
 
     def observe_chunk(self, runs: int, busy_s: float) -> None:
         """Record one completed chunk of ``runs`` runs taking ``busy_s``."""
         self.runs += runs
         self.chunks += 1
         self.busy_s += busy_s
+
+    def observe_heartbeat(self, now: float) -> None:
+        """Record one heartbeat frame received at monotonic time ``now``."""
+        self.heartbeats += 1
+        self._last_heartbeat_monotonic = now
+
+    def finalize_heartbeat_age(self, now: float) -> None:
+        """Freeze the last-heartbeat age into :attr:`last_heartbeat_age_s`."""
+        if self._last_heartbeat_monotonic is not None:
+            self.last_heartbeat_age_s = max(0.0, now - self._last_heartbeat_monotonic)
 
 
 @dataclass
@@ -81,7 +98,13 @@ class BackendStats:
             parts.append(f"steals={self.steals}")
         if self.worker_health:
             busy = ", ".join(
-                f"{w.worker_id}:{w.runs}r/{w.busy_s:.2f}s" for w in self.worker_health
+                f"{w.worker_id}:{w.runs}r/{w.busy_s:.2f}s"
+                + (
+                    f"/hb{w.last_heartbeat_age_s:.1f}s"
+                    if w.last_heartbeat_age_s is not None
+                    else ""
+                )
+                for w in self.worker_health
             )
             parts.append(f"per-worker [{busy}]")
         return " ".join(parts)

@@ -18,6 +18,10 @@ frame                   meaning
                         :meth:`RunSpec.to_dict` payloads to execute
 ``result``              worker → coordinator; the executed ``rows`` plus the
                         worker's ``busy_s`` for the chunk
+``heartbeat``           worker → coordinator, every ``HEARTBEAT_INTERVAL_S``
+                        from a background thread while the worker lives; the
+                        coordinator tracks the last-beat age per worker and
+                        surfaces it in :meth:`SocketBackend.stats`
 ``shutdown``            coordinator → worker; close the connection and exit
 ======================  ======================================================
 
@@ -45,6 +49,9 @@ from .work_stealing import dynamic_chunk_size
 
 _LENGTH = struct.Struct(">I")
 
+#: How often a worker's background thread emits a heartbeat frame.
+HEARTBEAT_INTERVAL_S = 1.0
+
 
 def send_frame(sock: socket.socket, message: dict) -> None:
     """Send one length-prefixed JSON frame."""
@@ -70,7 +77,13 @@ def _recv_exact(sock: socket.socket, size: int) -> bytes:
     return b"".join(chunks)
 
 
-def worker_main(host: str, port: int, worker_id: int, run_fn: RunFunction) -> None:
+def worker_main(
+    host: str,
+    port: int,
+    worker_id: int,
+    run_fn: RunFunction,
+    heartbeat_interval: float = HEARTBEAT_INTERVAL_S,
+) -> None:
     """A socket worker: connect, announce, execute task frames until shutdown.
 
     This is the function a *real* remote deployment would start on each
@@ -78,10 +91,30 @@ def worker_main(host: str, port: int, worker_id: int, run_fn: RunFunction) -> No
     A lost connection means the coordinator is gone (finished, crashed,
     or never needed this worker); the worker exits quietly — error
     reporting belongs to the coordinator side.
+
+    While the worker lives, a background thread emits a ``heartbeat``
+    frame every ``heartbeat_interval`` seconds (sends share one lock with
+    the result path, so frames never interleave on the wire) — the
+    liveness signal the coordinator turns into last-beat ages.
     """
+    stop = threading.Event()
     try:
         with socket.create_connection((host, port)) as sock:
-            send_frame(sock, {"type": "hello", "worker": worker_id})
+            send_lock = threading.Lock()
+
+            def send(message: dict) -> None:
+                with send_lock:
+                    send_frame(sock, message)
+
+            def beat() -> None:
+                while not stop.wait(heartbeat_interval):
+                    try:
+                        send({"type": "heartbeat", "worker": worker_id})
+                    except (ConnectionError, OSError):
+                        return
+
+            send({"type": "hello", "worker": worker_id})
+            threading.Thread(target=beat, daemon=True).start()
             while True:
                 frame = recv_frame(sock)
                 if frame["type"] == "shutdown":
@@ -91,8 +124,7 @@ def worker_main(host: str, port: int, worker_id: int, run_fn: RunFunction) -> No
                 specs = [RunSpec.from_dict(payload) for payload in frame["specs"]]
                 started = time.perf_counter()
                 rows = [run_fn(spec) for spec in specs]
-                send_frame(
-                    sock,
+                send(
                     {
                         "type": "result",
                         "worker": worker_id,
@@ -102,6 +134,8 @@ def worker_main(host: str, port: int, worker_id: int, run_fn: RunFunction) -> No
                 )
     except (ConnectionError, OSError):
         return
+    finally:
+        stop.set()
 
 
 class SocketBackend(ExecutionBackend):
@@ -110,13 +144,21 @@ class SocketBackend(ExecutionBackend):
     name = "socket"
 
     def __init__(
-        self, *, workers: int = 2, host: str = "127.0.0.1", run_fn=None
+        self,
+        *,
+        workers: int = 2,
+        host: str = "127.0.0.1",
+        run_fn=None,
+        heartbeat_interval: float = HEARTBEAT_INTERVAL_S,
     ) -> None:
         super().__init__(run_fn=run_fn)
         if workers < 1:
             raise ValueError("workers must be at least 1")
+        if heartbeat_interval <= 0.0:
+            raise ValueError("heartbeat interval must be positive")
         self.workers = workers
         self.host = host
+        self.heartbeat_interval = heartbeat_interval
 
     def _chunk_tasks(self, specs: Sequence[RunSpec]) -> "queue.SimpleQueue[List[dict]]":
         """Cost-sorted specs pre-chunked with shrinking sizes, as a queue."""
@@ -140,15 +182,23 @@ class SocketBackend(ExecutionBackend):
             hello = recv_frame(sock)
             worker_id = int(hello.get("worker", -1))
             health = WorkerHealth(worker_id=f"sock-{worker_id}")
+            # The hello proves liveness: it is the worker's first beat.
+            health.observe_heartbeat(time.monotonic())
             while True:
                 try:
                     chunk = tasks.get_nowait()
                 except queue.Empty:
                     send_frame(sock, {"type": "shutdown"})
+                    health.finalize_heartbeat_age(time.monotonic())
                     results.put(health)
                     return
                 send_frame(sock, {"type": "task", "specs": chunk})
-                frame = recv_frame(sock)
+                while True:
+                    frame = recv_frame(sock)
+                    if frame["type"] == "heartbeat":
+                        health.observe_heartbeat(time.monotonic())
+                        continue
+                    break
                 health.observe_chunk(len(frame["rows"]), float(frame["busy_s"]))
                 results.put(frame["rows"])
         except BaseException as error:
@@ -175,7 +225,7 @@ class SocketBackend(ExecutionBackend):
             processes = [
                 context.Process(
                     target=worker_main,
-                    args=(self.host, port, i, self.run_fn),
+                    args=(self.host, port, i, self.run_fn, self.heartbeat_interval),
                     daemon=True,
                 )
                 for i in range(self.workers)

@@ -80,16 +80,26 @@ ALGORITHM3_FACTORIES: Dict[str, Callable[..., KKNPS3Algorithm]] = {
     "kknps3": KKNPS3Algorithm,
 }
 
-#: 3D "schedulers" are activation disciplines of the round engine: every
-#: robot every round (fsync3) or an independent 60% subset per round
+#: 3D round "schedulers" are activation disciplines of the round engine:
+#: every robot every round (fsync3) or an independent 60% subset per round
 #: (ssync3, the Section-6.3.2 experiment's setting).
 SCHEDULER3_ACTIVATION: Dict[str, float] = {
     "fsync3": 1.0,
     "ssync3": 0.6,
 }
 
+#: Continuous-time 3D schedulers: the planar scheduler family driving the
+#: unified kernel's 3D instantiation (``run_simulation3_async``).  These
+#: open the paper's headline scenario — bounded vs unbounded asynchrony —
+#: in 3-space.
+SCHEDULER3_CONTINUOUS: Dict[str, Callable[[int], Scheduler]] = {
+    "kasync3": lambda k: KAsyncScheduler(k=k),
+    "nesta3": lambda k: KNestAScheduler(k=k),
+    "async3": lambda k: AsyncScheduler(),
+}
+
 #: Error models the round engine understands, as its ``xi`` rigidity bound
-#: (the 3D extension has no perception-error machinery).
+#: (the round loop has no perception-error machinery).
 ERROR_MODEL3_XI: Dict[str, float] = {
     "exact": 1.0,
     "nonrigid-50": 0.5,
@@ -211,7 +221,11 @@ def algorithm_names() -> Tuple[str, ...]:
 
 def scheduler_names() -> Tuple[str, ...]:
     """Registered scheduler names (planar first, then 3D)."""
-    return tuple(SCHEDULER_FACTORIES) + tuple(SCHEDULER3_ACTIVATION)
+    return (
+        tuple(SCHEDULER_FACTORIES)
+        + tuple(SCHEDULER3_ACTIVATION)
+        + tuple(SCHEDULER3_CONTINUOUS)
+    )
 
 
 def workload_names() -> Tuple[str, ...]:
@@ -241,7 +255,22 @@ def make_scheduler(name: str, k: int = 1) -> Scheduler:
             f"scheduler {name!r} is a 3D round discipline; "
             "use activation_probability3() in a 3D run"
         )
+    if name in SCHEDULER3_CONTINUOUS:
+        raise ValueError(
+            f"scheduler {name!r} drives the continuous-time 3D kernel; "
+            "use make_scheduler3() in a 3D run"
+        )
     return _lookup(SCHEDULER_FACTORIES, name, "scheduler")(k)
+
+
+def make_scheduler3(name: str, k: int = 1) -> Scheduler:
+    """Instantiate a continuous-time 3D scheduler by name."""
+    return _lookup(SCHEDULER3_CONTINUOUS, name, "3D continuous scheduler")(k)
+
+
+def is_round_discipline3(name: str) -> bool:
+    """True when a 3D scheduler name selects the round engine."""
+    return name in SCHEDULER3_ACTIVATION
 
 
 def activation_probability3(name: str) -> float:
@@ -261,13 +290,40 @@ def make_error_models(name: str) -> Tuple[PerceptionModel, MotionModel]:
 
 
 def error_model3_xi(name: str) -> float:
-    """The ``xi`` rigidity bound a named error model means to the 3D engine."""
+    """The ``xi`` rigidity bound a named error model means to the round engine."""
     if name not in ERROR_MODEL3_XI:
         known = ", ".join(ERROR_MODEL3_XI)
         raise ValueError(
-            f"error model {name!r} is not available in 3D runs; known: {known}"
+            f"error model {name!r} is not available in 3D runs under a round "
+            f"discipline; known: {known}"
         )
     return ERROR_MODEL3_XI[name]
+
+
+def error_model_supports_3d(name: str) -> bool:
+    """True when a named error model applies to continuous-time 3D runs.
+
+    Distance-measurement error and every motion error generalise to any
+    dimension; the angular (compass-skew) distortion is a bijection of
+    the circle and stays planar-only.
+    """
+    perception, _motion = make_error_models(name)
+    return perception.distortion is None or perception.distortion.amplitude == 0.0
+
+
+def check_error_model3(scheduler: str, error_model: str) -> None:
+    """Validate an error model against a 3D scheduler name (raises on misfit)."""
+    if scheduler in SCHEDULER3_ACTIVATION:
+        if error_model not in ERROR_MODEL3_XI:
+            error_model3_xi(error_model)  # raises with the known-names message
+    elif not error_model_supports_3d(error_model):
+        compatible = ", ".join(
+            n for n in ERROR_MODEL_FACTORIES if error_model_supports_3d(n)
+        )
+        raise ValueError(
+            f"error model {error_model!r} is planar-only (angular distortion); "
+            f"continuous-time 3D runs support: {compatible}"
+        )
 
 
 def run_dimension(
@@ -286,7 +342,7 @@ def run_dimension(
     )
     flags = {
         "algorithm": algorithm in ALGORITHM3_FACTORIES,
-        "scheduler": scheduler in SCHEDULER3_ACTIVATION,
+        "scheduler": scheduler in SCHEDULER3_ACTIVATION or scheduler in SCHEDULER3_CONTINUOUS,
         "workload": workload in WORKLOAD3_FACTORIES,
     }
     if not any(flags.values()):
@@ -297,8 +353,7 @@ def run_dimension(
             f"mixed-dimension run: {algorithm!r} x {scheduler!r} x {workload!r} "
             f"({planar} planar, rest 3D)"
         )
-    if error_model not in ERROR_MODEL3_XI:
-        error_model3_xi(error_model)  # raises with the known-names message
+    check_error_model3(scheduler, error_model)
     return 3
 
 
@@ -312,7 +367,11 @@ def validate_names(
     """Raise ``ValueError`` for any name missing from its registry."""
     for names, registries, kind in (
         (algorithms, (ALGORITHM_FACTORIES, ALGORITHM3_FACTORIES), "algorithm"),
-        (schedulers, (SCHEDULER_FACTORIES, SCHEDULER3_ACTIVATION), "scheduler"),
+        (
+            schedulers,
+            (SCHEDULER_FACTORIES, SCHEDULER3_ACTIVATION, SCHEDULER3_CONTINUOUS),
+            "scheduler",
+        ),
         (workloads, (WORKLOAD_FACTORIES, WORKLOAD3_FACTORIES), "workload"),
         (error_models, (ERROR_MODEL_FACTORIES,), "error model"),
     ):

@@ -43,9 +43,11 @@ from .backends import (
 from .factories import (
     activation_probability3,
     error_model3_xi,
+    is_round_discipline3,
     make_algorithm,
     make_error_models,
     make_scheduler,
+    make_scheduler3,
     make_workload,
     run_dimension,
 )
@@ -124,14 +126,27 @@ def execute_run(spec: RunSpec) -> Dict[str, object]:
 
 
 def _execute_run3(spec: RunSpec) -> Dict[str, object]:
-    """Execute one 3D run spec on the round engine, same row contract.
+    """Execute one 3D run spec, same row contract as the planar path.
+
+    Round disciplines (``fsync3``/``ssync3``) run the round engine; the
+    continuous-time 3D schedulers (``kasync3``/``nesta3``/``async3``) run
+    the unified kernel's 3D instantiation with the full error-model
+    registry (minus the planar-only angular distortions).
+    """
+    if not is_round_discipline3(spec.scheduler):
+        return _execute_run3_async(spec)
+    return _execute_run3_round(spec)
+
+
+def _execute_run3_round(spec: RunSpec) -> Dict[str, object]:
+    """Execute one 3D round-engine run spec.
 
     The mapping from the spec's planar-flavoured fields:
 
     * ``max_activations`` bounds the number of *rounds* (the round engine's
       scheduling quantum); the ``activations`` row field still reports
       individual robot activations, and ``rounds`` reports rounds.
-    * ``error_model`` selects the rigidity bound ``xi`` (the 3D engine has
+    * ``error_model`` selects the rigidity bound ``xi`` (the round loop has
       no perception-error machinery), via ``ERROR_MODEL3_XI``.
     * ``simulated_time`` is the executed round count as a float.
     """
@@ -189,6 +204,79 @@ def _execute_run3(spec: RunSpec) -> Dict[str, object]:
         "final_min_pairwise": min_pairwise_distance3_array(final_positions),
         "max_edge_stretch": max_edge_stretch3(initial_edges, final_positions),
         "simulated_time": float(result.rounds_executed),
+        "wall_time_s": time.perf_counter() - started,
+    }
+
+
+def _execute_run3_async(spec: RunSpec) -> Dict[str, object]:
+    """Execute one continuous-time 3D run spec on the unified kernel.
+
+    The field mapping matches the planar path: ``max_activations`` bounds
+    individual activations, ``error_model`` resolves through the full
+    registry to a (perception, motion) pair, ``epochs`` is computed from
+    the activation end times, and ``simulated_time`` is the final global
+    time.  ``rounds`` is None — continuous time has no rounds.
+    """
+    from ..spatial3d import (
+        AsyncSimulation3Config,
+        edge_index_array,
+        max_edge_stretch3,
+        min_pairwise_distance3_array,
+        positions_as_array3,
+        run_simulation3_async,
+    )
+
+    started = time.perf_counter()
+    configuration = make_workload(
+        spec.workload, spec.n_robots, spec.seed, spec.visibility_range
+    )
+    algorithm = make_algorithm(spec.algorithm, spec.algorithm_params)
+    scheduler = make_scheduler3(spec.scheduler, spec.scheduler_k)
+    perception, motion = make_error_models(spec.error_model)
+    result = run_simulation3_async(
+        configuration.positions,
+        algorithm,
+        scheduler,
+        AsyncSimulation3Config(
+            visibility_range=configuration.visibility_range,
+            perception=perception,
+            motion=motion,
+            seed=spec.seed,
+            max_activations=spec.max_activations,
+            convergence_epsilon=spec.epsilon,
+        ),
+    )
+    epochs = epochs_to_converge(
+        result.activation_end_times, result.metrics.samples, spec.epsilon
+    )
+    final_positions = positions_as_array3(result.final_configuration.positions)
+    initial_edges = edge_index_array(result.initial_configuration.edges())
+    return {
+        "run_key": spec.run_key,
+        "dimension": 3,
+        "algorithm": spec.algorithm,
+        "scheduler": spec.scheduler,
+        "workload": spec.workload,
+        "n_robots": len(configuration),
+        "seed": spec.seed,
+        "error_model": spec.error_model,
+        "scheduler_k": spec.scheduler_k,
+        "k_bound": spec.k_bound,
+        "epsilon": spec.epsilon,
+        "max_activations": spec.max_activations,
+        "visibility_range": configuration.visibility_range,
+        "converged": result.converged,
+        "convergence_time": result.convergence_time,
+        "cohesion": result.cohesion_maintained,
+        "activations": result.activations_processed,
+        "rounds": None,
+        "epochs": epochs,
+        "samples": len(result.metrics.samples),
+        "initial_diameter": result.initial_diameter,
+        "final_diameter": result.final_diameter,
+        "final_min_pairwise": min_pairwise_distance3_array(final_positions),
+        "max_edge_stretch": max_edge_stretch3(initial_edges, final_positions),
+        "simulated_time": result.final_time,
         "wall_time_s": time.perf_counter() - started,
     }
 

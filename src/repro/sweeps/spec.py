@@ -21,12 +21,26 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 AlgorithmParams = Tuple[Tuple[str, float], ...]
 
-#: Schedulers whose behaviour is governed by an asynchrony bound ``k``.
-K_SCHEDULERS = ("k-async", "k-async-half", "k-nesta")
+#: Schedulers whose behaviour is governed by an asynchrony bound ``k``
+#: (planar and continuous-time 3D alike).
+K_SCHEDULERS = ("k-async", "k-async-half", "k-nesta", "kasync3", "nesta3")
 
 #: Algorithms whose safe regions scale with an asynchrony bound ``k``
 #: (the grid expansion matches their ``k`` parameter to the scheduler's).
 K_ALGORITHMS = ("kknps", "kknps3")
+
+#: Fitted cost-model constants: estimated seconds per cost unit for each
+#: run class (see :meth:`RunSpec.cost_units`).  Fitted from measured
+#: ``wall_time_s`` JSONL rows by ``tools/calibrate_cost_hint.py`` — the
+#: method and the measurement behind these numbers are documented in
+#: ``docs/sweeps.md``.  Only the *ratios* matter for scheduling (backends
+#: order and balance by relative cost) but keeping the absolute scale in
+#: seconds makes the hints directly comparable to measured rows.
+COST_HINT_SECONDS = {
+    "2d": 1.79e-05,
+    "3d-round": 7.13e-06,
+    "3d-async": 1.47e-05,
+}
 
 
 def _format_value(value: object) -> str:
@@ -92,28 +106,52 @@ class RunSpec:
         """The same run at a different seed."""
         return replace(self, seed=seed)
 
-    def cost_hint(self) -> float:
-        """Estimated relative cost of this run, for scheduling and ETAs.
+    def cost_class(self) -> str:
+        """The cost-model class this run bills under.
 
-        A dimensionless heuristic, not a promise: backends use it to order
-        and balance work (largest-first), and the runner uses it to weight
-        progress into an ETA.  Planar runs cost roughly one O(n) snapshot
-        per activation; a 3D run's ``max_activations`` bounds *rounds*,
-        each of which activates ~n robots, so an extra factor of n.
-        Results never depend on it — a wrong hint only costs balance.
+        ``"2d"`` — the planar continuous-time engine (one O(n) snapshot
+        per activation); ``"3d-async"`` — the continuous-time 3D kernel
+        (same shape, 3D arithmetic); ``"3d-round"`` — the round engine,
+        where ``max_activations`` bounds *rounds*, each activating ~n
+        robots, so the unit picks up an extra factor of n.
         """
         try:
-            from .factories import run_dimension
+            from .factories import is_round_discipline3, run_dimension
 
-            dimension = run_dimension(
-                self.algorithm, self.scheduler, self.workload, self.error_model
-            )
+            if (
+                run_dimension(
+                    self.algorithm, self.scheduler, self.workload, self.error_model
+                )
+                == 2
+            ):
+                return "2d"
+            return "3d-round" if is_round_discipline3(self.scheduler) else "3d-async"
         except ValueError:
-            dimension = 2
-        per_unit = float(self.n_robots)
-        if dimension == 3:
-            per_unit *= self.n_robots
-        return self.max_activations * per_unit
+            return "2d"
+
+    def cost_units(self, cost_class: Optional[str] = None) -> float:
+        """The run's size in its class's cost units (activation-robot work).
+
+        ``cost_class`` may be passed when the caller already resolved it
+        (resolution walks the name registries, so avoid doing it twice).
+        """
+        klass = self.cost_class() if cost_class is None else cost_class
+        units = float(self.max_activations) * float(self.n_robots)
+        if klass == "3d-round":
+            units *= self.n_robots
+        return units
+
+    def cost_hint(self) -> float:
+        """Estimated cost of this run in seconds, for scheduling and ETAs.
+
+        ``cost_units()`` scaled by the fitted per-class constant
+        (:data:`COST_HINT_SECONDS`).  A heuristic, not a promise: backends
+        use it to order and balance work (largest-first), and the runner
+        uses it to weight progress into an ETA.  Results never depend on
+        it — a wrong hint only costs balance.
+        """
+        klass = self.cost_class()
+        return self.cost_units(klass) * COST_HINT_SECONDS[klass]
 
     def to_dict(self) -> Dict[str, object]:
         """This spec as a JSON-serializable dict (the socket wire format)."""

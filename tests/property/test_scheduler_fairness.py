@@ -1,0 +1,163 @@
+"""Fairness invariants of the built-in scheduler family.
+
+Two properties every scheduler promises the kernel (see
+``repro.schedulers.base``):
+
+1. **Ordered issue** — batches arrive in non-decreasing ``look_time``
+   order: no activation in a later batch starts earlier than one already
+   issued.  The kernel's global heap consumption (and hence the
+   correctness of every snapshot) leans on this.
+2. **Fairness** — every non-crashed robot is activated infinitely often.
+   The bounded-horizon proxy tested here: over a window of consecutive
+   batches, every robot appears in every quarter of the window, so no
+   robot's activations dry up as the schedule progresses.
+
+Both properties are checked at the scheduler level and through full
+kernel runs — planar and 3D, since the same scheduler objects drive the
+continuous-time kernel in either dimension.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms import KKNPSAlgorithm
+from repro.engine import SimulationConfig, run_simulation
+from repro.schedulers import (
+    AsyncScheduler,
+    FSyncScheduler,
+    KAsyncScheduler,
+    KNestAScheduler,
+    SSyncScheduler,
+)
+from repro.spatial3d import (
+    AsyncSimulation3Config,
+    KKNPS3Algorithm,
+    random_connected_configuration3,
+    run_simulation3_async,
+)
+from repro.workloads import random_connected_configuration
+
+SCHEDULERS = [
+    ("fsync", lambda: FSyncScheduler()),
+    ("ssync", lambda: SSyncScheduler()),
+    ("1-nesta", lambda: KNestAScheduler(k=1)),
+    ("3-nesta", lambda: KNestAScheduler(k=3)),
+    ("1-async", lambda: KAsyncScheduler(k=1)),
+    ("2-async", lambda: KAsyncScheduler(k=2)),
+    ("async", lambda: AsyncScheduler()),
+]
+
+N_ROBOTS = 7
+BATCHES = 400
+
+
+def _issue(factory, seed: int, batches: int = BATCHES):
+    scheduler = factory()
+    scheduler.reset(N_ROBOTS, np.random.default_rng(seed))
+    issued = []
+    for _ in range(batches):
+        batch = scheduler.next_batch()
+        assert batch, "built-in stochastic schedules never exhaust"
+        issued.append(batch)
+    return issued
+
+
+class TestOrderedIssue:
+    @pytest.mark.parametrize("seed", [0, 1])
+    @pytest.mark.parametrize("name,factory", SCHEDULERS)
+    def test_batches_have_nondecreasing_look_times(self, name, factory, seed):
+        horizon = -np.inf
+        for batch in _issue(factory, seed):
+            starts = [a.look_time for a in batch]
+            assert starts == sorted(starts), f"{name}: batch not internally ordered"
+            assert starts[0] >= horizon - 1e-12, (
+                f"{name}: batch starts at {starts[0]} before an already-issued "
+                f"activation at {horizon}"
+            )
+            horizon = max(horizon, starts[-1])
+
+    @pytest.mark.parametrize("name,factory", SCHEDULERS)
+    def test_per_robot_intervals_never_overlap(self, name, factory):
+        last_end = {i: -1.0 for i in range(N_ROBOTS)}
+        for batch in _issue(factory, seed=3):
+            for activation in batch:
+                assert activation.look_time >= last_end[activation.robot_id] - 1e-12, (
+                    f"{name}: robot {activation.robot_id} re-activated mid-cycle"
+                )
+                last_end[activation.robot_id] = max(
+                    last_end[activation.robot_id], activation.end_time
+                )
+
+
+class TestBoundedHorizonFairness:
+    @pytest.mark.parametrize("seed", [0, 1])
+    @pytest.mark.parametrize("name,factory", SCHEDULERS)
+    def test_every_robot_appears_in_every_quarter(self, name, factory, seed):
+        issued = _issue(factory, seed)
+        quarter = len(issued) // 4
+        for index in range(4):
+            window = issued[index * quarter : (index + 1) * quarter]
+            activated = {a.robot_id for batch in window for a in batch}
+            assert activated == set(range(N_ROBOTS)), (
+                f"{name}: quarter {index} starves robots "
+                f"{set(range(N_ROBOTS)) - activated}"
+            )
+
+
+class TestFairnessThroughKernelRuns:
+    """The same invariants, observed through full 2D and 3D kernel runs."""
+
+    @pytest.mark.parametrize("name,factory", SCHEDULERS)
+    def test_2d_run_activates_every_robot_in_look_order(self, name, factory):
+        configuration = random_connected_configuration(6, seed=11)
+        result = run_simulation(
+            configuration.positions,
+            KKNPSAlgorithm(k=1),
+            factory(),
+            SimulationConfig(
+                seed=11, max_activations=150, stop_at_convergence=False
+            ),
+        )
+        assert all(count >= 2 for count in result.activation_counts.values())
+        looks = [record.activation.look_time for record in result.records]
+        assert looks == sorted(looks)
+
+    @pytest.mark.parametrize("name,factory", SCHEDULERS)
+    def test_3d_run_activates_every_robot_in_look_order(self, name, factory):
+        configuration = random_connected_configuration3(6, seed=11)
+        result = run_simulation3_async(
+            configuration.positions,
+            KKNPS3Algorithm(k=1),
+            factory(),
+            AsyncSimulation3Config(
+                visibility_range=configuration.visibility_range,
+                seed=11,
+                max_activations=150,
+                stop_at_convergence=False,
+            ),
+        )
+        assert all(count >= 2 for count in result.activation_counts.values())
+        times = [sample.time for sample in result.metrics.samples]
+        assert times == sorted(times)
+
+    def test_crashed_robots_are_exempt_but_not_contagious(self):
+        configuration = random_connected_configuration(6, seed=5)
+        result = run_simulation(
+            configuration.positions,
+            KKNPSAlgorithm(k=1),
+            KAsyncScheduler(k=1),
+            SimulationConfig(
+                seed=5,
+                max_activations=150,
+                stop_at_convergence=False,
+                crashed_robots=(0,),
+            ),
+        )
+        assert result.activation_counts[0] == 0
+        assert all(
+            count >= 2
+            for robot, count in result.activation_counts.items()
+            if robot != 0
+        )

@@ -249,6 +249,14 @@ class TestKillResume:
         assert jsonl.stat().st_size == size
 
 
+def _sleepy_run_fn(spec):
+    """A picklable run function that outlasts the test's heartbeat interval."""
+    import time
+
+    time.sleep(0.2)
+    return {"run_key": spec.run_key, "slept": True}
+
+
 class TestSocketBackend:
     def test_loopback_equals_serial(self):
         """2 workers over localhost TCP reproduce the serial rows."""
@@ -260,6 +268,36 @@ class TestSocketBackend:
         assert stats.backend == "socket"
         assert stats.runs == 8
         assert sum(w.runs for w in stats.worker_health) == 8
+
+    def test_heartbeats_surface_last_beat_age(self):
+        """Workers beat periodically; stats carry a finite last-beat age."""
+        from repro.sweeps.backends.socket_backend import SocketBackend
+
+        # The injected run function sleeps well past the heartbeat interval,
+        # so every worker provably emits periodic beats beyond its hello —
+        # no dependence on how fast real simulations happen to run.
+        backend = SocketBackend(
+            workers=2, heartbeat_interval=0.05, run_fn=_sleepy_run_fn
+        )
+        runs = SMALL_SPEC.expand()[:4]
+        rows = dict(backend.execute(runs))
+        assert len(rows) == 4
+        stats = backend.stats()
+        assert stats.worker_health
+        for health in stats.worker_health:
+            assert health.heartbeats >= 1  # the hello is the first beat
+            assert health.last_heartbeat_age_s is not None
+            assert 0.0 <= health.last_heartbeat_age_s < 60.0
+        assert sum(w.heartbeats for w in stats.worker_health) > len(
+            stats.worker_health
+        )
+        assert "hb" in stats.summary()
+
+    def test_heartbeat_interval_validated(self):
+        from repro.sweeps.backends.socket_backend import SocketBackend
+
+        with pytest.raises(ValueError, match="heartbeat"):
+            SocketBackend(workers=1, heartbeat_interval=0.0)
 
     def test_frame_round_trip(self):
         import socket as socket_module

@@ -142,6 +142,55 @@ class TestExecuteRun3D:
         parallel = run_sweep(spec, workers=2)
         assert serial.deterministic_rows() == parallel.deterministic_rows()
 
+    def test_continuous_3d_row_contract(self):
+        """kasync3 rows: continuous time, no rounds, epochs from end times."""
+        row = execute_run(self._spec(scheduler="kasync3", error_model="exact"))
+        assert row["dimension"] == 3
+        assert row["rounds"] is None
+        assert row["scheduler"] == "kasync3"
+        assert row["activations"] >= 1
+        assert row["simulated_time"] > 0.0
+        if row["converged"]:
+            assert row["epochs"] >= 1
+        assert 0.0 < row["final_diameter"] < row["initial_diameter"]
+
+    def test_continuous_row_matches_direct_engine_run(self):
+        """A kasync3 sweep row is exactly a run_simulation3_async call."""
+        from repro.schedulers import KAsyncScheduler
+        from repro.spatial3d import AsyncSimulation3Config, run_simulation3_async
+        from repro.sweeps.factories import make_error_models
+
+        spec = self._spec(scheduler="kasync3", error_model="nonrigid-50")
+        row = execute_run(spec)
+        configuration = make_workload(spec.workload, spec.n_robots, spec.seed, 1.0)
+        perception, motion = make_error_models(spec.error_model)
+        result = run_simulation3_async(
+            configuration.positions,
+            KKNPS3Algorithm(k=2),
+            KAsyncScheduler(k=2),
+            AsyncSimulation3Config(
+                visibility_range=configuration.visibility_range,
+                perception=perception,
+                motion=motion,
+                seed=spec.seed,
+                max_activations=spec.max_activations,
+                convergence_epsilon=spec.epsilon,
+            ),
+        )
+        assert row["converged"] == result.converged
+        assert row["convergence_time"] == result.convergence_time
+        assert row["cohesion"] == result.cohesion_maintained
+        assert row["activations"] == result.activations_processed
+        assert row["final_diameter"] == result.final_diameter
+
+    def test_planar_only_error_model_rejected_for_continuous_3d(self):
+        with pytest.raises(ValueError, match="planar-only"):
+            run_dimension("kknps3", "kasync3", "random3", "skew-10")
+
+    def test_distance_error_allowed_for_continuous_3d(self):
+        assert run_dimension("kknps3", "kasync3", "random3", "distance-5") == 3
+        assert run_dimension("kknps3", "nesta3", "random3", "quad-motion") == 3
+
     def test_resume_skips_completed_3d_runs(self, tmp_path):
         spec = SweepSpec(
             algorithms=("kknps3",),
@@ -157,3 +206,48 @@ class TestExecuteRun3D:
         second = run_sweep(spec, jsonl_path=jsonl)
         assert second.executed == 0 and second.resumed == 3
         assert second.deterministic_rows() == first.deterministic_rows()
+
+
+class TestKAsync3DAcceptance:
+    """The new scenario family end to end: a 3D k-async sweep through the CLI."""
+
+    ARGS = [
+        "--algorithms", "kknps3",
+        "--schedulers", "kasync3",
+        "--workloads", "random3",
+        "--n", "6",
+        "--seeds", "2",
+        "--k", "2",
+        "--errors", "exact", "nonrigid-50",
+        "--max-activations", "250",
+        "--quiet",
+    ]
+
+    def test_cli_serial_equals_work_stealing(self, tmp_path, capsys):
+        """Serial and work-stealing CLI invocations write identical rows."""
+        from repro.sweeps.cli import main
+        from repro.sweeps.runner import load_completed_rows, strip_timing
+
+        serial_out = tmp_path / "serial.jsonl"
+        stolen_out = tmp_path / "stolen.jsonl"
+        assert main(self.ARGS + ["--out", str(serial_out)]) == 0
+        assert main(
+            self.ARGS
+            + ["--out", str(stolen_out), "--backend", "work-stealing", "--workers", "2"]
+        ) == 0
+        capsys.readouterr()
+
+        serial_rows = load_completed_rows(serial_out)
+        stolen_rows = load_completed_rows(stolen_out)
+        assert len(serial_rows) == 4
+        assert set(serial_rows) == set(stolen_rows)
+        for key, row in serial_rows.items():
+            assert strip_timing(row) == strip_timing(stolen_rows[key])
+        # The grid expansion matched the algorithm's k to the scheduler's
+        # bound and recorded the error-model axis in the run keys.
+        assert all("kasync3(k=2)" in key for key in serial_rows)
+        assert {row["error_model"] for row in serial_rows.values()} == {
+            "exact",
+            "nonrigid-50",
+        }
+        assert all(row["dimension"] == 3 for row in serial_rows.values())

@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""Fit the sweep cost-model constants from measured JSONL rows.
+
+``RunSpec.cost_hint()`` estimates a run's wall time as ``cost_units() *
+COST_HINT_SECONDS[cost_class]``, where the units are activation-robot
+work (``max_activations * n``, with an extra factor of ``n`` for the 3D
+round engine whose ``max_activations`` bounds rounds).  The per-class
+constants live in ``repro.sweeps.spec.COST_HINT_SECONDS`` and are fitted
+from real measurements by this tool:
+
+1. run any sweep with ``--out rows.jsonl`` (every row records its
+   ``wall_time_s``);
+2. ``python tools/calibrate_cost_hint.py rows.jsonl [more.jsonl ...]``.
+
+For each cost class the tool solves the one-parameter least-squares
+problem through the origin, ``c = sum(w_i * u_i) / sum(u_i^2)`` over the
+measured ``(units, wall_time)`` pairs — the minimiser of
+``sum((w_i - c * u_i)^2)`` — and reports the fit quality next to the
+constants currently shipped, ready to paste into ``spec.py``.
+
+A run that *converged* stops early, so its measured wall time undershoots
+the hint for its nominal ``max_activations``; pass ``--converged-too`` to
+include such rows anyway (by default only rows that ran to their horizon
+are used, which is what the constant means to model).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.sweeps.factories import is_round_discipline3, run_dimension  # noqa: E402
+from repro.sweeps.spec import COST_HINT_SECONDS  # noqa: E402
+
+
+def row_cost_class(row: dict) -> str:
+    """The cost class of a result row (mirrors ``RunSpec.cost_class``)."""
+    dimension = run_dimension(
+        str(row["algorithm"]),
+        str(row["scheduler"]),
+        str(row["workload"]),
+        str(row.get("error_model", "exact")),
+    )
+    if dimension == 2:
+        return "2d"
+    return "3d-round" if is_round_discipline3(str(row["scheduler"])) else "3d-async"
+
+
+def row_cost_units(row: dict) -> float:
+    """The cost units of a result row (mirrors ``RunSpec.cost_units``)."""
+    units = float(row["max_activations"]) * float(row["n_robots"])
+    if row_cost_class(row) == "3d-round":
+        units *= float(row["n_robots"])
+    return units
+
+
+def load_rows(paths) -> list:
+    rows = []
+    for path in paths:
+        with Path(path).open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    row = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if isinstance(row, dict) and "wall_time_s" in row:
+                    rows.append(row)
+    return rows
+
+
+def fit(rows, *, include_converged: bool) -> dict:
+    """Per-class least-squares constants with fit diagnostics."""
+    per_class = defaultdict(list)
+    for row in rows:
+        if not include_converged and row.get("converged"):
+            continue
+        try:
+            per_class[row_cost_class(row)].append(
+                (row_cost_units(row), float(row["wall_time_s"]))
+            )
+        except (ValueError, KeyError):
+            continue
+    result = {}
+    for klass, pairs in sorted(per_class.items()):
+        sum_wu = sum(w * u for u, w in pairs)
+        sum_uu = sum(u * u for u, _ in pairs)
+        constant = sum_wu / sum_uu if sum_uu > 0 else 0.0
+        errors = sorted(
+            abs(w - constant * u) / w for u, w in pairs if w > 0
+        )
+        median_error = errors[len(errors) // 2] if errors else 0.0
+        result[klass] = {
+            "constant": constant,
+            "rows": len(pairs),
+            "median_relative_error": median_error,
+        }
+    return result
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("jsonl", nargs="+", help="sweep result files (JSONL rows)")
+    parser.add_argument(
+        "--converged-too",
+        action="store_true",
+        help="include rows whose run converged before its activation horizon",
+    )
+    args = parser.parse_args(argv)
+
+    rows = load_rows(args.jsonl)
+    if not rows:
+        print("no rows with wall_time_s found", file=sys.stderr)
+        return 1
+    fitted = fit(rows, include_converged=args.converged_too)
+    if not fitted:
+        print(
+            "no usable rows (all converged early? try --converged-too)",
+            file=sys.stderr,
+        )
+        return 1
+
+    print(f"{len(rows)} rows read; fitted constants (seconds per cost unit):\n")
+    print(f"{'class':<10} {'rows':>5} {'fitted':>12} {'shipped':>12} {'median |err|':>13}")
+    for klass, info in fitted.items():
+        shipped = COST_HINT_SECONDS.get(klass)
+        shipped_text = f"{shipped:.3g}" if shipped is not None else "--"
+        print(
+            f"{klass:<10} {info['rows']:>5} {info['constant']:>12.3g} "
+            f"{shipped_text:>12} {info['median_relative_error']:>12.1%}"
+        )
+    print("\nPaste into src/repro/sweeps/spec.py to update:\n")
+    print("COST_HINT_SECONDS = {")
+    for klass in ("2d", "3d-round", "3d-async"):
+        if klass in fitted:
+            print(f'    "{klass}": {fitted[klass]["constant"]:.3g},')
+        elif klass in COST_HINT_SECONDS:
+            print(f'    "{klass}": {COST_HINT_SECONDS[klass]:.3g},  # unchanged (no rows)')
+    print("}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
