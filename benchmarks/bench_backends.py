@@ -21,6 +21,11 @@ Two measurements, written to ``BENCH_backends.json``:
   shows the same win in CPU-bound form; on a single-core host it
   degrades to parity (total CPU is the floor), which the JSON records
   alongside ``cpu_count``.
+* **churn** — the same simulated grid on the socket backend, clean and
+  with one worker SIGKILLed a quarter of the way in.  The coordinator
+  requeues the dead worker's leased chunk and finishes on the
+  survivors; the section records the recovery overhead (killed wall /
+  clean wall) plus the loss and requeue counters.
 
 Run it directly::
 
@@ -33,6 +38,7 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import signal
 import sys
 import time
 from pathlib import Path
@@ -46,6 +52,7 @@ from repro.sweeps import RunSpec
 from repro.sweeps.backends import (
     ExecutionBackend,
     ProcessPoolBackend,
+    SocketBackend,
     WorkStealingBackend,
 )
 
@@ -157,6 +164,50 @@ def bench_scheduling(specs: Sequence[RunSpec], scale: float) -> Dict[str, object
     }
 
 
+def bench_churn(specs: Sequence[RunSpec], scale: float) -> Dict[str, object]:
+    """Socket-backend fault tolerance: clean run vs one worker SIGKILLed.
+
+    The kill fires after a quarter of the rows have streamed back, so the
+    victim is almost certainly mid-chunk; the coordinator requeues its
+    lease and the survivors finish the sweep.  Recovery overhead is the
+    killed wall time over the clean wall time — the price of losing one
+    of ``WORKERS`` workers plus re-executing the interrupted chunk.
+    """
+    global _SIMULATED_SCALE
+    _SIMULATED_SCALE = scale
+    os.environ["BENCH_BACKENDS_SCALE"] = repr(scale)
+    clean = _drain(SocketBackend(workers=WORKERS, run_fn=simulated_run), specs)
+
+    backend = SocketBackend(workers=WORKERS, run_fn=simulated_run)
+    kill_after = max(2, len(specs) // 4)
+    started = time.perf_counter()
+    rows = 0
+    killed = False
+    for _ in backend.execute(specs):
+        rows += 1
+        if not killed and rows >= kill_after:
+            victim = next(p for p in backend._processes if p.is_alive())
+            os.kill(victim.pid, signal.SIGKILL)
+            killed = True
+    wall = time.perf_counter() - started
+    assert rows == len(specs), f"churn run dropped rows: {rows}/{len(specs)}"
+    stats = backend.stats()
+    return {
+        "socket_clean": clean,
+        "socket_killed": {
+            "backend": stats.backend,
+            "workers": stats.workers,
+            "wall_s": round(wall, 4),
+            "killed_after_rows": kill_after,
+            "worker_losses": stats.worker_losses,
+            "requeued_chunks": stats.requeued_chunks,
+        },
+        "recovery_overhead": round(wall / clean["wall_s"], 3)
+        if clean["wall_s"] > 0
+        else 1.0,
+    }
+
+
 def bench_end_to_end(specs: Sequence[RunSpec]) -> Dict[str, object]:
     static = _drain(ProcessPoolBackend(workers=WORKERS, chunk_size=STATIC_CHUNK), specs)
     stealing = _drain(WorkStealingBackend(workers=WORKERS), specs)
@@ -208,6 +259,14 @@ def main(argv=None) -> int:
         f"work-stealing {end_to_end['work_stealing']['wall_s']:.2f}s  "
         f"speedup {end_to_end['speedup']:.2f}x"
     )
+    churn = bench_churn(specs, scale)
+    print(
+        f"churn       socket clean {churn['socket_clean']['wall_s']:.2f}s  "
+        f"1 of {WORKERS} workers killed {churn['socket_killed']['wall_s']:.2f}s "
+        f"(losses {churn['socket_killed']['worker_losses']}, "
+        f"requeued {churn['socket_killed']['requeued_chunks']})  "
+        f"recovery overhead {churn['recovery_overhead']:.2f}x"
+    )
 
     payload = {
         "bench": "bench_backends",
@@ -217,7 +276,9 @@ def main(argv=None) -> int:
             "tail last).  The scheduling section runs calibrated simulated "
             "runs (sleep proportional to cost_hint) to isolate chunk "
             "placement and steal-on-idle from CPU-core contention; the "
-            "end_to_end section runs the real execute_run."
+            "end_to_end section runs the real execute_run; the churn "
+            "section measures socket-backend recovery from a worker "
+            "SIGKILLed mid-sweep (lease requeue)."
         ),
         "smoke": bool(args.smoke),
         "cpu_count": os.cpu_count(),
@@ -232,6 +293,7 @@ def main(argv=None) -> int:
         },
         "scheduling": scheduling,
         "end_to_end": end_to_end,
+        "churn": churn,
         "headline_scheduling_speedup": scheduling["speedup"],
     }
 

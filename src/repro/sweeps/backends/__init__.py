@@ -13,8 +13,11 @@ execute to an :class:`ExecutionBackend`; four ship with the repo:
     Cost-ordered per-worker deques with dynamic chunking and
     steal-on-idle — removes the straggler tail of skewed grids.
 ``socket``
-    A coordinator and N worker processes over localhost TCP speaking
-    length-prefixed JSON frames — the remote-worker seam.
+    A churn-tolerant coordinator and N worker processes over TCP
+    speaking length-prefixed JSON frames — the remote-worker seam.
+    Chunks are leased and requeued on worker loss; the listener admits
+    late-joining workers (gated by an auth token) for the sweep's whole
+    lifetime.
 
 All backends yield ``(run_key, row)`` pairs as runs complete and report
 worker health via :meth:`ExecutionBackend.stats`.
@@ -33,7 +36,7 @@ from .base import (
 )
 from .process_pool import ProcessPoolBackend
 from .serial import SerialBackend
-from .socket_backend import SocketBackend
+from .socket_backend import SocketBackend, SocketProtocolError
 from .work_stealing import WorkStealingBackend
 
 #: Registry of constructable backend names.
@@ -56,24 +59,31 @@ def make_backend(
     workers: int = 1,
     chunk_size: int = 1,
     run_fn: Optional[RunFunction] = None,
+    socket_options: Optional[Dict[str, object]] = None,
 ) -> ExecutionBackend:
     """Construct a backend by registry name.
 
     ``workers``/``chunk_size`` are applied where the backend accepts
-    them; the serial backend ignores both.
+    them; the serial backend ignores both.  ``socket_options`` are extra
+    keyword arguments for the socket backend (``token``, ``lost_after_s``,
+    ``port``, ...) and are rejected for any other backend.
     """
     try:
         cls = BACKENDS[name]
     except KeyError:
         known = ", ".join(BACKENDS)
         raise ValueError(f"unknown backend {name!r}; known: {known}") from None
+    if cls is SocketBackend:
+        return SocketBackend(workers=workers, run_fn=run_fn, **(socket_options or {}))
+    if socket_options:
+        raise ValueError(
+            f"socket_options only apply to the socket backend, not {name!r}"
+        )
     if cls is SerialBackend:
         return SerialBackend(run_fn=run_fn)
     if cls is ProcessPoolBackend:
         return ProcessPoolBackend(workers=workers, chunk_size=chunk_size, run_fn=run_fn)
-    if cls is WorkStealingBackend:
-        return WorkStealingBackend(workers=workers, run_fn=run_fn)
-    return SocketBackend(workers=workers, run_fn=run_fn)
+    return WorkStealingBackend(workers=workers, run_fn=run_fn)
 
 
 __all__ = [
@@ -85,6 +95,7 @@ __all__ = [
     "RunFunction",
     "SerialBackend",
     "SocketBackend",
+    "SocketProtocolError",
     "WorkStealingBackend",
     "WorkerHealth",
     "backend_names",

@@ -56,6 +56,9 @@ class WorkerHealth:
     #: Age of the last heartbeat at the moment the coordinator released the
     #: worker — None for backends without live heartbeats.
     last_heartbeat_age_s: Optional[float] = None
+    #: True when the coordinator lost this worker mid-sweep (connection
+    #: drop or heartbeat silence) instead of releasing it gracefully.
+    lost: bool = False
     _last_heartbeat_monotonic: Optional[float] = field(default=None, repr=False)
 
     def observe_chunk(self, runs: int, busy_s: float) -> None:
@@ -69,10 +72,17 @@ class WorkerHealth:
         self.heartbeats += 1
         self._last_heartbeat_monotonic = now
 
+    def heartbeat_age_s(self, now: float) -> Optional[float]:
+        """Seconds since the last heartbeat as of ``now`` (None if never beat)."""
+        if self._last_heartbeat_monotonic is None:
+            return None
+        return max(0.0, now - self._last_heartbeat_monotonic)
+
     def finalize_heartbeat_age(self, now: float) -> None:
         """Freeze the last-heartbeat age into :attr:`last_heartbeat_age_s`."""
-        if self._last_heartbeat_monotonic is not None:
-            self.last_heartbeat_age_s = max(0.0, now - self._last_heartbeat_monotonic)
+        age = self.heartbeat_age_s(now)
+        if age is not None:
+            self.last_heartbeat_age_s = age
 
 
 @dataclass
@@ -84,6 +94,11 @@ class BackendStats:
     runs: int = 0
     wall_time_s: float = 0.0
     steals: int = 0
+    #: Workers lost mid-sweep (connection drop / heartbeat silence) — the
+    #: socket backend's churn counter; other backends leave it at zero.
+    worker_losses: int = 0
+    #: Chunks that were leased to a lost worker and went back to the queue.
+    requeued_chunks: int = 0
     worker_health: List[WorkerHealth] = field(default_factory=list)
 
     def summary(self) -> str:
@@ -96,6 +111,9 @@ class BackendStats:
         ]
         if self.backend == "work-stealing":
             parts.append(f"steals={self.steals}")
+        if self.backend == "socket" or self.worker_losses:
+            parts.append(f"worker_losses={self.worker_losses}")
+            parts.append(f"requeued={self.requeued_chunks}")
         if self.worker_health:
             busy = ", ".join(
                 f"{w.worker_id}:{w.runs}r/{w.busy_s:.2f}s"
@@ -104,6 +122,7 @@ class BackendStats:
                     if w.last_heartbeat_age_s is not None
                     else ""
                 )
+                + ("/LOST" if w.lost else "")
                 for w in self.worker_health
             )
             parts.append(f"per-worker [{busy}]")

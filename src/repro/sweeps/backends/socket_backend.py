@@ -1,56 +1,105 @@
-"""Remote-worker seam: a coordinator and N workers over localhost TCP.
+"""Remote-worker seam: a churn-tolerant coordinator and N workers over TCP.
 
 This backend proves the distributed contract end to end while staying on
-one machine: the coordinator binds an ephemeral ``127.0.0.1`` port,
-spawns worker *processes* that talk to it **only through the socket** —
-no shared memory, no inherited queues — and streams rows back as they
-complete.  Pointing the same protocol at real remote hosts is a matter
-of starting :func:`worker_main` elsewhere with the coordinator's
-address; nothing in the message flow would change.
+one machine: the coordinator binds a ``127.0.0.1`` port, spawns worker
+*processes* that talk to it **only through the socket** — no shared
+memory, no inherited queues — and streams rows back as they complete.
+Pointing the same protocol at real remote hosts is a matter of starting
+:func:`worker_main` elsewhere with the coordinator's address (the module
+is directly runnable: ``python -m repro.sweeps.backends.socket_backend
+HOST PORT``); nothing in the message flow changes.
 
 Wire protocol (one frame = 4-byte big-endian length + UTF-8 JSON body):
 
 ======================  ======================================================
 frame                   meaning
 ======================  ======================================================
-``hello``               worker → coordinator, once per connection
-``task``                coordinator → worker; ``specs`` is a list of
+``hello``               worker → coordinator, once per connection; carries the
+                        worker id and (when the coordinator requires one) the
+                        auth ``token`` — a mismatch closes the connection
+                        before any work is leased
+``task``                coordinator → worker; ``chunk_id`` identifies the
+                        lease and ``specs`` is a list of
                         :meth:`RunSpec.to_dict` payloads to execute
-``result``              worker → coordinator; the executed ``rows`` plus the
-                        worker's ``busy_s`` for the chunk
+``result``              worker → coordinator; echoes the ``chunk_id`` and
+                        carries the executed ``rows`` plus the worker's
+                        ``busy_s`` for the chunk
 ``heartbeat``           worker → coordinator, every ``HEARTBEAT_INTERVAL_S``
                         from a background thread while the worker lives; the
                         coordinator tracks the last-beat age per worker and
-                        surfaces it in :meth:`SocketBackend.stats`
+                        uses it to declare silent workers lost
 ``shutdown``            coordinator → worker; close the connection and exit
 ======================  ======================================================
 
+Fault tolerance: every chunk is **leased** to exactly one connection
+(:class:`_ChunkLedger`).  When a worker is lost — its connection drops,
+or its heartbeats go silent for longer than ``lost_after_s`` — the
+coordinator requeues the leased chunk at the front of the queue for the
+surviving workers instead of aborting, and records the loss in
+``BackendStats.worker_losses`` / ``requeued_chunks`` and the worker's
+``lost`` flag.  Because rows are pure functions of their specs, a
+re-executed chunk reproduces the lost rows bit-for-bit.  The listener
+stays open for the sweep's whole lifetime, so workers started
+out-of-band via :func:`worker_main` join mid-sweep and immediately pull
+chunks; the sweep fails only when zero live workers remain (and none of
+the coordinator's own worker processes can still connect) while chunks
+are outstanding.
+
 Tasks are self-scheduled: chunks (cost-sorted largest-first, sizes
-shrinking as the queue drains) live in a thread-safe queue, and one
-coordinator thread per connection hands them out as its worker finishes
-— idle workers therefore drain the chunks other workers have not
-claimed, the socket-shaped analogue of steal-on-idle.
+shrinking as the queue drains — :func:`~.work_stealing.cost_sorted_chunks`)
+live in the ledger, and one coordinator thread per connection hands them
+out as its worker finishes — idle workers therefore drain the chunks
+other workers have not claimed, the socket-shaped analogue of
+steal-on-idle.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import multiprocessing
 import queue
+import select
 import socket
 import struct
+import sys
 import threading
 import time
-from typing import Iterator, List, Optional, Sequence
+import warnings
+from dataclasses import dataclass
+from typing import Deque, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from collections import deque
 
 from ..spec import RunSpec
-from .base import BackendStats, ExecutionBackend, RowResult, RunFunction, WorkerHealth
-from .work_stealing import dynamic_chunk_size
+from .base import (
+    BackendStats,
+    ExecutionBackend,
+    RowResult,
+    RunFunction,
+    WorkerHealth,
+    default_run_fn,
+)
+from .work_stealing import cost_sorted_chunks
 
 _LENGTH = struct.Struct(">I")
 
 #: How often a worker's background thread emits a heartbeat frame.
 HEARTBEAT_INTERVAL_S = 1.0
+
+#: Default heartbeat silence after which the coordinator declares a worker
+#: lost and requeues its leased chunk (10 beats at the default interval).
+DEFAULT_LOST_AFTER_S = 10.0
+
+#: How long a connection may sit between accept and its ``hello`` frame.
+HELLO_TIMEOUT_S = 30.0
+
+#: Coordinator poll granularity: result-queue waits and accept() timeouts.
+_POLL_S = 0.2
+
+
+class SocketProtocolError(RuntimeError):
+    """A worker sent a frame the protocol does not allow at this point."""
 
 
 def send_frame(sock: socket.socket, message: dict) -> None:
@@ -77,26 +126,54 @@ def _recv_exact(sock: socket.socket, size: int) -> bytes:
     return b"".join(chunks)
 
 
+def _wait_readable(sock: socket.socket, timeout: float) -> bool:
+    """True when ``sock`` has data (or EOF) within ``timeout`` seconds."""
+    readable, _, _ = select.select([sock], [], [], timeout)
+    return bool(readable)
+
+
+def heartbeat_expired(
+    health: WorkerHealth, now: float, lost_after_s: float
+) -> bool:
+    """Is ``health``'s last heartbeat older than ``lost_after_s`` at ``now``?
+
+    The loss-detection predicate, separated out so it can be exercised
+    with a fake clock: a worker whose hello/heartbeats were observed at
+    monotonic times ``t`` is lost once ``now - t > lost_after_s``.  A
+    health record that never beat is not expired (admission records the
+    hello as the first beat, so this only covers pre-admission records).
+    """
+    age = health.heartbeat_age_s(now)
+    return age is not None and age > lost_after_s
+
+
 def worker_main(
     host: str,
     port: int,
-    worker_id: int,
-    run_fn: RunFunction,
+    worker_id: int = 0,
+    run_fn: Optional[RunFunction] = None,
     heartbeat_interval: float = HEARTBEAT_INTERVAL_S,
+    token: Optional[str] = None,
 ) -> None:
     """A socket worker: connect, announce, execute task frames until shutdown.
 
-    This is the function a *real* remote deployment would start on each
-    worker host (with ``host``/``port`` pointing at the coordinator).
-    A lost connection means the coordinator is gone (finished, crashed,
-    or never needed this worker); the worker exits quietly — error
-    reporting belongs to the coordinator side.
+    This is the function a *real* remote deployment starts on each worker
+    host (with ``host``/``port`` pointing at the coordinator) — directly,
+    or through this module's command line.  Workers may join a sweep that
+    is already running: the coordinator's listener stays open for the
+    sweep's lifetime and leases the next chunk to whoever connects (with
+    the right ``token``, when the coordinator requires one).  A lost
+    connection means the coordinator is gone (finished, crashed, or never
+    needed this worker) or rejected the token; the worker exits quietly —
+    error reporting belongs to the coordinator side.
 
     While the worker lives, a background thread emits a ``heartbeat``
     frame every ``heartbeat_interval`` seconds (sends share one lock with
     the result path, so frames never interleave on the wire) — the
-    liveness signal the coordinator turns into last-beat ages.
+    liveness signal the coordinator's loss detection keys off.
     """
+    if run_fn is None:
+        run_fn = default_run_fn()
     stop = threading.Event()
     try:
         with socket.create_connection((host, port)) as sock:
@@ -113,7 +190,10 @@ def worker_main(
                     except (ConnectionError, OSError):
                         return
 
-            send({"type": "hello", "worker": worker_id})
+            hello = {"type": "hello", "worker": worker_id}
+            if token is not None:
+                hello["token"] = token
+            send(hello)
             threading.Thread(target=beat, daemon=True).start()
             while True:
                 frame = recv_frame(sock)
@@ -128,6 +208,7 @@ def worker_main(
                     {
                         "type": "result",
                         "worker": worker_id,
+                        "chunk_id": frame.get("chunk_id"),
                         "rows": rows,
                         "busy_s": time.perf_counter() - started,
                     },
@@ -138,8 +219,74 @@ def worker_main(
         stop.set()
 
 
+class _ChunkLedger:
+    """Thread-safe lease accounting for the sweep's task chunks.
+
+    Chunks enter ``pending`` in LPT order; :meth:`acquire` moves one to
+    ``leased`` for the connection that will execute it.  The serving
+    thread either :meth:`complete`\\ s the lease (result received) or
+    :meth:`requeue`\\ s it (worker lost) — requeued chunks go back to the
+    *front* so the probably-expensive interrupted work restarts first.
+    A chunk is therefore executed to completion exactly once, however
+    many workers die holding it on the way.
+    """
+
+    def __init__(self, chunks: Sequence[List[dict]]) -> None:
+        self._lock = threading.Lock()
+        self._pending: Deque[Tuple[int, List[dict]]] = deque(enumerate(chunks))
+        self._leased: Dict[int, List[dict]] = {}
+
+    def acquire(self) -> Optional[Tuple[int, List[dict]]]:
+        """Lease the next pending chunk, or None when none are pending."""
+        with self._lock:
+            if not self._pending:
+                return None
+            chunk_id, specs = self._pending.popleft()
+            self._leased[chunk_id] = specs
+            return chunk_id, specs
+
+    def complete(self, chunk_id: int) -> None:
+        """Retire a leased chunk whose result arrived."""
+        with self._lock:
+            del self._leased[chunk_id]
+
+    def requeue(self, chunk_id: int) -> None:
+        """Return a leased chunk to the front of the queue (worker lost)."""
+        with self._lock:
+            specs = self._leased.pop(chunk_id)
+            self._pending.appendleft((chunk_id, specs))
+
+    def outstanding(self) -> int:
+        """Chunks not yet completed (pending + leased)."""
+        with self._lock:
+            return len(self._pending) + len(self._leased)
+
+
+@dataclass
+class _ConnectionLost:
+    """Terminal report of a connection that died or went silent mid-sweep."""
+
+    health: WorkerHealth
+    requeued: bool
+
+
+class _WorkerLostError(ConnectionError):
+    """Raised inside a serving thread when heartbeat silence exceeds the bound."""
+
+
 class SocketBackend(ExecutionBackend):
-    """Coordinator + N localhost TCP workers speaking JSON frames."""
+    """Churn-tolerant coordinator + N TCP workers speaking JSON frames.
+
+    ``token`` (optional) gates admission: when set, a connection's
+    ``hello`` must present the same token or it is closed without work —
+    the guard that lets the listener stay open for out-of-band joiners.
+    ``lost_after_s`` bounds heartbeat silence before a connected worker
+    is declared lost and its leased chunk requeued (None disables the
+    heartbeat check; connection drops are always detected).  ``port``
+    pins the listening port (0 = ephemeral; the bound port is exposed as
+    :attr:`bound_port` while ``execute`` runs, so late workers know where
+    to join).
+    """
 
     name = "socket"
 
@@ -150,152 +297,398 @@ class SocketBackend(ExecutionBackend):
         host: str = "127.0.0.1",
         run_fn=None,
         heartbeat_interval: float = HEARTBEAT_INTERVAL_S,
+        token: Optional[str] = None,
+        lost_after_s: Optional[float] = DEFAULT_LOST_AFTER_S,
+        port: int = 0,
+        drain_timeout_s: float = 10.0,
     ) -> None:
         super().__init__(run_fn=run_fn)
         if workers < 1:
             raise ValueError("workers must be at least 1")
         if heartbeat_interval <= 0.0:
             raise ValueError("heartbeat interval must be positive")
+        if lost_after_s is not None and lost_after_s <= 0.0:
+            raise ValueError("lost_after_s must be positive (or None to disable)")
+        if port < 0:
+            raise ValueError("port must be non-negative (0 = ephemeral)")
+        if drain_timeout_s <= 0.0:
+            raise ValueError("drain timeout must be positive")
         self.workers = workers
         self.host = host
         self.heartbeat_interval = heartbeat_interval
+        self.token = token
+        self.lost_after_s = lost_after_s
+        self.port = port
+        self.drain_timeout_s = drain_timeout_s
+        #: The port the coordinator is listening on (set while ``execute``
+        #: runs) — where an out-of-band :func:`worker_main` should connect.
+        self.bound_port: Optional[int] = None
+        # Serving threads poll at a fraction of the loss bound so silence
+        # is detected promptly even with a small ``lost_after_s``.
+        if lost_after_s is None:
+            self._serve_poll_s = _POLL_S
+        else:
+            self._serve_poll_s = max(0.02, min(_POLL_S, lost_after_s / 4.0))
+        self._reset_coordinator_state()
 
-    def _chunk_tasks(self, specs: Sequence[RunSpec]) -> "queue.SimpleQueue[List[dict]]":
-        """Cost-sorted specs pre-chunked with shrinking sizes, as a queue."""
-        ordered = sorted(specs, key=lambda s: (-s.cost_hint(), s.run_key))
-        tasks: "queue.SimpleQueue[List[dict]]" = queue.SimpleQueue()
-        index = 0
-        while index < len(ordered):
-            size = dynamic_chunk_size(len(ordered) - index, self.workers)
-            tasks.put([spec.to_dict() for spec in ordered[index : index + size]])
-            index += size
-        return tasks
+    def _reset_coordinator_state(self) -> None:
+        self._stop = threading.Event()
+        self._lock = threading.Lock()
+        self._live = 0  # admitted connections currently being served
+        self._admitted = 0  # connections ever admitted past hello/token
+        self._names: set = set()
+        self._active: Dict[str, WorkerHealth] = {}
+        self._connections: set = set()
+        self._processes: List[multiprocessing.Process] = []
+
+    # ------------------------------------------------------------------
+    # Coordinator side
+    # ------------------------------------------------------------------
+
+    def _accept_loop(
+        self,
+        server: socket.socket,
+        ledger: _ChunkLedger,
+        results: "queue.Queue",
+    ) -> None:
+        """Admit connections for the sweep's whole lifetime (late joiners)."""
+        while not self._stop.is_set():
+            try:
+                connection, _address = server.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return  # listener closed during teardown
+            threading.Thread(
+                target=self._serve_connection,
+                args=(connection, ledger, results),
+                daemon=True,
+            ).start()
+
+    def _await_hello(self, sock: socket.socket) -> Optional[dict]:
+        """The connection's hello frame, or None if it never arrives."""
+        deadline = time.monotonic() + HELLO_TIMEOUT_S
+        while not self._stop.is_set() and time.monotonic() < deadline:
+            if _wait_readable(sock, self._serve_poll_s):
+                return recv_frame(sock)
+        return None
+
+    def _admit(self, sock: socket.socket, hello: dict) -> Optional[WorkerHealth]:
+        """Validate the hello and register the connection, or reject it.
+
+        Rejections (bad frame type, missing/invalid auth token) close the
+        connection without aborting the sweep — an unauthenticated
+        stranger must not be able to kill a running sweep by connecting.
+        """
+        if hello.get("type") != "hello":
+            warnings.warn(
+                "rejecting socket connection whose first frame is "
+                f"{hello.get('type')!r}, not 'hello'"
+            )
+            return None
+        if self.token is not None and hello.get("token") != self.token:
+            warnings.warn(
+                "rejecting socket worker with a missing or invalid auth token"
+            )
+            return None
+        worker_id = int(hello.get("worker", -1))
+        with self._lock:
+            name = f"sock-{worker_id}"
+            suffix = 2
+            while name in self._names:
+                name = f"sock-{worker_id}.{suffix}"
+                suffix += 1
+            self._names.add(name)
+            health = WorkerHealth(worker_id=name)
+            self._admitted += 1
+            self._live += 1
+            self._active[name] = health
+            self._connections.add(sock)
+        # The hello proves liveness: it is the worker's first beat.
+        health.observe_heartbeat(time.monotonic())
+        return health
+
+    def _await_result(self, sock: socket.socket, health: WorkerHealth) -> dict:
+        """The next non-heartbeat frame, with heartbeat-silence loss detection."""
+        while True:
+            if not _wait_readable(sock, self._serve_poll_s):
+                now = time.monotonic()
+                if self.lost_after_s is not None and heartbeat_expired(
+                    health, now, self.lost_after_s
+                ):
+                    age = health.heartbeat_age_s(now)
+                    raise _WorkerLostError(
+                        f"worker {health.worker_id} silent for {age:.1f}s "
+                        f"(lost_after_s={self.lost_after_s})"
+                    )
+                continue
+            frame = recv_frame(sock)
+            if frame.get("type") == "heartbeat":
+                health.observe_heartbeat(time.monotonic())
+                continue
+            return frame
 
     def _serve_connection(
         self,
         sock: socket.socket,
-        tasks: "queue.SimpleQueue[List[dict]]",
+        ledger: _ChunkLedger,
         results: "queue.Queue",
     ) -> None:
-        """One coordinator thread: feed chunks to one worker, relay rows."""
+        """One coordinator thread: feed leased chunks to one worker, relay rows.
+
+        Every *admitted* connection puts exactly one terminal item on the
+        results queue: its :class:`WorkerHealth` (graceful release), a
+        :class:`_ConnectionLost` (died or went silent — the leased chunk,
+        if any, has been requeued), or an exception (protocol violation;
+        aborts the sweep).
+        """
+        health: Optional[WorkerHealth] = None
+        lease: Optional[Tuple[int, List[dict]]] = None
         try:
-            hello = recv_frame(sock)
-            worker_id = int(hello.get("worker", -1))
-            health = WorkerHealth(worker_id=f"sock-{worker_id}")
-            # The hello proves liveness: it is the worker's first beat.
-            health.observe_heartbeat(time.monotonic())
+            try:
+                hello = self._await_hello(sock)
+                if hello is None:
+                    return
+                health = self._admit(sock, hello)
+            except (ConnectionError, OSError, ValueError, TypeError):
+                # Died, or spoke garbage, before being admitted: nothing
+                # was at stake, and a stranger must not abort the sweep.
+                return
+            if health is None:
+                return
             while True:
-                try:
-                    chunk = tasks.get_nowait()
-                except queue.Empty:
+                lease = ledger.acquire()
+                if lease is None:
                     send_frame(sock, {"type": "shutdown"})
                     health.finalize_heartbeat_age(time.monotonic())
                     results.put(health)
                     return
-                send_frame(sock, {"type": "task", "specs": chunk})
-                while True:
-                    frame = recv_frame(sock)
-                    if frame["type"] == "heartbeat":
-                        health.observe_heartbeat(time.monotonic())
-                        continue
-                    break
+                chunk_id, chunk = lease
+                send_frame(sock, {"type": "task", "chunk_id": chunk_id, "specs": chunk})
+                frame = self._await_result(sock, health)
+                if frame.get("type") != "result":
+                    raise SocketProtocolError(
+                        f"protocol error from worker {health.worker_id}: expected "
+                        f"a 'result' frame, got {frame.get('type')!r}"
+                    )
+                if frame.get("chunk_id") != chunk_id:
+                    raise SocketProtocolError(
+                        f"protocol error from worker {health.worker_id}: result "
+                        f"for chunk {frame.get('chunk_id')!r}, expected {chunk_id}"
+                    )
+                ledger.complete(chunk_id)
+                lease = None
                 health.observe_chunk(len(frame["rows"]), float(frame["busy_s"]))
                 results.put(frame["rows"])
+        except (ConnectionError, OSError) as _lost:
+            # Worker churn, not a sweep failure: requeue the in-flight
+            # chunk (if any) for the survivors and report the loss.
+            requeued = False
+            if lease is not None:
+                ledger.requeue(lease[0])
+                requeued = True
+            if health is not None:
+                health.lost = True
+                health.finalize_heartbeat_age(time.monotonic())
+                results.put(_ConnectionLost(health=health, requeued=requeued))
         except BaseException as error:
             results.put(error)
         finally:
             sock.close()
+            if health is not None:
+                with self._lock:
+                    self._live -= 1
+                    self._active.pop(health.worker_id, None)
+                    self._connections.discard(sock)
+
+    def _check_liveness(self, results: "queue.Queue", pending: int) -> None:
+        """Fail the sweep iff no live worker remains and work is outstanding.
+
+        A worker process that is still alive may yet connect (bootstrap
+        under spawn is slow), so only processes that are *dead* without
+        ever having produced an admitted connection count against the
+        sweep — a worker dying after it connected is churn, handled by the
+        requeue path, never grounds to stop accepting others.
+        """
+        with self._lock:
+            live = self._live
+            admitted = self._admitted
+        if live > 0 or any(p.is_alive() for p in self._processes):
+            return
+        if not results.empty():
+            return  # terminal reports / rows still queued: judge after them
+        if admitted == 0:
+            dead = sum(1 for p in self._processes if not p.is_alive())
+            raise RuntimeError(
+                f"{dead} socket worker(s) died before connecting"
+            )
+        raise RuntimeError(
+            f"all socket workers lost with {pending} runs outstanding "
+            f"({self._stats.worker_losses} worker(s) lost mid-sweep); "
+            "start a new worker_main against the coordinator before the last "
+            "one dies, or raise lost_after_s"
+        )
+
+    def _abandon_stragglers(self) -> None:
+        """Log (not raise) workers that wedged after the last row arrived."""
+        now = time.monotonic()
+        with self._lock:
+            stragglers = list(self._active.values())
+        if not stragglers:
+            return
+        ages = ", ".join(
+            f"{h.worker_id} (last heartbeat "
+            + (f"{h.heartbeat_age_s(now):.1f}s ago)" if h.heartbeat_age_s(now) is not None else "never)")
+            for h in stragglers
+        )
+        warnings.warn(
+            f"abandoning {len(stragglers)} unresponsive socket worker(s) after "
+            f"{self.drain_timeout_s:.0f}s drain timeout: {ages}"
+        )
+        for health in stragglers:
+            health.lost = True
+            health.finalize_heartbeat_age(now)
+            self._stats.worker_losses += 1
+            self._stats.worker_health.append(health)
 
     def execute(self, specs: Sequence[RunSpec]) -> Iterator[RowResult]:
         self._stats = BackendStats(backend=self.name, workers=self.workers)
         if not specs:
             return
-        tasks = self._chunk_tasks(specs)
+        self._reset_coordinator_state()
+        chunks = [
+            [spec.to_dict() for spec in chunk]
+            for chunk in cost_sorted_chunks(specs, self.workers)
+        ]
+        ledger = _ChunkLedger(chunks)
         results: "queue.Queue" = queue.Queue()
         started = time.perf_counter()
+        reported = 0
+
+        def handle_terminal(item) -> bool:
+            """Process a non-row item; True when it was terminal/handled."""
+            nonlocal reported
+            if isinstance(item, WorkerHealth):
+                reported += 1
+                self._stats.worker_health.append(item)
+                return True
+            if isinstance(item, _ConnectionLost):
+                reported += 1
+                self._stats.worker_losses += 1
+                if item.requeued:
+                    self._stats.requeued_chunks += 1
+                self._stats.worker_health.append(item.health)
+                return True
+            if isinstance(item, SocketProtocolError):
+                raise item
+            if isinstance(item, BaseException):
+                raise RuntimeError("socket worker connection failed") from item
+            return False
 
         server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         context = multiprocessing.get_context()
-        processes: List[multiprocessing.Process] = []
-        threads: List[threading.Thread] = []
+        accept_thread: Optional[threading.Thread] = None
         try:
-            server.bind((self.host, 0))
-            server.listen(self.workers)
-            port = server.getsockname()[1]
-            processes = [
+            server.bind((self.host, self.port))
+            server.listen()
+            self.bound_port = server.getsockname()[1]
+            server.settimeout(_POLL_S)
+            self._processes = [
                 context.Process(
                     target=worker_main,
-                    args=(self.host, port, i, self.run_fn, self.heartbeat_interval),
+                    args=(self.host, self.bound_port, i, self.run_fn,
+                          self.heartbeat_interval),
+                    kwargs={"token": self.token},
                     daemon=True,
                 )
                 for i in range(self.workers)
             ]
-            for process in processes:
+            for process in self._processes:
                 process.start()
-            # Accept with a poll loop: a worker that dies before connecting
-            # (bootstrap failure under spawn) must not hang the coordinator
-            # in accept() forever.  More dead processes than accepted
-            # connections proves a worker was lost pre-connect; if the
-            # connected survivors have already claimed every chunk, the
-            # missing workers are not needed and the sweep proceeds without
-            # them.
-            server.settimeout(1.0)
-            while len(threads) < self.workers:
-                try:
-                    connection, _address = server.accept()
-                except socket.timeout:
-                    if threads and tasks.empty():
-                        break
-                    dead = sum(1 for p in processes if not p.is_alive())
-                    if dead > len(threads):
-                        if threads:
-                            break
-                        raise RuntimeError(
-                            f"{dead} socket worker(s) died before connecting"
-                        ) from None
-                    continue
-                thread = threading.Thread(
-                    target=self._serve_connection,
-                    args=(connection, tasks, results),
-                    daemon=True,
-                )
-                thread.start()
-                threads.append(thread)
-            # The accept phase is over: close the listener now so a
-            # late-connecting worker stranded in the backlog gets a reset
-            # (and exits quietly) instead of blocking until the join below.
-            server.close()
+            accept_thread = threading.Thread(
+                target=self._accept_loop,
+                args=(server, ledger, results),
+                daemon=True,
+            )
+            accept_thread.start()
 
             pending = len(specs)
-            connected = len(threads)
-            finished_workers = 0
             while pending > 0:
-                item = results.get()
-                if isinstance(item, BaseException):
-                    raise RuntimeError("socket worker connection failed") from item
-                if isinstance(item, WorkerHealth):
-                    finished_workers += 1
-                    self._stats.worker_health.append(item)
+                try:
+                    item = results.get(timeout=_POLL_S)
+                except queue.Empty:
+                    self._check_liveness(results, pending)
+                    continue
+                if handle_terminal(item):
                     continue
                 for row in item:
                     pending -= 1
                     self._stats.runs += 1
                     self._stats.wall_time_s = time.perf_counter() - started
                     yield str(row["run_key"]), row
-            while finished_workers < connected:
-                item = results.get(timeout=10)
-                if isinstance(item, BaseException):
-                    raise RuntimeError("socket worker connection failed") from item
-                if isinstance(item, WorkerHealth):
-                    finished_workers += 1
-                    self._stats.worker_health.append(item)
-            for process in processes:
+            # Every row is in: stop admitting joiners, release the
+            # survivors, and collect their terminal health reports.  A
+            # worker that wedges here holds no lease (all chunks are
+            # complete), so it is abandoned with a logged loss rather than
+            # an error — the sweep's data is already safe.
+            self._stop.set()
+            deadline = time.monotonic() + self.drain_timeout_s
+            while reported < self._admitted:
+                try:
+                    item = results.get(timeout=_POLL_S)
+                except queue.Empty:
+                    if time.monotonic() >= deadline:
+                        self._abandon_stragglers()
+                        break
+                    continue
+                handle_terminal(item)
+            for process in self._processes:
                 process.join(timeout=10)
         finally:
+            self._stop.set()
             server.close()
-            for process in processes:
+            self.bound_port = None
+            if accept_thread is not None:
+                accept_thread.join(timeout=5)
+            with self._lock:
+                leftovers = list(self._connections)
+            for connection in leftovers:
+                connection.close()
+            for process in self._processes:
                 if process.is_alive():
                     process.terminate()
                     process.join(timeout=5)
         self._stats.worker_health.sort(key=lambda w: w.worker_id)
         self._stats.wall_time_s = time.perf_counter() - started
+
+
+def worker_cli(argv: Optional[List[str]] = None) -> int:
+    """Command line of an out-of-band worker joining a (running) sweep."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sweeps.backends.socket_backend",
+        description="Join a socket-backend sweep coordinator as a worker. "
+        "The coordinator may already be mid-sweep: the worker is admitted "
+        "and starts pulling chunks immediately.",
+    )
+    parser.add_argument("host", help="coordinator host")
+    parser.add_argument("port", type=int, help="coordinator port")
+    parser.add_argument("--worker-id", type=int, default=0,
+                        help="numeric id announced in the hello frame")
+    parser.add_argument("--token", default=None,
+                        help="auth token matching the coordinator's --worker-token")
+    parser.add_argument("--heartbeat-interval", type=float,
+                        default=HEARTBEAT_INTERVAL_S)
+    args = parser.parse_args(argv)
+    worker_main(
+        args.host,
+        args.port,
+        args.worker_id,
+        None,
+        args.heartbeat_interval,
+        token=args.token,
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(worker_cli())

@@ -61,6 +61,28 @@ def dynamic_chunk_size(remaining: int, workers: int) -> int:
     return max(1, min(MAX_CHUNK, remaining // (4 * workers)))
 
 
+def cost_sorted_chunks(
+    specs: Sequence[RunSpec], workers: int
+) -> List[List[RunSpec]]:
+    """Specs sorted largest-first by the cost model, split into shrinking chunks.
+
+    The shared chunking policy of the self-scheduled backends: LPT order
+    (ties broken by run key for determinism), chunk sizes from
+    :func:`dynamic_chunk_size` so early chunks amortise messaging and late
+    ones spread the tail.  The socket backend turns these chunks into
+    leasable task units; this backend applies the same sizing to its
+    per-worker deques.
+    """
+    ordered = sorted(specs, key=lambda s: (-s.cost_hint(), s.run_key))
+    chunks: List[List[RunSpec]] = []
+    index = 0
+    while index < len(ordered):
+        size = dynamic_chunk_size(len(ordered) - index, workers)
+        chunks.append(list(ordered[index : index + size]))
+        index += size
+    return chunks
+
+
 class WorkStealingBackend(ExecutionBackend):
     """Shared-queue execution with per-worker deques and steal-on-idle."""
 

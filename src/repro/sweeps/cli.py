@@ -17,7 +17,7 @@ import argparse
 import sys
 from typing import List, Optional
 
-from .backends import backend_names
+from .backends import backend_names, make_backend
 from .factories import (
     algorithm_names,
     error_model_names,
@@ -61,6 +61,19 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--backend", choices=backend_names(), default=None,
                         help="execution backend (default: serial with 1 worker, "
                              "process-pool otherwise)")
+    parser.add_argument("--worker-token", type=str, default=None,
+                        help="socket backend: auth token a worker's hello frame "
+                             "must present to be admitted (spawned workers send "
+                             "it automatically; pass the same --token to an "
+                             "out-of-band worker_main)")
+    parser.add_argument("--lost-after", type=float, default=None,
+                        help="socket backend: seconds of heartbeat silence after "
+                             "which a worker is declared lost and its chunk "
+                             "requeued (default 10)")
+    parser.add_argument("--socket-port", type=int, default=None,
+                        help="socket backend: pin the coordinator's listening "
+                             "port so late workers know where to join "
+                             "(default: ephemeral)")
     parser.add_argument("--workers", type=int, default=None,
                         help="worker processes (default 1; 1 = serial fallback; "
                              "--smoke defaults to 2)")
@@ -147,13 +160,31 @@ def main(argv: Optional[List[str]] = None) -> int:
                 max_activations=args.max_activations,
             )
             workers = args.workers if args.workers is not None else 1
+        backend = args.backend
+        socket_flags = (args.worker_token, args.lost_after, args.socket_port)
+        if args.backend == "socket":
+            socket_options = {}
+            if args.worker_token is not None:
+                socket_options["token"] = args.worker_token
+            if args.lost_after is not None:
+                socket_options["lost_after_s"] = args.lost_after
+            if args.socket_port is not None:
+                socket_options["port"] = args.socket_port
+            backend = make_backend(
+                "socket", workers=workers, socket_options=socket_options
+            )
+        elif any(flag is not None for flag in socket_flags):
+            raise ValueError(
+                "--worker-token/--lost-after/--socket-port require "
+                "--backend socket"
+            )
         result = run_sweep(
             spec,
             workers=workers,
             chunk_size=args.chunk_size,
             jsonl_path=args.out,
             resume=not args.no_resume,
-            backend=args.backend,
+            backend=backend,
             progress=progress,
             stream_progress=stream_progress,
         )
@@ -172,6 +203,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     print(result.to_table().render())
     if result.stats is not None:
         print(f"\n{result.stats.summary()}")
+        if result.stats.worker_losses:
+            print(
+                f"warning: {result.stats.worker_losses} worker(s) lost "
+                f"mid-sweep; {result.stats.requeued_chunks} chunk(s) requeued "
+                "and re-executed (no rows lost)",
+                file=sys.stderr,
+            )
     if args.out is not None:
         print(f"\n{result.executed} rows appended to {args.out} "
               f"({result.resumed} resumed)")

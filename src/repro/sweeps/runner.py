@@ -555,12 +555,19 @@ class SweepRunner:
             fresh[spec.run_key] if spec.run_key in fresh else completed[spec.run_key]
             for spec in self.runs
         ]
+        stats = backend.stats()
+        if stats.worker_losses:
+            warnings.warn(
+                f"{stats.worker_losses} {stats.backend} worker(s) lost "
+                f"mid-sweep; {stats.requeued_chunks} leased chunk(s) were "
+                "requeued and re-executed, so every row is present"
+            )
         return SweepResult(
             rows=rows,
             executed=len(fresh),
             resumed=len(rows) - len(fresh),
             aggregator=aggregator,
-            stats=backend.stats(),
+            stats=stats,
         )
 
 

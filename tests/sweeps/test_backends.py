@@ -21,7 +21,11 @@ from repro.sweeps import (
     make_backend,
     run_sweep,
 )
-from repro.sweeps.backends.work_stealing import MAX_CHUNK, dynamic_chunk_size
+from repro.sweeps.backends.work_stealing import (
+    MAX_CHUNK,
+    cost_sorted_chunks,
+    dynamic_chunk_size,
+)
 
 #: The 216-run acceptance grid (same shape as the process-pool acceptance
 #: test in test_sweep_runner.py).
@@ -107,6 +111,18 @@ class TestCostModel:
         assert dynamic_chunk_size(40, 4) == 2
         assert dynamic_chunk_size(3, 4) == 1
         assert dynamic_chunk_size(1, 4) == 1
+
+    def test_cost_sorted_chunks_partition_specs_largest_first(self):
+        """The shared chunking helper: every spec exactly once, LPT order,
+        chunk sizes shrinking toward the tail."""
+        specs = MIXED_RUNS + SMALL_SPEC.expand()
+        chunks = cost_sorted_chunks(specs, workers=2)
+        flat = [spec for chunk in chunks for spec in chunk]
+        assert sorted(s.run_key for s in flat) == sorted(s.run_key for s in specs)
+        heads = [chunk[0].cost_hint() for chunk in chunks]
+        assert heads == sorted(heads, reverse=True)
+        assert all(1 <= len(chunk) <= MAX_CHUNK for chunk in chunks)
+        assert len(chunks[-1]) <= len(chunks[0])
 
     def test_spec_dict_round_trip_through_json(self):
         for spec in MIXED_RUNS:

@@ -1,0 +1,357 @@
+"""Fault-injection tests for the churn-tolerant socket backend.
+
+The contract under test: killing one of N >= 2 workers mid-chunk loses
+zero rows (the leased chunk is requeued and re-executed bit-identically),
+heartbeat silence beyond ``lost_after_s`` counts as a loss, workers
+started out-of-band join a running sweep (gated by the auth token), and
+protocol violations are reported as named errors instead of bare
+``KeyError``s.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue
+import signal
+import socket as socket_module
+import threading
+import time
+
+import pytest
+
+from repro.sweeps import SweepSpec
+from repro.sweeps.backends import SocketProtocolError, WorkerHealth
+from repro.sweeps.backends.socket_backend import (
+    SocketBackend,
+    _ChunkLedger,
+    heartbeat_expired,
+    recv_frame,
+    send_frame,
+    worker_main,
+)
+from repro.sweeps.runner import execute_run, strip_timing
+
+#: A small grid of real runs (12 runs; each well under a second).
+SMALL_SPEC = SweepSpec(
+    algorithms=("kknps",),
+    schedulers=("ssync", "k-async"),
+    workloads=("line", "blobs"),
+    n_robots=(5,),
+    seeds=(0, 1, 2),
+    scheduler_k=2,
+    epsilon=0.08,
+    max_activations=150,
+)
+
+
+def _kill_once_run_fn(spec):
+    """Execute the real run — but SIGKILL the worker the first time the
+    designated spec is reached (a marker file records that the kill already
+    fired, so the re-executed chunk runs through normally)."""
+    marker = os.environ["REPRO_TEST_KILL_MARKER"]
+    if (
+        spec.workload == "blobs"
+        and spec.seed == 1
+        and spec.scheduler == "ssync"
+        and not os.path.exists(marker)
+    ):
+        with open(marker, "w", encoding="utf-8") as handle:
+            handle.write(str(os.getpid()))
+        os.kill(os.getpid(), signal.SIGKILL)
+    return execute_run(spec)
+
+
+def _slow_real_run_fn(spec):
+    """The real run slowed down enough for mid-sweep events to land."""
+    row = execute_run(spec)
+    time.sleep(0.15)
+    return row
+
+
+def _consume_in_thread(backend, specs):
+    """Drive ``backend.execute`` in a thread; returns (thread, rows dict)."""
+    rows = {}
+
+    def consume():
+        for run_key, row in backend.execute(specs):
+            rows[run_key] = row
+
+    thread = threading.Thread(target=consume, daemon=True)
+    thread.start()
+    return thread, rows
+
+
+def _wait_for_port(backend, timeout=10.0):
+    deadline = time.monotonic() + timeout
+    while backend.bound_port is None and time.monotonic() < deadline:
+        time.sleep(0.01)
+    assert backend.bound_port is not None, "coordinator never bound its port"
+    return backend.bound_port
+
+
+class TestChunkLedger:
+    def test_lease_requeue_complete_cycle(self):
+        ledger = _ChunkLedger([["a"], ["b"], ["c"]])
+        assert ledger.outstanding() == 3
+        assert ledger.acquire() == (0, ["a"])
+        # A requeued chunk keeps its id and returns to the front.
+        ledger.requeue(0)
+        assert ledger.outstanding() == 3
+        assert ledger.acquire() == (0, ["a"])
+        ledger.complete(0)
+        assert ledger.outstanding() == 2
+        assert ledger.acquire() == (1, ["b"])
+        assert ledger.acquire() == (2, ["c"])
+        assert ledger.acquire() is None
+        ledger.complete(1)
+        ledger.complete(2)
+        assert ledger.outstanding() == 0
+
+
+class TestHeartbeatLossDetection:
+    def test_expiry_with_a_fake_clock(self):
+        health = WorkerHealth(worker_id="sock-7")
+        health.observe_heartbeat(100.0)
+        assert health.heartbeat_age_s(102.0) == pytest.approx(2.0)
+        assert not heartbeat_expired(health, 100.5, lost_after_s=1.0)
+        assert not heartbeat_expired(health, 101.0, lost_after_s=1.0)
+        assert heartbeat_expired(health, 101.01, lost_after_s=1.0)
+        # A later beat resets the clock.
+        health.observe_heartbeat(103.0)
+        assert not heartbeat_expired(health, 103.9, lost_after_s=1.0)
+        # A record that never beat is not expired (admission always beats).
+        assert not heartbeat_expired(
+            WorkerHealth(worker_id="sock-8"), 1e9, lost_after_s=1.0
+        )
+
+    def test_silent_worker_is_lost_and_its_chunk_requeued(self):
+        """A worker that takes a task and goes silent (no heartbeats, no
+        result) is declared lost after ``lost_after_s``; its chunk is
+        requeued and the sweep still completes with every row."""
+        specs = SMALL_SPEC.expand()[:6]
+        backend = SocketBackend(
+            workers=1,
+            run_fn=_slow_real_run_fn,
+            lost_after_s=0.6,
+            heartbeat_interval=0.1,
+        )
+        thread, rows = _consume_in_thread(backend, specs)
+        port = _wait_for_port(backend)
+        # A fake worker: says hello, takes one task, then wedges silently.
+        wedge = socket_module.create_connection(("127.0.0.1", port))
+        wedge.settimeout(20.0)
+        try:
+            send_frame(wedge, {"type": "hello", "worker": 55})
+            task = recv_frame(wedge)
+            assert task["type"] == "task"
+            thread.join(timeout=90)
+            assert not thread.is_alive()
+        finally:
+            wedge.close()
+        assert len(rows) == len(specs)
+        stats = backend.stats()
+        assert stats.worker_losses == 1
+        assert stats.requeued_chunks == 1
+        lost = [w for w in stats.worker_health if w.lost]
+        assert [w.worker_id for w in lost] == ["sock-55"]
+        assert "worker_losses=1" in stats.summary()
+        assert "/LOST" in stats.summary()
+
+
+class TestWorkerKilledMidChunk:
+    def test_sigkill_loses_zero_rows_and_matches_serial(self, tmp_path, monkeypatch):
+        """The acceptance scenario: one of two workers SIGKILLs itself in
+        the middle of a chunk; the sweep finishes with all rows present and
+        bit-identical to serial (timing fields aside), and stats report the
+        loss and the requeued chunk."""
+        specs = SMALL_SPEC.expand()
+        marker = tmp_path / "killed"
+        monkeypatch.setenv("REPRO_TEST_KILL_MARKER", str(marker))
+        backend = SocketBackend(workers=2, run_fn=_kill_once_run_fn)
+        rows = dict(backend.execute(specs))
+        assert marker.exists(), "the kill never fired"
+        assert len(rows) == len(specs)
+        serial = {spec.run_key: execute_run(spec) for spec in specs}
+        assert {k: strip_timing(r) for k, r in rows.items()} == {
+            k: strip_timing(r) for k, r in serial.items()
+        }
+        stats = backend.stats()
+        assert stats.runs == len(specs)
+        assert stats.worker_losses == 1
+        assert stats.requeued_chunks == 1
+        assert sum(1 for w in stats.worker_health if w.lost) == 1
+        # The survivor was not aborted by its peer's death (the old
+        # pre-connect-death budget bug) and did real work.
+        survivors = [w for w in stats.worker_health if not w.lost]
+        assert survivors and all(w.runs > 0 for w in survivors)
+        assert "worker_losses=1" in stats.summary()
+
+    def test_all_workers_dead_before_connecting_raises(self, monkeypatch):
+        """Bootstrap failure of every worker is still a hard error — but
+        counted per process that never connected, not against survivors."""
+        from repro.sweeps.backends import socket_backend as sb
+
+        monkeypatch.setattr(sb, "worker_main", _doomed_worker)
+        backend = SocketBackend(workers=2, run_fn=_slow_real_run_fn)
+        with pytest.raises(RuntimeError, match="died before connecting"):
+            list(backend.execute(SMALL_SPEC.expand()[:2]))
+
+    def test_losing_every_live_worker_fails_the_sweep(self, tmp_path, monkeypatch):
+        """With a single worker and no joiners, a mid-chunk death leaves
+        zero live workers with chunks outstanding: the sweep fails loudly
+        instead of hanging."""
+        specs = SMALL_SPEC.expand()[:6]
+        marker = tmp_path / "killed"
+        monkeypatch.setenv("REPRO_TEST_KILL_MARKER", str(marker))
+        backend = SocketBackend(workers=1, run_fn=_kill_once_run_fn)
+        with pytest.raises(RuntimeError, match="all socket workers lost"):
+            list(backend.execute(specs))
+
+
+def _doomed_worker(*args, **kwargs):
+    os._exit(3)
+
+
+class TestLateJoiners:
+    def test_out_of_band_worker_joins_a_running_sweep(self):
+        """A worker_main started after the sweep begins (with the right
+        token) is admitted and executes at least one chunk."""
+        specs = SMALL_SPEC.expand()
+        backend = SocketBackend(
+            workers=1, run_fn=_slow_real_run_fn, token="s3cret"
+        )
+        thread, rows = _consume_in_thread(backend, specs)
+        port = _wait_for_port(backend)
+        context = multiprocessing.get_context()
+        joiner = context.Process(
+            target=worker_main,
+            args=("127.0.0.1", port, 99, _slow_real_run_fn),
+            kwargs={"token": "s3cret"},
+            daemon=True,
+        )
+        joiner.start()
+        try:
+            thread.join(timeout=120)
+            assert not thread.is_alive()
+        finally:
+            joiner.join(timeout=10)
+            if joiner.is_alive():
+                joiner.terminate()
+        assert len(rows) == len(specs)
+        health = {w.worker_id: w for w in backend.stats().worker_health}
+        assert "sock-99" in health
+        assert health["sock-99"].runs >= 1
+        assert not health["sock-99"].lost
+        assert backend.stats().worker_losses == 0
+
+    def test_wrong_token_is_rejected_without_aborting(self):
+        """An impostor with the wrong token gets no work and the sweep
+        completes on the legitimate worker alone."""
+        specs = SMALL_SPEC.expand()[:4]
+        backend = SocketBackend(
+            workers=1, run_fn=_slow_real_run_fn, token="right"
+        )
+        thread, rows = _consume_in_thread(backend, specs)
+        port = _wait_for_port(backend)
+        context = multiprocessing.get_context()
+        impostor = context.Process(
+            target=worker_main,
+            args=("127.0.0.1", port, 77, _slow_real_run_fn),
+            kwargs={"token": "wrong"},
+            daemon=True,
+        )
+        with pytest.warns(UserWarning, match="auth token"):
+            impostor.start()
+            thread.join(timeout=90)
+            assert not thread.is_alive()
+        impostor.join(timeout=10)
+        assert len(rows) == len(specs)
+        names = {w.worker_id for w in backend.stats().worker_health}
+        assert "sock-77" not in names
+        assert names == {"sock-0"}
+
+
+class TestProtocolValidation:
+    """Satellite: a malformed frame raises a named protocol error, not a
+    bare ``KeyError`` on ``frame["rows"]``."""
+
+    def _serve(self, backend):
+        ledger = _ChunkLedger(
+            [[spec.to_dict() for spec in SMALL_SPEC.expand()[:1]]]
+        )
+        results = queue.Queue()
+        server, client = socket_module.socketpair()
+        thread = threading.Thread(
+            target=backend._serve_connection,
+            args=(server, ledger, results),
+            daemon=True,
+        )
+        thread.start()
+        return ledger, results, client, thread
+
+    def test_unknown_frame_type_names_type_and_worker(self):
+        backend = SocketBackend(workers=1, run_fn=_slow_real_run_fn)
+        _ledger, results, client, thread = self._serve(backend)
+        try:
+            send_frame(client, {"type": "hello", "worker": 7})
+            task = recv_frame(client)
+            assert task["type"] == "task"
+            send_frame(client, {"type": "banana", "worker": 7})
+            item = results.get(timeout=10)
+        finally:
+            client.close()
+            thread.join(timeout=5)
+        assert isinstance(item, SocketProtocolError)
+        assert "banana" in str(item)
+        assert "sock-7" in str(item)
+
+    def test_result_for_wrong_chunk_is_a_protocol_error(self):
+        backend = SocketBackend(workers=1, run_fn=_slow_real_run_fn)
+        _ledger, results, client, thread = self._serve(backend)
+        try:
+            send_frame(client, {"type": "hello", "worker": 3})
+            task = recv_frame(client)
+            send_frame(
+                client,
+                {
+                    "type": "result",
+                    "worker": 3,
+                    "chunk_id": task["chunk_id"] + 41,
+                    "rows": [],
+                    "busy_s": 0.0,
+                },
+            )
+            item = results.get(timeout=10)
+        finally:
+            client.close()
+            thread.join(timeout=5)
+        assert isinstance(item, SocketProtocolError)
+        assert "chunk" in str(item)
+        assert "sock-3" in str(item)
+
+    def test_wrong_token_connection_closed_without_work(self):
+        backend = SocketBackend(
+            workers=1, token="right", run_fn=_slow_real_run_fn
+        )
+        ledger, results, client, thread = self._serve(backend)
+        with pytest.warns(UserWarning, match="auth token"):
+            send_frame(client, {"type": "hello", "worker": 9, "token": "wrong"})
+            thread.join(timeout=10)
+        assert not thread.is_alive()
+        # No chunk was leased, nothing was reported, the socket is closed.
+        assert ledger.outstanding() == 1
+        assert results.empty()
+        client.settimeout(5.0)
+        assert client.recv(1) == b""
+        client.close()
+
+    def test_garbage_before_hello_does_not_abort(self):
+        backend = SocketBackend(workers=1, run_fn=_slow_real_run_fn)
+        _ledger, results, client, thread = self._serve(backend)
+        with pytest.warns(UserWarning, match="not 'hello'"):
+            send_frame(client, {"type": "result", "rows": []})
+            thread.join(timeout=10)
+        assert not thread.is_alive()
+        assert results.empty()
+        client.close()

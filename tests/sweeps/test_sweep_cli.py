@@ -108,3 +108,30 @@ class TestSweepCli:
         assert code == 0
         assert "Sweep aggregate" in captured
         assert "backend=socket" in captured
+        # A clean run reports zero churn.
+        assert "worker_losses=0" in captured
+        assert "requeued=0" in captured
+
+    def test_socket_token_and_lost_after_flags(self, capsys):
+        code = sweep_main(
+            ["--algorithms", "kknps", "--schedulers", "ssync", "--workloads", "line",
+             "--n", "5", "--seeds", "2", "--max-activations", "120", "--quiet",
+             "--backend", "socket", "--workers", "2",
+             "--worker-token", "hunter2", "--lost-after", "5"]
+        )
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "backend=socket" in captured
+        assert "worker_losses=0" in captured
+
+    def test_socket_flags_require_socket_backend(self, capsys):
+        code = sweep_main(
+            ["--algorithms", "kknps", "--schedulers", "ssync", "--workloads", "line",
+             "--n", "5", "--seeds", "1", "--max-activations", "120", "--quiet",
+             "--backend", "work-stealing", "--workers", "2",
+             "--worker-token", "hunter2"]
+        )
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "require" in captured.err
+        assert "--backend socket" in captured.err

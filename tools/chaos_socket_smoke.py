@@ -1,0 +1,95 @@
+"""Chaos smoke: kill one socket worker mid-sweep and demand a perfect sweep.
+
+The CI companion of the socket backend's fault-tolerance contract.  It
+runs the standard ``--smoke`` grid (16 tiny runs) on the socket backend
+with two workers, SIGKILLs exactly one worker while it is mid-chunk (the
+worker kills *itself* when it reaches a designated run, so the kill is
+deterministic and always lands inside a lease), and then asserts:
+
+* the sweep completes with every row present,
+* the rows are bit-identical to serial execution (timing fields aside),
+* the backend summary reports ``worker_losses=1`` and at least one
+  requeued chunk.
+
+Exits non-zero on any violation.  The backend summary is printed on
+stdout — the ``worker_losses=1`` line the CI step greps for.
+
+Run it directly::
+
+    PYTHONPATH=src python tools/chaos_socket_smoke.py
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import sys
+import tempfile
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.sweeps.backends.socket_backend import SocketBackend  # noqa: E402
+from repro.sweeps.cli import smoke_spec  # noqa: E402
+from repro.sweeps.runner import execute_run, strip_timing  # noqa: E402
+
+
+def kill_once_run_fn(spec):
+    """Execute the real run, but SIGKILL this worker the first time the
+    designated run is reached (the marker file records that the kill
+    already fired, so the requeued chunk re-executes normally)."""
+    marker = os.environ["REPRO_CHAOS_KILL_MARKER"]
+    if spec.run_key == os.environ["REPRO_CHAOS_KILL_KEY"] and not os.path.exists(
+        marker
+    ):
+        with open(marker, "w", encoding="utf-8") as handle:
+            handle.write(str(os.getpid()))
+        os.kill(os.getpid(), signal.SIGKILL)
+    return execute_run(spec)
+
+
+def main() -> int:
+    specs = smoke_spec().expand()
+    # Designate the head of the LPT order: it is leased first, while
+    # plenty of chunks remain for the surviving worker.
+    ordered = sorted(specs, key=lambda s: (-s.cost_hint(), s.run_key))
+    os.environ["REPRO_CHAOS_KILL_KEY"] = ordered[0].run_key
+    marker = Path(tempfile.mkdtemp(prefix="chaos-socket-")) / "killed"
+    os.environ["REPRO_CHAOS_KILL_MARKER"] = str(marker)
+
+    backend = SocketBackend(workers=2, run_fn=kill_once_run_fn, token="chaos-smoke")
+    rows = dict(backend.execute(specs))
+    stats = backend.stats()
+    print(stats.summary(), flush=True)
+
+    failures = []
+    if not marker.exists():
+        failures.append("the chaos kill never fired")
+    if len(rows) != len(specs):
+        failures.append(f"rows lost: {len(rows)}/{len(specs)}")
+    serial = {spec.run_key: strip_timing(execute_run(spec)) for spec in specs}
+    surviving = {key: strip_timing(row) for key, row in rows.items()}
+    if surviving != serial:
+        failures.append("rows differ from serial execution")
+    if stats.worker_losses != 1:
+        failures.append(f"worker_losses={stats.worker_losses}, expected 1")
+    if stats.requeued_chunks < 1:
+        failures.append("no chunk was requeued despite the mid-chunk kill")
+    if sum(1 for w in stats.worker_health if w.lost) != 1:
+        failures.append("exactly one worker should carry the lost flag")
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if failures:
+        return 1
+    print(
+        f"chaos smoke OK: {len(rows)} rows bit-identical to serial after "
+        "killing one worker mid-chunk"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
