@@ -22,8 +22,14 @@ Run it directly::
     PYTHONPATH=src python benchmarks/bench_engine.py --smoke    # CI smoke
 
 The full grid covers n in {25, 50, 100, 200, 400} for kknps/ando under
-ssync/k-async.  ``--smoke`` shrinks the grid and the activation budget so
-the script (and its JSON contract) is exercised on every CI push.
+ssync/k-async.  A separate **mega-swarm** section extends the size axis
+to n in {10^3, 10^4, 10^5} on the bounded-density truncated-grid
+workload: at 10^3 the batched round fast path is timed against the
+retained per-activation kernel path (same engine, ``round_batching``
+off), and at 10^4/10^5 — where the per-activation path would take
+minutes — the fast path's wall clock is recorded alone.  ``--smoke``
+shrinks the grid and the activation budget so the script (and its JSON
+contract) is exercised on every CI push.
 """
 
 from __future__ import annotations
@@ -50,7 +56,7 @@ from repro.geometry.sec import _is_in, _trivial, _circle_from_two
 from repro.geometry.disk import Disk
 from repro.model.visibility import broken_edges_from_matrix
 from repro.schedulers import KAsyncScheduler, SSyncScheduler
-from repro.workloads import random_connected_configuration
+from repro.workloads import random_connected_configuration, truncated_grid_configuration
 
 BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
 
@@ -59,6 +65,30 @@ SMOKE_SIZES = (12, 25)
 FULL_ACTIVATIONS = 300
 SMOKE_ACTIVATIONS = 40
 SEED = 3
+
+#: Mega-swarm size axis: kknps x ssync on the bounded-density truncated
+#: grid, timed through the batched round fast path.
+MEGA_SIZES = (1_000, 10_000, 100_000)
+SMOKE_MEGA_SIZES = (400,)
+#: Largest mega size that also times the per-activation reference path
+#: (``round_batching=False``); beyond it the reference would take minutes
+#: per row, so the fast path's wall clock is recorded alone.
+MEGA_REFERENCE_MAX = 1_000
+#: A fresh measurement of the n=400 seed-engine headline must stay above
+#: this fraction of the recorded value (generous CI-noise margin); the
+#: floor itself is stored in the JSON so the gate reads one number.
+PERF_FLOOR_FRACTION = 0.25
+
+
+def _mega_activations(n: int, smoke: bool) -> int:
+    """Activation budget for a mega row, scaled so the bench stays bounded.
+
+    Roughly five ssync rounds at 10^3/10^4 and one round's worth at 10^5;
+    smoke mode runs two rounds' worth at its single small size.
+    """
+    if smoke:
+        return 2 * n
+    return 5 * n if n <= 10_000 else n
 
 
 # --------------------------------------------------------------------------
@@ -208,7 +238,12 @@ def _schedulers():
     )
 
 
-def _config(max_activations: int, engine_mode: str, k: int) -> SimulationConfig:
+def _config(
+    max_activations: int,
+    engine_mode: str,
+    k: int,
+    round_batching: Optional[bool] = None,
+) -> SimulationConfig:
     return SimulationConfig(
         seed=SEED,
         max_activations=max_activations,
@@ -216,6 +251,7 @@ def _config(max_activations: int, engine_mode: str, k: int) -> SimulationConfig:
         use_random_frames=False,
         k_bound=k,
         engine_mode=engine_mode,
+        round_batching=round_batching,
     )
 
 
@@ -259,10 +295,14 @@ def run_grid(sizes, max_activations: int, *, verbose: bool = True) -> dict:
                         f"new {new_seconds:8.3f}s   seed {seed_seconds:8.3f}s   "
                         f"speedup {speedup:6.2f}x"
                     )
-    headline = [
-        r for r in results
-        if r["algorithm"] == "kknps" and r["scheduler"] == "ssync" and r["n"] == 200
-    ]
+    def headline(n: int):
+        rows = [
+            r for r in results
+            if r["algorithm"] == "kknps" and r["scheduler"] == "ssync" and r["n"] == n
+        ]
+        return rows[0]["speedup"] if rows else None
+
+    n400 = headline(400)
     return {
         "bench": "bench_engine",
         "description": (
@@ -273,9 +313,69 @@ def run_grid(sizes, max_activations: int, *, verbose: bool = True) -> dict:
         "sizes": list(sizes),
         "activations": max_activations,
         "results": results,
-        "headline_speedup_kknps_ssync_n200": (
-            headline[0]["speedup"] if headline else None
+        "headline_speedup_kknps_ssync_n200": headline(200),
+        "headline_speedup_kknps_ssync_n400": n400,
+        "perf_floor_kknps_ssync_n400": (
+            round(PERF_FLOOR_FRACTION * n400, 3) if n400 else None
         ),
+    }
+
+
+def run_mega(sizes, *, smoke: bool, verbose: bool = True) -> dict:
+    """The mega-swarm axis: kknps x ssync through the round fast path.
+
+    Sizes up to :data:`MEGA_REFERENCE_MAX` also run the per-activation
+    kernel path (``round_batching=False`` — same engine, same floats, the
+    pinned bit-identical reference) and report the fast-path speedup over
+    it; larger sizes record the fast path's end-to-end wall clock, which
+    is the ROADMAP's 10^4–10^5 headline.
+    """
+    rows = []
+    for n in sizes:
+        activations = _mega_activations(n, smoke)
+        positions = list(truncated_grid_configuration(n, spacing=0.7).positions)
+        fast_seconds = _run_once(
+            Simulator, positions, KKNPSAlgorithm(k=1), SSyncScheduler(),
+            _config(activations, "array", 1),
+        )
+        row = {
+            "algorithm": "kknps",
+            "scheduler": "ssync",
+            "workload": "truncated_grid",
+            "n": n,
+            "activations": activations,
+            "seed": SEED,
+            "seconds_fast": round(fast_seconds, 6),
+        }
+        if n <= MEGA_REFERENCE_MAX:
+            reference_seconds = _run_once(
+                Simulator, positions, KKNPSAlgorithm(k=1), SSyncScheduler(),
+                _config(activations, "array", 1, round_batching=False),
+            )
+            row["seconds_per_activation"] = round(reference_seconds, 6)
+            row["speedup_round_batching"] = round(
+                reference_seconds / fast_seconds if fast_seconds > 0 else math.inf, 3
+            )
+        rows.append(row)
+        if verbose:
+            reference = row.get("seconds_per_activation")
+            suffix = (
+                f"per-activation {reference:8.3f}s   "
+                f"speedup {row['speedup_round_batching']:6.2f}x"
+                if reference is not None
+                else "(fast path only)"
+            )
+            print(
+                f" kknps x ssync   n={n:<7} fast {fast_seconds:8.3f}s   {suffix}"
+            )
+    speedup_n1000 = next(
+        (r["speedup_round_batching"] for r in rows if r["n"] == 1_000), None
+    )
+    return {
+        "workload": "truncated_grid(spacing=0.7)",
+        "reference_max_n": MEGA_REFERENCE_MAX,
+        "results": rows,
+        "round_batching_speedup_n1000": speedup_n1000,
     }
 
 
@@ -297,6 +397,9 @@ def main(argv=None) -> int:
     sizes = SMOKE_SIZES if args.smoke else FULL_SIZES
     max_activations = SMOKE_ACTIVATIONS if args.smoke else FULL_ACTIVATIONS
     payload = run_grid(sizes, max_activations)
+    payload["mega"] = run_mega(
+        SMOKE_MEGA_SIZES if args.smoke else MEGA_SIZES, smoke=args.smoke
+    )
     payload["smoke"] = bool(args.smoke)
 
     args.output.write_text(json.dumps(payload, indent=2) + "\n")
@@ -307,9 +410,14 @@ def main(argv=None) -> int:
     assert parsed["results"], "bench produced no results"
     for row in parsed["results"]:
         assert row["seconds_new"] > 0 and row["seconds_seed_engine"] > 0
+    assert parsed["mega"]["results"], "bench produced no mega rows"
+    for row in parsed["mega"]["results"]:
+        assert row["seconds_fast"] > 0
     if not args.smoke:
         headline = parsed["headline_speedup_kknps_ssync_n200"]
         print(f"headline (kknps x ssync, n=200): {headline}x")
+        mega = parsed["mega"]["round_batching_speedup_n1000"]
+        print(f"round batching (kknps x ssync, n=1000): {mega}x")
     return 0
 
 

@@ -19,10 +19,15 @@ Run it directly::
 The full grid covers n in {25, 50, 100, 200, 400} on the random
 connected 3D workload under the ssync3 discipline (60% activation
 subsets, xi = 0.5, random frames).  The convergence threshold is set
-unreachably low so every run executes the full round budget.  Results
-are written to ``BENCH_engine3d.json``; ``--smoke`` shrinks the grid and
-budget so the script (and its JSON contract) is exercised on every CI
-push.
+unreachably low so every run executes the full round budget.  A separate
+**mega-swarm** section extends the size axis to n near {10^3, 10^4,
+10^5} (cubic lattices) through the continuous-time kernel
+(``run_simulation3_async`` under SSync), where the batched round fast
+path lives: at ~10^3 it is timed against the retained per-activation
+kernel path (``round_batching`` off), and at the larger sizes its wall
+clock is recorded alone.  Results are written to
+``BENCH_engine3d.json``; ``--smoke`` shrinks the grid and budget so the
+script (and its JSON contract) is exercised on every CI push.
 """
 
 from __future__ import annotations
@@ -40,11 +45,15 @@ if str(_SRC) not in sys.path:
 
 import numpy as np
 
+from repro.schedulers import SSyncScheduler
 from repro.spatial3d import (
+    AsyncSimulation3Config,
     KKNPS3Algorithm,
     Simulation3Config,
+    lattice_configuration3,
     random_connected_configuration3,
     run_simulation3,
+    run_simulation3_async,
 )
 
 BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine3d.json"
@@ -59,6 +68,23 @@ FULL_REPEATS = 3
 SMOKE_REPEATS = 1
 SEED = 3
 K_VALUES = (1, 2)
+
+#: Mega-swarm axis: cubic-lattice sides, n = side^3 (1000, 10648, 97336),
+#: run through the continuous-time kernel under SSync so the batched
+#: round fast path carries the load.
+MEGA_SIDES = (10, 22, 46)
+SMOKE_MEGA_SIDES = (7,)
+#: Largest mega n that also times the per-activation reference path
+#: (``round_batching=False``); beyond it the reference would take minutes
+#: per row, so the fast path's wall clock is recorded alone.
+MEGA_REFERENCE_MAX = 1_000
+
+
+def _mega_activations(n: int, smoke: bool) -> int:
+    """Activation budget for a mega row (activations, not rounds)."""
+    if smoke:
+        return 2 * n
+    return 5 * n if n <= 11_000 else n
 
 
 def _config(engine_mode: str, max_rounds: int) -> Simulation3Config:
@@ -127,6 +153,77 @@ def run_grid(sizes, max_rounds: int, repeats: int, *, verbose: bool = True) -> d
     }
 
 
+def _mega_config(max_activations: int, round_batching) -> AsyncSimulation3Config:
+    return AsyncSimulation3Config(
+        seed=SEED,
+        max_activations=max_activations,
+        stop_at_convergence=False,
+        rotate_frames=True,
+        round_batching=round_batching,
+    )
+
+
+def _mega_once(positions, max_activations: int, round_batching) -> float:
+    started = time.perf_counter()
+    run_simulation3_async(
+        positions,
+        KKNPS3Algorithm(k=1),
+        SSyncScheduler(),
+        _mega_config(max_activations, round_batching),
+    )
+    return time.perf_counter() - started
+
+
+def run_mega(sides, *, smoke: bool, verbose: bool = True) -> dict:
+    """The 3D mega-swarm axis through the continuous-time kernel.
+
+    Lattice sizes up to :data:`MEGA_REFERENCE_MAX` also run the
+    per-activation kernel path (``round_batching=False`` — the pinned
+    bit-identical reference) and report the fast-path speedup over it;
+    larger lattices record the fast path's end-to-end wall clock.
+    """
+    rows = []
+    for side in sides:
+        n = side ** 3
+        activations = _mega_activations(n, smoke)
+        positions = list(lattice_configuration3(side, spacing=0.55).positions)
+        fast_seconds = _mega_once(positions, activations, None)
+        row = {
+            "algorithm": "kknps3(k=1)",
+            "scheduler": "ssync",
+            "workload": f"lattice3(side={side})",
+            "n": n,
+            "activations": activations,
+            "seed": SEED,
+            "seconds_fast": round(fast_seconds, 6),
+        }
+        if n <= MEGA_REFERENCE_MAX:
+            reference_seconds = _mega_once(positions, activations, False)
+            row["seconds_per_activation"] = round(reference_seconds, 6)
+            row["speedup_round_batching"] = round(
+                reference_seconds / fast_seconds if fast_seconds > 0 else math.inf, 3
+            )
+        rows.append(row)
+        if verbose:
+            reference = row.get("seconds_per_activation")
+            suffix = (
+                f"per-activation {reference:8.3f}s   "
+                f"speedup {row['speedup_round_batching']:6.2f}x"
+                if reference is not None
+                else "(fast path only)"
+            )
+            print(f"kknps3(k=1) x ssync n={n:<7} fast {fast_seconds:8.3f}s   {suffix}")
+    speedup_n1000 = next(
+        (r["speedup_round_batching"] for r in rows if r["n"] == 1_000), None
+    )
+    return {
+        "workload": "lattice3(spacing=0.55)",
+        "reference_max_n": MEGA_REFERENCE_MAX,
+        "results": rows,
+        "round_batching_speedup_n1000": speedup_n1000,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -146,6 +243,9 @@ def main(argv=None) -> int:
     max_rounds = SMOKE_ROUNDS if args.smoke else FULL_ROUNDS
     repeats = SMOKE_REPEATS if args.smoke else FULL_REPEATS
     payload = run_grid(sizes, max_rounds, repeats)
+    payload["mega"] = run_mega(
+        SMOKE_MEGA_SIDES if args.smoke else MEGA_SIDES, smoke=args.smoke
+    )
     payload["smoke"] = bool(args.smoke)
 
     args.output.write_text(json.dumps(payload, indent=2) + "\n")
@@ -156,9 +256,14 @@ def main(argv=None) -> int:
     assert parsed["results"], "bench produced no results"
     for row in parsed["results"]:
         assert row["seconds_array"] > 0 and row["seconds_object"] > 0
+    assert parsed["mega"]["results"], "bench produced no mega rows"
+    for row in parsed["mega"]["results"]:
+        assert row["seconds_fast"] > 0
     if not args.smoke:
         headline = parsed["headline_speedup_n200"]
         print(f"headline (kknps3 k=1, n=200): {headline}x")
+        mega = parsed["mega"]["round_batching_speedup_n1000"]
+        print(f"round batching (kknps3 x ssync, n=1000): {mega}x")
     return 0
 
 

@@ -17,10 +17,13 @@ fails to preserve visibility under 1-Async and 2-NestA scheduling; the
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..geometry.point import Point
-from ..geometry.sec import sec_center
+from ..geometry.sec import sec_center, sec_center_array
 from ..geometry.tolerances import EPS
 from ..model.snapshot import Snapshot
 from .base import ConvergenceAlgorithm
@@ -60,6 +63,55 @@ class AndoAlgorithm(ConvergenceAlgorithm):
             ando_safe_region_local(p, visibility_range) for p in snapshot.neighbours
         ]
         return max_step_within_disks(Point.origin(), goal, safe_disks)
+
+    def compute_relative(
+        self, perceived: np.ndarray, visibility_range: float | None = None
+    ) -> Point:
+        """The float-core form of :meth:`compute` for the round fast path.
+
+        ``perceived`` holds the perceived neighbour rows in snapshot
+        order; the SEC goes through the memoised
+        :func:`~repro.geometry.sec.sec_center_array` and the safe-disk
+        clamp replicates :func:`max_step_within_disks` on plain floats —
+        same formulas, same tolerances, bit-identical destination.
+        """
+        m = perceived.shape[0]
+        if m == 0:
+            return Point.origin()
+        if visibility_range is None:
+            raise ValueError(
+                f"{self.name} requires the visibility range but the snapshot does not carry it"
+            )
+        with_self = np.empty((m + 1, 2), dtype=float)
+        with_self[0] = 0.0
+        with_self[1:] = perceived
+        gx, gy = sec_center_array(with_self)
+        gnorm = math.hypot(gx, gy)
+        if gnorm <= EPS:
+            return Point.origin()
+        if self.max_move is not None and gnorm > self.max_move:
+            gx = (gx / gnorm) * self.max_move
+            gy = (gy / gnorm) * self.max_move
+        dirx, diry = gx - 0.0, gy - 0.0
+        if math.hypot(dirx, diry) <= 1e-12:
+            return Point.origin()
+        t_max = 1.0
+        a = dirx * dirx + diry * diry
+        half = visibility_range / 2.0
+        for px, py in perceived.tolist():
+            cx = (0.0 + px) / 2.0
+            cy = (0.0 + py) / 2.0
+            fx, fy = 0.0 - cx, 0.0 - cy
+            b = 2.0 * (fx * dirx + fy * diry)
+            c = (fx * fx + fy * fy) - half * half
+            if c > 1e-12:
+                return Point.origin()
+            discriminant = b * b - 4.0 * a * c
+            if discriminant < 0.0:
+                discriminant = 0.0
+            t_exit = (-b + discriminant ** 0.5) / (2.0 * a)
+            t_max = min(t_max, max(0.0, t_exit))
+        return Point(0.0 + dirx * t_max, 0.0 + diry * t_max)
 
     def safe_regions(self, snapshot: Snapshot):
         """The per-neighbour safe disks of this activation (for tests/benches)."""

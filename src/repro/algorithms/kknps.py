@@ -35,6 +35,8 @@ import math
 from dataclasses import dataclass
 from typing import List, Optional
 
+import numpy as np
+
 from ..geometry.angles import extreme_directions, fits_in_open_halfplane
 from ..geometry.point import Point
 from ..geometry.tolerances import EPS
@@ -157,6 +159,51 @@ class KKNPSAlgorithm(ConvergenceAlgorithm):
         if len(directions) == 1:
             return directions[0] * radius
 
+        i, j = extreme_directions(directions)
+        center_i = directions[i] * radius
+        center_j = directions[j] * radius
+        return center_i.midpoint(center_j)
+
+    def compute_relative(
+        self, perceived: np.ndarray, visibility_range: float | None = None
+    ) -> Point:
+        """The float-core form of :meth:`compute` for the round fast path.
+
+        ``perceived`` holds the perceived neighbour rows in snapshot
+        order.  The norms are the scalar ``math.hypot`` values a
+        :class:`Snapshot` would cache, the distant threshold uses the raw
+        ``V_Y`` exactly as :meth:`distant_neighbours` does, and
+        :class:`Point` objects are built only for the (typically tiny)
+        distant subset so the direction helpers run verbatim —
+        bit-identical destination, a fraction of the allocation.
+        """
+        rows = perceived.tolist()
+        if not rows:
+            return Point.origin()
+        norms = [math.hypot(px, py) for px, py in rows]
+        v_raw = max(norms)
+        v_y = v_raw
+        if self.distance_error_tolerance > 0.0:
+            v_y = v_raw / (1.0 + self.distance_error_tolerance)
+        if v_y <= EPS:
+            return Point.origin()
+        threshold = self.close_fraction * v_raw
+        distant = [
+            Point(px, py) for (px, py), r in zip(rows, norms) if r > threshold + EPS
+        ]
+        if not distant:
+            farthest = max(range(len(norms)), key=norms.__getitem__)
+            distant = [Point(rows[farthest][0], rows[farthest][1])]
+        directions = [p.unit() for p in distant if p.norm() > EPS]
+        if not directions:
+            return Point.origin()
+        if not fits_in_open_halfplane(directions):
+            return Point.origin()
+        radius = self.effective_radius(v_y)
+        if radius <= EPS:
+            return Point.origin()
+        if len(directions) == 1:
+            return directions[0] * radius
         i, j = extreme_directions(directions)
         center_i = directions[i] * radius
         center_j = directions[j] * radius

@@ -42,6 +42,7 @@ The required configuration attributes (duck-typed; satisfied by
 
 from __future__ import annotations
 
+import dataclasses
 import heapq
 import math
 import time as _time
@@ -50,10 +51,11 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from ..geometry.tolerances import EPS
 from ..model.robot import PHASE_MOVING
 from ..model.types import Activation, ActivationRecord
 from ..schedulers.base import Scheduler
-from .spatial_index import UniformGridIndex, grid_auto_threshold
+from .spatial_index import ShardedGridIndex, UniformGridIndex, grid_auto_threshold
 from .state import EngineState
 
 
@@ -119,7 +121,11 @@ class ContinuousKernel:
         self._time = 0.0
         self._pending: List[tuple] = []
         self._sequence = 0
-        self._grid = self._build_grid()
+        self._round_batching = self._round_batching_enabled()
+        # The batched round path rebuilds a sharded grid per round from the
+        # committed positions, so the incrementally maintained index would
+        # only be dead weight there.
+        self._grid = None if self._round_batching else self._build_grid()
 
     # -- EngineView protocol --------------------------------------------------------
     @property
@@ -225,6 +231,173 @@ class ContinuousKernel:
             grid.settle(i, *committed[i])
         return grid
 
+    # -- batched round fast path ---------------------------------------------------------
+    def _round_batching_enabled(self) -> bool:
+        """Whether whole scheduler batches may be advanced as single rounds.
+
+        ``config.round_batching`` (duck-typed, default None) forces the
+        answer either way; on auto, the fast path engages exactly when the
+        array engine runs under a scheduler that declares itself
+        round-structured (``round_structured = True`` — fsync, ssync and
+        the 3D round adapter).  Every batch is still *validated* before
+        being consumed as a round (:meth:`_validated_round`), so a forced
+        or misdeclared scheduler degrades to the per-activation reference
+        path rather than corrupting the run.
+        """
+        setting = getattr(self.config, "round_batching", None)
+        if setting is False:
+            return False
+        if getattr(self.config, "engine_mode", "array") != "array":
+            return False
+        if setting is None:
+            return bool(getattr(self.scheduler, "round_structured", False))
+        return True
+
+    def _round_shard(self, committed: np.ndarray) -> Optional[ShardedGridIndex]:
+        """The per-round sharded candidate index, or None for dense Looks.
+
+        Mirrors :meth:`_build_grid`'s enablement rule (same thresholds,
+        same ``spatial_index`` override, same cell size) but bins the
+        round's committed positions in one vectorized pass instead of
+        maintaining buckets per activation.
+        """
+        cfg = self.config
+        effective = self._effective_range()
+        feasible = math.isfinite(effective) and effective > 0.0
+        if cfg.spatial_index is not None:
+            enabled = cfg.spatial_index and feasible
+        else:
+            enabled = feasible and self.n_robots >= grid_auto_threshold(self.dim)
+        if not enabled:
+            return None
+        return ShardedGridIndex(committed, effective + 2.0 * EPS)
+
+    def _round_decider(self, look_time: float, committed: np.ndarray, shard):
+        """Per-robot decide callable for one validated round (overridable).
+
+        The base form routes through :meth:`_decide_move` unchanged — the
+        candidate rows are the committed positions themselves (every robot
+        of a validated round is idle at its committed position at the
+        round's look instant), gathered through the shard's block-local
+        candidate arrays when one is active.  The shard's candidate set
+        includes the observer, which every Look filter drops at distance
+        zero exactly as the dense path drops coincident robots.
+        """
+
+        def decide(robot_id: int, activation: Activation) -> MoveDecision:
+            if shard is not None:
+                other = committed[shard.candidates(robot_id)]
+            else:
+                other = np.delete(committed, robot_id, axis=0)
+            return self._decide_move(robot_id, look_time, other, activation)
+
+        return decide
+
+    def _validated_round(self) -> Optional[List[tuple]]:
+        """The pending heap as one consumable round, or None to fall back.
+
+        A batch qualifies when every entry shares one look time within the
+        horizon, ends strictly after it (a zero-duration move would make
+        the shared committed snapshot stale mid-round), and activates a
+        distinct robot.  Qualifying batches are removed from the heap;
+        anything else is left untouched for the per-activation path.
+        """
+        pending = self._pending
+        if not pending:
+            return None
+        entries = sorted(pending)
+        look_time = entries[0][0]
+        if entries[-1][0] != look_time or look_time > self.config.max_time:
+            return None
+        seen = set()
+        for _, _, activation in entries:
+            if activation.end_time <= look_time:
+                return None
+            robot_id = activation.robot_id
+            if robot_id in seen:
+                return None
+            seen.add(robot_id)
+        self._time = look_time
+        self._finalize_completed_moves(look_time)
+        arrays = self._state.arrays
+        if bool(np.any(arrays.phase == PHASE_MOVING)):
+            # Some robot is still mid-move at the shared look time, so the
+            # committed array is not what this round's Looks would see.  A
+            # mid-move *batch* robot means a scheduler bug — the heap is
+            # left intact so the per-activation path raises its RuntimeError
+            # with full context; a mid-move bystander (possible only under a
+            # forced ``round_batching=True`` on a non-round scheduler) is
+            # handled by the per-activation path's interpolated Look.
+            return None
+        pending.clear()
+        return entries
+
+    def _process_round(
+        self,
+        entries: List[tuple],
+        metrics,
+        recorder,
+        records: List[ActivationRecord],
+        activation_end_times: Dict[int, List[float]],
+        processed: int,
+        popped: int,
+        converged_time: Optional[float],
+    ):
+        """Advance one validated round; returns updated loop state.
+
+        Per-activation work shrinks to the decide itself: moves are
+        finalized once per round (already done by validation), Looks read
+        the shared committed rows, and every record boundary inside the
+        round sees identical geometry — so the first boundary's sample is
+        computed once and replicated (``activations_processed`` aside) for
+        the rest when the collector declares that safe.
+        """
+        cfg = self.config
+        arrays = self._state.arrays
+        look_time = entries[0][0]
+        committed = arrays.position
+        decide = self._round_decider(look_time, committed, self._round_shard(committed))
+        replicate = getattr(metrics, "supports_replicated_samples", False)
+        round_sample = None
+        stop = False
+        for _, _, activation in entries:
+            if processed >= cfg.max_activations or popped >= 100 * cfg.max_activations:
+                break
+            popped += 1
+            robot_id = activation.robot_id
+            if arrays.crashed[robot_id]:
+                continue
+            arrays.begin_activation_at(robot_id, look_time)
+            decision = decide(robot_id, activation)
+            origin_row = arrays.position[robot_id].copy()
+            arrays.begin_move_at(
+                robot_id, origin_row, decision.realized,
+                activation.move_start_time, activation.end_time,
+            )
+            activation_end_times[robot_id].append(activation.end_time)
+            record = self._make_record(activation, origin_row, decision)
+            if record is not None:
+                records.append(record)
+            processed += 1
+            if processed % cfg.record_every == 0:
+                if round_sample is not None:
+                    sample = dataclasses.replace(
+                        round_sample, activations_processed=processed
+                    )
+                    metrics.samples.append(sample)
+                else:
+                    sample = metrics.observe(look_time, committed, processed)
+                    if replicate:
+                        round_sample = sample
+                if recorder is not None:
+                    recorder.record_all(look_time, committed)
+                if converged_time is None and sample.hull_diameter <= cfg.convergence_epsilon:
+                    converged_time = look_time
+                    if cfg.stop_at_convergence:
+                        stop = True
+                        break
+        return processed, popped, converged_time, stop
+
     def _push(self, activation: Activation) -> None:
         heapq.heappush(self._pending, (activation.look_time, self._sequence, activation))
         self._sequence += 1
@@ -302,6 +475,16 @@ class ContinuousKernel:
         while processed < cfg.max_activations and popped < 100 * cfg.max_activations:
             if not self._pending and not self._refill():
                 break
+            if self._round_batching:
+                entries = self._validated_round()
+                if entries is not None:
+                    processed, popped, converged_time, stop = self._process_round(
+                        entries, metrics, recorder, records, activation_end_times,
+                        processed, popped, converged_time,
+                    )
+                    if stop:
+                        break
+                    continue
             look_time, _, activation = heapq.heappop(self._pending)
             popped += 1
             if look_time > cfg.max_time:

@@ -20,6 +20,47 @@ from ..geometry.point import PointLike, points_to_array
 from ..geometry.sec import smallest_enclosing_circle
 from ..geometry.tolerances import EPS
 from ..model.visibility import Edge, visibility_edges
+from .spatial_index import ShardedGridIndex
+
+#: Above this many robots the collector switches from the dense
+#: ``(n, n)`` squared-distance matrix to grid-local pair enumeration (the
+#: dense matrix at 10^5 robots would be 80 GB); the extreme distances it
+#: reports are bit-identical either way.
+METRICS_DENSE_MAX = 2048
+
+
+def min_pairwise_distance_grid(arr: np.ndarray, initial_cell: float) -> float:
+    """Minimum pairwise distance via grid-local pairs, exact at any scale.
+
+    :meth:`ShardedGridIndex.neighbour_pairs` covers every pair at
+    distance at most the cell size, so a found minimum no larger than the
+    cell size is the true global minimum (any uncovered pair is farther
+    than the cell size); otherwise the cell size doubles and the search
+    reruns.  The per-pair arithmetic (``dx*dx + dy*dy``, one square root
+    after the reduction) matches the dense matrix path, so the returned
+    float is bit-identical to ``sqrt(squared_distance_matrix(arr).min())``.
+    """
+    if len(arr) < 2:
+        return 0.0
+    # Components squared and summed left to right, exactly like the dense
+    # matrix builders in any dimension.
+    columns = [np.ascontiguousarray(arr[:, axis]) for axis in range(arr.shape[1])]
+    cell = initial_cell
+    if not math.isfinite(cell) or cell <= 0.0:
+        cell = 1.0
+    while True:
+        shard = ShardedGridIndex(arr, cell)
+        i, j = shard.neighbour_pairs()
+        if len(i):
+            squared = None
+            for column in columns:
+                delta = column[i] - column[j]
+                term = delta * delta
+                squared = term if squared is None else squared + term
+            best = float(math.sqrt(squared.min()))
+            if best <= cell:
+                return best
+        cell *= 2.0
 
 
 @dataclass(frozen=True)
@@ -49,13 +90,43 @@ class MetricsCollector:
     samples: List[MetricsSample] = field(default_factory=list)
     cohesion_ever_violated: bool = False
 
+    #: Samples taken at distinct record boundaries of one synchronous
+    #: round see identical geometry; the kernel's batched round path may
+    #: therefore compute one sample and replicate it (adjusting only
+    #: ``activations_processed``) instead of re-observing.  A subclass
+    #: whose ``observe`` carries extra per-call state should set this
+    #: False to force one observe per boundary.
+    supports_replicated_samples = True
+
     def bind_initial(self, positions: Sequence[PointLike]) -> None:
         """Record the initial visibility edges the cohesion predicate refers to.
 
         The edge set is also cached as a ``(|E|, 2)`` index array so every
         subsequent observation checks cohesion with one fancy-indexed
-        gather instead of rebuilding an edge list.
+        gather instead of rebuilding an edge list.  Past
+        ``METRICS_DENSE_MAX`` robots the edges are enumerated grid-locally
+        (same ``<= V + EPS`` predicate on the same per-pair floats) and
+        only the index arrays are materialised: ``initial_edges`` stays
+        empty at that scale, as an ``initial_edges`` set with tens of
+        millions of tuples would dwarf the simulation state itself.
         """
+        arr = points_to_array(positions)
+        if len(arr) > METRICS_DENSE_MAX:
+            effective = self.visibility_range
+            if math.isfinite(effective) and effective > 0.0:
+                shard = ShardedGridIndex(arr, effective + 2.0 * EPS)
+                i, j = shard.neighbour_pairs()
+                x = np.ascontiguousarray(arr[:, 0])
+                y = np.ascontiguousarray(arr[:, 1])
+                dx = x[i] - x[j]
+                dy = y[i] - y[j]
+                keep = np.sqrt(dx * dx + dy * dy) <= effective + EPS
+                i, j = i[keep], j[keep]
+                order = np.lexsort((j, i))
+                self.initial_edges = set()
+                self._edge_i = np.ascontiguousarray(i[order])
+                self._edge_j = np.ascontiguousarray(j[order])
+                return
         self.initial_edges = visibility_edges(positions, self.visibility_range)
         self._build_edge_index()
 
@@ -90,7 +161,19 @@ class MetricsCollector:
         arr = points_to_array(positions)
         n = len(arr)
         hull = ConvexHull.of_array(arr)
-        if n >= 2:
+        if n > METRICS_DENSE_MAX:
+            # The diameter of a point set is attained between two hull
+            # vertices, so the quadratic scan only needs the (tiny) hull;
+            # the minimum separation comes from grid-local pairs.  Both
+            # reductions apply the dense path's per-pair arithmetic to the
+            # extreme pair, so the reported floats are bit-identical.
+            hull_arr = points_to_array(hull.vertices)
+            hx = hull_arr[:, 0, None] - hull_arr[None, :, 0]
+            hy = hull_arr[:, 1, None] - hull_arr[None, :, 1]
+            diameter = float(math.sqrt((hx * hx + hy * hy).max()))
+            min_pairwise = min_pairwise_distance_grid(arr, self.visibility_range)
+            broken_count = self._broken_edge_count(arr)
+        elif n >= 2:
             sq = self._squared_matrix(arr)
             diameter = float(math.sqrt(sq.max()))
             np.fill_diagonal(sq, math.inf)

@@ -31,11 +31,12 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from ..geometry.point import Point, PointLike
+from ..geometry.tolerances import EPS
 from ..geometry.transforms import LocalFrame, random_frame
 from ..model.configuration import Configuration
 from ..model.errors import MotionModel, PerceptionModel
 from ..model.robot import Robot
-from ..model.snapshot import build_snapshot
+from ..model.snapshot import _collapse_coincident_array, build_snapshot
 from ..model.types import Activation, ActivationRecord
 from ..algorithms.base import ConvergenceAlgorithm
 from ..schedulers.base import Scheduler
@@ -68,6 +69,10 @@ class SimulationConfig:
     crashed_robots: tuple = ()
     engine_mode: str = "array"
     spatial_index: Optional[bool] = None
+    #: Batched round fast path: None auto-enables it for round-structured
+    #: schedulers on the array engine, True forces the attempt (each batch
+    #: is still validated), False always uses the per-activation path.
+    round_batching: Optional[bool] = None
 
     def __post_init__(self) -> None:
         if self.visibility_range <= 0.0:
@@ -221,6 +226,74 @@ class Simulator(ContinuousKernel):
             neighbours_seen=snapshot.neighbour_count(),
             payload=(target_global, realized),
         )
+
+    def _round_decider(self, look_time: float, committed: np.ndarray, shard):
+        """Snapshot-free decide for one validated round (the 2D fast tier).
+
+        Replicates the :func:`build_snapshot` array pipeline inline on the
+        round's committed rows — same subtraction, same ``np.hypot``
+        filter, same coincidence collapse, frame, perception and motion
+        calls in the same RNG order — but skips the Snapshot object and
+        hands the perceived array straight to the algorithm's
+        ``compute_relative`` float core.  Anything the fast tier cannot
+        replicate exactly (object mode, multiplicity detection, an
+        algorithm without ``compute_relative``) falls back to the Tier A
+        decider, which routes through :meth:`_decide_move` unchanged.
+        """
+        cfg = self.config
+        algorithm = self.algorithm
+        if (
+            cfg.engine_mode != "array"
+            or cfg.multiplicity_detection
+            or not hasattr(algorithm, "compute_relative")
+        ):
+            return super()._round_decider(look_time, committed, shard)
+        perception = cfg.perception
+        motion = cfg.motion
+        rng = self.rng
+        limit = self._effective_range() + EPS
+        reveal = self._effective_range() if self._reveal_range() else None
+        empty = np.zeros((0, 2), dtype=float)
+
+        def decide(robot_id: int, activation: Activation) -> MoveDecision:
+            if shard is not None:
+                arr = committed[shard.candidates(robot_id)]
+            else:
+                arr = np.delete(committed, robot_id, axis=0)
+            frame = self._frame_for_look()
+            row = committed[robot_id]
+            if len(arr):
+                observer = np.array((float(row[0]), float(row[1])), dtype=float)
+                relative = arr - observer
+                distance = np.hypot(relative[:, 0], relative[:, 1])
+                keep = (distance > 1e-12) & (distance <= limit)
+                visible = relative[keep]
+            else:
+                visible = empty
+            collapsed, _ = _collapse_coincident_array(visible, 1e-12)
+            local = frame.to_local_array(collapsed) if frame is not None else collapsed
+            perceived = perception.perceive_array(local, rng)
+            destination_local = algorithm.compute_relative(
+                perceived, visibility_range=reveal
+            )
+            displacement = (
+                frame.to_global(destination_local)
+                if frame is not None
+                else Point.of(destination_local)
+            )
+            position = Point(float(row[0]), float(row[1]))
+            target_global = position + displacement
+            realized = motion.realize(
+                position, target_global, activation.progress_fraction, rng
+            )
+            return MoveDecision(
+                target=np.array((target_global.x, target_global.y), dtype=float),
+                realized=np.array((realized.x, realized.y), dtype=float),
+                neighbours_seen=len(collapsed),
+                payload=(target_global, realized),
+            )
+
+        return decide
 
     def _make_record(
         self, activation: Activation, origin_row: np.ndarray, decision: MoveDecision

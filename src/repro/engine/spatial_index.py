@@ -179,3 +179,187 @@ class UniformGridIndex:
 
     def __len__(self) -> int:
         return len(self._keys)
+
+
+# Side length of a sharded-grid block, in cells.  Two cells per axis keeps
+# a block's 3^d-adjacent candidate array within one cache-sized chunk for
+# the densities the mega-swarm workloads produce (a handful of robots per
+# cell) while still amortizing the candidate-array build over all robots
+# of the block.
+BLOCK_CELLS = 2
+
+
+class ShardedGridIndex:
+    """A batch-built uniform grid sharded into contiguous cell blocks.
+
+    :class:`UniformGridIndex` is incremental: robots settle and begin
+    moves one at a time, and every Look pays a 3^d dict-bucket union.
+    The round fast path has no use for that — all robots of a round Look
+    at the *same* committed positions — so this index is built in one
+    vectorized pass over the ``(n, d)`` committed array and queried
+    through *block-local candidate arrays* in the PANDA style: cells are
+    grouped into contiguous ``BLOCK_CELLS``-wide blocks, every robot of a
+    block shares one lazily built candidate array (the members of the
+    3^d adjacent blocks, ascending), and query batches therefore touch
+    cache-sized chunks instead of per-robot set unions.
+
+    Exactness: a robot in block ``b`` occupies cells in
+    ``[2b, 2b + 1]`` per axis, so the 3^1 cell window of any of its cells
+    lies within ``[2b - 1, 2b + 2]`` — covered by blocks ``b - 1 .. b + 1``.
+    The 3^d adjacent *blocks* therefore contain every robot within
+    ``cell_size`` of any member, and the caller's exact distance filter
+    (which also drops the member itself at distance zero) does the rest.
+
+    The ``(runs, n, d)`` replicate-batching mode (:meth:`from_replicates`)
+    bins many same-shape replicates in the *same* vectorized pass with
+    run-isolated block keys, so sweeps of many seeds over one workload
+    amortize the binning into a single tensor step.
+    """
+
+    __slots__ = (
+        "cell_size",
+        "dim",
+        "n",
+        "runs",
+        "_slot_of_robot",
+        "_members",
+        "_coords",
+        "_span",
+        "_key_to_slot",
+        "_candidate_cache",
+    )
+
+    def __init__(
+        self,
+        positions: np.ndarray,
+        cell_size: float,
+        *,
+        run_ids: Optional[np.ndarray] = None,
+        runs: int = 1,
+    ) -> None:
+        arr = np.asarray(positions, dtype=float)
+        if arr.ndim != 2:
+            raise ValueError("positions must be an (n, d) array")
+        if not math.isfinite(cell_size) or cell_size <= 0.0:
+            raise ValueError("sharded grid needs a positive, finite cell size")
+        self.cell_size = float(cell_size)
+        self.dim = int(arr.shape[1])
+        self.n = int(arr.shape[0])
+        self.runs = int(runs)
+        if self.n == 0:
+            self._slot_of_robot = np.empty(0, dtype=np.intp)
+            self._members: List[np.ndarray] = []
+            self._coords = np.empty((0, self.dim + 1), dtype=np.int64)
+            self._span = np.ones(self.dim, dtype=np.int64)
+            self._key_to_slot: Dict[int, int] = {}
+            self._candidate_cache: Dict[int, np.ndarray] = {}
+            return
+        cells = np.floor(arr / self.cell_size).astype(np.int64)
+        blocks = (cells - cells.min(axis=0)) // BLOCK_CELLS
+        span = blocks.max(axis=0) + 1
+        if run_ids is None:
+            key = np.zeros(self.n, dtype=np.int64)
+        else:
+            key = np.asarray(run_ids, dtype=np.int64).copy()
+        for axis in range(self.dim):
+            key = key * span[axis] + blocks[:, axis]
+        order = np.argsort(key, kind="stable")
+        sorted_keys = key[order]
+        uniq, starts = np.unique(sorted_keys, return_index=True)
+        bounds = np.append(starts, self.n)
+        members = [order[bounds[s] : bounds[s + 1]] for s in range(len(uniq))]
+        # Stable sort over ascending robot ids keeps each block's member
+        # array ascending, which the candidate arrays inherit.
+        self._members = members
+        self._key_to_slot = {int(k): s for s, k in enumerate(uniq)}
+        slot_of_robot = np.empty(self.n, dtype=np.intp)
+        for s, m in enumerate(members):
+            slot_of_robot[m] = s
+        self._slot_of_robot = slot_of_robot
+        first = order[starts]
+        coords = np.empty((len(uniq), self.dim + 1), dtype=np.int64)
+        coords[:, 0] = 0 if run_ids is None else np.asarray(run_ids, dtype=np.int64)[first]
+        coords[:, 1:] = blocks[first]
+        self._coords = coords
+        self._span = span
+        self._candidate_cache = {}
+
+    @classmethod
+    def from_replicates(cls, positions: np.ndarray, cell_size: float) -> "ShardedGridIndex":
+        """Bin a ``(runs, n, d)`` replicate tensor in one vectorized pass.
+
+        Robots are addressed by their *flat* index ``run * n + i``; block
+        keys carry the run id, so candidate arrays and neighbour pairs
+        never cross replicate boundaries even when two runs' positions
+        coincide spatially.
+        """
+        arr = np.asarray(positions, dtype=float)
+        if arr.ndim != 3:
+            raise ValueError("replicate positions must be a (runs, n, d) tensor")
+        runs, n, dim = arr.shape
+        flat = arr.reshape(runs * n, dim)
+        run_ids = np.repeat(np.arange(runs, dtype=np.int64), n)
+        return cls(flat, cell_size, run_ids=run_ids, runs=runs)
+
+    @property
+    def n_blocks(self) -> int:
+        """Number of non-empty blocks (for tests and the docs tables)."""
+        return len(self._members)
+
+    def _candidates_for_slot(self, slot: int) -> np.ndarray:
+        cached = self._candidate_cache.get(slot)
+        if cached is not None:
+            return cached
+        run = int(self._coords[slot, 0])
+        center = tuple(int(c) for c in self._coords[slot, 1:])
+        parts: List[np.ndarray] = []
+        key_to_slot = self._key_to_slot
+        span = self._span
+        for offset in itertools.product((-1, 0, 1), repeat=self.dim):
+            coords = tuple(c + o for c, o in zip(center, offset))
+            if any(c < 0 or c >= span[axis] for axis, c in enumerate(coords)):
+                continue
+            key = run
+            for axis in range(self.dim):
+                key = key * int(span[axis]) + coords[axis]
+            neighbour = key_to_slot.get(key)
+            if neighbour is not None:
+                parts.append(self._members[neighbour])
+        out = np.sort(np.concatenate(parts))
+        self._candidate_cache[slot] = out
+        return out
+
+    def candidates(self, robot_id: int) -> np.ndarray:
+        """Ascending ids of every robot in the 3^d blocks around ``robot_id``.
+
+        A superset of all robots within ``cell_size`` — *including the
+        robot itself*, which the caller's coincidence filter drops at
+        distance zero (the round fast path filters exactly as the dense
+        snapshot build does).
+        """
+        return self._candidates_for_slot(int(self._slot_of_robot[robot_id]))
+
+    def neighbour_pairs(self) -> Tuple[np.ndarray, np.ndarray]:
+        """All grid-local pairs ``(i, j)`` with ``i < j``, each exactly once.
+
+        Covers every pair at distance ``<= cell_size`` (a pair that close
+        differs by at most one cell — hence at most one block — per
+        axis); a pair is emitted only from the smaller member's block, so
+        nothing is double-counted.  Callers computing a minimum must
+        verify the found minimum is ``<= cell_size`` and rebuild with a
+        doubled cell size otherwise (see
+        :func:`repro.engine.metrics.min_pairwise_distance_grid`).
+        """
+        lefts: List[np.ndarray] = []
+        rights: List[np.ndarray] = []
+        for slot, members in enumerate(self._members):
+            cand = self._candidates_for_slot(slot)
+            i = np.repeat(members, len(cand))
+            j = np.tile(cand, len(members))
+            keep = j > i
+            lefts.append(i[keep])
+            rights.append(j[keep])
+        if not lefts:
+            empty = np.empty(0, dtype=np.intp)
+            return empty, empty
+        return np.concatenate(lefts), np.concatenate(rights)

@@ -117,10 +117,13 @@ def fits_in_open_halfplane(directions: Sequence[PointLike]) -> bool:
     when its distant neighbours do **not** fit in such a half-plane (the
     intersection of their safe regions is then the robot's own location).
     """
-    dirs = [Point.of(d) for d in directions if Point.of(d).norm() > EPS]
-    if not dirs:
+    angles = []
+    for d in directions:
+        p = Point.of(d)
+        if p.norm() > EPS:
+            angles.append(p.angle())
+    if not angles:
         return False
-    angles = [d.angle() for d in dirs]
     gap, _, _ = max_angular_gap(angles)
     return gap > math.pi + EPS
 

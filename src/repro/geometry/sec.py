@@ -161,6 +161,125 @@ def sec_center(points: Sequence[PointLike], *, seed: Optional[int] = 0) -> Point
     return smallest_enclosing_circle(points, seed=seed).center
 
 
+# Memo of SEC solutions keyed by the exact bytes of the input array: one
+# entry per distinct neighbourhood, storing the centre plus the (up to
+# three) support-point indices that define it.  A robot whose visibility
+# set did not move between rounds re-hits its entry, so the re-check is a
+# hash of the bytes rather than a Welzl run.  Bounded FIFO so mega-swarm
+# sweeps cannot grow it without limit.
+_SEC_CACHE: dict = {}
+_SEC_CACHE_MAX = 4096
+
+
+def _welzl_float_core(xs: list, ys: list, xs_arr: np.ndarray, ys_arr: np.ndarray):
+    """Welzl's loops on plain floats with a vectorized violator scan.
+
+    Control flow is *identical* to :func:`smallest_enclosing_circle`: the
+    acceptance test per point has no side effects, so skipping a run of
+    accepted points in one ``np.hypot`` sweep — with every surviving
+    candidate re-confirmed by the scalar ``math.hypot`` test in index
+    order — visits exactly the same violators with exactly the same
+    candidate disks.  The prefilter margin ``(1 - 1e-12)`` is orders of
+    magnitude wider than the one-ulp disagreement between ``np.hypot``
+    and ``math.hypot``, so no true violator can slip past it.  Returns
+    ``(cx, cy, r, support)`` with ``support`` the indices (into the given
+    order) of the points the final disk was built from.
+    """
+    m = len(xs)
+    disk = None
+    support: tuple = ()
+    i = 0
+    while i < m:
+        if disk is not None:
+            cx, cy, cr = disk
+            tol = cr + 1e-7 * max(1.0, cr)
+            approx = np.hypot(xs_arr[i:] - cx, ys_arr[i:] - cy)
+            nxt = None
+            for c in np.flatnonzero(approx > tol * (1.0 - 1e-12)):
+                idx = i + int(c)
+                if math.hypot(xs[idx] - cx, ys[idx] - cy) > tol:
+                    nxt = idx
+                    break
+            if nxt is None:
+                break
+            i = nxt
+        px, py = xs[i], ys[i]
+        disk = (px, py, 0.0)
+        support = (i,)
+        for j in range(i):
+            qx, qy = xs[j], ys[j]
+            cx, cy, cr = disk
+            if math.hypot(qx - cx, qy - cy) <= cr + 1e-7 * max(1.0, cr):
+                continue
+            disk = _float_two(px, py, qx, qy)
+            support = (i, j)
+            for k in range(j):
+                rx, ry = xs[k], ys[k]
+                cx, cy, cr = disk
+                if math.hypot(rx - cx, ry - cy) <= cr + 1e-7 * max(1.0, cr):
+                    continue
+                candidate = _float_trivial(px, py, qx, qy, rx, ry)
+                if candidate is None:
+                    # Collinear triple: fall back to the diametral pair.
+                    triple = ((px, py), (qx, qy), (rx, ry))
+                    far_pair = max(
+                        ((a, b) for a in triple for b in triple),
+                        key=lambda ab: math.hypot(ab[0][0] - ab[1][0], ab[0][1] - ab[1][1]),
+                    )
+                    (fax, fay), (fbx, fby) = far_pair
+                    candidate = _float_two(fax, fay, fbx, fby)
+                disk = candidate
+                support = (i, j, k)
+        i += 1
+    assert disk is not None
+    return disk[0], disk[1], disk[2], support
+
+
+def sec_center_array(arr: np.ndarray, *, seed: Optional[int] = 0):
+    """Centre of the SEC of the ``(m, 2)`` rows of ``arr``, as two floats.
+
+    The float-core fast form of :func:`sec_center`: same seeded shuffle,
+    same tolerances, same inner loops, bit-identical result — without
+    building any :class:`~repro.geometry.point.Point` or
+    :class:`~repro.geometry.disk.Disk`, and memoised on the exact bytes
+    of the input so unchanged neighbourhoods cost a hash lookup.
+    """
+    a = np.ascontiguousarray(arr, dtype=float)
+    if a.ndim != 2 or a.shape[1] != 2 or a.shape[0] == 0:
+        raise ValueError("sec_center_array needs a non-empty (m, 2) array")
+    key = (a.shape[0], seed, a.tobytes())
+    hit = _SEC_CACHE.get(key)
+    if hit is not None:
+        return hit[0], hit[1]
+    m = a.shape[0]
+    if seed is not None and m > 3:
+        a = a[list(_seeded_order(m, seed))]
+    xs_arr = np.ascontiguousarray(a[:, 0])
+    ys_arr = np.ascontiguousarray(a[:, 1])
+    cx, cy, _r, support = _welzl_float_core(
+        xs_arr.tolist(), ys_arr.tolist(), xs_arr, ys_arr
+    )
+    if len(_SEC_CACHE) >= _SEC_CACHE_MAX:
+        _SEC_CACHE.pop(next(iter(_SEC_CACHE)))
+    _SEC_CACHE[key] = (cx, cy, support)
+    return cx, cy
+
+
+def sec_centers(batches: Sequence[np.ndarray], *, seed: Optional[int] = 0) -> np.ndarray:
+    """SEC centres for a round's visibility sets, as a ``(k, 2)`` array.
+
+    One call per round from the batched Ando path: each entry of
+    ``batches`` is one robot's ``(m_i, 2)`` local point set (self plus
+    perceived neighbours).  Per-set solves go through the memo, so robots
+    whose neighbourhood bytes did not change since the previous round are
+    O(1) re-checks.
+    """
+    out = np.empty((len(batches), 2), dtype=float)
+    for row, batch in enumerate(batches):
+        out[row] = sec_center_array(batch, seed=seed)
+    return out
+
+
 def sec_radius(points: Sequence[PointLike], *, seed: Optional[int] = 0) -> float:
     """Radius of the smallest enclosing circle of ``points``."""
     return smallest_enclosing_circle(points, seed=seed).radius

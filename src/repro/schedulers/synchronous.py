@@ -20,6 +20,9 @@ class FSyncScheduler(Scheduler):
     """Every robot is activated in every round."""
 
     scheduler_class = SchedulerClass.FSYNC
+    #: Every batch is one simultaneous round: the kernel may advance it
+    #: through the batched fast path.
+    round_structured = True
 
     def __init__(self, *, move_duration: float = 0.5) -> None:
         super().__init__()
@@ -59,6 +62,9 @@ class SSyncScheduler(Scheduler):
     """
 
     scheduler_class = SchedulerClass.SSYNC
+    #: Every batch is one simultaneous round: the kernel may advance it
+    #: through the batched fast path.
+    round_structured = True
 
     def __init__(
         self,
@@ -86,11 +92,14 @@ class SSyncScheduler(Scheduler):
 
     def next_batch(self, view: Optional[EngineView] = None) -> List[Activation]:
         """The activated subset for the next round (never empty)."""
+        # One vectorized draw per round; the Generator's double stream is
+        # identical whether consumed as n scalars or one size-n request,
+        # so this is bit-for-bit the per-robot formulation.
+        draws = self._rng.random(self.n_robots)
         chosen = [
             i
             for i in range(self.n_robots)
-            if self._rng.random() < self.activation_probability
-            or self._lag[i] >= self.max_lag
+            if draws[i] < self.activation_probability or self._lag[i] >= self.max_lag
         ]
         if not chosen:
             chosen = [int(self._rng.integers(0, self.n_robots))]

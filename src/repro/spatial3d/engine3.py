@@ -236,6 +236,9 @@ class Round3Scheduler(Scheduler):
     """
 
     scheduler_class = SchedulerClass.SSYNC
+    #: Every batch is one simultaneous round: the kernel may advance it
+    #: through the batched fast path.
+    round_structured = True
 
     def __init__(
         self,

@@ -27,6 +27,8 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from ..engine.kernel import ContinuousKernel, MoveDecision
+from ..engine.metrics import METRICS_DENSE_MAX, min_pairwise_distance_grid
+from ..engine.spatial_index import ShardedGridIndex
 from ..engine.state import EngineState
 from ..geometry.tolerances import EPS
 from ..model.errors import MotionModel, PerceptionModel
@@ -74,6 +76,41 @@ class Metrics3Sample:
         return self.hull_diameter <= epsilon
 
 
+def _diameter3_large(arr: np.ndarray) -> float:
+    """Diameter of a large ``(n, 3)`` point set without the full matrix.
+
+    The diameter is attained between two convex-hull vertices, so the
+    quadratic reduction only runs over the hull (a few hundred points at
+    mega-swarm scale) — the per-pair arithmetic is the dense path's, so
+    the result matches it bit for bit.  Degenerate inputs the hull
+    construction rejects (coplanar mega-swarms) fall back to a
+    row-chunked exact scan that never materialises an ``(n, n)`` block.
+    """
+    try:
+        from scipy.spatial import ConvexHull as _SpatialHull
+        from scipy.spatial import QhullError
+
+        try:
+            vertices = arr[_SpatialHull(arr).vertices]
+        except QhullError:
+            vertices = None
+    except ImportError:  # pragma: no cover - scipy is available in CI
+        vertices = None
+    if vertices is not None:
+        return max_pairwise_distance3_array(vertices)
+    best = 0.0
+    for start in range(0, len(arr), 512):
+        block = arr[start:start + 512]
+        diff = block[:, None, :] - arr[None, :, :]
+        squared = (
+            diff[..., 0] * diff[..., 0]
+            + diff[..., 1] * diff[..., 1]
+            + diff[..., 2] * diff[..., 2]
+        )
+        best = max(best, float(squared.max()))
+    return float(math.sqrt(best))
+
+
 @dataclass
 class Metrics3Collector:
     """Diameter / cohesion samples over ``(n, 3)`` position arrays."""
@@ -82,9 +119,30 @@ class Metrics3Collector:
     samples: List[Metrics3Sample] = field(default_factory=list)
     cohesion_ever_violated: bool = False
 
+    #: Record boundaries inside one synchronous round see identical
+    #: geometry, so the kernel's batched round path may replicate one
+    #: sample per round (see the planar collector for the contract).
+    supports_replicated_samples = True
+
     def bind_initial(self, positions) -> None:
-        """Record the initial visibility edges the cohesion predicate refers to."""
+        """Record the initial visibility edges the cohesion predicate refers to.
+
+        Past ``METRICS_DENSE_MAX`` robots the edges come from grid-local
+        pair enumeration (same ``<= V + EPS`` predicate) and only the
+        ``(E, 2)`` index array is materialised; ``initial_edges`` stays
+        empty at that scale.
+        """
         arr = np.asarray(positions, dtype=float)
+        if len(arr) > METRICS_DENSE_MAX:
+            shard = ShardedGridIndex(arr, self.visibility_range + 2.0 * EPS)
+            i, j = shard.neighbour_pairs()
+            index = np.stack((i, j), axis=1)
+            lengths = edge_lengths3_array(index, arr)
+            index = index[lengths <= self.visibility_range + EPS]
+            order = np.lexsort((index[:, 1], index[:, 0]))
+            self.initial_edges = set()
+            self._edge_index = np.ascontiguousarray(index[order])
+            return
         self.initial_edges = visibility_edges3(arr, self.visibility_range)
         self._edge_index = edge_index_array(self.initial_edges)
 
@@ -99,10 +157,16 @@ class Metrics3Collector:
             broken = 0
         if broken:
             self.cohesion_ever_violated = True
+        if len(arr) > METRICS_DENSE_MAX:
+            diameter = _diameter3_large(arr)
+            min_pairwise = min_pairwise_distance_grid(arr, self.visibility_range)
+        else:
+            diameter = max_pairwise_distance3_array(arr)
+            min_pairwise = min_pairwise_distance3_array(arr)
         sample = Metrics3Sample(
             time=time,
-            hull_diameter=max_pairwise_distance3_array(arr),
-            min_pairwise_distance=min_pairwise_distance3_array(arr),
+            hull_diameter=diameter,
+            min_pairwise_distance=min_pairwise,
             initial_edges_preserved=not broken,
             broken_edge_count=broken,
             activations_processed=activations_processed,
@@ -146,6 +210,10 @@ class AsyncSimulation3Config:
     crashed_robots: tuple = ()
     engine_mode: str = "array"
     spatial_index: Optional[bool] = None
+    #: Batched round fast path: None auto-enables it for round-structured
+    #: schedulers, True forces the attempt (still validated per batch),
+    #: False always uses the per-activation path.
+    round_batching: Optional[bool] = None
 
     def __post_init__(self) -> None:
         if self.visibility_range <= 0.0:

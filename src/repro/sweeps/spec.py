@@ -37,9 +37,9 @@ K_ALGORITHMS = ("kknps", "kknps3")
 #: order and balance by relative cost) but keeping the absolute scale in
 #: seconds makes the hints directly comparable to measured rows.
 COST_HINT_SECONDS = {
-    "2d": 1.79e-05,
-    "3d-round": 7.13e-06,
-    "3d-async": 1.47e-05,
+    "2d": 3.44e-06,
+    "3d-round": 1.25e-06,
+    "3d-async": 1.26e-05,
 }
 
 

@@ -66,3 +66,66 @@ class TestMetricsCollector:
         sample = collector.observe(0.0, SQUARE, 0)
         assert not sample.converged(0.1)
         assert sample.converged(10.0)
+
+
+class TestLargeNMode:
+    """Past METRICS_DENSE_MAX the collector switches to hull-pair diameter
+    and grid-local pairs; the threshold is monkeypatched low so the suite
+    can pin the two modes bit-identical on the same configurations."""
+
+    def _positions(self, seed, n=60):
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        arr = rng.uniform(-3.0, 3.0, size=(n, 2))
+        # Stretch one axis so some initial edges break after a shuffle.
+        return arr
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_large_n_observe_matches_dense(self, seed, monkeypatch):
+        import numpy as np
+
+        arr = self._positions(seed)
+        moved = arr * 1.1
+
+        dense = MetricsCollector(visibility_range=1.5)
+        dense.bind_initial(arr)
+        dense_sample = dense.observe(1.0, moved, 1)
+
+        monkeypatch.setattr("repro.engine.metrics.METRICS_DENSE_MAX", 16)
+        large = MetricsCollector(visibility_range=1.5)
+        large.bind_initial(arr)
+        large_sample = large.observe(1.0, moved, 1)
+
+        assert large_sample == dense_sample  # frozen dataclass: all floats
+        assert large.cohesion_ever_violated == dense.cohesion_ever_violated
+        # The large-n bind keeps only the index arrays, sorted like the
+        # dense edge set.
+        assert large.initial_edges == set()
+        index = np.stack((large._edge_i, large._edge_j), axis=1)
+        assert sorted(map(tuple, index.tolist())) == sorted(dense.initial_edges)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_large_n_observe_matches_dense_3d(self, seed, monkeypatch):
+        import numpy as np
+
+        from repro.spatial3d.kernel3 import Metrics3Collector
+
+        rng = np.random.default_rng(seed)
+        arr = rng.uniform(-2.0, 2.0, size=(50, 3))
+        moved = arr * 1.1
+
+        dense = Metrics3Collector(visibility_range=1.5)
+        dense.bind_initial(arr)
+        dense_sample = dense.observe(1.0, moved, 1)
+
+        monkeypatch.setattr("repro.spatial3d.kernel3.METRICS_DENSE_MAX", 16)
+        large = Metrics3Collector(visibility_range=1.5)
+        large.bind_initial(arr)
+        large_sample = large.observe(1.0, moved, 1)
+
+        assert large_sample == dense_sample
+        assert large.initial_edges == set()
+        assert sorted(map(tuple, large._edge_index.tolist())) == sorted(
+            dense.initial_edges
+        )

@@ -1,0 +1,145 @@
+"""Pins: the batched round fast path is bit-identical to the per-activation path.
+
+The kernel's round fast path (``ContinuousKernel._process_round``) and the
+Simulator's vectorized 2D decider are *performance* paths only — every
+float they produce must equal the per-activation reference exactly, RNG
+draws included.  These pins run the same simulation with
+``round_batching`` on and off and compare full fingerprints: final
+positions, every metrics sample, every activation record, convergence
+and final times.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import AndoAlgorithm, KKNPSAlgorithm
+from repro.engine import SimulationConfig, Simulator, run_simulation
+from repro.model.errors import MotionModel, PerceptionModel
+from repro.schedulers import FSyncScheduler, KAsyncScheduler, SSyncScheduler
+from repro.workloads import random_connected_configuration
+
+
+def _pair(algorithm_factory, scheduler_factory, n=40, seed=11, **config_kw):
+    """Run fast-path and reference simulations of the same scenario."""
+    configuration = random_connected_configuration(n, seed=seed)
+    results = []
+    for round_batching in (None, False):
+        config_kw["round_batching"] = round_batching
+        config_kw.setdefault("seed", seed)
+        config_kw.setdefault("max_activations", 160)
+        config_kw.setdefault("stop_at_convergence", False)
+        results.append(
+            run_simulation(
+                configuration.positions,
+                algorithm_factory(),
+                scheduler_factory(),
+                SimulationConfig(**config_kw),
+            )
+        )
+    return results
+
+
+def _assert_identical(fast, reference):
+    assert tuple(fast.final_configuration.positions) == tuple(
+        reference.final_configuration.positions
+    )
+    assert fast.metrics.samples == reference.metrics.samples
+    assert fast.activations_processed == reference.activations_processed
+    assert fast.convergence_time == reference.convergence_time
+    assert fast.final_time == reference.final_time
+    assert fast.cohesion_maintained == reference.cohesion_maintained
+    assert len(fast.records) == len(reference.records)
+    for a, b in zip(fast.records, reference.records):
+        assert a.destination == b.destination
+        assert a.neighbours_seen == b.neighbours_seen
+
+
+SCHEDULERS = (
+    ("fsync", FSyncScheduler),
+    ("ssync", SSyncScheduler),
+)
+ALGORITHMS = (
+    ("kknps", lambda: KKNPSAlgorithm(k=1)),
+    ("ando", AndoAlgorithm),
+)
+
+
+class TestRoundBatchingPins:
+    @pytest.mark.parametrize("sched_name,scheduler", SCHEDULERS)
+    @pytest.mark.parametrize("algo_name,algorithm", ALGORITHMS)
+    @pytest.mark.parametrize("spatial", [True, False])
+    def test_exact_models(self, sched_name, scheduler, algo_name, algorithm, spatial):
+        fast, reference = _pair(algorithm, scheduler, spatial_index=spatial)
+        _assert_identical(fast, reference)
+
+    @pytest.mark.parametrize("sched_name,scheduler", SCHEDULERS)
+    def test_error_models(self, sched_name, scheduler):
+        """Perception and motion error draw from the same RNG stream."""
+        fast, reference = _pair(
+            lambda: KKNPSAlgorithm(k=1),
+            scheduler,
+            perception=PerceptionModel(distance_error=0.05),
+            motion=MotionModel(xi=0.6, deviation="linear", coefficient=0.05),
+        )
+        _assert_identical(fast, reference)
+
+    def test_no_frames_tier_b(self):
+        """use_random_frames=False exercises the frame-free vectorized decider."""
+        fast, reference = _pair(
+            lambda: KKNPSAlgorithm(k=1), SSyncScheduler, use_random_frames=False
+        )
+        _assert_identical(fast, reference)
+
+    def test_crashes_and_record_every(self):
+        fast, reference = _pair(
+            AndoAlgorithm,
+            SSyncScheduler,
+            crashed_robots=(0, 3, 7),
+            record_every=5,
+        )
+        _assert_identical(fast, reference)
+
+    def test_stop_at_convergence(self):
+        fast, reference = _pair(
+            lambda: KKNPSAlgorithm(k=1),
+            FSyncScheduler,
+            n=12,
+            stop_at_convergence=True,
+            convergence_epsilon=0.3,
+            max_activations=4000,
+        )
+        _assert_identical(fast, reference)
+
+    def test_forced_on_async_scheduler_is_safe(self):
+        """round_batching=True under k-async: per-batch validation rejects
+        batches that are not simultaneous rounds, so the run falls back to
+        the per-activation path and stays bit-identical."""
+        configuration = random_connected_configuration(30, seed=5)
+        results = []
+        for round_batching in (True, False):
+            results.append(
+                run_simulation(
+                    configuration.positions,
+                    KKNPSAlgorithm(k=2),
+                    KAsyncScheduler(k=2),
+                    SimulationConfig(
+                        seed=5,
+                        max_activations=200,
+                        stop_at_convergence=False,
+                        k_bound=2,
+                        round_batching=round_batching,
+                    ),
+                )
+            )
+        _assert_identical(*results)
+
+    def test_object_engine_never_batches(self):
+        configuration = random_connected_configuration(10, seed=0)
+        simulator = Simulator(
+            configuration.positions,
+            KKNPSAlgorithm(k=1),
+            SSyncScheduler(),
+            SimulationConfig(engine_mode="object", round_batching=True),
+        )
+        assert not simulator._round_batching

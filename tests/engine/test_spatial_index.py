@@ -164,19 +164,35 @@ class TestGridExactness:
         configuration = random_connected_configuration(10, seed=0)
         auto = Simulator(
             configuration.positions, KKNPSAlgorithm(k=1), SSyncScheduler(),
-            SimulationConfig(),
+            SimulationConfig(round_batching=False),
         )
         assert auto._grid is None  # small n: dense fallback
         forced = Simulator(
             configuration.positions, KKNPSAlgorithm(k=1), SSyncScheduler(),
-            SimulationConfig(spatial_index=True),
+            SimulationConfig(spatial_index=True, round_batching=False),
         )
         assert forced._grid is not None
         disabled = Simulator(
             configuration.positions, KKNPSAlgorithm(k=1), SSyncScheduler(),
-            SimulationConfig(spatial_index=False),
+            SimulationConfig(spatial_index=False, round_batching=False),
         )
         assert disabled._grid is None
+
+    def test_round_batching_replaces_incremental_grid(self):
+        # Under a round-structured scheduler the batched fast path owns
+        # spatial lookups (a sharded grid per round), so the incremental
+        # index is skipped; per-activation schedulers still build it.
+        configuration = random_connected_configuration(10, seed=0)
+        batched = Simulator(
+            configuration.positions, KKNPSAlgorithm(k=1), SSyncScheduler(),
+            SimulationConfig(spatial_index=True),
+        )
+        assert batched._round_batching and batched._grid is None
+        asynchronous = Simulator(
+            configuration.positions, KKNPSAlgorithm(k=2), KAsyncScheduler(k=2),
+            SimulationConfig(spatial_index=True),
+        )
+        assert not asynchronous._round_batching and asynchronous._grid is not None
 
     def test_unlimited_visibility_forces_dense(self):
         from repro.algorithms import CenterOfGravityAlgorithm
@@ -239,3 +255,92 @@ class TestGrid3D:
             for other in range(n):
                 if other != observer and distances[other] <= v + 1e-9:
                     assert other in candidates
+
+
+class TestShardedGridIndex:
+    """The batch-built block-sharded grid: exactness and replicate isolation."""
+
+    @pytest.mark.parametrize("dim", [2, 3])
+    @pytest.mark.parametrize("seed", range(4))
+    def test_candidates_cover_all_within_cell_size(self, dim, seed):
+        from repro.engine.spatial_index import ShardedGridIndex
+
+        rng = np.random.default_rng(seed)
+        n, cell = 80, 0.9
+        positions = rng.uniform(-3.0, 3.0, size=(n, dim))
+        shard = ShardedGridIndex(positions, cell)
+        deltas = positions[:, None, :] - positions[None, :, :]
+        distances = np.sqrt((deltas * deltas).sum(axis=-1))
+        for robot in range(n):
+            candidates = shard.candidates(robot)
+            # Ascending, includes the robot itself (callers drop it at d=0).
+            assert robot in candidates.tolist()
+            assert np.all(np.diff(candidates) > 0)
+            within = set(np.flatnonzero(distances[robot] <= cell).tolist())
+            assert within <= set(candidates.tolist())
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_neighbour_pairs_cover_close_pairs_exactly_once(self, seed):
+        from repro.engine.spatial_index import ShardedGridIndex
+
+        rng = np.random.default_rng(seed)
+        n, cell = 70, 0.8
+        positions = rng.uniform(-2.5, 2.5, size=(n, 2))
+        shard = ShardedGridIndex(positions, cell)
+        i, j = shard.neighbour_pairs()
+        assert np.all(i < j)
+        pairs = list(zip(i.tolist(), j.tolist()))
+        assert len(pairs) == len(set(pairs))  # each pair at most once
+        deltas = positions[:, None, :] - positions[None, :, :]
+        distances = np.sqrt((deltas * deltas).sum(axis=-1))
+        close = {
+            (a, b)
+            for a in range(n)
+            for b in range(a + 1, n)
+            if distances[a, b] <= cell
+        }
+        assert close <= set(pairs)
+
+    def test_replicate_batching_isolates_runs(self):
+        from repro.engine.spatial_index import ShardedGridIndex
+
+        rng = np.random.default_rng(9)
+        runs, n = 3, 40
+        # Identical coordinates in every run: without run-keyed blocks the
+        # replicates would alias into shared candidate sets.
+        base = rng.uniform(-2.0, 2.0, size=(n, 2))
+        tensor = np.broadcast_to(base, (runs, n, 2))
+        shard = ShardedGridIndex.from_replicates(tensor, 0.9)
+        single = ShardedGridIndex(base, 0.9)
+        for run in range(runs):
+            offset = run * n
+            for robot in range(n):
+                flat = shard.candidates(offset + robot)
+                assert np.all(flat >= offset) and np.all(flat < offset + n)
+                assert np.array_equal(flat - offset, single.candidates(robot))
+        i, j = shard.neighbour_pairs()
+        assert np.array_equal(i // n, j // n)  # no pair crosses runs
+
+    def test_min_pairwise_grid_matches_dense(self):
+        from repro.engine.metrics import min_pairwise_distance_grid
+
+        rng = np.random.default_rng(5)
+        for dim in (2, 3):
+            for _ in range(4):
+                arr = rng.uniform(-4.0, 4.0, size=(60, dim))
+                deltas = arr[:, None, :] - arr[None, :, :]
+                squared = (deltas * deltas).sum(axis=-1)
+                np.fill_diagonal(squared, math.inf)
+                dense = float(math.sqrt(squared.min()))
+                # Start far below the true minimum so the cell-doubling
+                # escalation path is exercised too.
+                for initial_cell in (1.0, 1e-3):
+                    assert min_pairwise_distance_grid(arr, initial_cell) == dense
+
+    def test_min_pairwise_grid_small_sets(self):
+        from repro.engine.metrics import min_pairwise_distance_grid
+
+        assert min_pairwise_distance_grid(np.zeros((0, 2)), 1.0) == 0.0
+        assert min_pairwise_distance_grid(np.zeros((1, 2)), 1.0) == 0.0
+        two = np.array([[0.0, 0.0], [3.0, 4.0]])
+        assert min_pairwise_distance_grid(two, 1.0) == 5.0

@@ -102,3 +102,45 @@ class TestHelpers:
         crit = critical_points(disk, pts)
         assert Point(0, 0) in crit and Point(2, 0) in crit
         assert Point(1, 0.2) not in crit
+
+
+class TestFloatCorePins:
+    """The batched float-core Welzl is pinned bit-identical to sec_center."""
+
+    def test_sec_center_array_matches_sec_center(self):
+        from repro.geometry.sec import sec_center_array
+
+        rng = np.random.default_rng(7)
+        for m in (1, 2, 3, 4, 7, 15, 40):
+            arr = rng.uniform(-2.0, 2.0, size=(m, 2))
+            reference = sec_center([Point(float(x), float(y)) for x, y in arr])
+            cx, cy = sec_center_array(arr)
+            assert (cx, cy) == (reference.x, reference.y)
+
+    def test_sec_centers_batch_matches_per_call(self):
+        from repro.geometry.sec import sec_center_array, sec_centers
+
+        rng = np.random.default_rng(3)
+        batches = [
+            rng.uniform(-1.0, 1.0, size=(int(m), 2))
+            for m in rng.integers(1, 20, size=12)
+        ]
+        out = sec_centers(batches)
+        for row, batch in enumerate(batches):
+            assert tuple(out[row]) == sec_center_array(batch)
+
+    def test_cache_returns_identical_floats(self):
+        from repro.geometry.sec import sec_center_array
+
+        arr = np.random.default_rng(0).uniform(-1.0, 1.0, size=(25, 2))
+        first = sec_center_array(arr)
+        assert sec_center_array(arr.copy()) == first  # memo hit on equal bytes
+
+    def test_degenerate_sets(self):
+        from repro.geometry.sec import sec_center_array
+
+        coincident = np.zeros((5, 2))
+        assert sec_center_array(coincident) == (0.0, 0.0)
+        collinear = np.array([[0.0, 0.0], [1.0, 0.0], [2.0, 0.0], [3.0, 0.0]])
+        reference = sec_center([Point(x, y) for x, y in collinear])
+        assert sec_center_array(collinear) == (reference.x, reference.y)
