@@ -7,11 +7,17 @@ Examples::
     python -m repro --workload clusters --svg out.svg --trace
     python -m repro sweep --algorithms kknps ando --workers 4 --out results.jsonl
     python -m repro sweep --smoke
+    python -m repro serve --store results.sqlite
+    python -m repro submit --smoke --wait
+    python -m repro store stats --store results.sqlite
 
 The default form builds a workload, runs the requested algorithm under
 the requested scheduler, prints a summary table, and can optionally dump
 the trajectories to an SVG file.  The ``sweep`` subcommand fans a whole
-parameter grid out across worker processes (see :mod:`repro.sweeps`).
+parameter grid out across worker processes (see :mod:`repro.sweeps`);
+``store`` inspects and imports into the persistent results store
+(:mod:`repro.store`); ``serve``/``submit``/``status``/``results`` run and
+talk to the sweep job service (:mod:`repro.service`).
 """
 
 from __future__ import annotations
@@ -131,6 +137,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .sweeps.cli import main as sweep_main
 
         return sweep_main(argv[1:])
+    if argv and argv[0] == "store":
+        from .store.cli import main as store_main
+
+        return store_main(argv[1:])
+    if argv and argv[0] in ("serve", "submit", "status", "results"):
+        from .service import cli as service_cli
+
+        verb_main = getattr(service_cli, f"main_{argv[0]}")
+        return verb_main(argv[1:])
     args = build_parser().parse_args(argv)
 
     configuration = make_workload(args)

@@ -1,0 +1,31 @@
+"""Sweep-as-a-service: a job API in front of the sweep runner and store.
+
+Many concurrent clients submit :class:`~repro.sweeps.spec.SweepSpec`
+grids, get a job id back, poll status/progress (with the cost-model ETA
+from ``RunSpec.cost_hint``), and fetch results as live
+:class:`~repro.analysis.streaming.StreamingAggregator` tables that
+update as rows land.  Every job runs against the shared
+:class:`~repro.store.ResultsStore`, so previously computed science is
+served from the store — a re-submitted sweep completes with zero
+executed runs and bit-identical results.
+
+Components: :class:`JobManager` (queue + executor threads),
+:func:`make_server` (a stdlib ``ThreadingHTTPServer`` speaking JSON),
+:class:`ServiceClient` (the urllib client the CLI verbs use), and the
+``python -m repro serve`` / ``submit`` / ``status`` / ``results`` CLI.
+Protocol and semantics are documented in ``docs/results-store.md``.
+"""
+
+from .client import DEFAULT_HOST, DEFAULT_PORT, ServiceClient, ServiceError
+from .jobs import JOB_STATES, JobManager
+from .server import make_server
+
+__all__ = [
+    "DEFAULT_HOST",
+    "DEFAULT_PORT",
+    "JOB_STATES",
+    "JobManager",
+    "ServiceClient",
+    "ServiceError",
+    "make_server",
+]

@@ -1,0 +1,137 @@
+"""A stdlib (urllib) client for the sweep job service.
+
+:class:`ServiceClient` wraps the JSON endpoints of
+:mod:`repro.service.server` — submit a grid, poll status, fetch the
+live table — and is what the ``submit``/``status``/``results`` CLI
+verbs use, so scripts can drive the service the exact same way.
+HTTP-level failures surface as :class:`ServiceError` carrying the
+status code and the server's error message.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Dict, Mapping, Optional, Union
+
+from ..sweeps.spec import SweepSpec
+
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 8642
+
+
+class ServiceError(RuntimeError):
+    """An HTTP request to the service failed."""
+
+    def __init__(self, message: str, *, status: Optional[int] = None) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class ServiceClient:
+    """Talks JSON to one running ``python -m repro serve`` instance."""
+
+    def __init__(
+        self,
+        host: str = DEFAULT_HOST,
+        port: int = DEFAULT_PORT,
+        *,
+        timeout_s: float = 30.0,
+    ) -> None:
+        self.base_url = f"http://{host}:{port}"
+        self.timeout_s = timeout_s
+
+    # ------------------------------------------------------------------
+    # transport
+
+    def _request(
+        self, path: str, *, body: Optional[Dict[str, object]] = None
+    ) -> Dict[str, object]:
+        url = f"{self.base_url}{path}"
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(url, data=data, headers=headers)
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout_s) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as error:
+            detail = _error_detail(error)
+            raise ServiceError(
+                f"{error.code} from {url}: {detail}", status=error.code
+            ) from None
+        except urllib.error.URLError as error:
+            raise ServiceError(
+                f"cannot reach the service at {self.base_url}: {error.reason}"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # endpoints
+
+    def health(self) -> Dict[str, object]:
+        """``GET /api/health`` — liveness, store path, job counts."""
+        return self._request("/api/health")
+
+    def jobs(self) -> Dict[str, object]:
+        """``GET /api/jobs`` — status snapshots of every job."""
+        return self._request("/api/jobs")
+
+    def submit(
+        self,
+        spec: Union[SweepSpec, Mapping[str, object]],
+        *,
+        options: Optional[Mapping[str, object]] = None,
+    ) -> Dict[str, object]:
+        """``POST /api/jobs`` — queue a sweep; returns ``{"job_id": ...}``."""
+        if isinstance(spec, SweepSpec):
+            spec = spec.to_dict()
+        body: Dict[str, object] = {"spec": dict(spec)}
+        if options:
+            body["options"] = dict(options)
+        return self._request("/api/jobs", body=body)
+
+    def status(self, job_id: str) -> Dict[str, object]:
+        """``GET /api/jobs/<id>`` — one job's status snapshot."""
+        return self._request(f"/api/jobs/{job_id}")
+
+    def results(
+        self, job_id: str, *, include_rows: bool = False
+    ) -> Dict[str, object]:
+        """``GET /api/jobs/<id>/results`` — the live aggregate table."""
+        suffix = "?rows=1" if include_rows else ""
+        return self._request(f"/api/jobs/{job_id}/results{suffix}")
+
+    def wait(
+        self,
+        job_id: str,
+        *,
+        timeout_s: float = 600.0,
+        poll_s: float = 0.2,
+    ) -> Dict[str, object]:
+        """Poll until the job leaves the queued/running states.
+
+        Returns the terminal status snapshot; raises :class:`ServiceError`
+        if ``timeout_s`` elapses first.
+        """
+        deadline = time.monotonic() + timeout_s
+        while True:
+            status = self.status(job_id)
+            if status["state"] not in ("queued", "running"):
+                return status
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"job {job_id} still {status['state']} after {timeout_s:.0f}s"
+                )
+            time.sleep(poll_s)
+
+
+def _error_detail(error: urllib.error.HTTPError) -> str:
+    try:
+        payload = json.loads(error.read().decode("utf-8"))
+        return str(payload.get("error", payload))
+    except (json.JSONDecodeError, UnicodeDecodeError, OSError):
+        return error.reason or "unknown error"

@@ -1,0 +1,181 @@
+"""The HTTP face of the job service: stdlib-only JSON over HTTP.
+
+Endpoints (all JSON):
+
+``GET  /api/health``
+    Liveness plus store path and job counts.
+``GET  /api/jobs``
+    Status snapshots of every job, oldest first.
+``POST /api/jobs``
+    Submit: body ``{"spec": <SweepSpec.to_dict()>, "options": {...}}``;
+    responds ``{"job_id": ..., "state": "queued", "total": N}``.
+    Malformed bodies and invalid specs come back as 400 with the
+    validation message, unknown routes and job ids as 404.
+``GET  /api/jobs/<id>``
+    One job's status (state, counts by origin, cost progress, ETA).
+``GET  /api/jobs/<id>/results[?rows=1]``
+    The live aggregate table; ``rows=1`` adds the raw rows in
+    expansion order.
+
+The server is a ``ThreadingHTTPServer``: polls are served while jobs
+run on the manager's executor threads.  There is no auth — bind to
+localhost (the default) or front it with something that terminates
+trust, exactly like the socket backend's worker listener.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from .jobs import JobManager
+
+#: Cap on accepted request bodies (a submitted grid is a few KB).
+MAX_BODY_BYTES = 1 << 20
+
+
+class ServiceRequestHandler(BaseHTTPRequestHandler):
+    """Routes HTTP requests onto the server's :class:`JobManager`."""
+
+    server_version = "repro-sweep-service/1"
+
+    @property
+    def manager(self) -> JobManager:
+        return self.server.manager  # type: ignore[attr-defined]
+
+    # ------------------------------------------------------------------
+    # plumbing
+
+    def _send_json(self, code: int, payload: Dict[str, object]) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json_body(self) -> Optional[Dict[str, object]]:
+        length = int(self.headers.get("Content-Length", 0) or 0)
+        if length <= 0 or length > MAX_BODY_BYTES:
+            self._send_json(400, {"error": "request body required (JSON)"})
+            return None
+        try:
+            payload = json.loads(self.rfile.read(length).decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as error:
+            self._send_json(400, {"error": f"malformed JSON body: {error}"})
+            return None
+        if not isinstance(payload, dict):
+            self._send_json(400, {"error": "JSON body must be an object"})
+            return None
+        return payload
+
+    def _route(self) -> Tuple[Tuple[str, ...], Dict[str, list]]:
+        parsed = urlparse(self.path)
+        parts = tuple(part for part in parsed.path.split("/") if part)
+        return parts, parse_qs(parsed.query)
+
+    def log_message(self, format: str, *args: object) -> None:
+        if getattr(self.server, "verbose", False):  # pragma: no cover
+            super().log_message(format, *args)
+
+    # ------------------------------------------------------------------
+    # verbs
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server contract
+        parts, query = self._route()
+        if parts == ("api", "health"):
+            jobs = self.manager.list_jobs()
+            self._send_json(
+                200,
+                {
+                    "status": "ok",
+                    "store": str(self.manager.store_path),
+                    "jobs": len(jobs),
+                    "by_state": _count_states(jobs),
+                },
+            )
+            return
+        if parts == ("api", "jobs"):
+            self._send_json(200, {"jobs": self.manager.list_jobs()})
+            return
+        if len(parts) == 3 and parts[:2] == ("api", "jobs"):
+            try:
+                self._send_json(200, self.manager.status(parts[2]))
+            except KeyError:
+                self._send_json(404, {"error": f"unknown job id {parts[2]!r}"})
+            return
+        if (
+            len(parts) == 4
+            and parts[:2] == ("api", "jobs")
+            and parts[3] == "results"
+        ):
+            include_rows = query.get("rows", ["0"])[-1] not in ("0", "", "false")
+            try:
+                self._send_json(
+                    200, self.manager.results(parts[2], include_rows=include_rows)
+                )
+            except KeyError:
+                self._send_json(404, {"error": f"unknown job id {parts[2]!r}"})
+            return
+        self._send_json(404, {"error": f"no such endpoint: {self.path}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server contract
+        parts, _ = self._route()
+        if parts != ("api", "jobs"):
+            self._send_json(404, {"error": f"no such endpoint: {self.path}"})
+            return
+        payload = self._read_json_body()
+        if payload is None:
+            return
+        spec = payload.get("spec")
+        if not isinstance(spec, dict):
+            self._send_json(400, {"error": "body must carry a 'spec' object"})
+            return
+        options = payload.get("options") or {}
+        if not isinstance(options, dict):
+            self._send_json(400, {"error": "'options' must be an object"})
+            return
+        try:
+            job_id = self.manager.submit(spec, options=options)
+        except (TypeError, ValueError) as error:
+            self._send_json(400, {"error": str(error)})
+            return
+        except RuntimeError as error:
+            self._send_json(503, {"error": str(error)})
+            return
+        status = self.manager.status(job_id)
+        self._send_json(
+            200,
+            {"job_id": job_id, "state": status["state"], "total": status["total"]},
+        )
+
+
+def _count_states(jobs: list) -> Dict[str, int]:
+    counts: Dict[str, int] = {}
+    for job in jobs:
+        counts[job["state"]] = counts.get(job["state"], 0) + 1
+    return counts
+
+
+def make_server(
+    manager: JobManager,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    verbose: bool = False,
+) -> ThreadingHTTPServer:
+    """A ready-to-serve HTTP server bound to ``manager``.
+
+    ``port=0`` binds an ephemeral port — read it back from
+    ``server.server_address`` (how the tests and the smoke tool run).
+    The caller owns the lifecycle: ``serve_forever()`` /
+    ``shutdown()`` / ``server_close()``, and the manager's
+    ``start()``/``shutdown()``.
+    """
+    server = ThreadingHTTPServer((host, port), ServiceRequestHandler)
+    server.manager = manager  # type: ignore[attr-defined]
+    server.verbose = verbose  # type: ignore[attr-defined]
+    server.daemon_threads = True
+    return server

@@ -1,0 +1,30 @@
+"""The persistent results store: globally deduplicated sweep rows.
+
+The sweep pipeline is content-addressed — every run has a deterministic
+``run_key`` and its result row is a pure function of the spec — so any
+row ever computed can be served from a store instead of recomputed.
+:class:`ResultsStore` is that store: a single sqlite file holding one
+row per run key (schema-versioned JSON payload plus provenance), with a
+claims table that lets many concurrent runners share the file and
+execute each key exactly once between them.
+
+The :class:`~repro.sweeps.runner.SweepRunner` consults the store before
+dispatching to any backend (``store=`` / the ``--store`` CLI flag), and
+the job service in :mod:`repro.service` puts the store in front of many
+concurrent clients.  Semantics and schema are documented in
+``docs/results-store.md``.
+"""
+
+from .results_store import (
+    ROW_SCHEMA_VERSION,
+    ClaimInfo,
+    ResultsStore,
+    StoreError,
+)
+
+__all__ = [
+    "ROW_SCHEMA_VERSION",
+    "ClaimInfo",
+    "ResultsStore",
+    "StoreError",
+]

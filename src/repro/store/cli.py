@@ -1,0 +1,81 @@
+"""The ``python -m repro store`` subcommand: inspect and feed the store.
+
+Two verbs:
+
+``store import FILE [FILE ...] --store PATH``
+    Ingest legacy per-sweep JSONL result files into the store through
+    the crash-safe path (torn trailing lines are repaired on the way
+    in).  Idempotent: re-importing inserts nothing new.
+``store stats --store PATH``
+    Row / claim counters and schema versions, as text or ``--json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from .results_store import ResultsStore
+
+DEFAULT_STORE_PATH = "repro-results.sqlite"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The store subcommand's argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro store",
+        description="Inspect or feed the persistent results store.",
+    )
+    verbs = parser.add_subparsers(dest="verb", required=True)
+
+    importer = verbs.add_parser(
+        "import", help="ingest legacy JSONL result files into the store"
+    )
+    importer.add_argument("files", nargs="+", help="JSONL result files to ingest")
+    importer.add_argument("--store", default=DEFAULT_STORE_PATH,
+                          help="results store database file")
+    importer.add_argument("--label", default=None,
+                          help="sweep label recorded as provenance "
+                               "(default: each file's name)")
+    importer.add_argument("--no-repair", action="store_true",
+                          help="do not rewrite torn source files while importing")
+
+    stats = verbs.add_parser("stats", help="print store counters")
+    stats.add_argument("--store", default=DEFAULT_STORE_PATH,
+                       help="results store database file")
+    stats.add_argument("--json", action="store_true",
+                       help="machine-readable output")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of ``python -m repro store``."""
+    args = build_parser().parse_args(argv)
+    with ResultsStore(args.store) as store:
+        if args.verb == "import":
+            total = 0
+            for path in args.files:
+                inserted = store.import_jsonl(
+                    path, sweep_label=args.label, repair=not args.no_repair
+                )
+                total += inserted
+                print(f"{path}: {inserted} new rows")
+            print(f"{total} rows imported into {args.store} "
+                  f"({len(store)} total)")
+            return 0
+        payload = store.stats()
+        if args.json:
+            print(json.dumps(payload, indent=2, sort_keys=True))
+        else:
+            for key in ("path", "layout_version", "row_schema_version",
+                        "rows", "claims"):
+                print(f"{key}: {payload[key]}")
+            for source, count in sorted(payload["by_source"].items()):
+                print(f"rows from {source}: {count}")
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

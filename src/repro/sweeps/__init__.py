@@ -34,6 +34,7 @@ from .factories import (
     workload_names,
 )
 from .runner import (
+    ROW_SOURCES,
     SweepProgress,
     SweepResult,
     SweepRunner,
@@ -49,6 +50,7 @@ __all__ = [
     "ExecutionBackend",
     "K_SCHEDULERS",
     "ProcessPoolBackend",
+    "ROW_SOURCES",
     "RunSpec",
     "SerialBackend",
     "SocketBackend",

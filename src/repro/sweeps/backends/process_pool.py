@@ -67,6 +67,14 @@ class ProcessPoolBackend(ExecutionBackend):
                 self._stats.runs += 1
                 self._stats.wall_time_s = time.perf_counter() - started
                 yield spec.run_key, row
+            # Drained normally: shut down gracefully.  Leaving teardown to
+            # __exit__ means terminate(), which intermittently deadlocks
+            # against the imap result-handler thread (and is more likely to
+            # when the pool was forked from a threaded process, as under
+            # the job service).  terminate() still covers the abandoned-
+            # generator path, where runs are genuinely pending.
+            pool.close()
+            pool.join()
         self._stats.wall_time_s = time.perf_counter() - started
         self._stats.worker_health = [
             health[pid] for pid in sorted(health)

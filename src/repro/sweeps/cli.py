@@ -28,12 +28,8 @@ from .runner import SweepProgress, run_sweep
 from .spec import SweepSpec
 
 
-def build_parser() -> argparse.ArgumentParser:
-    """The sweep subcommand's argument parser."""
-    parser = argparse.ArgumentParser(
-        prog="python -m repro sweep",
-        description="Run a declarative parameter sweep across worker processes.",
-    )
+def add_grid_arguments(parser: argparse.ArgumentParser) -> None:
+    """Add the sweep-grid axes shared by ``sweep`` and the service ``submit``."""
     parser.add_argument(
         "--algorithms", nargs="+", default=["kknps"], choices=algorithm_names()
     )
@@ -58,6 +54,34 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--k", type=int, default=2, help="asynchrony bound for k-schedulers")
     parser.add_argument("--epsilon", type=float, default=0.05)
     parser.add_argument("--max-activations", type=int, default=5000)
+    parser.add_argument("--smoke", action="store_true",
+                        help="run the small fixed smoke grid (overrides the axes)")
+
+
+def spec_from_args(args: argparse.Namespace) -> SweepSpec:
+    """Build the sweep spec a parsed grid-argument namespace describes."""
+    if args.smoke:
+        return smoke_spec()
+    return SweepSpec(
+        algorithms=tuple(args.algorithms),
+        schedulers=tuple(args.schedulers),
+        workloads=tuple(args.workloads),
+        n_robots=tuple(args.n),
+        error_models=tuple(args.errors),
+        seeds=tuple(range(args.seed_base, args.seed_base + args.seeds)),
+        scheduler_k=args.k,
+        epsilon=args.epsilon,
+        max_activations=args.max_activations,
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The sweep subcommand's argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro sweep",
+        description="Run a declarative parameter sweep across worker processes.",
+    )
+    add_grid_arguments(parser)
     parser.add_argument("--backend", choices=backend_names(), default=None,
                         help="execution backend (default: serial with 1 worker, "
                              "process-pool otherwise)")
@@ -83,11 +107,16 @@ def build_parser() -> argparse.ArgumentParser:
                         help="JSONL result file (resumable; one row per run)")
     parser.add_argument("--no-resume", action="store_true",
                         help="re-run everything even if --out already has rows")
+    parser.add_argument("--store", type=str, default=None,
+                        help="persistent results store (sqlite): previously "
+                             "computed runs are served from it instead of "
+                             "re-executed, and fresh rows are ingested back")
+    parser.add_argument("--no-store", action="store_true",
+                        help="ignore --store: execute without consulting the "
+                             "global results store")
     parser.add_argument("--quiet", action="store_true", help="suppress per-run progress")
     parser.add_argument("--stream-progress", action="store_true",
                         help="live progress with cost-model ETA and running tallies")
-    parser.add_argument("--smoke", action="store_true",
-                        help="run the small fixed smoke grid (overrides the axes)")
     return parser
 
 
@@ -144,22 +173,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
 
     try:
-        if args.smoke:
-            spec = smoke_spec()
-            workers = args.workers if args.workers is not None else 2
+        spec = spec_from_args(args)
+        if args.workers is not None:
+            workers = args.workers
         else:
-            spec = SweepSpec(
-                algorithms=tuple(args.algorithms),
-                schedulers=tuple(args.schedulers),
-                workloads=tuple(args.workloads),
-                n_robots=tuple(args.n),
-                error_models=tuple(args.errors),
-                seeds=tuple(range(args.seed_base, args.seed_base + args.seeds)),
-                scheduler_k=args.k,
-                epsilon=args.epsilon,
-                max_activations=args.max_activations,
-            )
-            workers = args.workers if args.workers is not None else 1
+            workers = 2 if args.smoke else 1
+        store = None if args.no_store else args.store
         backend = args.backend
         socket_flags = (args.worker_token, args.lost_after, args.socket_port)
         if args.backend == "socket":
@@ -185,6 +204,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             jsonl_path=args.out,
             resume=not args.no_resume,
             backend=backend,
+            store=store,
             progress=progress,
             stream_progress=stream_progress,
         )
@@ -213,6 +233,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.out is not None:
         print(f"\n{result.executed} rows appended to {args.out} "
               f"({result.resumed} resumed)")
+    if store is not None:
+        print(f"{result.store_hits}/{len(result)} rows served from the "
+              f"results store at {store}")
     return 0
 
 

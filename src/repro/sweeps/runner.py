@@ -18,16 +18,32 @@ mid-run resumes losslessly), folds it into a
 progress callbacks with a cost-model ETA.  On re-run with
 ``resume=True`` the runner loads the completed run keys from the file
 and executes only the missing runs.
+
+Two layers of dedup stack on top of each other:
+
+* **Per-sweep** — the JSONL file: completed keys found in it are never
+  executed again (the original resume contract).
+* **Global** — an optional :class:`~repro.store.ResultsStore`
+  (``store=``): before dispatching to any backend the runner asks the
+  store for every missing key and short-circuits hits straight into the
+  row stream, bit-identical to recomputation.  Keys it will execute are
+  *claimed* in the store so concurrent runners sharing the file compute
+  each key exactly once between them — unclaimed keys are awaited and
+  served from the peer's ingest (or stolen and executed locally when
+  the claim's owner dies).  Every fresh row is written back through the
+  store's crash-safe ingest path, and rows resumed from legacy JSONL
+  files are imported on the way.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import time
 import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..analysis.streaming import StreamingAggregator
 from ..analysis.tables import TextTable
@@ -56,6 +72,10 @@ from .spec import RunSpec, SweepSpec, check_unique_keys
 #: Row fields that vary between executions of the same spec (dropped when
 #: comparing parallel against serial results).
 TIMING_FIELDS = ("wall_time_s",)
+
+#: How a row entered a sweep's row stream (the ``on_row`` callback's
+#: ``source`` argument).
+ROW_SOURCES = ("executed", "resumed", "store", "peer")
 
 
 def execute_run(spec: RunSpec) -> Dict[str, object]:
@@ -312,8 +332,15 @@ class SweepResult:
     """All result rows of a sweep, in the deterministic expansion order."""
 
     rows: List[Dict[str, object]] = field(default_factory=list)
+    #: Runs this invocation computed itself.
     executed: int = 0
+    #: Rows reloaded from this sweep's own JSONL file.
     resumed: int = 0
+    #: Rows served from the shared results store instead of computed —
+    #: direct cache hits plus rows a concurrent peer computed while this
+    #: runner waited on the peer's claim.  The three counters partition
+    #: the sweep: ``executed + resumed + store_hits == len(rows)``.
+    store_hits: int = 0
     aggregator: Optional[StreamingAggregator] = None
     stats: Optional[BackendStats] = None
 
@@ -344,7 +371,61 @@ class SweepResult:
             aggregator = StreamingAggregator()
             for row in self.rows:
                 aggregator.add_row(row)
-        return aggregator.to_table(executed=self.executed, resumed=self.resumed)
+        # The table's title lumps store hits under "resumed": both are
+        # rows this invocation did not execute.
+        return aggregator.to_table(
+            executed=self.executed, resumed=self.resumed + self.store_hits
+        )
+
+
+def _repair_sidecar_path(path: Path) -> Path:
+    """Where ``load_completed_rows`` records repairs for ``path``."""
+    return path.with_name(path.name + ".repairs")
+
+
+def _load_repair_records(path: Path) -> Dict[int, str]:
+    """Known-bad line records (offset -> sha1) from the repair sidecar.
+
+    An unreadable or malformed sidecar is treated as empty — the only
+    consequence is that a warning fires once more.
+    """
+    sidecar = _repair_sidecar_path(path)
+    if not sidecar.exists():
+        return {}
+    try:
+        payload = json.loads(sidecar.read_text(encoding="utf-8"))
+        return {
+            int(entry["offset"]): str(entry["sha1"])
+            for entry in payload.get("skipped", ())
+        }
+    except (OSError, ValueError, TypeError, KeyError):
+        return {}
+
+
+def _save_repair_records(
+    path: Path, skipped: Dict[int, str], truncations: List[Dict[str, object]]
+) -> None:
+    """Persist the repair record next to the JSONL file (best effort)."""
+    sidecar = _repair_sidecar_path(path)
+    payload = {
+        "version": 1,
+        "skipped": [
+            {"offset": offset, "sha1": digest}
+            for offset, digest in sorted(skipped.items())
+        ],
+    }
+    if truncations:
+        existing: List[Dict[str, object]] = []
+        try:
+            old = json.loads(sidecar.read_text(encoding="utf-8"))
+            existing = list(old.get("truncations", ()))
+        except (OSError, ValueError, TypeError):
+            pass
+        payload["truncations"] = existing + truncations
+    try:
+        sidecar.write_text(json.dumps(payload, indent=2), encoding="utf-8")
+    except OSError:  # pragma: no cover - read-only result directories
+        pass
 
 
 def load_completed_rows(
@@ -360,12 +441,18 @@ def load_completed_rows(
     and the poisoned line cannot shadow its re-executed run.
     Newline-terminated lines that fail to parse (or carry no run key)
     are skipped with a warning wherever they appear; their runs simply
-    execute again.
+    execute again.  Skipped lines are left in place (the runner does not
+    destroy data it does not own) but recorded in a ``.repairs`` sidecar
+    so every warning is **one-shot**: a later resume of the same file
+    skips the same bytes silently.
     """
     path = Path(jsonl_path)
     completed: Dict[str, Dict[str, object]] = {}
     if not path.exists():
         return completed
+    known_bad = _load_repair_records(path)
+    new_bad: Dict[int, str] = {}
+    truncations: List[Dict[str, object]] = []
     data = path.read_bytes()
     truncate_at: Optional[int] = None
     unterminated_row = False
@@ -373,7 +460,8 @@ def load_completed_rows(
     while position < len(data):
         newline = data.find(b"\n", position)
         end = len(data) if newline == -1 else newline + 1
-        raw = data[position : newline if newline != -1 else len(data)].strip()
+        line = data[position : newline if newline != -1 else len(data)]
+        raw = line.strip()
         if raw:
             row: Optional[Dict[str, object]] = None
             try:
@@ -391,16 +479,25 @@ def load_completed_rows(
             elif newline == -1:
                 truncate_at = position
             else:
-                warnings.warn(
-                    f"skipping JSONL line without a parseable sweep row at byte "
-                    f"{position} of {path}"
-                )
+                digest = hashlib.sha1(line).hexdigest()
+                if known_bad.get(position) != digest:
+                    warnings.warn(
+                        f"skipping JSONL line without a parseable sweep row at byte "
+                        f"{position} of {path}"
+                    )
+                    new_bad[position] = digest
         position = end
     if truncate_at is not None:
         if repair:
             warnings.warn(
                 f"dropping truncated trailing JSONL line in {path} "
                 "(crash mid-append?); rewriting the file for a clean resume"
+            )
+            truncations.append(
+                {
+                    "offset": truncate_at,
+                    "dropped_sha1": hashlib.sha1(data[truncate_at:]).hexdigest(),
+                }
             )
             with path.open("r+b") as handle:
                 handle.truncate(truncate_at)
@@ -416,7 +513,14 @@ def load_completed_rows(
         )
         with path.open("ab") as handle:
             handle.write(b"\n")
+    if repair and (new_bad or truncations):
+        _save_repair_records(path, {**known_bad, **new_bad}, truncations)
     return completed
+
+
+#: Signature of the optional per-row callback: ``(run_key, row, order
+#: index in the expansion, source)`` with source one of :data:`ROW_SOURCES`.
+RowCallback = Callable[[str, Dict[str, object], int, str], None]
 
 
 class SweepRunner:
@@ -433,6 +537,13 @@ class SweepRunner:
     behaviour.  Every backend produces the same rows (timing aside); only
     completion order differs, and the returned result is always in
     expansion order.
+
+    ``store`` (path or open :class:`~repro.store.ResultsStore`) plugs the
+    sweep into the global results database: hits short-circuit, fresh
+    rows are ingested back, and claims coordinate concurrent runners
+    sharing the file (see the module docstring).  ``store_claim_ttl_s``
+    bounds how long a peer's claim is honoured without proof of life;
+    ``store_poll_s`` paces the wait for rows a peer is computing.
     """
 
     def __init__(
@@ -444,6 +555,10 @@ class SweepRunner:
         jsonl_path: Optional[Union[str, Path]] = None,
         resume: bool = True,
         backend: Optional[Union[str, ExecutionBackend]] = None,
+        store: Optional[Union[str, Path, "object"]] = None,
+        store_claim_ttl_s: float = 3600.0,
+        store_poll_s: float = 0.05,
+        sweep_label: Optional[str] = None,
     ) -> None:
         if isinstance(runs, SweepSpec):
             runs = runs.expand()
@@ -456,11 +571,19 @@ class SweepRunner:
         if isinstance(backend, str) and backend not in backend_names():
             known = ", ".join(backend_names())
             raise ValueError(f"unknown backend {backend!r}; known: {known}")
+        if store_claim_ttl_s <= 0:
+            raise ValueError("store_claim_ttl_s must be positive")
+        if store_poll_s <= 0:
+            raise ValueError("store_poll_s must be positive")
         self.workers = workers
         self.chunk_size = chunk_size
         self.jsonl_path = Path(jsonl_path) if jsonl_path is not None else None
         self.resume = resume
         self.backend = backend
+        self.store = store
+        self.store_claim_ttl_s = store_claim_ttl_s
+        self.store_poll_s = store_poll_s
+        self.sweep_label = sweep_label
 
     def resolve_backend(self) -> ExecutionBackend:
         """The backend instance this runner will execute through."""
@@ -471,86 +594,199 @@ class SweepRunner:
             name = "serial" if self.workers == 1 else "process-pool"
         return make_backend(name, workers=self.workers, chunk_size=self.chunk_size)
 
+    def _resolve_store(self) -> Tuple[Optional["object"], bool]:
+        """(store handle, whether this runner opened — and must close — it)."""
+        if self.store is None:
+            return None, False
+        from ..store import ResultsStore  # runtime import keeps layering loose
+
+        if isinstance(self.store, ResultsStore):
+            return self.store, False
+        return ResultsStore(self.store), True
+
     def run(
         self,
         *,
         progress: Optional[Callable[[int, int], None]] = None,
         stream_progress: Optional[Callable[[SweepProgress], None]] = None,
+        on_row: Optional[RowCallback] = None,
     ) -> SweepResult:
         """Execute every non-completed run and return all rows in order.
 
-        Each row is appended to the JSONL file and folded into the
-        streaming aggregator the moment the backend yields it, **before**
-        the callbacks fire — so a sweep interrupted at any point (even by
-        a raising callback) resumes from everything that completed.
+        Each row is appended to the JSONL file, folded into the
+        streaming aggregator and ingested into the store (when one is
+        configured) the moment it arrives, **before** the callbacks fire
+        — so a sweep interrupted at any point (even by a raising
+        callback) resumes from everything that completed.
 
         ``progress`` (optional) is called as ``progress(done, total)``
         after every completed run; ``stream_progress`` receives a
         :class:`SweepProgress` with the cost-model ETA and a live
-        aggregate snapshot.
+        aggregate snapshot; ``on_row`` sees **every** row entering the
+        result — executed, JSONL-resumed, store hit or peer-computed —
+        with its expansion order index (what a live table needs).
         """
+        store, owns_store = self._resolve_store()
+        try:
+            return self._run(store, progress, stream_progress, on_row)
+        finally:
+            if owns_store and store is not None:
+                store.close()
+
+    def _run(
+        self,
+        store: Optional["object"],
+        progress: Optional[Callable[[int, int], None]],
+        stream_progress: Optional[Callable[[SweepProgress], None]],
+        on_row: Optional[RowCallback],
+    ) -> SweepResult:
+        label = self.sweep_label
+        if label is None and self.jsonl_path is not None:
+            label = self.jsonl_path.name
+
         completed: Dict[str, Dict[str, object]] = {}
         if self.jsonl_path is not None and self.resume:
             completed = load_completed_rows(self.jsonl_path)
         order = {spec.run_key: index for index, spec in enumerate(self.runs)}
+
+        # Legacy ingest: rows resumed from the per-sweep file enter the
+        # global store so every other runner sees them as hits.
+        if store is not None and completed:
+            store.put_many(
+                completed.values(), sweep_label=label, source="jsonl-import"
+            )
+
         todo = [spec for spec in self.runs if spec.run_key not in completed]
+
+        # Global dedup: previously computed keys short-circuit into the
+        # row stream without touching any backend.
+        store_hits: Dict[str, Dict[str, object]] = {}
+        if store is not None and todo:
+            store_hits = store.get_many([spec.run_key for spec in todo])
+            todo = [spec for spec in todo if spec.run_key not in store_hits]
+
+        # Claim what we will execute; keys a live peer already claimed
+        # are awaited instead (and stolen if the peer dies).
+        mine: List[RunSpec] = todo
+        waiting: List[RunSpec] = []
+        if store is not None and todo:
+            mine, waiting = [], []
+            for spec in todo:
+                if store.claim(spec.run_key, ttl_s=self.store_claim_ttl_s):
+                    mine.append(spec)
+                else:
+                    waiting.append(spec)
 
         handle = None
         if self.jsonl_path is not None:
             self.jsonl_path.parent.mkdir(parents=True, exist_ok=True)
             if not self.resume:
                 self.jsonl_path.unlink(missing_ok=True)
+                _repair_sidecar_path(self.jsonl_path).unlink(missing_ok=True)
                 completed = {}
             handle = self.jsonl_path.open("a", encoding="utf-8")
 
         aggregator = StreamingAggregator()
         for spec in self.runs:
-            row = completed.get(spec.run_key)
+            key = spec.run_key
+            row = completed.get(key)
             if row is not None:
-                aggregator.add_row(row, order=order[spec.run_key])
+                aggregator.add_row(row, order=order[key])
+                if on_row is not None:
+                    on_row(key, row, order[key], "resumed")
+                continue
+            hit = store_hits.get(key)
+            if hit is not None:
+                aggregator.add_row(hit, order=order[key])
+                # Keep the per-sweep file self-contained: hits land in it
+                # exactly as recomputed rows would.
+                if handle is not None:
+                    handle.write(json.dumps(hit) + "\n")
+                if on_row is not None:
+                    on_row(key, hit, order[key], "store")
+        if handle is not None and store_hits:
+            handle.flush()
+        completed.update(store_hits)
 
         backend = self.resolve_backend()
-        costs = {spec.run_key: spec.cost_hint() for spec in todo}
+        costs = {spec.run_key: spec.cost_hint() for spec in mine + waiting}
         cost_total = sum(costs.values())
-        cost_done = 0.0
+        state = {"done": 0, "cost_done": 0.0}
         fresh: Dict[str, Dict[str, object]] = {}
-        done = 0
-        total = len(todo)
+        peer_rows: Dict[str, Dict[str, object]] = {}
+        total = len(mine) + len(waiting)
         started = time.perf_counter()
-        try:
-            for run_key, row in backend.execute(todo):
-                fresh[run_key] = row
-                if handle is not None:
-                    handle.write(json.dumps(row) + "\n")
-                    handle.flush()
-                aggregator.add_row(row, order=order[run_key])
-                done += 1
-                cost_done += costs[run_key]
-                if progress is not None:
-                    progress(done, total)
-                if stream_progress is not None:
-                    elapsed = time.perf_counter() - started
-                    eta: Optional[float] = None
-                    if cost_done > 0 and done < total:
-                        eta = elapsed * (cost_total - cost_done) / cost_done
-                    elif done >= total:
-                        eta = 0.0
-                    stream_progress(
-                        SweepProgress(
-                            done=done,
-                            total=total,
-                            run_key=run_key,
-                            cost_done=cost_done,
-                            cost_total=cost_total,
-                            elapsed_s=elapsed,
-                            eta_s=eta,
-                            aggregate=aggregator.snapshot(),
-                        )
+
+        def tick(run_key: str) -> None:
+            state["done"] += 1
+            state["cost_done"] += costs[run_key]
+            if progress is not None:
+                progress(state["done"], total)
+            if stream_progress is not None:
+                elapsed = time.perf_counter() - started
+                eta: Optional[float] = None
+                if state["cost_done"] > 0 and state["done"] < total:
+                    eta = (
+                        elapsed
+                        * (cost_total - state["cost_done"])
+                        / state["cost_done"]
                     )
+                elif state["done"] >= total:
+                    eta = 0.0
+                stream_progress(
+                    SweepProgress(
+                        done=state["done"],
+                        total=total,
+                        run_key=run_key,
+                        cost_done=state["cost_done"],
+                        cost_total=cost_total,
+                        elapsed_s=elapsed,
+                        eta_s=eta,
+                        aggregate=aggregator.snapshot(),
+                    )
+                )
+
+        def consume_executed(run_key: str, row: Dict[str, object]) -> None:
+            fresh[run_key] = row
+            if handle is not None:
+                handle.write(json.dumps(row) + "\n")
+                handle.flush()
+            if store is not None:
+                store.put(row, sweep_label=label, source="executed")
+            aggregator.add_row(row, order=order[run_key])
+            if on_row is not None:
+                on_row(run_key, row, order[run_key], "executed")
+            tick(run_key)
+
+        try:
+            if mine:
+                for run_key, row in backend.execute(mine):
+                    consume_executed(run_key, row)
+            if waiting:
+                self._await_peers(
+                    store,
+                    backend,
+                    waiting,
+                    peer_rows,
+                    consume_executed,
+                    handle,
+                    aggregator,
+                    order,
+                    on_row,
+                    tick,
+                )
         finally:
+            # Never leave claims behind for keys this runner did not
+            # finish — a raising callback or failed worker would otherwise
+            # stall every peer until the TTL expires.
+            if store is not None:
+                for spec in mine:
+                    if spec.run_key not in fresh:
+                        store.release(spec.run_key)
             if handle is not None:
                 handle.close()
 
+        completed.update(peer_rows)
         rows = [
             fresh[spec.run_key] if spec.run_key in fresh else completed[spec.run_key]
             for spec in self.runs
@@ -562,13 +798,67 @@ class SweepRunner:
                 f"mid-sweep; {stats.requeued_chunks} leased chunk(s) were "
                 "requeued and re-executed, so every row is present"
             )
+        served = len(store_hits) + len(peer_rows)
         return SweepResult(
             rows=rows,
             executed=len(fresh),
-            resumed=len(rows) - len(fresh),
+            resumed=len(rows) - len(fresh) - served,
+            store_hits=served,
             aggregator=aggregator,
             stats=stats,
         )
+
+    def _await_peers(
+        self,
+        store: "object",
+        backend: ExecutionBackend,
+        waiting: Sequence[RunSpec],
+        peer_rows: Dict[str, Dict[str, object]],
+        consume_executed: Callable[[str, Dict[str, object]], None],
+        handle,
+        aggregator: StreamingAggregator,
+        order: Dict[str, int],
+        on_row: Optional[RowCallback],
+        tick: Callable[[str], None],
+    ) -> None:
+        """Wait for peer-claimed keys; steal and execute them if the peer dies.
+
+        Every polling pass re-checks each outstanding key: a stored row
+        is consumed as a peer result; a claim whose owner died (or whose
+        TTL lapsed) is re-claimed and queued for local execution.  The
+        loop cannot deadlock — either the peer makes progress, or its
+        claims become stealable.
+        """
+        pending: Dict[str, RunSpec] = {spec.run_key: spec for spec in waiting}
+        stolen: List[RunSpec] = []
+        while pending:
+            progressed = False
+            for key in list(pending):
+                row = store.get(key)
+                if row is not None:
+                    del pending[key]
+                    peer_rows[key] = row
+                    if handle is not None:
+                        handle.write(json.dumps(row) + "\n")
+                        handle.flush()
+                    aggregator.add_row(row, order=order[key])
+                    if on_row is not None:
+                        on_row(key, row, order[key], "peer")
+                    tick(key)
+                    progressed = True
+                elif store.claim(key, ttl_s=self.store_claim_ttl_s):
+                    stolen.append(pending.pop(key))
+                    progressed = True
+            if pending and not progressed:
+                time.sleep(self.store_poll_s)
+        if stolen:
+            try:
+                for run_key, row in backend.execute(stolen):
+                    consume_executed(run_key, row)
+            finally:
+                for spec in stolen:
+                    if store.get(spec.run_key) is None:
+                        store.release(spec.run_key)
 
 
 def run_sweep(
@@ -579,8 +869,13 @@ def run_sweep(
     jsonl_path: Optional[Union[str, Path]] = None,
     resume: bool = True,
     backend: Optional[Union[str, ExecutionBackend]] = None,
+    store: Optional[Union[str, Path, "object"]] = None,
+    store_claim_ttl_s: float = 3600.0,
+    store_poll_s: float = 0.05,
+    sweep_label: Optional[str] = None,
     progress: Optional[Callable[[int, int], None]] = None,
     stream_progress: Optional[Callable[[SweepProgress], None]] = None,
+    on_row: Optional[RowCallback] = None,
 ) -> SweepResult:
     """One-call convenience wrapper around :class:`SweepRunner`."""
     runner = SweepRunner(
@@ -590,5 +885,11 @@ def run_sweep(
         jsonl_path=jsonl_path,
         resume=resume,
         backend=backend,
+        store=store,
+        store_claim_ttl_s=store_claim_ttl_s,
+        store_poll_s=store_poll_s,
+        sweep_label=sweep_label,
     )
-    return runner.run(progress=progress, stream_progress=stream_progress)
+    return runner.run(
+        progress=progress, stream_progress=stream_progress, on_row=on_row
+    )

@@ -275,6 +275,30 @@ class SweepSpec:
             )
         return runs
 
+    def to_dict(self) -> Dict[str, object]:
+        """This grid as a JSON-serializable dict (the job-submission wire
+        format of :mod:`repro.service`)."""
+        data = asdict(self)
+        for axis_name in ("algorithms", "schedulers", "workloads", "n_robots",
+                          "error_models", "seeds"):
+            data[axis_name] = list(data[axis_name])
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "SweepSpec":
+        """Rebuild a grid from :meth:`to_dict` output (JSON round-trip safe).
+
+        Unknown keys raise ``TypeError`` through the constructor;
+        malformed axis values raise the constructor's usual
+        ``ValueError`` — both surface as client errors in the service.
+        """
+        payload = dict(data)
+        for axis_name in ("algorithms", "schedulers", "workloads", "n_robots",
+                          "error_models", "seeds"):
+            if axis_name in payload:
+                payload[axis_name] = tuple(payload[axis_name])
+        return cls(**payload)
+
 
 def check_unique_keys(runs: Sequence[RunSpec]) -> None:
     """Raise ``ValueError`` when two runs share a run key."""

@@ -1,0 +1,192 @@
+"""Unit tests for the sqlite results store: rows, claims, imports."""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+
+import pytest
+
+from repro.store import ROW_SCHEMA_VERSION, ResultsStore, StoreError
+
+
+def _row(key: str, **extra: object) -> dict:
+    row = {
+        "run_key": key,
+        "converged": True,
+        "final_diameter": 0.1 + 0.2,  # a float that only repr round-trips
+        "wall_time_s": 0.5,
+    }
+    row.update(extra)
+    return row
+
+
+class TestRows:
+    def test_put_get_round_trip_is_bit_identical(self, tmp_path):
+        with ResultsStore(tmp_path / "s.sqlite") as store:
+            row = _row("k1", nested_ok=False, activations=123)
+            assert store.put(row) is True
+            assert store.get("k1") == row
+            got = store.get("k1")
+            assert got["final_diameter"] == row["final_diameter"]
+            assert json.dumps(got, sort_keys=True) == json.dumps(row, sort_keys=True)
+
+    def test_first_writer_wins(self, tmp_path):
+        with ResultsStore(tmp_path / "s.sqlite") as store:
+            first = _row("k1", wall_time_s=1.0)
+            second = _row("k1", wall_time_s=9.0)
+            assert store.put(first) is True
+            assert store.put(second) is False
+            assert store.get("k1") == first
+
+    def test_miss_returns_none(self, tmp_path):
+        with ResultsStore(tmp_path / "s.sqlite") as store:
+            assert store.get("absent") is None
+            assert "absent" not in store
+            assert store.provenance("absent") is None
+
+    def test_get_many_spans_bind_parameter_chunks(self, tmp_path):
+        with ResultsStore(tmp_path / "s.sqlite") as store:
+            keys = [f"k{i}" for i in range(1200)]
+            store.put_many(_row(key) for key in keys)
+            hits = store.get_many(keys + ["absent"])
+            assert sorted(hits) == sorted(keys)
+            assert len(store) == 1200
+
+    def test_rows_under_foreign_schema_version_are_misses(self, tmp_path):
+        path = tmp_path / "s.sqlite"
+        with ResultsStore(path) as store:
+            store.put(_row("k1"))
+        conn = sqlite3.connect(str(path))
+        conn.execute(
+            "UPDATE results SET schema_version = ? WHERE run_key = 'k1'",
+            (ROW_SCHEMA_VERSION + 1,),
+        )
+        conn.commit()
+        conn.close()
+        with ResultsStore(path) as store:
+            assert store.get("k1") is None
+            assert store.get_many(["k1"]) == {}
+            assert "k1" not in store
+            assert len(store) == 0
+            # The key is executable again: a claim on it succeeds.
+            assert store.claim("k1") is True
+            # Provenance still sees the physical row.
+            assert store.provenance("k1")["schema_version"] == ROW_SCHEMA_VERSION + 1
+
+    def test_put_rejects_rows_without_run_key(self, tmp_path):
+        with ResultsStore(tmp_path / "s.sqlite") as store:
+            with pytest.raises(ValueError, match="run_key"):
+                store.put({"converged": True})
+
+    def test_provenance_records_label_and_source(self, tmp_path):
+        with ResultsStore(tmp_path / "s.sqlite") as store:
+            store.put(_row("k1"), sweep_label="fig3", source="executed")
+            prov = store.provenance("k1")
+            assert prov["sweep_label"] == "fig3"
+            assert prov["source"] == "executed"
+            assert prov["pid"] > 0
+
+    def test_newer_layout_version_is_refused(self, tmp_path):
+        path = tmp_path / "s.sqlite"
+        ResultsStore(path).close()
+        conn = sqlite3.connect(str(path))
+        conn.execute("UPDATE store_meta SET value = '99' WHERE key = 'layout_version'")
+        conn.commit()
+        conn.close()
+        with pytest.raises(StoreError, match="layout version 99"):
+            ResultsStore(path)
+
+
+class TestClaims:
+    def test_claim_is_exclusive_across_handles(self, tmp_path):
+        path = tmp_path / "s.sqlite"
+        with ResultsStore(path) as a, ResultsStore(path) as b:
+            assert a.claim("k1") is True
+            assert b.claim("k1") is False
+            assert a.claim("k1") is True  # re-entrant for the owner
+            info = b.claim_info("k1")
+            assert info.owner == a.owner_id
+
+    def test_put_releases_the_claim(self, tmp_path):
+        path = tmp_path / "s.sqlite"
+        with ResultsStore(path) as a, ResultsStore(path) as b:
+            assert a.claim("k1") is True
+            a.put(_row("k1"))
+            assert a.claim_count() == 0
+            # The key is stored now, so nobody claims it again.
+            assert b.claim("k1") is False
+            assert a.claim("k1") is False
+
+    def test_release_only_drops_own_claims(self, tmp_path):
+        path = tmp_path / "s.sqlite"
+        with ResultsStore(path) as a, ResultsStore(path) as b:
+            a.claim("k1")
+            assert b.release("k1") is False
+            assert a.claim_count() == 1
+            assert b.release("k1", force=True) is True
+            assert a.claim_count() == 0
+
+    def test_dead_pid_claim_is_stolen(self, tmp_path):
+        path = tmp_path / "s.sqlite"
+        with ResultsStore(path) as store:
+            # Forge a same-host claim from a pid that cannot exist.
+            conn = sqlite3.connect(str(path))
+            conn.execute(
+                "INSERT INTO claims (run_key, owner, host, pid, claimed_at) "
+                "VALUES ('k1', 'ghost', ?, ?, ?)",
+                (store._host, 2 ** 22 + 1, 1e18),
+            )
+            conn.commit()
+            conn.close()
+            assert store.claim("k1") is True
+            assert store.claim_info("k1").owner == store.owner_id
+
+    def test_expired_claim_is_stolen_even_from_a_live_process(self, tmp_path):
+        path = tmp_path / "s.sqlite"
+        with ResultsStore(path) as a, ResultsStore(path) as b:
+            a.claim("k1")
+            assert b.claim("k1", ttl_s=3600.0) is False
+            assert b.claim("k1", ttl_s=0.0) is True
+            assert b.claim_info("k1").owner == b.owner_id
+
+
+class TestImportAndStats:
+    def test_import_jsonl_ingests_and_labels(self, tmp_path):
+        jsonl = tmp_path / "sweep.jsonl"
+        rows = [_row(f"k{i}") for i in range(3)]
+        jsonl.write_text("".join(json.dumps(r) + "\n" for r in rows))
+        with ResultsStore(tmp_path / "s.sqlite") as store:
+            assert store.import_jsonl(jsonl) == 3
+            assert store.import_jsonl(jsonl) == 0  # idempotent
+            assert store.get("k1") == rows[1]
+            assert store.provenance("k0")["sweep_label"] == "sweep.jsonl"
+            assert store.provenance("k0")["source"] == "jsonl-import"
+
+    def test_import_repairs_a_truncated_last_line(self, tmp_path):
+        jsonl = tmp_path / "sweep.jsonl"
+        rows = [_row(f"k{i}") for i in range(2)]
+        text = "".join(json.dumps(r) + "\n" for r in rows)
+        jsonl.write_text(text + '{"run_key": "k2", "conv')  # torn mid-write
+        with ResultsStore(tmp_path / "s.sqlite") as store:
+            with pytest.warns(UserWarning, match="truncated"):
+                assert store.import_jsonl(jsonl) == 2
+            assert "k2" not in store
+            # The repair dropped the torn tail: the file ends clean.
+            assert jsonl.read_text() == text
+
+    def test_stats_counts_rows_claims_and_sources(self, tmp_path):
+        with ResultsStore(tmp_path / "s.sqlite") as store:
+            store.put(_row("k1"), source="executed")
+            store.put(_row("k2"), source="jsonl-import")
+            store.claim("k3")
+            stats = store.stats()
+            assert stats["rows"] == 2
+            assert stats["claims"] == 1
+            assert stats["by_source"] == {"executed": 1, "jsonl-import": 1}
+            assert store.integrity_ok()
+
+    def test_run_keys_lists_current_schema_rows(self, tmp_path):
+        with ResultsStore(tmp_path / "s.sqlite") as store:
+            store.put_many([_row("b"), _row("a")])
+            assert store.run_keys() == ["a", "b"]

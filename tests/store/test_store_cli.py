@@ -1,0 +1,91 @@
+"""Tests for the ``python -m repro store`` verbs and the sweep --store flags."""
+
+from __future__ import annotations
+
+import json
+
+from repro.__main__ import main as repro_main
+from repro.store import ResultsStore
+from repro.store.cli import main as store_main
+from repro.sweeps import RunSpec, run_sweep
+
+
+def _jsonl(tmp_path, name, keys):
+    path = tmp_path / name
+    path.write_text(
+        "".join(
+            json.dumps({"run_key": key, "converged": True}) + "\n" for key in keys
+        )
+    )
+    return path
+
+
+class TestStoreCli:
+    def test_import_is_idempotent(self, tmp_path, capsys):
+        store = tmp_path / "s.sqlite"
+        a = _jsonl(tmp_path, "a.jsonl", ["k1", "k2"])
+        b = _jsonl(tmp_path, "b.jsonl", ["k2", "k3"])
+        assert store_main(["import", str(a), str(b), "--store", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "3 rows imported" in out
+        assert store_main(["import", str(a), "--store", str(store)]) == 0
+        assert "0 rows imported" in capsys.readouterr().out
+        with ResultsStore(store) as handle:
+            assert handle.run_keys() == ["k1", "k2", "k3"]
+            assert handle.provenance("k1")["sweep_label"] == "a.jsonl"
+
+    def test_stats_json(self, tmp_path, capsys):
+        store = tmp_path / "s.sqlite"
+        a = _jsonl(tmp_path, "a.jsonl", ["k1"])
+        store_main(["import", str(a), "--store", str(store), "--label", "legacy"])
+        capsys.readouterr()
+        assert store_main(["stats", "--store", str(store), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["rows"] == 1
+        assert payload["by_source"] == {"jsonl-import": 1}
+
+    def test_dispatch_through_python_m_repro(self, tmp_path, capsys):
+        store = tmp_path / "s.sqlite"
+        a = _jsonl(tmp_path, "a.jsonl", ["k1"])
+        assert repro_main(["store", "import", str(a), "--store", str(store)]) == 0
+        assert "1 rows imported" in capsys.readouterr().out
+
+
+class TestSweepCliStoreFlags:
+    RUNS = [
+        RunSpec(
+            algorithm="kknps", scheduler="ssync", workload="line", n_robots=5,
+            seed=seed, epsilon=0.1, max_activations=80,
+        )
+        for seed in range(2)
+    ]
+
+    def test_sweep_store_flag_dedups_second_invocation(self, tmp_path, capsys):
+        from repro.sweeps.cli import main as sweep_main
+
+        store = tmp_path / "s.sqlite"
+        argv = [
+            "--algorithms", "kknps", "--schedulers", "ssync",
+            "--workloads", "line", "--n", "5", "--seeds", "2",
+            "--max-activations", "80", "--quiet", "--store", str(store),
+        ]
+        assert sweep_main(argv) == 0
+        first = capsys.readouterr().out
+        assert "0/2 rows served from the results store" in first
+        assert sweep_main(argv) == 0
+        second = capsys.readouterr().out
+        assert "2/2 rows served from the results store" in second
+
+    def test_no_store_ignores_the_store(self, tmp_path, capsys):
+        from repro.sweeps.cli import main as sweep_main
+
+        store = tmp_path / "s.sqlite"
+        argv = [
+            "--algorithms", "kknps", "--schedulers", "ssync",
+            "--workloads", "line", "--n", "5", "--seeds", "1",
+            "--max-activations", "80", "--quiet",
+            "--store", str(store), "--no-store",
+        ]
+        assert sweep_main(argv) == 0
+        assert not store.exists()
+        assert "results store" not in capsys.readouterr().out

@@ -1,0 +1,111 @@
+"""Crash battery: SIGKILL mid-ingest leaves no torn rows; resume completes.
+
+A subprocess runs a slowed sweep against a store and is SIGKILLed while
+rows are landing.  The store must reopen clean (sqlite integrity, whole
+JSON payloads only), a resuming runner must finish the sweep executing
+only what is missing, and the final row set must be bit-identical (up to
+timing) to an uninterrupted run against a fresh store.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.store import ResultsStore
+from repro.sweeps import RunSpec, run_sweep
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+RUNS = [
+    RunSpec(
+        algorithm="kknps", scheduler="ssync", workload="line", n_robots=5,
+        seed=seed, epsilon=0.1, max_activations=80,
+    )
+    for seed in range(8)
+]
+
+#: A sweep whose every run dawdles first, so the parent can kill the
+#: process while ingest is provably in flight.
+_VICTIM_SCRIPT = """
+import sys, time
+sys.path.insert(0, {src!r})
+sys.path.insert(0, {here!r})  # makes RUNS importable
+from repro.sweeps import SweepRunner, make_backend
+from repro.sweeps.runner import execute_run
+from test_store_crash import RUNS
+
+def slow_run(spec):
+    time.sleep(0.15)
+    return execute_run(spec)
+
+SweepRunner(
+    RUNS, backend=make_backend("serial", run_fn=slow_run), store={store!r}
+).run()
+"""
+
+
+def _spawn_victim(tmp_path: Path, store: Path) -> subprocess.Popen:
+    script = tmp_path / "victim.py"
+    here = Path(__file__).resolve().parent
+    script.write_text(
+        _VICTIM_SCRIPT.format(src=str(SRC), here=str(here), store=str(store))
+    )
+    return subprocess.Popen(
+        [sys.executable, str(script)],
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+
+
+class TestKillMidIngest:
+    def test_store_survives_sigkill_and_resume_is_bit_identical(self, tmp_path):
+        store_path = tmp_path / "results.sqlite"
+        victim = _spawn_victim(tmp_path, store_path)
+        try:
+            # Wait until at least two rows landed, then kill without mercy.
+            deadline = time.monotonic() + 60
+            with ResultsStore(store_path) as watcher:
+                while len(watcher) < 2:
+                    assert time.monotonic() < deadline, "victim made no progress"
+                    assert victim.poll() is None, "victim died on its own"
+                    time.sleep(0.02)
+            os.kill(victim.pid, signal.SIGKILL)
+            victim.wait(timeout=30)
+        finally:
+            if victim.poll() is None:
+                victim.kill()
+                victim.wait(timeout=30)
+
+        # The store reopens clean: sqlite integrity holds and every stored
+        # payload is a whole row (get() json-parses each one).
+        with ResultsStore(store_path) as store:
+            assert store.integrity_ok()
+            ingested = len(store)
+            assert 2 <= ingested < len(RUNS)
+            for key in store.run_keys():
+                row = store.get(key)
+                assert row["run_key"] == key
+                assert "converged" in row
+
+        # Resume: only the missing keys execute (stale claims of the dead
+        # pid do not stall it), and the result matches a clean run.
+        resumed = run_sweep(RUNS, store=store_path)
+        assert resumed.store_hits == ingested
+        assert resumed.executed == len(RUNS) - ingested
+
+        reference = run_sweep(RUNS, store=tmp_path / "fresh.sqlite")
+        assert resumed.deterministic_rows() == reference.deterministic_rows()
+        assert (
+            resumed.to_table().render().splitlines()[1:]
+            == reference.to_table().render().splitlines()[1:]
+        )
+
+        # And no claims linger once the sweep completed.
+        with ResultsStore(store_path) as store:
+            assert store.claim_count() == 0
+            assert len(store) == len(RUNS)

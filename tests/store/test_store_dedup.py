@@ -1,0 +1,107 @@
+"""End-to-end dedup equivalence: the store serves cached science verbatim.
+
+The ISSUE-8 acceptance battery: one mixed 2D/3D sweep run twice against
+the same store (and once with no store at all) — the second pass
+executes zero runs, every row comes from the store, and all three row
+sets are bit-identical.
+"""
+
+from __future__ import annotations
+
+from repro.store import ResultsStore
+from repro.sweeps import RunSpec, run_sweep
+
+#: A mixed planar/3D run list, the shape SweepSpec grids cannot express
+#: (grids are single-dimension by validation) — exactly what the global
+#: store must still dedup correctly.
+MIXED_RUNS = [
+    RunSpec(
+        algorithm="kknps", scheduler="ssync", workload="line", n_robots=5,
+        seed=seed, epsilon=0.1, max_activations=100,
+    )
+    for seed in range(4)
+] + [
+    RunSpec(
+        algorithm="kknps3", scheduler="ssync3", workload="line3", n_robots=6,
+        seed=seed, algorithm_params=(("k", 1),), scheduler_k=1,
+        epsilon=0.1, max_activations=40,
+    )
+    for seed in range(2)
+]
+
+
+class TestDedupEquivalence:
+    def test_second_pass_executes_nothing_and_rows_are_bit_identical(self, tmp_path):
+        store = tmp_path / "results.sqlite"
+
+        first = run_sweep(MIXED_RUNS, store=store)
+        second = run_sweep(MIXED_RUNS, store=store)
+        bare = run_sweep(MIXED_RUNS)  # the --no-store control
+
+        assert first.executed == len(MIXED_RUNS)
+        assert first.store_hits == 0
+
+        # Zero executions on the cached pass: everything is served.
+        assert second.executed == 0
+        assert second.resumed == 0
+        assert second.store_hits == len(MIXED_RUNS)
+
+        # The cached rows are *literally* the stored ones — wall_time_s
+        # included — so the second pass is bit-identical to the first.
+        assert second.rows == first.rows
+
+        # And both match an uncached recomputation up to timing fields.
+        assert second.deterministic_rows() == bare.deterministic_rows()
+        assert first.deterministic_rows() == bare.deterministic_rows()
+
+    def test_rows_preserve_expansion_order_on_the_cached_pass(self, tmp_path):
+        store = tmp_path / "results.sqlite"
+        run_sweep(MIXED_RUNS, store=store)
+        cached = run_sweep(MIXED_RUNS, store=store)
+        assert [row["run_key"] for row in cached.rows] == [
+            spec.run_key for spec in MIXED_RUNS
+        ]
+
+    def test_fully_cached_sweep_spins_up_no_workers(self, tmp_path):
+        store = tmp_path / "results.sqlite"
+        run_sweep(MIXED_RUNS, store=store)
+        cached = run_sweep(
+            MIXED_RUNS, store=store, workers=2, backend="work-stealing"
+        )
+        assert cached.executed == 0
+        assert cached.store_hits == len(MIXED_RUNS)
+        # No run reached the backend, so its pool never started.
+        assert cached.stats is None or cached.stats.runs == 0
+
+    def test_partial_cache_executes_only_the_misses(self, tmp_path):
+        store = tmp_path / "results.sqlite"
+        warm = run_sweep(MIXED_RUNS[:3], store=store)
+        assert warm.executed == 3
+        mixed = run_sweep(MIXED_RUNS, store=store)
+        assert mixed.store_hits == 3
+        assert mixed.executed == len(MIXED_RUNS) - 3
+        full = run_sweep(MIXED_RUNS, store=store)
+        assert full.executed == 0
+        assert full.store_hits == len(MIXED_RUNS)
+
+    def test_store_composes_with_jsonl_resume(self, tmp_path):
+        store = tmp_path / "results.sqlite"
+        out = tmp_path / "rows.jsonl"
+        first = run_sweep(MIXED_RUNS, store=store, jsonl_path=out)
+        again = run_sweep(MIXED_RUNS, store=store, jsonl_path=out)
+        # JSONL resume claims the rows first; the store serves nothing new.
+        assert again.executed == 0
+        assert again.resumed == len(MIXED_RUNS)
+        assert again.rows == first.rows
+
+    def test_jsonl_rows_seed_the_store_for_other_sweeps(self, tmp_path):
+        store = tmp_path / "results.sqlite"
+        out = tmp_path / "rows.jsonl"
+        run_sweep(MIXED_RUNS, store=store, jsonl_path=out)
+        # A different sweep (no JSONL) over the same keys: served from the
+        # store, which ingested the JSONL rows during the first run.
+        fresh = run_sweep(MIXED_RUNS, store=store)
+        assert fresh.executed == 0
+        assert fresh.store_hits == len(MIXED_RUNS)
+        with ResultsStore(store) as handle:
+            assert len(handle) == len(MIXED_RUNS)

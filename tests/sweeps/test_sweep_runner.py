@@ -108,6 +108,62 @@ class TestSweepRunner:
         result = run_sweep(SMALL_SPEC.expand()[:4], jsonl_path=jsonl)
         assert (result.executed, result.resumed) == (1, 3)
 
+    def test_skip_warning_is_one_shot_across_resumes(self, tmp_path):
+        import warnings
+
+        jsonl = tmp_path / "rows.jsonl"
+        run_sweep(SMALL_SPEC.expand()[:3], jsonl_path=jsonl)
+        with jsonl.open("a", encoding="utf-8") as handle:
+            handle.write("not json at all\n")
+        # First resume past the garbage line: one warning, recorded in
+        # the .repairs sidecar.
+        with pytest.warns(UserWarning, match="without a parseable sweep row"):
+            run_sweep(SMALL_SPEC.expand()[3:5], jsonl_path=jsonl)
+        first = load_completed_rows(jsonl)
+        assert len(first) == 5
+        assert (tmp_path / "rows.jsonl.repairs").exists()
+
+        # Every later resume of the repaired file is silent ...
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            again = load_completed_rows(jsonl)
+        assert again == first
+
+        # ... and the foreign line itself is preserved, not destroyed.
+        assert "not json at all\n" in jsonl.read_text()
+
+        # A resume through the runner is silent too and recovers all rows.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            result = run_sweep(SMALL_SPEC.expand()[:5], jsonl_path=jsonl)
+        assert (result.executed, result.resumed) == (0, 5)
+
+    def test_edited_bad_line_warns_again(self, tmp_path):
+        jsonl = tmp_path / "rows.jsonl"
+        run_sweep(SMALL_SPEC.expand()[:2], jsonl_path=jsonl)
+        with jsonl.open("a", encoding="utf-8") as handle:
+            handle.write("garbage one\n")
+        with pytest.warns(UserWarning, match="without a parseable sweep row"):
+            load_completed_rows(jsonl)
+        # The same offset now holds *different* bytes: the sidecar record
+        # no longer matches, so the warning fires again.
+        text = jsonl.read_text().replace("garbage one\n", "garbage two\n")
+        jsonl.write_text(text)
+        with pytest.warns(UserWarning, match="without a parseable sweep row"):
+            load_completed_rows(jsonl)
+
+    def test_no_resume_clears_the_repair_sidecar(self, tmp_path):
+        jsonl = tmp_path / "rows.jsonl"
+        run_sweep(SMALL_SPEC.expand()[:2], jsonl_path=jsonl)
+        with jsonl.open("a", encoding="utf-8") as handle:
+            handle.write("junk\n")
+        with pytest.warns(UserWarning):
+            load_completed_rows(jsonl)
+        sidecar = tmp_path / "rows.jsonl.repairs"
+        assert sidecar.exists()
+        run_sweep(SMALL_SPEC.expand()[:2], jsonl_path=jsonl, resume=False)
+        assert not sidecar.exists()
+
     def test_progress_callback(self):
         calls = []
         run_sweep(

@@ -1,0 +1,168 @@
+#!/usr/bin/env python
+"""CI smoke for the sweep job service: serve, submit, re-submit, dedup.
+
+Starts ``python -m repro serve`` as a real subprocess on a free port
+with a temporary store, drives it through the real CLI verbs (the same
+path a user's shell takes), and asserts the acceptance loop of the
+results store:
+
+1. ``submit --smoke --wait`` completes with every run executed;
+2. the same submission again completes with **zero** executed runs —
+   100% served from the store;
+3. the second job's rows are bit-identical to the first's.
+
+Exits non-zero (with the service's stderr) on any violation.  Run as
+``PYTHONPATH=src python tools/service_smoke.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+SRC = ROOT / "src"
+
+
+def free_port() -> int:
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+def cli(*args: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ, PYTHONPATH=str(SRC))
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=180,
+        cwd=ROOT,
+    )
+
+
+def wait_for_health(port: int, server: subprocess.Popen) -> None:
+    deadline = time.monotonic() + 30
+    while time.monotonic() < deadline:
+        if server.poll() is not None:
+            raise SystemExit(
+                f"serve died on startup (rc={server.returncode}):\n"
+                f"{server.stderr.read()}"
+            )
+        try:
+            with urllib.request.urlopen(
+                f"http://127.0.0.1:{port}/api/health", timeout=2
+            ) as response:
+                if json.loads(response.read())["status"] == "ok":
+                    return
+        except (urllib.error.URLError, OSError):
+            time.sleep(0.1)
+    raise SystemExit("service never became healthy")
+
+
+def submit_smoke(port: int) -> dict:
+    proc = cli(
+        "submit", "--smoke", "--wait", "--json",
+        "--port", str(port), "--workers", "2",
+    )
+    if proc.returncode != 0:
+        raise SystemExit(
+            f"submit failed (rc={proc.returncode}):\n{proc.stdout}\n{proc.stderr}"
+        )
+    return json.loads(proc.stdout)
+
+
+def fetch_rows(port: int, job_id: str) -> list:
+    proc = cli("results", job_id, "--rows", "--json", "--port", str(port))
+    if proc.returncode != 0:
+        raise SystemExit(f"results failed: {proc.stderr}")
+    return json.loads(proc.stdout)["rows"]
+
+
+def main() -> int:
+    port = free_port()
+    failures = []
+    with tempfile.TemporaryDirectory(prefix="repro-service-smoke-") as tmp:
+        env = dict(os.environ, PYTHONPATH=str(SRC))
+        server = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--port", str(port),
+                "--store", str(Path(tmp) / "store.sqlite"),
+                "--jobs-dir", str(Path(tmp) / "jobs"),
+            ],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            cwd=ROOT,
+        )
+        try:
+            wait_for_health(port, server)
+
+            first = submit_smoke(port)
+            print(
+                f"first job {first['job_id']}: {first['state']}, "
+                f"{first['executed']} executed, {first['store_hits']} store hits"
+            )
+            if first["state"] != "done":
+                failures.append(f"first job not done: {first}")
+            if first["executed"] != first["total"]:
+                failures.append(
+                    f"first job should execute everything: {first['executed']}"
+                    f"/{first['total']}"
+                )
+
+            second = submit_smoke(port)
+            print(
+                f"second job {second['job_id']}: {second['state']}, "
+                f"{second['executed']} executed, {second['store_hits']} store hits"
+            )
+            if second["state"] != "done":
+                failures.append(f"second job not done: {second}")
+            if second["executed"] != 0:
+                failures.append(
+                    f"re-submission executed {second['executed']} runs; "
+                    "expected 0 (100% cache hits)"
+                )
+            if second["store_hits"] != second["total"]:
+                failures.append(
+                    f"re-submission served {second['store_hits']}"
+                    f"/{second['total']} rows from the store; expected all"
+                )
+
+            rows_first = fetch_rows(port, first["job_id"])
+            rows_second = fetch_rows(port, second["job_id"])
+            if rows_first != rows_second:
+                failures.append("cached rows differ from the computed rows")
+            else:
+                print(f"{len(rows_second)} cached rows bit-identical")
+        finally:
+            server.send_signal(signal.SIGTERM)
+            try:
+                server.wait(timeout=15)
+            except subprocess.TimeoutExpired:
+                server.kill()
+                server.wait(timeout=15)
+
+    if failures:
+        print("\nSERVICE SMOKE FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("service smoke passed: second submission was 100% cache hits")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
