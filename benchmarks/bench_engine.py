@@ -261,6 +261,63 @@ def _run_once(simulator_cls, positions, algorithm, scheduler, config) -> float:
     return time.perf_counter() - started
 
 
+class _PhaseTimedSimulator(Simulator):
+    """A Simulator that accumulates wall time per round-fast-path phase.
+
+    Wraps the three phase primitives of the batched round path — the
+    per-round :class:`ShardedGridIndex` build, the per-activation decide
+    closure and the metrics observe — in ``perf_counter`` brackets.  The
+    wrappers cost a few microseconds per call, so the phase split is
+    measured in a *separate* run from the headline wall clock.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.phase_seconds = {"grid_build": 0.0, "decide": 0.0, "metrics": 0.0}
+
+    def _round_shard(self, committed):
+        started = time.perf_counter()
+        shard = super()._round_shard(committed)
+        self.phase_seconds["grid_build"] += time.perf_counter() - started
+        return shard
+
+    def _round_decider(self, look_time, committed, shard):
+        inner = super()._round_decider(look_time, committed, shard)
+
+        def decide(robot_id, activation):
+            started = time.perf_counter()
+            decision = inner(robot_id, activation)
+            self.phase_seconds["decide"] += time.perf_counter() - started
+            return decision
+
+        return decide
+
+    def _make_metrics(self):
+        metrics = super()._make_metrics()
+        inner_observe = metrics.observe
+        phase_seconds = self.phase_seconds
+
+        def observe(time_, positions, processed):
+            started = time.perf_counter()
+            sample = inner_observe(time_, positions, processed)
+            phase_seconds["metrics"] += time.perf_counter() - started
+            return sample
+
+        metrics.observe = observe
+        return metrics
+
+
+def _run_phased(positions, algorithm, scheduler, config) -> dict:
+    """One instrumented fast-path run; per-phase seconds plus the rest."""
+    simulator = _PhaseTimedSimulator(positions, algorithm, scheduler, config)
+    started = time.perf_counter()
+    simulator.run()
+    total = time.perf_counter() - started
+    phases = {k: round(v, 6) for k, v in simulator.phase_seconds.items()}
+    phases["other"] = round(max(0.0, total - sum(simulator.phase_seconds.values())), 6)
+    return phases
+
+
 def run_grid(sizes, max_activations: int, *, verbose: bool = True) -> dict:
     results = []
     for algo_name, algo_factory in _algorithms():
@@ -338,6 +395,10 @@ def run_mega(sizes, *, smoke: bool, verbose: bool = True) -> dict:
             Simulator, positions, KKNPSAlgorithm(k=1), SSyncScheduler(),
             _config(activations, "array", 1),
         )
+        phases = _run_phased(
+            positions, KKNPSAlgorithm(k=1), SSyncScheduler(),
+            _config(activations, "array", 1),
+        )
         row = {
             "algorithm": "kknps",
             "scheduler": "ssync",
@@ -346,6 +407,7 @@ def run_mega(sizes, *, smoke: bool, verbose: bool = True) -> dict:
             "activations": activations,
             "seed": SEED,
             "seconds_fast": round(fast_seconds, 6),
+            "phase_seconds": phases,
         }
         if n <= MEGA_REFERENCE_MAX:
             reference_seconds = _run_once(
@@ -368,6 +430,11 @@ def run_mega(sizes, *, smoke: bool, verbose: bool = True) -> dict:
             print(
                 f" kknps x ssync   n={n:<7} fast {fast_seconds:8.3f}s   {suffix}"
             )
+            print(
+                f"                 phases: grid {phases['grid_build']:.3f}s   "
+                f"decide {phases['decide']:.3f}s   metrics {phases['metrics']:.3f}s   "
+                f"other {phases['other']:.3f}s"
+            )
     speedup_n1000 = next(
         (r["speedup_round_batching"] for r in rows if r["n"] == 1_000), None
     )
@@ -376,6 +443,103 @@ def run_mega(sizes, *, smoke: bool, verbose: bool = True) -> dict:
         "reference_max_n": MEGA_REFERENCE_MAX,
         "results": rows,
         "round_batching_speedup_n1000": speedup_n1000,
+    }
+
+
+#: The replicate-batching acceptance cell: a 16-seed kknps x ssync bundle
+#: at n=10^3 (the sweep grid's seed axis at mid scale).
+REPLICATE_N = 1_000
+REPLICATE_SEEDS = 16
+REPLICATE_ACTIVATIONS = 400
+#: Measurement repetitions per side; both sides report their best rep
+#: (single-vCPU CI hosts show multi-second sporadic noise, so a mean
+#: would gate on the host, not the code).
+REPLICATE_REPS = 5
+
+
+def run_replicates(*, smoke: bool, verbose: bool = True) -> dict:
+    """Replicate batching: one 16-seed bundle vs 16 sequential fast-path runs.
+
+    Both sides execute the identical run specs (same workloads, same RNG
+    streams); every batched result is asserted bit-identical to its
+    serial counterpart before any timing is reported.  Wall clocks are
+    best-of-:data:`REPLICATE_REPS` per side.
+    """
+    from repro.engine.replicate import run_replicated_simulations
+    from repro.sweeps.runner import planar_setup
+    from repro.sweeps.spec import RunSpec
+
+    n = 50 if smoke else REPLICATE_N
+    seeds = 4 if smoke else REPLICATE_SEEDS
+    activations = 120 if smoke else REPLICATE_ACTIVATIONS
+    reps = 1 if smoke else REPLICATE_REPS
+
+    def spec(seed: int) -> RunSpec:
+        return RunSpec(
+            algorithm="kknps", scheduler="ssync", workload="grid", n_robots=n,
+            error_model="exact", seed=seed, scheduler_k=2, epsilon=0.05,
+            max_activations=activations,
+        )
+
+    def factory_for(seed: int):
+        def factory():
+            configuration, algorithm, scheduler, config = planar_setup(spec(seed))
+            return configuration.positions, algorithm, scheduler, config
+
+        return factory
+
+    serial_times, batched_times = [], []
+    for _ in range(reps):
+        # The mega section leaves a fragmented heap behind; start each rep
+        # from a collected state so neither side inherits it.
+        import gc
+
+        gc.collect()
+        started = time.perf_counter()
+        serial = [Simulator(*factory_for(s)()).run() for s in range(seeds)]
+        mid = time.perf_counter()
+        batched = run_replicated_simulations(
+            [factory_for(s) for s in range(seeds)], fanout_workers=0
+        )
+        serial_times.append(mid - started)
+        batched_times.append(time.perf_counter() - mid)
+        for a, b in zip(serial, batched):
+            assert a.activations_processed == b.activations_processed
+            assert tuple(a.final_configuration.positions) == tuple(
+                b.final_configuration.positions
+            )
+            assert a.metrics.samples == b.metrics.samples
+            assert a.records == b.records
+            assert a.activation_end_times == b.activation_end_times
+            assert a.converged == b.converged
+            assert a.convergence_time == b.convergence_time
+            assert a.final_time == b.final_time
+    serial_best = min(serial_times)
+    batched_best = min(batched_times)
+    speedup = serial_best / batched_best if batched_best > 0 else math.inf
+    runs_per_second = seeds / batched_best if batched_best > 0 else math.inf
+    if verbose:
+        print(
+            f" kknps x ssync   n={n} x {seeds} seeds   "
+            f"serial best {serial_best:7.3f}s   batched best {batched_best:7.3f}s   "
+            f"speedup {speedup:6.2f}x   ({runs_per_second:.1f} runs/s, bit-identical)"
+        )
+    return {
+        "algorithm": "kknps",
+        "scheduler": "ssync",
+        "workload": "grid",
+        "n": n,
+        "seeds": seeds,
+        "activations": activations,
+        "reps": reps,
+        "seconds_serial_best": round(serial_best, 6),
+        "seconds_batched_best": round(batched_best, 6),
+        "speedup_replicate_batching": round(speedup, 3),
+        "runs_per_second_batched": round(runs_per_second, 3),
+        "bit_identical": True,
+        "perf_floor_replicate_runs_per_second": round(
+            PERF_FLOOR_FRACTION * runs_per_second, 3
+        ),
     }
 
 
@@ -400,6 +564,7 @@ def main(argv=None) -> int:
     payload["mega"] = run_mega(
         SMOKE_MEGA_SIZES if args.smoke else MEGA_SIZES, smoke=args.smoke
     )
+    payload["replicates"] = run_replicates(smoke=args.smoke)
     payload["smoke"] = bool(args.smoke)
 
     args.output.write_text(json.dumps(payload, indent=2) + "\n")
@@ -413,11 +578,16 @@ def main(argv=None) -> int:
     assert parsed["mega"]["results"], "bench produced no mega rows"
     for row in parsed["mega"]["results"]:
         assert row["seconds_fast"] > 0
+        assert row["phase_seconds"]["decide"] > 0
+    assert parsed["replicates"]["bit_identical"]
+    assert parsed["replicates"]["runs_per_second_batched"] > 0
     if not args.smoke:
         headline = parsed["headline_speedup_kknps_ssync_n200"]
         print(f"headline (kknps x ssync, n=200): {headline}x")
         mega = parsed["mega"]["round_batching_speedup_n1000"]
         print(f"round batching (kknps x ssync, n=1000): {mega}x")
+        replicates = parsed["replicates"]["speedup_replicate_batching"]
+        print(f"replicate batching (kknps x ssync, n=1000 x 16 seeds): {replicates}x")
     return 0
 
 

@@ -19,8 +19,11 @@ module also exposes absolute-coordinate variants for the analysis code.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import List, Sequence
+
+import numpy as np
 
 from ..geometry.disk import Disk
 from ..geometry.point import Point, PointLike
@@ -154,6 +157,21 @@ def max_step_within_disks(
     return origin + direction * t_max
 
 
+def _max_step_within_regions_loop(
+    origin: Point, goal: Point, regions: Sequence[KatreniakSafeRegion], samples: int
+) -> Point:
+    """Reference sampling loop (also the fallback for unknown region types)."""
+    best = origin
+    for i in range(1, samples + 1):
+        t = i / samples
+        candidate = origin.lerp(goal, t)
+        if all(region.contains(candidate) for region in regions):
+            best = candidate
+        else:
+            break
+    return best
+
+
 def max_step_within_regions(
     origin: PointLike,
     goal: PointLike,
@@ -166,16 +184,48 @@ def max_step_within_regions(
     Katreniak's composite region is an intersection of unions of disks and
     is not convex, so the feasible set along the ray need not be an
     interval; the largest feasible *prefix* is found by sampling.
+
+    The candidate grid is evaluated in one vectorized pass that reproduces
+    the sampling loop's arithmetic exactly — the candidate coordinates use
+    ``Point.lerp``'s expression elementwise, each containment test feeds
+    the same ``math.hypot`` distances into the same comparison — so the
+    first failing sample (and therefore the returned point) is identical
+    to the loop's.  Region objects that are not two-disk unions fall back
+    to the loop.
     """
     origin, goal = Point.of(origin), Point.of(goal)
     if origin.distance_to(goal) <= EPS:
         return origin
-    best = origin
-    for i in range(1, samples + 1):
-        t = i / samples
-        candidate = origin.lerp(goal, t)
-        if all(region.contains(candidate) for region in regions):
-            best = candidate
-        else:
+    if not all(type(region) is KatreniakSafeRegion for region in regions):
+        return _max_step_within_regions_loop(origin, goal, regions, samples)
+    # Candidate coordinates, term-for-term with Point.lerp.
+    ts = np.arange(1, samples + 1, dtype=np.float64) / samples
+    px = origin.x + (goal.x - origin.x) * ts
+    py = origin.y + (goal.y - origin.y) * ts
+    feasible = np.ones(samples, dtype=bool)
+    for region in regions:
+        region_ok = np.zeros(samples, dtype=bool)
+        for disk in (region.near_disk, region.slack_disk):
+            # Disk.contains, batched: the same per-candidate
+            # ``math.hypot(cx - px, cy - py) <= radius + eps`` decision.
+            dist = np.fromiter(
+                map(
+                    math.hypot,
+                    (disk.center.x - px).tolist(),
+                    (disk.center.y - py).tolist(),
+                ),
+                dtype=np.float64,
+                count=samples,
+            )
+            region_ok |= dist <= disk.radius + EPS
+        feasible &= region_ok
+        if not feasible.any():
             break
-    return best
+    failing = np.flatnonzero(~feasible)
+    if not len(failing):
+        prefix = samples
+    else:
+        prefix = int(failing[0])
+    if prefix == 0:
+        return origin
+    return origin.lerp(goal, prefix / samples)

@@ -1,0 +1,443 @@
+"""Shared-memory process fan-out for the replicate-batched decide core.
+
+The replicate engine (:mod:`repro.engine.replicate`) reduces each round to
+one vectorized perception pre-pass plus a scalar per-activation KKNPS
+core (:func:`kknps_destination_segment`).  At mega scale the scalar core
+dominates the round — `benchmarks/bench_engine.py --mega` records the
+per-phase split — and it is embarrassingly parallel: every activation
+reads a disjoint slice of the flat perceived arrays and writes one output
+row.  :class:`FanoutPool` parcels those slices across worker processes
+through ``multiprocessing.shared_memory`` views, so nothing but slice
+bounds and a few per-lane constants crosses the pipe.
+
+Determinism: workers run the *same* ``kknps_destination_segment`` over
+disjoint activation ranges of the same arrays, so the merged output is
+bit-identical to the inline loop regardless of worker count or scheduling
+order.  The pool never touches an RNG.
+
+The auto-enable threshold :data:`REPLICATE_FANOUT_MIN_ROBOTS` comes from
+the per-phase mega timings: below ~10^5 robots per round the decide core
+costs less than the IPC round trip plus the shared-memory copies, so the
+pool only pays for itself on mega-swarm rounds.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import os
+from multiprocessing import shared_memory
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..geometry.tolerances import EPS
+
+#: Robots-per-round (lanes x n) below which the process fan-out costs more
+#: than it saves.  Calibrated from the per-phase mega timings recorded by
+#: ``benchmarks/bench_engine.py`` (decide-core share of the round wall
+#: time crosses the IPC+copy overhead around 10^5 robots).
+REPLICATE_FANOUT_MIN_ROBOTS = 100_000
+
+#: One lane's algorithm constants, in the order the core consumes them:
+#: ``(close_fraction, distance_error_tolerance, alpha, radius_divisor,
+#: shrink)``.
+LaneConsts = Tuple[float, float, float, float, float]
+
+
+def fanout_auto_workers() -> int:
+    """Default worker count for an auto-enabled fan-out pool."""
+    return max(2, min(4, (os.cpu_count() or 2) - 1))
+
+
+def kknps_destination_segment(
+    px: np.ndarray,
+    py: np.ndarray,
+    starts: np.ndarray,
+    ends: np.ndarray,
+    lane_of: np.ndarray,
+    lane_consts: Sequence[LaneConsts],
+    lo: int,
+    hi: int,
+    out: np.ndarray,
+) -> None:
+    """Local-frame KKNPS destinations for activations ``lo..hi`` (exclusive).
+
+    ``px``/``py`` are the flat perceived neighbour coordinates of *all*
+    activations; activation ``a`` owns rows ``starts[a]:ends[a]``.  The
+    body is a faithful scalar transcription of
+    :meth:`repro.algorithms.kknps.KKNPSAlgorithm.compute_relative` (same
+    ``math.hypot`` norms, same distant classification, same
+    half-plane/extreme-direction helpers), so each output row is
+    bit-identical to what the serial fast tier computes for the same
+    perceived rows.  Pure function of its inputs — safe to run over
+    disjoint ranges in any number of processes.
+    """
+    if hi <= lo:
+        return
+    starts_l = starts.tolist()
+    ends_l = ends.tolist()
+    lane_l = lane_of.tolist()
+    # All rows this slice touches, hoisted into plain lists once; the norms
+    # come from the same ``math.hypot`` the serial tier applies per row
+    # (``np.hypot`` is not bit-identical to it on every platform).
+    row_lo = starts_l[lo]
+    row_hi = ends_l[hi - 1]
+    pxl = px[row_lo:row_hi].tolist()
+    pyl = py[row_lo:row_hi].tolist()
+    norms_all = list(map(math.hypot, pxl, pyl))
+    atan2 = math.atan2
+    pi_gate = math.pi + EPS
+    two_pi = 2.0 * math.pi
+    # Accumulate into plain lists and write the slice once at the end —
+    # per-activation numpy scalar stores cost more than the arithmetic.
+    out_x = [0.0] * (hi - lo)
+    out_y = [0.0] * (hi - lo)
+    for a in range(lo, hi):
+        s = starts_l[a] - row_lo
+        e = ends_l[a] - row_lo
+        if s == e:
+            continue
+        close_fraction, tol, alpha, divisor, shrink = lane_consts[lane_l[a]]
+        norms = norms_all[s:e]
+        v_raw = max(norms)
+        v_y = v_raw
+        if tol > 0.0:
+            v_y = v_raw / (1.0 + tol)
+        if v_y <= EPS:
+            continue
+        # ``norms[k] > threshold + EPS`` with the sum hoisted (same float
+        # every iteration).
+        threshold_eps = close_fraction * v_raw + EPS
+        distant = [k for k, nk in enumerate(norms) if nk > threshold_eps]
+        if not distant:
+            distant = [max(range(len(norms)), key=norms.__getitem__)]
+        directions: List[Tuple[float, float]] = []
+        for k in distant:
+            nk = norms[k]
+            if nk > EPS:
+                directions.append((pxl[s + k] / nk, pyl[s + k] / nk))
+        if not directions:
+            continue
+        if len(directions) == 1:
+            # A single direction's maximum gap is the full circle, which
+            # always clears the half-plane gate.
+            radius = alpha * v_y / divisor * shrink
+            if radius <= EPS:
+                continue
+            out_x[a - lo] = directions[0][0] * radius
+            out_y[a - lo] = directions[0][1] * radius
+            continue
+        # Inline ``max_angular_gap`` over the atan2 angles: atan2 lands in
+        # [-pi, pi], where ``normalize_angle_positive`` reduces to a bare
+        # ``+ 2*pi`` for negatives (``math.fmod`` is exact below one
+        # period), so the listcomp below is bit-identical to it.
+        angles = [atan2(dy, dx) for dx, dy in directions]
+        normalized = [t + two_pi if t < 0.0 else t for t in angles]
+        order = sorted(range(len(normalized)), key=normalized.__getitem__)
+        best_gap = -1.0
+        gap_i = gap_j = order[0]
+        last = len(order) - 1
+        for idx in range(last + 1):
+            i2 = order[idx]
+            if idx == last:
+                j2 = order[0]
+                gap = normalized[j2] - normalized[i2] + two_pi
+            else:
+                j2 = order[idx + 1]
+                gap = normalized[j2] - normalized[i2]
+            if gap > best_gap:
+                best_gap = gap
+                gap_i = i2
+                gap_j = j2
+        if not best_gap > pi_gate:
+            # The distant directions do not fit in an open half-plane:
+            # the robot stays put (compute_relative returns the origin).
+            continue
+        radius = alpha * v_y / divisor * shrink
+        if radius <= EPS:
+            continue
+        # extreme_directions(directions) == (j, i) of the max gap's (i, j).
+        ix, iy = directions[gap_j]
+        jx, jy = directions[gap_i]
+        cix, ciy = ix * radius, iy * radius
+        cjx, cjy = jx * radius, jy * radius
+        out_x[a - lo] = (cix + cjx) / 2.0
+        out_y[a - lo] = (ciy + cjy) / 2.0
+    out[lo:hi, 0] = out_x
+    out[lo:hi, 1] = out_y
+
+
+def kknps_destinations_all(
+    px: np.ndarray,
+    py: np.ndarray,
+    starts: np.ndarray,
+    ends: np.ndarray,
+    lane_of: np.ndarray,
+    lane_consts: Sequence[LaneConsts],
+    out: np.ndarray,
+) -> None:
+    """All activations' local KKNPS destinations, batched over the flat rows.
+
+    Value-identical to :func:`kknps_destination_segment` over ``0..acts``:
+    the per-row norms still come from ``math.hypot`` (``np.hypot`` is not
+    bit-identical to it everywhere), while everything built on them —
+    per-activation maxima (picks, no arithmetic), the distant threshold,
+    the unit directions, the radius — uses elementwise ufuncs in the same
+    operation order as the scalar core, which numpy evaluates with the
+    same IEEE arithmetic.  Only the angular-gap scan (a sort over each
+    activation's few distant directions) stays scalar, and activations
+    whose distant set is empty take the scalar core verbatim for its
+    argmax fallback.
+    """
+    acts = len(starts)
+    rows = len(px)
+    if acts == 0:
+        return
+    if rows == 0:
+        return
+    counts = ends - starts
+    norms_all = np.fromiter(
+        map(math.hypot, px.tolist(), py.tolist()), dtype=np.float64, count=rows
+    )
+    nonempty = counts > 0
+    safe_starts = np.minimum(starts, rows - 1)
+    v_raw = np.maximum.reduceat(norms_all, safe_starts)
+    consts = np.asarray(lane_consts, dtype=np.float64)[lane_of]
+    close_fraction = consts[:, 0]
+    tol = consts[:, 1]
+    # x / 1.0 is exactly x, so the unconditional division matches the
+    # scalar core's ``if tol > 0.0`` guard bit for bit.
+    v_y = v_raw / (1.0 + tol)
+    active = nonempty & (v_y > EPS)
+    threshold_eps = close_fraction * v_raw + EPS
+    row_act = np.repeat(np.arange(acts, dtype=np.int64), counts)
+    distant_mask = norms_all > threshold_eps[row_act]
+    distant_count = np.bincount(row_act[distant_mask], minlength=acts)
+    valid_mask = distant_mask & (norms_all > EPS)
+    valid_rows = np.flatnonzero(valid_mask)
+    vcount = np.bincount(row_act[valid_rows], minlength=acts)
+    # Same operation order as the scalar ``alpha * v_y / divisor * shrink``.
+    radius = consts[:, 2] * v_y / consts[:, 3] * consts[:, 4]
+    # Unit directions of the valid distant rows, in the scalar core's
+    # enumeration order (ascending row index within each activation).
+    ux = px[valid_rows] / norms_all[valid_rows]
+    uy = py[valid_rows] / norms_all[valid_rows]
+    vstarts = np.zeros(acts + 1, dtype=np.int64)
+    np.cumsum(vcount, out=vstarts[1:])
+    single = active & (distant_count > 0) & (vcount == 1) & (radius > EPS)
+    if single.any():
+        first = vstarts[:-1][single]
+        out[single, 0] = ux[first] * radius[single]
+        out[single, 1] = uy[first] * radius[single]
+    fallback = np.flatnonzero(active & (distant_count == 0))
+    for a in fallback.tolist():
+        # Every distant candidate filtered out: the scalar core promotes
+        # the overall-farthest neighbour; reuse it verbatim.
+        kknps_destination_segment(
+            px, py, starts, ends, lane_of, lane_consts, a, a + 1, out
+        )
+    multi_mask = active & (vcount >= 2)
+    multi = np.flatnonzero(multi_mask)
+    if not len(multi):
+        return
+    pi_gate = math.pi + EPS
+    two_pi = 2.0 * math.pi
+    # The angular-gap scan, batched.  Per activation the scalar core sorts
+    # its directions by normalised angle (a stable sort — lexsort likewise),
+    # walks consecutive gaps plus the wrap-around gap last, and keeps the
+    # FIRST gap strictly exceeding the running best, i.e. the first
+    # occurrence of the maximum in that scan order.  Every step below is a
+    # pick or the same left-to-right subtraction, so the selected
+    # directions — and the midpoint arithmetic on them — are identical.
+    vact = np.repeat(np.arange(acts, dtype=np.int64), vcount)
+    m_rows = np.flatnonzero(multi_mask[vact])
+    m_act = vact[m_rows]
+    angles = np.fromiter(
+        map(math.atan2, uy[m_rows].tolist(), ux[m_rows].tolist()),
+        dtype=np.float64,
+        count=len(m_rows),
+    )
+    # atan2 lands in [-pi, pi], where ``normalize_angle_positive`` reduces
+    # to a bare ``+ 2*pi`` for negatives (``math.fmod`` is exact below one
+    # period).
+    normalized = np.where(angles < 0.0, angles + two_pi, angles)
+    order = np.lexsort((normalized, m_act))
+    sn = normalized[order]
+    seg_counts = vcount[multi]
+    bounds = np.zeros(len(multi) + 1, dtype=np.int64)
+    np.cumsum(seg_counts, out=bounds[1:])
+    seg_lo = bounds[:-1]
+    seg_hi = bounds[1:]
+    gaps = np.empty(len(m_rows), dtype=np.float64)
+    gaps[:-1] = sn[1:] - sn[:-1]
+    gaps[seg_hi - 1] = (sn[seg_lo] - sn[seg_hi - 1]) + two_pi
+    seg_of = np.repeat(np.arange(len(multi)), seg_counts)
+    best_gap = np.maximum.reduceat(gaps, seg_lo)
+    position = np.arange(len(m_rows), dtype=np.int64)
+    first_best = np.minimum.reduceat(
+        np.where(gaps == best_gap[seg_of], position, len(m_rows)), seg_lo
+    )
+    chosen = np.flatnonzero((best_gap > pi_gate) & (radius[multi] > EPS))
+    if not len(chosen):
+        return
+    p_i = first_best[chosen]
+    p_j = np.where(p_i == seg_hi[chosen] - 1, seg_lo[chosen], p_i + 1)
+    rows_sorted = m_rows[order]
+    row_i = rows_sorted[p_i]
+    row_j = rows_sorted[p_j]
+    r = radius[multi[chosen]]
+    cix = ux[row_j] * r
+    ciy = uy[row_j] * r
+    cjx = ux[row_i] * r
+    cjy = uy[row_i] * r
+    out[multi[chosen], 0] = (cix + cjx) / 2.0
+    out[multi[chosen], 1] = (ciy + cjy) / 2.0
+
+
+def _untrack(handle: shared_memory.SharedMemory) -> None:
+    """Detach an *attached* segment from this process's resource tracker.
+
+    Before Python 3.13 attaching registers the segment just like creating
+    it, so worker exit would try to unlink blocks the master already
+    unlinked (spurious leak warnings at shutdown).  The master is the sole
+    owner; workers must not track.
+    """
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(handle._name, "shared_memory")
+    except Exception:
+        pass  # tracking internals shifted (3.13+ has track=False instead)
+
+
+def _worker_main(inbox, outbox) -> None:
+    """Fan-out worker: attach the round's shared arrays, decide a slice."""
+    while True:
+        task = inbox.get()
+        if task is None:
+            break
+        (names, rows, acts, lane_consts, lo, hi) = task
+        handles = [shared_memory.SharedMemory(name=name) for name in names]
+        for handle in handles:
+            _untrack(handle)
+        views: List[np.ndarray] = []
+        try:
+            shapes = [(rows,), (rows,), (acts,), (acts,), (acts,), (acts, 2)]
+            dtypes = [np.float64, np.float64, np.int64, np.int64, np.int64, np.float64]
+            for handle, shape, dtype in zip(handles, shapes, dtypes):
+                views.append(np.ndarray(shape, dtype=dtype, buffer=handle.buf))
+            px, py, starts, ends, lane_of, out = views
+            kknps_destination_segment(
+                px, py, starts, ends, lane_of, lane_consts, lo, hi, out
+            )
+            outbox.put((lo, hi, None))
+        except BaseException as error:  # surface in the master, don't hang it
+            outbox.put((lo, hi, error))
+        finally:
+            del views
+            px = py = starts = ends = lane_of = out = None
+            for handle in handles:
+                handle.close()
+
+
+class FanoutPool:
+    """A persistent pool deciding activation slices over shared memory.
+
+    Workers start lazily on the first :meth:`compute` call and survive
+    across rounds (the per-round cost is the shared-memory copy plus one
+    queue message per worker).  Always :meth:`close` the pool — the
+    replicate engine does so in a ``finally``.
+    """
+
+    def __init__(self, workers: Optional[int] = None) -> None:
+        self.workers = fanout_auto_workers() if workers is None else int(workers)
+        if self.workers < 1:
+            raise ValueError("fan-out pool needs at least one worker")
+        self._processes: List[multiprocessing.Process] = []
+        self._inbox: Optional[multiprocessing.Queue] = None
+        self._outbox: Optional[multiprocessing.Queue] = None
+
+    def _ensure_started(self) -> None:
+        if self._processes:
+            return
+        self._inbox = multiprocessing.Queue()
+        self._outbox = multiprocessing.Queue()
+        for _ in range(self.workers):
+            process = multiprocessing.Process(
+                target=_worker_main, args=(self._inbox, self._outbox), daemon=True
+            )
+            process.start()
+            self._processes.append(process)
+
+    def compute(
+        self,
+        px: np.ndarray,
+        py: np.ndarray,
+        starts: np.ndarray,
+        ends: np.ndarray,
+        lane_of: np.ndarray,
+        lane_consts: Sequence[LaneConsts],
+    ) -> np.ndarray:
+        """All activations' local destinations, fanned across the pool."""
+        acts = len(starts)
+        out = np.zeros((acts, 2), dtype=np.float64)
+        if acts == 0:
+            return out
+        self._ensure_started()
+        rows = len(px)
+        sources = (
+            np.ascontiguousarray(px, dtype=np.float64),
+            np.ascontiguousarray(py, dtype=np.float64),
+            np.ascontiguousarray(starts, dtype=np.int64),
+            np.ascontiguousarray(ends, dtype=np.int64),
+            np.ascontiguousarray(lane_of, dtype=np.int64),
+            out,
+        )
+        blocks: List[shared_memory.SharedMemory] = []
+        try:
+            for source in sources:
+                block = shared_memory.SharedMemory(
+                    create=True, size=max(1, source.nbytes)
+                )
+                view = np.ndarray(source.shape, dtype=source.dtype, buffer=block.buf)
+                view[...] = source
+                del view
+                blocks.append(block)
+            names = [block.name for block in blocks]
+            bounds = np.linspace(0, acts, self.workers + 1).astype(int)
+            dispatched = 0
+            for w in range(self.workers):
+                lo, hi = int(bounds[w]), int(bounds[w + 1])
+                if lo == hi:
+                    continue
+                self._inbox.put((names, rows, acts, tuple(lane_consts), lo, hi))
+                dispatched += 1
+            for _ in range(dispatched):
+                lo, hi, error = self._outbox.get()
+                if error is not None:
+                    raise error
+            shared_out = np.ndarray(
+                (acts, 2), dtype=np.float64, buffer=blocks[5].buf
+            )
+            out[...] = shared_out
+            del shared_out
+            return out
+        finally:
+            for block in blocks:
+                block.close()
+                block.unlink()
+
+    def close(self) -> None:
+        """Stop every worker and release the queues."""
+        if not self._processes:
+            return
+        for _ in self._processes:
+            self._inbox.put(None)
+        for process in self._processes:
+            process.join(timeout=5.0)
+            if process.is_alive():
+                process.terminate()
+        self._processes = []
+        self._inbox = None
+        self._outbox = None

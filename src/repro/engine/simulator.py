@@ -139,9 +139,25 @@ class Simulator(ContinuousKernel):
         state = EngineState(initial_positions)
         super().__init__(state, algorithm, scheduler, config or SimulationConfig())
         self.robots: List[Robot] = state.robots
-        self.initial_configuration = Configuration.of(
-            [r.position for r in self.robots], self.config.visibility_range
-        )
+        # Snapshot the initial rows now; the Configuration itself is built
+        # on first access.  Replicate bundles of a seed-independent
+        # workload share one instance across lanes instead of validating
+        # n identical points per lane.
+        self._initial_position_rows = state.arrays.position.copy()
+        self._initial_configuration: Optional[Configuration] = None
+
+    @property
+    def initial_configuration(self) -> Configuration:
+        if self._initial_configuration is None:
+            self._initial_configuration = Configuration.of(
+                [Point(px, py) for px, py in self._initial_position_rows.tolist()],
+                self.config.visibility_range,
+            )
+        return self._initial_configuration
+
+    @initial_configuration.setter
+    def initial_configuration(self, value: Configuration) -> None:
+        self._initial_configuration = value
 
     def positions(self, at_time: Optional[float] = None) -> List[Point]:
         """Positions of all robots at ``at_time`` (default: the current time)."""

@@ -225,6 +225,7 @@ class ShardedGridIndex:
         "_members",
         "_coords",
         "_span",
+        "_keys",
         "_key_to_slot",
         "_candidate_cache",
     )
@@ -251,6 +252,7 @@ class ShardedGridIndex:
             self._members: List[np.ndarray] = []
             self._coords = np.empty((0, self.dim + 1), dtype=np.int64)
             self._span = np.ones(self.dim, dtype=np.int64)
+            self._keys = np.empty(0, dtype=np.int64)
             self._key_to_slot: Dict[int, int] = {}
             self._candidate_cache: Dict[int, np.ndarray] = {}
             return
@@ -271,6 +273,7 @@ class ShardedGridIndex:
         # Stable sort over ascending robot ids keeps each block's member
         # array ascending, which the candidate arrays inherit.
         self._members = members
+        self._keys = uniq
         self._key_to_slot = {int(k): s for s, k in enumerate(uniq)}
         slot_of_robot = np.empty(self.n, dtype=np.intp)
         for s, m in enumerate(members):
@@ -339,27 +342,146 @@ class ShardedGridIndex:
         """
         return self._candidates_for_slot(int(self._slot_of_robot[robot_id]))
 
+    def warm_candidates(self) -> None:
+        """Fill the candidate cache for *every* slot in one vectorized pass.
+
+        Bulk consumers (the replicate round pipeline queries nearly every
+        slot each round) would otherwise pay the per-slot Python build of
+        :meth:`_candidates_for_slot` thousands of times per grid.  Block
+        adjacency for all slots resolves through one ``searchsorted`` per
+        offset, and one ``lexsort`` orders every slot's candidates by
+        ascending robot id — the same arrays the per-slot build produces.
+        """
+        n_slots = len(self._members)
+        if n_slots == 0 or len(self._candidate_cache) == n_slots:
+            return
+        sizes = np.fromiter(
+            (len(m) for m in self._members), dtype=np.int64, count=n_slots
+        )
+        block_starts = np.zeros(n_slots + 1, dtype=np.int64)
+        np.cumsum(sizes, out=block_starts[1:])
+        flat_members = np.concatenate(self._members)
+        keys = self._keys
+        coords = self._coords
+        span_ints = [int(s) for s in self._span]
+        owner_blocks: List[np.ndarray] = []
+        source_blocks: List[np.ndarray] = []
+        for offset in itertools.product((-1, 0, 1), repeat=self.dim):
+            valid = np.ones(n_slots, dtype=bool)
+            neighbour_key = coords[:, 0].copy()
+            for axis in range(self.dim):
+                shifted = coords[:, axis + 1] + offset[axis]
+                valid &= (shifted >= 0) & (shifted < span_ints[axis])
+                neighbour_key = neighbour_key * span_ints[axis] + shifted
+            idx = np.searchsorted(keys, neighbour_key)
+            idx[idx >= n_slots] = 0
+            found = valid & (keys[idx] == neighbour_key)
+            owner_blocks.append(np.flatnonzero(found))
+            source_blocks.append(idx[found])
+        owners = np.concatenate(owner_blocks)
+        sources = np.concatenate(source_blocks)
+        counts = sizes[sources]
+        total = int(counts.sum())
+        bounds = np.zeros(len(counts) + 1, dtype=np.int64)
+        np.cumsum(counts, out=bounds[1:])
+        pair_of = np.repeat(np.arange(len(counts), dtype=np.int64), counts)
+        local = np.arange(total, dtype=np.int64) - bounds[pair_of]
+        elements = flat_members[block_starts[sources][pair_of] + local]
+        slot_tag = owners[pair_of]
+        order = np.lexsort((elements, slot_tag))
+        sorted_elements = np.ascontiguousarray(elements[order])
+        per_slot = np.bincount(slot_tag, minlength=n_slots)
+        slot_bounds = np.zeros(n_slots + 1, dtype=np.int64)
+        np.cumsum(per_slot, out=slot_bounds[1:])
+        cache = self._candidate_cache
+        lo = slot_bounds[:-1].tolist()
+        hi = slot_bounds[1:].tolist()
+        for slot in range(n_slots):
+            if slot not in cache:
+                cache[slot] = sorted_elements[lo[slot] : hi[slot]]
+
     def neighbour_pairs(self) -> Tuple[np.ndarray, np.ndarray]:
         """All grid-local pairs ``(i, j)`` with ``i < j``, each exactly once.
 
         Covers every pair at distance ``<= cell_size`` (a pair that close
         differs by at most one cell — hence at most one block — per
-        axis); a pair is emitted only from the smaller member's block, so
-        nothing is double-counted.  Callers computing a minimum must
-        verify the found minimum is ``<= cell_size`` and rebuild with a
-        doubled cell size otherwise (see
+        axis).  Block adjacency is resolved for *all* blocks at once: each
+        lexicographically-positive offset pairs every block with the
+        neighbour at that offset via one ``searchsorted`` over the sorted
+        block keys, so each unordered block pair is visited exactly once
+        and no per-block Python work remains.  Callers computing a minimum
+        must verify the found minimum is ``<= cell_size`` and rebuild with
+        a doubled cell size otherwise (see
         :func:`repro.engine.metrics.min_pairwise_distance_grid`).
         """
-        lefts: List[np.ndarray] = []
-        rights: List[np.ndarray] = []
-        for slot, members in enumerate(self._members):
-            cand = self._candidates_for_slot(slot)
-            i = np.repeat(members, len(cand))
-            j = np.tile(cand, len(members))
-            keep = j > i
-            lefts.append(i[keep])
-            rights.append(j[keep])
-        if not lefts:
-            empty = np.empty(0, dtype=np.intp)
+        members = self._members
+        n_slots = len(members)
+        empty = np.empty(0, dtype=np.intp)
+        if n_slots == 0:
             return empty, empty
-        return np.concatenate(lefts), np.concatenate(rights)
+        sizes = np.fromiter((len(m) for m in members), dtype=np.int64, count=n_slots)
+        block_starts = np.zeros(n_slots + 1, dtype=np.int64)
+        np.cumsum(sizes, out=block_starts[1:])
+        flat_members = np.concatenate(members)
+        keys = self._keys
+        coords = self._coords
+        span_ints = [int(s) for s in self._span]
+        zero = (0,) * self.dim
+        left_blocks: List[np.ndarray] = []
+        right_blocks: List[np.ndarray] = []
+        for offset in itertools.product((-1, 0, 1), repeat=self.dim):
+            if offset <= zero:
+                # Half neighbourhood: of an unordered block pair's two
+                # offsets exactly one is lexicographically positive.
+                continue
+            valid = np.ones(n_slots, dtype=bool)
+            neighbour_key = coords[:, 0].copy()
+            for axis in range(self.dim):
+                shifted = coords[:, axis + 1] + offset[axis]
+                # Bounds-check before the key fold: an out-of-range
+                # coordinate would alias a key in another row or run.
+                valid &= (shifted >= 0) & (shifted < span_ints[axis])
+                neighbour_key = neighbour_key * span_ints[axis] + shifted
+            idx = np.searchsorted(keys, neighbour_key)
+            idx[idx >= n_slots] = 0
+            found = valid & (keys[idx] == neighbour_key)
+            left_blocks.append(np.flatnonzero(found))
+            right_blocks.append(idx[found])
+        chunks_i: List[np.ndarray] = []
+        chunks_j: List[np.ndarray] = []
+        ls = np.concatenate(left_blocks) if left_blocks else np.empty(0, np.int64)
+        if len(ls):
+            rs = np.concatenate(right_blocks)
+            a = sizes[ls]
+            b = sizes[rs]
+            counts = a * b
+            total = int(counts.sum())
+            if total:
+                bounds = np.zeros(len(counts) + 1, dtype=np.int64)
+                np.cumsum(counts, out=bounds[1:])
+                pair_of = np.repeat(np.arange(len(counts), dtype=np.int64), counts)
+                local = np.arange(total, dtype=np.int64) - bounds[pair_of]
+                b_rep = b[pair_of]
+                left = flat_members[block_starts[ls][pair_of] + local // b_rep]
+                right = flat_members[block_starts[rs][pair_of] + local % b_rep]
+                chunks_i.append(np.minimum(left, right))
+                chunks_j.append(np.maximum(left, right))
+        big = np.flatnonzero(sizes > 1)
+        if len(big):
+            a = sizes[big]
+            counts = a * a
+            total = int(counts.sum())
+            bounds = np.zeros(len(counts) + 1, dtype=np.int64)
+            np.cumsum(counts, out=bounds[1:])
+            pair_of = np.repeat(np.arange(len(counts), dtype=np.int64), counts)
+            local = np.arange(total, dtype=np.int64) - bounds[pair_of]
+            a_rep = a[pair_of]
+            base = block_starts[big][pair_of]
+            left = flat_members[base + local // a_rep]
+            right = flat_members[base + local % a_rep]
+            keep = left < right
+            chunks_i.append(left[keep])
+            chunks_j.append(right[keep])
+        if not chunks_i:
+            return empty, empty
+        return np.concatenate(chunks_i), np.concatenate(chunks_j)

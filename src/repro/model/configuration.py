@@ -38,14 +38,23 @@ class Configuration:
     visibility_range: float
 
     def __post_init__(self) -> None:
-        object.__setattr__(self, "positions", tuple(Point.of(p) for p in self.positions))
+        positions = self.positions
+        # Point.of is the identity on Point inputs; skip rebuilding the
+        # tuple when there is nothing to convert (the common case when an
+        # engine hands back its own observed positions).
+        if type(positions) is not tuple or not all(
+            type(p) is Point for p in positions
+        ):
+            object.__setattr__(
+                self, "positions", tuple(Point.of(p) for p in positions)
+            )
         if self.visibility_range <= 0.0:
             raise ValueError("visibility range must be positive")
 
     @staticmethod
     def of(positions: Sequence[PointLike], visibility_range: float) -> "Configuration":
         """Build a configuration from any point-like sequence."""
-        return Configuration(tuple(Point.of(p) for p in positions), float(visibility_range))
+        return Configuration(tuple(positions), float(visibility_range))
 
     # -- basics -----------------------------------------------------------------
     def __len__(self) -> int:

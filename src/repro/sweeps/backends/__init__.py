@@ -33,6 +33,7 @@ from .base import (
     RowResult,
     RunFunction,
     WorkerHealth,
+    iter_rows,
 )
 from .process_pool import ProcessPoolBackend
 from .serial import SerialBackend
@@ -99,5 +100,6 @@ __all__ = [
     "WorkStealingBackend",
     "WorkerHealth",
     "backend_names",
+    "iter_rows",
     "make_backend",
 ]

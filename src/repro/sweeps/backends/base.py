@@ -30,15 +30,35 @@ from ..spec import RunSpec
 #: A completed run: its resume key and its flat result row.
 RowResult = Tuple[str, Dict[str, object]]
 
-#: The signature backends execute per run (injectable for tests).
+#: The signature backends execute per work item (injectable for tests).
+#: An item is a :class:`RunSpec` (payload: one row dict) or a
+#: :class:`~repro.sweeps.replicate.ReplicateBundle` (payload: a list of
+#: per-member row dicts).
 RunFunction = Callable[[RunSpec], Dict[str, object]]
 
 
 def default_run_fn() -> RunFunction:
-    """The production run function (imported lazily to avoid a cycle)."""
-    from ..runner import execute_run
+    """The production run function (imported lazily to avoid a cycle).
 
-    return execute_run
+    Dispatches on the work-item type, so backends that support bundles
+    need no special casing: plain specs run through ``execute_run``,
+    replicate bundles through the batched executor.
+    """
+    from ..replicate import execute_work_item
+
+    return execute_work_item
+
+
+def iter_rows(item, payload) -> List[RowResult]:
+    """Normalise one work item's payload into ``(run_key, row)`` pairs.
+
+    A list payload is a bundle's per-member rows (each row carries its own
+    ``run_key``); anything else is a single spec's row, keyed by the item.
+    Keeps injected single-row ``run_fn`` test doubles working unchanged.
+    """
+    if isinstance(payload, list):
+        return [(str(row["run_key"]), row) for row in payload]
+    return [(str(item.run_key), payload)]
 
 
 @dataclass
@@ -134,6 +154,11 @@ class ExecutionBackend(abc.ABC):
 
     #: Registry name of the backend (set by subclasses).
     name: str = "abstract"
+
+    #: Whether :meth:`execute` accepts replicate bundles among its items.
+    #: Backends that serialise specs over a wire protocol of their own
+    #: (the socket backend) opt out; the runner then skips the planner.
+    supports_bundles: bool = False
 
     def __init__(self, *, run_fn: Optional[RunFunction] = None) -> None:
         self.run_fn: RunFunction = run_fn if run_fn is not None else default_run_fn()

@@ -16,7 +16,14 @@ import time
 from typing import Dict, Iterator, Sequence, Tuple
 
 from ..spec import RunSpec
-from .base import BackendStats, ExecutionBackend, RowResult, RunFunction, WorkerHealth
+from .base import (
+    BackendStats,
+    ExecutionBackend,
+    RowResult,
+    RunFunction,
+    WorkerHealth,
+    iter_rows,
+)
 
 #: Module-level state of a pool worker (set once per process by the
 #: initializer; ``Pool`` cannot pass per-call closures to ``imap``).
@@ -29,16 +36,17 @@ def _init_worker(run_fn: RunFunction) -> None:
 
 
 def _run_attributed(spec: RunSpec) -> Tuple[int, float, Dict[str, object]]:
-    """Execute one spec, tagging the row with its worker pid and busy time."""
+    """Execute one work item, tagged with its worker pid and busy time."""
     started = time.perf_counter()
-    row = _WORKER_RUN_FN(spec)
-    return os.getpid(), time.perf_counter() - started, row
+    payload = _WORKER_RUN_FN(spec)
+    return os.getpid(), time.perf_counter() - started, payload
 
 
 class ProcessPoolBackend(ExecutionBackend):
     """Chunked, ordered fan-out over a static ``multiprocessing.Pool``."""
 
     name = "process-pool"
+    supports_bundles = True
 
     def __init__(self, *, workers: int = 2, chunk_size: int = 1, run_fn=None) -> None:
         super().__init__(run_fn=run_fn)
@@ -61,12 +69,14 @@ class ProcessPoolBackend(ExecutionBackend):
             initargs=(self.run_fn,),
         ) as pool:
             results = pool.imap(_run_attributed, specs, chunksize=self.chunk_size)
-            for spec, (pid, busy_s, row) in zip(specs, results):
+            for item, (pid, busy_s, payload) in zip(specs, results):
                 worker = health.setdefault(pid, WorkerHealth(worker_id=f"pid-{pid}"))
-                worker.observe_chunk(1, busy_s)
-                self._stats.runs += 1
-                self._stats.wall_time_s = time.perf_counter() - started
-                yield spec.run_key, row
+                rows = iter_rows(item, payload)
+                worker.observe_chunk(len(rows), busy_s)
+                for key, row in rows:
+                    self._stats.runs += 1
+                    self._stats.wall_time_s = time.perf_counter() - started
+                    yield key, row
             # Drained normally: shut down gracefully.  Leaving teardown to
             # __exit__ means terminate(), which intermittently deadlocks
             # against the imap result-handler thread (and is more likely to

@@ -6,7 +6,7 @@ import time
 from typing import Iterator, Sequence
 
 from ..spec import RunSpec
-from .base import BackendStats, ExecutionBackend, RowResult, WorkerHealth
+from .base import BackendStats, ExecutionBackend, RowResult, WorkerHealth, iter_rows
 
 
 class SerialBackend(ExecutionBackend):
@@ -18,6 +18,7 @@ class SerialBackend(ExecutionBackend):
     """
 
     name = "serial"
+    supports_bundles = True
 
     def execute(self, specs: Sequence[RunSpec]) -> Iterator[RowResult]:
         health = WorkerHealth(worker_id="serial-0")
@@ -25,11 +26,13 @@ class SerialBackend(ExecutionBackend):
             backend=self.name, workers=1, worker_health=[health]
         )
         started = time.perf_counter()
-        for spec in specs:
-            row_started = time.perf_counter()
-            row = self.run_fn(spec)
-            health.observe_chunk(1, time.perf_counter() - row_started)
-            self._stats.runs += 1
-            self._stats.wall_time_s = time.perf_counter() - started
-            yield spec.run_key, row
+        for item in specs:
+            item_started = time.perf_counter()
+            payload = self.run_fn(item)
+            rows = iter_rows(item, payload)
+            health.observe_chunk(len(rows), time.perf_counter() - item_started)
+            for key, row in rows:
+                self._stats.runs += 1
+                self._stats.wall_time_s = time.perf_counter() - started
+                yield key, row
         self._stats.wall_time_s = time.perf_counter() - started

@@ -30,25 +30,39 @@ from collections import deque
 from typing import Deque, Dict, Iterator, List, Sequence
 
 from ..spec import RunSpec
-from .base import BackendStats, ExecutionBackend, RowResult, RunFunction, WorkerHealth
+from .base import (
+    BackendStats,
+    ExecutionBackend,
+    RowResult,
+    RunFunction,
+    WorkerHealth,
+    iter_rows,
+)
 
-#: Upper bound on how many runs one message hands a worker.
+#: Upper bound on how many work items one message hands a worker.
 MAX_CHUNK = 8
 
 
 def _worker_loop(worker_id, inbox, outbox, run_fn: RunFunction) -> None:
-    """Worker process: execute chunks from ``inbox`` until the sentinel."""
+    """Worker process: execute chunks from ``inbox`` until the sentinel.
+
+    A chunk is a list of work items (specs or replicate bundles); the
+    reply carries the flattened ``(run_key, row)`` pairs plus the item
+    count so the coordinator retires items, not rows.
+    """
     while True:
         chunk = inbox.get()
         if chunk is None:
             break
         started = time.perf_counter()
         try:
-            rows = [run_fn(spec) for spec in chunk]
+            pairs = []
+            for item in chunk:
+                pairs.extend(iter_rows(item, run_fn(item)))
         except BaseException as error:  # surface in the coordinator, don't hang it
-            outbox.put((worker_id, error, 0.0))
+            outbox.put((worker_id, error, 0.0, 0))
             break
-        outbox.put((worker_id, rows, time.perf_counter() - started))
+        outbox.put((worker_id, pairs, time.perf_counter() - started, len(chunk)))
 
 
 def dynamic_chunk_size(remaining: int, workers: int) -> int:
@@ -87,6 +101,7 @@ class WorkStealingBackend(ExecutionBackend):
     """Shared-queue execution with per-worker deques and steal-on-idle."""
 
     name = "work-stealing"
+    supports_bundles = True
 
     def __init__(self, *, workers: int = 2, run_fn=None) -> None:
         super().__init__(run_fn=run_fn)
@@ -165,7 +180,7 @@ class WorkStealingBackend(ExecutionBackend):
             pending = len(specs)
             while pending > 0:
                 try:
-                    worker, rows, busy_s = outbox.get(timeout=1.0)
+                    worker, pairs, busy_s, items_done = outbox.get(timeout=1.0)
                 except queue.Empty:
                     # A worker killed outside Python (OOM, segfault) can
                     # never report back; fail loudly instead of hanging.
@@ -180,20 +195,20 @@ class WorkStealingBackend(ExecutionBackend):
                         raise RuntimeError(
                             f"work-stealing worker(s) ws-"
                             f"{', ws-'.join(map(str, dead))} died with "
-                            f"{pending} runs outstanding"
+                            f"{pending} work items outstanding"
                         ) from None
                     continue
-                if isinstance(rows, BaseException):
+                if isinstance(pairs, BaseException):
                     raise RuntimeError(
                         f"work-stealing worker ws-{worker} failed"
-                    ) from rows
-                health[worker].observe_chunk(len(rows), busy_s)
+                    ) from pairs
+                health[worker].observe_chunk(len(pairs), busy_s)
                 _dispatch(worker)
-                for row in rows:
-                    pending -= 1
+                pending -= items_done
+                for key, row in pairs:
                     self._stats.runs += 1
                     self._stats.wall_time_s = time.perf_counter() - started
-                    yield str(row["run_key"]), row
+                    yield key, row
             for process in processes:
                 process.join(timeout=10)
         finally:

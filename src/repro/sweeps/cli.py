@@ -103,6 +103,11 @@ def build_parser() -> argparse.ArgumentParser:
                              "--smoke defaults to 2)")
     parser.add_argument("--chunk-size", type=int, default=1,
                         help="runs handed to a process-pool worker at a time")
+    parser.add_argument("--replicate-batch", action="store_true",
+                        help="bundle runs differing only by seed and advance "
+                             "each bundle through one batched round pass "
+                             "(round-structured planar runs only; rows stay "
+                             "bit-identical to serial execution)")
     parser.add_argument("--out", type=str, default=None,
                         help="JSONL result file (resumable; one row per run)")
     parser.add_argument("--no-resume", action="store_true",
@@ -205,6 +210,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             resume=not args.no_resume,
             backend=backend,
             store=store,
+            replicate_batch=args.replicate_batch,
             progress=progress,
             stream_progress=stream_progress,
         )

@@ -70,46 +70,50 @@ from .factories import (
 from .spec import RunSpec, SweepSpec, check_unique_keys
 
 #: Row fields that vary between executions of the same spec (dropped when
-#: comparing parallel against serial results).
-TIMING_FIELDS = ("wall_time_s",)
+#: comparing parallel against serial results): wall time, and the
+#: replicate-batching provenance marker (``batched_replicates`` is the
+#: bundle size on rows the batched executor produced, absent on serial
+#: rows — same results, different execution).
+TIMING_FIELDS = ("wall_time_s", "batched_replicates")
 
 #: How a row entered a sweep's row stream (the ``on_row`` callback's
 #: ``source`` argument).
 ROW_SOURCES = ("executed", "resumed", "store", "peer")
 
 
-def execute_run(spec: RunSpec) -> Dict[str, object]:
-    """Execute one run spec and return its flat result row.
+def planar_setup(spec: RunSpec):
+    """Build the live objects for one planar run from its spec.
 
-    The row contains only JSON-serializable scalars, is independent of the
-    executing process, and is keyed by ``spec.run_key`` for resumption.
-    Specs whose names resolve to the 3D registries execute on the 3D
-    round engine (:func:`_execute_run3`); everything else runs the planar
-    continuous-time engine.
+    Returns ``(configuration, algorithm, scheduler, config)`` — the exact
+    inputs :func:`execute_run` feeds to the engine, factored out so the
+    replicate-batched path (:mod:`repro.sweeps.replicate`) constructs
+    bit-identical lanes.
     """
-    if run_dimension(spec.algorithm, spec.scheduler, spec.workload, spec.error_model) == 3:
-        return _execute_run3(spec)
-    started = time.perf_counter()
     configuration = make_workload(
         spec.workload, spec.n_robots, spec.seed, spec.visibility_range
     )
     algorithm = make_algorithm(spec.algorithm, spec.algorithm_params)
     scheduler = make_scheduler(spec.scheduler, spec.scheduler_k)
     perception, motion = make_error_models(spec.error_model)
-    result = run_simulation(
-        configuration.positions,
-        algorithm,
-        scheduler,
-        SimulationConfig(
-            visibility_range=configuration.visibility_range,
-            perception=perception,
-            motion=motion,
-            seed=spec.seed,
-            max_activations=spec.max_activations,
-            convergence_epsilon=spec.epsilon,
-            k_bound=spec.k_bound,
-        ),
+    config = SimulationConfig(
+        visibility_range=configuration.visibility_range,
+        perception=perception,
+        motion=motion,
+        seed=spec.seed,
+        max_activations=spec.max_activations,
+        convergence_epsilon=spec.epsilon,
+        k_bound=spec.k_bound,
     )
+    return configuration, algorithm, scheduler, config
+
+
+def planar_row(spec: RunSpec, configuration, result, wall_time_s: float) -> Dict[str, object]:
+    """Assemble the flat result row for one completed planar run.
+
+    Shared verbatim between :func:`execute_run` and the bundle executor so
+    a replicate-batched row matches the serial row field-for-field (only
+    :data:`TIMING_FIELDS` may differ).
+    """
     epochs = epochs_to_converge(
         result.activation_end_times, result.metrics.samples, spec.epsilon
     )
@@ -141,8 +145,25 @@ def execute_run(spec: RunSpec) -> Dict[str, object]:
         "final_min_pairwise": result.final_configuration.min_pairwise_distance(),
         "max_edge_stretch": stretch,
         "simulated_time": result.final_time,
-        "wall_time_s": time.perf_counter() - started,
+        "wall_time_s": wall_time_s,
     }
+
+
+def execute_run(spec: RunSpec) -> Dict[str, object]:
+    """Execute one run spec and return its flat result row.
+
+    The row contains only JSON-serializable scalars, is independent of the
+    executing process, and is keyed by ``spec.run_key`` for resumption.
+    Specs whose names resolve to the 3D registries execute on the 3D
+    round engine (:func:`_execute_run3`); everything else runs the planar
+    continuous-time engine.
+    """
+    if run_dimension(spec.algorithm, spec.scheduler, spec.workload, spec.error_model) == 3:
+        return _execute_run3(spec)
+    started = time.perf_counter()
+    configuration, algorithm, scheduler, config = planar_setup(spec)
+    result = run_simulation(configuration.positions, algorithm, scheduler, config)
+    return planar_row(spec, configuration, result, time.perf_counter() - started)
 
 
 def _execute_run3(spec: RunSpec) -> Dict[str, object]:
@@ -559,6 +580,7 @@ class SweepRunner:
         store_claim_ttl_s: float = 3600.0,
         store_poll_s: float = 0.05,
         sweep_label: Optional[str] = None,
+        replicate_batch: bool = False,
     ) -> None:
         if isinstance(runs, SweepSpec):
             runs = runs.expand()
@@ -584,6 +606,7 @@ class SweepRunner:
         self.store_claim_ttl_s = store_claim_ttl_s
         self.store_poll_s = store_poll_s
         self.sweep_label = sweep_label
+        self.replicate_batch = replicate_batch
 
     def resolve_backend(self) -> ExecutionBackend:
         """The backend instance this runner will execute through."""
@@ -758,9 +781,21 @@ class SweepRunner:
                 on_row(run_key, row, order[run_key], "executed")
             tick(run_key)
 
+        # Replicate batching happens *after* resume + store dedup + claims,
+        # so a bundle only ever contains runs this runner will actually
+        # execute — cached members were already served as store hits, and
+        # the planner simply sees a shorter seed axis (the partial-bundle
+        # case).  Bit-identity of rows makes the whole thing invisible to
+        # the JSONL file, the store and the aggregator.
+        mine_items: Sequence = mine
+        if self.replicate_batch and mine and backend.supports_bundles:
+            from .replicate import plan_replicate_bundles
+
+            mine_items = plan_replicate_bundles(mine)
+
         try:
             if mine:
-                for run_key, row in backend.execute(mine):
+                for run_key, row in backend.execute(mine_items):
                     consume_executed(run_key, row)
             if waiting:
                 self._await_peers(
@@ -873,6 +908,7 @@ def run_sweep(
     store_claim_ttl_s: float = 3600.0,
     store_poll_s: float = 0.05,
     sweep_label: Optional[str] = None,
+    replicate_batch: bool = False,
     progress: Optional[Callable[[int, int], None]] = None,
     stream_progress: Optional[Callable[[SweepProgress], None]] = None,
     on_row: Optional[RowCallback] = None,
@@ -889,6 +925,7 @@ def run_sweep(
         store_claim_ttl_s=store_claim_ttl_s,
         store_poll_s=store_poll_s,
         sweep_label=sweep_label,
+        replicate_batch=replicate_batch,
     )
     return runner.run(
         progress=progress, stream_progress=stream_progress, on_row=on_row

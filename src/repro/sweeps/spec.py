@@ -38,6 +38,11 @@ K_ALGORITHMS = ("kknps", "kknps3")
 #: seconds makes the hints directly comparable to measured rows.
 COST_HINT_SECONDS = {
     "2d": 3.44e-06,
+    # Marginal per-member cost of a replicate-batched lane, fitted from
+    # 96 bundled rows (kknps x fsync/ssync, grid/random, n=50..1000,
+    # bundles of 8 and 16) — each bundled row's wall time divided by its
+    # bundle size before the least-squares fit.
+    "2d-replicate": 1.51e-07,
     "3d-round": 1.25e-06,
     "3d-async": 1.26e-05,
 }
@@ -141,7 +146,7 @@ class RunSpec:
             units *= self.n_robots
         return units
 
-    def cost_hint(self) -> float:
+    def cost_hint(self, cost_class: Optional[str] = None) -> float:
         """Estimated cost of this run in seconds, for scheduling and ETAs.
 
         ``cost_units()`` scaled by the fitted per-class constant
@@ -149,8 +154,14 @@ class RunSpec:
         use it to order and balance work (largest-first), and the runner
         uses it to weight progress into an ETA.  Results never depend on
         it — a wrong hint only costs balance.
+
+        ``cost_class`` overrides the spec's own class: the replicate
+        planner bills bundled members under ``"2d-replicate"`` (the fitted
+        per-unit cost of the batched round path) so work-stealing LPT
+        orders bundles by what they will actually cost, not by the
+        singleton rate.
         """
-        klass = self.cost_class()
+        klass = self.cost_class() if cost_class is None else cost_class
         return self.cost_units(klass) * COST_HINT_SECONDS[klass]
 
     def to_dict(self) -> Dict[str, object]:

@@ -125,3 +125,35 @@ class TestMaxStepHelpers:
         # The move stops at the largest feasible prefix of the ray.
         assert 0.3 <= end.x <= 0.4 + 1e-9
         assert regions[0].contains(end, eps=1e-6)
+
+    def test_max_step_within_regions_matches_reference_loop(self):
+        """The vectorized pass pins bitwise to the 512-sample loop."""
+        import random
+
+        from repro.algorithms.safe_regions import _max_step_within_regions_loop
+
+        rng = random.Random(7)
+        for _ in range(120):
+            origin = Point(rng.uniform(-1, 1), rng.uniform(-1, 1))
+            goal = Point(
+                origin.x + rng.uniform(-0.5, 0.5), origin.y + rng.uniform(-0.5, 0.5)
+            )
+            regions = [
+                katreniak_safe_region(
+                    origin,
+                    Point(origin.x + rng.uniform(-1, 1), origin.y + rng.uniform(-1, 1)),
+                    rng.uniform(0.5, 1.5),
+                )
+                for _ in range(rng.randint(1, 4))
+            ]
+            vectorized = max_step_within_regions(origin, goal, regions)
+            reference = _max_step_within_regions_loop(origin, goal, regions, 512)
+            assert (vectorized.x, vectorized.y) == (reference.x, reference.y)
+
+    def test_max_step_within_regions_unknown_region_type_falls_back(self):
+        class HalfPlane:
+            def contains(self, point, *, eps=0.0):
+                return Point.of(point).x <= 0.25
+
+        end = max_step_within_regions((0, 0), (1.0, 0.0), [HalfPlane()], samples=100)
+        assert end.x == pytest.approx(0.25, abs=0.011)

@@ -1,0 +1,232 @@
+"""Pins: the replicate-batched engine is bit-identical to serial runs.
+
+``run_replicated_simulations`` advances a bundle of seed-replicate lanes
+through one committed tensor, one shared grid and one batched decide
+pass per round — but every float it produces must equal what
+``Simulator(*factory()).run()`` computes lane by lane, RNG draws
+included.  These pins run both sides over a matrix of schedulers, error
+models, crash injections and recording cadences and compare full result
+fingerprints.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms import KKNPSAlgorithm
+from repro.engine import SimulationConfig, Simulator
+from repro.engine.fanout import kknps_destination_segment, kknps_destinations_all
+from repro.engine.replicate import run_replicated_simulations
+from repro.model.errors import MotionModel, PerceptionModel
+from repro.schedulers import FSyncScheduler, KAsyncScheduler, SSyncScheduler
+from repro.workloads import random_connected_configuration
+
+ERROR_MODELS = {
+    "exact": lambda: (PerceptionModel.exact(), MotionModel.rigid()),
+    "distance-5": lambda: (PerceptionModel(distance_error=0.05), MotionModel.rigid()),
+    "nonrigid-50": lambda: (PerceptionModel.exact(), MotionModel(xi=0.5)),
+}
+
+
+def _factory(n, seed, scheduler_factory=SSyncScheduler, error_model="exact", **config_kw):
+    """A lane factory for one (workload seed == RNG seed) scenario."""
+
+    def factory():
+        configuration = random_connected_configuration(n, seed=seed)
+        perception, motion = ERROR_MODELS[error_model]()
+        config = SimulationConfig(
+            visibility_range=configuration.visibility_range,
+            perception=perception,
+            motion=motion,
+            seed=seed,
+            **config_kw,
+        )
+        return configuration.positions, KKNPSAlgorithm(), scheduler_factory(), config
+
+    return factory
+
+
+def _assert_identical(serial, batched):
+    """Full-fingerprint equality, field by field for a clear failure."""
+    assert batched.activations_processed == serial.activations_processed
+    assert tuple(batched.final_configuration.positions) == tuple(
+        serial.final_configuration.positions
+    )
+    assert batched.metrics.samples == serial.metrics.samples
+    assert batched.records == serial.records
+    assert batched.activation_end_times == serial.activation_end_times
+    assert batched.converged == serial.converged
+    assert batched.convergence_time == serial.convergence_time
+    assert batched.cohesion_maintained == serial.cohesion_maintained
+    assert batched.final_time == serial.final_time
+
+
+def _run_both(factories, **replicate_kw):
+    serial = [Simulator(*factory()).run() for factory in factories]
+    replicate_kw.setdefault("fanout_workers", 0)
+    batched = run_replicated_simulations(factories, **replicate_kw)
+    assert len(batched) == len(serial)
+    for a, b in zip(serial, batched):
+        _assert_identical(a, b)
+    return serial, batched
+
+
+class TestBitEqualityMatrix:
+    @pytest.mark.parametrize("scheduler_name,scheduler_factory",
+                             [("fsync", FSyncScheduler), ("ssync", SSyncScheduler)])
+    @pytest.mark.parametrize("error_model", sorted(ERROR_MODELS))
+    @pytest.mark.parametrize("record_every", [1, 7])
+    def test_matrix(self, scheduler_name, scheduler_factory, error_model, record_every):
+        _run_both(
+            [
+                _factory(
+                    12,
+                    seed,
+                    scheduler_factory=scheduler_factory,
+                    error_model=error_model,
+                    max_activations=120,
+                    stop_at_convergence=False,
+                    record_every=record_every,
+                )
+                for seed in range(3)
+            ]
+        )
+
+    @pytest.mark.parametrize("scheduler_factory", [FSyncScheduler, SSyncScheduler])
+    def test_crash_injection(self, scheduler_factory):
+        """Crashed robots push lanes onto the per-lane observe path."""
+        _run_both(
+            [
+                _factory(
+                    10,
+                    seed,
+                    scheduler_factory=scheduler_factory,
+                    max_activations=90,
+                    stop_at_convergence=False,
+                    crashed_robots=(0, 3),
+                )
+                for seed in range(3)
+            ]
+        )
+
+    def test_crashed_and_healthy_lanes_mix(self):
+        """A bundle mixing crash-bearing and crash-free lanes stays exact."""
+        factories = [
+            _factory(10, 0, max_activations=90, stop_at_convergence=False),
+            _factory(10, 1, max_activations=90, stop_at_convergence=False,
+                     crashed_robots=(2,)),
+            _factory(10, 2, max_activations=90, stop_at_convergence=False),
+        ]
+        _run_both(factories)
+
+
+class TestBundleShapes:
+    def test_mixed_bundle_sizes(self):
+        """Lanes of different n group separately but still run in one call."""
+        factories = [
+            _factory(n, seed, max_activations=80, stop_at_convergence=False)
+            for n, seed in [(6, 0), (6, 1), (11, 2), (11, 3), (11, 4), (4, 5)]
+        ]
+        _run_both(factories)
+
+    def test_mid_bundle_convergence_dropout(self):
+        """Lanes converging at different rounds drop out without skewing peers."""
+        factories = [
+            _factory(8, seed, max_activations=4000, convergence_epsilon=0.3,
+                     stop_at_convergence=True)
+            for seed in range(5)
+        ]
+        serial, _ = _run_both(factories)
+        converged = [r for r in serial if r.converged]
+        assert len(converged) >= 2, "scenario must actually converge to test dropout"
+        times = {r.convergence_time for r in converged}
+        assert len(times) >= 2, "lanes must drop out at different times"
+
+    def test_single_lane_bundle(self):
+        _run_both([_factory(9, 0, max_activations=60, stop_at_convergence=False)])
+
+    def test_vector_ineligible_lane_falls_back(self):
+        """A continuous-time lane runs via the serial fallback, bit-identical."""
+        factories = [
+            _factory(8, 0, max_activations=60, stop_at_convergence=False),
+            _factory(8, 1, scheduler_factory=lambda: KAsyncScheduler(k=2),
+                     max_activations=60, stop_at_convergence=False),
+            _factory(8, 2, max_activations=60, stop_at_convergence=False),
+        ]
+        _run_both(factories)
+
+    def test_forced_fanout_pool_is_exact(self):
+        """The shared-memory fan-out merges worker slices bit-identically."""
+        factories = [
+            _factory(10, seed, max_activations=60, stop_at_convergence=False)
+            for seed in range(3)
+        ]
+        _run_both(factories, fanout_workers=2, fanout_min_robots=0)
+
+
+class TestDestinationsAllEquivalence:
+    """The vectorized decide pre-pass equals the scalar core bitwise."""
+
+    def _random_case(self, rng, acts, lanes):
+        counts = rng.integers(0, 7, size=acts)
+        rows = int(counts.sum())
+        px = rng.uniform(-1.0, 1.0, size=rows)
+        py = rng.uniform(-1.0, 1.0, size=rows)
+        ends = np.cumsum(counts).astype(np.int64)
+        starts = ends - counts
+        lane_of = rng.integers(0, lanes, size=acts).astype(np.int64)
+        lane_consts = []
+        for lane in range(lanes):
+            tol = 0.05 if lane % 2 else 0.0
+            lane_consts.append((0.5, tol, 1.0, 8.0, 1.0))
+        return px, py, starts, ends, lane_of, lane_consts
+
+    @pytest.mark.parametrize("trial", range(5))
+    def test_random_rows(self, trial):
+        rng = np.random.default_rng(100 + trial)
+        px, py, starts, ends, lane_of, lane_consts = self._random_case(rng, 64, 3)
+        scalar = np.zeros((64, 2), dtype=np.float64)
+        vector = np.zeros((64, 2), dtype=np.float64)
+        kknps_destination_segment(px, py, starts, ends, lane_of, lane_consts, 0, 64, scalar)
+        kknps_destinations_all(px, py, starts, ends, lane_of, lane_consts, vector)
+        assert scalar.tobytes() == vector.tobytes()
+
+    def test_edge_rows(self):
+        """Empty activations, collapsed norms, surrounded robots, clusters."""
+        px_rows, py_rows, counts = [], [], []
+        # Empty activation.
+        counts.append(0)
+        # All neighbours at (numerically) zero distance: v_y <= EPS.
+        px_rows += [0.0, 1e-12]
+        py_rows += [0.0, 0.0]
+        counts.append(2)
+        # Surrounded: four distant directions spanning more than a half-plane.
+        px_rows += [1.0, -1.0, 0.0, 0.0]
+        py_rows += [0.0, 0.0, 1.0, -1.0]
+        counts.append(4)
+        # All close (no distant): the argmax fallback direction.
+        px_rows += [0.1, 0.12, 0.09]
+        py_rows += [0.05, 0.0, -0.02]
+        counts.append(3)
+        # Single distant direction.
+        px_rows += [0.9, 0.01]
+        py_rows += [0.1, 0.01]
+        counts.append(2)
+        counts = np.asarray(counts, dtype=np.int64)
+        acts = len(counts)
+        px = np.asarray(px_rows, dtype=np.float64)
+        py = np.asarray(py_rows, dtype=np.float64)
+        ends = np.cumsum(counts)
+        starts = ends - counts
+        lane_of = np.zeros(acts, dtype=np.int64)
+        lane_consts = [(0.5, 0.0, 1.0, 8.0, 1.0)]
+        scalar = np.zeros((acts, 2), dtype=np.float64)
+        vector = np.zeros((acts, 2), dtype=np.float64)
+        kknps_destination_segment(px, py, starts, ends, lane_of, lane_consts, 0, acts, scalar)
+        kknps_destinations_all(px, py, starts, ends, lane_of, lane_consts, vector)
+        assert scalar.tobytes() == vector.tobytes()
+        # The surrounded and collapsed activations stay put, the others move.
+        assert scalar[1].tolist() == [0.0, 0.0]
+        assert scalar[2].tolist() == [0.0, 0.0]
+        assert scalar[4].tolist() != [0.0, 0.0]

@@ -40,7 +40,12 @@ from repro.sweeps.spec import COST_HINT_SECONDS  # noqa: E402
 
 
 def row_cost_class(row: dict) -> str:
-    """The cost class of a result row (mirrors ``RunSpec.cost_class``)."""
+    """The cost class of a result row (mirrors ``RunSpec.cost_class``).
+
+    Rows the replicate-batched executor produced carry a
+    ``batched_replicates`` provenance field and bill under
+    ``"2d-replicate"`` — the planner's rate for bundled members.
+    """
     dimension = run_dimension(
         str(row["algorithm"]),
         str(row["scheduler"]),
@@ -48,6 +53,8 @@ def row_cost_class(row: dict) -> str:
         str(row.get("error_model", "exact")),
     )
     if dimension == 2:
+        if row.get("batched_replicates"):
+            return "2d-replicate"
         return "2d"
     return "3d-round" if is_round_discipline3(str(row["scheduler"])) else "3d-async"
 
@@ -58,6 +65,22 @@ def row_cost_units(row: dict) -> float:
     if row_cost_class(row) == "3d-round":
         units *= float(row["n_robots"])
     return units
+
+
+def row_wall_seconds(row: dict) -> float:
+    """The wall time a row contributes to the fit.
+
+    Bundle lanes run interleaved, so each bundled row's recorded
+    ``wall_time_s`` spans nearly the whole bundle; the marginal
+    per-member cost — what ``"2d-replicate"`` means to model, since a
+    bundle's hint sums its members at that rate — is the recorded time
+    divided by the bundle size.
+    """
+    wall = float(row["wall_time_s"])
+    bundled = row.get("batched_replicates")
+    if bundled:
+        wall /= float(bundled)
+    return wall
 
 
 def load_rows(paths) -> list:
@@ -85,7 +108,7 @@ def fit(rows, *, include_converged: bool) -> dict:
             continue
         try:
             per_class[row_cost_class(row)].append(
-                (row_cost_units(row), float(row["wall_time_s"]))
+                (row_cost_units(row), row_wall_seconds(row))
             )
         except (ValueError, KeyError):
             continue
@@ -139,7 +162,7 @@ def main(argv=None) -> int:
         )
     print("\nPaste into src/repro/sweeps/spec.py to update:\n")
     print("COST_HINT_SECONDS = {")
-    for klass in ("2d", "3d-round", "3d-async"):
+    for klass in ("2d", "2d-replicate", "3d-round", "3d-async"):
         if klass in fitted:
             print(f'    "{klass}": {fitted[klass]["constant"]:.3g},')
         elif klass in COST_HINT_SECONDS:

@@ -9,6 +9,12 @@ drops below the stored floor (``perf_floor_kknps_ssync_n400``, one
 quarter of the recorded headline: generous against CI-runner noise,
 fatal against an accidental re-quadratization of the hot path).
 
+When the recorded JSON carries a ``replicates`` section the gate also
+re-measures the replicate-batched throughput — a 16-seed kknps x ssync
+bundle at n=10^3 through ``run_replicated_simulations`` — and fails if
+the fresh runs/sec drop below
+``replicates.perf_floor_replicate_runs_per_second``.
+
 Run it directly::
 
     PYTHONPATH=src python tools/perf_gate.py            # gate against BENCH_engine.json
@@ -20,6 +26,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -28,6 +35,9 @@ sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
 
 from bench_engine import (  # noqa: E402
     FULL_ACTIVATIONS,
+    REPLICATE_ACTIVATIONS,
+    REPLICATE_N,
+    REPLICATE_SEEDS,
     SEED,
     SeedEngineSimulator,
     _config,
@@ -35,7 +45,10 @@ from bench_engine import (  # noqa: E402
 )
 from repro.algorithms import KKNPSAlgorithm  # noqa: E402
 from repro.engine import Simulator  # noqa: E402
+from repro.engine.replicate import run_replicated_simulations  # noqa: E402
 from repro.schedulers import SSyncScheduler  # noqa: E402
+from repro.sweeps.runner import planar_setup  # noqa: E402
+from repro.sweeps.spec import RunSpec  # noqa: E402
 from repro.workloads import random_connected_configuration  # noqa: E402
 
 GATE_N = 400
@@ -60,6 +73,41 @@ def measure_speedup() -> float:
         )
         if new_seconds > 0:
             best = max(best, seed_seconds / new_seconds)
+    return best
+
+
+def measure_replicate_throughput() -> float:
+    """Fresh batched runs/sec on the recorded replicate cell, best of two.
+
+    Mirrors ``bench_engine.run_replicates``'s batched side exactly — the
+    same 16-seed kknps x ssync bundle at n=10^3 — but skips the serial
+    side and the bit-identity assertion (a correctness concern the test
+    suite owns); the gate only guards throughput.
+    """
+
+    def factory_for(seed: int):
+        def factory():
+            spec = RunSpec(
+                algorithm="kknps", scheduler="ssync", workload="grid",
+                n_robots=REPLICATE_N, error_model="exact", seed=seed,
+                scheduler_k=2, epsilon=0.05,
+                max_activations=REPLICATE_ACTIVATIONS,
+            )
+            configuration, algorithm, scheduler, config = planar_setup(spec)
+            return configuration.positions, algorithm, scheduler, config
+
+        return factory
+
+    best = 0.0
+    for _ in range(2):
+        started = time.perf_counter()
+        run_replicated_simulations(
+            [factory_for(seed) for seed in range(REPLICATE_SEEDS)],
+            fanout_workers=0,
+        )
+        elapsed = time.perf_counter() - started
+        if elapsed > 0:
+            best = max(best, REPLICATE_SEEDS / elapsed)
     return best
 
 
@@ -92,6 +140,29 @@ def main(argv=None) -> int:
             "(or BENCH_engine.json needs regenerating after an intended change)."
         )
         return 1
+
+    replicates = recorded.get("replicates") or {}
+    replicate_floor = replicates.get("perf_floor_replicate_runs_per_second")
+    if replicate_floor is not None:
+        throughput = measure_replicate_throughput()
+        print(
+            f"replicate batching n={REPLICATE_N} x {REPLICATE_SEEDS} seeds: "
+            f"measured {throughput:.1f} runs/s, "
+            f"recorded {replicates.get('runs_per_second_batched')} runs/s, "
+            f"floor {replicate_floor} runs/s"
+        )
+        if throughput < replicate_floor:
+            print(
+                f"PERF GATE FAILED: batched replicate throughput "
+                f"{throughput:.1f} runs/s is below the stored floor "
+                f"{replicate_floor} runs/s — the replicate-batched path "
+                "regressed (or BENCH_engine.json needs regenerating after "
+                "an intended change)."
+            )
+            return 1
+    else:
+        print("no replicate floor recorded; skipping the replicate gate")
+
     print("perf gate passed")
     return 0
 
