@@ -50,6 +50,7 @@ import numpy as np
 
 from repro.algorithms import AndoAlgorithm, KKNPSAlgorithm
 from repro.engine import MetricsCollector, SimulationConfig, Simulator
+from repro.engine.fanout import REPLICATE_FANOUT_MIN_ROBOTS
 from repro.engine.metrics import MetricsSample
 from repro.geometry.point import Point, points_to_array
 from repro.geometry.sec import _is_in, _trivial, _circle_from_two
@@ -292,6 +293,12 @@ class _PhaseTimedSimulator(Simulator):
 
         return decide
 
+    def _round_decide_batch(self, look_time, committed, shard, executed):
+        started = time.perf_counter()
+        decisions = super()._round_decide_batch(look_time, committed, shard, executed)
+        self.phase_seconds["decide"] += time.perf_counter() - started
+        return decisions
+
     def _make_metrics(self):
         metrics = super()._make_metrics()
         inner_observe = metrics.observe
@@ -438,11 +445,20 @@ def run_mega(sizes, *, smoke: bool, verbose: bool = True) -> dict:
     speedup_n1000 = next(
         (r["speedup_round_batching"] for r in rows if r["n"] == 1_000), None
     )
+    # Decide-phase throughput floor for tools/perf_gate.py, anchored on the
+    # n=10^4 row (the ROADMAP's mid mega size; the largest row in smoke).
+    anchor = next((r for r in rows if r["n"] == 10_000), rows[-1] if rows else None)
+    decide_floor = None
+    if anchor and anchor["phase_seconds"]["decide"] > 0:
+        throughput = anchor["activations"] / anchor["phase_seconds"]["decide"]
+        decide_floor = round(PERF_FLOOR_FRACTION * throughput, 3)
     return {
         "workload": "truncated_grid(spacing=0.7)",
         "reference_max_n": MEGA_REFERENCE_MAX,
         "results": rows,
         "round_batching_speedup_n1000": speedup_n1000,
+        "decide_floor_n": anchor["n"] if anchor else None,
+        "perf_floor_decide_activations_per_second": decide_floor,
     }
 
 
@@ -540,6 +556,11 @@ def run_replicates(*, smoke: bool, verbose: bool = True) -> dict:
         "perf_floor_replicate_runs_per_second": round(
             PERF_FLOOR_FRACTION * runs_per_second, 3
         ),
+        # The process fan-out crossover in effect for this run (env-
+        # overridable via REPRO_REPLICATE_FANOUT_MIN_ROBOTS); recorded so
+        # recalibrations leave an audit trail next to the timings that
+        # justify them.
+        "fanout_min_robots": REPLICATE_FANOUT_MIN_ROBOTS,
     }
 
 

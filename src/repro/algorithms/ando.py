@@ -120,5 +120,13 @@ class AndoAlgorithm(ConvergenceAlgorithm):
 
     def destination_respects_safe_regions(self, snapshot: Snapshot, *, eps: float = 1e-9) -> bool:
         """Check that the computed destination lies in every neighbour's safe disk."""
+        from ..geometry.pointloc import points_in_all_disks
+
         destination = self.compute(snapshot)
-        return all(d.contains(destination, eps=eps) for d in self.safe_regions(snapshot))
+        verdict = points_in_all_disks(
+            self.safe_regions(snapshot),
+            np.array([destination.x]),
+            np.array([destination.y]),
+            eps=eps,
+        )
+        return bool(verdict[0])

@@ -209,6 +209,54 @@ class KKNPSAlgorithm(ConvergenceAlgorithm):
         center_j = directions[j] * radius
         return center_i.midpoint(center_j)
 
+    def decide_consts(self):
+        """The scalar constants the batched decide cores consume.
+
+        The tuple order matches :data:`repro.engine.fanout.LaneConsts`:
+        ``(close_fraction, distance_error_tolerance, alpha,
+        radius_divisor, shrink)``.
+        """
+        return (
+            self.close_fraction,
+            self.distance_error_tolerance,
+            self.alpha,
+            self.radius_divisor,
+            max(0.0, 1.0 - 2.0 * self.skew_tolerance),
+        )
+
+    def compute_array_rounds(
+        self,
+        px: np.ndarray,
+        py: np.ndarray,
+        starts: np.ndarray,
+        ends: np.ndarray,
+        out: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Whole-round batch form of :meth:`compute_relative`.
+
+        ``px``/``py`` are the flat perceived neighbour coordinates of many
+        activations stacked end to end; activation ``a`` owns the rows
+        ``starts[a]:ends[a]``.  Returns an ``(acts, 2)`` array whose row
+        ``a`` is bit-identical to
+        ``compute_relative(rows[starts[a]:ends[a]])`` — the batch core
+        keeps the per-row ``math.hypot`` norms and evaluates everything
+        built on them in the scalar core's operation order (see
+        :func:`repro.engine.fanout.kknps_destinations_all`).
+        """
+        # Imported lazily: ``repro.engine`` imports the algorithms package
+        # at its own import time, so a module-level import here would cycle.
+        from ..engine.fanout import kknps_destinations_all
+
+        acts = len(starts)
+        if out is None:
+            out = np.zeros((acts, 2), dtype=np.float64)
+        if acts:
+            kknps_destinations_all(
+                px, py, starts, ends,
+                np.zeros(acts, dtype=np.int64), [self.decide_consts()], out,
+            )
+        return out
+
     def describe(self) -> str:
         """One-line description including the error tolerances."""
         parts = [self.name]
@@ -234,5 +282,13 @@ class KKNPSAlgorithm(ConvergenceAlgorithm):
 
     def destination_respects_safe_regions(self, snapshot: Snapshot, *, eps: float = 1e-9) -> bool:
         """Check that the computed destination lies in every distant safe region."""
+        from ..geometry.pointloc import points_in_all_disks
+
         destination = self.compute(snapshot)
-        return all(region.contains(destination, eps=eps) for region in self.safe_regions(snapshot))
+        verdict = points_in_all_disks(
+            self.safe_regions(snapshot),
+            np.array([destination.x]),
+            np.array([destination.y]),
+            eps=eps,
+        )
+        return bool(verdict[0])

@@ -19,7 +19,6 @@ module also exposes absolute-coordinate variants for the analysis code.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import List, Sequence
 
@@ -88,6 +87,17 @@ class KatreniakSafeRegion:
         """Union membership."""
         return self.near_disk.contains(point, eps=eps) or self.slack_disk.contains(point, eps=eps)
 
+    def contains_array(self, px: np.ndarray, py: np.ndarray, *, eps: float = EPS) -> np.ndarray:
+        """Vectorized union membership, bit-identical to :meth:`contains`.
+
+        Disjunction is order-independent, so OR-ing the two disks'
+        :meth:`repro.geometry.disk.Disk.contains_array` verdicts matches
+        the scalar short-circuit exactly.
+        """
+        return self.near_disk.contains_array(px, py, eps=eps) | self.slack_disk.contains_array(
+            px, py, eps=eps
+        )
+
     def disks(self) -> List[Disk]:
         """Both disks of the union."""
         return [self.near_disk, self.slack_disk]
@@ -123,6 +133,15 @@ def katreniak_safe_region_local(
 def point_respects_disks(point: PointLike, disks: Sequence[Disk], *, eps: float = EPS) -> bool:
     """True when ``point`` lies inside every disk of ``disks``."""
     return all(d.contains(point, eps=eps) for d in disks)
+
+
+def points_respect_disks(
+    px: np.ndarray, py: np.ndarray, disks: Sequence[Disk], *, eps: float = EPS
+) -> np.ndarray:
+    """Batched :func:`point_respects_disks` via the build-once locator."""
+    from ..geometry.pointloc import points_in_all_disks
+
+    return points_in_all_disks(disks, px, py, eps=eps)
 
 
 def max_step_within_disks(
@@ -204,21 +223,9 @@ def max_step_within_regions(
     py = origin.y + (goal.y - origin.y) * ts
     feasible = np.ones(samples, dtype=bool)
     for region in regions:
-        region_ok = np.zeros(samples, dtype=bool)
-        for disk in (region.near_disk, region.slack_disk):
-            # Disk.contains, batched: the same per-candidate
-            # ``math.hypot(cx - px, cy - py) <= radius + eps`` decision.
-            dist = np.fromiter(
-                map(
-                    math.hypot,
-                    (disk.center.x - px).tolist(),
-                    (disk.center.y - py).tolist(),
-                ),
-                dtype=np.float64,
-                count=samples,
-            )
-            region_ok |= dist <= disk.radius + EPS
-        feasible &= region_ok
+        # Disk.contains_array feeds the same per-candidate
+        # ``math.hypot(cx - px, cy - py) <= radius + eps`` decision.
+        feasible &= region.contains_array(px, py)
         if not feasible.any():
             break
     failing = np.flatnonzero(~feasible)

@@ -1,0 +1,106 @@
+"""Shared flat-pipeline helpers for the whole-round batched decide paths.
+
+Two engines batch the decide phase over a flat activation axis: the
+replicate bundle driver (:mod:`repro.engine.replicate`) stacks many
+lanes' activations, and the single-run round fast path
+(:meth:`repro.engine.simulator.Simulator._round_decide_batch`) stacks one
+round's activations.  Both need the same two ingredients, which live here
+so that :mod:`simulator` (imported *by* :mod:`replicate`) can use them
+without an import cycle:
+
+* :func:`perceive_flat` — the elementwise transcription of
+  ``PerceptionModel.perceive_array`` over concatenated neighbour rows
+  (draw-free perception only; eligibility gates exclude the random-bias
+  error model);
+* :func:`collapse_hazard_lanes` — the quantized duplicate test proving
+  that ``_collapse_coincident_array(visible, 1e-12)`` is the identity for
+  every activation of a round, so the batched pipeline may skip it.
+
+Everything here is pure numpy/math over the inputs; nothing draws RNG.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..geometry.tolerances import EPS
+
+#: A committed pair (within one lane) closer than this demotes the lane's
+#: round to the serial path: above it, the serial fast tier's
+#: ``_collapse_coincident_array(visible, 1e-12)`` is provably the
+#: identity for every activation of the round (the relative-coordinate
+#: pair distance can differ from the committed one only by subtraction
+#: rounding, orders of magnitude below this margin).
+COLLAPSE_GUARD_DIST = 4e-12
+
+#: Cell size of the quantized duplicate test implementing the guard.  Any
+#: pair with both coordinate gaps below half a cell (5e-12, above the
+#: guard distance) shares a cell in at least one of the four offset
+#: passes, so hazardous lanes are always caught; hash collisions between
+#: distinct cells only ever add false positives (a needless — but still
+#: bit-identical — serial round).
+GUARD_CELL = 2.5 * COLLAPSE_GUARD_DIST
+
+
+def perceive_flat(model, px: np.ndarray, py: np.ndarray):
+    """Flat transcription of ``PerceptionModel.perceive_array`` (2D, no RNG).
+
+    Every operation is an elementwise ufunc, so applying it to the
+    concatenated rows of many activations yields exactly the per-activation
+    results (including the near-zero restore that also covers the serial
+    path's all-unmeasurable early return).
+    """
+    no_distance_error = model.distance_error == 0.0 or model.bias == "none"
+    no_distortion = model.distortion is None or model.distortion.amplitude == 0.0
+    if (no_distance_error and no_distortion) or len(px) == 0:
+        return px, py
+    r = np.hypot(px, py)
+    measurable = r > EPS
+    r_perceived = r.copy()
+    if model.distance_error > 0.0 and model.bias != "none":
+        if model.bias == "over":
+            r_perceived[measurable] = r[measurable] * (1.0 + model.distance_error)
+        elif model.bias == "under":
+            r_perceived[measurable] = r[measurable] * (1.0 - model.distance_error)
+    angle = np.arctan2(py, px)
+    if model.distortion is not None:
+        angle = model.distortion.apply_angle_array(angle)
+    out_x = r_perceived * np.cos(angle)
+    out_y = r_perceived * np.sin(angle)
+    out_x[~measurable] = px[~measurable]
+    out_y[~measurable] = py[~measurable]
+    return out_x, out_y
+
+
+def collapse_hazard_lanes(flat_xy: np.ndarray, lanes: int, n: int) -> np.ndarray:
+    """Per-lane flag: may this round hold a pair within the collapse guard?
+
+    Quantized-cell duplicate detection in O(lanes * n log n): four passes
+    quantize the committed coordinates to cells of :data:`GUARD_CELL`
+    with the grid shifted by half a cell per axis.  Two points both of
+    whose coordinate gaps are below half a cell straddle at most one cell
+    boundary per axis across the two shifts, so at least one of the four
+    offset combinations lands them in the same cell — and equal cells
+    hash to equal keys, so sorting each lane's keys and scanning adjacent
+    equalities finds every hazardous pair.  Distinct cells may hash alike;
+    that only demotes an extra lane to the (bit-identical) serial round.
+
+    This replaces a ``neighbour_pairs`` distance scan, which degenerates
+    to O(n^2) pairs per lane once the swarm contracts inside one grid
+    cell; the quantized test stays linearithmic at any density.
+    """
+    x = flat_xy[:, 0]
+    y = flat_xy[:, 1]
+    hazard = np.zeros(lanes, dtype=bool)
+    inv = 1.0 / GUARD_CELL
+    half = GUARD_CELL / 2.0
+    mix = np.int64(-7046029254386353131)  # odd 64-bit multiplier
+    for ox in (0.0, half):
+        ix = np.floor((x + ox) * inv).astype(np.int64)
+        for oy in (0.0, half):
+            iy = np.floor((y + oy) * inv).astype(np.int64)
+            keys = np.sort((ix * mix + iy).reshape(lanes, n), axis=1)
+            np.logical_or(
+                hazard, (keys[:, 1:] == keys[:, :-1]).any(axis=1), out=hazard
+            )
+    return hazard

@@ -33,11 +33,29 @@ import numpy as np
 
 from ..geometry.tolerances import EPS
 
+def _fanout_min_robots_default() -> int:
+    """Resolve the fan-out auto-enable threshold, honouring the env override.
+
+    ``REPRO_REPLICATE_FANOUT_MIN_ROBOTS`` lets deployments recalibrate the
+    crossover without a code change (the shipped default comes from the
+    per-phase mega timings; see ``benchmarks/BENCH_engine.json``,
+    ``replicates.fanout_min_robots``).  Invalid or non-positive values
+    fall back to the calibrated default.
+    """
+    raw = os.environ.get("REPRO_REPLICATE_FANOUT_MIN_ROBOTS", "")
+    try:
+        value = int(raw)
+    except ValueError:
+        return 100_000
+    return value if value > 0 else 100_000
+
+
 #: Robots-per-round (lanes x n) below which the process fan-out costs more
 #: than it saves.  Calibrated from the per-phase mega timings recorded by
 #: ``benchmarks/bench_engine.py`` (decide-core share of the round wall
-#: time crosses the IPC+copy overhead around 10^5 robots).
-REPLICATE_FANOUT_MIN_ROBOTS = 100_000
+#: time crosses the IPC+copy overhead around 10^5 robots); overridable
+#: via the ``REPRO_REPLICATE_FANOUT_MIN_ROBOTS`` environment variable.
+REPLICATE_FANOUT_MIN_ROBOTS = _fanout_min_robots_default()
 
 #: One lane's algorithm constants, in the order the core consumes them:
 #: ``(close_fraction, distance_error_tolerance, alpha, radius_divisor,

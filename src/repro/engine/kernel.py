@@ -47,7 +47,7 @@ import heapq
 import math
 import time as _time
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -332,6 +332,29 @@ class ContinuousKernel:
         pending.clear()
         return entries
 
+    def _round_batch_ready(self, committed: np.ndarray, shard, entries) -> bool:
+        """Whether this round's decides may run as one whole-round batch call.
+
+        The base kernel has no batched decide; dimension front ends that
+        implement :meth:`_round_decide_batch` override this with their
+        eligibility rule (algorithm core, draw-free perception and motion,
+        coincidence-collapse guard).  Returning False keeps the round on
+        the per-robot :meth:`_round_decider` path unchanged.
+        """
+        return False
+
+    def _round_decide_batch(
+        self, look_time: float, committed: np.ndarray, shard, executed
+    ) -> List[MoveDecision]:
+        """All of one round's decides in a single call (subclasses implement).
+
+        Only invoked after :meth:`_round_batch_ready` answered True for the
+        round; must return one :class:`MoveDecision` per executed
+        activation, in order, bit-identical to calling the round decider
+        per activation (including RNG draw order).
+        """
+        raise NotImplementedError
+
     def _process_round(
         self,
         entries: List[tuple],
@@ -356,7 +379,13 @@ class ContinuousKernel:
         arrays = self._state.arrays
         look_time = entries[0][0]
         committed = arrays.position
-        decide = self._round_decider(look_time, committed, self._round_shard(committed))
+        shard = self._round_shard(committed)
+        if self._round_batch_ready(committed, shard, entries):
+            return self._process_round_batched(
+                entries, metrics, recorder, records, activation_end_times,
+                processed, popped, converged_time, shard,
+            )
+        decide = self._round_decider(look_time, committed, shard)
         replicate = getattr(metrics, "supports_replicated_samples", False)
         round_sample = None
         stop = False
@@ -396,6 +425,116 @@ class ContinuousKernel:
                     if cfg.stop_at_convergence:
                         stop = True
                         break
+        return processed, popped, converged_time, stop
+
+    def _process_round_batched(
+        self,
+        entries: List[tuple],
+        metrics,
+        recorder,
+        records: List[ActivationRecord],
+        activation_end_times: Dict[int, List[float]],
+        processed: int,
+        popped: int,
+        converged_time: Optional[float],
+        shard,
+    ):
+        """Advance one validated round with a single whole-round decide call.
+
+        The serial loop's counters are replayed first without touching any
+        state: which activations execute (crash skips, activation caps)
+        and where the record boundaries fall.  Every boundary of a round
+        observes the same committed geometry — positions committed before
+        the round stay committed throughout it (``begin_move_at`` never
+        writes ``position``) — and ``observe`` draws no RNG, so the first
+        boundary's sample and the convergence decision are taken *before*
+        the decides.  A convergence stop then truncates the round exactly
+        where the serial loop would have broken: the skipped activations
+        never decide, so their frame draws never happen and the RNG stream
+        matches the serial path byte for byte.  The surviving activations
+        are decided in one :meth:`_round_decide_batch` call and committed
+        in the serial loop's order; the remaining boundaries replay after
+        the commits (same observe arguments in the same order — the
+        committed geometry is round-invariant, so interleaving is
+        unobservable).
+        """
+        cfg = self.config
+        arrays = self._state.arrays
+        look_time = entries[0][0]
+        committed = arrays.position
+        max_activations = cfg.max_activations
+        pop_cap = 100 * max_activations
+        record_every = cfg.record_every
+        count = len(entries)
+        boundaries: List[Tuple[int, int, int]] = []
+        if (
+            processed + count <= max_activations
+            and popped + count < pop_cap
+            and not arrays.crashed.any()
+        ):
+            # No skip and no cap can trigger inside this round: every entry
+            # executes and the record boundaries fall arithmetically.
+            executed = [entry[2] for entry in entries]
+            boundary = (processed // record_every + 1) * record_every
+            while boundary <= processed + count:
+                k = boundary - processed
+                boundaries.append((k, boundary, popped + k))
+                boundary += record_every
+            processed += count
+            popped += count
+        else:
+            executed = []
+            for _, _, activation in entries:
+                if processed >= max_activations or popped >= pop_cap:
+                    break
+                popped += 1
+                if arrays.crashed[activation.robot_id]:
+                    continue
+                executed.append(activation)
+                processed += 1
+                if processed % record_every == 0:
+                    boundaries.append((len(executed), processed, popped))
+        replicate = getattr(metrics, "supports_replicated_samples", False)
+        stop = False
+        round_sample = None
+        if boundaries:
+            round_sample = metrics.observe(look_time, committed, boundaries[0][1])
+            if recorder is not None:
+                recorder.record_all(look_time, committed)
+            if (
+                converged_time is None
+                and round_sample.hull_diameter <= cfg.convergence_epsilon
+            ):
+                converged_time = look_time
+                if cfg.stop_at_convergence:
+                    stop = True
+                    n_executed, processed, popped = boundaries[0]
+                    executed = executed[:n_executed]
+                    boundaries = boundaries[:1]
+        decisions = self._round_decide_batch(look_time, committed, shard, executed)
+        for activation, decision in zip(executed, decisions):
+            robot_id = activation.robot_id
+            arrays.begin_activation_at(robot_id, look_time)
+            origin_row = arrays.position[robot_id].copy()
+            arrays.begin_move_at(
+                robot_id, origin_row, decision.realized,
+                activation.move_start_time, activation.end_time,
+            )
+            activation_end_times[robot_id].append(activation.end_time)
+            record = self._make_record(activation, origin_row, decision)
+            if record is not None:
+                records.append(record)
+        for _, boundary_processed, _ in boundaries[1:]:
+            if replicate:
+                metrics.samples.append(
+                    dataclasses.replace(
+                        round_sample, activations_processed=boundary_processed
+                    )
+                )
+            else:
+                metrics.observe(look_time, committed, boundary_processed)
+            if recorder is not None:
+                recorder.record_all(look_time, committed)
         return processed, popped, converged_time, stop
 
     def _push(self, activation: Activation) -> None:

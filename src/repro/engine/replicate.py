@@ -46,6 +46,12 @@ from ..geometry.tolerances import EPS
 from ..model.configuration import Configuration
 from ..model.robot import PHASE_IDLE, PHASE_MOVING
 from ..model.types import Activation, ActivationRecord
+from .decide_batch import (
+    COLLAPSE_GUARD_DIST as _COLLAPSE_GUARD_DIST,
+    GUARD_CELL as _GUARD_CELL,
+    collapse_hazard_lanes as _collapse_hazard_lanes,
+    perceive_flat as _perceive_flat,
+)
 from .fanout import (
     REPLICATE_FANOUT_MIN_ROBOTS,
     FanoutPool,
@@ -54,22 +60,6 @@ from .fanout import (
 from .metrics import MetricsCollector, MetricsSample, min_pairwise_distance_grid
 from .simulator import SimulationConfig, SimulationResult, Simulator
 from .spatial_index import ShardedGridIndex
-
-#: A committed pair (within one lane) closer than this demotes the lane's
-#: round to the serial path: above it, the serial fast tier's
-#: ``_collapse_coincident_array(visible, 1e-12)`` is provably the
-#: identity for every activation of the round (the relative-coordinate
-#: pair distance can differ from the committed one only by subtraction
-#: rounding, orders of magnitude below this margin).
-_COLLAPSE_GUARD_DIST = 4e-12
-
-#: Cell size of the quantized duplicate test implementing the guard.  Any
-#: pair with both coordinate gaps below half a cell (5e-12, above the
-#: guard distance) shares a cell in at least one of the four offset
-#: passes, so hazardous lanes are always caught; hash collisions between
-#: distinct cells only ever add false positives (a needless — but still
-#: bit-identical — serial round).
-_GUARD_CELL = 2.5 * _COLLAPSE_GUARD_DIST
 
 #: Grid-cell hint for the next min-pairwise search, as a multiple of the
 #: last observed minimum.  The search is exact at any positive cell and
@@ -644,36 +634,6 @@ def _walk_round(
     return executed, stop
 
 
-def _perceive_flat(model, px: np.ndarray, py: np.ndarray):
-    """Flat transcription of ``PerceptionModel.perceive_array`` (2D, no RNG).
-
-    Every operation is an elementwise ufunc, so applying it to the
-    concatenated rows of many activations yields exactly the per-activation
-    results (including the near-zero restore that also covers the serial
-    path's all-unmeasurable early return).
-    """
-    no_distance_error = model.distance_error == 0.0 or model.bias == "none"
-    no_distortion = model.distortion is None or model.distortion.amplitude == 0.0
-    if (no_distance_error and no_distortion) or len(px) == 0:
-        return px, py
-    r = np.hypot(px, py)
-    measurable = r > EPS
-    r_perceived = r.copy()
-    if model.distance_error > 0.0 and model.bias != "none":
-        if model.bias == "over":
-            r_perceived[measurable] = r[measurable] * (1.0 + model.distance_error)
-        elif model.bias == "under":
-            r_perceived[measurable] = r[measurable] * (1.0 - model.distance_error)
-    angle = np.arctan2(py, px)
-    if model.distortion is not None:
-        angle = model.distortion.apply_angle_array(angle)
-    out_x = r_perceived * np.cos(angle)
-    out_y = r_perceived * np.sin(angle)
-    out_x[~measurable] = px[~measurable]
-    out_y[~measurable] = py[~measurable]
-    return out_x, out_y
-
-
 def _perception_key(model) -> tuple:
     distortion = model.distortion
     return (
@@ -683,40 +643,6 @@ def _perception_key(model) -> tuple:
         if distortion is None
         else (distortion.amplitude, distortion.frequency, distortion.phase),
     )
-
-
-def _collapse_hazard_lanes(flat_xy: np.ndarray, lanes: int, n: int) -> np.ndarray:
-    """Per-lane flag: may this round hold a pair within the collapse guard?
-
-    Quantized-cell duplicate detection in O(lanes * n log n): four passes
-    quantize the committed coordinates to cells of :data:`_GUARD_CELL`
-    with the grid shifted by half a cell per axis.  Two points both of
-    whose coordinate gaps are below half a cell straddle at most one cell
-    boundary per axis across the two shifts, so at least one of the four
-    offset combinations lands them in the same cell — and equal cells
-    hash to equal keys, so sorting each lane's keys and scanning adjacent
-    equalities finds every hazardous pair.  Distinct cells may hash alike;
-    that only demotes an extra lane to the (bit-identical) serial round.
-
-    This replaces a ``neighbour_pairs`` distance scan, which degenerates
-    to O(n^2) pairs per lane once the swarm contracts inside one grid
-    cell; the quantized test stays linearithmic at any density.
-    """
-    x = flat_xy[:, 0]
-    y = flat_xy[:, 1]
-    hazard = np.zeros(lanes, dtype=bool)
-    inv = 1.0 / _GUARD_CELL
-    half = _GUARD_CELL / 2.0
-    mix = np.int64(-7046029254386353131)  # odd 64-bit multiplier
-    for ox in (0.0, half):
-        ix = np.floor((x + ox) * inv).astype(np.int64)
-        for oy in (0.0, half):
-            iy = np.floor((y + oy) * inv).astype(np.int64)
-            keys = np.sort((ix * mix + iy).reshape(lanes, n), axis=1)
-            np.logical_or(
-                hazard, (keys[:, 1:] == keys[:, :-1]).any(axis=1), out=hazard
-            )
-    return hazard
 
 
 def _advance_vector_group(
@@ -896,18 +822,7 @@ def _advance_vector_group(
             perceived_y[mask] = py
 
     # -- the KKNPS scalar core (inline or fanned across the pool) ---------------
-    lane_consts = []
-    for lane, _, _, _ in walked:
-        algorithm: KKNPSAlgorithm = lane.sim.algorithm
-        lane_consts.append(
-            (
-                algorithm.close_fraction,
-                algorithm.distance_error_tolerance,
-                algorithm.alpha,
-                algorithm.radius_divisor,
-                max(0.0, 1.0 - 2.0 * algorithm.skew_tolerance),
-            )
-        )
+    lane_consts = [lane.sim.algorithm.decide_consts() for lane, _, _, _ in walked]
     if pool is not None and len(walked) * n >= fanout_min and acts > 1:
         destinations = pool.compute(
             perceived_x,
@@ -916,6 +831,13 @@ def _advance_vector_group(
             vis_segment[1:],
             lane_of,
             lane_consts,
+        )
+    elif len(walked) == 1:
+        # One lane: the whole round is one algorithm's batch — route
+        # through its own entry point (identical arithmetic; lane_of is
+        # all zeros here, so the lane-consts gather is a constant).
+        destinations = walked[0][0].sim.algorithm.compute_array_rounds(
+            perceived_x, perceived_y, vis_segment[:-1], vis_segment[1:]
         )
     else:
         destinations = np.zeros((acts, 2), dtype=np.float64)

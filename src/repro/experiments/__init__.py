@@ -16,6 +16,7 @@ from . import (
     impossibility,
     lemma5_chain,
     lemma_regions,
+    separation_3d,
     separation_matrix,
     unlimited_async,
 )
@@ -37,6 +38,7 @@ __all__ = [
     "impossibility",
     "lemma5_chain",
     "lemma_regions",
+    "separation_3d",
     "separation_matrix",
     "unlimited_async",
 ]

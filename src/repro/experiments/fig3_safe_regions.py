@@ -96,7 +96,9 @@ def _katreniak_area(neighbour: Point, v_lower: float, *, samples: int = 40_000, 
     rng = np.random.default_rng(seed)
     box = 2.0 * radius
     points = rng.uniform(-radius, radius, size=(samples, 2))
-    hits = sum(1 for x, y in points if region.contains(Point(float(x), float(y))))
+    # Batched union membership: one locator query instead of `samples`
+    # scalar contains() calls, verdict-for-verdict identical.
+    hits = int(np.count_nonzero(region.contains_array(points[:, 0], points[:, 1])))
     return hits / samples * box * box
 
 

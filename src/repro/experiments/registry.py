@@ -17,6 +17,7 @@ from . import (
     impossibility,
     lemma5_chain,
     lemma_regions,
+    separation_3d,
     separation_matrix,
     unlimited_async,
 )
@@ -126,6 +127,13 @@ REGISTRY: Dict[str, ExperimentEntry] = {
             "Three-dimensional extension: cohesive convergence in 3D",
             extension_3d.run,
             "benchmarks/bench_extension_3d.py",
+        ),
+        ExperimentEntry(
+            "X2",
+            "Section 6.3.2 x Section 7",
+            "3D separation: scripted k-Async overlap vs the lifted spiral",
+            separation_3d.run,
+            "benchmarks/bench_separation_3d.py",
         ),
     ]
 }

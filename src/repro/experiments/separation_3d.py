@@ -1,0 +1,307 @@
+"""Experiment X2 — the separation's adversarial side, lifted to 3-space.
+
+The separation matrix (experiment T1) pits the planar algorithm against
+scripted and unbounded adversaries; experiment X1 shows the 3D rule
+*converging* under fair stochastic schedulers.  This experiment closes
+the remaining corner — ROADMAP's "one experiment file away" item — by
+driving the 3D rule through the same two adversarial lenses:
+
+* **Scripted k-Async overlap timelines.**  A hand-built schedule per
+  workload in which one victim robot holds a long activity interval per
+  epoch while every other robot activates exactly ``j`` times inside it
+  — certified *j*-Async (and, for ``j > 1``, certified *not*
+  ``(j-1)``-Async) by :func:`repro.schedulers.scripted.validate_k_async`.
+  Matched rows run ``kknps3(k=j)`` under the ``j``-async script: the
+  paper's safe-ball analysis promises cohesion, and the rows check it.
+  Over-bound rows run ``kknps3(k=1)`` under the same ``j > 1`` scripts
+  — the algorithm's asynchrony promise is violated, so cohesion is
+  *measured*, not asserted.
+
+* **The Section-7 spiral, embedded in the z = 0 plane.**  Unbounded
+  asynchrony defeats every natural algorithm in the plane; the planar
+  spiral construction lifts verbatim to 3-space because coplanar
+  directions fit an open half-*space* iff they fit an open
+  half-*plane*.  The row computes the move the 3D rule is forced to
+  plan from the hub's initial (embedded) snapshot, replays the planar
+  sliver-flattening adversary, and checks that the realised hub move
+  breaks the ``(X_A, X_B)`` visibility edge — i.e. the 3D rule inherits
+  the planar impossibility, so the k-Async bound is *necessary* in
+  3-space too.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..adversary.impossibility import hub_snapshot, required_zeta
+from ..adversary.sliver import flatten_spiral
+from ..adversary.spiral import build_spiral
+from ..analysis.tables import TextTable
+from ..model.types import Activation
+from ..schedulers.scripted import ScriptedScheduler, validate_k_async
+from ..spatial3d.kernel3 import AsyncSimulation3Config, run_simulation3_async
+from ..spatial3d.kknps3 import KKNPS3Algorithm
+from ..spatial3d.workloads3 import lattice_configuration3, line_configuration3
+
+
+@dataclass(frozen=True)
+class Scripted3DRow:
+    """One scripted-schedule 3D run (matched or over-bound asynchrony)."""
+
+    workload: str
+    n_robots: int
+    schedule_j: int
+    algorithm_k: int
+    certified_j_async: bool
+    strictly_j_async: bool
+    cohesion: bool
+    activations: int
+    final_diameter: float
+
+    @property
+    def matched(self) -> bool:
+        """The algorithm's asynchrony promise covers the schedule."""
+        return self.algorithm_k >= self.schedule_j
+
+
+@dataclass(frozen=True)
+class SpiralLift3DRow:
+    """The Section-7 spiral driven through the 3D rule's forced hub move."""
+
+    psi: float
+    n_robots: int
+    zeta: float
+    required_zeta: float
+    hub_move_z: float
+    lens_violations: int
+    separation: float
+    visibility_broken: bool
+
+    @property
+    def construction_is_legal(self) -> bool:
+        """Every adversarial tail move stayed inside the neighbour lens."""
+        return self.lens_violations == 0
+
+    @property
+    def move_is_planar(self) -> bool:
+        """The 3D rule's hub move stayed in the embedding plane exactly."""
+        return self.hub_move_z == 0.0
+
+
+@dataclass
+class Separation3DResult:
+    """All rows of the 3D separation experiment."""
+
+    epoch_duration: float
+    scripted_rows: List[Scripted3DRow] = field(default_factory=list)
+    spiral_row: Optional[SpiralLift3DRow] = None
+
+    def to_table(self) -> TextTable:
+        table = TextTable(
+            "X2 — 3D separation: scripted k-Async overlap vs the lifted spiral",
+            ["part", "workload", "n", "sched j", "algo k", "matched",
+             "certified", "cohesive / broken", "activations", "final diameter"],
+        )
+        for row in self.scripted_rows:
+            table.add_row(
+                "scripted", row.workload, row.n_robots, row.schedule_j,
+                row.algorithm_k, row.matched,
+                row.certified_j_async and (row.schedule_j == 1 or row.strictly_j_async),
+                f"cohesive={row.cohesion}", row.activations, row.final_diameter,
+            )
+        if self.spiral_row is not None:
+            row = self.spiral_row
+            table.add_row(
+                "spiral", f"spiral(psi={row.psi})", row.n_robots, "unbounded",
+                1, False, row.construction_is_legal and row.move_is_planar,
+                f"edge broken={row.visibility_broken}", "-",
+                round(row.separation, 4),
+            )
+        return table
+
+    @property
+    def matched_rows_cohesive(self) -> bool:
+        """Every certified matched-asynchrony row preserved cohesion."""
+        return all(row.cohesion for row in self.scripted_rows if row.matched)
+
+    @property
+    def spiral_breaks_visibility(self) -> bool:
+        """The lifted spiral forces the 3D rule to break the hub edge."""
+        return self.spiral_row is not None and self.spiral_row.visibility_broken
+
+
+def overlap_schedule(
+    n_robots: int,
+    j: int,
+    *,
+    victim: int = 0,
+    epochs: int = 3,
+    epoch_duration: float = 1.0,
+) -> List[Activation]:
+    """An explicit ``j``-Async overlap timeline.
+
+    Each epoch the victim Looks at the epoch start and then moves for 90%
+    of the epoch; every other robot activates exactly ``j`` times with
+    look times staggered strictly inside the victim's activity interval
+    (a small per-robot phase keeps simultaneous Looks apart).  The result
+    is ``j``-Async — the victim's interval contains exactly ``j``
+    activations of each other robot — and, for ``j > 1``, not
+    ``(j-1)``-Async.
+    """
+    if n_robots < 2:
+        raise ValueError("an overlap schedule needs at least two robots")
+    if j < 1:
+        raise ValueError("the asynchrony parameter j must be at least 1")
+    script: List[Activation] = []
+    span = 0.9 * epoch_duration
+    for epoch in range(epochs):
+        t0 = epoch * epoch_duration
+        script.append(
+            Activation(robot_id=victim, look_time=t0, move_duration=span)
+        )
+        for robot in range(n_robots):
+            if robot == victim:
+                continue
+            phase = 0.4 * (robot + 1) / (n_robots + 1)
+            for i in range(j):
+                script.append(
+                    Activation(
+                        robot_id=robot,
+                        look_time=t0 + span * (i + 0.3 + phase) / j,
+                        move_duration=0.5 * span / j,
+                    )
+                )
+    return sorted(script, key=lambda a: a.look_time)
+
+
+def _run_scripted(
+    workload: str,
+    positions,
+    schedule_j: int,
+    algorithm_k: int,
+    *,
+    epochs: int,
+    epoch_duration: float,
+    seed: int,
+) -> Scripted3DRow:
+    script = overlap_schedule(
+        len(positions), schedule_j, epochs=epochs, epoch_duration=epoch_duration
+    )
+    certified = validate_k_async(script, schedule_j)
+    strictly = schedule_j > 1 and not validate_k_async(script, schedule_j - 1)
+    result = run_simulation3_async(
+        positions,
+        KKNPS3Algorithm(k=algorithm_k),
+        ScriptedScheduler(script),
+        AsyncSimulation3Config(
+            seed=seed,
+            max_activations=len(script) + 1,
+            stop_at_convergence=False,
+            rotate_frames=False,
+        ),
+    )
+    return Scripted3DRow(
+        workload=workload,
+        n_robots=len(positions),
+        schedule_j=schedule_j,
+        algorithm_k=algorithm_k,
+        certified_j_async=certified,
+        strictly_j_async=strictly,
+        cohesion=result.cohesion_maintained,
+        activations=result.activations_processed,
+        final_diameter=result.final_diameter,
+    )
+
+
+def lifted_spiral_row(
+    psi: float = 0.3,
+    *,
+    visibility_range: float = 1.0,
+    max_passes_per_stage: int = 60,
+) -> SpiralLift3DRow:
+    """Run the Section-7 construction against the 3D rule's forced hub move.
+
+    The spiral (and the whole flattening adversary) lives in the plane;
+    the hub's snapshot embeds as ``z = 0`` rows and the 3D rule's
+    half-space decision restricted to coplanar directions coincides with
+    the planar half-plane decision, so the planned move is the planar
+    forced move with a zero third component — verified exactly, not up
+    to tolerance.
+    """
+    spiral = build_spiral(psi, visibility_range=visibility_range)
+    snapshot = hub_snapshot(spiral, reveal_range=True)
+    embedded = np.array(
+        [(p.x, p.y, 0.0) for p in snapshot.neighbours], dtype=float
+    )
+    move = KKNPS3Algorithm(k=1).compute_array(embedded)
+    zeta = math.hypot(float(move[0]), float(move[1]))
+
+    flattening = flatten_spiral(spiral, max_passes_per_stage=max_passes_per_stage)
+    hub_final_x = spiral.hub.x + float(move[0])
+    hub_final_y = spiral.hub.y + float(move[1])
+    b_final = flattening.b_final
+    separation = math.hypot(hub_final_x - b_final.x, hub_final_y - b_final.y)
+    return SpiralLift3DRow(
+        psi=psi,
+        n_robots=spiral.n_robots,
+        zeta=zeta,
+        required_zeta=required_zeta(spiral, flattening),
+        hub_move_z=float(move[2]),
+        lens_violations=flattening.lens_violations,
+        separation=separation,
+        visibility_broken=separation > visibility_range + 1e-9,
+    )
+
+
+def run(
+    *,
+    psi: float = 0.3,
+    j_values: Tuple[int, ...] = (1, 2, 4),
+    epochs: int = 3,
+    epoch_duration: float = 1.0,
+    seed: int = 0,
+    max_passes_per_stage: int = 60,
+) -> Separation3DResult:
+    """Run both halves of the 3D separation experiment.
+
+    For every workload and every ``j`` in ``j_values`` a matched row runs
+    ``kknps3(k=j)`` under the certified ``j``-async script; for ``j > 1``
+    an over-bound row re-runs the same script against ``kknps3(k=1)``.
+    The spiral row then lifts the Section-7 construction.
+    """
+    workloads = [
+        ("line3", list(line_configuration3(6, spacing=0.8).positions)),
+        ("lattice3", list(lattice_configuration3(2, spacing=0.55).positions)),
+    ]
+    result = Separation3DResult(epoch_duration=epoch_duration)
+    for workload, positions in workloads:
+        for j in j_values:
+            result.scripted_rows.append(
+                _run_scripted(
+                    workload, positions, j, j,
+                    epochs=epochs, epoch_duration=epoch_duration, seed=seed,
+                )
+            )
+            if j > 1:
+                result.scripted_rows.append(
+                    _run_scripted(
+                        workload, positions, j, 1,
+                        epochs=epochs, epoch_duration=epoch_duration, seed=seed,
+                    )
+                )
+    result.spiral_row = lifted_spiral_row(
+        psi, max_passes_per_stage=max_passes_per_stage
+    )
+    return result
+
+
+def main() -> None:  # pragma: no cover - CLI entry point
+    print(run().to_table().render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

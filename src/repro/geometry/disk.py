@@ -12,6 +12,8 @@ import math
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from .point import Point, PointLike
 from .tolerances import EPS
 
@@ -33,6 +35,23 @@ class Disk:
     def contains(self, point: PointLike, *, eps: float = EPS) -> bool:
         """Closed containment test, with tolerance ``eps``."""
         return self.center.distance_to(point) <= self.radius + eps
+
+    def contains_array(self, px, py, *, eps: float = EPS):
+        """Vectorized :meth:`contains` over coordinate arrays.
+
+        Each verdict feeds the same scalar ``math.hypot`` distance into
+        the same comparison as :meth:`contains`, so the boolean array is
+        bit-identical to looping ``contains(Point(x, y), eps=eps)``.
+        """
+        px = np.ascontiguousarray(px, dtype=np.float64)
+        py = np.ascontiguousarray(py, dtype=np.float64)
+        count = len(px)
+        dist = np.fromiter(
+            map(math.hypot, (self.center.x - px).tolist(), (self.center.y - py).tolist()),
+            dtype=np.float64,
+            count=count,
+        )
+        return dist <= self.radius + eps
 
     def contains_disk(self, other: "Disk", *, eps: float = EPS) -> bool:
         """True when ``other`` lies entirely inside this disk."""

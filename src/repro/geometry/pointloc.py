@@ -1,0 +1,316 @@
+"""Build-once / query-many point location for the per-Look safe regions.
+
+Every algorithm in the repo decides membership against the same three
+region shapes: intersections of disks (the paper's distant safe regions,
+Ando et al.'s disks), unions of disks (Katreniak's two-disk regions) and
+fans of half-planes (the direction cones behind the stay-put rule).  The
+naive decision loops over every disk for every query point; this module
+builds a small locator structure *once* per snapshot and answers whole
+query batches with two distance comparisons per point in the common case.
+
+The certificate scheme
+----------------------
+
+Anchor the structure at a point ``c`` (the centroid of the disk centres).
+For a query ``q`` at distance ``d = |q - c|``, the triangle inequality
+gives per-disk bounds ``d - |c - c_i| <= |q - c_i| <= d + |c - c_i|``, so
+
+* **intersection** of disks ``(c_i, r_i)``: ``q`` is inside *every* disk
+  whenever ``d <= min_i (r_i - |c - c_i|) + eps`` (the *inner* base) and
+  outside *some* disk whenever ``d > min_i (r_i + |c - c_i|) + eps`` (the
+  *outer* base);
+* **union**: dually with ``max`` — inside *some* disk whenever
+  ``d <= max_i (r_i - |c - c_i|) + eps``, outside *all* whenever
+  ``d > max_i (r_i + |c - c_i|) + eps``.
+
+The tolerance ``eps`` shifts every per-disk threshold by the same
+constant, so the minimising/maximising index never moves and the bases
+can be built once and have ``eps`` folded in at query time.  Certificate
+distances are evaluated with ``np.hypot`` and guarded by a conservative
+slack band; only queries that land inside the band — or between the two
+bases — fall through to the exact per-disk test, which evaluates the very
+``math.hypot(center.x - qx, center.y - qy) <= radius + eps`` comparison
+:meth:`repro.geometry.disk.Disk.contains` makes.  Because conjunction and
+disjunction are order-independent, the batched verdicts are *bit-identical*
+to looping :meth:`Disk.contains` over the same disks.
+
+For large disk sets the exact fallback is hierarchical: disks are grouped
+into blocks of :data:`BLOCK_SIZE`, each with its own anchored certificate
+pair, so a fallback query visits ``O(m / BLOCK_SIZE)`` block certificates
+and only opens the blocks its distance band straddles — the logarithmic
+spirit of Kirkpatrick's point-location refinement, specialised to the
+one-level hierarchy these region counts need.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .angles import extreme_directions, fits_in_open_halfplane
+from .disk import Disk
+from .point import Point
+from .tolerances import EPS
+
+#: Relative half-width of the slack band around each certificate
+#: threshold.  ``np.hypot`` and the triangle-inequality folding are each
+#: accurate to a few ulps, so anything comfortably above ``2**-40``
+#: relative keeps the certificates sound; queries inside the band simply
+#: take the exact path.
+CERT_SLACK = 1e-9
+
+#: Number of disks per block of the hierarchical exact fallback.
+BLOCK_SIZE = 8
+
+
+def _exact_distances(cx: float, cy: float, px: np.ndarray, py: np.ndarray) -> np.ndarray:
+    """Per-point ``math.hypot`` distances — the scalar ``Disk.contains`` metric."""
+    count = len(px)
+    return np.fromiter(
+        map(math.hypot, (cx - px).tolist(), (cy - py).tolist()),
+        dtype=np.float64,
+        count=count,
+    )
+
+
+class _DiskBlock:
+    """One block of the exact-fallback hierarchy: disks plus local certificates."""
+
+    __slots__ = ("disks", "ax", "ay", "inner", "outer", "reach")
+
+    def __init__(self, disks: Sequence[Disk], reduce_fn) -> None:
+        self.disks = list(disks)
+        cx = np.array([d.center.x for d in self.disks], dtype=np.float64)
+        cy = np.array([d.center.y for d in self.disks], dtype=np.float64)
+        r = np.array([d.radius for d in self.disks], dtype=np.float64)
+        self.ax = float(cx.mean())
+        self.ay = float(cy.mean())
+        spread = np.hypot(cx - self.ax, cy - self.ay)
+        # reduce_fn is min for intersections, max for unions; eps is folded
+        # in at query time (a constant shift never moves the arg-extreme).
+        self.inner = float(reduce_fn(r - spread))
+        self.outer = float(reduce_fn(r + spread))
+        self.reach = float(spread.max() + r.max())
+
+
+class DiskIntersectionLocator:
+    """Batched membership in the intersection of closed disks.
+
+    Build once per Look from the observing robot's distant safe regions
+    (or any other conjunctive disk family); query many points with
+    :meth:`contains_array`.  An empty family contains everything, matching
+    ``all()`` over no disks.
+    """
+
+    def __init__(self, disks: Sequence[Disk]) -> None:
+        self.disks: List[Disk] = list(disks)
+        self._blocks: List[_DiskBlock] = [
+            _DiskBlock(self.disks[i : i + BLOCK_SIZE], np.min)
+            for i in range(0, len(self.disks), BLOCK_SIZE)
+        ]
+        if self._blocks:
+            self._root = _DiskBlock(self.disks, np.min)
+
+    def contains(self, point, *, eps: float = EPS) -> bool:
+        """Scalar convenience wrapper over :meth:`contains_array`."""
+        point = Point.of(point)
+        return bool(
+            self.contains_array(
+                np.array([point.x]), np.array([point.y]), eps=eps
+            )[0]
+        )
+
+    def contains_array(
+        self, px: np.ndarray, py: np.ndarray, *, eps: float = EPS
+    ) -> np.ndarray:
+        """Boolean verdicts, bit-identical to ``all(d.contains(q, eps=eps))``."""
+        px = np.ascontiguousarray(px, dtype=np.float64)
+        py = np.ascontiguousarray(py, dtype=np.float64)
+        if not self.disks:
+            return np.ones(len(px), dtype=bool)
+        root = self._root
+        dq = np.hypot(px - root.ax, py - root.ay)
+        band = CERT_SLACK * (1.0 + dq + root.reach)
+        out = dq <= (root.inner + eps) - band
+        undecided = np.flatnonzero(~out & (dq <= (root.outer + eps) + band))
+        if len(undecided):
+            out[undecided] = self._exact(px[undecided], py[undecided], eps)
+        return out
+
+    def _exact(self, px: np.ndarray, py: np.ndarray, eps: float) -> np.ndarray:
+        """Exact conjunction over the block hierarchy with alive-set pruning."""
+        ok = np.ones(len(px), dtype=bool)
+        alive = np.arange(len(px), dtype=np.intp)
+        for block in self._blocks:
+            if not len(alive):
+                break
+            qx = px[alive]
+            qy = py[alive]
+            db = np.hypot(qx - block.ax, qy - block.ay)
+            band = CERT_SLACK * (1.0 + db + block.reach)
+            rejected = db > (block.outer + eps) + band
+            accepted = db <= (block.inner + eps) - band
+            open_block = np.flatnonzero(~accepted & ~rejected)
+            good = ~rejected
+            for disk in block.disks:
+                if not len(open_block):
+                    break
+                dist = _exact_distances(
+                    disk.center.x, disk.center.y, qx[open_block], qy[open_block]
+                )
+                inside = dist <= disk.radius + eps
+                good[open_block[~inside]] = False
+                open_block = open_block[inside]
+            ok[alive[~good]] = False
+            alive = alive[good]
+        return ok
+
+
+class DiskUnionLocator:
+    """Batched membership in the union of closed disks (Katreniak regions).
+
+    An empty family contains nothing, matching ``any()`` over no disks.
+    """
+
+    def __init__(self, disks: Sequence[Disk]) -> None:
+        self.disks: List[Disk] = list(disks)
+        self._blocks: List[_DiskBlock] = [
+            _DiskBlock(self.disks[i : i + BLOCK_SIZE], np.max)
+            for i in range(0, len(self.disks), BLOCK_SIZE)
+        ]
+        if self._blocks:
+            self._root = _DiskBlock(self.disks, np.max)
+
+    def contains(self, point, *, eps: float = EPS) -> bool:
+        """Scalar convenience wrapper over :meth:`contains_array`."""
+        point = Point.of(point)
+        return bool(
+            self.contains_array(
+                np.array([point.x]), np.array([point.y]), eps=eps
+            )[0]
+        )
+
+    def contains_array(
+        self, px: np.ndarray, py: np.ndarray, *, eps: float = EPS
+    ) -> np.ndarray:
+        """Boolean verdicts, bit-identical to ``any(d.contains(q, eps=eps))``."""
+        px = np.ascontiguousarray(px, dtype=np.float64)
+        py = np.ascontiguousarray(py, dtype=np.float64)
+        if not self.disks:
+            return np.zeros(len(px), dtype=bool)
+        root = self._root
+        dq = np.hypot(px - root.ax, py - root.ay)
+        band = CERT_SLACK * (1.0 + dq + root.reach)
+        out = dq <= (root.inner + eps) - band
+        undecided = np.flatnonzero(~out & (dq <= (root.outer + eps) + band))
+        if len(undecided):
+            out[undecided] = self._exact(px[undecided], py[undecided], eps)
+        return out
+
+    def _exact(self, px: np.ndarray, py: np.ndarray, eps: float) -> np.ndarray:
+        """Exact disjunction over the block hierarchy with missing-set pruning."""
+        found = np.zeros(len(px), dtype=bool)
+        missing = np.arange(len(px), dtype=np.intp)
+        for block in self._blocks:
+            if not len(missing):
+                break
+            qx = px[missing]
+            qy = py[missing]
+            db = np.hypot(qx - block.ax, qy - block.ay)
+            band = CERT_SLACK * (1.0 + db + block.reach)
+            hit = db <= (block.inner + eps) - band
+            open_block = np.flatnonzero(~hit & (db <= (block.outer + eps) + band))
+            for disk in block.disks:
+                if not len(open_block):
+                    break
+                dist = _exact_distances(
+                    disk.center.x, disk.center.y, qx[open_block], qy[open_block]
+                )
+                inside = dist <= disk.radius + eps
+                hit[open_block[inside]] = True
+                open_block = open_block[~inside]
+            found[missing[hit]] = True
+            missing = missing[~hit]
+        return found
+
+
+class HalfplaneFan:
+    """Batched strict membership in a fan of open half-planes through the origin.
+
+    The fan is ``{q : q . d_i > 0 for every i}`` for a family of direction
+    vectors ``d_i`` — the cone whose non-emptiness the stay-put rule tests
+    with :func:`repro.geometry.angles.fits_in_open_halfplane`.  When the
+    directions span less than a half-turn, any interior direction is a
+    non-negative combination ``alpha e1 + beta e2`` of the two extreme
+    directions with ``alpha + beta >= 1``, so ``q . d_i >= min(q . e1,
+    q . e2)`` for every ``i``: two dot products decide each query point
+    outside a slack band, and the band falls through to the full dot set.
+    The reference semantics is the literal loop ``all(qx * dx + qy * dy
+    > 0.0)`` over the stored directions, and the batched path reproduces
+    it bit-identically.
+    """
+
+    def __init__(self, directions: Sequence[Point]) -> None:
+        self.directions: List[Point] = [Point.of(d) for d in directions]
+        self._dx = np.array([d.x for d in self.directions], dtype=np.float64)
+        self._dy = np.array([d.y for d in self.directions], dtype=np.float64)
+        self._extremes: Optional[Tuple[int, int]] = None
+        if len(self.directions) >= 2 and fits_in_open_halfplane(self.directions):
+            self._extremes = extreme_directions(self.directions)
+
+    def contains(self, point) -> bool:
+        """Scalar convenience wrapper over :meth:`contains_array`."""
+        point = Point.of(point)
+        return bool(self.contains_array(np.array([point.x]), np.array([point.y]))[0])
+
+    def contains_array(self, px: np.ndarray, py: np.ndarray) -> np.ndarray:
+        """Boolean verdicts, bit-identical to the all-dots-positive loop."""
+        px = np.ascontiguousarray(px, dtype=np.float64)
+        py = np.ascontiguousarray(py, dtype=np.float64)
+        if not self.directions:
+            return np.ones(len(px), dtype=bool)
+        if self._extremes is None:
+            return self._exact(px, py, np.arange(len(px), dtype=np.intp), len(px))
+        i, j = self._extremes
+        dot_i = px * self._dx[i] + py * self._dy[i]
+        dot_j = px * self._dx[j] + py * self._dy[j]
+        low = np.minimum(dot_i, dot_j)
+        scale = np.hypot(px, py) * max(
+            1.0, float(np.max(np.hypot(self._dx, self._dy)))
+        )
+        band = CERT_SLACK * (1.0 + scale)
+        out = low > band
+        # An extreme dot <= 0 is itself one of the reference dots, so the
+        # reference conjunction is already False there: reject exactly.
+        undecided = np.flatnonzero(~out & (low > 0.0))
+        if len(undecided):
+            out[undecided] = self._exact(px, py, undecided, len(undecided))
+        return out
+
+    def _exact(
+        self, px: np.ndarray, py: np.ndarray, idx: np.ndarray, count: int
+    ) -> np.ndarray:
+        qx = px[idx]
+        qy = py[idx]
+        ok = np.ones(count, dtype=bool)
+        for dx, dy in zip(self._dx.tolist(), self._dy.tolist()):
+            ok &= (qx * dx + qy * dy) > 0.0
+            if not ok.any():
+                break
+        return ok
+
+
+def points_in_all_disks(
+    disks: Sequence[Disk], px: np.ndarray, py: np.ndarray, *, eps: float = EPS
+) -> np.ndarray:
+    """One-shot batched form of :func:`repro.algorithms.safe_regions.point_respects_disks`."""
+    return DiskIntersectionLocator(disks).contains_array(px, py, eps=eps)
+
+
+def points_in_any_disk(
+    disks: Sequence[Disk], px: np.ndarray, py: np.ndarray, *, eps: float = EPS
+) -> np.ndarray:
+    """One-shot batched union membership."""
+    return DiskUnionLocator(disks).contains_array(px, py, eps=eps)

@@ -157,3 +157,62 @@ class TestMaxStepHelpers:
 
         end = max_step_within_regions((0, 0), (1.0, 0.0), [HalfPlane()], samples=100)
         assert end.x == pytest.approx(0.25, abs=0.011)
+
+
+class TestBatchedMembership:
+    """The batched membership paths agree with the scalar predicates."""
+
+    def _regions(self):
+        import numpy as np
+
+        rng = np.random.default_rng(7)
+        observer = Point(0.0, 0.0)
+        regions = [
+            katreniak_safe_region(observer, Point.polar(r, a), 1.0)
+            for r, a in zip(rng.uniform(0.3, 0.99, size=4), rng.uniform(0.0, 6.28, size=4))
+        ]
+        return rng, regions
+
+    def test_katreniak_contains_array_matches_contains(self):
+        import numpy as np
+
+        rng, regions = self._regions()
+        px = rng.normal(scale=0.6, size=256)
+        py = rng.normal(scale=0.6, size=256)
+        for region in regions:
+            verdicts = region.contains_array(px, py)
+            for i in range(len(px)):
+                assert verdicts[i] == region.contains(Point(float(px[i]), float(py[i])))
+
+    def test_points_respect_disks_matches_scalar(self):
+        import numpy as np
+
+        from repro.algorithms.safe_regions import points_respect_disks
+
+        rng = np.random.default_rng(11)
+        disks = [
+            Disk(Point(float(x), float(y)), float(r))
+            for x, y, r in zip(
+                rng.normal(size=5), rng.normal(size=5), rng.uniform(0.5, 2.0, size=5)
+            )
+        ]
+        px = rng.normal(scale=1.5, size=200)
+        py = rng.normal(scale=1.5, size=200)
+        verdicts = points_respect_disks(px, py, disks)
+        for i in range(len(px)):
+            point = Point(float(px[i]), float(py[i]))
+            assert verdicts[i] == point_respects_disks(point, disks)
+
+    def test_max_step_within_regions_unchanged_by_batched_membership(self):
+        import numpy as np
+
+        rng, regions = self._regions()
+        origin = Point(0.0, 0.0)
+        for a in np.linspace(0.0, 6.2, 13):
+            goal = Point.polar(0.4, float(a))
+            landing = max_step_within_regions(origin, goal, regions)
+            # The landing point must lie inside every region (the contract
+            # the batched membership path inherits from the scalar loop),
+            # unless no prefix of the segment was feasible at all.
+            if landing != origin:
+                assert all(r.contains(landing, eps=1e-7) for r in regions)

@@ -1,0 +1,39 @@
+"""The replicate fan-out crossover threshold honours its env override."""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+from repro.engine import fanout
+
+
+class TestFanoutThresholdOverride:
+    def test_default_without_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_REPLICATE_FANOUT_MIN_ROBOTS", raising=False)
+        assert fanout._fanout_min_robots_default() == 100_000
+
+    @pytest.mark.parametrize("raw,expected", [
+        ("5000", 5_000),
+        ("1", 1),
+        ("250000", 250_000),
+    ])
+    def test_valid_override(self, monkeypatch, raw, expected):
+        monkeypatch.setenv("REPRO_REPLICATE_FANOUT_MIN_ROBOTS", raw)
+        assert fanout._fanout_min_robots_default() == expected
+
+    @pytest.mark.parametrize("raw", ["", "abc", "12.5", "0", "-3"])
+    def test_invalid_or_non_positive_falls_back(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_REPLICATE_FANOUT_MIN_ROBOTS", raw)
+        assert fanout._fanout_min_robots_default() == 100_000
+
+    def test_module_constant_reflects_env_at_import(self, monkeypatch):
+        monkeypatch.setenv("REPRO_REPLICATE_FANOUT_MIN_ROBOTS", "777")
+        try:
+            importlib.reload(fanout)
+            assert fanout.REPLICATE_FANOUT_MIN_ROBOTS == 777
+        finally:
+            monkeypatch.delenv("REPRO_REPLICATE_FANOUT_MIN_ROBOTS")
+            importlib.reload(fanout)
+        assert fanout.REPLICATE_FANOUT_MIN_ROBOTS == 100_000

@@ -143,3 +143,57 @@ class TestRoundBatchingPins:
             SimulationConfig(engine_mode="object", round_batching=True),
         )
         assert not simulator._round_batching
+
+
+class TestWorkloadMatrix:
+    """Grid vs dense workloads through the same bit-identity harness."""
+
+    @pytest.mark.parametrize("sched_name,scheduler", SCHEDULERS)
+    @pytest.mark.parametrize("error", ["exact", "noisy"])
+    def test_grid_workload(self, sched_name, scheduler, error):
+        from repro.workloads import truncated_grid_configuration
+
+        configuration = truncated_grid_configuration(36, spacing=0.7)
+        config_kw = dict(seed=13, max_activations=160, stop_at_convergence=False)
+        if error == "noisy":
+            config_kw["perception"] = PerceptionModel(distance_error=0.05)
+            config_kw["motion"] = MotionModel(
+                xi=0.6, deviation="linear", coefficient=0.05
+            )
+        results = []
+        for round_batching in (None, False):
+            results.append(
+                run_simulation(
+                    configuration.positions,
+                    KKNPSAlgorithm(k=1),
+                    scheduler(),
+                    SimulationConfig(round_batching=round_batching, **config_kw),
+                )
+            )
+        _assert_identical(*results)
+
+    @pytest.mark.parametrize("error", ["exact", "noisy"])
+    def test_dense_workload(self, error):
+        """A dense cluster (every robot sees most others) through the batch."""
+        from repro.workloads import random_connected_configuration
+
+        configuration = random_connected_configuration(
+            50, seed=21, attach_radius_fraction=0.25
+        )
+        config_kw = dict(seed=21, max_activations=150, stop_at_convergence=False)
+        if error == "noisy":
+            config_kw["perception"] = PerceptionModel(distance_error=0.05)
+            config_kw["motion"] = MotionModel(
+                xi=0.6, deviation="linear", coefficient=0.05
+            )
+        results = []
+        for round_batching in (None, False):
+            results.append(
+                run_simulation(
+                    configuration.positions,
+                    KKNPSAlgorithm(k=1),
+                    SSyncScheduler(),
+                    SimulationConfig(round_batching=round_batching, **config_kw),
+                )
+            )
+        _assert_identical(*results)

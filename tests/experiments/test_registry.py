@@ -10,6 +10,7 @@ class TestRegistry:
     def test_all_design_doc_experiments_registered(self):
         expected = {
             "F3", "F4", "L12", "L5", "T1", "C1", "L68", "E1", "I1", "S2", "U1", "D1", "X1",
+            "X2",
         }
         assert expected == set(experiment_ids())
 
@@ -62,6 +63,7 @@ SMOKE_KWARGS = {
     "U1": dict(n_values=(4,), max_activations=4000, seed=1),
     "D1": dict(n_components=2, robots_per_component=3, max_activations=1000, seed=1),
     "X1": dict(k_values=(1,), random_sizes=(5,), max_rounds=300, seed=1),
+    "X2": dict(j_values=(1,), epochs=1, psi=0.35, seed=1),
 }
 
 

@@ -1,0 +1,54 @@
+"""Smoke tests for experiment X2 (3D separation under scripted schedules)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import REGISTRY, separation_3d
+from repro.schedulers.scripted import validate_k_async
+
+
+class TestOverlapSchedule:
+    @pytest.mark.parametrize("j", [1, 2, 4])
+    def test_certified_exactly_j_async(self, j):
+        script = separation_3d.overlap_schedule(5, j, epochs=2)
+        assert validate_k_async(script, j)
+        if j > 1:
+            assert not validate_k_async(script, j - 1)
+
+    def test_counts_per_epoch(self):
+        n, j, epochs = 6, 3, 2
+        script = separation_3d.overlap_schedule(n, j, epochs=epochs)
+        assert len(script) == epochs * (1 + (n - 1) * j)
+
+    def test_rejects_degenerate_parameters(self):
+        with pytest.raises(ValueError):
+            separation_3d.overlap_schedule(1, 2)
+        with pytest.raises(ValueError):
+            separation_3d.overlap_schedule(4, 0)
+
+
+class TestSeparation3DSmoke:
+    def test_registered_as_x2(self):
+        entry = REGISTRY["X2"]
+        assert entry.run is separation_3d.run
+        assert entry.bench == "benchmarks/bench_separation_3d.py"
+
+    def test_small_run(self):
+        result = separation_3d.run(j_values=(1, 2), epochs=2)
+        # line3 and lattice3, each with j=1 matched, j=2 matched, j=2 over-bound.
+        assert len(result.scripted_rows) == 6
+        assert all(row.certified_j_async for row in result.scripted_rows)
+        assert result.matched_rows_cohesive
+
+        spiral = result.spiral_row
+        assert spiral is not None
+        assert spiral.construction_is_legal
+        assert spiral.move_is_planar
+        assert spiral.zeta > spiral.required_zeta > 0.0
+        assert result.spiral_breaks_visibility
+
+    def test_table_renders(self):
+        result = separation_3d.run(j_values=(1,), epochs=1)
+        rendered = result.to_table().render()
+        assert "scripted" in rendered and "spiral" in rendered

@@ -1,0 +1,160 @@
+"""Pins for the build-once point-location layer.
+
+Every locator verdict must equal the scalar predicate it replaces —
+byte-for-byte, not approximately — because the engine's bit-identity
+contract flows through these answers.  The tests sweep random disk
+families (clustered and scattered, below and above the block size) and
+compare whole verdict arrays against literal ``Disk.contains`` loops.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry.disk import Disk
+from repro.geometry.point import Point
+from repro.geometry.pointloc import (
+    BLOCK_SIZE,
+    DiskIntersectionLocator,
+    DiskUnionLocator,
+    HalfplaneFan,
+    points_in_all_disks,
+    points_in_any_disk,
+)
+from repro.geometry.tolerances import EPS
+
+
+def _random_disks(rng, count, *, clustered):
+    scale = 0.3 if clustered else 3.0
+    return [
+        Disk(Point(float(x), float(y)), float(r))
+        for x, y, r in zip(
+            rng.normal(scale=scale, size=count),
+            rng.normal(scale=scale, size=count),
+            rng.uniform(0.2, 2.5, size=count),
+        )
+    ]
+
+
+def _query_cloud(rng, queries):
+    px = rng.normal(scale=2.0, size=queries)
+    py = rng.normal(scale=2.0, size=queries)
+    return px, py
+
+
+class TestDiskLocators:
+    @pytest.mark.parametrize("count", [1, 3, BLOCK_SIZE, 3 * BLOCK_SIZE + 2])
+    @pytest.mark.parametrize("clustered", [True, False])
+    @pytest.mark.parametrize("eps", [0.0, EPS, 1e-3])
+    def test_verdicts_match_scalar_loops(self, count, clustered, eps):
+        rng = np.random.default_rng(count * 7 + clustered)
+        disks = _random_disks(rng, count, clustered=clustered)
+        px, py = _query_cloud(rng, 512)
+        inter = DiskIntersectionLocator(disks).contains_array(px, py, eps=eps)
+        union = DiskUnionLocator(disks).contains_array(px, py, eps=eps)
+        for i, (x, y) in enumerate(zip(px, py)):
+            point = Point(float(x), float(y))
+            assert inter[i] == all(d.contains(point, eps=eps) for d in disks)
+            assert union[i] == any(d.contains(point, eps=eps) for d in disks)
+
+    def test_boundary_queries_are_exact(self):
+        """Points constructed on/near disk boundaries fall to the exact path."""
+        disks = [Disk(Point(0.0, 0.0), 1.0), Disk(Point(0.5, 0.0), 1.0)]
+        angles = np.linspace(0.0, 2.0 * math.pi, 257)
+        for radius in (1.0 - 1e-12, 1.0, 1.0 + 1e-12, 1.0 + EPS):
+            px = radius * np.cos(angles)
+            py = radius * np.sin(angles)
+            inter = DiskIntersectionLocator(disks).contains_array(px, py)
+            union = DiskUnionLocator(disks).contains_array(px, py)
+            for i, (x, y) in enumerate(zip(px, py)):
+                point = Point(float(x), float(y))
+                assert inter[i] == all(d.contains(point) for d in disks)
+                assert union[i] == any(d.contains(point) for d in disks)
+
+    def test_empty_families(self):
+        px = np.array([0.0, 5.0])
+        py = np.array([0.0, -5.0])
+        assert DiskIntersectionLocator([]).contains_array(px, py).all()
+        assert not DiskUnionLocator([]).contains_array(px, py).any()
+        assert DiskIntersectionLocator([]).contains(Point(0.0, 0.0))
+        assert not DiskUnionLocator([]).contains(Point(0.0, 0.0))
+
+    def test_scalar_contains_matches_array(self):
+        rng = np.random.default_rng(3)
+        disks = _random_disks(rng, 5, clustered=True)
+        locator = DiskIntersectionLocator(disks)
+        for x, y in zip(*_query_cloud(rng, 64)):
+            point = Point(float(x), float(y))
+            assert locator.contains(point) == all(d.contains(point) for d in disks)
+
+    def test_one_shot_helpers(self):
+        rng = np.random.default_rng(9)
+        disks = _random_disks(rng, 6, clustered=False)
+        px, py = _query_cloud(rng, 128)
+        np.testing.assert_array_equal(
+            points_in_all_disks(disks, px, py),
+            DiskIntersectionLocator(disks).contains_array(px, py),
+        )
+        np.testing.assert_array_equal(
+            points_in_any_disk(disks, px, py),
+            DiskUnionLocator(disks).contains_array(px, py),
+        )
+
+
+class TestHalfplaneFan:
+    def _reference(self, directions, px, py):
+        return np.array(
+            [
+                all(x * d.x + y * d.y > 0.0 for d in directions)
+                for x, y in zip(px, py)
+            ]
+        )
+
+    @pytest.mark.parametrize("count", [1, 2, 5, 17])
+    def test_matches_literal_dot_loop(self, count):
+        rng = np.random.default_rng(count)
+        angles = rng.uniform(0.0, 0.9 * math.pi, size=count)
+        directions = [
+            Point(math.cos(a) * s, math.sin(a) * s)
+            for a, s in zip(angles, rng.uniform(0.1, 3.0, size=count))
+        ]
+        fan = HalfplaneFan(directions)
+        px, py = _query_cloud(rng, 512)
+        np.testing.assert_array_equal(
+            fan.contains_array(px, py), self._reference(directions, px, py)
+        )
+
+    def test_wide_fan_without_halfplane_certificate(self):
+        """Directions spanning more than a half-plane: no certificate, all exact."""
+        directions = [Point(1.0, 0.0), Point(-1.0, 0.1), Point(0.0, -1.0)]
+        rng = np.random.default_rng(1)
+        px, py = _query_cloud(rng, 256)
+        fan = HalfplaneFan(directions)
+        np.testing.assert_array_equal(
+            fan.contains_array(px, py), self._reference(directions, px, py)
+        )
+
+    def test_boundary_dots_rejected_exactly(self):
+        """A query orthogonal to a fan direction has dot == 0.0: strict > fails."""
+        directions = [Point(1.0, 0.0), Point(0.0, 1.0)]
+        fan = HalfplaneFan(directions)
+        px = np.array([0.0, 1.0, 1.0])
+        py = np.array([1.0, 0.0, 1.0])
+        np.testing.assert_array_equal(
+            fan.contains_array(px, py), np.array([False, False, True])
+        )
+
+    def test_empty_fan_accepts_everything(self):
+        px, py = np.array([0.0, 3.0]), np.array([0.0, -1.0])
+        assert HalfplaneFan([]).contains_array(px, py).all()
+
+    def test_scalar_contains_matches(self):
+        directions = [Point(1.0, 0.2), Point(0.6, 0.8)]
+        fan = HalfplaneFan(directions)
+        for point in (Point(1.0, 1.0), Point(-1.0, 0.0), Point(0.5, -0.2)):
+            assert fan.contains(point) == all(
+                point.x * d.x + point.y * d.y > 0.0 for d in directions
+            )

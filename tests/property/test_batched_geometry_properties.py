@@ -1,0 +1,148 @@
+"""Property suite for the build-once / query-many geometry layer.
+
+Two families of properties:
+
+* the batched locators answer exactly what the scalar predicates answer,
+  on arbitrary disk families and query clouds; and
+* the destinations the (batched) motion rules plan stay inside every
+  distant safe region — the paper's per-activation safety invariant —
+  in the plane and in 3-space, with the 3D whole-round batch checked
+  row-by-row against its per-activation core.
+"""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import KKNPSAlgorithm
+from repro.geometry import Point
+from repro.geometry.disk import Disk
+from repro.geometry.pointloc import (
+    DiskIntersectionLocator,
+    DiskUnionLocator,
+    HalfplaneFan,
+    points_in_all_disks,
+)
+from repro.geometry.tolerances import EPS
+from repro.model import Snapshot
+from repro.spatial3d.kknps3 import KKNPS3Algorithm
+
+finite = dict(allow_nan=False, allow_infinity=False)
+coords = st.floats(min_value=-5.0, max_value=5.0, **finite)
+radii = st.floats(min_value=0.05, max_value=3.0, **finite)
+disk_strategy = st.builds(lambda x, y, r: Disk(Point(x, y), r), coords, coords, radii)
+disk_lists = st.lists(disk_strategy, min_size=0, max_size=12)
+query_clouds = st.lists(st.tuples(coords, coords), min_size=1, max_size=40)
+
+angles = st.floats(min_value=0.0, max_value=2 * math.pi, **finite)
+distances = st.floats(min_value=0.05, max_value=1.0, **finite)
+neighbour_strategy = st.builds(Point.polar, distances, angles)
+neighbour_lists = st.lists(neighbour_strategy, min_size=1, max_size=8)
+k_values = st.integers(min_value=1, max_value=4)
+
+vec3 = st.tuples(
+    st.floats(min_value=-1.0, max_value=1.0, **finite),
+    st.floats(min_value=-1.0, max_value=1.0, **finite),
+    st.floats(min_value=-1.0, max_value=1.0, **finite),
+)
+rounds_3d = st.lists(
+    st.lists(vec3, min_size=0, max_size=7), min_size=1, max_size=6
+)
+
+
+class TestLocatorProperties:
+    @given(disk_lists, query_clouds)
+    @settings(max_examples=120)
+    def test_locators_equal_scalar_loops(self, disks, cloud):
+        px = np.array([x for x, _ in cloud])
+        py = np.array([y for _, y in cloud])
+        inter = DiskIntersectionLocator(disks).contains_array(px, py)
+        union = DiskUnionLocator(disks).contains_array(px, py)
+        for i, (x, y) in enumerate(cloud):
+            point = Point(x, y)
+            assert inter[i] == all(d.contains(point) for d in disks)
+            assert union[i] == any(d.contains(point) for d in disks)
+
+    @given(disk_strategy, query_clouds)
+    @settings(max_examples=80)
+    def test_disk_contains_array_equals_contains(self, disk, cloud):
+        px = np.array([x for x, _ in cloud])
+        py = np.array([y for _, y in cloud])
+        verdicts = disk.contains_array(px, py)
+        for i, (x, y) in enumerate(cloud):
+            assert verdicts[i] == disk.contains(Point(x, y))
+
+    @given(st.lists(neighbour_strategy, min_size=0, max_size=9), query_clouds)
+    @settings(max_examples=80)
+    def test_halfplane_fan_equals_dot_loop(self, directions, cloud):
+        fan = HalfplaneFan(directions)
+        px = np.array([x for x, _ in cloud])
+        py = np.array([y for _, y in cloud])
+        verdicts = fan.contains_array(px, py)
+        for i, (x, y) in enumerate(cloud):
+            assert verdicts[i] == all(x * d.x + y * d.y > 0.0 for d in directions)
+
+
+class TestBatchedDestinations2D:
+    @given(st.lists(neighbour_lists, min_size=1, max_size=5), k_values)
+    @settings(max_examples=60)
+    def test_batched_destinations_lie_in_all_distant_safe_regions(
+        self, snapshots, k
+    ):
+        """One batched membership query certifies a whole round of moves."""
+        algorithm = KKNPSAlgorithm(k=k)
+        destinations = [
+            algorithm.compute(Snapshot(neighbours=tuple(n))) for n in snapshots
+        ]
+        for neighbours, destination in zip(snapshots, destinations):
+            snapshot = Snapshot(neighbours=tuple(neighbours))
+            verdict = points_in_all_disks(
+                algorithm.safe_regions(snapshot),
+                np.array([destination.x]),
+                np.array([destination.y]),
+                eps=1e-7,
+            )
+            assert bool(verdict[0])
+            assert algorithm.destination_respects_safe_regions(snapshot, eps=1e-7)
+
+
+class TestBatchedDestinations3D:
+    @given(rounds_3d, k_values)
+    @settings(max_examples=60, deadline=None)
+    def test_round_batch_matches_per_activation_and_safe_balls(self, rows, k):
+        algorithm = KKNPS3Algorithm(k=k)
+        flat = np.array(
+            [p for segment in rows for p in segment], dtype=float
+        ).reshape(-1, 3)
+        counts = [len(segment) for segment in rows]
+        ends = np.cumsum(counts)
+        starts = ends - np.array(counts)
+        batched = algorithm.compute_array_rounds(flat, starts, ends)
+
+        for a, segment in enumerate(rows):
+            relative = np.array(segment, dtype=float).reshape(-1, 3)
+            reference = algorithm.compute_array(relative)
+            assert (batched[a] == reference).all()
+
+            # The paper's invariant: the move stays in every distant safe ball.
+            if len(relative) == 0:
+                continue
+            norms = np.sqrt((relative * relative).sum(axis=1))
+            v_y = float(norms.max())
+            if v_y <= EPS:
+                continue
+            distant = np.flatnonzero(
+                norms > algorithm.close_fraction * v_y + EPS
+            )
+            if distant.size == 0:
+                distant = np.array([int(norms.argmax())])
+            radius = algorithm.safe_radius(v_y)
+            for index in distant:
+                length = norms[index]
+                if length <= EPS:
+                    continue
+                center = relative[index] / length * radius
+                gap = batched[a] - center
+                assert float(np.sqrt((gap * gap).sum())) <= radius + 1e-9

@@ -15,6 +15,14 @@ bundle at n=10^3 through ``run_replicated_simulations`` — and fails if
 the fresh runs/sec drop below
 ``replicates.perf_floor_replicate_runs_per_second``.
 
+When the ``mega`` section records a decide-phase floor
+(``mega.perf_floor_decide_activations_per_second``) the gate re-times the
+whole-round batched decide phase at the recorded anchor size and fails if
+the fresh activations/sec drop below it.  A pointloc micro-bench smoke
+runs alongside: the build-once locators must answer a batched membership
+query and agree with the scalar predicates (a cheap canary for the
+geometry layer the decide path leans on).
+
 Run it directly::
 
     PYTHONPATH=src python tools/perf_gate.py            # gate against BENCH_engine.json
@@ -41,7 +49,9 @@ from bench_engine import (  # noqa: E402
     SEED,
     SeedEngineSimulator,
     _config,
+    _mega_activations,
     _run_once,
+    _run_phased,
 )
 from repro.algorithms import KKNPSAlgorithm  # noqa: E402
 from repro.engine import Simulator  # noqa: E402
@@ -49,7 +59,10 @@ from repro.engine.replicate import run_replicated_simulations  # noqa: E402
 from repro.schedulers import SSyncScheduler  # noqa: E402
 from repro.sweeps.runner import planar_setup  # noqa: E402
 from repro.sweeps.spec import RunSpec  # noqa: E402
-from repro.workloads import random_connected_configuration  # noqa: E402
+from repro.workloads import (  # noqa: E402
+    random_connected_configuration,
+    truncated_grid_configuration,
+)
 
 GATE_N = 400
 
@@ -111,6 +124,66 @@ def measure_replicate_throughput() -> float:
     return best
 
 
+def measure_decide_throughput(n: int) -> float:
+    """Fresh decide-phase activations/sec at the recorded mega anchor size.
+
+    Mirrors ``bench_engine.run_mega``'s instrumented run exactly — same
+    workload, same activation budget, same phase brackets — and reduces
+    it to the decide phase's throughput.
+    """
+    activations = _mega_activations(n, False)
+    positions = list(truncated_grid_configuration(n, spacing=0.7).positions)
+    phases = _run_phased(
+        positions, KKNPSAlgorithm(k=1), SSyncScheduler(),
+        _config(activations, "array", 1),
+    )
+    decide_seconds = phases["decide"]
+    return activations / decide_seconds if decide_seconds > 0 else float("inf")
+
+
+def pointloc_smoke(queries: int = 4096, disks_count: int = 6) -> bool:
+    """Micro-bench smoke for the build-once locators.
+
+    Times one batched intersection + union query and cross-checks every
+    verdict against the scalar ``Disk.contains`` loops.  Catches both a
+    broken import and a certificate-soundness regression before the
+    engine-level gates would surface it as a bit-identity failure.
+    """
+    import numpy as np
+
+    from repro.geometry.disk import Disk
+    from repro.geometry.point import Point
+    from repro.geometry.pointloc import DiskIntersectionLocator, DiskUnionLocator
+
+    rng = np.random.default_rng(SEED)
+    disks = [
+        Disk(Point(float(x), float(y)), float(r))
+        for x, y, r in zip(
+            rng.normal(size=disks_count),
+            rng.normal(size=disks_count),
+            rng.uniform(0.5, 2.0, size=disks_count),
+        )
+    ]
+    px = rng.normal(size=queries) * 2.0
+    py = rng.normal(size=queries) * 2.0
+    started = time.perf_counter()
+    inter = DiskIntersectionLocator(disks).contains_array(px, py)
+    union = DiskUnionLocator(disks).contains_array(px, py)
+    elapsed = time.perf_counter() - started
+    ref_inter = np.array(
+        [all(d.contains(Point(float(x), float(y))) for d in disks) for x, y in zip(px, py)]
+    )
+    ref_union = np.array(
+        [any(d.contains(Point(float(x), float(y))) for d in disks) for x, y in zip(px, py)]
+    )
+    ok = bool((inter == ref_inter).all() and (union == ref_union).all())
+    print(
+        f"pointloc micro-bench: {queries} queries x {disks_count} disks in "
+        f"{elapsed * 1e3:.2f} ms, verdicts {'match' if ok else 'MISMATCH'}"
+    )
+    return ok
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -162,6 +235,34 @@ def main(argv=None) -> int:
             return 1
     else:
         print("no replicate floor recorded; skipping the replicate gate")
+
+    mega = recorded.get("mega") or {}
+    decide_floor = mega.get("perf_floor_decide_activations_per_second")
+    anchor_n = mega.get("decide_floor_n")
+    if decide_floor is not None and anchor_n:
+        throughput = measure_decide_throughput(int(anchor_n))
+        print(
+            f"batched decide n={anchor_n}: measured {throughput:.0f} "
+            f"activations/s, floor {decide_floor} activations/s"
+        )
+        if throughput < decide_floor:
+            print(
+                f"PERF GATE FAILED: decide-phase throughput {throughput:.0f} "
+                f"activations/s is below the stored floor {decide_floor} — "
+                "the whole-round batched decide regressed (or "
+                "BENCH_engine.json needs regenerating after an intended "
+                "change)."
+            )
+            return 1
+    else:
+        print("no decide-phase floor recorded; skipping the decide gate")
+
+    if not pointloc_smoke():
+        print(
+            "PERF GATE FAILED: pointloc locator verdicts diverged from the "
+            "scalar containment loops."
+        )
+        return 1
 
     print("perf gate passed")
     return 0
